@@ -1,0 +1,209 @@
+// Benchmarks regenerating every experiment of EXPERIMENTS.md (E1–E12).
+// Each benchmark drives the same harness as cmd/unibench at a reduced
+// scale and reports the experiment's headline quantity as a custom
+// metric, so `go test -bench=.` provides the whole reproduction in one
+// run. Wall-clock ns/op is the simulator's cost, not the system's —
+// the simulated metrics are the results.
+package unistore_test
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"unistore"
+	"unistore/internal/experiments"
+	"unistore/internal/trace"
+	"unistore/internal/workload"
+)
+
+// benchScale keeps -bench runs fast; cmd/unibench runs scale 1.0.
+const benchScale = experiments.Scale(0.25)
+
+// cell parses a numeric table cell.
+func cell(tb *trace.Series, row, col int) float64 {
+	r := tb.Rows()
+	if row < 0 {
+		row = len(r) + row
+	}
+	v, _ := strconv.ParseFloat(strings.TrimSuffix(r[row][col], "s"), 64)
+	return v
+}
+
+func BenchmarkE1TriplePlacement(b *testing.B) {
+	var entries float64
+	for i := 0; i < b.N; i++ {
+		tab := experiments.E1TriplePlacement()
+		for _, row := range tab.Rows() {
+			if strings.HasPrefix(row[0], "TOTAL") {
+				entries, _ = strconv.ParseFloat(row[1], 64)
+			}
+		}
+	}
+	b.ReportMetric(entries, "entries")
+}
+
+func BenchmarkE2RoutingHops(b *testing.B) {
+	var avg float64
+	for i := 0; i < b.N; i++ {
+		tab := experiments.E2RoutingHops(benchScale)
+		avg = cell(tab, -1, 1) // largest network's average hops
+	}
+	b.ReportMetric(avg, "avg-hops-largest-n")
+}
+
+func BenchmarkE3QueryLatency(b *testing.B) {
+	var ms float64
+	for i := 0; i < b.N; i++ {
+		tab := experiments.E3QueryLatency(benchScale)
+		rows := tab.Rows()
+		d, err := time.ParseDuration(rows[len(rows)-1][1])
+		if err == nil {
+			ms = float64(d.Milliseconds())
+		}
+	}
+	b.ReportMetric(ms, "sim-ms-largest-n")
+}
+
+func BenchmarkE4PlanVariants(b *testing.B) {
+	var spread float64
+	for i := 0; i < b.N; i++ {
+		tab := experiments.E4PlanVariants(benchScale)
+		lo, hi := 1e18, 0.0
+		for r := range tab.Rows() {
+			m := cell(tab, r, 1)
+			if m < lo {
+				lo = m
+			}
+			if m > hi {
+				hi = m
+			}
+		}
+		spread = hi / lo
+	}
+	b.ReportMetric(spread, "worst/best-msgs")
+}
+
+func BenchmarkE5Similarity(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		tab := experiments.E5Similarity(benchScale)
+		ratio = cell(tab, -1, 2) / cell(tab, -1, 1) // broadcast / qgram
+	}
+	b.ReportMetric(ratio, "bcast/qgram-msgs")
+}
+
+func BenchmarkE6LoadBalance(b *testing.B) {
+	var improvement float64
+	for i := 0; i < b.N; i++ {
+		tab := experiments.E6LoadBalance(benchScale)
+		improvement = cell(tab, 0, 1) / cell(tab, 1, 1) // balanced max / adaptive max
+	}
+	b.ReportMetric(improvement, "maxload-improvement")
+}
+
+func BenchmarkE7Skyline(b *testing.B) {
+	var size float64
+	for i := 0; i < b.N; i++ {
+		tab := experiments.E7Skyline(benchScale)
+		size = cell(tab, -1, 1)
+	}
+	b.ReportMetric(size, "skyline-size")
+}
+
+func BenchmarkE8Updates(b *testing.B) {
+	var repaired float64
+	for i := 0; i < b.N; i++ {
+		tab := experiments.E8Updates(benchScale)
+		repaired = cell(tab, -1, 2) // replicas fresh after anti-entropy, worst loss
+	}
+	b.ReportMetric(repaired, "replicas-converged")
+}
+
+func BenchmarkE9RangeVsChord(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		tab := experiments.E9RangeVsChord(benchScale)
+		ratio = cell(tab, -1, 3) / cell(tab, -1, 2) // chord / pgrid messages
+	}
+	b.ReportMetric(ratio, "chord/pgrid-msgs")
+}
+
+func BenchmarkE10Mappings(b *testing.B) {
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		tab := experiments.E10Mappings(benchScale)
+		gain = cell(tab, 1, 1) / cell(tab, 0, 1) // recall gain
+	}
+	b.ReportMetric(gain, "recall-gain")
+}
+
+func BenchmarkE11Merge(b *testing.B) {
+	var msgs float64
+	for i := 0; i < b.N; i++ {
+		tab := experiments.E11Merge(benchScale)
+		msgs = cell(tab, 0, 1)
+	}
+	b.ReportMetric(msgs, "merge-msgs")
+}
+
+func BenchmarkE12PaperQuery(b *testing.B) {
+	var msgs float64
+	for i := 0; i < b.N; i++ {
+		tab := experiments.E12PaperQuery(benchScale)
+		msgs = cell(tab, 0, 2)
+	}
+	b.ReportMetric(msgs, "query-msgs")
+}
+
+// --- Public-API micro-benchmarks ---------------------------------------------
+
+func BenchmarkInsertTuple(b *testing.B) {
+	c := unistore.New(unistore.Config{Peers: 32, Seed: 1})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.InsertTuple(unistore.NewTuple(unistore.GenerateOID("b")).
+			Set("name", unistore.S("bench person")).
+			Set("age", unistore.N(float64(20+i%60))))
+	}
+}
+
+func BenchmarkExactLookupQuery(b *testing.B) {
+	c := unistore.New(unistore.Config{Peers: 64, Seed: 2})
+	ds := workload.Generate(workload.Options{Seed: 3, Persons: 200})
+	c.Insert(ds.Triples...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Query(`SELECT ?p WHERE {(?p,'email','p7@example.org')}`); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTwoPatternJoinQuery(b *testing.B) {
+	c := unistore.New(unistore.Config{Peers: 64, Seed: 4})
+	ds := workload.Generate(workload.Options{Seed: 5, Persons: 200})
+	c.Insert(ds.Triples...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Query(`SELECT ?n,?a WHERE {(?p,'name',?n) (?p,'age',?a) FILTER ?a < 30}`); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSkylineQuery(b *testing.B) {
+	c := unistore.New(unistore.Config{Peers: 64, Seed: 6})
+	ds := workload.Generate(workload.Options{Seed: 7, Persons: 200})
+	c.Insert(ds.Triples...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Query(`SELECT ?n,?age,?cnt WHERE {
+			(?p,'name',?n) (?p,'age',?age) (?p,'num_of_pubs',?cnt)
+		} ORDER BY SKYLINE OF ?age MIN, ?cnt MAX`); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

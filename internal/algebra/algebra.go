@@ -1,0 +1,741 @@
+// Package algebra implements UniStore's logical query algebra: the
+// traditional relational operators (selection, projection, join) plus
+// the special operators of the paper — similarity selection (edist),
+// ranking (top-N) and skyline — over variable bindings produced by
+// triple patterns. All operators apply uniformly to instance, schema
+// and metadata triples, because patterns may put variables in any
+// position.
+//
+// The package also provides a reference in-memory executor used to
+// validate the distributed physical engine: both must produce the same
+// bindings for the same query over the same triples.
+package algebra
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"unistore/internal/qgram"
+	"unistore/internal/ranking"
+	"unistore/internal/triple"
+	"unistore/internal/vql"
+)
+
+// Binding maps variable names to values. OIDs bind as string values.
+type Binding map[string]triple.Value
+
+// Clone copies a binding.
+func (b Binding) Clone() Binding {
+	c := make(Binding, len(b))
+	for k, v := range b {
+		c[k] = v
+	}
+	return c
+}
+
+// Compatible reports whether two bindings agree on every shared
+// variable — the natural-join condition.
+func (b Binding) Compatible(o Binding) bool {
+	for k, v := range b {
+		if ov, ok := o[k]; ok && !v.Equal(ov) {
+			return false
+		}
+	}
+	return true
+}
+
+// Merge returns the union of two compatible bindings.
+func (b Binding) Merge(o Binding) Binding {
+	m := b.Clone()
+	for k, v := range o {
+		m[k] = v
+	}
+	return m
+}
+
+// Key renders the binding's values for the given variables as a
+// hashable string (join key).
+func Key(b Binding, vars []string) string {
+	var sb strings.Builder
+	for _, v := range vars {
+		val := b[v]
+		sb.WriteString(val.Lexical())
+		sb.WriteByte(0)
+	}
+	return sb.String()
+}
+
+// --- Logical plan -----------------------------------------------------------
+
+// Plan is a logical operator tree.
+type Plan interface {
+	fmt.Stringer
+	// Inputs returns child plans (nil for leaves).
+	Inputs() []Plan
+}
+
+// PatternScan is the leaf operator: produce bindings for one triple
+// pattern.
+type PatternScan struct {
+	Pat vql.Pattern
+}
+
+// Join is the natural join of two subplans on their shared variables.
+type Join struct {
+	L, R Plan
+	// On lists the shared variables (computed by Build).
+	On []string
+}
+
+// Select filters bindings by a boolean expression.
+type Select struct {
+	Input Plan
+	Cond  vql.Expr
+}
+
+// SimilaritySelect is the pushed-down form of FILTER edist(?v, 'c') < k:
+// a similarity selection the physical layer can answer with the q-gram
+// index instead of a scan-then-filter.
+type SimilaritySelect struct {
+	Input  Plan
+	Var    string
+	Target string
+	// MaxDist is the inclusive edit-distance bound (paper: < 3 ⇒ 2).
+	MaxDist int
+}
+
+// Project keeps only the given variables.
+type Project struct {
+	Input Plan
+	Vars  []string
+}
+
+// OrderBy sorts bindings.
+type OrderBy struct {
+	Input Plan
+	Keys  []vql.OrderKey
+}
+
+// Limit truncates to N bindings.
+type Limit struct {
+	Input Plan
+	N     int
+}
+
+// TopN keeps the N best bindings under the ORDER BY keys without a full
+// sort (the ranking operator the paper lists next to skyline).
+type TopN struct {
+	Input Plan
+	Keys  []vql.OrderKey
+	N     int
+}
+
+// Skyline keeps the non-dominated bindings.
+type Skyline struct {
+	Input Plan
+	Keys  []vql.SkylineKey
+}
+
+func (p *PatternScan) Inputs() []Plan      { return nil }
+func (j *Join) Inputs() []Plan             { return []Plan{j.L, j.R} }
+func (s *Select) Inputs() []Plan           { return []Plan{s.Input} }
+func (s *SimilaritySelect) Inputs() []Plan { return []Plan{s.Input} }
+func (p *Project) Inputs() []Plan          { return []Plan{p.Input} }
+func (o *OrderBy) Inputs() []Plan          { return []Plan{o.Input} }
+func (l *Limit) Inputs() []Plan            { return []Plan{l.Input} }
+func (t *TopN) Inputs() []Plan             { return []Plan{t.Input} }
+func (s *Skyline) Inputs() []Plan          { return []Plan{s.Input} }
+
+func (p *PatternScan) String() string { return "scan" + p.Pat.String() }
+func (j *Join) String() string {
+	return fmt.Sprintf("(%s ⋈[%s] %s)", j.L, strings.Join(j.On, ","), j.R)
+}
+func (s *Select) String() string { return fmt.Sprintf("σ[%s](%s)", s.Cond, s.Input) }
+func (s *SimilaritySelect) String() string {
+	return fmt.Sprintf("σ~[edist(?%s,'%s')<=%d](%s)", s.Var, s.Target, s.MaxDist, s.Input)
+}
+func (p *Project) String() string {
+	return fmt.Sprintf("π[%s](%s)", strings.Join(p.Vars, ","), p.Input)
+}
+func (o *OrderBy) String() string {
+	parts := make([]string, len(o.Keys))
+	for i, k := range o.Keys {
+		parts[i] = k.String()
+	}
+	return fmt.Sprintf("sort[%s](%s)", strings.Join(parts, ","), o.Input)
+}
+func (l *Limit) String() string { return fmt.Sprintf("limit[%d](%s)", l.N, l.Input) }
+func (t *TopN) String() string  { return fmt.Sprintf("top[%d](%s)", t.N, t.Input) }
+func (s *Skyline) String() string {
+	parts := make([]string, len(s.Keys))
+	for i, k := range s.Keys {
+		parts[i] = k.String()
+	}
+	return fmt.Sprintf("skyline[%s](%s)", strings.Join(parts, ","), s.Input)
+}
+
+// --- Plan construction --------------------------------------------------------
+
+// Build compiles a parsed query into a canonical logical plan:
+// a left-deep join tree over the patterns (in connectivity order),
+// filters applied as early as their variables allow (with similarity
+// predicates recognized and pushed down as SimilaritySelect), then
+// skyline / ordering / limit, then projection.
+func Build(q *vql.Query) (Plan, error) {
+	if len(q.Where) == 0 {
+		return nil, fmt.Errorf("algebra: query has no patterns")
+	}
+	patterns := orderPatterns(q.Where)
+	var plan Plan = &PatternScan{Pat: patterns[0]}
+	bound := map[string]bool{}
+	for _, v := range patterns[0].Vars() {
+		bound[v] = true
+	}
+	filters := make([]vql.Expr, len(q.Filters))
+	copy(filters, q.Filters)
+	applied := make([]bool, len(filters))
+	attach := func(p Plan) Plan {
+		for i, f := range filters {
+			if applied[i] {
+				continue
+			}
+			if !varsCovered(f, bound) {
+				continue
+			}
+			applied[i] = true
+			if sim, ok := asSimilarity(f); ok {
+				sim.Input = p
+				p = sim
+			} else {
+				p = &Select{Input: p, Cond: f}
+			}
+		}
+		return p
+	}
+	plan = attach(plan)
+	remaining := patterns[1:]
+	for len(remaining) > 0 {
+		// Prefer a pattern sharing a variable with what is bound.
+		pick := -1
+		for i, pat := range remaining {
+			for _, v := range pat.Vars() {
+				if bound[v] {
+					pick = i
+					break
+				}
+			}
+			if pick >= 0 {
+				break
+			}
+		}
+		if pick < 0 {
+			pick = 0 // cartesian product: no shared variable exists
+		}
+		pat := remaining[pick]
+		remaining = append(remaining[:pick], remaining[pick+1:]...)
+		var shared []string
+		for _, v := range pat.Vars() {
+			if bound[v] {
+				shared = append(shared, v)
+			}
+			bound[v] = true
+		}
+		plan = &Join{L: plan, R: &PatternScan{Pat: pat}, On: shared}
+		plan = attach(plan)
+	}
+	for i := range filters {
+		if !applied[i] {
+			return nil, fmt.Errorf("algebra: filter %s references unbound variables", filters[i])
+		}
+	}
+	if len(q.Skyline) > 0 {
+		for _, k := range q.Skyline {
+			if !bound[k.Var] {
+				return nil, fmt.Errorf("algebra: skyline variable ?%s is unbound", k.Var)
+			}
+		}
+		plan = &Skyline{Input: plan, Keys: q.Skyline}
+	}
+	switch {
+	case q.Top && len(q.OrderBy) > 0 && q.Limit > 0:
+		plan = &TopN{Input: plan, Keys: q.OrderBy, N: q.Limit}
+	case len(q.OrderBy) > 0:
+		plan = &OrderBy{Input: plan, Keys: q.OrderBy}
+	}
+	if q.Limit > 0 && !(q.Top && len(q.OrderBy) > 0) {
+		plan = &Limit{Input: plan, N: q.Limit}
+	}
+	if len(q.Select) > 0 {
+		for _, v := range q.Select {
+			if !bound[v] {
+				return nil, fmt.Errorf("algebra: selected variable ?%s is unbound", v)
+			}
+		}
+		plan = &Project{Input: plan, Vars: q.Select}
+	}
+	return plan, nil
+}
+
+// orderPatterns sorts patterns by estimated selectivity: fully-ground
+// patterns first, then attribute+value bound, then attribute bound,
+// then the rest — the canonical ordering the cost-based optimizer
+// refines with statistics.
+func orderPatterns(pats []vql.Pattern) []vql.Pattern {
+	out := make([]vql.Pattern, len(pats))
+	copy(out, pats)
+	rank := func(p vql.Pattern) int {
+		switch {
+		case !p.S.IsVar():
+			return 0 // OID lookup: one tuple
+		case !p.A.IsVar() && !p.V.IsVar():
+			return 1 // exact A#v lookup
+		case !p.A.IsVar():
+			return 2 // attribute range
+		case !p.V.IsVar():
+			return 3 // value lookup across attributes
+		default:
+			return 4 // full scan
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return rank(out[i]) < rank(out[j]) })
+	return out
+}
+
+// varsCovered reports whether every variable in the expression is bound.
+func varsCovered(e vql.Expr, bound map[string]bool) bool {
+	ok := true
+	walkExprVars(e, func(v string) {
+		if !bound[v] {
+			ok = false
+		}
+	})
+	return ok
+}
+
+func walkExprVars(e vql.Expr, fn func(string)) {
+	switch x := e.(type) {
+	case vql.Cmp:
+		walkOperandVars(x.L, fn)
+		walkOperandVars(x.R, fn)
+	case vql.And:
+		walkExprVars(x.L, fn)
+		walkExprVars(x.R, fn)
+	case vql.Or:
+		walkExprVars(x.L, fn)
+		walkExprVars(x.R, fn)
+	case vql.Not:
+		walkExprVars(x.E, fn)
+	case vql.BoolFunc:
+		for _, a := range x.Args {
+			walkOperandVars(a, fn)
+		}
+	}
+}
+
+func walkOperandVars(o vql.Operand, fn func(string)) {
+	switch x := o.(type) {
+	case vql.VarOperand:
+		fn(x.Name)
+	case vql.FuncOperand:
+		for _, a := range x.Args {
+			walkOperandVars(a, fn)
+		}
+	}
+}
+
+// asSimilarity recognizes edist(?v,'c') < k / <= k (either argument
+// order) and converts it to a SimilaritySelect with an inclusive bound.
+func asSimilarity(e vql.Expr) (*SimilaritySelect, bool) {
+	cmp, ok := e.(vql.Cmp)
+	if !ok {
+		return nil, false
+	}
+	fn, ok := cmp.L.(vql.FuncOperand)
+	if !ok || fn.Name != "edist" || len(fn.Args) != 2 {
+		return nil, false
+	}
+	lit, ok := cmp.R.(vql.LitOperand)
+	if !ok || lit.Val.Kind != triple.KindNumber {
+		return nil, false
+	}
+	var maxDist int
+	switch cmp.Op {
+	case "<":
+		maxDist = int(lit.Val.Num) - 1
+	case "<=":
+		maxDist = int(lit.Val.Num)
+	default:
+		return nil, false
+	}
+	// One argument must be a variable, the other a string literal.
+	var v, target string
+	switch a := fn.Args[0].(type) {
+	case vql.VarOperand:
+		v = a.Name
+		l, ok := fn.Args[1].(vql.LitOperand)
+		if !ok || l.Val.Kind != triple.KindString {
+			return nil, false
+		}
+		target = l.Val.Str
+	case vql.LitOperand:
+		if a.Val.Kind != triple.KindString {
+			return nil, false
+		}
+		target = a.Val.Str
+		vv, ok := fn.Args[1].(vql.VarOperand)
+		if !ok {
+			return nil, false
+		}
+		v = vv.Name
+	default:
+		return nil, false
+	}
+	if maxDist < 0 {
+		maxDist = 0
+	}
+	return &SimilaritySelect{Var: v, Target: target, MaxDist: maxDist}, true
+}
+
+// --- Expression evaluation -----------------------------------------------------
+
+// EvalExpr evaluates a filter against a binding. Unbound variables make
+// the expression false (best-effort semantics).
+func EvalExpr(e vql.Expr, b Binding) bool {
+	switch x := e.(type) {
+	case vql.Cmp:
+		l, ok1 := evalOperand(x.L, b)
+		r, ok2 := evalOperand(x.R, b)
+		if !ok1 || !ok2 {
+			return false
+		}
+		return applyCmp(x.Op, l, r)
+	case vql.And:
+		return EvalExpr(x.L, b) && EvalExpr(x.R, b)
+	case vql.Or:
+		return EvalExpr(x.L, b) || EvalExpr(x.R, b)
+	case vql.Not:
+		return !EvalExpr(x.E, b)
+	case vql.BoolFunc:
+		v, ok := evalFunc(x.Name, x.Args, b)
+		if !ok {
+			return false
+		}
+		return v.Kind == triple.KindNumber && v.Num != 0
+	}
+	return false
+}
+
+func applyCmp(op string, l, r triple.Value) bool {
+	// Numeric comparison when either side is numeric and the other
+	// parses; string comparison otherwise.
+	if l.Kind == triple.KindNumber || r.Kind == triple.KindNumber {
+		lf, ok1 := l.AsNumber()
+		rf, ok2 := r.AsNumber()
+		if ok1 && ok2 {
+			switch op {
+			case "=":
+				return lf == rf
+			case "!=":
+				return lf != rf
+			case "<":
+				return lf < rf
+			case "<=":
+				return lf <= rf
+			case ">":
+				return lf > rf
+			case ">=":
+				return lf >= rf
+			}
+			return false
+		}
+	}
+	c := strings.Compare(l.String(), r.String())
+	switch op {
+	case "=":
+		return c == 0
+	case "!=":
+		return c != 0
+	case "<":
+		return c < 0
+	case "<=":
+		return c <= 0
+	case ">":
+		return c > 0
+	case ">=":
+		return c >= 0
+	}
+	return false
+}
+
+func evalOperand(o vql.Operand, b Binding) (triple.Value, bool) {
+	switch x := o.(type) {
+	case vql.VarOperand:
+		v, ok := b[x.Name]
+		return v, ok
+	case vql.LitOperand:
+		return x.Val, true
+	case vql.FuncOperand:
+		return evalFunc(x.Name, x.Args, b)
+	}
+	return triple.Value{}, false
+}
+
+// evalFunc evaluates the built-in scalar functions of VQL.
+func evalFunc(name string, args []vql.Operand, b Binding) (triple.Value, bool) {
+	vals := make([]triple.Value, len(args))
+	for i, a := range args {
+		v, ok := evalOperand(a, b)
+		if !ok {
+			return triple.Value{}, false
+		}
+		vals[i] = v
+	}
+	boolVal := func(x bool) (triple.Value, bool) {
+		if x {
+			return triple.N(1), true
+		}
+		return triple.N(0), true
+	}
+	switch name {
+	case "edist":
+		if len(vals) != 2 {
+			return triple.Value{}, false
+		}
+		return triple.N(float64(qgram.EditDistance(vals[0].String(), vals[1].String()))), true
+	case "contains":
+		if len(vals) != 2 {
+			return triple.Value{}, false
+		}
+		return boolVal(strings.Contains(vals[0].String(), vals[1].String()))
+	case "startswith":
+		if len(vals) != 2 {
+			return triple.Value{}, false
+		}
+		return boolVal(strings.HasPrefix(vals[0].String(), vals[1].String()))
+	case "endswith":
+		if len(vals) != 2 {
+			return triple.Value{}, false
+		}
+		return boolVal(strings.HasSuffix(vals[0].String(), vals[1].String()))
+	case "length":
+		if len(vals) != 1 {
+			return triple.Value{}, false
+		}
+		return triple.N(float64(len(vals[0].String()))), true
+	case "lower":
+		if len(vals) != 1 {
+			return triple.Value{}, false
+		}
+		return triple.S(strings.ToLower(vals[0].String())), true
+	case "upper":
+		if len(vals) != 1 {
+			return triple.Value{}, false
+		}
+		return triple.S(strings.ToUpper(vals[0].String())), true
+	}
+	return triple.Value{}, false
+}
+
+// --- Reference executor ---------------------------------------------------------
+
+// TripleSource resolves a pattern to bindings — the abstraction the
+// reference executor scans. The distributed engine implements the same
+// contract with overlay operations.
+type TripleSource interface {
+	ScanPattern(pat vql.Pattern) []Binding
+}
+
+// MemSource is an in-memory TripleSource over a triple slice.
+type MemSource struct {
+	Triples []triple.Triple
+}
+
+// ScanPattern matches the pattern against every triple.
+func (m *MemSource) ScanPattern(pat vql.Pattern) []Binding {
+	var out []Binding
+	for _, tr := range m.Triples {
+		if b, ok := MatchPattern(pat, tr); ok {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// MatchPattern unifies a pattern with a triple, returning the binding.
+func MatchPattern(pat vql.Pattern, tr triple.Triple) (Binding, bool) {
+	b := Binding{}
+	bind := func(t vql.Term, v triple.Value) bool {
+		if !t.IsVar() {
+			return t.Val.Equal(v)
+		}
+		if old, ok := b[t.Var]; ok {
+			return old.Equal(v)
+		}
+		b[t.Var] = v
+		return true
+	}
+	if !bind(pat.S, triple.S(tr.OID)) {
+		return nil, false
+	}
+	if !bind(pat.A, triple.S(tr.Attr)) {
+		return nil, false
+	}
+	if !bind(pat.V, tr.Val) {
+		return nil, false
+	}
+	return b, true
+}
+
+// Execute runs the plan against the source, returning result bindings.
+// It is the semantics oracle for the distributed engine.
+func Execute(p Plan, src TripleSource) []Binding {
+	switch x := p.(type) {
+	case *PatternScan:
+		return src.ScanPattern(x.Pat)
+	case *Join:
+		return HashJoin(Execute(x.L, src), Execute(x.R, src), x.On)
+	case *Select:
+		var out []Binding
+		for _, b := range Execute(x.Input, src) {
+			if EvalExpr(x.Cond, b) {
+				out = append(out, b)
+			}
+		}
+		return out
+	case *SimilaritySelect:
+		var out []Binding
+		for _, b := range Execute(x.Input, src) {
+			v, ok := b[x.Var]
+			if ok && qgram.WithinDistance(v.String(), x.Target, x.MaxDist) {
+				out = append(out, b)
+			}
+		}
+		return out
+	case *Project:
+		out := make([]Binding, 0, 16)
+		for _, b := range Execute(x.Input, src) {
+			nb := Binding{}
+			for _, v := range x.Vars {
+				if val, ok := b[v]; ok {
+					nb[v] = val
+				}
+			}
+			out = append(out, nb)
+		}
+		return out
+	case *OrderBy:
+		out := Execute(x.Input, src)
+		SortBindings(out, x.Keys)
+		return out
+	case *Limit:
+		out := Execute(x.Input, src)
+		if len(out) > x.N {
+			out = out[:x.N]
+		}
+		return out
+	case *TopN:
+		in := Execute(x.Input, src)
+		idx := ranking.TopN(x.N, len(in), func(i int) float64 {
+			return OrderScore(in[i], x.Keys)
+		})
+		out := make([]Binding, len(idx))
+		for i, j := range idx {
+			out[i] = in[j]
+		}
+		return out
+	case *Skyline:
+		in := Execute(x.Input, src)
+		idx := SkylineIndexes(in, x.Keys)
+		out := make([]Binding, len(idx))
+		for i, j := range idx {
+			out[i] = in[j]
+		}
+		return out
+	}
+	return nil
+}
+
+// HashJoin naturally joins two binding sets on the given variables
+// (cartesian product when on is empty).
+func HashJoin(l, r []Binding, on []string) []Binding {
+	var out []Binding
+	if len(on) == 0 {
+		for _, lb := range l {
+			for _, rb := range r {
+				if lb.Compatible(rb) {
+					out = append(out, lb.Merge(rb))
+				}
+			}
+		}
+		return out
+	}
+	idx := make(map[string][]Binding, len(l))
+	for _, lb := range l {
+		k := Key(lb, on)
+		idx[k] = append(idx[k], lb)
+	}
+	for _, rb := range r {
+		for _, lb := range idx[Key(rb, on)] {
+			if lb.Compatible(rb) {
+				out = append(out, lb.Merge(rb))
+			}
+		}
+	}
+	return out
+}
+
+// SortBindings sorts bindings by the ORDER BY keys (stable).
+func SortBindings(bs []Binding, keys []vql.OrderKey) {
+	sort.SliceStable(bs, func(i, j int) bool {
+		for _, k := range keys {
+			c := bs[i][k.Var].Compare(bs[j][k.Var])
+			if k.Desc {
+				c = -c
+			}
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+}
+
+// OrderScore maps a binding to a scalar such that ascending score order
+// matches the ORDER BY keys — usable by TopN. Only the first key
+// contributes magnitude; further keys break ties with tiny offsets, so
+// exact multi-key ordering is delegated to OrderBy when precision
+// matters.
+func OrderScore(b Binding, keys []vql.OrderKey) float64 {
+	score := 0.0
+	weight := 1.0
+	for _, k := range keys {
+		v, _ := b[k.Var].AsNumber()
+		if k.Desc {
+			v = -v
+		}
+		score += v * weight
+		weight /= 1e6
+	}
+	return score
+}
+
+// SkylineIndexes projects bindings onto the skyline dimensions and
+// returns the non-dominated indexes.
+func SkylineIndexes(bs []Binding, keys []vql.SkylineKey) []int {
+	pts := make([][]float64, len(bs))
+	dirs := make([]ranking.Direction, len(keys))
+	for i, k := range keys {
+		if k.Max {
+			dirs[i] = ranking.Max
+		}
+	}
+	for i, b := range bs {
+		pts[i] = make([]float64, len(keys))
+		for j, k := range keys {
+			v, _ := b[k.Var].AsNumber()
+			pts[i][j] = v
+		}
+	}
+	return ranking.SkylineBNL(pts, dirs)
+}

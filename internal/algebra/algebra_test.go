@@ -1,0 +1,437 @@
+package algebra
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"unistore/internal/triple"
+	"unistore/internal/vql"
+)
+
+// paperData builds a small instance of the paper's Fig. 3 schema:
+// persons with name/age/num_of_pubs, publications, conferences.
+func paperData() []triple.Triple {
+	var ts []triple.Triple
+	person := func(id, name string, age, pubs float64, titles ...string) {
+		ts = append(ts,
+			triple.T(id, "name", name),
+			triple.TN(id, "age", age),
+			triple.TN(id, "num_of_pubs", pubs))
+		for _, title := range titles {
+			ts = append(ts, triple.T(id, "has_published", title))
+		}
+	}
+	pub := func(id, title, conf string) {
+		ts = append(ts,
+			triple.T(id, "title", title),
+			triple.T(id, "published_in", conf))
+	}
+	conf := func(id, name, series string, year float64) {
+		ts = append(ts,
+			triple.T(id, "confname", name),
+			triple.T(id, "series", series),
+			triple.TN(id, "year", year))
+	}
+	person("p1", "alice", 28, 10, "Similarity Queries")
+	person("p2", "bob", 45, 25, "Progressive Skylines")
+	person("p3", "carol", 25, 3, "Universal Storage")
+	person("p4", "dave", 33, 25, "Mutant Plans")
+	pub("u1", "Similarity Queries", "ICDE 2006")
+	pub("u2", "Progressive Skylines", "ICDE 2005")
+	pub("u3", "Universal Storage", "VLDB 2006")
+	pub("u4", "Mutant Plans", "ICDE 2005")
+	conf("c1", "ICDE 2006", "ICDE", 2006)
+	conf("c2", "ICDE 2005", "ICDE", 2005)
+	conf("c3", "VLDB 2006", "VLDB", 2006)
+	return ts
+}
+
+func mustPlan(t *testing.T, src string) Plan {
+	t.Helper()
+	q, err := vql.ParseQuery(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	p, err := Build(q)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return p
+}
+
+func run(t *testing.T, src string) []Binding {
+	t.Helper()
+	return Execute(mustPlan(t, src), &MemSource{Triples: paperData()})
+}
+
+func names(bs []Binding, v string) []string {
+	var out []string
+	for _, b := range bs {
+		out = append(out, b[v].String())
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestSinglePatternScan(t *testing.T) {
+	bs := run(t, `SELECT ?n WHERE {(?p,'name',?n)}`)
+	if got := names(bs, "n"); !reflect.DeepEqual(got, []string{"alice", "bob", "carol", "dave"}) {
+		t.Errorf("names = %v", got)
+	}
+}
+
+func TestGroundPattern(t *testing.T) {
+	bs := run(t, `SELECT * WHERE {('p1','age',?a)}`)
+	if len(bs) != 1 || bs[0]["a"].Num != 28 {
+		t.Fatalf("bindings = %v", bs)
+	}
+}
+
+func TestSchemaLevelQuery(t *testing.T) {
+	// Variable in attribute position: list p1's attributes.
+	bs := run(t, `SELECT ?attr WHERE {('p1',?attr,?v)}`)
+	got := names(bs, "attr")
+	want := []string{"age", "has_published", "name", "num_of_pubs"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("attributes = %v", got)
+	}
+}
+
+func TestJoinTwoPatterns(t *testing.T) {
+	bs := run(t, `SELECT ?n,?a WHERE {(?p,'name',?n) (?p,'age',?a) FILTER ?a < 30}`)
+	if got := names(bs, "n"); !reflect.DeepEqual(got, []string{"alice", "carol"}) {
+		t.Errorf("young authors = %v", got)
+	}
+}
+
+func TestMultiHopJoin(t *testing.T) {
+	// Authors published at an ICDE-series conference.
+	bs := run(t, `SELECT ?n WHERE {
+		(?p,'name',?n) (?p,'has_published',?t)
+		(?u,'title',?t) (?u,'published_in',?cn)
+		(?c,'confname',?cn) (?c,'series','ICDE')}`)
+	if got := names(bs, "n"); !reflect.DeepEqual(got, []string{"alice", "bob", "dave"}) {
+		t.Errorf("ICDE authors = %v", got)
+	}
+}
+
+func TestFilterEdistSimilarity(t *testing.T) {
+	// edist(?sr,'ICDE')<3 also admits… nothing else in this corpus, but
+	// a typo'd series would match; exact series does.
+	bs := run(t, `SELECT ?sr WHERE {(?c,'series',?sr) FILTER edist(?sr,'ICDE')<3}`)
+	for _, b := range bs {
+		if b["sr"].Str == "VLDB" {
+			t.Error("VLDB is at distance 4 from ICDE; must be filtered")
+		}
+	}
+	if len(bs) != 2 { // two ICDE conferences
+		t.Errorf("similarity matches = %d, want 2", len(bs))
+	}
+}
+
+func TestSimilarityPushdownRecognized(t *testing.T) {
+	p := mustPlan(t, `SELECT ?sr WHERE {(?c,'series',?sr) FILTER edist(?sr,'ICDE')<3}`)
+	found := false
+	var walk func(Plan)
+	walk = func(pl Plan) {
+		if s, ok := pl.(*SimilaritySelect); ok {
+			found = true
+			if s.MaxDist != 2 || s.Target != "ICDE" || s.Var != "sr" {
+				t.Errorf("similarity select = %+v", s)
+			}
+		}
+		for _, c := range pl.Inputs() {
+			walk(c)
+		}
+	}
+	walk(p)
+	if !found {
+		t.Errorf("edist filter not pushed down: %s", p)
+	}
+}
+
+func TestPaperSkylineQuery(t *testing.T) {
+	// The paper's flagship query restricted to this corpus: skyline of
+	// authors over (age MIN, num_of_pubs MAX) among ICDE authors.
+	bs := run(t, `SELECT ?n,?age,?cnt WHERE {
+		(?p,'name',?n) (?p,'age',?age) (?p,'num_of_pubs',?cnt)
+		(?p,'has_published',?t) (?u,'title',?t) (?u,'published_in',?cn)
+		(?c,'confname',?cn) (?c,'series',?sr) FILTER edist(?sr,'ICDE')<3
+	} ORDER BY SKYLINE OF ?age MIN, ?cnt MAX`)
+	// ICDE authors: alice(28,10), bob(45,25), dave(33,25).
+	// bob is dominated by dave (younger, equal pubs).
+	got := names(bs, "n")
+	if !reflect.DeepEqual(got, []string{"alice", "dave"}) {
+		t.Errorf("skyline = %v, want [alice dave]", got)
+	}
+}
+
+func TestOrderByAndLimit(t *testing.T) {
+	bs := run(t, `SELECT ?n,?a WHERE {(?p,'name',?n) (?p,'age',?a)} ORDER BY ?a LIMIT 2`)
+	if len(bs) != 2 || bs[0]["n"].Str != "carol" || bs[1]["n"].Str != "alice" {
+		t.Errorf("youngest two = %v", bs)
+	}
+	bs = run(t, `SELECT ?n,?a WHERE {(?p,'name',?n) (?p,'age',?a)} ORDER BY ?a DESC LIMIT 1`)
+	if len(bs) != 1 || bs[0]["n"].Str != "bob" {
+		t.Errorf("oldest = %v", bs)
+	}
+}
+
+func TestTopNOperator(t *testing.T) {
+	bs := run(t, `SELECT ?n,?c WHERE {(?p,'name',?n) (?p,'num_of_pubs',?c)} ORDER BY ?c DESC TOP 2`)
+	if len(bs) != 2 {
+		t.Fatalf("top-2 size = %d", len(bs))
+	}
+	for _, b := range bs {
+		if b["c"].Num != 25 {
+			t.Errorf("top-2 by pubs = %v", bs)
+		}
+	}
+}
+
+func TestProjectRestrictsVars(t *testing.T) {
+	bs := run(t, `SELECT ?n WHERE {(?p,'name',?n) (?p,'age',?a)}`)
+	for _, b := range bs {
+		if _, ok := b["a"]; ok {
+			t.Fatalf("projection leaked ?a: %v", b)
+		}
+		if _, ok := b["n"]; !ok {
+			t.Fatalf("projection lost ?n: %v", b)
+		}
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	bad := []string{
+		`SELECT ?zzz WHERE {(?p,'name',?n)}`,                          // unbound select
+		`SELECT ?n WHERE {(?p,'name',?n)} ORDER BY SKYLINE OF ?q MIN`, // unbound skyline
+		`SELECT ?n WHERE {(?p,'name',?n) FILTER ?zzz > 5}`,            // unbound filter
+	}
+	for _, src := range bad {
+		q, err := vql.ParseQuery(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		if _, err := Build(q); err == nil {
+			t.Errorf("Build(%q) must fail", src)
+		}
+	}
+}
+
+func TestCartesianProductWhenDisconnected(t *testing.T) {
+	bs := run(t, `SELECT ?n,?sr WHERE {(?p,'name','alice') (?p,'name',?n) (?c,'series',?sr)}`)
+	if len(bs) != 3 { // alice × 3 conference series rows
+		t.Errorf("cartesian size = %d, want 3", len(bs))
+	}
+}
+
+func TestBindingHelpers(t *testing.T) {
+	a := Binding{"x": triple.N(1), "y": triple.S("s")}
+	b := Binding{"x": triple.N(1), "z": triple.N(9)}
+	if !a.Compatible(b) {
+		t.Error("bindings agreeing on shared vars must be compatible")
+	}
+	c := Binding{"x": triple.N(2)}
+	if a.Compatible(c) {
+		t.Error("conflicting bindings must be incompatible")
+	}
+	m := a.Merge(b)
+	if len(m) != 3 || m["z"].Num != 9 {
+		t.Errorf("merge = %v", m)
+	}
+	clone := a.Clone()
+	clone["x"] = triple.N(99)
+	if a["x"].Num != 1 {
+		t.Error("Clone must not alias")
+	}
+}
+
+func TestEvalExprFunctions(t *testing.T) {
+	b := Binding{"t": triple.S("Universal Storage"), "n": triple.N(7)}
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{`contains(?t,'Storage')`, true},
+		{`contains(?t,'zzz')`, false},
+		{`startswith(?t,'Uni')`, true},
+		{`endswith(?t,'age')`, true},
+		{`length(?t) > 10`, true},
+		{`lower(?t) = 'universal storage'`, true},
+		{`upper(?t) = 'UNIVERSAL STORAGE'`, true},
+		{`edist(?t,'Universal Storage') = 0`, true},
+		{`?n >= 7`, true},
+		{`?n != 7`, false},
+		{`NOT ?n < 5`, true},
+		{`?n < 5 OR contains(?t,'Uni')`, true},
+		{`?n < 5 AND contains(?t,'Uni')`, false},
+	}
+	for _, c := range cases {
+		q, err := vql.ParseQuery(`SELECT ?t WHERE {(?x,'a',?t) FILTER ` + c.src + `}`)
+		if err != nil {
+			t.Fatalf("parse %q: %v", c.src, err)
+		}
+		if got := EvalExpr(q.Filters[0], b); got != c.want {
+			t.Errorf("EvalExpr(%q) = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestEvalUnboundVarIsFalse(t *testing.T) {
+	q, _ := vql.ParseQuery(`SELECT ?t WHERE {(?x,'a',?t) FILTER ?zz > 1}`)
+	if EvalExpr(q.Filters[0], Binding{}) {
+		t.Error("unbound variable must evaluate to false")
+	}
+}
+
+func TestHashJoinMatchesNestedLoops(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	mk := func(n int) []Binding {
+		out := make([]Binding, n)
+		for i := range out {
+			out[i] = Binding{
+				"j": triple.N(float64(rng.Intn(5))),
+				"x": triple.N(float64(rng.Intn(100))),
+			}
+		}
+		return out
+	}
+	for iter := 0; iter < 50; iter++ {
+		l, r := mk(rng.Intn(20)), mk(rng.Intn(20))
+		got := HashJoin(l, r, []string{"j"})
+		var want []Binding
+		for _, lb := range l {
+			for _, rb := range r {
+				if lb["j"].Equal(rb["j"]) && lb.Compatible(rb) {
+					want = append(want, lb.Merge(rb))
+				}
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("hash join size %d != nested loops %d", len(got), len(want))
+		}
+	}
+}
+
+// Property: plan construction covers every pattern exactly once.
+func TestBuildCoversAllPatterns(t *testing.T) {
+	q, err := vql.ParseQuery(`SELECT * WHERE {
+		(?a,'x',?b) (?b,'y',?c) (?d,'z','l') (?a,'w',?d) (?e,'q',?f)}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Build(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	var walk func(Plan)
+	walk = func(pl Plan) {
+		if _, ok := pl.(*PatternScan); ok {
+			count++
+		}
+		for _, c := range pl.Inputs() {
+			walk(c)
+		}
+	}
+	walk(p)
+	if count != 5 {
+		t.Errorf("plan has %d scans, want 5: %s", count, p)
+	}
+}
+
+func TestOrderPatternsSelectivity(t *testing.T) {
+	q, err := vql.ParseQuery(`SELECT * WHERE {(?s,?a,?v) (?s,'name',?n) (?s,'age',30) ('p1','x',?y)}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pats := orderPatterns(q.Where)
+	if !(!pats[0].S.IsVar()) {
+		t.Errorf("ground-subject pattern must come first: %v", pats)
+	}
+	last := pats[len(pats)-1]
+	if !(last.S.IsVar() && last.A.IsVar() && last.V.IsVar()) {
+		t.Errorf("full wildcard must come last: %v", pats)
+	}
+}
+
+func TestPlanStringRendering(t *testing.T) {
+	p := mustPlan(t, `SELECT ?n WHERE {(?p,'name',?n) (?p,'age',?a) FILTER ?a > 18}
+		ORDER BY SKYLINE OF ?a MIN LIMIT 3`)
+	s := p.String()
+	for _, frag := range []string{"π", "skyline", "⋈", "scan", "limit"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("plan rendering lacks %q: %s", frag, s)
+		}
+	}
+}
+
+func TestExecuteDeterministicOrderIndependence(t *testing.T) {
+	// Shuffling the triple corpus must not change the result multiset.
+	q, err := vql.ParseQuery(`SELECT ?n WHERE {(?p,'name',?n) (?p,'num_of_pubs',?c) FILTER ?c >= 10}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Build(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := paperData()
+	ref := names(Execute(p, &MemSource{Triples: data}), "n")
+	rng := rand.New(rand.NewSource(13))
+	for iter := 0; iter < 10; iter++ {
+		rng.Shuffle(len(data), func(i, j int) { data[i], data[j] = data[j], data[i] })
+		got := names(Execute(p, &MemSource{Triples: data}), "n")
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("result depends on data order: %v vs %v", got, ref)
+		}
+	}
+}
+
+func BenchmarkExecutePaperQuery(b *testing.B) {
+	q, err := vql.ParseQuery(`SELECT ?n,?age,?cnt WHERE {
+		(?p,'name',?n) (?p,'age',?age) (?p,'num_of_pubs',?cnt)
+		(?p,'has_published',?t) (?u,'title',?t) (?u,'published_in',?cn)
+		(?c,'confname',?cn) (?c,'series',?sr) FILTER edist(?sr,'ICDE')<3
+	} ORDER BY SKYLINE OF ?age MIN, ?cnt MAX`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := Build(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Larger corpus.
+	var data []triple.Triple
+	for i := 0; i < 200; i++ {
+		id := fmt.Sprintf("p%d", i)
+		data = append(data,
+			triple.T(id, "name", fmt.Sprintf("author%d", i)),
+			triple.TN(id, "age", float64(25+i%40)),
+			triple.TN(id, "num_of_pubs", float64(i%30)),
+			triple.T(id, "has_published", fmt.Sprintf("title%d", i)))
+		u := fmt.Sprintf("u%d", i)
+		data = append(data,
+			triple.T(u, "title", fmt.Sprintf("title%d", i)),
+			triple.T(u, "published_in", fmt.Sprintf("conf%d", i%10)))
+	}
+	for i := 0; i < 10; i++ {
+		c := fmt.Sprintf("c%d", i)
+		series := "ICDE"
+		if i%2 == 0 {
+			series = "VLDB"
+		}
+		data = append(data,
+			triple.T(c, "confname", fmt.Sprintf("conf%d", i)),
+			triple.T(c, "series", series))
+	}
+	src := &MemSource{Triples: data}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Execute(p, src)
+	}
+}

@@ -1,0 +1,354 @@
+// Package chord implements a Chord-style DHT baseline (consistent
+// hashing on a ring with finger tables) for the comparison the paper
+// draws in §2: uniform hashing destroys data order, so range queries
+// that P-Grid answers by routing to the few covering partitions force
+// Chord to contact every node (absent an additional trie structure on
+// top, which is exactly the paper's point).
+//
+// The implementation supports exact-key lookups in O(log n) hops via
+// finger tables, and range queries only as a full ring broadcast.
+package chord
+
+import (
+	"fmt"
+	"sort"
+
+	"unistore/internal/keys"
+	"unistore/internal/simnet"
+	"unistore/internal/store"
+	"unistore/internal/triple"
+)
+
+// Message kinds.
+const (
+	KindLookup    = "chord.lookup"
+	KindInsert    = "chord.insert"
+	KindResponse  = "chord.resp"
+	KindBroadcast = "chord.bcast"
+)
+
+// ringBits is the identifier space size (2^ringBits points).
+const ringBits = 32
+
+// ringID is a position on the ring.
+type ringID uint32
+
+// hashKey maps a placement key onto the ring uniformly (FNV-1a over the
+// key's bits) — deliberately not order-preserving.
+func hashKey(k keys.Key) ringID {
+	const (
+		offset = 2166136261
+		prime  = 16777619
+	)
+	h := uint32(offset)
+	b, n := k.Bytes()
+	for i := 0; i < (n+7)/8; i++ {
+		h ^= uint32(b[i])
+		h *= prime
+	}
+	return ringID(h)
+}
+
+// Node is one Chord node.
+type Node struct {
+	net     *simnet.Network
+	id      simnet.NodeID
+	ring    ringID
+	pred    ringID   // immediate predecessor's ring position
+	fingers []finger // finger[i] ≈ successor(ring + 2^i)
+	succ    simnet.NodeID
+	store   *store.Store
+
+	reqSeq  uint64
+	pending map[uint64]*pendingOp
+	stats   Stats
+}
+
+type finger struct {
+	start ringID
+	node  simnet.NodeID
+	ring  ringID
+}
+
+// Stats counts per-node protocol activity.
+type Stats struct {
+	Forwarded int
+	Delivered int
+}
+
+type pendingOp struct {
+	entries   []store.Entry
+	hops      int
+	responses int
+	need      int
+	done      bool
+}
+
+// lookupMsg is routed around the ring.
+type lookupMsg struct {
+	QID    uint64
+	Origin simnet.NodeID
+	Target ringID
+	Kind   uint8
+	Key    keys.Key
+	Hops   int
+	// Insert carries an entry to store instead of a key to read.
+	Insert *store.Entry
+}
+
+func (m lookupMsg) WireSize() int { return m.Key.Len()/8 + 24 }
+
+// respMsg answers a lookup or a broadcast branch.
+type respMsg struct {
+	QID     uint64
+	Entries []store.Entry
+	Hops    int
+}
+
+func (m respMsg) WireSize() int {
+	s := 16
+	for _, e := range m.Entries {
+		s += e.WireSize()
+	}
+	return s
+}
+
+// bcastMsg floods a range scan over the ring: each node forwards to its
+// successor until the message returns to the origin ring position.
+type bcastMsg struct {
+	QID    uint64
+	Origin simnet.NodeID
+	Start  ringID
+	R      keys.Range
+	Kind   uint8
+	Hops   int
+}
+
+func (m bcastMsg) WireSize() int { return m.R.Lo.Len()/8 + m.R.Hi.Len()/8 + 24 }
+
+// Build constructs a Chord ring of n nodes with filled finger tables.
+func Build(net *simnet.Network, n int) []*Node {
+	if n <= 0 {
+		panic("chord: Build needs n > 0")
+	}
+	nodes := make([]*Node, n)
+	used := map[ringID]bool{}
+	for i := range nodes {
+		nd := &Node{net: net, store: store.New(), pending: make(map[uint64]*pendingOp)}
+		nd.id = net.AddNode(nd)
+		// Unique pseudo-random ring position from the deterministic rng.
+		for {
+			r := ringID(net.Rand().Uint32())
+			if !used[r] {
+				used[r] = true
+				nd.ring = r
+				break
+			}
+		}
+		nodes[i] = nd
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].ring < nodes[j].ring })
+	// successor pointers and finger tables from global knowledge (the
+	// baseline's steady state; join/stabilize is out of scope).
+	succOf := func(t ringID) *Node {
+		i := sort.Search(len(nodes), func(i int) bool { return nodes[i].ring >= t })
+		if i == len(nodes) {
+			i = 0
+		}
+		return nodes[i]
+	}
+	for i, nd := range nodes {
+		nd.succ = succOf(nd.ring + 1).id
+		nd.pred = nodes[(i+len(nodes)-1)%len(nodes)].ring
+		nd.fingers = nd.fingers[:0]
+		for b := 0; b < ringBits; b++ {
+			start := nd.ring + 1<<uint(b)
+			s := succOf(start)
+			nd.fingers = append(nd.fingers, finger{start: start, node: s.id, ring: s.ring})
+		}
+	}
+	return nodes
+}
+
+// ID returns the node's network address.
+func (nd *Node) ID() simnet.NodeID { return nd.id }
+
+// Ring returns the node's ring position.
+func (nd *Node) Ring() uint32 { return uint32(nd.ring) }
+
+// Store exposes the node's local store.
+func (nd *Node) Store() *store.Store { return nd.store }
+
+// Stats returns protocol counters.
+func (nd *Node) Stats() Stats { return nd.stats }
+
+// between reports whether x lies in the half-open ring interval (a, b].
+func between(a, b, x ringID) bool {
+	if a < b {
+		return x > a && x <= b
+	}
+	return x > a || x <= b
+}
+
+// HandleMessage implements simnet.Handler.
+func (nd *Node) HandleMessage(m simnet.Message) {
+	switch m.Kind {
+	case KindLookup, KindInsert:
+		nd.handleLookup(m.Payload.(lookupMsg))
+	case KindResponse:
+		nd.handleResponse(m.Payload.(respMsg))
+	case KindBroadcast:
+		nd.handleBroadcast(m.Payload.(bcastMsg))
+	}
+}
+
+func (nd *Node) handleLookup(m lookupMsg) {
+	if nd.responsible(m.Target) {
+		nd.stats.Delivered++
+		if m.Insert != nil {
+			nd.store.Apply(*m.Insert)
+			return
+		}
+		entries := nd.store.Lookup(triple.IndexKind(m.Kind), m.Key)
+		nd.net.Send(nd.id, m.Origin, KindResponse, respMsg{QID: m.QID, Entries: entries, Hops: m.Hops})
+		return
+	}
+	nd.forward(m)
+}
+
+// responsible reports whether this node is the successor of t, i.e., t
+// lies in (pred, self].
+func (nd *Node) responsible(t ringID) bool {
+	return between(nd.pred, nd.ring, t)
+}
+
+// forward implements Chord's closest-preceding-finger step: pick the
+// highest finger strictly inside (self, target), else the successor.
+func (nd *Node) forward(m lookupMsg) {
+	m.Hops++
+	nd.stats.Forwarded++
+	for i := len(nd.fingers) - 1; i >= 0; i-- {
+		f := nd.fingers[i]
+		if f.node == nd.id || f.ring == m.Target {
+			continue
+		}
+		if between(nd.ring, m.Target, f.ring) && f.ring != m.Target {
+			nd.net.Send(nd.id, f.node, m.kindOf(), m)
+			return
+		}
+	}
+	nd.net.Send(nd.id, nd.succ, m.kindOf(), m)
+}
+
+func (m lookupMsg) kindOf() string {
+	if m.Insert != nil {
+		return KindInsert
+	}
+	return KindLookup
+}
+
+func (nd *Node) handleResponse(r respMsg) {
+	op, ok := nd.pending[r.QID]
+	if !ok || op.done {
+		return
+	}
+	op.entries = append(op.entries, r.Entries...)
+	op.responses++
+	if r.Hops > op.hops {
+		op.hops = r.Hops
+	}
+	if op.responses >= op.need {
+		op.done = true
+		delete(nd.pending, r.QID)
+	}
+}
+
+func (nd *Node) handleBroadcast(m bcastMsg) {
+	// Serve the local overlap, then pass to the successor until the
+	// ring is closed.
+	var entries []store.Entry
+	nd.store.Scan(triple.IndexKind(m.Kind), m.R, func(e store.Entry) bool {
+		entries = append(entries, e)
+		return true
+	})
+	nd.net.Send(nd.id, m.Origin, KindResponse, respMsg{QID: m.QID, Entries: entries, Hops: m.Hops})
+	next := nd.succNode()
+	if next != m.Origin {
+		m.Hops++
+		nd.net.Send(nd.id, next, KindBroadcast, m)
+	}
+}
+
+func (nd *Node) succNode() simnet.NodeID { return nd.succ }
+
+// --- Client operations ----------------------------------------------------
+
+// Result is the outcome of a Chord operation.
+type Result struct {
+	Entries   []store.Entry
+	Hops      int
+	Responses int
+	Complete  bool
+}
+
+// Insert routes an index entry to its successor node.
+func (nd *Node) Insert(e store.Entry) {
+	m := lookupMsg{Target: hashKey(e.Key), Insert: &e}
+	nd.startLookup(m)
+}
+
+// InsertTriple stores tr under all three UniStore index kinds.
+func (nd *Node) InsertTriple(tr triple.Triple, version uint64) {
+	for _, kind := range triple.AllIndexKinds {
+		nd.Insert(store.Entry{Kind: kind, Key: triple.IndexKey(tr, kind),
+			Triple: tr, Version: version})
+	}
+}
+
+func (nd *Node) startLookup(m lookupMsg) {
+	if nd.responsible(m.Target) {
+		nd.handleLookup(m)
+		return
+	}
+	nd.forward(m)
+}
+
+// LookupSync fetches the entries at placement key k, driving the
+// network until the response arrives.
+func (nd *Node) LookupSync(kind triple.IndexKind, k keys.Key) Result {
+	nd.reqSeq++
+	qid := nd.reqSeq
+	op := &pendingOp{need: 1}
+	nd.pending[qid] = op
+	m := lookupMsg{QID: qid, Origin: nd.id, Target: hashKey(k), Kind: uint8(kind), Key: k}
+	nd.startLookup(m)
+	nd.net.RunWhile(func() bool { return !op.done })
+	return Result{Entries: op.entries, Hops: op.hops, Responses: op.responses, Complete: op.done}
+}
+
+// RangeQuerySync answers a key range query — necessarily by visiting
+// every node on the ring, since uniform hashing scatters adjacent keys.
+func (nd *Node) RangeQuerySync(kind triple.IndexKind, r keys.Range, ringSize int) Result {
+	nd.reqSeq++
+	qid := nd.reqSeq
+	op := &pendingOp{need: ringSize}
+	nd.pending[qid] = op
+	// Serve locally, then circulate.
+	var local []store.Entry
+	nd.store.Scan(kind, r, func(e store.Entry) bool { local = append(local, e); return true })
+	op.entries = append(op.entries, local...)
+	op.responses++
+	if ringSize > 1 {
+		nd.net.Send(nd.id, nd.succ, KindBroadcast,
+			bcastMsg{QID: qid, Origin: nd.id, Start: nd.ring, R: r, Kind: uint8(kind)})
+	} else {
+		op.done = true
+	}
+	nd.net.RunWhile(func() bool { return !op.done })
+	return Result{Entries: op.entries, Hops: op.hops, Responses: op.responses, Complete: op.done}
+}
+
+// String renders the node.
+func (nd *Node) String() string {
+	return fmt.Sprintf("chord{id=%d ring=%08x}", nd.id, nd.ring)
+}

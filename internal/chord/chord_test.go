@@ -1,0 +1,150 @@
+package chord
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"unistore/internal/simnet"
+	"unistore/internal/triple"
+)
+
+func newNet(seed int64) *simnet.Network {
+	return simnet.New(simnet.Config{Latency: simnet.ConstantLatency(time.Millisecond), Seed: seed})
+}
+
+func TestBuildRing(t *testing.T) {
+	net := newNet(1)
+	nodes := Build(net, 32)
+	if len(nodes) != 32 {
+		t.Fatalf("built %d nodes", len(nodes))
+	}
+	// Ring positions strictly increasing (sorted by Build).
+	for i := 1; i < len(nodes); i++ {
+		if nodes[i].Ring() <= nodes[i-1].Ring() {
+			t.Fatal("ring positions must be unique and sorted")
+		}
+	}
+}
+
+func TestInsertLookup(t *testing.T) {
+	net := newNet(2)
+	nodes := Build(net, 16)
+	tr := triple.T("a12", "confname", "ICDE 2006 - Workshops")
+	nodes[0].InsertTriple(tr, 1)
+	net.Run()
+	for _, nd := range nodes {
+		res := nd.LookupSync(triple.ByAV, triple.AVKey("confname", triple.S("ICDE 2006 - Workshops")))
+		if !res.Complete || len(res.Entries) != 1 || !res.Entries[0].Triple.Equal(tr) {
+			t.Fatalf("lookup from node %v failed: %+v", nd, res)
+		}
+	}
+}
+
+func TestLookupHopsLogarithmic(t *testing.T) {
+	for _, n := range []int{16, 64, 256} {
+		net := newNet(3)
+		nodes := Build(net, n)
+		tr := triple.T("x", "year", "2006")
+		nodes[0].InsertTriple(tr, 1)
+		net.Run()
+		key := triple.AVKey("year", triple.S("2006"))
+		sum := 0
+		for _, nd := range nodes {
+			res := nd.LookupSync(triple.ByAV, key)
+			if !res.Complete {
+				t.Fatalf("n=%d: incomplete", n)
+			}
+			sum += res.Hops
+		}
+		avg := float64(sum) / float64(n)
+		bound := 2 * math.Log2(float64(n))
+		if avg > bound {
+			t.Errorf("n=%d: avg hops %.2f exceeds 2·log2(n)=%.2f", n, avg, bound)
+		}
+	}
+}
+
+func TestRangeQueryVisitsEveryNode(t *testing.T) {
+	net := newNet(4)
+	nodes := Build(net, 24)
+	for y := 1990; y < 2010; y++ {
+		nodes[y%24].InsertTriple(triple.TN(fmt.Sprintf("p%d", y), "year", float64(y)), 1)
+	}
+	net.Run()
+	lo, hi := triple.N(1995), triple.N(2000)
+	res := nodes[7].RangeQuerySync(triple.ByAV, triple.AVRange("year", lo, &hi), 24)
+	if !res.Complete {
+		t.Fatal("range query incomplete")
+	}
+	if res.Responses != 24 {
+		t.Errorf("range visited %d nodes, want all 24 (Chord cannot prune)", res.Responses)
+	}
+	if len(res.Entries) != 5 {
+		t.Errorf("range returned %d entries, want 5", len(res.Entries))
+	}
+	for _, e := range res.Entries {
+		if y := e.Triple.Val.Num; y < 1995 || y >= 2000 {
+			t.Errorf("out-of-range year %v", y)
+		}
+	}
+}
+
+func TestUniformHashingScattersAdjacentKeys(t *testing.T) {
+	// The motivating contrast with P-Grid: consecutive years map to
+	// unrelated ring positions.
+	k1 := hashKey(triple.AVKey("year", triple.N(2005)))
+	k2 := hashKey(triple.AVKey("year", triple.N(2006)))
+	k3 := hashKey(triple.AVKey("year", triple.N(2007)))
+	if k1 < k2 && k2 < k3 {
+		// Monotone by coincidence is possible but three in a row with
+		// small gaps would suggest order preservation.
+		if k2-k1 < 1<<16 && k3-k2 < 1<<16 {
+			t.Error("hashKey appears to preserve order; baseline must scatter")
+		}
+	}
+}
+
+func TestSingleNodeRing(t *testing.T) {
+	net := newNet(5)
+	nodes := Build(net, 1)
+	nd := nodes[0]
+	nd.InsertTriple(triple.T("solo", "name", "only"), 1)
+	net.Run()
+	res := nd.LookupSync(triple.ByAV, triple.AVKey("name", triple.S("only")))
+	if !res.Complete || len(res.Entries) != 1 {
+		t.Fatalf("single-node lookup: %+v", res)
+	}
+	r := nd.RangeQuerySync(triple.ByAV, triple.AVPrefixRange("name"), 1)
+	if !r.Complete || len(r.Entries) != 1 {
+		t.Fatalf("single-node range: %+v", r)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	net := newNet(6)
+	nodes := Build(net, 8)
+	nodes[0].InsertTriple(triple.T("s", "a", "v"), 1)
+	net.Run()
+	nodes[3].LookupSync(triple.ByAV, triple.AVKey("a", triple.S("v")))
+	total := 0
+	for _, nd := range nodes {
+		total += nd.Stats().Delivered
+	}
+	if total == 0 {
+		t.Error("no deliveries recorded")
+	}
+}
+
+func BenchmarkChordLookup64(b *testing.B) {
+	net := newNet(7)
+	nodes := Build(net, 64)
+	nodes[0].InsertTriple(triple.T("x", "year", "2006"), 1)
+	net.Run()
+	key := triple.AVKey("year", triple.S("2006"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nodes[i%64].LookupSync(triple.ByAV, key)
+	}
+}

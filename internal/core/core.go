@@ -1,0 +1,389 @@
+// Package core assembles UniStore's triple storage layer (paper Fig. 1)
+// from its substrates: a simulated network (simnet), the P-Grid overlay
+// (pgrid), the per-peer storage service (store), the VQL analyzer
+// (vql + algebra), the query executor with mutant plans (physical), the
+// cost-based adaptive optimizer (optimizer), and schema mappings
+// (schema). A Cluster is a whole universal storage — the unit the
+// examples, tools and experiments drive.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"unistore/internal/algebra"
+	"unistore/internal/cost"
+	"unistore/internal/keys"
+	"unistore/internal/optimizer"
+	"unistore/internal/pgrid"
+	"unistore/internal/physical"
+	"unistore/internal/schema"
+	"unistore/internal/simnet"
+	"unistore/internal/triple"
+	"unistore/internal/vql"
+)
+
+// LatencyProfile selects the simulated network's delay model.
+type LatencyProfile string
+
+// Latency profiles.
+const (
+	LatencyConstant  LatencyProfile = "constant"  // 1ms fixed (hop counting)
+	LatencyLAN       LatencyProfile = "lan"       // local cluster
+	LatencyWAN       LatencyProfile = "wan"       // generic wide area
+	LatencyPlanetLab LatencyProfile = "planetlab" // the paper's testbed
+)
+
+func (p LatencyProfile) model() simnet.LatencyModel {
+	switch p {
+	case LatencyLAN:
+		return simnet.LANLatency()
+	case LatencyWAN:
+		return simnet.NewPairwiseLatency(simnet.WANLatency(), simnet.LANLatency())
+	case LatencyPlanetLab:
+		return simnet.NewPairwiseLatency(simnet.PlanetLabLatency(), simnet.LANLatency())
+	default:
+		return simnet.ConstantLatency(time.Millisecond)
+	}
+}
+
+// Config parameterizes a Cluster.
+type Config struct {
+	// Peers is the number of key-space partitions (default 16).
+	Peers int
+	// Replicas is the replica-group size per partition (default 1).
+	Replicas int
+	// Latency selects the delay model (default constant 1ms).
+	Latency LatencyProfile
+	// LossRate drops messages with this probability.
+	LossRate float64
+	// Seed drives all randomness (default 1).
+	Seed int64
+	// EnableQGram maintains the distributed q-gram index on inserts.
+	EnableQGram bool
+	// Optimizer tunes plan selection; zero value = DefaultOptions.
+	Optimizer optimizer.Options
+	// DisableOptimizer executes plans exactly as compiled.
+	DisableOptimizer bool
+	// AntiEntropy enables periodic replica reconciliation.
+	AntiEntropy time.Duration
+	// AdaptiveSamples, when non-nil, builds the trie adapted to this
+	// key sample (load balancing under skew) instead of peer-balanced.
+	AdaptiveSamples []keys.Key
+}
+
+func (c Config) withDefaults() Config {
+	if c.Peers <= 0 {
+		c.Peers = 16
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Optimizer == (optimizer.Options{}) {
+		c.Optimizer = optimizer.DefaultOptions()
+	}
+	if c.DisableOptimizer {
+		c.Optimizer.Disabled = true
+	}
+	return c
+}
+
+// Cluster is a running universal storage: the simulated network, the
+// overlay peers, and a query engine per peer.
+type Cluster struct {
+	cfg     Config
+	net     *simnet.Network
+	peers   []*pgrid.Peer
+	engines []*physical.Engine
+	opt     *optimizer.Optimizer
+	stats   *cost.Stats
+	clock   uint64
+}
+
+// NewCluster builds and wires a cluster.
+func NewCluster(cfg Config) *Cluster {
+	cfg = cfg.withDefaults()
+	net := simnet.New(simnet.Config{
+		Latency:  cfg.Latency.model(),
+		LossRate: cfg.LossRate,
+		Seed:     cfg.Seed,
+	})
+	pcfg := pgrid.DefaultConfig()
+	if cfg.AntiEntropy > 0 {
+		pcfg.AntiEntropyEvery = int64(cfg.AntiEntropy)
+	}
+	var peers []*pgrid.Peer
+	if cfg.AdaptiveSamples != nil {
+		peers = pgrid.BuildAdaptive(net, cfg.Peers, cfg.Replicas, cfg.AdaptiveSamples, pcfg)
+	} else {
+		peers = pgrid.BuildBalanced(net, cfg.Peers, cfg.Replicas, pcfg)
+	}
+	stats := cost.DefaultStats(cfg.Peers)
+	stats.Replicas = cfg.Replicas
+	stats.TotalTriples = 0
+	opt := optimizer.New(stats, cfg.Optimizer)
+	c := &Cluster{cfg: cfg, net: net, peers: peers, opt: opt, stats: stats}
+	for _, p := range peers {
+		c.engines = append(c.engines, physical.NewEngine(p, opt))
+	}
+	return c
+}
+
+// Net exposes the simulated network (experiment instrumentation).
+func (c *Cluster) Net() *simnet.Network { return c.net }
+
+// Peers returns the overlay peers.
+func (c *Cluster) Peers() []*pgrid.Peer { return c.peers }
+
+// Stats returns the optimizer's statistics snapshot.
+func (c *Cluster) Stats() *cost.Stats { return c.stats }
+
+// Size returns the number of peers.
+func (c *Cluster) Size() int { return len(c.peers) }
+
+// nextVersion issues a cluster-wide write version.
+func (c *Cluster) nextVersion() uint64 {
+	c.clock++
+	return c.clock
+}
+
+// --- Data ingestion ---------------------------------------------------------
+
+// Insert stores triples from an arbitrary peer and drains the network
+// (all index entries and replicas placed). Statistics update so the
+// optimizer sees real attribute cardinalities.
+func (c *Cluster) Insert(ts ...triple.Triple) {
+	c.InsertFrom(int(c.net.Rand().Int63())%len(c.peers), ts...)
+}
+
+// InsertFrom stores triples entering the system at a specific peer.
+func (c *Cluster) InsertFrom(peerIdx int, ts ...triple.Triple) {
+	p := c.peers[peerIdx%len(c.peers)]
+	v := c.nextVersion()
+	for _, tr := range ts {
+		p.InsertTriple(tr, v)
+		if c.cfg.EnableQGram {
+			physical.InsertGrams(p, tr, v)
+		}
+		c.stats.TriplesPerAttr[tr.Attr]++
+		c.stats.TotalTriples++
+	}
+	c.net.Settle()
+}
+
+// InsertTuple decomposes and stores one logical tuple.
+func (c *Cluster) InsertTuple(tp *triple.Tuple) {
+	c.Insert(tp.Triples()...)
+}
+
+// Update overwrites fact (oid, attr) with a new value at a fresh
+// version; replicas converge by gossip/anti-entropy.
+func (c *Cluster) Update(tr triple.Triple) {
+	p := c.peers[int(c.net.Rand().Int63())%len(c.peers)]
+	v := c.nextVersion()
+	p.InsertTriple(tr, v)
+	if c.cfg.EnableQGram {
+		physical.InsertGrams(p, tr, v)
+	}
+	c.net.Settle()
+}
+
+// Delete tombstones fact (oid, attr).
+func (c *Cluster) Delete(oid, attr string) {
+	p := c.peers[int(c.net.Rand().Int63())%len(c.peers)]
+	p.DeleteTriple(oid, attr, c.nextVersion())
+	c.net.Settle()
+}
+
+// AddMapping publishes an attribute correspondence into the overlay.
+func (c *Cluster) AddMapping(m schema.Mapping) {
+	c.Insert(m.Triples(triple.GenerateOID("map"))...)
+}
+
+// --- Querying ----------------------------------------------------------------
+
+// Result is a completed query: bindings plus execution metrics.
+type Result struct {
+	Bindings []algebra.Binding
+	Vars     []string
+	Elapsed  time.Duration // simulated time
+	Messages int
+	Hops     int
+	Plan     string
+}
+
+// Rows renders the bindings as string rows following Vars order — the
+// demo UI's result tab.
+func (r *Result) Rows() [][]string {
+	rows := make([][]string, 0, len(r.Bindings))
+	for _, b := range r.Bindings {
+		row := make([]string, len(r.Vars))
+		for i, v := range r.Vars {
+			if val, ok := b[v]; ok {
+				row[i] = val.String()
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// Query parses and executes VQL from a random peer.
+func (c *Cluster) Query(src string) (*Result, error) {
+	return c.QueryFrom(int(c.net.Rand().Int63())%len(c.peers), src)
+}
+
+// QueryFrom executes VQL originating at a specific peer.
+func (c *Cluster) QueryFrom(peerIdx int, src string) (*Result, error) {
+	q, err := vql.ParseQuery(src)
+	if err != nil {
+		return nil, err
+	}
+	return c.execQuery(peerIdx, q)
+}
+
+func (c *Cluster) execQuery(peerIdx int, q *vql.Query) (*Result, error) {
+	plan, err := physical.CompileQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	c.opt.Optimize(plan)
+	eng := c.engines[peerIdx%len(c.engines)]
+	before := c.net.Stats().MessagesSent
+	bs, ex := eng.RunPlan(plan)
+	res := &Result{
+		Bindings: bs,
+		Vars:     resultVars(q),
+		Elapsed:  ex.Elapsed(),
+		Messages: c.net.Stats().MessagesSent - before,
+		Hops:     ex.MaxHops,
+		Plan:     plan.String(),
+	}
+	return res, nil
+}
+
+// QueryWithMappings answers a query over heterogeneous schemas: it
+// first retrieves all correspondence triples from the overlay, then
+// executes every rewriting of the query and unites the results — the
+// paper's "automatically by the system" path.
+func (c *Cluster) QueryWithMappings(src string) (*Result, error) {
+	q, err := vql.ParseQuery(src)
+	if err != nil {
+		return nil, err
+	}
+	peerIdx := int(c.net.Rand().Int63()) % len(c.peers)
+	mapRes, err := c.execQuery(peerIdx, schema.MappingQuery())
+	if err != nil {
+		return nil, err
+	}
+	var mappings []schema.Mapping
+	for _, b := range mapRes.Bindings {
+		mappings = append(mappings, schema.Mapping{
+			From: b["f"].Str, To: b["t"].Str,
+		})
+	}
+	closure := schema.NewClosure(mappings)
+	// Ranking, ordering, limiting and projection must apply to the
+	// UNION of the variants' bindings, not per variant (a union of
+	// skylines is not the skyline of the union) — so the variants run
+	// without the tail clauses, which are applied afterwards.
+	tail := physical.Tail{
+		Skyline: q.Skyline,
+		OrderBy: q.OrderBy,
+		TopN:    q.Top,
+		Limit:   q.Limit,
+		Project: q.Select,
+	}
+	stripped := *q
+	stripped.Skyline = nil
+	stripped.OrderBy = nil
+	stripped.Limit = 0
+	stripped.Top = false
+	stripped.Select = nil
+	variants := schema.Rewrite(&stripped, closure)
+	union := &Result{Vars: resultVars(q)}
+	seen := map[string]bool{}
+	for _, v := range variants {
+		r, err := c.execQuery(peerIdx, v)
+		if err != nil {
+			return nil, err
+		}
+		union.Messages += r.Messages
+		if r.Elapsed > union.Elapsed {
+			union.Elapsed = r.Elapsed
+		}
+		for _, b := range r.Bindings {
+			k := bindingKey(b)
+			if !seen[k] {
+				seen[k] = true
+				union.Bindings = append(union.Bindings, b)
+			}
+		}
+	}
+	union.Messages += mapRes.Messages
+	union.Bindings = tail.Apply(union.Bindings)
+	return union, nil
+}
+
+func bindingKey(b algebra.Binding) string {
+	var vars []string
+	for k := range b {
+		vars = append(vars, k)
+	}
+	sort.Strings(vars)
+	var sb strings.Builder
+	for _, v := range vars {
+		sb.WriteString(v + "=" + b[v].Lexical() + ";")
+	}
+	return sb.String()
+}
+
+func resultVars(q *vql.Query) []string {
+	if len(q.Select) > 0 {
+		return q.Select
+	}
+	return q.Vars()
+}
+
+// --- Introspection (the demo UI's inspection tabs) ---------------------------
+
+// LocalData returns the triples stored at one peer — "inspect the
+// local data".
+func (c *Cluster) LocalData(peerIdx int) []triple.Triple {
+	return c.peers[peerIdx%len(c.peers)].Store().All()
+}
+
+// RoutingTable renders one peer's routing table — "inspect the locally
+// built routing tables".
+func (c *Cluster) RoutingTable(peerIdx int) string {
+	p := c.peers[peerIdx%len(c.peers)]
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "peer %d path=%s replicas=%d\n", p.ID(), p.Path(), len(p.Replicas()))
+	for l := 0; l < p.Levels(); l++ {
+		fmt.Fprintf(&sb, "  level %d:", l)
+		for _, r := range p.Refs(l) {
+			fmt.Fprintf(&sb, " %d(%s)", r.ID, r.Path)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// StorageLoad returns per-peer live entry counts — the load-balancing
+// measurements.
+func (c *Cluster) StorageLoad() []int {
+	out := make([]int, len(c.peers))
+	for i, p := range c.peers {
+		out[i] = p.Store().Len()
+	}
+	return out
+}
+
+// Kill and Revive drive churn experiments.
+func (c *Cluster) Kill(peerIdx int)   { c.net.Kill(c.peers[peerIdx%len(c.peers)].ID()) }
+func (c *Cluster) Revive(peerIdx int) { c.net.Revive(c.peers[peerIdx%len(c.peers)].ID()) }

@@ -1,0 +1,192 @@
+// Package cost implements UniStore's cost model (companion paper [5],
+// "Cost-Aware Processing of Similarity Queries in Structured Overlays"):
+// per-operator message, hop and latency estimates derived from the
+// overlay's guarantees (prefix routing resolves a key in ≈log₂ P hops
+// for P partitions) and from data statistics. The optimizer compares
+// physical alternatives with these estimates, and every peer hosting a
+// mutant query plan re-evaluates them with its own view — the paper's
+// adaptive query processing.
+package cost
+
+import (
+	"math"
+	"time"
+)
+
+// Stats is the statistics snapshot cost formulas consume. Peers
+// estimate Partitions from their own trie depth (2^len(path)); data
+// statistics come from probe queries or are maintained by the harness.
+type Stats struct {
+	// Partitions is the estimated number of key-space partitions.
+	Partitions int
+	// Replicas is the replica-group size per partition.
+	Replicas int
+	// TriplesPerAttr estimates how many triples an attribute has
+	// (universal-relation column cardinality).
+	TriplesPerAttr map[string]int
+	// DefaultAttrCount is used for attributes with no recorded count.
+	DefaultAttrCount int
+	// TotalTriples is the estimated corpus size.
+	TotalTriples int
+	// AvgLatency is the expected one-hop delay of the network.
+	AvgLatency time.Duration
+}
+
+// DefaultStats returns a conservative snapshot for a network with the
+// given partition count.
+func DefaultStats(partitions int) *Stats {
+	return &Stats{
+		Partitions:       max(partitions, 1),
+		Replicas:         1,
+		TriplesPerAttr:   make(map[string]int),
+		DefaultAttrCount: 1000,
+		TotalTriples:     10000,
+		AvgLatency:       50 * time.Millisecond,
+	}
+}
+
+// AttrCount returns the estimated triple count for an attribute.
+func (s *Stats) AttrCount(attr string) int {
+	if c, ok := s.TriplesPerAttr[attr]; ok {
+		return c
+	}
+	return s.DefaultAttrCount
+}
+
+// LookupHops is the expected routing distance to one key: log₂ P.
+func (s *Stats) LookupHops() float64 {
+	if s.Partitions <= 1 {
+		return 0
+	}
+	return math.Log2(float64(s.Partitions))
+}
+
+// PartitionsForFraction estimates how many partitions a key range
+// covering `fraction` of an attribute's region touches. At least one
+// partition always answers.
+func (s *Stats) PartitionsForFraction(fraction float64) float64 {
+	if fraction < 0 {
+		fraction = 0
+	}
+	if fraction > 1 {
+		fraction = 1
+	}
+	p := fraction * float64(s.Partitions)
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// Estimate is a predicted operator cost. Messages is the network load
+// measure the optimizer minimizes by default; Latency is the predicted
+// wall-clock (simulated) time assuming parallel branches overlap.
+type Estimate struct {
+	Messages float64
+	Latency  time.Duration
+	// Results is the estimated number of bindings produced.
+	Results float64
+}
+
+// Plus composes sequential costs.
+func (e Estimate) Plus(o Estimate) Estimate {
+	return Estimate{
+		Messages: e.Messages + o.Messages,
+		Latency:  e.Latency + o.Latency,
+		Results:  o.Results, // sequential composition: downstream wins
+	}
+}
+
+// lat scales the average latency by a hop count.
+func (s *Stats) lat(hops float64) time.Duration {
+	return time.Duration(hops * float64(s.AvgLatency))
+}
+
+// Lookup estimates one exact-key lookup: route + direct response.
+func (s *Stats) Lookup(expectedResults float64) Estimate {
+	h := s.LookupHops()
+	return Estimate{
+		Messages: h + 1,
+		Latency:  s.lat(h + 1),
+		Results:  expectedResults,
+	}
+}
+
+// MultiLookup estimates k parallel lookups (index-nested-loop probes).
+func (s *Stats) MultiLookup(k int, expectedResults float64) Estimate {
+	h := s.LookupHops()
+	return Estimate{
+		Messages: float64(k) * (h + 1),
+		Latency:  s.lat(h + 1), // parallel
+		Results:  expectedResults,
+	}
+}
+
+// Range estimates a shower range query covering `fraction` of an
+// attribute region: routing to the region plus one message per covered
+// partition and one response per partition.
+func (s *Stats) Range(fraction float64, expectedResults float64) Estimate {
+	h := s.LookupHops()
+	p := s.PartitionsForFraction(fraction)
+	return Estimate{
+		Messages: h + (p - 1) + p, // descent + fan-out + responses
+		Latency:  s.lat(h + math.Log2(p+1) + 1),
+		Results:  expectedResults,
+	}
+}
+
+// Broadcast estimates a full-network scan: every partition receives the
+// query and responds.
+func (s *Stats) Broadcast(expectedResults float64) Estimate {
+	p := float64(s.Partitions)
+	return Estimate{
+		Messages: 2*p - 1,
+		Latency:  s.lat(math.Log2(p+1) + 1),
+		Results:  expectedResults,
+	}
+}
+
+// QGramSearch estimates the q-gram access path for edist(v, c) <= k:
+// one range query per gram of the target plus one verification lookup
+// per expected candidate.
+func (s *Stats) QGramSearch(targetLen, q, k int, candidates float64) Estimate {
+	grams := float64(targetLen + q - 1)
+	perGram := s.Range(1.0/float64(max(s.Partitions, 1)), 0)
+	total := Estimate{
+		Messages: grams * perGram.Messages,
+		Latency:  perGram.Latency, // grams in parallel
+	}
+	probe := s.MultiLookup(int(candidates)+1, candidates)
+	total.Messages += probe.Messages
+	total.Latency += probe.Latency
+	total.Results = candidates
+	return total
+}
+
+// Ship estimates migrating a mutant plan with `bindings` intermediate
+// results to the next region: one routed payload carrying the state.
+func (s *Stats) Ship(bindings float64) Estimate {
+	h := s.LookupHops()
+	return Estimate{
+		Messages: h,
+		Latency:  s.lat(h),
+		Results:  bindings,
+	}
+}
+
+// Selectivity heuristics for the optimizer, mirroring classic System-R
+// constants adapted to the triple model.
+const (
+	// EqSelectivity is the fraction of an attribute's triples matching
+	// an equality on its value.
+	EqSelectivity = 0.01
+	// RangeSelectivity is the default fraction for one-sided ranges.
+	RangeSelectivity = 0.3
+)
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

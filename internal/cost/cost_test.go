@@ -1,0 +1,96 @@
+package cost
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestLookupHopsLogarithmic(t *testing.T) {
+	s := DefaultStats(1024)
+	if got := s.LookupHops(); math.Abs(got-10) > 1e-9 {
+		t.Errorf("log2(1024) = %v", got)
+	}
+	if DefaultStats(1).LookupHops() != 0 {
+		t.Error("single partition routes in zero hops")
+	}
+}
+
+func TestEstimatesScale(t *testing.T) {
+	small, big := DefaultStats(16), DefaultStats(1024)
+	if small.Lookup(1).Messages >= big.Lookup(1).Messages {
+		t.Error("lookup cost must grow with network size")
+	}
+	// Broadcast is linear, lookup logarithmic: the gap must widen.
+	gapSmall := small.Broadcast(0).Messages / small.Lookup(1).Messages
+	gapBig := big.Broadcast(0).Messages / big.Lookup(1).Messages
+	if gapBig <= gapSmall {
+		t.Errorf("broadcast/lookup gap must widen: %v vs %v", gapSmall, gapBig)
+	}
+}
+
+func TestRangeBetweenLookupAndBroadcast(t *testing.T) {
+	s := DefaultStats(256)
+	lk := s.Lookup(1).Messages
+	rg := s.Range(0.1, 100).Messages
+	bc := s.Broadcast(1000).Messages
+	if !(lk < rg && rg < bc) {
+		t.Errorf("expected lookup(%v) < range(%v) < broadcast(%v)", lk, rg, bc)
+	}
+}
+
+func TestRangeFractionClamped(t *testing.T) {
+	s := DefaultStats(64)
+	if s.PartitionsForFraction(-1) != 1 || s.PartitionsForFraction(0) != 1 {
+		t.Error("at least one partition answers any range")
+	}
+	if s.PartitionsForFraction(2) != 64 {
+		t.Error("fraction must clamp to 1")
+	}
+}
+
+func TestMultiLookupParallelLatency(t *testing.T) {
+	s := DefaultStats(256)
+	one := s.Lookup(1)
+	many := s.MultiLookup(10, 10)
+	if many.Latency != one.Latency {
+		t.Error("parallel probes share latency")
+	}
+	if many.Messages != 10*one.Messages {
+		t.Error("parallel probes multiply messages")
+	}
+}
+
+func TestQGramCheaperThanBroadcastOnBigNetworks(t *testing.T) {
+	s := DefaultStats(512)
+	qg := s.QGramSearch(4, 3, 2, 10)
+	bc := s.Broadcast(10)
+	if qg.Messages >= bc.Messages {
+		t.Errorf("q-gram (%v msgs) must beat broadcast (%v msgs) at 512 partitions",
+			qg.Messages, bc.Messages)
+	}
+}
+
+func TestPlusComposition(t *testing.T) {
+	a := Estimate{Messages: 5, Latency: time.Second, Results: 100}
+	b := Estimate{Messages: 7, Latency: 2 * time.Second, Results: 3}
+	c := a.Plus(b)
+	if c.Messages != 12 || c.Latency != 3*time.Second || c.Results != 3 {
+		t.Errorf("Plus = %+v", c)
+	}
+}
+
+func TestAttrCountFallback(t *testing.T) {
+	s := DefaultStats(8)
+	s.TriplesPerAttr["name"] = 42
+	if s.AttrCount("name") != 42 || s.AttrCount("unknown") != s.DefaultAttrCount {
+		t.Error("attribute count lookup")
+	}
+}
+
+func TestShipCost(t *testing.T) {
+	s := DefaultStats(256)
+	if s.Ship(100).Messages != s.LookupHops() {
+		t.Error("shipping a plan costs one routed payload")
+	}
+}

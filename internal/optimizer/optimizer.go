@@ -1,0 +1,437 @@
+// Package optimizer implements UniStore's cost-based plan selection:
+// choosing among the physical implementations of each logical operator
+// (lookup vs. range vs. broadcast vs. q-gram access paths), ordering
+// the join steps by estimated cost, and deciding where mutant plans
+// migrate. Because the same optimizer runs again at every peer hosting
+// a migrated plan — with that peer's own statistics — query processing
+// is adaptive, as §2 of the paper describes.
+package optimizer
+
+import (
+	"math"
+
+	"unistore/internal/cost"
+	"unistore/internal/pgrid"
+	"unistore/internal/physical"
+	"unistore/internal/triple"
+	"unistore/internal/vql"
+)
+
+// Mode controls mutant plan migration.
+type Mode int
+
+// Modes.
+const (
+	// ModeAuto ships the plan when intermediate results are small
+	// enough that moving the plan beats moving the data.
+	ModeAuto Mode = iota
+	// ModeFetch always pulls data to the coordinating peer.
+	ModeFetch
+	// ModeShip always migrates the plan to the next step's region.
+	ModeShip
+)
+
+// Options tune the optimizer; the demo's "influencing the integrated
+// optimizer" (§4) maps to these knobs.
+type Options struct {
+	Mode Mode
+	// UseQGram enables the q-gram access path for similarity
+	// predicates (requires the gram index to be populated).
+	UseQGram bool
+	// Disabled turns cost-based reordering off: the plan executes in
+	// compiled order with shape-default strategies.
+	Disabled bool
+	// ForceStrategy overrides the strategy of every step it can apply
+	// to (experiment plan variants). StratAuto means no override.
+	ForceStrategy physical.AccessStrategy
+	// ShipThreshold is the binding count below which ModeAuto ships.
+	ShipThreshold int
+}
+
+// DefaultOptions returns the standard configuration.
+func DefaultOptions() Options {
+	return Options{Mode: ModeAuto, UseQGram: true, ShipThreshold: 64}
+}
+
+// Optimizer holds statistics and options; it implements
+// physical.Reoptimizer.
+type Optimizer struct {
+	Stats *cost.Stats
+	Opt   Options
+}
+
+// New creates an optimizer over a statistics snapshot.
+func New(stats *cost.Stats, opt Options) *Optimizer {
+	if opt.ShipThreshold == 0 {
+		opt.ShipThreshold = 64
+	}
+	return &Optimizer{Stats: stats, Opt: opt}
+}
+
+// Optimize rewrites a compiled plan in place: strategy selection, join
+// ordering and ship decisions. It returns the plan for chaining.
+func (o *Optimizer) Optimize(p *physical.Plan) *physical.Plan {
+	p.Steps = o.order(p.Steps, 0)
+	return p
+}
+
+// Rechoose implements physical.Reoptimizer: a peer hosting a migrated
+// plan re-optimizes the remaining steps with its local view. The
+// partition estimate derives from the peer's own trie depth — a purely
+// local approximation of network size.
+func (o *Optimizer) Rechoose(steps []physical.Step, bindingCount int, peer *pgrid.Peer) []physical.Step {
+	if o.Opt.Disabled || len(steps) <= 1 {
+		return steps
+	}
+	local := *o.Stats
+	if d := peer.Path().Len(); d > 0 {
+		local.Partitions = 1 << uint(min(d, 20))
+	}
+	lo := &Optimizer{Stats: &local, Opt: o.Opt}
+	// The first step is pinned: we are already at (or heading to) its
+	// region.
+	rest := lo.order(steps[1:], float64(bindingCount))
+	out := make([]physical.Step, 0, len(steps))
+	out = append(out, steps[0])
+	out = append(out, rest...)
+	return out
+}
+
+// order greedily sequences steps by estimated cost, recomputing join
+// variables, filter attachment and ship flags for the new order.
+// prevCard seeds the cardinality estimate (bindings already present).
+func (o *Optimizer) order(steps []physical.Step, prevCard float64) []physical.Step {
+	if len(steps) == 0 {
+		return steps
+	}
+	if o.Opt.Disabled {
+		// Strategies only (shape defaults + forced override), original
+		// order, no shipping.
+		out := make([]physical.Step, len(steps))
+		copy(out, steps)
+		for i := range out {
+			out[i].Strat = o.chooseStrategy(out[i], i > 0 || prevCard > 0)
+			out[i].Ship = false
+		}
+		return out
+	}
+	// Pool all predicates; they re-attach as variables become bound.
+	type pooled struct {
+		pat     vql.Pattern
+		filters []vql.Expr
+		sims    []physical.SimSpec
+	}
+	pool := make([]pooled, len(steps))
+	var allFilters []vql.Expr
+	var allSims []physical.SimSpec
+	for i, st := range steps {
+		pool[i] = pooled{pat: st.Pat}
+		allFilters = append(allFilters, st.Filters...)
+		allSims = append(allSims, st.Sims...)
+	}
+	bound := map[string]bool{}
+	if prevCard > 0 {
+		// Variables bound by earlier (already-executed) steps are
+		// unknown here; treat shared variables optimistically by
+		// seeding nothing — join vars with prior bindings are
+		// recomputed at runtime anyway.
+		_ = prevCard
+	}
+	usedFilters := make([]bool, len(allFilters))
+	usedSims := make([]bool, len(allSims))
+	remaining := make([]int, len(pool))
+	for i := range remaining {
+		remaining[i] = i
+	}
+	var out []physical.Step
+	card := math.Max(prevCard, 1)
+	for len(remaining) > 0 {
+		bestIdx, bestCost := -1, math.Inf(1)
+		var bestEst cost.Estimate
+		for _, ri := range remaining {
+			st := physical.Step{Pat: pool[ri].pat, Sims: simsFor(pool[ri].pat, allSims, usedSims)}
+			strat := o.chooseStrategy(st, len(out) > 0)
+			est := o.estimate(strat, st, card, connected(pool[ri].pat, bound))
+			// Prefer connected, cheap, selective steps.
+			c := est.Messages + est.Results*0.1
+			if !connected(pool[ri].pat, bound) && len(bound) > 0 {
+				c *= 100 // cartesian products last
+			}
+			if c < bestCost {
+				bestCost, bestIdx, bestEst = c, ri, est
+			}
+		}
+		// Build the chosen step.
+		pat := pool[bestIdx].pat
+		st := physical.Step{Pat: pat}
+		for _, v := range pat.Vars() {
+			if bound[v] {
+				st.JoinOn = append(st.JoinOn, v)
+			}
+		}
+		st.Sims = takeSims(pat, allSims, usedSims, bound)
+		st.Strat = o.chooseStrategy(st, len(out) > 0)
+		for _, v := range pat.Vars() {
+			bound[v] = true
+		}
+		// Attach every filter whose variables are now bound.
+		for fi, f := range allFilters {
+			if usedFilters[fi] {
+				continue
+			}
+			if filterCovered(f, bound) {
+				usedFilters[fi] = true
+				st.Filters = append(st.Filters, f)
+			}
+		}
+		// Push startswith(?v,'p') into the range scan: with the
+		// order-preserving hash, the matching values form one
+		// contiguous key interval (the paper's native prefix search).
+		if st.Strat == physical.StratAVRange {
+			st.ValuePrefix = prefixFor(st)
+		}
+		// Ship decision.
+		switch o.Opt.Mode {
+		case ModeShip:
+			st.Ship = len(out) > 0
+		case ModeAuto:
+			st.Ship = len(out) > 0 && card <= float64(o.Opt.ShipThreshold)
+		}
+		out = append(out, st)
+		card = math.Max(bestEst.Results, 1)
+		// Drop from remaining.
+		for i, ri := range remaining {
+			if ri == bestIdx {
+				remaining = append(remaining[:i], remaining[i+1:]...)
+				break
+			}
+		}
+	}
+	// Any unattached similarity predicates become post-filters of the
+	// last step (their variables must be bound by now or Build would
+	// have failed).
+	last := &out[len(out)-1]
+	for si, s := range allSims {
+		if !usedSims[si] {
+			last.Sims = append(last.Sims, s)
+			usedSims[si] = true
+		}
+	}
+	for fi, f := range allFilters {
+		if !usedFilters[fi] {
+			last.Filters = append(last.Filters, f)
+			usedFilters[fi] = true
+		}
+	}
+	return out
+}
+
+// connected reports whether the pattern shares a variable with the
+// bound set.
+func connected(pat vql.Pattern, bound map[string]bool) bool {
+	for _, v := range pat.Vars() {
+		if bound[v] {
+			return true
+		}
+	}
+	return false
+}
+
+// simsFor previews the sims applicable to a pattern (for costing).
+func simsFor(pat vql.Pattern, sims []physical.SimSpec, used []bool) []physical.SimSpec {
+	var out []physical.SimSpec
+	if !pat.V.IsVar() {
+		return nil
+	}
+	for i, s := range sims {
+		if !used[i] && s.Var == pat.V.Var {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// takeSims consumes sims that can attach to this step: predicates on
+// the pattern's value variable (usable by the q-gram path) or whose
+// variables are all bound after this step.
+func takeSims(pat vql.Pattern, sims []physical.SimSpec, used []bool, bound map[string]bool) []physical.SimSpec {
+	var out []physical.SimSpec
+	willBind := map[string]bool{}
+	for v := range bound {
+		willBind[v] = true
+	}
+	for _, v := range pat.Vars() {
+		willBind[v] = true
+	}
+	for i, s := range sims {
+		if used[i] {
+			continue
+		}
+		if willBind[s.Var] {
+			used[i] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// prefixFor extracts the longest literal prefix constraint
+// startswith(?v, 'p') among the step's filters, for the step's own
+// value variable. The filter itself stays attached (re-checking is
+// free and keeps the pushdown purely an access-path optimization).
+func prefixFor(st physical.Step) string {
+	if !st.Pat.V.IsVar() {
+		return ""
+	}
+	best := ""
+	for _, f := range st.Filters {
+		bf, ok := f.(vql.BoolFunc)
+		if !ok || bf.Name != "startswith" || len(bf.Args) != 2 {
+			continue
+		}
+		v, ok := bf.Args[0].(vql.VarOperand)
+		if !ok || v.Name != st.Pat.V.Var {
+			continue
+		}
+		lit, ok := bf.Args[1].(vql.LitOperand)
+		if !ok || lit.Val.Kind != triple.KindString {
+			continue
+		}
+		if len(lit.Val.Str) > len(best) {
+			best = lit.Val.Str
+		}
+	}
+	return best
+}
+
+// filterCovered reports whether all filter variables are bound.
+func filterCovered(f vql.Expr, bound map[string]bool) bool {
+	covered := true
+	walkVars(f, func(v string) {
+		if !bound[v] {
+			covered = false
+		}
+	})
+	return covered
+}
+
+func walkVars(e vql.Expr, fn func(string)) {
+	switch x := e.(type) {
+	case vql.Cmp:
+		walkOperand(x.L, fn)
+		walkOperand(x.R, fn)
+	case vql.And:
+		walkVars(x.L, fn)
+		walkVars(x.R, fn)
+	case vql.Or:
+		walkVars(x.L, fn)
+		walkVars(x.R, fn)
+	case vql.Not:
+		walkVars(x.E, fn)
+	case vql.BoolFunc:
+		for _, a := range x.Args {
+			walkOperand(a, fn)
+		}
+	}
+}
+
+func walkOperand(o vql.Operand, fn func(string)) {
+	switch x := o.(type) {
+	case vql.VarOperand:
+		fn(x.Name)
+	case vql.FuncOperand:
+		for _, a := range x.Args {
+			walkOperand(a, fn)
+		}
+	}
+}
+
+// chooseStrategy selects the physical access path for a step.
+func (o *Optimizer) chooseStrategy(st physical.Step, hasBindings bool) physical.AccessStrategy {
+	if o.Opt.ForceStrategy != physical.StratAuto {
+		if applicable(o.Opt.ForceStrategy, st) {
+			return o.Opt.ForceStrategy
+		}
+	}
+	shape := physical.DefaultStrategy(st)
+	if shape == physical.StratAVRange && o.Opt.UseQGram && len(simsFor(st.Pat, st.Sims, make([]bool, len(st.Sims)))) > 0 {
+		// Compare the q-gram path against the attribute range scan.
+		attr := st.Pat.A.Val.Str
+		sim := st.Sims[0]
+		attrCount := float64(o.Stats.AttrCount(attr))
+		frac := attrCount / math.Max(float64(o.Stats.TotalTriples), 1)
+		rangeCost := o.Stats.Range(frac, attrCount)
+		qgramCost := o.Stats.QGramSearch(len(sim.Target), 3, sim.MaxDist, 8)
+		if qgramCost.Messages < rangeCost.Messages {
+			return physical.StratQGram
+		}
+	}
+	_ = hasBindings
+	return shape
+}
+
+// applicable reports whether a forced strategy can execute the step's
+// pattern shape at all.
+func applicable(s physical.AccessStrategy, st physical.Step) bool {
+	pat := st.Pat
+	switch s {
+	case physical.StratOIDLookup:
+		return !pat.S.IsVar() || pat.S.IsVar() // runtime probes handle bound vars
+	case physical.StratAVLookup:
+		return !pat.A.IsVar()
+	case physical.StratAVRange:
+		return !pat.A.IsVar()
+	case physical.StratValLookup:
+		return true
+	case physical.StratBroadcast:
+		return true
+	case physical.StratQGram:
+		return !pat.A.IsVar() && pat.V.IsVar() && len(st.Sims) > 0
+	}
+	return false
+}
+
+// estimate prices one step.
+func (o *Optimizer) estimate(strat physical.AccessStrategy, st physical.Step, card float64, conn bool) cost.Estimate {
+	s := o.Stats
+	attr := ""
+	if !st.Pat.A.IsVar() {
+		attr = st.Pat.A.Val.Str
+	}
+	attrCount := float64(s.AttrCount(attr))
+	switch strat {
+	case physical.StratOIDLookup:
+		k := 1
+		if st.Pat.S.IsVar() {
+			k = int(card)
+		}
+		return s.MultiLookup(k, card)
+	case physical.StratAVLookup:
+		return s.Lookup(attrCount * cost.EqSelectivity)
+	case physical.StratAVRange:
+		if conn {
+			// Joins via bound values: parallel probes.
+			return s.MultiLookup(int(card), card)
+		}
+		frac := attrCount / math.Max(float64(s.TotalTriples), 1)
+		return s.Range(frac, attrCount)
+	case physical.StratValLookup:
+		return s.Lookup(attrCount * cost.EqSelectivity)
+	case physical.StratBroadcast:
+		return s.Broadcast(float64(s.TotalTriples))
+	case physical.StratQGram:
+		target := ""
+		if len(st.Sims) > 0 {
+			target = st.Sims[0].Target
+		}
+		return s.QGramSearch(len(target), 3, 2, 8)
+	}
+	return s.Broadcast(float64(s.TotalTriples))
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,187 @@
+package optimizer_test
+
+import (
+	"testing"
+
+	"unistore/internal/cost"
+	"unistore/internal/optimizer"
+	"unistore/internal/physical"
+	"unistore/internal/vql"
+)
+
+func compile(t *testing.T, src string) *physical.Plan {
+	t.Helper()
+	q, err := vql.ParseQuery(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := physical.CompileQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestOptimizePrefersExactLookups(t *testing.T) {
+	o := optimizer.New(cost.DefaultStats(256), optimizer.DefaultOptions())
+	p := compile(t, `SELECT ?n WHERE {(?p,'name',?n) (?p,'email','x@y')}`)
+	o.Optimize(p)
+	if p.Steps[0].Strat != physical.StratAVLookup {
+		t.Errorf("exact A#v lookup must lead: %s", p)
+	}
+	if len(p.Steps[1].JoinOn) != 1 || p.Steps[1].JoinOn[0] != "p" {
+		t.Errorf("join vars recomputed wrong: %+v", p.Steps[1])
+	}
+}
+
+func TestOptimizeKeepsFiltersApplicable(t *testing.T) {
+	o := optimizer.New(cost.DefaultStats(64), optimizer.DefaultOptions())
+	p := compile(t, `SELECT ?n WHERE {(?p,'name',?n) (?p,'age',?a) FILTER ?a > 30 FILTER length(?n) > 3}`)
+	o.Optimize(p)
+	// Every filter must sit on a step whose prior vars cover it.
+	bound := map[string]bool{}
+	for _, st := range p.Steps {
+		for _, v := range st.Pat.Vars() {
+			bound[v] = true
+		}
+		for _, f := range st.Filters {
+			covered := true
+			for _, v := range exprVars(f) {
+				if !bound[v] {
+					covered = false
+				}
+			}
+			if !covered {
+				t.Errorf("filter %s attached before its vars bind: %s", f, p)
+			}
+		}
+	}
+	total := 0
+	for _, st := range p.Steps {
+		total += len(st.Filters)
+	}
+	if total != 2 {
+		t.Errorf("filters lost or duplicated: %d", total)
+	}
+}
+
+func exprVars(e vql.Expr) []string {
+	var out []string
+	var walkOp func(o vql.Operand)
+	walkOp = func(o vql.Operand) {
+		switch x := o.(type) {
+		case vql.VarOperand:
+			out = append(out, x.Name)
+		case vql.FuncOperand:
+			for _, a := range x.Args {
+				walkOp(a)
+			}
+		}
+	}
+	switch x := e.(type) {
+	case vql.Cmp:
+		walkOp(x.L)
+		walkOp(x.R)
+	case vql.BoolFunc:
+		for _, a := range x.Args {
+			walkOp(a)
+		}
+	}
+	return out
+}
+
+func TestModeShipMarksSteps(t *testing.T) {
+	o := optimizer.New(cost.DefaultStats(64), optimizer.Options{Mode: optimizer.ModeShip})
+	p := compile(t, `SELECT ?n,?a WHERE {(?p,'name',?n) (?p,'age',?a)}`)
+	o.Optimize(p)
+	if !p.Steps[1].Ship {
+		t.Errorf("ModeShip must mark later steps: %s", p)
+	}
+	if p.Steps[0].Ship {
+		t.Error("first step never ships")
+	}
+}
+
+func TestModeFetchNeverShips(t *testing.T) {
+	o := optimizer.New(cost.DefaultStats(64), optimizer.Options{Mode: optimizer.ModeFetch})
+	p := compile(t, `SELECT ?n,?a WHERE {(?p,'name',?n) (?p,'age',?a)}`)
+	o.Optimize(p)
+	for _, st := range p.Steps {
+		if st.Ship {
+			t.Errorf("ModeFetch shipped: %s", p)
+		}
+	}
+}
+
+func TestForceStrategyOverrides(t *testing.T) {
+	o := optimizer.New(cost.DefaultStats(64), optimizer.Options{
+		Mode: optimizer.ModeFetch, ForceStrategy: physical.StratBroadcast})
+	p := compile(t, `SELECT ?n WHERE {(?p,'name',?n)}`)
+	o.Optimize(p)
+	if p.Steps[0].Strat != physical.StratBroadcast {
+		t.Errorf("force ignored: %s", p)
+	}
+}
+
+func TestQGramChosenWhenCheaper(t *testing.T) {
+	stats := cost.DefaultStats(512)
+	stats.TriplesPerAttr["series"] = 5000
+	stats.TotalTriples = 10000
+	o := optimizer.New(stats, optimizer.Options{Mode: optimizer.ModeFetch, UseQGram: true})
+	p := compile(t, `SELECT ?sr WHERE {(?c,'series',?sr) FILTER edist(?sr,'ICDE')<3}`)
+	o.Optimize(p)
+	if p.Steps[0].Strat != physical.StratQGram {
+		t.Errorf("q-gram path not chosen on a large network: %s", p)
+	}
+	// Without the index enabled, the range scan remains.
+	o2 := optimizer.New(stats, optimizer.Options{Mode: optimizer.ModeFetch, UseQGram: false})
+	p2 := compile(t, `SELECT ?sr WHERE {(?c,'series',?sr) FILTER edist(?sr,'ICDE')<3}`)
+	o2.Optimize(p2)
+	if p2.Steps[0].Strat == physical.StratQGram {
+		t.Error("q-gram path chosen despite UseQGram=false")
+	}
+}
+
+func TestDisabledOptimizerPreservesCompiledOrder(t *testing.T) {
+	o := optimizer.New(cost.DefaultStats(64), optimizer.Options{Disabled: true})
+	p := compile(t, `SELECT ?n,?a WHERE {(?p,'name',?n) (?p,'age',?a)}`)
+	first := p.Steps[0].Pat.String()
+	o.Optimize(p)
+	if p.Steps[0].Pat.String() != first {
+		t.Error("disabled optimizer reordered steps")
+	}
+}
+
+func TestSimsAttachOnce(t *testing.T) {
+	o := optimizer.New(cost.DefaultStats(64), optimizer.DefaultOptions())
+	p := compile(t, `SELECT ?sr WHERE {(?c,'series',?sr) (?c,'confname',?cn) FILTER edist(?sr,'ICDE')<3}`)
+	o.Optimize(p)
+	total := 0
+	for _, st := range p.Steps {
+		total += len(st.Sims)
+	}
+	if total != 1 {
+		t.Errorf("similarity predicate attached %d times: %s", total, p)
+	}
+}
+
+func TestPrefixPushdown(t *testing.T) {
+	o := optimizer.New(cost.DefaultStats(64), optimizer.DefaultOptions())
+	p := compile(t, `SELECT ?t WHERE {(?p,'title',?t) FILTER startswith(?t,'Paper 001')}`)
+	o.Optimize(p)
+	if p.Steps[0].ValuePrefix != "Paper 001" {
+		t.Errorf("prefix not pushed down: %+v", p.Steps[0])
+	}
+	// The filter stays attached for re-checking.
+	if len(p.Steps[0].Filters) != 1 {
+		t.Errorf("filter lost: %+v", p.Steps[0])
+	}
+	// Not applicable when the predicate targets another variable.
+	p2 := compile(t, `SELECT ?t WHERE {(?p,'title',?t) (?p,'name',?n) FILTER startswith(?n,'x')}`)
+	o.Optimize(p2)
+	for _, st := range p2.Steps {
+		if st.Pat.A.Val.Str == "title" && st.ValuePrefix != "" {
+			t.Errorf("prefix wrongly pushed to title scan: %+v", st)
+		}
+	}
+}

@@ -1,0 +1,225 @@
+package pgrid
+
+import (
+	"fmt"
+	"sort"
+
+	"unistore/internal/keys"
+	"unistore/internal/simnet"
+)
+
+// BuildBalanced constructs a P-Grid overlay of n*replicas peers whose
+// trie is balanced by peer count: every partition holds `replicas`
+// peers and partitions split the key space evenly. This is the
+// experiment workhorse — it produces in one step the trie that the
+// decentralized exchange protocol (see exchange.go) converges to under
+// uniform data, so large-scale runs skip the bootstrap phase.
+func BuildBalanced(net *simnet.Network, n, replicas int, cfg Config) []*Peer {
+	if n <= 0 {
+		panic("pgrid: BuildBalanced needs n > 0")
+	}
+	if replicas <= 0 {
+		replicas = 1
+	}
+	paths := balancedPaths(n)
+	return assemble(net, paths, replicas, cfg)
+}
+
+// balancedPaths returns n trie leaf paths splitting peers evenly: the
+// recursion halves the peer count per subtree, so leaf depths differ by
+// at most one.
+func balancedPaths(n int) []keys.Key {
+	var out []keys.Key
+	var rec func(prefix keys.Key, count int)
+	rec = func(prefix keys.Key, count int) {
+		if count == 1 {
+			out = append(out, prefix)
+			return
+		}
+		left := count / 2
+		rec(prefix.Append(0), left)
+		rec(prefix.Append(1), count-left)
+	}
+	rec(keys.Empty, n)
+	return out
+}
+
+// BuildAdaptive constructs an overlay whose trie adapts to the data
+// distribution, reproducing the effect of P-Grid's skew-aware load
+// balancing (Aberer et al., VLDB 2005): the partition holding the most
+// sample keys splits first, so hot key regions get proportionally more
+// peers and per-peer storage load evens out. samples should be the
+// placement keys of (a sample of) the workload.
+func BuildAdaptive(net *simnet.Network, n, replicas int, samples []keys.Key, cfg Config) []*Peer {
+	if n <= 0 {
+		panic("pgrid: BuildAdaptive needs n > 0")
+	}
+	if replicas <= 0 {
+		replicas = 1
+	}
+	type leaf struct {
+		prefix  keys.Key
+		samples []keys.Key
+	}
+	leaves := []leaf{{prefix: keys.Empty, samples: samples}}
+	for len(leaves) < n {
+		// Split the fullest leaf. Linear scan keeps the code simple;
+		// construction is not on any measured path.
+		best, bestCount := -1, -1
+		for i, l := range leaves {
+			if len(l.samples) > bestCount {
+				best, bestCount = i, len(l.samples)
+			}
+		}
+		l := leaves[best]
+		d := l.prefix.Len()
+		var zero, one []keys.Key
+		for _, k := range l.samples {
+			if k.Len() <= d {
+				// Sample shorter than the prefix: treat as bit 0.
+				zero = append(zero, k)
+				continue
+			}
+			if k.Bit(d) == 0 {
+				zero = append(zero, k)
+			} else {
+				one = append(one, k)
+			}
+		}
+		leaves[best] = leaf{prefix: l.prefix.Append(0), samples: zero}
+		leaves = append(leaves, leaf{prefix: l.prefix.Append(1), samples: one})
+	}
+	paths := make([]keys.Key, len(leaves))
+	for i, l := range leaves {
+		paths[i] = l.prefix
+	}
+	return assemble(net, paths, replicas, cfg)
+}
+
+// assemble creates peers for the given partition paths (each `replicas`
+// times), wires routing tables and replica groups, and returns all
+// peers.
+func assemble(net *simnet.Network, paths []keys.Key, replicas int, cfg Config) []*Peer {
+	sort.Slice(paths, func(i, j int) bool { return paths[i].Compare(paths[j]) < 0 })
+	var peers []*Peer
+	groups := make([][]*Peer, len(paths))
+	for gi, path := range paths {
+		for r := 0; r < replicas; r++ {
+			p := NewPeer(net, cfg)
+			p.setPath(path)
+			groups[gi] = append(groups[gi], p)
+			peers = append(peers, p)
+		}
+	}
+	// Replica groups know each other.
+	for _, g := range groups {
+		for _, a := range g {
+			for _, b := range g {
+				if a != b {
+					a.addReplica(Ref{ID: b.id, Path: b.path})
+				}
+			}
+		}
+	}
+	WireRouting(net, peers)
+	return peers
+}
+
+// WireRouting (re)builds every peer's routing table from the global
+// peer list: for each level l of a peer's path, it installs up to
+// RefsPerLevel random references into the sibling subtree at l. The
+// exchange protocol builds the same structure pairwise; experiments use
+// this direct form. Existing references are discarded.
+func WireRouting(net *simnet.Network, peers []*Peer) {
+	// Sort peers by path string so each prefix owns a contiguous run.
+	sorted := make([]*Peer, len(peers))
+	copy(sorted, peers)
+	sort.Slice(sorted, func(i, j int) bool {
+		return sorted[i].path.String() < sorted[j].path.String()
+	})
+	pathStrs := make([]string, len(sorted))
+	for i, p := range sorted {
+		pathStrs[i] = p.path.String()
+	}
+	// peersWithPrefix returns the index range [lo, hi) of peers whose
+	// path begins with prefix (or equals a prefix of it — i.e., whose
+	// partition contains or intersects the prefix region).
+	peersWithPrefix := func(prefix string) (int, int) {
+		lo := sort.SearchStrings(pathStrs, prefix)
+		hi := lo
+		for hi < len(pathStrs) && len(pathStrs[hi]) >= len(prefix) && pathStrs[hi][:len(prefix)] == prefix {
+			hi++
+		}
+		return lo, hi
+	}
+	rng := net.Rand()
+	for _, p := range peers {
+		p.refs = make([][]Ref, p.path.Len())
+		for l := 0; l < p.path.Len(); l++ {
+			sibling := p.path.Prefix(l).Append(1 - p.path.Bit(l)).String()
+			lo, hi := peersWithPrefix(sibling)
+			count := hi - lo
+			if count == 0 {
+				continue
+			}
+			want := p.cfg.RefsPerLevel
+			if want > count {
+				want = count
+			}
+			seen := make(map[int]bool, want)
+			for len(seen) < want {
+				i := lo + rng.Intn(count)
+				if seen[i] {
+					continue
+				}
+				seen[i] = true
+				q := sorted[i]
+				p.addRef(l, Ref{ID: q.id, Path: q.path})
+			}
+		}
+	}
+}
+
+// Partitions returns the distinct partition paths of a peer set, sorted.
+func Partitions(peers []*Peer) []keys.Key {
+	seen := make(map[string]keys.Key)
+	for _, p := range peers {
+		seen[p.path.String()] = p.path
+	}
+	out := make([]keys.Key, 0, len(seen))
+	for _, k := range seen {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// CheckTrie validates the structural invariant that partitions form a
+// complete prefix-free cover of the key space: no partition is a prefix
+// of another, and the partition count equals leaves of a full binary
+// trie (sum of 2^-depth == 1). It returns an error describing the first
+// violation.
+func CheckTrie(peers []*Peer) error {
+	parts := Partitions(peers)
+	for i := 0; i < len(parts)-1; i++ {
+		if parts[i+1].HasPrefix(parts[i]) {
+			return fmt.Errorf("partition %s is a prefix of %s", parts[i], parts[i+1])
+		}
+	}
+	// Σ 2^(maxDepth - depth) must equal 2^maxDepth.
+	maxDepth := 0
+	for _, p := range parts {
+		if p.Len() > maxDepth {
+			maxDepth = p.Len()
+		}
+	}
+	var sum, full uint64
+	full = 1 << uint(maxDepth)
+	for _, p := range parts {
+		sum += 1 << uint(maxDepth-p.Len())
+	}
+	if sum != full {
+		return fmt.Errorf("partitions cover %d/%d of the key space", sum, full)
+	}
+	return nil
+}

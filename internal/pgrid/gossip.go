@@ -1,0 +1,77 @@
+package pgrid
+
+import (
+	"time"
+
+	"unistore/internal/keys"
+	"unistore/internal/simnet"
+	"unistore/internal/store"
+	"unistore/internal/triple"
+)
+
+// This file implements replica maintenance: eager push of fresh writes
+// to the replica group, and periodic anti-entropy reconciliation. The
+// combination yields the "update functionality with lose consistency
+// guarantees" (Datta, Hauswirth, Aberer, ICDCS 2003) the paper relies
+// on: updates reach available replicas quickly, unavailable replicas
+// converge when they return.
+
+func kindOf(i int) triple.IndexKind { return triple.IndexKind(i) }
+
+// partitionRange is the key range a peer with the given path covers.
+func partitionRange(path keys.Key) keys.Range { return keys.PrefixRange(path) }
+
+// pushToReplicas eagerly propagates fresh entries to the replica group.
+func (p *Peer) pushToReplicas(entries []store.Entry) {
+	for _, r := range p.replicas {
+		p.net.Send(p.id, r.ID, KindGossip, gossipMsg{Entries: entries})
+	}
+}
+
+func (p *Peer) handleGossip(g gossipMsg) {
+	for _, e := range g.Entries {
+		if p.store.Apply(e) {
+			p.stats.GossipApplied++
+		}
+	}
+}
+
+// scheduleAntiEntropy arms the periodic reconciliation timer.
+func (p *Peer) scheduleAntiEntropy() {
+	period := time.Duration(p.cfg.AntiEntropyEvery)
+	p.net.After(period, func() {
+		if p.net.Alive(p.id) {
+			p.runAntiEntropy()
+		}
+		p.scheduleAntiEntropy()
+	})
+}
+
+// runAntiEntropy reconciles with one random live replica (push-pull).
+func (p *Peer) runAntiEntropy() {
+	if len(p.replicas) == 0 {
+		return
+	}
+	r := p.replicas[p.net.Rand().Intn(len(p.replicas))]
+	p.net.Send(p.id, r.ID, KindAntiEnt, antiEntropyMsg{Entries: p.store.Facts(), Reply: true})
+}
+
+func (p *Peer) handleAntiEntropy(msg antiEntropyMsg, from simnet.NodeID) {
+	for _, e := range msg.Entries {
+		if p.store.Apply(e) {
+			p.stats.GossipApplied++
+		}
+	}
+	if msg.Reply {
+		p.net.Send(p.id, from, KindAntiEnt, antiEntropyMsg{Entries: p.store.Facts(), Reply: false})
+	}
+}
+
+// UpdateTriple writes a new value for fact (oid, attr) with a version
+// from this peer's clock and routes it to all index peers; replicas
+// receive it via eager push at the responsible peer.
+func (p *Peer) UpdateTriple(tr triple.Triple) uint64 {
+	v := p.NextClock()
+	p.InsertTriple(tr, v)
+	return v
+}

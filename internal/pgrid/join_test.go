@@ -1,0 +1,123 @@
+package pgrid
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"unistore/internal/triple"
+)
+
+// TestLateJoinIntegrates: a fresh peer with an empty path joins a
+// running overlay purely via exchanges (the demo's "allowing interested
+// people to include their own machines into a running P-Grid overlay").
+func TestLateJoinIntegrates(t *testing.T) {
+	net := newNet(41)
+	peers := BuildBalanced(net, 16, 1, DefaultConfig())
+	for i := 0; i < 40; i++ {
+		peers[i%16].InsertTriple(triple.TN(fmt.Sprintf("d%d", i), "age", float64(i)), 1)
+	}
+	net.Run()
+
+	joiner := NewPeer(net, DefaultConfig())
+	// A few exchange rounds against random existing peers; the
+	// recursive refinement walks the joiner into its niche.
+	for r := 0; r < 8; r++ {
+		joiner.StartExchange(peers[net.Rand().Intn(len(peers))].ID())
+		net.RunFor(2 * time.Second)
+		net.Settle()
+	}
+	if joiner.Path().Len() == 0 {
+		t.Fatal("joiner never specialized")
+	}
+	// The joiner can query the overlay.
+	res := joiner.LookupSync(triple.ByAV, triple.AVKey("age", triple.N(7)))
+	if !res.Complete || len(res.Entries) != 1 {
+		t.Fatalf("joiner lookup failed: %+v", res)
+	}
+	// And the overlay can route inserts *to* the joiner's partition:
+	// data inserted after the join lands correctly wherever it belongs.
+	tr := triple.T("late", "name", "newcomer")
+	peers[0].InsertTripleSync(tr, 1)
+	res = joiner.LookupSync(triple.ByAV, triple.AVKey("name", triple.S("newcomer")))
+	if !res.Complete || len(res.Entries) != 1 {
+		t.Fatalf("post-join insert not visible to joiner: %+v", res)
+	}
+}
+
+// TestRouteFailureCounting: with every reference dead, forwarding is
+// counted as a failure rather than looping.
+func TestRouteFailureCounting(t *testing.T) {
+	net := newNet(42)
+	peers := BuildBalanced(net, 8, 1, DefaultConfig())
+	// Kill everything except peer 0.
+	for _, p := range peers[1:] {
+		net.Kill(p.ID())
+	}
+	p := peers[0]
+	// A key outside p's partition cannot be routed anywhere live.
+	target := p.Path().Flip(0)
+	before := p.Stats().RouteFailures
+	h := p.Lookup(triple.ByAV, triple.AVKey("zz", triple.S("zz")), nil)
+	_ = target
+	net.RunFor(time.Second)
+	if p.Stats().RouteFailures <= before && !h.Done() {
+		// Either the route failed (counted) or a response arrived
+		// (impossible: all dead). The op must eventually expire.
+		t.Log("no immediate failure; relying on op expiry")
+	}
+	res := h.Wait(5 * time.Minute)
+	if res.Complete {
+		t.Fatal("lookup across dead peers must not report complete")
+	}
+}
+
+// TestShowerShareConservation: every range query's shares sum exactly
+// to TotalShare on a healthy network, whatever the range.
+func TestShowerShareConservation(t *testing.T) {
+	net := newNet(43)
+	peers := BuildBalanced(net, 24, 1, DefaultConfig())
+	for i := 0; i < 60; i++ {
+		peers[i%24].InsertTriple(triple.TN(fmt.Sprintf("s%d", i), "age", float64(i%50)), 1)
+	}
+	net.Run()
+	ranges := []struct {
+		lo, hi float64
+	}{
+		{0, 1}, {10, 30}, {0, 50}, {45, 49},
+	}
+	for _, r := range ranges {
+		lo, hi := triple.N(r.lo), triple.N(r.hi)
+		res := peers[5].RangeQuerySync(triple.ByAV, triple.AVRange("age", lo, &hi))
+		if !res.Complete {
+			t.Fatalf("range [%v,%v) incomplete: shares lost", r.lo, r.hi)
+		}
+	}
+}
+
+// TestConcurrentQueriesInterleave: many queries in flight at once must
+// not cross-contaminate responses (QID correlation).
+func TestConcurrentQueriesInterleave(t *testing.T) {
+	net := newNet(44)
+	peers := BuildBalanced(net, 16, 1, DefaultConfig())
+	for i := 0; i < 30; i++ {
+		peers[i%16].InsertTriple(triple.TN(fmt.Sprintf("c%d", i), "age", float64(i)), 1)
+	}
+	net.Run()
+	type pending struct {
+		h    *Handle
+		want float64
+	}
+	var ps []pending
+	for i := 0; i < 30; i += 3 {
+		h := peers[i%16].Lookup(triple.ByAV, triple.AVKey("age", triple.N(float64(i))), nil)
+		ps = append(ps, pending{h: h, want: float64(i)})
+	}
+	net.Run()
+	for _, p := range ps {
+		res := p.h.Result()
+		if !res.Complete || len(res.Entries) != 1 || res.Entries[0].Triple.Val.Num != p.want {
+			t.Fatalf("interleaved query for %v got %+v", p.want, res)
+		}
+	}
+}

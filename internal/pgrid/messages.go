@@ -1,0 +1,195 @@
+package pgrid
+
+import (
+	"unistore/internal/keys"
+	"unistore/internal/simnet"
+	"unistore/internal/store"
+)
+
+// Message kinds, used for simnet accounting. The experiment harness
+// separates maintenance traffic (exchange, gossip) from query traffic
+// (route, range, response) through these labels.
+const (
+	KindRoute    = "pgrid.route"
+	KindRange    = "pgrid.range"
+	KindResponse = "pgrid.resp"
+	KindAck      = "pgrid.ack"
+	KindGossip   = "pgrid.gossip"
+	KindAntiEnt  = "pgrid.antientropy"
+	KindExchange = "pgrid.exchange"
+	KindXferData = "pgrid.xfer"
+	KindApp      = "pgrid.app"
+)
+
+// TotalShare is the share mass carried by a range/broadcast query;
+// the origin knows the query has reached every overlapping partition
+// when received shares sum to TotalShare.
+const TotalShare = 1 << 30
+
+// routeEnvelope carries a payload toward the peer responsible for
+// Target. Hops counts forwarding steps for the logarithmic-routing
+// experiments.
+type routeEnvelope struct {
+	Target keys.Key
+	Hops   int
+	Inner  any
+}
+
+func (e routeEnvelope) WireSize() int {
+	s := e.Target.Len()/8 + 8
+	if w, ok := e.Inner.(interface{ WireSize() int }); ok {
+		s += w.WireSize()
+	}
+	return s
+}
+
+// insertReq asks the responsible peer to apply one index entry.
+type insertReq struct {
+	Entry  store.Entry
+	QID    uint64 // 0 for fire-and-forget
+	Origin simnet.NodeID
+}
+
+func (r insertReq) WireSize() int { return r.Entry.WireSize() + 12 }
+
+// lookupReq asks the responsible peer for the entries at exactly Key.
+type lookupReq struct {
+	QID    uint64
+	Origin simnet.NodeID
+	Kind   uint8 // triple.IndexKind
+	Key    keys.Key
+}
+
+func (r lookupReq) WireSize() int { return r.Key.Len()/8 + 16 }
+
+// rangeMsg implements the shower algorithm: it fans out down the trie,
+// reaching every peer whose partition overlaps R exactly once. Level is
+// the trie depth already resolved; Share is this branch's portion of
+// TotalShare.
+type rangeMsg struct {
+	QID    uint64
+	Origin simnet.NodeID
+	Kind   uint8
+	R      keys.Range
+	Level  int
+	Share  int64
+	Hops   int
+	// Probe suppresses entry payloads: the peer replies with counts
+	// only. Used by the cost model to sample selectivities cheaply.
+	Probe bool
+}
+
+func (r rangeMsg) WireSize() int { return r.R.Lo.Len()/8 + r.R.Hi.Len()/8 + 32 }
+
+// queryResp returns entries (or a count, for probes) to the origin.
+// For range queries Share carries the branch mass; for lookups Share
+// is TotalShare.
+type queryResp struct {
+	QID     uint64
+	Entries []store.Entry
+	Count   int
+	Share   int64
+	Hops    int
+	From    simnet.NodeID
+	Path    keys.Key // responding peer's path, for diagnostics
+}
+
+func (r queryResp) WireSize() int {
+	s := 40
+	for _, e := range r.Entries {
+		s += e.WireSize()
+	}
+	return s
+}
+
+// ackMsg confirms an insert reached its responsible peer.
+type ackMsg struct {
+	QID  uint64
+	Hops int
+}
+
+// gossipMsg pushes freshly written entries to replicas of the same
+// partition.
+type gossipMsg struct {
+	Entries []store.Entry
+}
+
+func (g gossipMsg) WireSize() int {
+	s := 8
+	for _, e := range g.Entries {
+		s += e.WireSize()
+	}
+	return s
+}
+
+// antiEntropyMsg carries a replica's full versioned state (facts and
+// tombstones) for reconciliation; Reply requests the receiver's state
+// back.
+type antiEntropyMsg struct {
+	Entries []store.Entry
+	Reply   bool
+}
+
+func (a antiEntropyMsg) WireSize() int {
+	s := 8
+	for _, e := range a.Entries {
+		s += e.WireSize()
+	}
+	return s
+}
+
+// exchangeMsg drives decentralized trie construction (bootstrap and
+// merge): two peers compare paths, split or adopt complements, and
+// swap routing references and data.
+type exchangeMsg struct {
+	Path     keys.Key
+	Refs     [][]Ref // sender's routing table (pruned to relevant levels)
+	Replicas []Ref
+	// Data sent because the sender no longer covers its placement keys.
+	Entries []store.Entry
+	// Round trips a response exchange exactly once.
+	IsReply bool
+	// SplitBit is set when the sender has just split a shared path and
+	// instructs the receiver to take the sibling side.
+	SplitBit int
+}
+
+func (e exchangeMsg) WireSize() int {
+	s := e.Path.Len()/8 + 16
+	for _, ls := range e.Refs {
+		s += len(ls) * 16
+	}
+	for _, en := range e.Entries {
+		s += en.WireSize()
+	}
+	return s
+}
+
+// xferMsg ships entries to a peer after a split or responsibility
+// change, outside the exchange round-trip.
+type xferMsg struct {
+	Entries []store.Entry
+}
+
+func (x xferMsg) WireSize() int {
+	s := 8
+	for _, e := range x.Entries {
+		s += e.WireSize()
+	}
+	return s
+}
+
+// appMsg wraps application-level payloads (mutant query plans and their
+// results). The overlay routes them like any other payload; the
+// registered AppHandler interprets them.
+type appMsg struct {
+	Payload any
+	Hops    int
+}
+
+func (a appMsg) WireSize() int {
+	if w, ok := a.Payload.(interface{ WireSize() int }); ok {
+		return w.WireSize() + 8
+	}
+	return 72
+}

@@ -1,0 +1,257 @@
+package pgrid
+
+import (
+	"time"
+
+	"unistore/internal/keys"
+	"unistore/internal/simnet"
+	"unistore/internal/store"
+	"unistore/internal/triple"
+)
+
+// OpResult is the outcome of one overlay operation.
+type OpResult struct {
+	Entries   []store.Entry
+	Count     int  // matching entries (meaningful for probes too)
+	Hops      int  // maximum routing hops over all branches
+	Responses int  // responding partitions
+	Complete  bool // all expected responses (or shares) arrived
+}
+
+// Handle tracks an asynchronous overlay operation.
+type Handle struct {
+	peer *Peer
+	op   *pendingOp
+}
+
+// Done reports whether the operation completed.
+func (h *Handle) Done() bool { return h.op.done }
+
+// Result snapshots the operation outcome (valid any time; Complete
+// tells whether it is final).
+func (h *Handle) Result() OpResult {
+	return OpResult{
+		Entries:   h.op.entries,
+		Count:     h.op.count,
+		Hops:      h.op.hops,
+		Responses: h.op.responses,
+		Complete:  h.op.complete,
+	}
+}
+
+// Wait pumps the network until the operation completes or simulated
+// time advances by timeout, returning the (possibly partial) result.
+// A zero timeout waits until the event queue drains.
+func (h *Handle) Wait(timeout time.Duration) OpResult {
+	net := h.peer.net
+	if timeout <= 0 {
+		net.RunWhile(func() bool { return !h.op.done })
+	} else {
+		deadline := net.Now() + timeout
+		for !h.op.done && net.Pending() > 0 && net.Now() < deadline {
+			net.Step()
+		}
+	}
+	return h.Result()
+}
+
+// opDeadline bounds how long (in simulated time) an operation waits for
+// missing responses before completing with whatever arrived — P-Grid's
+// best-effort guarantee under churn and loss.
+const opDeadline = 2 * time.Minute
+
+// newOp registers a pending operation. needShares/needResponses define
+// the completion rule (whichever is positive). A deadline timer expires
+// the operation with partial results if responses are lost.
+func (p *Peer) newOp(needShares int64, needResponses int, cb func(OpResult)) (uint64, *pendingOp) {
+	p.reqSeq++
+	qid := p.reqSeq
+	op := &pendingOp{}
+	op.onDone = func(o *pendingOp) {
+		if cb != nil {
+			cb(OpResult{Entries: o.entries, Count: o.count, Hops: o.hops,
+				Responses: o.responses, Complete: o.complete})
+		}
+	}
+	op.needShares = needShares
+	op.needResponses = needResponses
+	p.pending[qid] = op
+	p.net.After(opDeadline, func() { p.expireOp(qid) })
+	return qid, op
+}
+
+// expireOp force-completes an operation whose responses went missing.
+func (p *Peer) expireOp(qid uint64) {
+	op, ok := p.pending[qid]
+	if !ok || op.done {
+		return
+	}
+	op.done = true
+	delete(p.pending, qid)
+	if op.onDone != nil {
+		op.onDone(op)
+	}
+}
+
+func (p *Peer) handleResponse(r queryResp) {
+	op, ok := p.pending[r.QID]
+	if !ok || op.done {
+		return
+	}
+	op.entries = append(op.entries, r.Entries...)
+	op.count += r.Count
+	op.shares += r.Share
+	op.responses++
+	if r.Hops > op.hops {
+		op.hops = r.Hops
+	}
+	p.maybeComplete(r.QID, op)
+}
+
+func (p *Peer) handleAck(a ackMsg) {
+	op, ok := p.pending[a.QID]
+	if !ok || op.done {
+		return
+	}
+	op.responses++
+	if a.Hops > op.hops {
+		op.hops = a.Hops
+	}
+	p.maybeComplete(a.QID, op)
+}
+
+func (p *Peer) maybeComplete(qid uint64, op *pendingOp) {
+	if op.needShares > 0 && op.shares < op.needShares {
+		return
+	}
+	if op.needResponses > 0 && op.responses < op.needResponses {
+		return
+	}
+	op.done = true
+	op.complete = true
+	delete(p.pending, qid)
+	if op.onDone != nil {
+		op.onDone(op)
+	}
+}
+
+// --- Inserts ------------------------------------------------------------
+
+// InsertEntry routes one prepared index entry to its responsible peer.
+func (p *Peer) InsertEntry(e store.Entry) {
+	p.route(e.Key, insertReq{Entry: e})
+}
+
+// InsertTriple inserts tr under all three index kinds (paper Fig. 2) at
+// the given version, fire-and-forget.
+func (p *Peer) InsertTriple(tr triple.Triple, version uint64) {
+	for _, kind := range triple.AllIndexKinds {
+		p.InsertEntry(store.Entry{
+			Kind: kind, Key: triple.IndexKey(tr, kind),
+			Triple: tr, Version: version,
+		})
+	}
+}
+
+// InsertTripleAcked inserts tr under all three kinds and reports
+// completion (all three acks) through the returned handle.
+func (p *Peer) InsertTripleAcked(tr triple.Triple, version uint64, cb func(OpResult)) *Handle {
+	qid, op := p.newOp(0, len(triple.AllIndexKinds), cb)
+	for _, kind := range triple.AllIndexKinds {
+		p.route(triple.IndexKey(tr, kind), insertReq{
+			Entry: store.Entry{Kind: kind, Key: triple.IndexKey(tr, kind),
+				Triple: tr, Version: version},
+			QID: qid, Origin: p.id,
+		})
+	}
+	return &Handle{peer: p, op: op}
+}
+
+// InsertTuple decomposes a logical tuple and inserts all its triples.
+func (p *Peer) InsertTuple(tp *triple.Tuple, version uint64) {
+	for _, tr := range tp.Triples() {
+		p.InsertTriple(tr, version)
+	}
+}
+
+// DeleteTriple routes tombstones for fact (oid, attr) at the given
+// version to all three index peers.
+func (p *Peer) DeleteTriple(oid, attr string, version uint64) {
+	tr := triple.Triple{OID: oid, Attr: attr}
+	for _, kind := range triple.AllIndexKinds {
+		p.InsertEntry(store.Entry{
+			Kind: kind, Key: triple.IndexKey(tr, kind),
+			Triple: tr, Version: version, Deleted: true,
+		})
+	}
+}
+
+// --- Lookups and range queries -------------------------------------------
+
+// Lookup asynchronously fetches the entries stored at exactly key k in
+// the given index.
+func (p *Peer) Lookup(kind triple.IndexKind, k keys.Key, cb func(OpResult)) *Handle {
+	qid, op := p.newOp(0, 1, cb)
+	p.route(k, lookupReq{QID: qid, Origin: p.id, Kind: uint8(kind), Key: k})
+	return &Handle{peer: p, op: op}
+}
+
+// RangeQuery asynchronously collects all entries of `kind` with keys in
+// r, using the shower algorithm. probe=true returns counts only.
+func (p *Peer) RangeQuery(kind triple.IndexKind, r keys.Range, probe bool, cb func(OpResult)) *Handle {
+	qid, op := p.newOp(TotalShare, 0, cb)
+	msg := rangeMsg{QID: qid, Origin: p.id, Kind: uint8(kind), R: r,
+		Level: 0, Share: TotalShare, Probe: probe}
+	// The origin participates in the shower like any other peer.
+	p.handleRange(msg)
+	return &Handle{peer: p, op: op}
+}
+
+// Broadcast asynchronously reaches every peer and collects all entries
+// of one index kind (the naive full-scan access path).
+func (p *Peer) Broadcast(kind triple.IndexKind, probe bool, cb func(OpResult)) *Handle {
+	return p.RangeQuery(kind, keys.Range{}, probe, cb)
+}
+
+// --- Application payload routing -----------------------------------------
+
+// SendApp routes an application payload (a mutant query plan) to the
+// peer responsible for target.
+func (p *Peer) SendApp(target keys.Key, payload any) {
+	p.route(target, appMsg{Payload: payload})
+}
+
+// SendAppDirect sends an application payload straight to a known peer.
+func (p *Peer) SendAppDirect(to simnet.NodeID, payload any) {
+	p.net.Send(p.id, to, KindApp, appMsg{Payload: payload})
+}
+
+// --- Synchronous conveniences ---------------------------------------------
+
+// defaultOpTimeout bounds synchronous waits in simulated time; generous
+// enough for any experiment topology while guaranteeing termination
+// under message loss.
+const defaultOpTimeout = 5 * time.Minute
+
+// LookupSync performs a lookup, driving the network until the response
+// arrives.
+func (p *Peer) LookupSync(kind triple.IndexKind, k keys.Key) OpResult {
+	return p.Lookup(kind, k, nil).Wait(defaultOpTimeout)
+}
+
+// RangeQuerySync performs a range query, driving the network.
+func (p *Peer) RangeQuerySync(kind triple.IndexKind, r keys.Range) OpResult {
+	return p.RangeQuery(kind, r, false, nil).Wait(defaultOpTimeout)
+}
+
+// InsertTripleSync inserts and waits for all three acks.
+func (p *Peer) InsertTripleSync(tr triple.Triple, version uint64) OpResult {
+	return p.InsertTripleAcked(tr, version, nil).Wait(defaultOpTimeout)
+}
+
+// InsertTupleSync inserts a tuple and waits for all acks.
+func (p *Peer) InsertTupleSync(tp *triple.Tuple, version uint64) {
+	for _, tr := range tp.Triples() {
+		p.InsertTripleSync(tr, version)
+	}
+}

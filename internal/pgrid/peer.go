@@ -1,0 +1,240 @@
+// Package pgrid implements the P-Grid structured overlay (Aberer,
+// CoopIS 2001) that UniStore builds on: a virtual binary trie whose
+// leaves are peers, prefix routing with logarithmic hop counts, an
+// order-preserving placement of data (delegated to package keys),
+// skew-aware trie construction for load balancing (Aberer et al.,
+// VLDB 2005), replica groups with gossip-based loosely consistent
+// updates (Datta et al., ICDCS 2003), range queries via the shower
+// algorithm, and merging of independent overlays.
+//
+// Peers live inside a simnet.Network; all protocol work happens in
+// HandleMessage, so an entire overlay runs deterministically in one
+// goroutine.
+package pgrid
+
+import (
+	"fmt"
+
+	"unistore/internal/keys"
+	"unistore/internal/simnet"
+	"unistore/internal/store"
+	"unistore/internal/triple"
+)
+
+// Ref is a routing reference: another peer's address and the path it
+// had when the reference was learned.
+type Ref struct {
+	ID   simnet.NodeID
+	Path keys.Key
+}
+
+// Config parameterizes peer behaviour.
+type Config struct {
+	// RefsPerLevel bounds the routing references kept per trie level
+	// (fault tolerance and load spreading). P-Grid keeps a handful.
+	RefsPerLevel int
+	// MaxReplicas bounds the replica group size tracked per peer.
+	MaxReplicas int
+	// AntiEntropyEvery enables periodic replica reconciliation when
+	// positive (simulated time between rounds).
+	AntiEntropyEvery int64 // nanoseconds of simulated time; 0 disables
+}
+
+// DefaultConfig returns the configuration used by the experiments.
+func DefaultConfig() Config {
+	return Config{RefsPerLevel: 3, MaxReplicas: 4}
+}
+
+// AppHandler processes application payloads routed through the overlay
+// (UniStore's mutant query plans). hops is the routing distance the
+// payload travelled.
+type AppHandler func(p *Peer, payload any, from simnet.NodeID, hops int)
+
+// Peer is one P-Grid node: a leaf of the virtual binary trie.
+type Peer struct {
+	net  *simnet.Network
+	id   simnet.NodeID
+	path keys.Key
+	// refs[l] holds references to peers whose paths agree with ours on
+	// the first l bits and differ at bit l — they cover the sibling
+	// subtree at level l. len(refs) tracks len(path).
+	refs     [][]Ref
+	replicas []Ref
+	store    *store.Store
+	cfg      Config
+
+	// Request correlation for operations this peer originated.
+	reqSeq  uint64
+	pending map[uint64]*pendingOp
+
+	// Monotonic version source for locally issued updates.
+	clock uint64
+
+	app AppHandler
+
+	// Counters for experiments.
+	stats PeerStats
+}
+
+// PeerStats accumulates per-peer protocol counters.
+type PeerStats struct {
+	Forwarded     int // envelopes passed on toward their target
+	Delivered     int // envelopes this peer was responsible for
+	RangeServed   int // range branches served from the local store
+	RouteFailures int // envelopes dropped for lack of a live reference
+	GossipApplied int
+	ExchangesRun  int
+}
+
+// pendingOp tracks one outstanding operation issued by this peer.
+// Completion fires when shares reach needShares (range queries) or
+// responses reach needResponses (lookups, acked inserts) — whichever
+// rule is armed.
+type pendingOp struct {
+	entries       []store.Entry
+	count         int
+	shares        int64
+	needShares    int64
+	needResponses int
+	hops          int // max hops over all responses
+	responses     int
+	done          bool
+	complete      bool // all expected responses arrived (vs. expired)
+	onDone        func(*pendingOp)
+}
+
+// NewPeer creates a peer with an empty path and registers it in the
+// network. The peer is not part of any trie until built or bootstrapped.
+func NewPeer(net *simnet.Network, cfg Config) *Peer {
+	if cfg.RefsPerLevel <= 0 {
+		cfg.RefsPerLevel = 3
+	}
+	if cfg.MaxReplicas <= 0 {
+		cfg.MaxReplicas = 4
+	}
+	p := &Peer{
+		net:     net,
+		store:   store.New(),
+		cfg:     cfg,
+		pending: make(map[uint64]*pendingOp),
+	}
+	p.id = net.AddNode(p)
+	if cfg.AntiEntropyEvery > 0 {
+		p.scheduleAntiEntropy()
+	}
+	return p
+}
+
+// ID returns the peer's network address.
+func (p *Peer) ID() simnet.NodeID { return p.id }
+
+// Path returns the peer's trie path (its key-space responsibility).
+func (p *Peer) Path() keys.Key { return p.path }
+
+// Store exposes the peer's local storage service (the demo UI's
+// "inspect the local data" tab).
+func (p *Peer) Store() *store.Store { return p.store }
+
+// Net returns the underlying simulated network.
+func (p *Peer) Net() *simnet.Network { return p.net }
+
+// Stats returns the peer's protocol counters.
+func (p *Peer) Stats() PeerStats { return p.stats }
+
+// Refs returns a copy of the routing table level l (the demo UI's
+// "inspect the locally built routing tables" tab).
+func (p *Peer) Refs(level int) []Ref {
+	if level < 0 || level >= len(p.refs) {
+		return nil
+	}
+	return append([]Ref(nil), p.refs[level]...)
+}
+
+// Levels returns the number of routing-table levels (= path length).
+func (p *Peer) Levels() int { return len(p.refs) }
+
+// Replicas returns the peer's known replica group.
+func (p *Peer) Replicas() []Ref { return append([]Ref(nil), p.replicas...) }
+
+// SetAppHandler installs the handler for application payloads (mutant
+// query plans). The triple-storage layer calls this once per peer.
+func (p *Peer) SetAppHandler(h AppHandler) { p.app = h }
+
+// Responsible reports whether key k falls into this peer's partition.
+func (p *Peer) Responsible(k keys.Key) bool { return k.HasPrefix(p.path) }
+
+// NextClock returns a fresh version for an update issued at this peer.
+// P-Grid's loose consistency needs only per-fact monotonicity at the
+// writer; cross-writer conflicts resolve by the store's deterministic
+// tie-break.
+func (p *Peer) NextClock() uint64 {
+	p.clock++
+	return p.clock
+}
+
+// HandleMessage implements simnet.Handler: the protocol dispatcher.
+func (p *Peer) HandleMessage(m simnet.Message) {
+	switch m.Kind {
+	case KindRoute:
+		p.handleRoute(m.Payload.(routeEnvelope), m.From)
+	case KindRange:
+		p.handleRange(m.Payload.(rangeMsg))
+	case KindResponse:
+		p.handleResponse(m.Payload.(queryResp))
+	case KindAck:
+		p.handleAck(m.Payload.(ackMsg))
+	case KindGossip:
+		p.handleGossip(m.Payload.(gossipMsg))
+	case KindAntiEnt:
+		p.handleAntiEntropy(m.Payload.(antiEntropyMsg), m.From)
+	case KindExchange:
+		p.handleExchange(m.Payload.(exchangeMsg), m.From)
+	case KindXferData:
+		for _, e := range m.Payload.(xferMsg).Entries {
+			p.store.Apply(e)
+		}
+	case KindApp:
+		a := m.Payload.(appMsg)
+		if p.app != nil {
+			p.app(p, a.Payload, m.From, a.Hops)
+		}
+	default:
+		// Unknown kinds are ignored; forward compatibility.
+	}
+}
+
+// deliver processes an envelope this peer is responsible for.
+func (p *Peer) deliver(env routeEnvelope, from simnet.NodeID) {
+	p.stats.Delivered++
+	switch inner := env.Inner.(type) {
+	case insertReq:
+		p.applyInsert(inner, env.Hops)
+	case lookupReq:
+		entries := p.store.Lookup(triple.IndexKind(inner.Kind), inner.Key)
+		p.net.Send(p.id, inner.Origin, KindResponse, queryResp{
+			QID: inner.QID, Entries: entries, Count: len(entries),
+			Share: TotalShare, Hops: env.Hops, From: p.id, Path: p.path,
+		})
+	case appMsg:
+		if p.app != nil {
+			p.app(p, inner.Payload, from, env.Hops)
+		}
+	default:
+		// Unknown payloads are dropped.
+	}
+}
+
+func (p *Peer) applyInsert(req insertReq, hops int) {
+	won := p.store.Apply(req.Entry)
+	if won && len(p.replicas) > 0 {
+		p.pushToReplicas([]store.Entry{req.Entry})
+	}
+	if req.QID != 0 {
+		p.net.Send(p.id, req.Origin, KindAck, ackMsg{QID: req.QID, Hops: hops})
+	}
+}
+
+// String renders the peer for diagnostics.
+func (p *Peer) String() string {
+	return fmt.Sprintf("peer{id=%d path=%s store=%d}", p.id, p.path, p.store.Len())
+}

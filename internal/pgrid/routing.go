@@ -1,0 +1,188 @@
+package pgrid
+
+import (
+	"unistore/internal/keys"
+	"unistore/internal/simnet"
+	"unistore/internal/store"
+	"unistore/internal/triple"
+)
+
+// handleRoute implements P-Grid prefix routing: each hop forwards the
+// envelope to a reference whose path agrees with the target on at least
+// one more bit, so an envelope reaches the responsible peer in at most
+// len(path) hops — O(log n) for a balanced trie.
+func (p *Peer) handleRoute(env routeEnvelope, from simnet.NodeID) {
+	if env.Target.HasPrefix(p.path) {
+		p.deliver(env, from)
+		return
+	}
+	p.forward(env)
+}
+
+// maxRouteHops bounds an envelope's life. Stale references (paths
+// recorded before a split or merge) can route sideways; the TTL turns a
+// potential loop into a counted routing failure.
+const maxRouteHops = 64
+
+// forward sends the envelope one hop closer to its target. It picks a
+// live reference at the divergence level, trying alternates for fault
+// tolerance; with none live, the envelope is dropped and counted.
+func (p *Peer) forward(env routeEnvelope) {
+	if env.Hops >= maxRouteHops {
+		p.stats.RouteFailures++
+		return
+	}
+	level := env.Target.CommonPrefixLen(p.path)
+	// level < len(path): our bit at `level` differs from the target's,
+	// so refs[level] covers the target's side of the trie.
+	if level >= len(p.refs) {
+		// Target extends our whole path — we are responsible (handled
+		// by caller) or the trie is inconsistent; drop.
+		p.stats.RouteFailures++
+		return
+	}
+	env.Hops++
+	if ref, ok := p.pickRef(level); ok {
+		p.stats.Forwarded++
+		p.net.Send(p.id, ref.ID, KindRoute, env)
+		return
+	}
+	p.stats.RouteFailures++
+}
+
+// pickRef chooses a live reference at the given level, randomizing for
+// load spreading.
+func (p *Peer) pickRef(level int) (Ref, bool) {
+	ls := p.refs[level]
+	if len(ls) == 0 {
+		return Ref{}, false
+	}
+	start := p.net.Rand().Intn(len(ls))
+	for i := 0; i < len(ls); i++ {
+		ref := ls[(start+i)%len(ls)]
+		if p.net.Alive(ref.ID) {
+			return ref, true
+		}
+	}
+	return Ref{}, false
+}
+
+// route starts an envelope toward target from this peer, delivering
+// locally when this peer is already responsible.
+func (p *Peer) route(target keys.Key, inner any) {
+	env := routeEnvelope{Target: target, Inner: inner}
+	if target.HasPrefix(p.path) {
+		p.deliver(env, p.id)
+		return
+	}
+	p.forward(env)
+}
+
+// addRef installs a reference at the given level, growing the table as
+// needed, deduplicating, and respecting the per-level bound.
+func (p *Peer) addRef(level int, r Ref) {
+	if r.ID == p.id {
+		return
+	}
+	for len(p.refs) <= level {
+		p.refs = append(p.refs, nil)
+	}
+	for i, old := range p.refs[level] {
+		if old.ID == r.ID {
+			p.refs[level][i] = r // refresh the recorded path
+			return
+		}
+	}
+	if len(p.refs[level]) >= p.cfg.RefsPerLevel {
+		// Replace a random entry so long-lived peers still rotate in
+		// fresh references.
+		p.refs[level][p.net.Rand().Intn(len(p.refs[level]))] = r
+		return
+	}
+	p.refs[level] = append(p.refs[level], r)
+}
+
+// addReplica records a same-path replica.
+func (p *Peer) addReplica(r Ref) {
+	if r.ID == p.id {
+		return
+	}
+	for i, old := range p.replicas {
+		if old.ID == r.ID {
+			p.replicas[i] = r
+			return
+		}
+	}
+	if len(p.replicas) >= p.cfg.MaxReplicas {
+		p.replicas[p.net.Rand().Intn(len(p.replicas))] = r
+		return
+	}
+	p.replicas = append(p.replicas, r)
+}
+
+// setPath rewrites the peer's path, truncating or growing the routing
+// table to match.
+func (p *Peer) setPath(path keys.Key) {
+	p.path = path
+	for len(p.refs) > path.Len() {
+		p.refs = p.refs[:len(p.refs)-1]
+	}
+	for len(p.refs) < path.Len() {
+		p.refs = append(p.refs, nil)
+	}
+}
+
+// handleRange implements the shower algorithm: at each level of the
+// trie not yet resolved, forward the query into the sibling subtree if
+// it overlaps the range, then serve the local overlap. Every peer whose
+// partition overlaps the range receives the query exactly once, after
+// at most depth hops.
+func (p *Peer) handleRange(msg rangeMsg) {
+	// Collect the levels whose sibling subtrees overlap the range.
+	type branch struct {
+		level int
+		ref   Ref
+	}
+	var branches []branch
+	for l := msg.Level; l < len(p.refs); l++ {
+		sibling := p.path.Prefix(l).Append(1 - p.path.Bit(l))
+		if !msg.R.OverlapsPrefix(sibling) {
+			continue
+		}
+		if ref, ok := p.pickRef(l); ok {
+			branches = append(branches, branch{level: l, ref: ref})
+		} else {
+			p.stats.RouteFailures++
+		}
+	}
+	// Split the share mass: local serving keeps one part, each branch
+	// takes one part; the remainder sticks to the local part so the
+	// total is conserved exactly.
+	parts := int64(len(branches)) + 1
+	each := msg.Share / parts
+	local := msg.Share - each*int64(len(branches))
+	for _, b := range branches {
+		fwd := msg
+		fwd.Level = b.level + 1
+		fwd.Share = each
+		fwd.Hops = msg.Hops + 1
+		p.net.Send(p.id, b.ref.ID, KindRange, fwd)
+	}
+	p.serveRange(msg, local)
+}
+
+// serveRange answers the part of the range this peer stores.
+func (p *Peer) serveRange(msg rangeMsg, share int64) {
+	p.stats.RangeServed++
+	resp := queryResp{QID: msg.QID, Share: share, Hops: msg.Hops, From: p.id, Path: p.path}
+	p.store.Scan(triple.IndexKind(msg.Kind), msg.R, func(e store.Entry) bool {
+		if msg.Probe {
+			resp.Count++
+		} else {
+			resp.Entries = append(resp.Entries, e)
+			resp.Count++
+		}
+		return true
+	})
+	p.net.Send(p.id, msg.Origin, KindResponse, resp)
+}

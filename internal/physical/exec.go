@@ -1,0 +1,494 @@
+package physical
+
+import (
+	"fmt"
+	"time"
+
+	"unistore/internal/algebra"
+	"unistore/internal/keys"
+	"unistore/internal/pgrid"
+	"unistore/internal/qgram"
+	"unistore/internal/simnet"
+	"unistore/internal/store"
+	"unistore/internal/triple"
+	"unistore/internal/vql"
+)
+
+// Reoptimizer lets a plan host revise the remaining steps with its own
+// statistics before continuing — the paper's adaptive, repeatedly
+// applied optimization. A nil Reoptimizer keeps plans as compiled.
+type Reoptimizer interface {
+	Rechoose(steps []Step, bindingCount int, peer *pgrid.Peer) []Step
+}
+
+// Engine attaches query processing to one peer: it owns the peer's app
+// handler, hosts migrated plans, and tracks queries this peer
+// originated.
+type Engine struct {
+	peer    *pgrid.Peer
+	reopt   Reoptimizer
+	seq     uint64
+	queries map[uint64]*Exec
+	// probeCap bounds how many distinct bound values a step resolves
+	// with parallel exact lookups before falling back to a range scan.
+	probeCap int
+}
+
+// planMsg carries a mutant plan to its next host.
+type planMsg struct {
+	Steps    []Step
+	Tail     Tail
+	Bindings []algebra.Binding
+	Origin   simnet.NodeID
+	RootQID  uint64
+	Hops     int
+}
+
+func (m planMsg) WireSize() int {
+	s := 64 + len(m.Steps)*48
+	for _, b := range m.Bindings {
+		s += 24 * len(b)
+	}
+	return s
+}
+
+// resultMsg returns final bindings to the query origin.
+type resultMsg struct {
+	RootQID  uint64
+	Bindings []algebra.Binding
+	Hops     int
+}
+
+func (m resultMsg) WireSize() int {
+	s := 16
+	for _, b := range m.Bindings {
+		s += 24 * len(b)
+	}
+	return s
+}
+
+// NewEngine wires an engine to a peer, installing the app handler that
+// receives mutant plans and results.
+func NewEngine(p *pgrid.Peer, reopt Reoptimizer) *Engine {
+	e := &Engine{peer: p, reopt: reopt, queries: make(map[uint64]*Exec), probeCap: 64}
+	p.SetAppHandler(e.handleApp)
+	return e
+}
+
+// Peer returns the engine's peer.
+func (e *Engine) Peer() *pgrid.Peer { return e.peer }
+
+func (e *Engine) handleApp(_ *pgrid.Peer, payload any, from simnet.NodeID, hops int) {
+	switch m := payload.(type) {
+	case planMsg:
+		// Host a migrated plan: re-optimize the remainder, continue.
+		steps := m.Steps
+		if e.reopt != nil {
+			steps = e.reopt.Rechoose(steps, len(m.Bindings), e.peer)
+		}
+		ex := &Exec{
+			eng: e, steps: steps, tail: m.Tail,
+			bindings: m.Bindings, origin: m.Origin, rootQID: m.RootQID,
+			started: e.peer.Net().Now(),
+			seeded:  true,
+		}
+		ex.run()
+	case resultMsg:
+		ex, ok := e.queries[m.RootQID]
+		if !ok || ex.done {
+			return
+		}
+		ex.finishWith(m.Bindings)
+	}
+}
+
+// Exec drives one query (or the hosted remainder of one) at one peer.
+type Exec struct {
+	eng      *Engine
+	steps    []Step
+	tail     Tail
+	bindings []algebra.Binding
+	stepIdx  int
+	// origin/rootQID route the final result back when this Exec hosts a
+	// migrated plan; origin == peer id means this is the root.
+	origin  simnet.NodeID
+	rootQID uint64
+	// seeded marks a hosted plan that arrived with intermediate
+	// bindings: its first step joins instead of seeding.
+	seeded bool
+
+	started  time.Duration
+	finished time.Duration
+	done     bool
+	result   []algebra.Binding
+	onDone   func(*Exec)
+
+	// Stats.
+	OpsIssued int
+	MaxHops   int
+}
+
+// Start begins executing a compiled plan at the engine's peer,
+// returning the Exec handle. The callback (optional) fires on
+// completion; Wait drives the network synchronously.
+func (e *Engine) Start(p *Plan, onDone func(*Exec)) *Exec {
+	e.seq++
+	ex := &Exec{
+		eng:     e,
+		steps:   p.Steps,
+		tail:    p.Tail,
+		origin:  e.peer.ID(),
+		rootQID: e.seq,
+		started: e.peer.Net().Now(),
+		onDone:  onDone,
+	}
+	e.queries[ex.rootQID] = ex
+	ex.run()
+	return ex
+}
+
+// Run compiles and executes a parsed query end to end, driving the
+// simulated network until completion; the synchronous entry point.
+func (e *Engine) Run(q *vql.Query) ([]algebra.Binding, *Exec, error) {
+	plan, err := CompileQuery(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	ex := e.Start(plan, nil)
+	ex.Wait()
+	return ex.result, ex, nil
+}
+
+// RunPlan executes an already-compiled plan synchronously.
+func (e *Engine) RunPlan(p *Plan) ([]algebra.Binding, *Exec) {
+	ex := e.Start(p, nil)
+	ex.Wait()
+	return ex.result, ex
+}
+
+// waitTimeout bounds a synchronous query in simulated time: generous
+// for any experiment topology, yet guaranteeing termination when
+// message loss or churn swallows responses while periodic timers keep
+// the event queue alive.
+const waitTimeout = 5 * time.Minute
+
+// Wait pumps the network until the query completes, the event queue
+// drains, or the simulated-time deadline passes.
+func (ex *Exec) Wait() {
+	net := ex.eng.peer.Net()
+	deadline := net.Now() + waitTimeout
+	for !ex.done && net.Pending() > 0 && net.Now() < deadline {
+		net.Step()
+	}
+}
+
+// Done reports completion; Result returns the final bindings.
+func (ex *Exec) Done() bool                  { return ex.done }
+func (ex *Exec) Result() []algebra.Binding   { return ex.result }
+func (ex *Exec) Elapsed() time.Duration      { return ex.finished - ex.started }
+func (ex *Exec) Bindings() []algebra.Binding { return ex.bindings }
+
+func (ex *Exec) run() {
+	if ex.stepIdx >= len(ex.steps) {
+		ex.complete()
+		return
+	}
+	st := ex.steps[ex.stepIdx]
+	if st.Ship && ex.stepIdx > 0 {
+		if target, ok := shipTarget(st); ok && !ex.eng.peer.Responsible(target) {
+			ex.migrate(target)
+			return
+		}
+	}
+	ex.runStep(st)
+}
+
+// migrate sends the remaining plan to the peer owning target.
+func (ex *Exec) migrate(target keys.Key) {
+	m := planMsg{
+		Steps:    ex.steps[ex.stepIdx:],
+		Tail:     ex.tail,
+		Bindings: ex.bindings,
+		Origin:   ex.origin,
+		RootQID:  ex.rootQID,
+	}
+	// Shipping must not loop: the receiving host starts at step 0 with
+	// Ship cleared on the first step.
+	m.Steps = append([]Step(nil), m.Steps...)
+	m.Steps[0].Ship = false
+	ex.eng.peer.SendApp(target, m)
+	// This Exec's role ends here; the result flows to ex.origin.
+	if ex.origin == ex.eng.peer.ID() {
+		// Root stays registered, waiting for resultMsg.
+		return
+	}
+	ex.done = true
+}
+
+// shipTarget picks the region key the step's data lives at.
+func shipTarget(st Step) (keys.Key, bool) {
+	pat := st.Pat
+	switch st.Strat {
+	case StratOIDLookup:
+		if !pat.S.IsVar() {
+			return triple.OIDKey(pat.S.Val.Str), true
+		}
+	case StratAVLookup:
+		if !pat.A.IsVar() && !pat.V.IsVar() {
+			return triple.AVKey(pat.A.Val.Str, pat.V.Val), true
+		}
+	case StratAVRange, StratQGram:
+		if !pat.A.IsVar() {
+			return triple.AVPrefixRange(pat.A.Val.Str).Lo, true
+		}
+	case StratValLookup:
+		if !pat.V.IsVar() {
+			return triple.ValKey(pat.V.Val), true
+		}
+	}
+	return keys.Key{}, false
+}
+
+func (ex *Exec) complete() {
+	ex.finishWith(ex.tail.Apply(ex.bindings))
+}
+
+func (ex *Exec) finishWith(bs []algebra.Binding) {
+	if ex.origin != ex.eng.peer.ID() {
+		// Hosted plan: tail already applied here; ship the result home.
+		ex.eng.peer.SendAppDirect(ex.origin, resultMsg{RootQID: ex.rootQID, Bindings: bs})
+		ex.done = true
+		return
+	}
+	ex.result = bs
+	ex.done = true
+	ex.finished = ex.eng.peer.Net().Now()
+	delete(ex.eng.queries, ex.rootQID)
+	if ex.onDone != nil {
+		ex.onDone(ex)
+	}
+}
+
+// --- Step execution ---------------------------------------------------------
+
+// runStep resolves the pattern with the chosen physical operator and
+// joins the results into the binding set.
+func (ex *Exec) runStep(st Step) {
+	pat := st.Pat
+	// Runtime grounding: variables bound by earlier steps turn range
+	// strategies into (multi-)lookups — the DHT index join.
+	boundVals := ex.boundValues(pat)
+	switch st.Strat {
+	case StratOIDLookup:
+		ex.multiLookup(st, triple.ByOID, ex.oidProbes(pat, boundVals))
+	case StratAVLookup:
+		ex.multiLookup(st, triple.ByAV, ex.avProbes(pat, boundVals))
+	case StratValLookup:
+		ex.multiLookup(st, triple.ByVal, ex.valProbes(pat, boundVals))
+	case StratAVRange:
+		if vals, ok := boundVals[varName(pat.V)]; ok && len(vals) <= ex.eng.probeCap {
+			// Bound value variable: probe per value instead of scanning.
+			ks := make([]keys.Key, 0, len(vals))
+			for _, v := range vals {
+				ks = append(ks, triple.AVKey(pat.A.Val.Str, v))
+			}
+			ex.multiLookup(st, triple.ByAV, ks)
+			return
+		}
+		if st.ValuePrefix != "" {
+			// Pushed-down startswith: the order-preserving hash makes
+			// the matching values a contiguous key interval.
+			ex.rangeScan(st, triple.ByAV, triple.AVStringPrefixRange(pat.A.Val.Str, st.ValuePrefix))
+			return
+		}
+		ex.rangeScan(st, triple.ByAV, triple.AVPrefixRange(pat.A.Val.Str))
+	case StratBroadcast:
+		ex.rangeScan(st, triple.ByOID, keys.Range{})
+	case StratQGram:
+		ex.qgramStep(st)
+	default:
+		// Unknown strategy: degrade to broadcast, never wrong.
+		ex.rangeScan(st, triple.ByOID, keys.Range{})
+	}
+}
+
+func varName(t vql.Term) string {
+	if t.IsVar() {
+		return t.Var
+	}
+	return ""
+}
+
+// boundValues collects, per pattern variable, the distinct values bound
+// by the accumulated bindings.
+func (ex *Exec) boundValues(pat vql.Pattern) map[string][]triple.Value {
+	out := map[string][]triple.Value{}
+	if (ex.stepIdx == 0 && !ex.seeded) || len(ex.bindings) == 0 {
+		return out
+	}
+	for _, term := range []vql.Term{pat.S, pat.A, pat.V} {
+		if !term.IsVar() {
+			continue
+		}
+		seen := map[string]bool{}
+		var vals []triple.Value
+		bound := false
+		for _, b := range ex.bindings {
+			v, ok := b[term.Var]
+			if !ok {
+				continue
+			}
+			bound = true
+			k := v.Lexical()
+			if !seen[k] {
+				seen[k] = true
+				vals = append(vals, v)
+			}
+		}
+		if bound {
+			out[term.Var] = vals
+		}
+	}
+	return out
+}
+
+func (ex *Exec) oidProbes(pat vql.Pattern, bound map[string][]triple.Value) []keys.Key {
+	if !pat.S.IsVar() {
+		return []keys.Key{triple.OIDKey(pat.S.Val.Str)}
+	}
+	var ks []keys.Key
+	for _, v := range bound[pat.S.Var] {
+		ks = append(ks, triple.OIDKey(v.Str))
+	}
+	return ks
+}
+
+func (ex *Exec) avProbes(pat vql.Pattern, bound map[string][]triple.Value) []keys.Key {
+	attr := pat.A.Val.Str
+	if !pat.V.IsVar() {
+		return []keys.Key{triple.AVKey(attr, pat.V.Val)}
+	}
+	var ks []keys.Key
+	for _, v := range bound[pat.V.Var] {
+		ks = append(ks, triple.AVKey(attr, v))
+	}
+	return ks
+}
+
+func (ex *Exec) valProbes(pat vql.Pattern, bound map[string][]triple.Value) []keys.Key {
+	if !pat.V.IsVar() {
+		return []keys.Key{triple.ValKey(pat.V.Val)}
+	}
+	var ks []keys.Key
+	for _, v := range bound[pat.V.Var] {
+		ks = append(ks, triple.ValKey(v))
+	}
+	return ks
+}
+
+// multiLookup issues parallel lookups and joins the union of results.
+func (ex *Exec) multiLookup(st Step, kind triple.IndexKind, ks []keys.Key) {
+	if len(ks) == 0 {
+		// No probes derivable (e.g., join variable bound nothing):
+		// empty result.
+		ex.advance(st, nil)
+		return
+	}
+	remaining := len(ks)
+	var collected []store.Entry
+	for _, k := range ks {
+		ex.OpsIssued++
+		ex.eng.peer.Lookup(kind, k, func(res pgrid.OpResult) {
+			collected = append(collected, res.Entries...)
+			if res.Hops > ex.MaxHops {
+				ex.MaxHops = res.Hops
+			}
+			remaining--
+			if remaining == 0 {
+				ex.advance(st, collected)
+			}
+		})
+	}
+}
+
+// rangeScan showers over a key range and joins the results.
+func (ex *Exec) rangeScan(st Step, kind triple.IndexKind, r keys.Range) {
+	ex.OpsIssued++
+	ex.eng.peer.RangeQuery(kind, r, false, func(res pgrid.OpResult) {
+		if res.Hops > ex.MaxHops {
+			ex.MaxHops = res.Hops
+		}
+		ex.advance(st, res.Entries)
+	})
+}
+
+// advance joins fetched entries into the binding set, applies the
+// step's filters and similarity predicates, and proceeds.
+func (ex *Exec) advance(st Step, entries []store.Entry) {
+	patBindings := entriesToBindings(st.Pat, entries)
+	var joined []algebra.Binding
+	if ex.stepIdx == 0 && !ex.seeded {
+		joined = patBindings
+	} else {
+		joined = algebra.HashJoin(ex.bindings, patBindings, st.JoinOn)
+	}
+	joined = applyStepPredicates(st, joined)
+	ex.bindings = joined
+	ex.stepIdx++
+	ex.run()
+}
+
+// applyStepPredicates evaluates the step's filters and similarity
+// predicates over a binding set.
+func applyStepPredicates(st Step, bs []algebra.Binding) []algebra.Binding {
+	if len(st.Filters) == 0 && len(st.Sims) == 0 {
+		return bs
+	}
+	out := bs[:0]
+	for _, b := range bs {
+		ok := true
+		for _, f := range st.Filters {
+			if !algebra.EvalExpr(f, b) {
+				ok = false
+				break
+			}
+		}
+		for _, s := range st.Sims {
+			if !ok {
+				break
+			}
+			v, bound := b[s.Var]
+			if !bound || !qgram.WithinDistance(v.String(), s.Target, s.MaxDist) {
+				ok = false
+			}
+		}
+		if ok {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// entriesToBindings unifies fetched entries with the pattern,
+// deduplicating replica copies of the same fact.
+func entriesToBindings(pat vql.Pattern, entries []store.Entry) []algebra.Binding {
+	seen := map[string]bool{}
+	var out []algebra.Binding
+	for _, e := range entries {
+		fact := e.Triple.OID + "\x00" + e.Triple.Attr + "\x00" + e.Triple.Val.Lexical()
+		if seen[fact] {
+			continue
+		}
+		seen[fact] = true
+		if b, ok := algebra.MatchPattern(pat, e.Triple); ok {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// String renders execution state.
+func (ex *Exec) String() string {
+	return fmt.Sprintf("exec{step=%d/%d bindings=%d done=%v}",
+		ex.stepIdx, len(ex.steps), len(ex.bindings), ex.done)
+}

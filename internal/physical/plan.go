@@ -1,0 +1,288 @@
+// Package physical implements UniStore's distributed query execution
+// engine: physical operators over the P-Grid overlay (key lookups,
+// shower range scans, broadcasts, DHT index joins and the q-gram
+// similarity access path), composed into mutant query plans (Papadimos
+// & Maier) that can either pull data to the query peer ("fetch") or
+// migrate themselves — remaining steps plus intermediate bindings — to
+// the peer hosting the next region ("ship"), re-optimizing at every
+// host.
+package physical
+
+import (
+	"fmt"
+	"strings"
+
+	"unistore/internal/algebra"
+	"unistore/internal/vql"
+)
+
+// AccessStrategy selects the physical operator resolving one pattern.
+// Several implementations exist per logical operator (§2: "for each
+// logical operator there are several physical implementations"); the
+// cost model picks among them.
+type AccessStrategy int
+
+// Strategies.
+const (
+	// StratAuto defers the choice to the runtime/optimizer.
+	StratAuto AccessStrategy = iota
+	// StratOIDLookup resolves a ground-subject pattern with one OID-key
+	// lookup per subject.
+	StratOIDLookup
+	// StratAVLookup resolves attr+value with one exact A#v-key lookup
+	// (or one per bound value — the DHT index join).
+	StratAVLookup
+	// StratAVRange showers over the attribute's key region.
+	StratAVRange
+	// StratValLookup uses the v index: exact value, any attribute.
+	StratValLookup
+	// StratBroadcast floods all partitions and filters locally — the
+	// fallback for unrestricted patterns, and the naive baseline the
+	// experiments compare against.
+	StratBroadcast
+	// StratQGram answers a similarity predicate on the pattern's value
+	// via the distributed q-gram index: gram-posting range queries,
+	// count filtering, exact verification, then per-candidate lookups.
+	StratQGram
+)
+
+func (s AccessStrategy) String() string {
+	switch s {
+	case StratAuto:
+		return "auto"
+	case StratOIDLookup:
+		return "oid-lookup"
+	case StratAVLookup:
+		return "av-lookup"
+	case StratAVRange:
+		return "av-range"
+	case StratValLookup:
+		return "v-lookup"
+	case StratBroadcast:
+		return "broadcast"
+	case StratQGram:
+		return "qgram"
+	}
+	return fmt.Sprintf("strategy(%d)", int(s))
+}
+
+// SimSpec is a similarity predicate attached to a step.
+type SimSpec struct {
+	Var     string
+	Target  string
+	MaxDist int
+}
+
+// Step resolves one triple pattern and joins it into the running
+// binding set.
+type Step struct {
+	Pat   vql.Pattern
+	Strat AccessStrategy
+	// JoinOn lists variables shared with the bindings accumulated by
+	// earlier steps (empty for the first step or a cartesian join).
+	JoinOn []string
+	// Filters apply to the joined bindings right after this step.
+	Filters []vql.Expr
+	// Sims are similarity predicates applicable after this step;
+	// a StratQGram step consumes the one matching its value variable.
+	Sims []SimSpec
+	// ValuePrefix narrows an A#v range scan to values with this string
+	// prefix — the pushed-down form of startswith(?v,'p'), exploiting
+	// the order-preserving hash's native prefix search.
+	ValuePrefix string
+	// Ship requests migrating the plan to this step's region before
+	// executing it (mutant behaviour). Set by the optimizer or forced
+	// by experiments.
+	Ship bool
+}
+
+func (st Step) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s%s", st.Strat, st.Pat)
+	if len(st.JoinOn) > 0 {
+		fmt.Fprintf(&sb, " join[%s]", strings.Join(st.JoinOn, ","))
+	}
+	for _, f := range st.Filters {
+		fmt.Fprintf(&sb, " filter[%s]", f)
+	}
+	for _, s := range st.Sims {
+		fmt.Fprintf(&sb, " sim[edist(?%s,'%s')<=%d]", s.Var, s.Target, s.MaxDist)
+	}
+	if st.Ship {
+		sb.WriteString(" ship")
+	}
+	return sb.String()
+}
+
+// Tail is the post-join pipeline executed once all patterns resolved:
+// skyline, ordering, limit, projection.
+type Tail struct {
+	Skyline []vql.SkylineKey
+	OrderBy []vql.OrderKey
+	TopN    bool
+	Limit   int
+	Project []string
+}
+
+// Apply runs the tail pipeline over a binding set.
+func (t Tail) Apply(bs []algebra.Binding) []algebra.Binding {
+	if len(t.Skyline) > 0 {
+		idx := algebra.SkylineIndexes(bs, t.Skyline)
+		out := make([]algebra.Binding, len(idx))
+		for i, j := range idx {
+			out[i] = bs[j]
+		}
+		bs = out
+	}
+	if len(t.OrderBy) > 0 {
+		algebra.SortBindings(bs, t.OrderBy)
+	}
+	if t.Limit > 0 && len(bs) > t.Limit {
+		bs = bs[:t.Limit]
+	}
+	if len(t.Project) > 0 {
+		out := make([]algebra.Binding, len(bs))
+		for i, b := range bs {
+			nb := algebra.Binding{}
+			for _, v := range t.Project {
+				if val, ok := b[v]; ok {
+					nb[v] = val
+				}
+			}
+			out[i] = nb
+		}
+		bs = out
+	}
+	return bs
+}
+
+// Plan is a compiled physical plan: the mutant unit that travels
+// between peers.
+type Plan struct {
+	Steps []Step
+	Tail  Tail
+}
+
+func (p *Plan) String() string {
+	parts := make([]string, len(p.Steps))
+	for i, s := range p.Steps {
+		parts[i] = s.String()
+	}
+	return strings.Join(parts, " → ")
+}
+
+// WireSize estimates the serialized plan size.
+func (p *Plan) WireSize() int {
+	return len(p.String()) + 32
+}
+
+// Compile lowers a logical plan (from algebra.Build) into a physical
+// plan with strategies chosen by pattern shape. The optimizer refines
+// strategies and ship decisions afterwards.
+func Compile(lp algebra.Plan) (*Plan, error) {
+	p := &Plan{}
+	inner := lp
+	// Unwrap tail operators (outermost first).
+	for {
+		switch x := inner.(type) {
+		case *algebra.Project:
+			p.Tail.Project = x.Vars
+			inner = x.Input
+			continue
+		case *algebra.Limit:
+			p.Tail.Limit = x.N
+			inner = x.Input
+			continue
+		case *algebra.TopN:
+			p.Tail.Limit = x.N
+			p.Tail.TopN = true
+			p.Tail.OrderBy = x.Keys
+			inner = x.Input
+			continue
+		case *algebra.OrderBy:
+			p.Tail.OrderBy = x.Keys
+			inner = x.Input
+			continue
+		case *algebra.Skyline:
+			p.Tail.Skyline = x.Keys
+			inner = x.Input
+			continue
+		}
+		break
+	}
+	if err := compileJoins(inner, p); err != nil {
+		return nil, err
+	}
+	for i := range p.Steps {
+		if p.Steps[i].Strat == StratAuto {
+			p.Steps[i].Strat = DefaultStrategy(p.Steps[i])
+		}
+	}
+	return p, nil
+}
+
+// compileJoins flattens the left-deep join tree into steps, attaching
+// filters and similarity selections to the step after which their
+// variables are bound.
+func compileJoins(lp algebra.Plan, p *Plan) error {
+	switch x := lp.(type) {
+	case *algebra.PatternScan:
+		p.Steps = append(p.Steps, Step{Pat: x.Pat})
+		return nil
+	case *algebra.Join:
+		if err := compileJoins(x.L, p); err != nil {
+			return err
+		}
+		scan, ok := x.R.(*algebra.PatternScan)
+		if !ok {
+			return fmt.Errorf("physical: join right side is %T, want left-deep tree", x.R)
+		}
+		p.Steps = append(p.Steps, Step{Pat: scan.Pat, JoinOn: x.On})
+		return nil
+	case *algebra.Select:
+		if err := compileJoins(x.Input, p); err != nil {
+			return err
+		}
+		last := &p.Steps[len(p.Steps)-1]
+		last.Filters = append(last.Filters, x.Cond)
+		return nil
+	case *algebra.SimilaritySelect:
+		if err := compileJoins(x.Input, p); err != nil {
+			return err
+		}
+		last := &p.Steps[len(p.Steps)-1]
+		last.Sims = append(last.Sims, SimSpec{Var: x.Var, Target: x.Target, MaxDist: x.MaxDist})
+		return nil
+	}
+	return fmt.Errorf("physical: unsupported logical node %T below the tail", lp)
+}
+
+// DefaultStrategy picks the access path a pattern's shape dictates,
+// without statistics: the canonical mapping of Fig. 2's three indexes.
+func DefaultStrategy(st Step) AccessStrategy {
+	pat := st.Pat
+	switch {
+	case !pat.S.IsVar():
+		return StratOIDLookup
+	case !pat.A.IsVar() && !pat.V.IsVar():
+		return StratAVLookup
+	case !pat.A.IsVar():
+		// A similarity predicate on this pattern's value variable can
+		// use the q-gram index; the optimizer decides. Shape-wise the
+		// attribute region range scan is the default.
+		return StratAVRange
+	case !pat.V.IsVar():
+		return StratValLookup
+	default:
+		return StratBroadcast
+	}
+}
+
+// CompileQuery is the one-call path from VQL text to a physical plan.
+func CompileQuery(q *vql.Query) (*Plan, error) {
+	lp, err := algebra.Build(q)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(lp)
+}

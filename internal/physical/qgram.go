@@ -1,0 +1,157 @@
+package physical
+
+import (
+	"sort"
+
+	"unistore/internal/pgrid"
+	"unistore/internal/qgram"
+	"unistore/internal/store"
+	"unistore/internal/triple"
+)
+
+// This file implements the distributed q-gram similarity access path
+// (companion paper [6]): string values are indexed under their padded
+// q-grams in a dedicated key-space region; a similarity selection
+// edist(?v, c) <= k routes one range query per gram of c, count-filters
+// the collected candidate values, verifies survivors with the banded
+// edit distance, and resolves the matching values with exact A#v
+// lookups — touching only O(|c|) regions instead of every peer.
+
+// InsertGrams publishes the q-gram postings for a string-valued triple.
+// Call alongside the triple insert when the similarity index is
+// enabled; version follows the triple's version.
+func InsertGrams(p *pgrid.Peer, tr triple.Triple, version uint64) int {
+	if tr.Val.Kind != triple.KindString {
+		return 0
+	}
+	n := 0
+	for g := range qgram.GramSet(tr.Val.Str, qgram.Q) {
+		gt := triple.GramTriple(tr.Attr, g, tr.Val.Str)
+		p.InsertEntry(store.Entry{
+			Kind:    triple.ByVal,
+			Key:     triple.GramKey(tr.Attr, g, tr.Val.Str),
+			Triple:  gt,
+			Version: version,
+		})
+		n++
+	}
+	return n
+}
+
+// qgramStep resolves a pattern (?s, attr, ?v) under a similarity
+// predicate on ?v using the distributed q-gram index.
+func (ex *Exec) qgramStep(st Step) {
+	pat := st.Pat
+	sim, ok := simFor(st)
+	if !ok || pat.A.IsVar() {
+		// No usable predicate: degrade to the attribute range scan.
+		ex.rangeScan(st, triple.ByAV, triple.AVPrefixRange(pat.A.Val.Str))
+		return
+	}
+	attr := pat.A.Val.Str
+	grams := qgram.GramSet(sim.Target, qgram.Q)
+	remaining := len(grams)
+	if remaining == 0 {
+		ex.advance(st, nil)
+		return
+	}
+	counts := make(map[string]int)
+	for g := range grams {
+		ex.OpsIssued++
+		r := triple.GramRange(attr, g)
+		ex.eng.peer.RangeQuery(triple.ByVal, r, false, func(res pgrid.OpResult) {
+			if res.Hops > ex.MaxHops {
+				ex.MaxHops = res.Hops
+			}
+			seen := map[string]bool{}
+			for _, e := range res.Entries {
+				val := e.Triple.Val.Str
+				if !seen[val] {
+					seen[val] = true
+					counts[val]++
+				}
+			}
+			remaining--
+			if remaining == 0 {
+				ex.qgramVerify(st, sim, attr, counts)
+			}
+		})
+	}
+}
+
+// simFor extracts the similarity predicate applicable to the step's
+// value variable.
+func simFor(st Step) (SimSpec, bool) {
+	v := st.Pat.V
+	if !v.IsVar() {
+		return SimSpec{}, false
+	}
+	for _, s := range st.Sims {
+		if s.Var == v.Var {
+			return s, true
+		}
+	}
+	return SimSpec{}, false
+}
+
+// qgramVerify count-filters the candidates, verifies exactly, then
+// probes the A#v index for the surviving values.
+func (ex *Exec) qgramVerify(st Step, sim SimSpec, attr string, counts map[string]int) {
+	var candidates []string
+	for val, shared := range counts {
+		thr := qgram.CountFilterThreshold(len(sim.Target), len(val), qgram.Q, sim.MaxDist)
+		if thr > 0 && shared < thr {
+			// The distinct-gram count underestimates the true shared
+			// multiplicity only when grams repeat; re-check exactly
+			// before pruning (soundness over speed).
+			if qgram.SharedGrams(sim.Target, val, qgram.Q) < thr {
+				continue
+			}
+		}
+		if qgram.WithinDistance(sim.Target, val, sim.MaxDist) {
+			candidates = append(candidates, val)
+		}
+	}
+	sort.Strings(candidates)
+	if len(candidates) == 0 {
+		ex.advance(st, nil)
+		return
+	}
+	// Resolve matching values to full bindings via the A#v index. The
+	// similarity predicate is already verified; drop it so advance()
+	// does not re-check (it would pass anyway).
+	probe := st
+	probe.Sims = dropSim(st.Sims, probe.Pat.V.Var)
+	ex.multiLookupValues(probe, attr, candidates)
+}
+
+// dropSim removes the (verified) similarity predicate on var v.
+func dropSim(sims []SimSpec, v string) []SimSpec {
+	out := make([]SimSpec, 0, len(sims))
+	for _, s := range sims {
+		if s.Var != v {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// multiLookupValues probes A#v keys for each candidate value.
+func (ex *Exec) multiLookupValues(st Step, attr string, values []string) {
+	remaining := len(values)
+	var collected []store.Entry
+	for _, v := range values {
+		ex.OpsIssued++
+		k := triple.AVKey(attr, triple.S(v))
+		ex.eng.peer.Lookup(triple.ByAV, k, func(res pgrid.OpResult) {
+			collected = append(collected, res.Entries...)
+			if res.Hops > ex.MaxHops {
+				ex.MaxHops = res.Hops
+			}
+			remaining--
+			if remaining == 0 {
+				ex.advance(st, collected)
+			}
+		})
+	}
+}

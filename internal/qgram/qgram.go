@@ -1,0 +1,334 @@
+// Package qgram implements string similarity primitives for UniStore's
+// similarity operators: Levenshtein edit distance (full and banded) and
+// the q-gram index of the companion paper [6] ("Similarity Queries on
+// Structured Data in Structured Overlays", NetDB'06).
+//
+// A q-gram is a substring of fixed length q. Strings are padded with
+// q-1 sentinel characters on each side before gram extraction so that
+// prefixes and suffixes carry positional weight. The count-filtering
+// lemma makes the index sound: if edit distance ed(s, t) <= k, then s
+// and t share at least
+//
+//	max(|s|, |t|) + q - 1 - k*q
+//
+// padded q-grams. A peer evaluating edist(attr, c) < k therefore routes
+// only to the key-space partitions of c's q-grams, collects candidate
+// strings by gram, count-filters them, and verifies survivors with the
+// exact edit distance — instead of broadcasting the predicate to every
+// peer.
+package qgram
+
+import (
+	"sort"
+	"strings"
+)
+
+// Q is the default gram length; q=3 follows the companion paper's setup.
+const Q = 3
+
+// pad is the sentinel used to extend strings before gram extraction. It
+// is outside the alphabet of stored values by convention.
+const pad = '\x01'
+
+// Grams returns the padded q-grams of s, in order, with duplicates.
+func Grams(s string, q int) []string {
+	if q <= 0 {
+		panic("qgram: q must be positive")
+	}
+	padded := strings.Repeat(string(pad), q-1) + s + strings.Repeat(string(pad), q-1)
+	n := len(padded) - q + 1
+	if n <= 0 {
+		return nil
+	}
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, padded[i:i+q])
+	}
+	return out
+}
+
+// GramSet returns the distinct padded q-grams of s with multiplicities.
+func GramSet(s string, q int) map[string]int {
+	m := make(map[string]int)
+	for _, g := range Grams(s, q) {
+		m[g]++
+	}
+	return m
+}
+
+// SharedGrams counts the number of q-grams shared by s and t, respecting
+// multiplicity (the quantity bounded by the count filter).
+func SharedGrams(s, t string, q int) int {
+	ms := GramSet(s, q)
+	shared := 0
+	for _, g := range Grams(t, q) {
+		if ms[g] > 0 {
+			ms[g]--
+			shared++
+		}
+	}
+	return shared
+}
+
+// CountFilterThreshold returns the minimum number of shared padded
+// q-grams two strings must have if their edit distance is at most k.
+// A non-positive threshold means the filter cannot prune (every string
+// is a candidate).
+func CountFilterThreshold(lenS, lenT, q, k int) int {
+	max := lenS
+	if lenT > max {
+		max = lenT
+	}
+	return max + q - 1 - k*q
+}
+
+// WithinDistanceFilter reports whether t survives the count filter for
+// query string s and threshold k: a false result proves ed(s,t) > k;
+// a true result requires exact verification.
+func WithinDistanceFilter(s, t string, q, k int) bool {
+	thr := CountFilterThreshold(len(s), len(t), q, k)
+	if thr <= 0 {
+		return true
+	}
+	return SharedGrams(s, t, q) >= thr
+}
+
+// EditDistance computes the Levenshtein distance between s and t with
+// unit costs, in O(|s|·|t|) time and O(min) space.
+func EditDistance(s, t string) int {
+	if len(s) < len(t) {
+		s, t = t, s
+	}
+	if len(t) == 0 {
+		return len(s)
+	}
+	prev := make([]int, len(t)+1)
+	curr := make([]int, len(t)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(s); i++ {
+		curr[0] = i
+		si := s[i-1]
+		for j := 1; j <= len(t); j++ {
+			cost := 1
+			if si == t[j-1] {
+				cost = 0
+			}
+			m := prev[j-1] + cost        // substitute
+			if d := prev[j] + 1; d < m { // delete
+				m = d
+			}
+			if d := curr[j-1] + 1; d < m { // insert
+				m = d
+			}
+			curr[j] = m
+		}
+		prev, curr = curr, prev
+	}
+	return prev[len(t)]
+}
+
+// WithinDistance reports whether ed(s, t) <= k, using a banded
+// computation that early-exits in O(k·min(|s|,|t|)) time — the exact
+// verifier applied to count-filter survivors.
+func WithinDistance(s, t string, k int) bool {
+	if k < 0 {
+		return false
+	}
+	if len(s) < len(t) {
+		s, t = t, s
+	}
+	if len(s)-len(t) > k {
+		return false
+	}
+	// Band of width 2k+1 around the diagonal.
+	const inf = 1 << 30
+	prev := make([]int, len(t)+1)
+	curr := make([]int, len(t)+1)
+	for j := range prev {
+		if j <= k {
+			prev[j] = j
+		} else {
+			prev[j] = inf
+		}
+	}
+	for i := 1; i <= len(s); i++ {
+		lo := i - k
+		if lo < 1 {
+			lo = 1
+		}
+		hi := i + k
+		if hi > len(t) {
+			hi = len(t)
+		}
+		if lo > 1 {
+			curr[lo-1] = inf
+		} else {
+			curr[0] = i
+		}
+		rowMin := inf
+		if lo == 1 && curr[0] < rowMin {
+			rowMin = curr[0]
+		}
+		si := s[i-1]
+		for j := lo; j <= hi; j++ {
+			cost := 1
+			if si == t[j-1] {
+				cost = 0
+			}
+			m := prev[j-1] + cost
+			if d := prev[j] + 1; j <= i+k-1 && d < m {
+				m = d
+			}
+			if d := curr[j-1] + 1; d < m {
+				m = d
+			}
+			curr[j] = m
+			if m < rowMin {
+				rowMin = m
+			}
+		}
+		if hi < len(t) {
+			curr[hi+1] = inf
+		}
+		if rowMin > k {
+			return false
+		}
+		prev, curr = curr, prev
+	}
+	return prev[len(t)] <= k
+}
+
+// Index is a local q-gram index: gram → the strings containing it. The
+// distributed variant places each gram's posting list at
+// hash("q:"+gram) in the overlay; this local form backs both the
+// single-node execution path and each peer's share of the distributed
+// index.
+type Index struct {
+	q        int
+	postings map[string]map[string]struct{}
+	strings  map[string]int // string → reference count
+}
+
+// NewIndex creates a q-gram index with gram length q (use Q for the
+// paper's setting).
+func NewIndex(q int) *Index {
+	return &Index{q: q,
+		postings: make(map[string]map[string]struct{}),
+		strings:  make(map[string]int)}
+}
+
+// Q returns the gram length.
+func (ix *Index) Q() int { return ix.q }
+
+// Add indexes s. Adding the same string again increments its reference
+// count (several triples may share a value).
+func (ix *Index) Add(s string) {
+	ix.strings[s]++
+	if ix.strings[s] > 1 {
+		return
+	}
+	for g := range GramSet(s, ix.q) {
+		p, ok := ix.postings[g]
+		if !ok {
+			p = make(map[string]struct{})
+			ix.postings[g] = p
+		}
+		p[s] = struct{}{}
+	}
+}
+
+// Remove drops one reference to s, unindexing it when the count reaches
+// zero.
+func (ix *Index) Remove(s string) {
+	c, ok := ix.strings[s]
+	if !ok {
+		return
+	}
+	if c > 1 {
+		ix.strings[s] = c - 1
+		return
+	}
+	delete(ix.strings, s)
+	for g := range GramSet(s, ix.q) {
+		if p, ok := ix.postings[g]; ok {
+			delete(p, s)
+			if len(p) == 0 {
+				delete(ix.postings, g)
+			}
+		}
+	}
+}
+
+// Len returns the number of distinct indexed strings.
+func (ix *Index) Len() int { return len(ix.strings) }
+
+// Posting returns the strings containing gram g (nil if none).
+func (ix *Index) Posting(g string) []string {
+	p := ix.postings[g]
+	if len(p) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(p))
+	for s := range p {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Candidates returns the strings sharing at least the count-filter
+// threshold of q-grams with s for distance bound k — the superset that
+// exact verification narrows down. With a non-positive threshold it
+// returns every indexed string.
+func (ix *Index) Candidates(s string, k int) []string {
+	counts := make(map[string]int)
+	for g := range GramSet(s, ix.q) {
+		for cand := range ix.postings[g] {
+			counts[cand]++
+		}
+	}
+	var out []string
+	for cand, shared := range counts {
+		thr := CountFilterThreshold(len(s), len(cand), ix.q, k)
+		if thr <= 0 || sharedAtLeast(s, cand, ix.q, thr, shared) {
+			out = append(out, cand)
+		}
+	}
+	// Strings with no shared gram at all still qualify when the
+	// threshold is non-positive for them.
+	for cand := range ix.strings {
+		if _, seen := counts[cand]; seen {
+			continue
+		}
+		if CountFilterThreshold(len(s), len(cand), ix.q, k) <= 0 {
+			out = append(out, cand)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// sharedAtLeast verifies the multiplicity-aware shared count reaches
+// thr. The distinct-gram count `approx` is a lower bound of the true
+// shared count (Σ min of multiplicities), so it short-circuits the
+// common case; otherwise the exact count decides.
+func sharedAtLeast(s, cand string, q, thr, approx int) bool {
+	if approx >= thr {
+		return true
+	}
+	return SharedGrams(s, cand, q) >= thr
+}
+
+// Search returns the indexed strings within edit distance k of s,
+// verified exactly, in sorted order.
+func (ix *Index) Search(s string, k int) []string {
+	var out []string
+	for _, cand := range ix.Candidates(s, k) {
+		if WithinDistance(s, cand, k) {
+			out = append(out, cand)
+		}
+	}
+	return out
+}

@@ -1,0 +1,316 @@
+package qgram
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGrams(t *testing.T) {
+	gs := Grams("abc", 2)
+	want := []string{"\x01a", "ab", "bc", "c\x01"}
+	if len(gs) != len(want) {
+		t.Fatalf("grams = %q", gs)
+	}
+	for i := range want {
+		if gs[i] != want[i] {
+			t.Errorf("gram %d = %q, want %q", i, gs[i], want[i])
+		}
+	}
+	if got := len(Grams("ICDE", Q)); got != 4+Q-1 {
+		t.Errorf("padded gram count = %d, want |s|+q-1 = %d", got, 4+Q-1)
+	}
+	if gs := Grams("", 3); len(gs) != 2 {
+		// Padding alone yields q-1 grams for the empty string.
+		t.Errorf("empty-string grams = %q", gs)
+	}
+}
+
+func TestGramsPanicsOnBadQ(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Grams("x", 0)
+}
+
+func TestEditDistanceKnown(t *testing.T) {
+	cases := []struct {
+		s, t string
+		want int
+	}{
+		{"", "", 0},
+		{"a", "", 1},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"ICDE", "ICDE", 0},
+		{"ICDE", "ICDM", 1},
+		{"ICDE", "CIDR", 3},
+		{"VLDB", "ICDE", 3},
+		{"flaw", "lawn", 2},
+		{"intention", "execution", 5},
+	}
+	for _, c := range cases {
+		if got := EditDistance(c.s, c.t); got != c.want {
+			t.Errorf("ed(%q,%q) = %d, want %d", c.s, c.t, got, c.want)
+		}
+	}
+}
+
+// Metric axioms as properties: symmetry, identity, triangle inequality.
+func TestEditDistanceMetricProperties(t *testing.T) {
+	alpha := func(r *rand.Rand, n int) string {
+		b := make([]byte, r.Intn(n))
+		for i := range b {
+			b[i] = byte('a' + r.Intn(6))
+		}
+		return string(b)
+	}
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 400; i++ {
+		a, b, c := alpha(rng, 12), alpha(rng, 12), alpha(rng, 12)
+		dab, dba := EditDistance(a, b), EditDistance(b, a)
+		if dab != dba {
+			t.Fatalf("symmetry violated: %q %q", a, b)
+		}
+		if EditDistance(a, a) != 0 {
+			t.Fatalf("identity violated: %q", a)
+		}
+		if dab == 0 && a != b {
+			t.Fatalf("distinct strings at distance 0: %q %q", a, b)
+		}
+		if dab > EditDistance(a, c)+EditDistance(c, b) {
+			t.Fatalf("triangle violated: %q %q %q", a, b, c)
+		}
+	}
+}
+
+// Property: banded WithinDistance agrees with the full DP for all k.
+func TestWithinDistanceAgreesWithFull(t *testing.T) {
+	f := func(a, b string, k8 uint8) bool {
+		if len(a) > 20 {
+			a = a[:20]
+		}
+		if len(b) > 20 {
+			b = b[:20]
+		}
+		k := int(k8 % 8)
+		return WithinDistance(a, b, k) == (EditDistance(a, b) <= k)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWithinDistanceNegativeK(t *testing.T) {
+	if WithinDistance("a", "a", -1) {
+		t.Error("negative k must be false")
+	}
+}
+
+func TestCountFilterSoundness(t *testing.T) {
+	// No false negatives: every string within distance k must survive
+	// the count filter (the invariant that makes the index correct).
+	rng := rand.New(rand.NewSource(5))
+	base := "similarity queries"
+	for i := 0; i < 1000; i++ {
+		mutated := mutate(rng, base, rng.Intn(4))
+		k := EditDistance(base, mutated)
+		if !WithinDistanceFilter(base, mutated, Q, k) {
+			t.Fatalf("count filter rejected %q at its true distance %d", mutated, k)
+		}
+	}
+}
+
+func mutate(rng *rand.Rand, s string, edits int) string {
+	b := []byte(s)
+	for e := 0; e < edits && len(b) > 0; e++ {
+		switch rng.Intn(3) {
+		case 0: // substitute
+			b[rng.Intn(len(b))] = byte('a' + rng.Intn(26))
+		case 1: // delete
+			i := rng.Intn(len(b))
+			b = append(b[:i], b[i+1:]...)
+		case 2: // insert
+			i := rng.Intn(len(b) + 1)
+			b = append(b[:i], append([]byte{byte('a' + rng.Intn(26))}, b[i:]...)...)
+		}
+	}
+	return string(b)
+}
+
+func TestIndexAddRemove(t *testing.T) {
+	ix := NewIndex(Q)
+	ix.Add("ICDE")
+	ix.Add("ICDE") // refcount 2
+	ix.Add("VLDB")
+	if ix.Len() != 2 {
+		t.Errorf("Len = %d", ix.Len())
+	}
+	ix.Remove("ICDE")
+	if ix.Len() != 2 {
+		t.Error("first remove must only decrement the refcount")
+	}
+	ix.Remove("ICDE")
+	if ix.Len() != 1 {
+		t.Error("second remove must unindex")
+	}
+	ix.Remove("never-added") // must not panic
+	if got := ix.Search("ICDE", 1); len(got) != 0 {
+		t.Errorf("removed string still found: %v", got)
+	}
+}
+
+func TestIndexSearchExact(t *testing.T) {
+	ix := NewIndex(Q)
+	confs := []string{"ICDE", "ICDM", "CIDR", "VLDB", "SIGMOD", "EDBT", "ICDT"}
+	for _, c := range confs {
+		ix.Add(c)
+	}
+	got := ix.Search("ICDE", 1)
+	want := []string{"ICDE", "ICDM", "ICDT"}
+	if !equalStrings(got, want) {
+		t.Errorf("Search(ICDE,1) = %v, want %v", got, want)
+	}
+	// The paper's example: edist(?sr,'ICDE') < 3 ⇒ k = 2.
+	got = ix.Search("ICDE", 2)
+	for _, w := range []string{"ICDE", "ICDM", "ICDT", "EDBT"} {
+		if !contains(got, w) && EditDistance("ICDE", w) <= 2 {
+			t.Errorf("Search(ICDE,2) missing %q (ed=%d): got %v", w, EditDistance("ICDE", w), got)
+		}
+	}
+	for _, g := range got {
+		if EditDistance("ICDE", g) > 2 {
+			t.Errorf("Search returned %q beyond distance 2", g)
+		}
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	sort.Strings(a)
+	sort.Strings(b)
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func contains(xs []string, w string) bool {
+	for _, x := range xs {
+		if x == w {
+			return true
+		}
+	}
+	return false
+}
+
+// Property: index search equals brute force over the corpus.
+func TestIndexSearchEqualsBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	corpus := make([]string, 0, 300)
+	bases := []string{"ICDE 2006", "VLDB 2005", "SIGMOD Conf", "similarity", "skyline"}
+	ix := NewIndex(Q)
+	for i := 0; i < 300; i++ {
+		s := mutate(rng, bases[i%len(bases)], rng.Intn(5))
+		corpus = append(corpus, s)
+		ix.Add(s)
+	}
+	for _, k := range []int{0, 1, 2, 3} {
+		for _, query := range bases {
+			got := ix.Search(query, k)
+			var want []string
+			seen := map[string]bool{}
+			for _, s := range corpus {
+				if !seen[s] && EditDistance(query, s) <= k {
+					want = append(want, s)
+					seen[s] = true
+				}
+			}
+			if !equalStrings(got, want) {
+				t.Fatalf("k=%d query=%q: index %v != brute %v", k, query, got, want)
+			}
+		}
+	}
+}
+
+func TestCandidatesIncludesEverythingAtHugeK(t *testing.T) {
+	ix := NewIndex(Q)
+	ix.Add("completely")
+	ix.Add("different")
+	got := ix.Candidates("zzz", 50)
+	if len(got) != 2 {
+		t.Errorf("huge k must make every string a candidate: %v", got)
+	}
+}
+
+func TestPostingSorted(t *testing.T) {
+	ix := NewIndex(2)
+	ix.Add("ba")
+	ix.Add("ab")
+	p := ix.Posting("ab")
+	if !sort.StringsAreSorted(p) {
+		t.Errorf("posting not sorted: %v", p)
+	}
+}
+
+func TestSharedGramsMultiplicity(t *testing.T) {
+	// "aaaa" vs "aaa": shared 'aaa'-grams must respect multiplicity.
+	s, u := "aaaa", "aaa"
+	shared := SharedGrams(s, u, 3)
+	if shared <= 0 {
+		t.Fatalf("shared = %d", shared)
+	}
+	if shared > len(Grams(u, 3)) {
+		t.Fatalf("shared %d exceeds smaller gram count", shared)
+	}
+}
+
+func TestLongStringsBand(t *testing.T) {
+	a := strings.Repeat("abcdefgh", 50)
+	b := a[:len(a)-5] + "xxxxx"
+	if !WithinDistance(a, b, 5) {
+		t.Error("banded distance must accept 5 substitutions at k=5")
+	}
+	if WithinDistance(a, b, 4) {
+		t.Error("banded distance must reject at k=4")
+	}
+}
+
+func BenchmarkEditDistance(b *testing.B) {
+	s, t := "Similarity Queries on Structured Data", "Similarity Queries in Structured Overlays"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		EditDistance(s, t)
+	}
+}
+
+var benchSink bool
+
+func BenchmarkWithinDistanceBanded(b *testing.B) {
+	s, t := "Similarity Queries on Structured Data", "Similarity Queries in Structured Overlays"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchSink = WithinDistance(s, t, 2)
+	}
+	_ = benchSink
+}
+
+func BenchmarkIndexSearch(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	ix := NewIndex(Q)
+	for i := 0; i < 10000; i++ {
+		ix.Add(mutate(rng, "international conference on data engineering", rng.Intn(8)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Search("international conference on data engineering", 2)
+	}
+}

@@ -1,0 +1,169 @@
+// Package ranking implements UniStore's ranking operators: skyline
+// (block-nested-loop and sort-filter variants, plus the merge step the
+// distributed operator uses) and top-N selection. The paper's flagship
+// example — "a skyline of authors from the youngest to those who
+// published most" — is ORDER BY SKYLINE OF ?age MIN, ?cnt MAX over the
+// join result.
+package ranking
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// Direction states whether smaller or larger coordinates are better.
+type Direction bool
+
+// Directions.
+const (
+	Min Direction = false // smaller is better
+	Max Direction = true  // larger is better
+)
+
+// Dominates reports whether point a dominates point b under the given
+// directions: a is at least as good in every coordinate and strictly
+// better in at least one. Both points must have len(dirs) coordinates.
+func Dominates(a, b []float64, dirs []Direction) bool {
+	strictly := false
+	for i, d := range dirs {
+		av, bv := a[i], b[i]
+		if d == Max {
+			av, bv = -av, -bv
+		}
+		if av > bv {
+			return false
+		}
+		if av < bv {
+			strictly = true
+		}
+	}
+	return strictly
+}
+
+// SkylineBNL computes skyline indexes with the block-nested-loop
+// algorithm: every candidate is compared against the current window.
+// O(n·s) comparisons with s the skyline size; no ordering requirements.
+func SkylineBNL(points [][]float64, dirs []Direction) []int {
+	var window []int
+	for i, p := range points {
+		dominated := false
+		for _, j := range window {
+			if Dominates(points[j], p, dirs) {
+				dominated = true
+				break
+			}
+		}
+		if dominated {
+			continue
+		}
+		// p enters the window; evict everything it dominates.
+		keep := window[:0]
+		for _, j := range window {
+			if !Dominates(p, points[j], dirs) {
+				keep = append(keep, j)
+			}
+		}
+		window = append(keep, i)
+	}
+	sort.Ints(window)
+	return window
+}
+
+// SkylineSortFilter computes the same skyline by first sorting on a
+// monotone score (the sum of normalized coordinates) so that no point
+// can be dominated by a later one — each candidate is then only checked
+// against already-accepted points. O(n log n + n·s).
+func SkylineSortFilter(points [][]float64, dirs []Direction) []int {
+	idx := make([]int, len(points))
+	for i := range idx {
+		idx[i] = i
+	}
+	score := func(p []float64) float64 {
+		s := 0.0
+		for i, d := range dirs {
+			v := p[i]
+			if d == Max {
+				v = -v
+			}
+			s += v
+		}
+		return s
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return score(points[idx[a]]) < score(points[idx[b]])
+	})
+	var out []int
+	for _, i := range idx {
+		dominated := false
+		for _, j := range out {
+			if Dominates(points[j], points[i], dirs) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, i)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// SkylineMerge merges two local skylines into the skyline of the union
+// — the reduction step of the distributed skyline operator: each peer
+// computes the skyline of its partition, the query peer merges.
+// Inputs need not be skylines themselves; the result is always the
+// skyline of the concatenation, with indexes into the concatenation
+// (a's indexes first).
+func SkylineMerge(a, b [][]float64, dirs []Direction) []int {
+	all := make([][]float64, 0, len(a)+len(b))
+	all = append(all, a...)
+	all = append(all, b...)
+	return SkylineBNL(all, dirs)
+}
+
+// --- Top-N ------------------------------------------------------------------
+
+// TopN returns the indexes of the n best points under the scoring
+// function (lower score = better), in ascending score order. It runs in
+// O(len(points) · log n) with a bounded max-heap, never materializing a
+// full sort — the advantage the top-N operator has over ORDER BY+LIMIT.
+func TopN(n int, count int, score func(i int) float64) []int {
+	if n <= 0 || count <= 0 {
+		return nil
+	}
+	h := &maxHeap{score: score}
+	for i := 0; i < count; i++ {
+		if h.Len() < n {
+			heap.Push(h, i)
+			continue
+		}
+		if score(i) < score(h.items[0]) {
+			h.items[0] = i
+			heap.Fix(h, 0)
+		}
+	}
+	out := make([]int, h.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(h).(int)
+	}
+	return out
+}
+
+// maxHeap keeps the worst of the current best-n at the root.
+type maxHeap struct {
+	items []int
+	score func(i int) float64
+}
+
+func (h *maxHeap) Len() int           { return len(h.items) }
+func (h *maxHeap) Less(i, j int) bool { return h.score(h.items[i]) > h.score(h.items[j]) }
+func (h *maxHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *maxHeap) Push(x any)         { h.items = append(h.items, x.(int)) }
+func (h *maxHeap) Pop() any {
+	old := h.items
+	n := len(old)
+	x := old[n-1]
+	h.items = old[:n-1]
+	return x
+}

@@ -1,0 +1,265 @@
+package ranking
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func TestDominates(t *testing.T) {
+	dirs := []Direction{Min, Max} // the paper's ?age MIN, ?cnt MAX
+	cases := []struct {
+		a, b []float64
+		want bool
+	}{
+		{[]float64{30, 10}, []float64{40, 5}, true},   // younger and more pubs
+		{[]float64{30, 10}, []float64{30, 10}, false}, // equal: no strict edge
+		{[]float64{30, 10}, []float64{25, 5}, false},  // b younger
+		{[]float64{30, 10}, []float64{30, 9}, true},   // tie on age, more pubs
+		{[]float64{40, 5}, []float64{30, 10}, false},
+	}
+	for _, c := range cases {
+		if got := Dominates(c.a, c.b, dirs); got != c.want {
+			t.Errorf("Dominates(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSkylineBNLPaperExample(t *testing.T) {
+	// Authors: (age, num_of_pubs).
+	points := [][]float64{
+		{25, 3},  // young, few pubs — in skyline
+		{30, 10}, // dominated by none
+		{40, 12}, // older but most pubs — in skyline
+		{35, 8},  // dominated by {30,10}
+		{28, 10}, // dominates {30,10}
+		{50, 12}, // dominated by {40,12}
+	}
+	dirs := []Direction{Min, Max}
+	got := SkylineBNL(points, dirs)
+	want := []int{0, 2, 4}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("skyline = %v, want %v", got, want)
+	}
+}
+
+func TestSkylineSingleAndEmpty(t *testing.T) {
+	dirs := []Direction{Min}
+	if got := SkylineBNL(nil, dirs); len(got) != 0 {
+		t.Error("empty input must give empty skyline")
+	}
+	if got := SkylineBNL([][]float64{{5}}, dirs); !reflect.DeepEqual(got, []int{0}) {
+		t.Errorf("singleton skyline = %v", got)
+	}
+	// Single MIN dimension: skyline = all minima.
+	pts := [][]float64{{3}, {1}, {2}, {1}}
+	got := SkylineBNL(pts, dirs)
+	if !reflect.DeepEqual(got, []int{1, 3}) {
+		t.Errorf("1-d skyline = %v", got)
+	}
+}
+
+func TestSkylineDuplicatesSurvive(t *testing.T) {
+	// Equal points do not dominate each other; both stay.
+	pts := [][]float64{{1, 1}, {1, 1}, {2, 2}}
+	got := SkylineBNL(pts, []Direction{Min, Min})
+	if !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Errorf("skyline = %v", got)
+	}
+}
+
+// Property: BNL and sort-filter agree, and the result is exactly the
+// set of non-dominated points.
+func TestSkylineVariantsAgreeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for iter := 0; iter < 300; iter++ {
+		n := 1 + rng.Intn(60)
+		d := 1 + rng.Intn(4)
+		dirs := make([]Direction, d)
+		for i := range dirs {
+			dirs[i] = rng.Intn(2) == 0
+		}
+		pts := make([][]float64, n)
+		for i := range pts {
+			pts[i] = make([]float64, d)
+			for j := range pts[i] {
+				pts[i][j] = float64(rng.Intn(10))
+			}
+		}
+		bnl := SkylineBNL(pts, dirs)
+		sf := SkylineSortFilter(pts, dirs)
+		// Both must be the set of non-dominated points... except for
+		// duplicates: sort-filter keeps the first of equal points that
+		// arrive in different order. Compare as point multisets of the
+		// non-dominated set computed naively.
+		var naive []int
+		for i := range pts {
+			dominated := false
+			for j := range pts {
+				if Dominates(pts[j], pts[i], dirs) {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				naive = append(naive, i)
+			}
+		}
+		if !reflect.DeepEqual(bnl, naive) {
+			t.Fatalf("BNL %v != naive %v (pts=%v dirs=%v)", bnl, naive, pts, dirs)
+		}
+		if !reflect.DeepEqual(sf, naive) {
+			t.Fatalf("sort-filter %v != naive %v (pts=%v dirs=%v)", sf, naive, pts, dirs)
+		}
+	}
+}
+
+func TestSkylineMergeEqualsGlobal(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	dirs := []Direction{Min, Max}
+	for iter := 0; iter < 100; iter++ {
+		mk := func(n int) [][]float64 {
+			pts := make([][]float64, n)
+			for i := range pts {
+				pts[i] = []float64{float64(rng.Intn(20)), float64(rng.Intn(20))}
+			}
+			return pts
+		}
+		a, b := mk(rng.Intn(30)), mk(rng.Intn(30))
+		// Distributed: local skylines, then merge.
+		la := SkylineBNL(a, dirs)
+		lb := SkylineBNL(b, dirs)
+		subA := make([][]float64, len(la))
+		for i, j := range la {
+			subA[i] = a[j]
+		}
+		subB := make([][]float64, len(lb))
+		for i, j := range lb {
+			subB[i] = b[j]
+		}
+		merged := SkylineMerge(subA, subB, dirs)
+		// Global skyline over the union.
+		all := append(append([][]float64{}, a...), b...)
+		global := SkylineBNL(all, dirs)
+		// Compare as multisets of points.
+		key := func(p []float64) [2]float64 { return [2]float64{p[0], p[1]} }
+		gotSet := map[[2]float64]int{}
+		for _, i := range merged {
+			pts := append(append([][]float64{}, subA...), subB...)
+			gotSet[key(pts[i])]++
+		}
+		wantSet := map[[2]float64]int{}
+		for _, i := range global {
+			wantSet[key(all[i])]++
+		}
+		if !reflect.DeepEqual(gotSet, wantSet) {
+			t.Fatalf("merge %v != global %v", gotSet, wantSet)
+		}
+	}
+}
+
+func TestTopN(t *testing.T) {
+	scores := []float64{5, 1, 4, 2, 3}
+	got := TopN(3, len(scores), func(i int) float64 { return scores[i] })
+	if !reflect.DeepEqual(got, []int{1, 3, 4}) {
+		t.Errorf("top-3 = %v", got)
+	}
+	if got := TopN(10, len(scores), func(i int) float64 { return scores[i] }); len(got) != 5 {
+		t.Errorf("n > count must return all: %v", got)
+	}
+	if got := TopN(0, 5, func(int) float64 { return 0 }); got != nil {
+		t.Errorf("n=0 must return nil: %v", got)
+	}
+	if got := TopN(3, 0, func(int) float64 { return 0 }); got != nil {
+		t.Errorf("empty input must return nil: %v", got)
+	}
+}
+
+// Property: TopN equals sort-then-take.
+func TestTopNEqualsSortProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for iter := 0; iter < 200; iter++ {
+		n := rng.Intn(100)
+		scores := make([]float64, n)
+		for i := range scores {
+			scores[i] = float64(rng.Intn(1000)) // distinct-ish
+		}
+		k := 1 + rng.Intn(10)
+		got := TopN(k, n, func(i int) float64 { return scores[i] })
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool { return scores[idx[a]] < scores[idx[b]] })
+		if k > n {
+			k = n
+		}
+		want := idx[:k]
+		// Scores must match even if ties reorder indexes.
+		for i := range got {
+			if scores[got[i]] != scores[want[i]] {
+				t.Fatalf("top-%d scores mismatch: got %v want %v", k, got, want)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("top-%d lengths: %d vs %d", k, len(got), len(want))
+		}
+	}
+}
+
+func TestSkylineMinimalWindowInvariant(t *testing.T) {
+	// No skyline member may dominate another.
+	rng := rand.New(rand.NewSource(31))
+	dirs := []Direction{Min, Min, Max}
+	pts := make([][]float64, 200)
+	for i := range pts {
+		pts[i] = []float64{float64(rng.Intn(15)), float64(rng.Intn(15)), float64(rng.Intn(15))}
+	}
+	sky := SkylineBNL(pts, dirs)
+	for _, i := range sky {
+		for _, j := range sky {
+			if i != j && Dominates(pts[i], pts[j], dirs) {
+				t.Fatalf("skyline member %d dominates member %d", i, j)
+			}
+		}
+	}
+}
+
+func BenchmarkSkylineBNL(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pts := make([][]float64, 2000)
+	for i := range pts {
+		pts[i] = []float64{rng.Float64() * 100, rng.Float64() * 100}
+	}
+	dirs := []Direction{Min, Max}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SkylineBNL(pts, dirs)
+	}
+}
+
+func BenchmarkSkylineSortFilter(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pts := make([][]float64, 2000)
+	for i := range pts {
+		pts[i] = []float64{rng.Float64() * 100, rng.Float64() * 100}
+	}
+	dirs := []Direction{Min, Max}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SkylineSortFilter(pts, dirs)
+	}
+}
+
+func BenchmarkTopN(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	scores := make([]float64, 10000)
+	for i := range scores {
+		scores[i] = rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TopN(10, len(scores), func(i int) float64 { return scores[i] })
+	}
+}

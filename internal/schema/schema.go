@@ -1,0 +1,202 @@
+// Package schema implements UniStore's treatment of schema
+// heterogeneity: correspondence (mapping) triples stored in the overlay
+// like any other data, queryable explicitly by users — or applied
+// automatically by the system to rewrite queries so that data described
+// under other schemas is retrieved too (§2: "this additional metadata
+// can be queried explicitly by the user – or even automatically by the
+// system").
+//
+// A mapping asserts that two attribute names (typically in different
+// namespaces, e.g. dblp:author and ceur:creator) describe the same
+// property. Mappings are symmetric and transitive; rewriting uses their
+// closure.
+package schema
+
+import (
+	"fmt"
+	"sort"
+
+	"unistore/internal/triple"
+	"unistore/internal/vql"
+)
+
+// Attribute names of mapping triples. They live in the reserved "map"
+// namespace so instance queries never collide with metadata, while
+// staying ordinary triples (the paper's uniform treatment of data,
+// schema and metadata).
+const (
+	AttrFrom = "map:from"
+	AttrTo   = "map:to"
+)
+
+// Mapping is one attribute correspondence.
+type Mapping struct {
+	From, To string
+}
+
+// Triples renders the mapping as storable triples, grouped by a
+// mapping OID.
+func (m Mapping) Triples(oid string) []triple.Triple {
+	return []triple.Triple{
+		triple.T(oid, AttrFrom, m.From),
+		triple.T(oid, AttrTo, m.To),
+	}
+}
+
+// FromTriples reassembles mappings from stored triples (the inverse of
+// Triples; unpaired fragments are ignored).
+func FromTriples(ts []triple.Triple) []Mapping {
+	from := map[string]string{}
+	to := map[string]string{}
+	for _, t := range ts {
+		switch t.Attr {
+		case AttrFrom:
+			from[t.OID] = t.Val.Str
+		case AttrTo:
+			to[t.OID] = t.Val.Str
+		}
+	}
+	var oids []string
+	for oid := range from {
+		if _, ok := to[oid]; ok {
+			oids = append(oids, oid)
+		}
+	}
+	sort.Strings(oids)
+	out := make([]Mapping, 0, len(oids))
+	for _, oid := range oids {
+		out = append(out, Mapping{From: from[oid], To: to[oid]})
+	}
+	return out
+}
+
+// Closure is the union-find over attribute names induced by a mapping
+// set: Equivalents(a) returns every attribute transitively mapped to a.
+type Closure struct {
+	parent map[string]string
+}
+
+// NewClosure builds the closure of the mappings.
+func NewClosure(ms []Mapping) *Closure {
+	c := &Closure{parent: make(map[string]string)}
+	for _, m := range ms {
+		c.union(m.From, m.To)
+	}
+	return c
+}
+
+func (c *Closure) find(x string) string {
+	p, ok := c.parent[x]
+	if !ok {
+		c.parent[x] = x
+		return x
+	}
+	if p == x {
+		return x
+	}
+	r := c.find(p)
+	c.parent[x] = r
+	return r
+}
+
+func (c *Closure) union(a, b string) {
+	ra, rb := c.find(a), c.find(b)
+	if ra != rb {
+		// Deterministic root: lexicographically smaller wins.
+		if rb < ra {
+			ra, rb = rb, ra
+		}
+		c.parent[rb] = ra
+	}
+}
+
+// Equivalents returns all attributes equivalent to attr (including
+// attr itself), sorted. Attributes never mentioned in a mapping are
+// singletons.
+func (c *Closure) Equivalents(attr string) []string {
+	root := c.find(attr)
+	var out []string
+	for x := range c.parent {
+		if c.find(x) == root {
+			out = append(out, x)
+		}
+	}
+	if len(out) == 0 {
+		out = []string{attr}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Same reports whether two attributes are equivalent under the closure.
+func (c *Closure) Same(a, b string) bool {
+	if a == b {
+		return true
+	}
+	return c.find(a) == c.find(b)
+}
+
+// MaxRewrites bounds the number of rewritten query variants, keeping
+// the combinatorial expansion of multi-pattern queries in check.
+const MaxRewrites = 64
+
+// Rewrite expands a query across the closure: every ground attribute is
+// replaced by each of its equivalents, producing up to MaxRewrites
+// variant queries (the original first). Executing all variants and
+// uniting the results answers the query over heterogeneous schemas.
+func Rewrite(q *vql.Query, c *Closure) []*vql.Query {
+	variants := []*vql.Query{q}
+	for pi, pat := range q.Where {
+		if pat.A.IsVar() || pat.A.Val.Kind != triple.KindString {
+			continue
+		}
+		eqs := c.Equivalents(pat.A.Val.Str)
+		if len(eqs) <= 1 {
+			continue
+		}
+		var expanded []*vql.Query
+		for _, v := range variants {
+			for _, eq := range eqs {
+				if len(expanded) >= MaxRewrites {
+					break
+				}
+				nv := cloneQuery(v)
+				nv.Where[pi].A = vql.Lit(eq)
+				expanded = append(expanded, nv)
+			}
+		}
+		variants = expanded
+	}
+	// Deduplicate (the original is among the expansions).
+	seen := map[string]bool{}
+	var out []*vql.Query
+	for _, v := range variants {
+		s := v.String()
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func cloneQuery(q *vql.Query) *vql.Query {
+	nq := *q
+	nq.Where = append([]vql.Pattern(nil), q.Where...)
+	nq.Select = append([]string(nil), q.Select...)
+	nq.Filters = append([]vql.Expr(nil), q.Filters...)
+	nq.OrderBy = append([]vql.OrderKey(nil), q.OrderBy...)
+	nq.Skyline = append([]vql.SkylineKey(nil), q.Skyline...)
+	return &nq
+}
+
+// MappingQuery is the VQL query retrieving every mapping triple — what
+// the system issues automatically before rewriting.
+func MappingQuery() *vql.Query {
+	q, err := vql.ParseQuery(fmt.Sprintf(
+		`SELECT ?m,?f,?t WHERE {(?m,'%s',?f) (?m,'%s',?t)}`, AttrFrom, AttrTo))
+	if err != nil {
+		panic("schema: invalid mapping query: " + err.Error())
+	}
+	return q
+}

@@ -1,0 +1,163 @@
+package schema
+
+import (
+	"reflect"
+	"testing"
+
+	"unistore/internal/algebra"
+	"unistore/internal/triple"
+	"unistore/internal/vql"
+)
+
+func TestMappingTriplesRoundTrip(t *testing.T) {
+	ms := []Mapping{
+		{From: "dblp:author", To: "ceur:creator"},
+		{From: "dblp:title", To: "ceur:name"},
+	}
+	var ts []triple.Triple
+	for i, m := range ms {
+		ts = append(ts, m.Triples(triple.GenerateOID("map"))...)
+		_ = i
+	}
+	back := FromTriples(ts)
+	if len(back) != 2 {
+		t.Fatalf("reassembled %d mappings", len(back))
+	}
+	found := map[Mapping]bool{}
+	for _, m := range back {
+		found[m] = true
+	}
+	for _, m := range ms {
+		if !found[m] {
+			t.Errorf("mapping %v lost", m)
+		}
+	}
+}
+
+func TestFromTriplesIgnoresFragments(t *testing.T) {
+	ts := []triple.Triple{
+		triple.T("m1", AttrFrom, "a"),
+		// m1 has no map:to; m2 has no map:from.
+		triple.T("m2", AttrTo, "b"),
+	}
+	if got := FromTriples(ts); len(got) != 0 {
+		t.Errorf("fragments produced mappings: %v", got)
+	}
+}
+
+func TestClosureTransitive(t *testing.T) {
+	c := NewClosure([]Mapping{
+		{From: "a", To: "b"},
+		{From: "b", To: "c"},
+		{From: "x", To: "y"},
+	})
+	if !c.Same("a", "c") {
+		t.Error("closure must be transitive")
+	}
+	if !c.Same("c", "a") {
+		t.Error("closure must be symmetric")
+	}
+	if c.Same("a", "x") {
+		t.Error("distinct classes must not merge")
+	}
+	if got := c.Equivalents("b"); !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Errorf("equivalents = %v", got)
+	}
+	if got := c.Equivalents("unmapped"); !reflect.DeepEqual(got, []string{"unmapped"}) {
+		t.Errorf("unmapped attr must be a singleton: %v", got)
+	}
+}
+
+func TestRewriteExpandsAttributes(t *testing.T) {
+	c := NewClosure([]Mapping{{From: "name", To: "ceur:fullname"}})
+	q, err := vql.ParseQuery(`SELECT ?n WHERE {(?p,'name',?n)}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants := Rewrite(q, c)
+	if len(variants) != 2 {
+		t.Fatalf("variants = %d, want 2", len(variants))
+	}
+	attrs := map[string]bool{}
+	for _, v := range variants {
+		attrs[v.Where[0].A.Val.Str] = true
+	}
+	if !attrs["name"] || !attrs["ceur:fullname"] {
+		t.Errorf("rewrite attrs = %v", attrs)
+	}
+}
+
+func TestRewriteNoMappingsIsIdentity(t *testing.T) {
+	c := NewClosure(nil)
+	q, _ := vql.ParseQuery(`SELECT ?n WHERE {(?p,'name',?n) (?p,'age',?a)}`)
+	variants := Rewrite(q, c)
+	if len(variants) != 1 || variants[0].String() != q.String() {
+		t.Errorf("identity rewrite broken: %v", variants)
+	}
+}
+
+func TestRewriteBounded(t *testing.T) {
+	// 4 patterns × 4-way equivalence each = 256 combos; must cap.
+	var ms []Mapping
+	for _, group := range []string{"a", "b", "c", "d"} {
+		for i := 1; i < 4; i++ {
+			ms = append(ms, Mapping{From: group + "0", To: group + string(rune('0'+i))})
+		}
+	}
+	c := NewClosure(ms)
+	q, _ := vql.ParseQuery(`SELECT * WHERE {(?w,'a0',?x) (?w,'b0',?y) (?w,'c0',?z) (?w,'d0',?u)}`)
+	variants := Rewrite(q, c)
+	if len(variants) > MaxRewrites {
+		t.Errorf("rewrite produced %d variants, cap is %d", len(variants), MaxRewrites)
+	}
+	if len(variants) < 2 {
+		t.Error("rewrite must expand at least some variants")
+	}
+}
+
+func TestRewriteRecallOverHeterogeneousData(t *testing.T) {
+	// Two data providers describe persons under different schemas; a
+	// query over one schema plus the mapping closure retrieves both.
+	data := []triple.Triple{
+		triple.T("p1", "name", "alice"),
+		triple.T("p2", "ceur:fullname", "bob"),
+	}
+	c := NewClosure([]Mapping{{From: "name", To: "ceur:fullname"}})
+	q, _ := vql.ParseQuery(`SELECT ?n WHERE {(?p,'name',?n)}`)
+	src := &algebra.MemSource{Triples: data}
+	seen := map[string]bool{}
+	for _, v := range Rewrite(q, c) {
+		lp, err := algebra.Build(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range algebra.Execute(lp, src) {
+			seen[b["n"].Str] = true
+		}
+	}
+	if !seen["alice"] || !seen["bob"] {
+		t.Errorf("recall = %v, want both providers' data", seen)
+	}
+	// Without mappings only one shows up.
+	lp, _ := algebra.Build(q)
+	if got := algebra.Execute(lp, src); len(got) != 1 {
+		t.Errorf("unmapped recall = %d, want 1", len(got))
+	}
+}
+
+func TestMappingQueryParses(t *testing.T) {
+	q := MappingQuery()
+	if len(q.Where) != 2 {
+		t.Errorf("mapping query = %s", q)
+	}
+}
+
+func TestRewriteDoesNotMutateOriginal(t *testing.T) {
+	c := NewClosure([]Mapping{{From: "name", To: "nickname"}})
+	q, _ := vql.ParseQuery(`SELECT ?n WHERE {(?p,'name',?n)}`)
+	before := q.String()
+	Rewrite(q, c)
+	if q.String() != before {
+		t.Error("Rewrite mutated the input query")
+	}
+}

@@ -1,0 +1,110 @@
+package simnet
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// LatencyModel produces per-message one-way delays. Implementations must
+// be deterministic given the rng stream.
+type LatencyModel interface {
+	Sample(rng *rand.Rand, from, to NodeID) time.Duration
+}
+
+// ConstantLatency delivers every message after a fixed delay. Useful for
+// hop-count-style analysis where latency = hops × delay exactly.
+type ConstantLatency time.Duration
+
+// Sample implements LatencyModel.
+func (c ConstantLatency) Sample(*rand.Rand, NodeID, NodeID) time.Duration {
+	return time.Duration(c)
+}
+
+// UniformLatency draws delays uniformly from [Min, Max].
+type UniformLatency struct {
+	Min, Max time.Duration
+}
+
+// Sample implements LatencyModel.
+func (u UniformLatency) Sample(rng *rand.Rand, _, _ NodeID) time.Duration {
+	if u.Max <= u.Min {
+		return u.Min
+	}
+	return u.Min + time.Duration(rng.Int63n(int64(u.Max-u.Min)))
+}
+
+// LANLatency models a local cluster: low base delay with small jitter.
+func LANLatency() LatencyModel {
+	return UniformLatency{Min: 200 * time.Microsecond, Max: 2 * time.Millisecond}
+}
+
+// lognormal draws a log-normally distributed delay with the given median
+// and sigma, clamped to [min, max].
+type lognormal struct {
+	median   time.Duration
+	sigma    float64
+	min, max time.Duration
+}
+
+func (l lognormal) Sample(rng *rand.Rand, _, _ NodeID) time.Duration {
+	mu := math.Log(float64(l.median))
+	d := time.Duration(math.Exp(mu + l.sigma*rng.NormFloat64()))
+	if d < l.min {
+		d = l.min
+	}
+	if d > l.max {
+		d = l.max
+	}
+	return d
+}
+
+// WANLatency models generic wide-area links: ~40ms median round influence
+// with moderate variance.
+func WANLatency() LatencyModel {
+	return lognormal{median: 40 * time.Millisecond, sigma: 0.5,
+		min: 5 * time.Millisecond, max: 400 * time.Millisecond}
+}
+
+// PlanetLabLatency models the heavy-tailed delays observed on PlanetLab
+// (the testbed of the paper's scalability demonstration): ~75ms median
+// one-way delay with a long tail from overloaded nodes, clamped at 1.5s.
+// Parameters follow published PlanetLab all-pairs-ping characterizations.
+func PlanetLabLatency() LatencyModel {
+	return lognormal{median: 75 * time.Millisecond, sigma: 0.8,
+		min: 10 * time.Millisecond, max: 1500 * time.Millisecond}
+}
+
+// PairwiseLatency assigns each unordered node pair a stable base delay
+// drawn once from Base, plus per-message jitter from Jitter. This gives
+// a consistent "geography": the same two nodes always observe similar
+// delay, as on a real overlay.
+type PairwiseLatency struct {
+	Base   LatencyModel
+	Jitter LatencyModel
+	pairs  map[[2]NodeID]time.Duration
+}
+
+// NewPairwiseLatency constructs a PairwiseLatency model.
+func NewPairwiseLatency(base, jitter LatencyModel) *PairwiseLatency {
+	return &PairwiseLatency{Base: base, Jitter: jitter,
+		pairs: make(map[[2]NodeID]time.Duration)}
+}
+
+// Sample implements LatencyModel.
+func (p *PairwiseLatency) Sample(rng *rand.Rand, from, to NodeID) time.Duration {
+	k := [2]NodeID{from, to}
+	if to < from {
+		k = [2]NodeID{to, from}
+	}
+	base, ok := p.pairs[k]
+	if !ok {
+		base = p.Base.Sample(rng, from, to)
+		p.pairs[k] = base
+	}
+	j := time.Duration(0)
+	if p.Jitter != nil {
+		j = p.Jitter.Sample(rng, from, to)
+	}
+	return base + j
+}

@@ -1,0 +1,270 @@
+// Package store implements the per-peer storage service of UniStore's
+// triple storage layer: three ordered indexes (OID, A#v, v — paper
+// Fig. 2) over the triples a peer is responsible for, with versioned
+// entries and tombstones to support P-Grid's loosely consistent
+// updates.
+package store
+
+import "sort"
+
+// item is one key→values node slot in the B-tree. Values are opaque to
+// the tree; the store layer keeps []Entry per distinct key.
+type item struct {
+	key string
+	val any
+}
+
+// degree is the B-tree minimum degree: nodes hold between degree-1 and
+// 2*degree-1 items (except the root).
+const degree = 32
+
+type node struct {
+	items    []item
+	children []*node // nil for leaves
+}
+
+func (n *node) leaf() bool { return len(n.children) == 0 }
+
+// find returns the index of the first item with key >= k and whether an
+// exact match sits at that index.
+func (n *node) find(k string) (int, bool) {
+	i := sort.Search(len(n.items), func(i int) bool { return n.items[i].key >= k })
+	return i, i < len(n.items) && n.items[i].key == k
+}
+
+// btree is an in-memory B-tree mapping string keys to arbitrary values.
+// Keys iterate in lexicographic order. The zero value is not usable;
+// use newBTree.
+type btree struct {
+	root *node
+	size int
+}
+
+func newBTree() *btree { return &btree{root: &node{}} }
+
+// Len returns the number of distinct keys.
+func (t *btree) Len() int { return t.size }
+
+// Get returns the value stored at k, or nil.
+func (t *btree) Get(k string) any {
+	n := t.root
+	for {
+		i, ok := n.find(k)
+		if ok {
+			return n.items[i].val
+		}
+		if n.leaf() {
+			return nil
+		}
+		n = n.children[i]
+	}
+}
+
+// Set stores val at key k, replacing any previous value.
+func (t *btree) Set(k string, val any) {
+	if len(t.root.items) == 2*degree-1 {
+		old := t.root
+		t.root = &node{children: []*node{old}}
+		t.root.splitChild(0)
+	}
+	if t.insertNonFull(t.root, k, val) {
+		t.size++
+	}
+}
+
+// Update fetches the value at k (nil if absent), passes it to fn, and
+// stores the result. It is the read-modify-write primitive the store
+// uses to append entries without a second traversal.
+func (t *btree) Update(k string, fn func(old any) any) {
+	// Simple two-pass implementation keeps the tree code small; the
+	// store's hot path is iteration, not insertion.
+	t.Set(k, fn(t.Get(k)))
+}
+
+// insertNonFull inserts into a node known to have room, reporting
+// whether a new key was created.
+func (t *btree) insertNonFull(n *node, k string, val any) bool {
+	for {
+		i, ok := n.find(k)
+		if ok {
+			n.items[i].val = val
+			return false
+		}
+		if n.leaf() {
+			n.items = append(n.items, item{})
+			copy(n.items[i+1:], n.items[i:])
+			n.items[i] = item{key: k, val: val}
+			return true
+		}
+		if len(n.children[i].items) == 2*degree-1 {
+			n.splitChild(i)
+			if k == n.items[i].key {
+				n.items[i].val = val
+				return false
+			}
+			if k > n.items[i].key {
+				i++
+			}
+		}
+		n = n.children[i]
+	}
+}
+
+// splitChild splits the full child at index i, lifting its median item
+// into n.
+func (n *node) splitChild(i int) {
+	child := n.children[i]
+	mid := degree - 1
+	median := child.items[mid]
+	right := &node{items: append([]item(nil), child.items[mid+1:]...)}
+	if !child.leaf() {
+		right.children = append([]*node(nil), child.children[mid+1:]...)
+		child.children = child.children[:mid+1]
+	}
+	child.items = child.items[:mid]
+	n.items = append(n.items, item{})
+	copy(n.items[i+1:], n.items[i:])
+	n.items[i] = median
+	n.children = append(n.children, nil)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = right
+}
+
+// Delete removes key k, reporting whether it was present. Deletion uses
+// the standard CLRS algorithm (merge/rotate on the way down).
+func (t *btree) Delete(k string) bool {
+	if !t.delete(t.root, k) {
+		return false
+	}
+	if len(t.root.items) == 0 && !t.root.leaf() {
+		t.root = t.root.children[0]
+	}
+	t.size--
+	return true
+}
+
+func (t *btree) delete(n *node, k string) bool {
+	i, ok := n.find(k)
+	if n.leaf() {
+		if !ok {
+			return false
+		}
+		n.items = append(n.items[:i], n.items[i+1:]...)
+		return true
+	}
+	if ok {
+		// Replace with predecessor or successor, or merge.
+		if len(n.children[i].items) >= degree {
+			pred := n.children[i].max()
+			n.items[i] = pred
+			return t.delete(n.children[i], pred.key)
+		}
+		if len(n.children[i+1].items) >= degree {
+			succ := n.children[i+1].min()
+			n.items[i] = succ
+			return t.delete(n.children[i+1], succ.key)
+		}
+		n.merge(i)
+		return t.delete(n.children[i], k)
+	}
+	// Descend, topping up the child if it is minimal.
+	if len(n.children[i].items) < degree {
+		i = n.fill(i)
+	}
+	return t.delete(n.children[i], k)
+}
+
+func (n *node) min() item {
+	for !n.leaf() {
+		n = n.children[0]
+	}
+	return n.items[0]
+}
+
+func (n *node) max() item {
+	for !n.leaf() {
+		n = n.children[len(n.children)-1]
+	}
+	return n.items[len(n.items)-1]
+}
+
+// fill ensures child i has at least degree items, borrowing from a
+// sibling or merging; it returns the (possibly shifted) child index to
+// descend into.
+func (n *node) fill(i int) int {
+	switch {
+	case i > 0 && len(n.children[i-1].items) >= degree:
+		n.borrowLeft(i)
+	case i < len(n.children)-1 && len(n.children[i+1].items) >= degree:
+		n.borrowRight(i)
+	case i < len(n.children)-1:
+		n.merge(i)
+	default:
+		n.merge(i - 1)
+		i--
+	}
+	return i
+}
+
+func (n *node) borrowLeft(i int) {
+	child, left := n.children[i], n.children[i-1]
+	child.items = append([]item{n.items[i-1]}, child.items...)
+	n.items[i-1] = left.items[len(left.items)-1]
+	left.items = left.items[:len(left.items)-1]
+	if !left.leaf() {
+		child.children = append([]*node{left.children[len(left.children)-1]}, child.children...)
+		left.children = left.children[:len(left.children)-1]
+	}
+}
+
+func (n *node) borrowRight(i int) {
+	child, right := n.children[i], n.children[i+1]
+	child.items = append(child.items, n.items[i])
+	n.items[i] = right.items[0]
+	right.items = right.items[1:]
+	if !right.leaf() {
+		child.children = append(child.children, right.children[0])
+		right.children = right.children[1:]
+	}
+}
+
+// merge folds child i+1 and the separator into child i.
+func (n *node) merge(i int) {
+	child, right := n.children[i], n.children[i+1]
+	child.items = append(child.items, n.items[i])
+	child.items = append(child.items, right.items...)
+	child.children = append(child.children, right.children...)
+	n.items = append(n.items[:i], n.items[i+1:]...)
+	n.children = append(n.children[:i+1], n.children[i+2:]...)
+}
+
+// AscendRange calls fn for every key in [lo, hi) in order; an empty hi
+// means unbounded. fn returning false stops the walk.
+func (t *btree) AscendRange(lo, hi string, fn func(k string, v any) bool) {
+	t.root.ascend(lo, hi, fn)
+}
+
+func (n *node) ascend(lo, hi string, fn func(string, any) bool) bool {
+	i, _ := n.find(lo)
+	for ; i < len(n.items); i++ {
+		if !n.leaf() && !n.children[i].ascend(lo, hi, fn) {
+			return false
+		}
+		it := n.items[i]
+		if hi != "" && it.key >= hi {
+			return false
+		}
+		if it.key >= lo && !fn(it.key, it.val) {
+			return false
+		}
+	}
+	if !n.leaf() {
+		return n.children[len(n.children)-1].ascend(lo, hi, fn)
+	}
+	return true
+}
+
+// Ascend walks all keys in order.
+func (t *btree) Ascend(fn func(k string, v any) bool) {
+	t.root.ascend("", "", fn)
+}

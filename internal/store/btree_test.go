@@ -1,0 +1,217 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestBTreeSetGet(t *testing.T) {
+	b := newBTree()
+	if b.Get("missing") != nil {
+		t.Error("empty tree Get must be nil")
+	}
+	b.Set("k1", 1)
+	b.Set("k2", 2)
+	b.Set("k1", 10) // overwrite
+	if b.Len() != 2 {
+		t.Errorf("Len = %d, want 2", b.Len())
+	}
+	if b.Get("k1").(int) != 10 || b.Get("k2").(int) != 2 {
+		t.Error("Get returned wrong values")
+	}
+}
+
+func TestBTreeManyKeysSorted(t *testing.T) {
+	b := newBTree()
+	const n = 5000
+	perm := rand.New(rand.NewSource(1)).Perm(n)
+	for _, i := range perm {
+		b.Set(fmt.Sprintf("%08d", i), i)
+	}
+	if b.Len() != n {
+		t.Fatalf("Len = %d, want %d", b.Len(), n)
+	}
+	prev := ""
+	count := 0
+	b.Ascend(func(k string, v any) bool {
+		if k <= prev && prev != "" {
+			t.Fatalf("keys out of order: %q after %q", k, prev)
+		}
+		prev = k
+		count++
+		return true
+	})
+	if count != n {
+		t.Errorf("Ascend visited %d, want %d", count, n)
+	}
+}
+
+func TestBTreeAscendRange(t *testing.T) {
+	b := newBTree()
+	for i := 0; i < 100; i++ {
+		b.Set(fmt.Sprintf("%03d", i), i)
+	}
+	var got []int
+	b.AscendRange("010", "020", func(_ string, v any) bool {
+		got = append(got, v.(int))
+		return true
+	})
+	if len(got) != 10 || got[0] != 10 || got[9] != 19 {
+		t.Errorf("range [010,020) = %v", got)
+	}
+	// Unbounded hi.
+	got = got[:0]
+	b.AscendRange("095", "", func(_ string, v any) bool {
+		got = append(got, v.(int))
+		return true
+	})
+	if len(got) != 5 || got[0] != 95 {
+		t.Errorf("range [095,∞) = %v", got)
+	}
+	// Early stop.
+	n := 0
+	b.AscendRange("000", "", func(string, any) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Errorf("early stop visited %d", n)
+	}
+}
+
+func TestBTreeDelete(t *testing.T) {
+	b := newBTree()
+	const n = 2000
+	for i := 0; i < n; i++ {
+		b.Set(fmt.Sprintf("%05d", i), i)
+	}
+	rng := rand.New(rand.NewSource(2))
+	alive := make(map[string]bool)
+	for i := 0; i < n; i++ {
+		alive[fmt.Sprintf("%05d", i)] = true
+	}
+	// Delete a random two thirds.
+	for k := range alive {
+		if rng.Float64() < 0.66 {
+			if !b.Delete(k) {
+				t.Fatalf("Delete(%q) reported absent", k)
+			}
+			delete(alive, k)
+		}
+	}
+	if b.Delete("no-such-key") {
+		t.Error("deleting a missing key must report false")
+	}
+	if b.Len() != len(alive) {
+		t.Fatalf("Len = %d, want %d", b.Len(), len(alive))
+	}
+	for k := range alive {
+		if b.Get(k) == nil {
+			t.Fatalf("surviving key %q lost", k)
+		}
+	}
+	// Order still holds.
+	prev := ""
+	b.Ascend(func(k string, _ any) bool {
+		if prev != "" && k <= prev {
+			t.Fatalf("order violated after deletes")
+		}
+		prev = k
+		return true
+	})
+}
+
+func TestBTreeDeleteAll(t *testing.T) {
+	b := newBTree()
+	for i := 0; i < 500; i++ {
+		b.Set(fmt.Sprintf("%04d", i), i)
+	}
+	for i := 0; i < 500; i++ {
+		if !b.Delete(fmt.Sprintf("%04d", i)) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if b.Len() != 0 {
+		t.Errorf("Len = %d after deleting all", b.Len())
+	}
+	count := 0
+	b.Ascend(func(string, any) bool { count++; return true })
+	if count != 0 {
+		t.Errorf("empty tree iterated %d items", count)
+	}
+}
+
+func TestBTreeUpdate(t *testing.T) {
+	b := newBTree()
+	b.Update("k", func(old any) any {
+		if old != nil {
+			t.Error("first update must see nil")
+		}
+		return []int{1}
+	})
+	b.Update("k", func(old any) any { return append(old.([]int), 2) })
+	if got := b.Get("k").([]int); len(got) != 2 || got[1] != 2 {
+		t.Errorf("update chain produced %v", got)
+	}
+}
+
+// Property-style: random interleaving of set/delete against a reference
+// map, verifying contents and order afterwards.
+func TestBTreeRandomizedVsMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	b := newBTree()
+	ref := make(map[string]int)
+	for op := 0; op < 20000; op++ {
+		k := fmt.Sprintf("%04d", rng.Intn(3000))
+		switch rng.Intn(3) {
+		case 0, 1:
+			b.Set(k, op)
+			ref[k] = op
+		case 2:
+			got := b.Delete(k)
+			_, want := ref[k]
+			if got != want {
+				t.Fatalf("Delete(%q) = %v, reference says %v", k, got, want)
+			}
+			delete(ref, k)
+		}
+	}
+	if b.Len() != len(ref) {
+		t.Fatalf("Len = %d, reference %d", b.Len(), len(ref))
+	}
+	keys := make([]string, 0, len(ref))
+	for k := range ref {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	i := 0
+	b.Ascend(func(k string, v any) bool {
+		if k != keys[i] || v.(int) != ref[k] {
+			t.Fatalf("position %d: got (%q,%v), want (%q,%v)", i, k, v, keys[i], ref[keys[i]])
+		}
+		i++
+		return true
+	})
+}
+
+func BenchmarkBTreeInsert(b *testing.B) {
+	t := newBTree()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t.Set(fmt.Sprintf("%09d", i%100000), i)
+	}
+}
+
+func BenchmarkBTreeRangeScan(b *testing.B) {
+	t := newBTree()
+	for i := 0; i < 100000; i++ {
+		t.Set(fmt.Sprintf("%09d", i), i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		t.AscendRange("000050000", "000051000", func(string, any) bool { n++; return true })
+		if n != 1000 {
+			b.Fatalf("scan saw %d", n)
+		}
+	}
+}

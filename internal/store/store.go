@@ -1,0 +1,322 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+
+	"unistore/internal/keys"
+	"unistore/internal/triple"
+)
+
+// Entry is one stored index entry: a triple filed under one of its three
+// placement keys (paper Fig. 2), with an update version and a tombstone
+// flag. Versions implement the "update functionality with lose
+// consistency guarantees" the paper inherits from P-Grid [4]: replicas
+// keep the highest version they have seen, with a deterministic
+// tie-break so concurrent replicas converge.
+type Entry struct {
+	Kind    triple.IndexKind
+	Key     keys.Key
+	Triple  triple.Triple
+	Version uint64
+	Deleted bool
+}
+
+// WireSize estimates the serialized entry size for network accounting.
+func (e Entry) WireSize() int { return e.Triple.WireSize() + e.Key.Len()/8 + 12 }
+
+// supersedes reports whether candidate should replace old under
+// last-writer-wins with deterministic tie-breaking: higher version wins;
+// at equal versions a tombstone wins, then the larger value.
+func supersedes(candidate, old Entry) bool {
+	if candidate.Version != old.Version {
+		return candidate.Version > old.Version
+	}
+	if candidate.Deleted != old.Deleted {
+		return candidate.Deleted
+	}
+	return candidate.Triple.Val.Compare(old.Triple.Val) > 0
+}
+
+// factID identifies a logical fact within one index: (kind, OID, Attr).
+// A peer may hold, say, only the A#v entry of a fact — the other two
+// entries live on the peers owning their placement keys.
+type factID struct {
+	kind triple.IndexKind
+	oid  string
+	attr string
+}
+
+// Store is the local storage service of one peer: three ordered triple
+// indexes plus versioned fact bookkeeping. It is not safe for concurrent
+// use; in the simulator each peer runs in the single-threaded event
+// loop.
+type Store struct {
+	idx   [3]*btree // one ordered index per triple.IndexKind
+	facts map[factID]Entry
+}
+
+// New creates an empty store.
+func New() *Store {
+	s := &Store{facts: make(map[factID]Entry)}
+	for i := range s.idx {
+		s.idx[i] = newBTree()
+	}
+	return s
+}
+
+// bucket is the per-key slot: all entries whose placement key coincides
+// (common in the v index, where many triples share a value).
+type bucket []Entry
+
+// PutEntry files tr under exactly one index kind — the operation a DHT
+// peer performs when an insert message for that kind's key reaches it.
+// It reports whether the write won (stale versions are ignored).
+func (s *Store) PutEntry(kind triple.IndexKind, tr triple.Triple, version uint64) bool {
+	e := Entry{Kind: kind, Key: triple.IndexKey(tr, kind), Triple: tr, Version: version}
+	return s.apply(e)
+}
+
+// PutAll files tr under all three index kinds — local (single-node) mode
+// and the unit tests' convenience path.
+func (s *Store) PutAll(tr triple.Triple, version uint64) bool {
+	won := false
+	for _, kind := range triple.AllIndexKinds {
+		if s.PutEntry(kind, tr, version) {
+			won = true
+		}
+	}
+	return won
+}
+
+// DeleteEntry writes a tombstone for fact (oid, attr) in one index kind.
+func (s *Store) DeleteEntry(kind triple.IndexKind, oid, attr string, version uint64) bool {
+	tr := triple.Triple{OID: oid, Attr: attr}
+	e := Entry{Kind: kind, Key: triple.IndexKey(tr, kind), Triple: tr,
+		Version: version, Deleted: true}
+	return s.apply(e)
+}
+
+// Apply merges an entry received from another replica (anti-entropy).
+func (s *Store) Apply(e Entry) bool { return s.apply(e) }
+
+func (s *Store) apply(e Entry) bool {
+	id := factID{e.Kind, e.Triple.OID, e.Triple.Attr}
+	if old, ok := s.facts[id]; ok {
+		if !supersedes(e, old) {
+			return false
+		}
+		s.removeFromIndex(old)
+	}
+	s.facts[id] = e
+	if !e.Deleted {
+		s.addToIndex(e)
+	}
+	return true
+}
+
+func (s *Store) addToIndex(e Entry) {
+	ks := e.Key.String()
+	s.idx[e.Kind].Update(ks, func(old any) any {
+		if old == nil {
+			return bucket{e}
+		}
+		b := old.(bucket)
+		for i := range b {
+			if b[i].Triple.OID == e.Triple.OID && b[i].Triple.Attr == e.Triple.Attr {
+				b[i] = e
+				return b
+			}
+		}
+		return append(b, e)
+	})
+}
+
+func (s *Store) removeFromIndex(old Entry) {
+	if old.Deleted {
+		return // tombstones are not in the index
+	}
+	ks := old.Key.String()
+	t := s.idx[old.Kind]
+	v := t.Get(ks)
+	if v == nil {
+		return
+	}
+	b := v.(bucket)
+	out := make(bucket, 0, len(b))
+	for _, e := range b {
+		if !(e.Triple.OID == old.Triple.OID && e.Triple.Attr == old.Triple.Attr) {
+			out = append(out, e)
+		}
+	}
+	if len(out) == 0 {
+		t.Delete(ks)
+	} else {
+		t.Set(ks, out)
+	}
+}
+
+// Lookup returns the live entries stored exactly at key k in the given
+// index.
+func (s *Store) Lookup(kind triple.IndexKind, k keys.Key) []Entry {
+	v := s.idx[kind].Get(k.String())
+	if v == nil {
+		return nil
+	}
+	b := v.(bucket)
+	out := make([]Entry, 0, len(b))
+	out = append(out, b...)
+	return out
+}
+
+// Scan calls fn for every live entry of the given index whose key lies
+// in r, in key order. fn returning false stops the scan.
+func (s *Store) Scan(kind triple.IndexKind, r keys.Range, fn func(Entry) bool) {
+	lo := r.Lo.String()
+	hi := ""
+	if r.HiOpen {
+		hi = r.Hi.String()
+	}
+	s.idx[kind].AscendRange(lo, hi, func(_ string, v any) bool {
+		for _, e := range v.(bucket) {
+			if !fn(e) {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// CollectRange returns all live entries in r for the given index kind.
+func (s *Store) CollectRange(kind triple.IndexKind, r keys.Range) []Entry {
+	var out []Entry
+	s.Scan(kind, r, func(e Entry) bool { out = append(out, e); return true })
+	return out
+}
+
+// All returns the distinct live triples this peer stores, across all
+// index kinds (a fact held under several kinds appears once) — the demo
+// UI's "inspect the local data" view.
+func (s *Store) All() []triple.Triple {
+	seen := make(map[string]bool)
+	var out []triple.Triple
+	for _, e := range s.Facts() {
+		if e.Deleted {
+			continue
+		}
+		k := e.Triple.OID + "\x00" + e.Triple.Attr
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, e.Triple)
+		}
+	}
+	return out
+}
+
+// Entries returns every live entry of one index kind in key order — the
+// unit of data exchanged when peers split or replicate a partition.
+func (s *Store) Entries(kind triple.IndexKind) []Entry {
+	var out []Entry
+	s.idx[kind].Ascend(func(_ string, v any) bool {
+		out = append(out, v.(bucket)...)
+		return true
+	})
+	return out
+}
+
+// Facts returns all versioned facts including tombstones, sorted — the
+// state exchanged by anti-entropy between replicas.
+func (s *Store) Facts() []Entry {
+	out := make([]Entry, 0, len(s.facts))
+	for _, e := range s.facts {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Triple.OID != b.Triple.OID {
+			return a.Triple.OID < b.Triple.OID
+		}
+		return a.Triple.Attr < b.Triple.Attr
+	})
+	return out
+}
+
+// Version returns (version, deleted, present) for fact (kind, oid, attr).
+func (s *Store) Version(kind triple.IndexKind, oid, attr string) (uint64, bool, bool) {
+	e, ok := s.facts[factID{kind, oid, attr}]
+	return e.Version, e.Deleted, ok
+}
+
+// Len returns the number of live entries across all indexes.
+func (s *Store) Len() int {
+	n := 0
+	for _, e := range s.facts {
+		if !e.Deleted {
+			n++
+		}
+	}
+	return n
+}
+
+// LenKind returns the number of live entries in one index — the
+// storage-load measure used by the load-balancing experiment (E6).
+func (s *Store) LenKind(kind triple.IndexKind) int {
+	n := 0
+	for id, e := range s.facts {
+		if id.kind == kind && !e.Deleted {
+			n++
+		}
+	}
+	return n
+}
+
+// DropRange removes every entry of `kind` whose placement key falls
+// inside r, returning the dropped entries (live and tombstoned) so the
+// caller can ship them to the peer taking over that partition.
+func (s *Store) DropRange(kind triple.IndexKind, r keys.Range) []Entry {
+	var doomed []Entry
+	for id, e := range s.facts {
+		if id.kind == kind && r.Contains(e.Key) {
+			doomed = append(doomed, e)
+		}
+	}
+	s.purge(doomed)
+	return doomed
+}
+
+// RetainRange drops every entry of `kind` whose placement key falls
+// OUTSIDE r — used when a peer adopts a narrower responsibility after a
+// split — returning the dropped entries.
+func (s *Store) RetainRange(kind triple.IndexKind, r keys.Range) []Entry {
+	var doomed []Entry
+	for id, e := range s.facts {
+		if id.kind == kind && !r.Contains(e.Key) {
+			doomed = append(doomed, e)
+		}
+	}
+	s.purge(doomed)
+	return doomed
+}
+
+func (s *Store) purge(doomed []Entry) {
+	sort.Slice(doomed, func(i, j int) bool {
+		a, b := doomed[i], doomed[j]
+		if a.Triple.OID != b.Triple.OID {
+			return a.Triple.OID < b.Triple.OID
+		}
+		return a.Triple.Attr < b.Triple.Attr
+	})
+	for _, e := range doomed {
+		delete(s.facts, factID{e.Kind, e.Triple.OID, e.Triple.Attr})
+		s.removeFromIndex(e)
+	}
+}
+
+// String summarizes the store.
+func (s *Store) String() string {
+	return fmt.Sprintf("store{live=%d oid=%d av=%d v=%d}", s.Len(),
+		s.LenKind(triple.ByOID), s.LenKind(triple.ByAV), s.LenKind(triple.ByVal))
+}

@@ -1,0 +1,315 @@
+package store
+
+import (
+	"math/rand"
+	"testing"
+
+	"unistore/internal/keys"
+	"unistore/internal/triple"
+)
+
+func fig2Tuples() []*triple.Tuple {
+	// The two example tuples of paper Fig. 2.
+	t1 := triple.NewTuple("a12").
+		Set("title", triple.S("Similarity...")).
+		Set("confname", triple.S("ICDE 2006 - Workshops")).
+		Set("year", triple.N(2006))
+	t2 := triple.NewTuple("v34").
+		Set("title", triple.S("Progressive...")).
+		Set("confname", triple.S("ICDE 2005")).
+		Set("year", triple.N(2005))
+	return []*triple.Tuple{t1, t2}
+}
+
+func populate(s *Store) int {
+	n := 0
+	for _, tp := range fig2Tuples() {
+		for _, tr := range tp.Triples() {
+			s.PutAll(tr, 1)
+			n += 3
+		}
+	}
+	return n
+}
+
+func TestFig2EighteenEntries(t *testing.T) {
+	s := New()
+	n := populate(s)
+	if n != 18 {
+		t.Fatalf("2 tuples × 3 attrs × 3 indexes = 18 entries, prepared %d", n)
+	}
+	if s.Len() != 18 {
+		t.Fatalf("store holds %d live entries, want 18", s.Len())
+	}
+	for _, kind := range triple.AllIndexKinds {
+		if got := s.LenKind(kind); got != 6 {
+			t.Errorf("index %v holds %d entries, want 6", kind, got)
+		}
+	}
+}
+
+func TestLookupByOID(t *testing.T) {
+	s := New()
+	populate(s)
+	got := s.Lookup(triple.ByOID, triple.OIDKey("a12"))
+	if len(got) != 3 {
+		t.Fatalf("OID lookup returned %d entries, want 3", len(got))
+	}
+	tuples := triple.Recompose(entriesToTriples(got))
+	if len(tuples) != 1 || tuples[0].OID != "a12" {
+		t.Fatal("origin tuple not reproducible from OID index")
+	}
+	if v, ok := tuples[0].Attrs["year"]; !ok || v.Num != 2006 {
+		t.Errorf("reconstructed year = %v", v)
+	}
+}
+
+func entriesToTriples(es []Entry) []triple.Triple {
+	ts := make([]triple.Triple, len(es))
+	for i, e := range es {
+		ts[i] = e.Triple
+	}
+	return ts
+}
+
+func TestLookupByAV(t *testing.T) {
+	s := New()
+	populate(s)
+	got := s.Lookup(triple.ByAV, triple.AVKey("confname", triple.S("ICDE 2005")))
+	if len(got) != 1 || got[0].Triple.OID != "v34" {
+		t.Fatalf("A#v lookup = %v", got)
+	}
+}
+
+func TestLookupByValue(t *testing.T) {
+	s := New()
+	populate(s)
+	// Value lookup finds the triple regardless of attribute.
+	got := s.Lookup(triple.ByVal, triple.ValKey(triple.N(2005)))
+	if len(got) != 1 || got[0].Triple.Attr != "year" {
+		t.Fatalf("v lookup = %v", got)
+	}
+}
+
+func TestRangeScanYears(t *testing.T) {
+	s := New()
+	populate(s)
+	lo := triple.N(2005)
+	r := triple.AVRange("year", lo, nil) // year >= 2005
+	es := s.CollectRange(triple.ByAV, r)
+	if len(es) != 2 {
+		t.Fatalf("year >= 2005 returned %d, want 2", len(es))
+	}
+	hi := triple.N(2006)
+	r = triple.AVRange("year", lo, &hi) // 2005 <= year < 2006
+	es = s.CollectRange(triple.ByAV, r)
+	if len(es) != 1 || es[0].Triple.OID != "v34" {
+		t.Fatalf("bounded year range = %v", es)
+	}
+}
+
+func TestScanOrdered(t *testing.T) {
+	s := New()
+	for i := 0; i < 50; i++ {
+		s.PutAll(triple.TN(triple.GenerateOID("o"), "year", float64(1960+i)), 1)
+	}
+	var prev keys.Key
+	first := true
+	s.Scan(triple.ByAV, triple.AVPrefixRange("year"), func(e Entry) bool {
+		if !first && prev.Compare(e.Key) > 0 {
+			t.Fatal("scan not in key order")
+		}
+		prev, first = e.Key, false
+		return true
+	})
+}
+
+func TestUpdateVersioning(t *testing.T) {
+	s := New()
+	tr := triple.T("p1", "phone", "111")
+	s.PutAll(tr, 1)
+	// Newer version wins.
+	if !s.PutAll(triple.T("p1", "phone", "222"), 2) {
+		t.Fatal("newer version must win")
+	}
+	// Stale write ignored.
+	if s.PutAll(triple.T("p1", "phone", "000"), 1) {
+		t.Fatal("stale version must lose")
+	}
+	got := s.Lookup(triple.ByOID, triple.OIDKey("p1"))
+	if len(got) != 1 || got[0].Triple.Val.Str != "222" {
+		t.Fatalf("after update: %v", got)
+	}
+	// The old A#v entry must be gone: an update relocates the entry.
+	if es := s.Lookup(triple.ByAV, triple.AVKey("phone", triple.S("111"))); len(es) != 0 {
+		t.Errorf("old A#v entry survived update: %v", es)
+	}
+	if es := s.Lookup(triple.ByAV, triple.AVKey("phone", triple.S("222"))); len(es) != 1 {
+		t.Errorf("new A#v entry missing: %v", es)
+	}
+}
+
+func TestConcurrentVersionTieBreak(t *testing.T) {
+	// Two replicas apply the same two concurrent writes in opposite
+	// orders; both must converge to the same value.
+	a, b := New(), New()
+	w1 := triple.T("p1", "office", "Z123")
+	w2 := triple.T("p1", "office", "A456")
+	a.PutAll(w1, 5)
+	a.PutAll(w2, 5)
+	b.PutAll(w2, 5)
+	b.PutAll(w1, 5)
+	va := a.Lookup(triple.ByOID, triple.OIDKey("p1"))
+	vb := b.Lookup(triple.ByOID, triple.OIDKey("p1"))
+	if len(va) != 1 || len(vb) != 1 || !va[0].Triple.Equal(vb[0].Triple) {
+		t.Fatalf("replicas diverged: %v vs %v", va, vb)
+	}
+}
+
+func TestTombstone(t *testing.T) {
+	s := New()
+	s.PutAll(triple.T("p1", "email", "x@y"), 1)
+	for _, kind := range triple.AllIndexKinds {
+		if !s.DeleteEntry(kind, "p1", "email", 2) {
+			t.Fatal("tombstone must win over older write")
+		}
+	}
+	if s.Len() != 0 {
+		t.Errorf("live entries after delete: %d", s.Len())
+	}
+	// A stale re-insert must not resurrect the fact.
+	if s.PutAll(triple.T("p1", "email", "x@y"), 1) {
+		t.Error("stale write must not beat tombstone")
+	}
+	if s.Len() != 0 {
+		t.Error("fact resurrected by stale write")
+	}
+	// Tombstones still ship via Facts for anti-entropy.
+	found := false
+	for _, e := range s.Facts() {
+		if e.Deleted && e.Triple.OID == "p1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("tombstone missing from Facts()")
+	}
+}
+
+func TestApplyAntiEntropyConvergence(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a, b := New(), New()
+	// Independent writes on both replicas.
+	for i := 0; i < 200; i++ {
+		oid := triple.GenerateOID("x")
+		tr := triple.TN(oid, "age", float64(rng.Intn(90)))
+		if rng.Intn(2) == 0 {
+			a.PutAll(tr, uint64(rng.Intn(5)+1))
+		} else {
+			b.PutAll(tr, uint64(rng.Intn(5)+1))
+		}
+	}
+	// Exchange full state both ways.
+	for _, e := range a.Facts() {
+		b.Apply(e)
+	}
+	for _, e := range b.Facts() {
+		a.Apply(e)
+	}
+	fa, fb := a.Facts(), b.Facts()
+	if len(fa) != len(fb) {
+		t.Fatalf("fact counts differ: %d vs %d", len(fa), len(fb))
+	}
+	for i := range fa {
+		if !fa[i].Triple.Equal(fb[i].Triple) || fa[i].Version != fb[i].Version {
+			t.Fatalf("divergence at %d: %+v vs %+v", i, fa[i], fb[i])
+		}
+	}
+}
+
+func TestDropRange(t *testing.T) {
+	s := New()
+	populate(s)
+	r := triple.AVPrefixRange("confname")
+	dropped := s.DropRange(triple.ByAV, r)
+	if len(dropped) != 2 {
+		t.Fatalf("dropped %d confname entries, want 2", len(dropped))
+	}
+	if es := s.CollectRange(triple.ByAV, r); len(es) != 0 {
+		t.Error("entries survived DropRange")
+	}
+	// Other indexes are untouched: a peer owns the kinds independently.
+	if s.LenKind(triple.ByOID) != 6 {
+		t.Error("DropRange must only affect the targeted index kind")
+	}
+}
+
+func TestRetainRange(t *testing.T) {
+	s := New()
+	populate(s)
+	r := triple.AVPrefixRange("year")
+	dropped := s.RetainRange(triple.ByAV, r)
+	if len(dropped) != 4 { // title ×2 + confname ×2
+		t.Fatalf("RetainRange dropped %d, want 4", len(dropped))
+	}
+	if got := s.LenKind(triple.ByAV); got != 2 {
+		t.Errorf("retained %d entries, want 2", got)
+	}
+}
+
+func TestEntriesRoundTripAcrossStores(t *testing.T) {
+	// A split ships entries to a new peer; the receiver must reproduce
+	// lookups exactly.
+	s := New()
+	populate(s)
+	dst := New()
+	for _, e := range s.Entries(triple.ByAV) {
+		dst.Apply(e)
+	}
+	got := dst.Lookup(triple.ByAV, triple.AVKey("year", triple.N(2006)))
+	if len(got) != 1 || got[0].Triple.OID != "a12" {
+		t.Fatalf("migrated lookup = %v", got)
+	}
+}
+
+func TestVersionQuery(t *testing.T) {
+	s := New()
+	s.PutAll(triple.T("p", "a", "v"), 7)
+	v, del, ok := s.Version(triple.ByOID, "p", "a")
+	if !ok || del || v != 7 {
+		t.Errorf("Version = (%d,%v,%v)", v, del, ok)
+	}
+	if _, _, ok := s.Version(triple.ByOID, "p", "zzz"); ok {
+		t.Error("absent fact must report !ok")
+	}
+}
+
+func TestStringSummary(t *testing.T) {
+	s := New()
+	populate(s)
+	if s.String() == "" {
+		t.Error("String must render")
+	}
+}
+
+func BenchmarkStorePutAll(b *testing.B) {
+	s := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.PutAll(triple.TN(triple.GenerateOID("b"), "year", float64(i%100+1950)), 1)
+	}
+}
+
+func BenchmarkStoreRangeScan(b *testing.B) {
+	s := New()
+	for i := 0; i < 20000; i++ {
+		s.PutAll(triple.TN(triple.GenerateOID("b"), "age", float64(i%90)), 1)
+	}
+	lo, hi := triple.N(30), triple.N(40)
+	r := triple.AVRange("age", lo, &hi)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		s.Scan(triple.ByAV, r, func(Entry) bool { n++; return true })
+	}
+}

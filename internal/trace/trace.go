@@ -1,0 +1,124 @@
+// Package trace implements the measurement plumbing behind the paper's
+// "logging capabilities: results are traceable, analyzable and (in
+// limits) repeatable" — here made fully repeatable by the deterministic
+// simulator. A Span captures the network-level cost of one operation
+// window (messages, bytes, per-kind counts, simulated latency); the
+// experiment harness prints spans as table rows.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"unistore/internal/simnet"
+)
+
+// Span is the measured cost of one operation window.
+type Span struct {
+	Label    string
+	Elapsed  time.Duration // simulated time
+	Messages int
+	Bytes    int
+	Dropped  int
+	PerKind  map[string]int
+}
+
+// Capture measures fn against the network: it resets the network's
+// counters, runs fn, and returns the delta. Setup traffic before the
+// call is therefore excluded — the per-query isolation the experiments
+// need.
+func Capture(net *simnet.Network, label string, fn func()) Span {
+	net.ResetStats()
+	start := net.Now()
+	fn()
+	s := net.Stats()
+	return Span{
+		Label:    label,
+		Elapsed:  net.Now() - start,
+		Messages: s.MessagesSent,
+		Bytes:    s.BytesSent,
+		Dropped:  s.MessagesDropped,
+		PerKind:  s.PerKind,
+	}
+}
+
+// String renders the span as a log line.
+func (s Span) String() string {
+	var kinds []string
+	for k, v := range s.PerKind {
+		kinds = append(kinds, fmt.Sprintf("%s=%d", k, v))
+	}
+	sort.Strings(kinds)
+	return fmt.Sprintf("%s: msgs=%d bytes=%d dropped=%d t=%v [%s]",
+		s.Label, s.Messages, s.Bytes, s.Dropped, s.Elapsed, strings.Join(kinds, " "))
+}
+
+// Series accumulates spans for one experiment and renders them as an
+// aligned table — the harness's table-row printer.
+type Series struct {
+	Name    string
+	Columns []string
+	rows    [][]string
+}
+
+// NewSeries starts a table with the given column headers.
+func NewSeries(name string, columns ...string) *Series {
+	return &Series{Name: name, Columns: columns}
+}
+
+// Add appends a row (values are formatted with %v).
+func (t *Series) Add(values ...any) {
+	row := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", x)
+		case time.Duration:
+			row[i] = x.Round(time.Millisecond).String()
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Rows returns the accumulated rows.
+func (t *Series) Rows() [][]string { return t.rows }
+
+// String renders the table with aligned columns.
+func (t *Series) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.rows {
+		for i, cell := range r {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s ==\n", t.Name)
+	for i, c := range t.Columns {
+		fmt.Fprintf(&sb, "%-*s  ", widths[i], c)
+	}
+	sb.WriteString("\n")
+	for i := range t.Columns {
+		sb.WriteString(strings.Repeat("-", widths[i]) + "  ")
+	}
+	sb.WriteString("\n")
+	for _, r := range t.rows {
+		for i, cell := range r {
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			fmt.Fprintf(&sb, "%-*s  ", w, cell)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

@@ -1,0 +1,54 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"unistore/internal/simnet"
+)
+
+type nop struct{}
+
+func (nop) HandleMessage(simnet.Message) {}
+
+func TestCaptureIsolatesWindow(t *testing.T) {
+	net := simnet.New(simnet.Config{Latency: simnet.ConstantLatency(time.Millisecond)})
+	a := net.AddNode(nop{})
+	b := net.AddNode(nop{})
+	// Setup traffic outside the window.
+	net.Send(a, b, "setup", nil)
+	net.Run()
+	span := Capture(net, "op", func() {
+		net.Send(a, b, "query", nil)
+		net.Send(a, b, "query", nil)
+		net.Run()
+	})
+	if span.Messages != 2 {
+		t.Errorf("span captured %d messages, want 2", span.Messages)
+	}
+	if span.PerKind["setup"] != 0 {
+		t.Error("setup traffic leaked into the span")
+	}
+	if span.Elapsed <= 0 {
+		t.Error("elapsed must advance")
+	}
+	if !strings.Contains(span.String(), "msgs=2") {
+		t.Errorf("render: %s", span)
+	}
+}
+
+func TestSeriesRendering(t *testing.T) {
+	s := NewSeries("E2: routing hops", "peers", "avg hops", "latency")
+	s.Add(64, 3.17, 250*time.Millisecond)
+	s.Add(1024, 5.02, 410*time.Millisecond)
+	out := s.String()
+	for _, frag := range []string{"E2: routing hops", "peers", "avg hops", "3.17", "1024", "250ms"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("table missing %q:\n%s", frag, out)
+		}
+	}
+	if len(s.Rows()) != 2 {
+		t.Errorf("rows = %d", len(s.Rows()))
+	}
+}

@@ -1,0 +1,294 @@
+package vql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"unistore/internal/triple"
+)
+
+// TermKind discriminates pattern terms.
+type TermKind int
+
+// Term kinds.
+const (
+	TermVar TermKind = iota
+	TermLit
+)
+
+// Term is one position of a triple pattern: a ?variable or a literal.
+type Term struct {
+	Kind TermKind
+	Var  string       // without the '?' sigil
+	Val  triple.Value // for TermLit
+}
+
+// V constructs a variable term.
+func V(name string) Term { return Term{Kind: TermVar, Var: name} }
+
+// Lit constructs a string-literal term.
+func Lit(s string) Term { return Term{Kind: TermLit, Val: triple.S(s)} }
+
+// LitN constructs a numeric-literal term.
+func LitN(f float64) Term { return Term{Kind: TermLit, Val: triple.N(f)} }
+
+// IsVar reports whether the term is a variable.
+func (t Term) IsVar() bool { return t.Kind == TermVar }
+
+func (t Term) String() string {
+	if t.Kind == TermVar {
+		return "?" + t.Var
+	}
+	if t.Val.Kind == triple.KindNumber {
+		return t.Val.String()
+	}
+	return "'" + strings.ReplaceAll(t.Val.Str, "'", "''") + "'"
+}
+
+// Pattern is one triple pattern (subject, attribute, value). Variables
+// may appear in any position — attribute variables query the schema
+// level, which the paper calls out explicitly.
+type Pattern struct {
+	S, A, V Term
+}
+
+func (p Pattern) String() string {
+	return fmt.Sprintf("(%s,%s,%s)", p.S, p.A, p.V)
+}
+
+// Vars returns the variable names bound by the pattern, in S, A, V
+// order, without duplicates.
+func (p Pattern) Vars() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, t := range []Term{p.S, p.A, p.V} {
+		if t.IsVar() && !seen[t.Var] {
+			seen[t.Var] = true
+			out = append(out, t.Var)
+		}
+	}
+	return out
+}
+
+// --- Filter expressions ---------------------------------------------------
+
+// Expr is a boolean filter expression.
+type Expr interface {
+	fmt.Stringer
+	exprNode()
+}
+
+// Operand is a value-producing expression inside a comparison.
+type Operand interface {
+	fmt.Stringer
+	operandNode()
+}
+
+// VarOperand references a bound variable.
+type VarOperand struct{ Name string }
+
+// LitOperand is a literal value.
+type LitOperand struct{ Val triple.Value }
+
+// FuncOperand is a function application, e.g. edist(?sr,'ICDE').
+type FuncOperand struct {
+	Name string
+	Args []Operand
+}
+
+func (v VarOperand) operandNode() {}
+func (LitOperand) operandNode()   {}
+func (FuncOperand) operandNode()  {}
+
+func (v VarOperand) String() string { return "?" + v.Name }
+func (l LitOperand) String() string {
+	if l.Val.Kind == triple.KindNumber {
+		return strconv.FormatFloat(l.Val.Num, 'g', -1, 64)
+	}
+	return "'" + strings.ReplaceAll(l.Val.Str, "'", "''") + "'"
+}
+func (f FuncOperand) String() string {
+	parts := make([]string, len(f.Args))
+	for i, a := range f.Args {
+		parts[i] = a.String()
+	}
+	return f.Name + "(" + strings.Join(parts, ",") + ")"
+}
+
+// Cmp is a comparison: L op R with op ∈ {=, !=, <, <=, >, >=}.
+type Cmp struct {
+	Op   string
+	L, R Operand
+}
+
+// And, Or, Not combine filters.
+type And struct{ L, R Expr }
+type Or struct{ L, R Expr }
+type Not struct{ E Expr }
+
+// BoolFunc is a function used directly as a boolean predicate, e.g.
+// contains(?title,'data').
+type BoolFunc struct {
+	Name string
+	Args []Operand
+}
+
+func (Cmp) exprNode()      {}
+func (And) exprNode()      {}
+func (Or) exprNode()       {}
+func (Not) exprNode()      {}
+func (BoolFunc) exprNode() {}
+
+func (c Cmp) String() string { return fmt.Sprintf("%s%s%s", c.L, c.Op, c.R) }
+func (a And) String() string { return fmt.Sprintf("(%s AND %s)", a.L, a.R) }
+func (o Or) String() string  { return fmt.Sprintf("(%s OR %s)", o.L, o.R) }
+func (n Not) String() string { return fmt.Sprintf("NOT (%s)", n.E) }
+func (b BoolFunc) String() string {
+	parts := make([]string, len(b.Args))
+	for i, a := range b.Args {
+		parts[i] = a.String()
+	}
+	return b.Name + "(" + strings.Join(parts, ",") + ")"
+}
+
+// --- Clauses ----------------------------------------------------------------
+
+// OrderKey is one ORDER BY component.
+type OrderKey struct {
+	Var  string
+	Desc bool
+}
+
+func (o OrderKey) String() string {
+	if o.Desc {
+		return "?" + o.Var + " DESC"
+	}
+	return "?" + o.Var + " ASC"
+}
+
+// SkylineKey is one SKYLINE OF component: minimize or maximize.
+type SkylineKey struct {
+	Var string
+	Max bool
+}
+
+func (s SkylineKey) String() string {
+	if s.Max {
+		return "?" + s.Var + " MAX"
+	}
+	return "?" + s.Var + " MIN"
+}
+
+// Query is a parsed VQL query.
+type Query struct {
+	// Select lists projected variable names; empty means SELECT *.
+	Select  []string
+	Where   []Pattern
+	Filters []Expr
+	OrderBy []OrderKey
+	Skyline []SkylineKey
+	// Limit bounds the result (0 = unlimited). TOP n parses as
+	// Limit=n with Top=true.
+	Limit int
+	Top   bool
+}
+
+// Vars returns all variables bound by the WHERE patterns.
+func (q *Query) Vars() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, p := range q.Where {
+		for _, v := range p.Vars() {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// String renders the query in canonical VQL; Parse(String()) returns an
+// equivalent query (tested as a property).
+func (q *Query) String() string {
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	if len(q.Select) == 0 {
+		sb.WriteString("*")
+	} else {
+		for i, v := range q.Select {
+			if i > 0 {
+				sb.WriteString(",")
+			}
+			sb.WriteString("?" + v)
+		}
+	}
+	sb.WriteString(" WHERE {")
+	for i, p := range q.Where {
+		if i > 0 {
+			sb.WriteString(" ")
+		}
+		sb.WriteString(p.String())
+	}
+	for _, f := range q.Filters {
+		sb.WriteString(" FILTER " + f.String())
+	}
+	sb.WriteString("}")
+	if len(q.Skyline) > 0 {
+		sb.WriteString(" ORDER BY SKYLINE OF ")
+		for i, s := range q.Skyline {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(s.String())
+		}
+	} else if len(q.OrderBy) > 0 {
+		sb.WriteString(" ORDER BY ")
+		for i, o := range q.OrderBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(o.String())
+		}
+	}
+	if q.Limit > 0 {
+		if q.Top {
+			sb.WriteString(fmt.Sprintf(" TOP %d", q.Limit))
+		} else {
+			sb.WriteString(fmt.Sprintf(" LIMIT %d", q.Limit))
+		}
+	}
+	return sb.String()
+}
+
+// Insert is a parsed INSERT statement (REPL convenience):
+// INSERT {(oid,'attr','value') ...}.
+type Insert struct {
+	Triples []triple.Triple
+}
+
+func (ins *Insert) String() string {
+	var sb strings.Builder
+	sb.WriteString("INSERT {")
+	for i, t := range ins.Triples {
+		if i > 0 {
+			sb.WriteString(" ")
+		}
+		fmt.Fprintf(&sb, "('%s','%s',", t.OID, t.Attr)
+		if t.Val.Kind == triple.KindNumber {
+			sb.WriteString(t.Val.String())
+		} else {
+			sb.WriteString("'" + strings.ReplaceAll(t.Val.Str, "'", "''") + "'")
+		}
+		sb.WriteString(")")
+	}
+	sb.WriteString("}")
+	return sb.String()
+}
+
+// Statement is a Query or an Insert.
+type Statement interface{ stmtNode() }
+
+func (*Query) stmtNode()  {}
+func (*Insert) stmtNode() {}

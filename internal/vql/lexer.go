@@ -1,0 +1,207 @@
+package vql
+
+import (
+	"strconv"
+	"strings"
+)
+
+// lexer scans VQL source into tokens.
+type lexer struct {
+	src string
+	pos int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src} }
+
+func (l *lexer) peekByte() (byte, bool) {
+	if l.pos >= len(l.src) {
+		return 0, false
+	}
+	return l.src[l.pos], true
+}
+
+func isSpace(c byte) bool  { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+func isDigit(c byte) bool  { return c >= '0' && c <= '9' }
+func isIdent0(c byte) bool { return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') }
+func isIdent(c byte) bool  { return isIdent0(c) || isDigit(c) || c == ':' || c == '.' }
+
+func (l *lexer) skipSpaceAndComments() {
+	for {
+		for {
+			c, ok := l.peekByte()
+			if !ok || !isSpace(c) {
+				break
+			}
+			l.pos++
+		}
+		// '#' starts a comment to end of line (handy in REPL scripts).
+		if c, ok := l.peekByte(); ok && c == '#' {
+			for {
+				c, ok := l.peekByte()
+				if !ok || c == '\n' {
+					break
+				}
+				l.pos++
+			}
+			continue
+		}
+		return
+	}
+}
+
+// Next returns the next token. Errors are reported as a token with
+// Kind TokEOF and a non-nil error.
+func (l *lexer) Next() (Token, error) {
+	l.skipSpaceAndComments()
+	start := l.pos
+	c, ok := l.peekByte()
+	if !ok {
+		return Token{Kind: TokEOF, Pos: start}, nil
+	}
+	switch {
+	case c == '(':
+		l.pos++
+		return Token{Kind: TokLParen, Text: "(", Pos: start}, nil
+	case c == ')':
+		l.pos++
+		return Token{Kind: TokRParen, Text: ")", Pos: start}, nil
+	case c == '{':
+		l.pos++
+		return Token{Kind: TokLBrace, Text: "{", Pos: start}, nil
+	case c == '}':
+		l.pos++
+		return Token{Kind: TokRBrace, Text: "}", Pos: start}, nil
+	case c == ',':
+		l.pos++
+		return Token{Kind: TokComma, Text: ",", Pos: start}, nil
+	case c == '*':
+		l.pos++
+		return Token{Kind: TokStar, Text: "*", Pos: start}, nil
+	case c == '?':
+		l.pos++
+		return l.lexVar(start)
+	case c == '\'':
+		l.pos++
+		return l.lexString(start)
+	case c == '<' || c == '>' || c == '=' || c == '!':
+		return l.lexOp(start)
+	case isDigit(c) || c == '-' || c == '+':
+		return l.lexNumber(start)
+	case isIdent0(c):
+		return l.lexIdent(start)
+	}
+	return Token{Kind: TokEOF, Pos: start}, errf(start, "unexpected character %q", c)
+}
+
+func (l *lexer) lexVar(start int) (Token, error) {
+	b := l.pos
+	for {
+		c, ok := l.peekByte()
+		if !ok || !isIdent(c) {
+			break
+		}
+		l.pos++
+	}
+	if l.pos == b {
+		return Token{}, errf(start, "empty variable name after '?'")
+	}
+	return Token{Kind: TokVar, Text: l.src[b:l.pos], Pos: start}, nil
+}
+
+func (l *lexer) lexString(start int) (Token, error) {
+	var sb strings.Builder
+	for {
+		c, ok := l.peekByte()
+		if !ok {
+			return Token{}, errf(start, "unterminated string literal")
+		}
+		l.pos++
+		if c == '\'' {
+			// '' is an escaped quote, as in SQL.
+			if c2, ok := l.peekByte(); ok && c2 == '\'' {
+				l.pos++
+				sb.WriteByte('\'')
+				continue
+			}
+			return Token{Kind: TokString, Text: sb.String(), Pos: start}, nil
+		}
+		sb.WriteByte(c)
+	}
+}
+
+func (l *lexer) lexOp(start int) (Token, error) {
+	c := l.src[l.pos]
+	l.pos++
+	if c2, ok := l.peekByte(); ok && c2 == '=' {
+		l.pos++
+		return Token{Kind: TokOp, Text: string(c) + "=", Pos: start}, nil
+	}
+	if c == '!' {
+		return Token{}, errf(start, "expected '=' after '!'")
+	}
+	return Token{Kind: TokOp, Text: string(c), Pos: start}, nil
+}
+
+func (l *lexer) lexNumber(start int) (Token, error) {
+	b := l.pos
+	if c, _ := l.peekByte(); c == '-' || c == '+' {
+		l.pos++
+	}
+	digits := false
+	for {
+		c, ok := l.peekByte()
+		if !ok {
+			break
+		}
+		if isDigit(c) {
+			digits = true
+			l.pos++
+			continue
+		}
+		if c == '.' || c == 'e' || c == 'E' {
+			l.pos++
+			continue
+		}
+		if (c == '-' || c == '+') && l.pos > b && (l.src[l.pos-1] == 'e' || l.src[l.pos-1] == 'E') {
+			l.pos++
+			continue
+		}
+		break
+	}
+	if !digits {
+		return Token{}, errf(start, "malformed number")
+	}
+	f, err := strconv.ParseFloat(l.src[b:l.pos], 64)
+	if err != nil {
+		return Token{}, errf(start, "malformed number %q", l.src[b:l.pos])
+	}
+	return Token{Kind: TokNumber, Num: f, Text: l.src[b:l.pos], Pos: start}, nil
+}
+
+func (l *lexer) lexIdent(start int) (Token, error) {
+	b := l.pos
+	for {
+		c, ok := l.peekByte()
+		if !ok || !isIdent(c) {
+			break
+		}
+		l.pos++
+	}
+	return Token{Kind: TokIdent, Text: l.src[b:l.pos], Pos: start}, nil
+}
+
+// Lex tokenizes the whole input (testing convenience).
+func Lex(src string) ([]Token, error) {
+	l := newLexer(src)
+	var out []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, t)
+		if t.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}

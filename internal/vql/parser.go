@@ -1,0 +1,468 @@
+package vql
+
+import (
+	"strings"
+
+	"unistore/internal/triple"
+)
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	lex *lexer
+	tok Token // lookahead
+}
+
+func newParser(src string) (*parser, error) {
+	p := &parser{lex: newLexer(src)}
+	return p, p.advance()
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.Next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+// kw reports whether the lookahead is the given keyword
+// (case-insensitive, as in SQL).
+func (p *parser) kw(word string) bool {
+	return p.tok.Kind == TokIdent && strings.EqualFold(p.tok.Text, word)
+}
+
+func (p *parser) expectKw(word string) error {
+	if !p.kw(word) {
+		return errf(p.tok.Pos, "expected %s, found %s", word, p.tok)
+	}
+	return p.advance()
+}
+
+func (p *parser) expect(kind TokenKind) (Token, error) {
+	if p.tok.Kind != kind {
+		return Token{}, errf(p.tok.Pos, "expected %s, found %s", kind, p.tok)
+	}
+	t := p.tok
+	return t, p.advance()
+}
+
+// Parse parses one VQL statement (SELECT query or INSERT).
+func Parse(src string) (Statement, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	var stmt Statement
+	switch {
+	case p.kw("SELECT"):
+		stmt, err = p.parseQuery()
+	case p.kw("INSERT"):
+		stmt, err = p.parseInsert()
+	default:
+		return nil, errf(p.tok.Pos, "expected SELECT or INSERT, found %s", p.tok)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.Kind != TokEOF {
+		return nil, errf(p.tok.Pos, "unexpected trailing input: %s", p.tok)
+	}
+	return stmt, nil
+}
+
+// ParseQuery parses a SELECT query, rejecting other statements.
+func ParseQuery(src string) (*Query, error) {
+	stmt, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	q, ok := stmt.(*Query)
+	if !ok {
+		return nil, errf(0, "not a SELECT query")
+	}
+	return q, nil
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	q := &Query{}
+	if err := p.expectKw("SELECT"); err != nil {
+		return nil, err
+	}
+	if p.tok.Kind == TokStar {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	} else {
+		for {
+			v, err := p.expect(TokVar)
+			if err != nil {
+				return nil, err
+			}
+			q.Select = append(q.Select, v.Text)
+			if p.tok.Kind != TokComma {
+				break
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := p.expectKw("WHERE"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.tok.Kind == TokLParen:
+			pat, err := p.parsePattern()
+			if err != nil {
+				return nil, err
+			}
+			q.Where = append(q.Where, pat)
+		case p.kw("FILTER"):
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			f, err := p.parseOr()
+			if err != nil {
+				return nil, err
+			}
+			q.Filters = append(q.Filters, f)
+		case p.tok.Kind == TokRBrace:
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if len(q.Where) == 0 {
+				return nil, errf(p.tok.Pos, "WHERE block needs at least one pattern")
+			}
+			return q, p.parseClauses(q)
+		default:
+			return nil, errf(p.tok.Pos, "expected pattern, FILTER or '}', found %s", p.tok)
+		}
+	}
+}
+
+func (p *parser) parsePattern() (Pattern, error) {
+	var pat Pattern
+	if _, err := p.expect(TokLParen); err != nil {
+		return pat, err
+	}
+	terms := make([]Term, 0, 3)
+	for i := 0; i < 3; i++ {
+		t, err := p.parseTerm()
+		if err != nil {
+			return pat, err
+		}
+		terms = append(terms, t)
+		if i < 2 {
+			if _, err := p.expect(TokComma); err != nil {
+				return pat, err
+			}
+		}
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return pat, err
+	}
+	pat.S, pat.A, pat.V = terms[0], terms[1], terms[2]
+	return pat, nil
+}
+
+func (p *parser) parseTerm() (Term, error) {
+	switch p.tok.Kind {
+	case TokVar:
+		t := V(p.tok.Text)
+		return t, p.advance()
+	case TokString:
+		t := Lit(p.tok.Text)
+		return t, p.advance()
+	case TokNumber:
+		t := LitN(p.tok.Num)
+		return t, p.advance()
+	}
+	return Term{}, errf(p.tok.Pos, "expected term, found %s", p.tok)
+}
+
+// parseOr / parseAnd / parseUnary implement precedence OR < AND < NOT.
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.kw("OR") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = Or{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.kw("AND") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = And{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.kw("NOT") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Not{E: e}, nil
+	}
+	if p.tok.Kind == TokLParen {
+		// Parenthesized boolean expression.
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	l, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.Kind != TokOp {
+		// A bare function call is a boolean predicate.
+		if f, ok := l.(FuncOperand); ok {
+			return BoolFunc{Name: f.Name, Args: f.Args}, nil
+		}
+		return nil, errf(p.tok.Pos, "expected comparison operator, found %s", p.tok)
+	}
+	op := p.tok.Text
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	r, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	return Cmp{Op: op, L: l, R: r}, nil
+}
+
+func (p *parser) parseOperand() (Operand, error) {
+	switch p.tok.Kind {
+	case TokVar:
+		v := VarOperand{Name: p.tok.Text}
+		return v, p.advance()
+	case TokString:
+		v := LitOperand{Val: triple.S(p.tok.Text)}
+		return v, p.advance()
+	case TokNumber:
+		v := LitOperand{Val: triple.N(p.tok.Num)}
+		return v, p.advance()
+	case TokIdent:
+		name := strings.ToLower(p.tok.Text)
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		var args []Operand
+		if p.tok.Kind != TokRParen {
+			for {
+				a, err := p.parseOperand()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+				if p.tok.Kind != TokComma {
+					break
+				}
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return FuncOperand{Name: name, Args: args}, nil
+	}
+	return nil, errf(p.tok.Pos, "expected operand, found %s", p.tok)
+}
+
+func (p *parser) parseClauses(q *Query) error {
+	if p.kw("ORDER") {
+		if err := p.advance(); err != nil {
+			return err
+		}
+		if err := p.expectKw("BY"); err != nil {
+			return err
+		}
+		if p.kw("SKYLINE") {
+			if err := p.advance(); err != nil {
+				return err
+			}
+			if err := p.expectKw("OF"); err != nil {
+				return err
+			}
+			for {
+				v, err := p.expect(TokVar)
+				if err != nil {
+					return err
+				}
+				k := SkylineKey{Var: v.Text}
+				switch {
+				case p.kw("MIN"):
+					if err := p.advance(); err != nil {
+						return err
+					}
+				case p.kw("MAX"):
+					k.Max = true
+					if err := p.advance(); err != nil {
+						return err
+					}
+				default:
+					return errf(p.tok.Pos, "expected MIN or MAX, found %s", p.tok)
+				}
+				q.Skyline = append(q.Skyline, k)
+				if p.tok.Kind != TokComma {
+					break
+				}
+				if err := p.advance(); err != nil {
+					return err
+				}
+			}
+		} else {
+			for {
+				v, err := p.expect(TokVar)
+				if err != nil {
+					return err
+				}
+				k := OrderKey{Var: v.Text}
+				if p.kw("DESC") {
+					k.Desc = true
+					if err := p.advance(); err != nil {
+						return err
+					}
+				} else if p.kw("ASC") {
+					if err := p.advance(); err != nil {
+						return err
+					}
+				}
+				q.OrderBy = append(q.OrderBy, k)
+				if p.tok.Kind != TokComma {
+					break
+				}
+				if err := p.advance(); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	switch {
+	case p.kw("LIMIT"):
+		if err := p.advance(); err != nil {
+			return err
+		}
+		n, err := p.expect(TokNumber)
+		if err != nil {
+			return err
+		}
+		if n.Num < 1 || n.Num != float64(int(n.Num)) {
+			return errf(n.Pos, "LIMIT must be a positive integer")
+		}
+		q.Limit = int(n.Num)
+	case p.kw("TOP"):
+		if err := p.advance(); err != nil {
+			return err
+		}
+		n, err := p.expect(TokNumber)
+		if err != nil {
+			return err
+		}
+		if n.Num < 1 || n.Num != float64(int(n.Num)) {
+			return errf(n.Pos, "TOP must be a positive integer")
+		}
+		q.Limit = int(n.Num)
+		q.Top = true
+	}
+	return nil
+}
+
+func (p *parser) parseInsert() (*Insert, error) {
+	if err := p.expectKw("INSERT"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	ins := &Insert{}
+	for p.tok.Kind == TokLParen {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		oid, err := p.expect(TokString)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokComma); err != nil {
+			return nil, err
+		}
+		attr, err := p.expect(TokString)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokComma); err != nil {
+			return nil, err
+		}
+		var val triple.Value
+		switch p.tok.Kind {
+		case TokString:
+			val = triple.S(p.tok.Text)
+		case TokNumber:
+			val = triple.N(p.tok.Num)
+		default:
+			return nil, errf(p.tok.Pos, "expected value literal, found %s", p.tok)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		ins.Triples = append(ins.Triples, triple.Triple{OID: oid.Text, Attr: attr.Text, Val: val})
+	}
+	if _, err := p.expect(TokRBrace); err != nil {
+		return nil, err
+	}
+	if len(ins.Triples) == 0 {
+		return nil, errf(p.tok.Pos, "INSERT needs at least one triple")
+	}
+	return ins, nil
+}

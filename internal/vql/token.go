@@ -1,0 +1,95 @@
+// Package vql implements VQL (Vertical Query Language), UniStore's
+// SPARQL-derived structured query language (§2 of the paper): triple
+// patterns in braces with ?variables, FILTER predicates (comparisons,
+// boolean combinations, and similarity via edist), and the SQL-like
+// clauses SELECT, WHERE, ORDER BY, LIMIT, TOP and SKYLINE OF.
+//
+// The package is purely syntactic: it produces an AST that package
+// algebra compiles into a logical plan.
+package vql
+
+import "fmt"
+
+// TokenKind enumerates lexical token types.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF    TokenKind = iota
+	TokIdent            // bare identifier: keywords, function names
+	TokVar              // ?name
+	TokString           // 'quoted literal'
+	TokNumber           // 123, -4.5
+	TokLParen           // (
+	TokRParen           // )
+	TokLBrace           // {
+	TokRBrace           // }
+	TokComma            // ,
+	TokOp               // < <= > >= = !=
+	TokStar             // *
+)
+
+func (k TokenKind) String() string {
+	switch k {
+	case TokEOF:
+		return "EOF"
+	case TokIdent:
+		return "identifier"
+	case TokVar:
+		return "variable"
+	case TokString:
+		return "string"
+	case TokNumber:
+		return "number"
+	case TokLParen:
+		return "'('"
+	case TokRParen:
+		return "')'"
+	case TokLBrace:
+		return "'{'"
+	case TokRBrace:
+		return "'}'"
+	case TokComma:
+		return "','"
+	case TokOp:
+		return "operator"
+	case TokStar:
+		return "'*'"
+	}
+	return fmt.Sprintf("TokenKind(%d)", int(k))
+}
+
+// Token is one lexical unit with its source position.
+type Token struct {
+	Kind TokenKind
+	Text string  // identifier/operator text, string contents, var name
+	Num  float64 // numeric value for TokNumber
+	Pos  int     // byte offset in the input
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokVar:
+		return "?" + t.Text
+	case TokString:
+		return "'" + t.Text + "'"
+	case TokNumber:
+		return fmt.Sprintf("%g", t.Num)
+	case TokEOF:
+		return "<eof>"
+	default:
+		return t.Text
+	}
+}
+
+// Error is a syntax error with position information.
+type Error struct {
+	Pos int
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("vql: offset %d: %s", e.Pos, e.Msg) }
+
+func errf(pos int, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,327 @@
+package vql
+
+import (
+	"math/rand"
+	"reflect"
+
+	"testing"
+
+	"unistore/internal/triple"
+)
+
+// paperQuery is the complete example query from §2 of the paper.
+const paperQuery = `
+SELECT ?name,?age,?cnt
+WHERE {(?a,'name',?name) (?a,'age',?age)
+(?a,'num_of_pubs',?cnt)
+(?a,'has_published',?title) (?p,'title',?title)
+(?p,'published_in',?conf) (?c,'confname',?conf)
+(?c,'series',?sr) FILTER edist(?sr,'ICDE')<3
+}
+ORDER BY SKYLINE OF ?age MIN, ?cnt MAX`
+
+func TestParsePaperQuery(t *testing.T) {
+	q, err := ParseQuery(paperQuery)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if !reflect.DeepEqual(q.Select, []string{"name", "age", "cnt"}) {
+		t.Errorf("select = %v", q.Select)
+	}
+	if len(q.Where) != 8 {
+		t.Fatalf("patterns = %d, want 8", len(q.Where))
+	}
+	p0 := q.Where[0]
+	if !p0.S.IsVar() || p0.S.Var != "a" || p0.A.Val.Str != "name" || !p0.V.IsVar() {
+		t.Errorf("first pattern = %v", p0)
+	}
+	if len(q.Filters) != 1 {
+		t.Fatalf("filters = %d", len(q.Filters))
+	}
+	cmp, ok := q.Filters[0].(Cmp)
+	if !ok || cmp.Op != "<" {
+		t.Fatalf("filter = %v", q.Filters[0])
+	}
+	fn, ok := cmp.L.(FuncOperand)
+	if !ok || fn.Name != "edist" || len(fn.Args) != 2 {
+		t.Fatalf("filter lhs = %v", cmp.L)
+	}
+	if lit, ok := cmp.R.(LitOperand); !ok || lit.Val.Num != 3 {
+		t.Fatalf("filter rhs = %v", cmp.R)
+	}
+	want := []SkylineKey{{Var: "age"}, {Var: "cnt", Max: true}}
+	if !reflect.DeepEqual(q.Skyline, want) {
+		t.Errorf("skyline = %v", q.Skyline)
+	}
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex(`SELECT ?x WHERE {(?x,'a''b',3.5)} LIMIT 10 # comment`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []TokenKind
+	for _, tk := range toks {
+		kinds = append(kinds, tk.Kind)
+	}
+	want := []TokenKind{TokIdent, TokVar, TokIdent, TokLBrace, TokLParen,
+		TokVar, TokComma, TokString, TokComma, TokNumber, TokRParen,
+		TokRBrace, TokIdent, TokNumber, TokEOF}
+	if !reflect.DeepEqual(kinds, want) {
+		t.Errorf("kinds = %v", kinds)
+	}
+	// Escaped quote inside string.
+	if toks[7].Text != "a'b" {
+		t.Errorf("string literal = %q", toks[7].Text)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	bad := []string{"'unterminated", "?", "!x", "@"}
+	for _, src := range bad {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("Lex(%q) must fail", src)
+		}
+	}
+}
+
+func TestParseSelectStar(t *testing.T) {
+	q, err := ParseQuery(`SELECT * WHERE {(?s,?a,?v)}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Select) != 0 {
+		t.Errorf("SELECT * must leave Select empty: %v", q.Select)
+	}
+	// Schema-level query: attribute position is a variable.
+	if !q.Where[0].A.IsVar() {
+		t.Error("attribute variable lost")
+	}
+}
+
+func TestParseOrderLimitTop(t *testing.T) {
+	q, err := ParseQuery(`SELECT ?n WHERE {(?s,'name',?n)} ORDER BY ?n DESC LIMIT 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.OrderBy) != 1 || !q.OrderBy[0].Desc || q.Limit != 5 || q.Top {
+		t.Errorf("parsed %+v", q)
+	}
+	q, err = ParseQuery(`SELECT ?n WHERE {(?s,'age',?n)} ORDER BY ?n TOP 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Limit != 3 || !q.Top {
+		t.Errorf("TOP parsed as %+v", q)
+	}
+}
+
+func TestParseBooleanFilters(t *testing.T) {
+	q, err := ParseQuery(
+		`SELECT ?n WHERE {(?s,'age',?x) FILTER ?x >= 18 AND NOT ?x > 65 OR ?x = 99}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	or, ok := q.Filters[0].(Or)
+	if !ok {
+		t.Fatalf("top filter = %T", q.Filters[0])
+	}
+	and, ok := or.L.(And)
+	if !ok {
+		t.Fatalf("or.L = %T", or.L)
+	}
+	if _, ok := and.R.(Not); !ok {
+		t.Fatalf("and.R = %T", and.R)
+	}
+}
+
+func TestParseParenthesizedFilter(t *testing.T) {
+	q, err := ParseQuery(
+		`SELECT ?n WHERE {(?s,'a',?x) FILTER ?x > 1 AND (?x < 5 OR ?x = 9)}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	and, ok := q.Filters[0].(And)
+	if !ok {
+		t.Fatalf("filter = %T", q.Filters[0])
+	}
+	if _, ok := and.R.(Or); !ok {
+		t.Fatalf("and.R = %T (parentheses ignored?)", and.R)
+	}
+}
+
+func TestParseBoolFuncFilter(t *testing.T) {
+	q, err := ParseQuery(`SELECT ?t WHERE {(?s,'title',?t) FILTER contains(?t,'data')}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf, ok := q.Filters[0].(BoolFunc)
+	if !ok || bf.Name != "contains" || len(bf.Args) != 2 {
+		t.Fatalf("filter = %v", q.Filters[0])
+	}
+}
+
+func TestParseMultipleFilters(t *testing.T) {
+	q, err := ParseQuery(
+		`SELECT ?n WHERE {(?s,'age',?x) FILTER ?x > 1 (?s,'name',?n) FILTER ?n != 'bob'}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Filters) != 2 || len(q.Where) != 2 {
+		t.Errorf("filters=%d patterns=%d", len(q.Filters), len(q.Where))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`SELECT`,
+		`SELECT ?x`,
+		`SELECT ?x WHERE {}`,
+		`SELECT ?x WHERE {(?x,'a')}`,
+		`SELECT ?x WHERE {(?x,'a','b') } garbage`,
+		`SELECT ?x WHERE {(?x,'a','b')} LIMIT 0`,
+		`SELECT ?x WHERE {(?x,'a','b')} LIMIT 2.5`,
+		`SELECT ?x WHERE {(?x,'a','b')} ORDER BY SKYLINE OF ?x`,
+		`SELECT ?x WHERE {(?x,'a','b') FILTER}`,
+		`SELECT ?x, WHERE {(?x,'a','b')}`,
+		`UPDATE ?x`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) must fail", src)
+		}
+	}
+}
+
+func TestParseInsert(t *testing.T) {
+	stmt, err := Parse(`INSERT {('a12','title','Similarity...') ('a12','year',2006)}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := stmt.(*Insert)
+	if len(ins.Triples) != 2 {
+		t.Fatalf("triples = %d", len(ins.Triples))
+	}
+	if ins.Triples[1].Val.Kind != triple.KindNumber || ins.Triples[1].Val.Num != 2006 {
+		t.Errorf("numeric value = %v", ins.Triples[1].Val)
+	}
+	if _, err := Parse(`INSERT {}`); err == nil {
+		t.Error("empty INSERT must fail")
+	}
+}
+
+func TestQueryVars(t *testing.T) {
+	q, err := ParseQuery(`SELECT * WHERE {(?a,'x',?b) (?b,'y',?c) (?a,'z','lit')}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Vars(); !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Errorf("vars = %v", got)
+	}
+}
+
+// Property: Parse(q.String()) == q (structural fixpoint) for generated
+// queries.
+func TestParsePrintParseFixpoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	randTerm := func() Term {
+		switch rng.Intn(3) {
+		case 0:
+			return V(string(rune('a' + rng.Intn(26))))
+		case 1:
+			return Lit("s" + string(rune('a'+rng.Intn(26))))
+		default:
+			return LitN(float64(rng.Intn(100)))
+		}
+	}
+	for iter := 0; iter < 300; iter++ {
+		q := &Query{}
+		for i := 0; i <= rng.Intn(4); i++ {
+			q.Select = append(q.Select, string(rune('a'+i)))
+		}
+		for i := 0; i <= rng.Intn(5); i++ {
+			q.Where = append(q.Where, Pattern{S: randTerm(), A: randTerm(), V: randTerm()})
+		}
+		if rng.Intn(2) == 0 {
+			q.Filters = append(q.Filters, Cmp{Op: ">=",
+				L: VarOperand{Name: "a"}, R: LitOperand{Val: triple.N(7)}})
+		}
+		if rng.Intn(3) == 0 {
+			q.Filters = append(q.Filters, Cmp{Op: "<",
+				L: FuncOperand{Name: "edist", Args: []Operand{
+					VarOperand{Name: "b"}, LitOperand{Val: triple.S("ICDE")}}},
+				R: LitOperand{Val: triple.N(3)}})
+		}
+		switch rng.Intn(3) {
+		case 0:
+			q.OrderBy = []OrderKey{{Var: "a"}, {Var: "b", Desc: true}}
+		case 1:
+			q.Skyline = []SkylineKey{{Var: "a"}, {Var: "b", Max: true}}
+		}
+		if rng.Intn(2) == 0 {
+			q.Limit = 1 + rng.Intn(20)
+			q.Top = rng.Intn(2) == 0 && len(q.OrderBy) > 0
+		}
+		src := q.String()
+		back, err := ParseQuery(src)
+		if err != nil {
+			t.Fatalf("reparse %q: %v", src, err)
+		}
+		if back.String() != src {
+			t.Fatalf("fixpoint violated:\n 1: %s\n 2: %s", src, back.String())
+		}
+	}
+}
+
+func TestStringEscaping(t *testing.T) {
+	q := &Query{Where: []Pattern{{S: V("s"), A: Lit("attr"), V: Lit("it's")}}}
+	src := q.String()
+	back, err := ParseQuery(src)
+	if err != nil {
+		t.Fatalf("reparse %q: %v", src, err)
+	}
+	if back.Where[0].V.Val.Str != "it's" {
+		t.Errorf("escaped literal = %q", back.Where[0].V.Val.Str)
+	}
+}
+
+func TestCaseInsensitiveKeywords(t *testing.T) {
+	if _, err := ParseQuery(`select ?x where {(?x,'a','b')} order by ?x limit 2`); err != nil {
+		t.Errorf("lowercase keywords must parse: %v", err)
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	p := Pattern{S: V("a"), A: Lit("name"), V: Lit("bob")}
+	if p.String() != "(?a,'name','bob')" {
+		t.Errorf("pattern = %s", p.String())
+	}
+}
+
+func BenchmarkParsePaperQuery(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseQuery(paperQuery); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func FuzzParse(f *testing.F) {
+	f.Add(paperQuery)
+	f.Add(`SELECT * WHERE {(?s,?a,?v)}`)
+	f.Add(`INSERT {('x','y','z')}`)
+	f.Fuzz(func(t *testing.T, src string) {
+		stmt, err := Parse(src)
+		if err != nil {
+			return
+		}
+		// Whatever parses must print and reparse.
+		if q, ok := stmt.(*Query); ok {
+			if _, err := ParseQuery(q.String()); err != nil {
+				t.Fatalf("reparse of %q (from %q): %v", q.String(), src, err)
+			}
+		}
+	})
+}

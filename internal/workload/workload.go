@@ -1,0 +1,225 @@
+// Package workload generates the synthetic datasets the experiments
+// run on: instances of the paper's Fig. 3 schema (persons with
+// publications at conferences), Zipf-skewed value distributions (the
+// load-balancing stressor), typo-injected strings (similarity-query
+// targets), and heterogeneous multi-namespace variants with
+// correspondence mappings. All generation is seeded and reproducible —
+// the stand-in for the contact/publication data the demo collected from
+// conference participants.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"unistore/internal/schema"
+	"unistore/internal/triple"
+)
+
+// Conference series pool: realistic names keep the similarity
+// experiments honest (ICDE vs ICDM vs ICDT are near neighbours).
+var Series = []string{"ICDE", "VLDB", "SIGMOD", "EDBT", "ICDM", "ICDT", "CIDR", "PODS", "KDD", "WWW"}
+
+// FirstNames and LastNames seed person generation.
+var FirstNames = []string{
+	"alice", "bob", "carol", "dave", "erin", "frank", "grace", "heidi",
+	"ivan", "judy", "karl", "laura", "mallory", "nina", "oscar", "peggy",
+}
+var LastNames = []string{
+	"mueller", "schmidt", "karnstedt", "sattler", "hauswirth", "aberer",
+	"weber", "fischer", "wagner", "becker", "hoffmann", "schulz",
+}
+
+// Zipf draws ranks 0..n-1 with exponent s (s=0 is uniform; s≈1 is the
+// classic web-data skew).
+type Zipf struct {
+	cdf []float64
+	rng *rand.Rand
+}
+
+// NewZipf builds a Zipf sampler over n ranks.
+func NewZipf(rng *rand.Rand, n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("workload: Zipf needs n > 0")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{cdf: cdf, rng: rng}
+}
+
+// Next draws one rank.
+func (z *Zipf) Next() int {
+	u := z.rng.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Typo injects up to `edits` random single-character edits.
+func Typo(rng *rand.Rand, s string, edits int) string {
+	b := []byte(s)
+	for e := 0; e < edits && len(b) > 0; e++ {
+		switch rng.Intn(3) {
+		case 0:
+			b[rng.Intn(len(b))] = byte('a' + rng.Intn(26))
+		case 1:
+			i := rng.Intn(len(b))
+			b = append(b[:i], b[i+1:]...)
+		case 2:
+			i := rng.Intn(len(b) + 1)
+			b = append(b[:i], append([]byte{byte('a' + rng.Intn(26))}, b[i:]...)...)
+		}
+	}
+	return string(b)
+}
+
+// Options parameterize dataset generation.
+type Options struct {
+	Seed int64
+	// Persons is the number of person tuples (publications and
+	// conferences scale with it).
+	Persons int
+	// ZipfS skews value popularity (conference choice, name prefixes);
+	// 0 disables skew.
+	ZipfS float64
+	// TypoRate is the fraction of series strings receiving 1-2 typos —
+	// the similarity queries' raison d'être.
+	TypoRate float64
+	// Namespace prefixes attribute names (heterogeneity experiments);
+	// empty means the paper's plain attribute names.
+	Namespace string
+}
+
+// Dataset is a generated corpus plus the ground truth experiments
+// assert against.
+type Dataset struct {
+	Triples []triple.Triple
+	Persons int
+	// CleanSeries maps each typo'd series string to its original.
+	CleanSeries map[string]string
+}
+
+// Attr applies the option namespace to an attribute name.
+func (o Options) Attr(a string) string {
+	if o.Namespace == "" {
+		return a
+	}
+	return o.Namespace + ":" + a
+}
+
+// Generate builds a Fig. 3 instance: persons (name, age, num_of_pubs,
+// phone, email), their publications (title, published_in), and the
+// conferences (confname, series, year).
+func Generate(o Options) *Dataset {
+	rng := rand.New(rand.NewSource(o.Seed))
+	ds := &Dataset{Persons: o.Persons, CleanSeries: map[string]string{}}
+	var seriesPick func() int
+	if o.ZipfS > 0 {
+		z := NewZipf(rng, len(Series), o.ZipfS)
+		seriesPick = z.Next
+	} else {
+		seriesPick = func() int { return rng.Intn(len(Series)) }
+	}
+
+	// Conferences: a pool proportional to persons, with typo'd series.
+	nConfs := o.Persons/2 + 3
+	confNames := make([]string, nConfs)
+	for i := 0; i < nConfs; i++ {
+		base := Series[seriesPick()]
+		year := 1998 + rng.Intn(10)
+		name := fmt.Sprintf("%s %d", base, year)
+		series := base
+		if rng.Float64() < o.TypoRate {
+			series = Typo(rng, base, 1+rng.Intn(2))
+		}
+		ds.CleanSeries[series] = base
+		oid := fmt.Sprintf("conf-%04d", i)
+		confNames[i] = name
+		ds.Triples = append(ds.Triples,
+			triple.T(oid, o.Attr("confname"), name),
+			triple.T(oid, o.Attr("series"), series),
+			triple.TN(oid, o.Attr("year"), float64(year)))
+	}
+
+	// Persons and publications.
+	pubID := 0
+	for i := 0; i < o.Persons; i++ {
+		oid := fmt.Sprintf("person-%05d", i)
+		name := fmt.Sprintf("%s %s %d",
+			FirstNames[rng.Intn(len(FirstNames))],
+			LastNames[rng.Intn(len(LastNames))], i)
+		age := 22 + rng.Intn(48)
+		nPubs := rng.Intn(6)
+		ds.Triples = append(ds.Triples,
+			triple.T(oid, o.Attr("name"), name),
+			triple.TN(oid, o.Attr("age"), float64(age)),
+			triple.TN(oid, o.Attr("num_of_pubs"), float64(nPubs)),
+			triple.T(oid, o.Attr("phone"), fmt.Sprintf("+41-%07d", rng.Intn(10000000))),
+			triple.T(oid, o.Attr("email"), fmt.Sprintf("p%d@example.org", i)))
+		for j := 0; j < nPubs; j++ {
+			title := fmt.Sprintf("Paper %05d-%d on %s", i, j, topicFor(rng))
+			uid := fmt.Sprintf("pub-%06d", pubID)
+			pubID++
+			conf := confNames[rng.Intn(len(confNames))]
+			ds.Triples = append(ds.Triples,
+				triple.T(oid, o.Attr("has_published"), title),
+				triple.T(uid, o.Attr("title"), title),
+				triple.T(uid, o.Attr("published_in"), conf))
+		}
+	}
+	return ds
+}
+
+func topicFor(rng *rand.Rand) string {
+	topics := []string{
+		"similarity queries", "skyline processing", "universal storage",
+		"query optimization", "overlay networks", "schema mappings",
+		"range indexing", "load balancing",
+	}
+	return topics[rng.Intn(len(topics))]
+}
+
+// HeterogeneousPair generates the same logical data under two
+// namespaces plus the correspondence mappings between them — the E10
+// workload: querying one schema should retrieve both datasets once the
+// mappings are applied.
+func HeterogeneousPair(seed int64, personsEach int) (a, b *Dataset, mappings []schema.Mapping) {
+	a = Generate(Options{Seed: seed, Persons: personsEach, Namespace: "dblp"})
+	b = Generate(Options{Seed: seed + 1, Persons: personsEach, Namespace: "ceur"})
+	for _, attr := range []string{"name", "age", "num_of_pubs", "title",
+		"published_in", "confname", "series", "year", "has_published"} {
+		mappings = append(mappings, schema.Mapping{From: "dblp:" + attr, To: "ceur:" + attr})
+	}
+	return a, b, mappings
+}
+
+// SkewedValues generates n triples of one attribute whose values follow
+// a Zipf rank distribution over distinct strings with shared prefixes —
+// the E6 load-balancing stressor for order-preserving hashing.
+func SkewedValues(seed int64, n int, s float64) []triple.Triple {
+	rng := rand.New(rand.NewSource(seed))
+	z := NewZipf(rng, 26, s)
+	out := make([]triple.Triple, 0, n)
+	for i := 0; i < n; i++ {
+		// Skewed leading letter, uniform tail: hot alphabet regions.
+		lead := byte('a' + z.Next())
+		val := fmt.Sprintf("%c%c%c-%05d", lead, 'a'+rng.Intn(26), 'a'+rng.Intn(26), i)
+		out = append(out, triple.T(fmt.Sprintf("sv-%06d", i), "tag", val))
+	}
+	return out
+}

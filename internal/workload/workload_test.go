@@ -1,0 +1,187 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"unistore/internal/qgram"
+)
+
+func TestGenerateReproducible(t *testing.T) {
+	a := Generate(Options{Seed: 7, Persons: 50})
+	b := Generate(Options{Seed: 7, Persons: 50})
+	if len(a.Triples) != len(b.Triples) {
+		t.Fatal("same seed, different sizes")
+	}
+	for i := range a.Triples {
+		if !a.Triples[i].Equal(b.Triples[i]) {
+			t.Fatalf("triple %d differs: %v vs %v", i, a.Triples[i], b.Triples[i])
+		}
+	}
+	c := Generate(Options{Seed: 8, Persons: 50})
+	if len(a.Triples) == len(c.Triples) {
+		same := true
+		for i := range a.Triples {
+			if !a.Triples[i].Equal(c.Triples[i]) {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical corpora")
+		}
+	}
+}
+
+func TestGenerateSchemaShape(t *testing.T) {
+	ds := Generate(Options{Seed: 1, Persons: 30})
+	attrs := map[string]int{}
+	for _, tr := range ds.Triples {
+		attrs[tr.Attr]++
+	}
+	for _, want := range []string{"name", "age", "num_of_pubs", "phone",
+		"email", "confname", "series", "year", "title", "published_in"} {
+		if attrs[want] == 0 {
+			t.Errorf("attribute %q missing from corpus", want)
+		}
+	}
+	if attrs["name"] != 30 {
+		t.Errorf("expected 30 name triples, got %d", attrs["name"])
+	}
+	// Publications are consistent: every has_published title exists.
+	titles := map[string]bool{}
+	for _, tr := range ds.Triples {
+		if tr.Attr == "title" {
+			titles[tr.Val.Str] = true
+		}
+	}
+	for _, tr := range ds.Triples {
+		if tr.Attr == "has_published" && !titles[tr.Val.Str] {
+			t.Errorf("dangling publication %q", tr.Val.Str)
+		}
+	}
+}
+
+func TestNamespacePrefix(t *testing.T) {
+	ds := Generate(Options{Seed: 2, Persons: 5, Namespace: "dblp"})
+	for _, tr := range ds.Triples {
+		if !strings.HasPrefix(tr.Attr, "dblp:") {
+			t.Fatalf("attribute %q lacks namespace", tr.Attr)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	z := NewZipf(rng, 10, 1.2)
+	counts := make([]int, 10)
+	for i := 0; i < 20000; i++ {
+		counts[z.Next()]++
+	}
+	if counts[0] <= counts[9]*3 {
+		t.Errorf("rank 0 (%d) must dominate rank 9 (%d) at s=1.2", counts[0], counts[9])
+	}
+	// Monotone-ish decreasing head.
+	if counts[0] < counts[1] || counts[1] < counts[2] {
+		t.Errorf("head not decreasing: %v", counts[:3])
+	}
+	// s=0 is uniform.
+	u := NewZipf(rng, 10, 0)
+	uc := make([]int, 10)
+	for i := 0; i < 20000; i++ {
+		uc[u.Next()]++
+	}
+	for _, c := range uc {
+		if math.Abs(float64(c)-2000) > 500 {
+			t.Errorf("uniform draw skewed: %v", uc)
+		}
+	}
+}
+
+func TestTypoWithinDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 200; i++ {
+		s := "ICDE"
+		edits := rng.Intn(3)
+		mutated := Typo(rng, s, edits)
+		if d := qgram.EditDistance(s, mutated); d > edits {
+			t.Fatalf("Typo(%d edits) produced distance %d: %q", edits, d, mutated)
+		}
+	}
+}
+
+func TestTypoRateProducesDirtySeries(t *testing.T) {
+	ds := Generate(Options{Seed: 5, Persons: 100, TypoRate: 0.5})
+	dirty := 0
+	for typo, clean := range ds.CleanSeries {
+		if typo != clean {
+			dirty++
+		}
+	}
+	if dirty == 0 {
+		t.Error("typo rate 0.5 produced no dirty series")
+	}
+	// Every dirty series is near its clean original.
+	for typo, clean := range ds.CleanSeries {
+		if qgram.EditDistance(typo, clean) > 2 {
+			t.Errorf("typo %q too far from %q", typo, clean)
+		}
+	}
+}
+
+func TestHeterogeneousPair(t *testing.T) {
+	a, b, ms := HeterogeneousPair(9, 10)
+	if len(ms) == 0 {
+		t.Fatal("no mappings generated")
+	}
+	for _, tr := range a.Triples {
+		if !strings.HasPrefix(tr.Attr, "dblp:") {
+			t.Fatal("dataset A must use dblp namespace")
+		}
+	}
+	for _, tr := range b.Triples {
+		if !strings.HasPrefix(tr.Attr, "ceur:") {
+			t.Fatal("dataset B must use ceur namespace")
+		}
+	}
+	for _, m := range ms {
+		if !strings.HasPrefix(m.From, "dblp:") || !strings.HasPrefix(m.To, "ceur:") {
+			t.Errorf("mapping namespaces wrong: %v", m)
+		}
+	}
+}
+
+func TestSkewedValues(t *testing.T) {
+	ts := SkewedValues(11, 5000, 1.1)
+	if len(ts) != 5000 {
+		t.Fatalf("generated %d", len(ts))
+	}
+	counts := map[byte]int{}
+	for _, tr := range ts {
+		counts[tr.Val.Str[0]]++
+	}
+	if counts['a'] <= counts['z']*2 {
+		t.Errorf("leading-letter skew absent: a=%d z=%d", counts['a'], counts['z'])
+	}
+	// Distinct values (no artificial duplicates): the skew is in the
+	// key-space region, which is what stresses order-preserving
+	// placement.
+	seen := map[string]bool{}
+	for _, tr := range ts {
+		if seen[tr.Val.Str] {
+			t.Fatalf("duplicate value %q", tr.Val.Str)
+		}
+		seen[tr.Val.Str] = true
+	}
+}
+
+func TestZipfPanicsOnBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewZipf(rand.New(rand.NewSource(1)), 0, 1)
+}

@@ -1,0 +1,125 @@
+// Package unistore is a Go reproduction of "UniStore: Querying a
+// DHT-based Universal Storage" (Karnstedt, Sattler, Richtarsky, Müller,
+// Hauswirth, Schmidt, John — ICDE 2007 demonstration, technical report
+// LSIR-REPORT-2006-011).
+//
+// UniStore stores logical tuples vertically as (OID, attribute, value)
+// triples — the layout of RDF — and indexes every triple three ways
+// (by OID, by attribute#value, and by value) into a P-Grid structured
+// overlay: a virtual binary trie with an order-preserving hash, prefix
+// routing in logarithmic hops, skew-adaptive load balancing, replica
+// groups with loosely consistent updates, and native range queries.
+// Queries are written in VQL, a SPARQL-derived language with FILTER
+// predicates (including edit-distance similarity), ORDER BY, LIMIT,
+// TOP-N and SKYLINE OF clauses; they compile through a logical algebra
+// into mutant query plans that either pull data to the query peer or
+// migrate themselves through the overlay, re-optimized by a cost model
+// at every hosting peer.
+//
+// The physical substrate — the TCP/IP network and the PlanetLab
+// testbed of the paper's demonstration — is replaced by a
+// deterministic discrete-event simulator, so clusters of hundreds of
+// peers run in-process, repeatably, in milliseconds of wall time.
+//
+// # Quickstart
+//
+//	c := unistore.New(unistore.Config{Peers: 64, EnableQGram: true})
+//	c.InsertTuple(unistore.NewTuple("a12").
+//		Set("title", unistore.S("Similarity Queries")).
+//		Set("confname", unistore.S("ICDE 2006")).
+//		Set("year", unistore.N(2006)))
+//	res, err := c.Query(`SELECT ?t WHERE {(?p,'title',?t) (?p,'year',?y) FILTER ?y >= 2006}`)
+//
+// See the examples directory for complete programs, DESIGN.md for the
+// system inventory, and EXPERIMENTS.md for the reproduced evaluation.
+package unistore
+
+import (
+	"unistore/internal/core"
+	"unistore/internal/optimizer"
+	"unistore/internal/physical"
+	"unistore/internal/schema"
+	"unistore/internal/triple"
+)
+
+// Config parameterizes a cluster. The zero value gives a 16-peer
+// overlay with constant 1ms links and the cost-based optimizer enabled.
+type Config = core.Config
+
+// Cluster is a running universal storage: a simulated network of
+// P-Grid peers, each with a triple store and a query engine.
+type Cluster = core.Cluster
+
+// Result is a completed query: bindings plus execution metrics
+// (simulated latency, messages, routing hops).
+type Result = core.Result
+
+// LatencyProfile selects the simulated network's delay model.
+type LatencyProfile = core.LatencyProfile
+
+// Latency profiles for Config.Latency.
+const (
+	LatencyConstant  = core.LatencyConstant
+	LatencyLAN       = core.LatencyLAN
+	LatencyWAN       = core.LatencyWAN
+	LatencyPlanetLab = core.LatencyPlanetLab
+)
+
+// Triple is one (OID, attribute, value) fact — the unit of storage.
+type Triple = triple.Triple
+
+// Tuple is a logical tuple; storage decomposes it into triples.
+type Tuple = triple.Tuple
+
+// Value is a typed attribute value (string or number).
+type Value = triple.Value
+
+// Mapping is an attribute correspondence used to bridge heterogeneous
+// schemas.
+type Mapping = schema.Mapping
+
+// OptimizerOptions tunes plan selection (Config.Optimizer).
+type OptimizerOptions = optimizer.Options
+
+// Optimizer modes: pull data to the query peer, migrate the plan, or
+// decide per step by estimated cost.
+const (
+	ModeAuto  = optimizer.ModeAuto
+	ModeFetch = optimizer.ModeFetch
+	ModeShip  = optimizer.ModeShip
+)
+
+// Access strategies (OptimizerOptions.ForceStrategy) — the physical
+// operator alternatives the paper's demo toggles.
+const (
+	StratAuto      = physical.StratAuto
+	StratOIDLookup = physical.StratOIDLookup
+	StratAVLookup  = physical.StratAVLookup
+	StratAVRange   = physical.StratAVRange
+	StratValLookup = physical.StratValLookup
+	StratBroadcast = physical.StratBroadcast
+	StratQGram     = physical.StratQGram
+)
+
+// New builds a cluster: the overlay trie, routing tables, replica
+// groups and per-peer query engines.
+func New(cfg Config) *Cluster { return core.NewCluster(cfg) }
+
+// NewTuple creates an empty logical tuple with the given OID.
+func NewTuple(oid string) *Tuple { return triple.NewTuple(oid) }
+
+// T constructs a triple with a string value.
+func T(oid, attr, val string) Triple { return triple.T(oid, attr, val) }
+
+// TN constructs a triple with a numeric value.
+func TN(oid, attr string, val float64) Triple { return triple.TN(oid, attr, val) }
+
+// S constructs a string value.
+func S(s string) Value { return triple.S(s) }
+
+// N constructs a numeric value.
+func N(f float64) Value { return triple.N(f) }
+
+// GenerateOID returns a fresh system-generated OID with the given
+// prefix, grouping the triples of one logical tuple.
+func GenerateOID(prefix string) string { return triple.GenerateOID(prefix) }

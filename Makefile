@@ -1,0 +1,36 @@
+# Local targets mirroring .github/workflows/ci.yml, so `make <job>`
+# reproduces exactly what CI runs.
+
+GO ?= go
+
+.PHONY: all build vet fmt fmt-check test race bench ci
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# Rewrites files in place.
+fmt:
+	gofmt -w .
+
+# The CI check: fails if any file needs formatting.
+fmt-check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run NONE -bench . -benchtime 1x ./...
+
+ci: fmt-check build vet test race bench

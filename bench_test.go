@@ -194,6 +194,87 @@ func BenchmarkTwoPatternJoinQuery(b *testing.B) {
 	}
 }
 
+// --- Concurrent-execution benchmarks -----------------------------------------
+//
+// These measure wall clock, not simulated time: the concurrent simnet
+// paces deliveries at simulated/TimeDilation, so a query's ns/op
+// reflects how its DHT round trips overlap. The Sequential variants
+// bound the fan-out window to 1 (probe, wait, probe, ...); the
+// Parallel variants fan out the whole probe set at once. Same 64-peer
+// overlay, same data, same queries.
+
+// lookupBenchCluster builds a 64-peer concurrent cluster loaded with
+// 60 persons; the self-join query's second step grounds its value
+// variable with the 60 names bound by the first, resolving them as 60
+// exact A#v probes — the multi-key DHT index join.
+func lookupBenchCluster(b *testing.B, parallelism int) *unistore.Cluster {
+	b.Helper()
+	c := unistore.New(unistore.Config{
+		Peers: 64, Seed: 8,
+		Concurrent:       true,
+		TimeDilation:     20, // 1ms simulated link = 50µs wall
+		ProbeParallelism: parallelism,
+	})
+	ds := workload.Generate(workload.Options{Seed: 9, Persons: 60})
+	c.BulkInsert(ds.Triples...)
+	return c
+}
+
+const multiLookupQuery = `SELECT ?p,?q WHERE {(?p,'name',?n) (?q,'name',?n)}`
+
+func benchMultiLookup(b *testing.B, parallelism int) {
+	c := lookupBenchCluster(b, parallelism)
+	defer c.Close()
+	b.ResetTimer()
+	results := 0
+	for i := 0; i < b.N; i++ {
+		res, err := c.QueryFrom(i%c.Size(), multiLookupQuery)
+		if err != nil {
+			b.Fatal(err)
+		}
+		results = len(res.Bindings)
+	}
+	b.ReportMetric(float64(results), "results")
+}
+
+func BenchmarkMultiLookupSequential(b *testing.B) { benchMultiLookup(b, 1) }
+func BenchmarkMultiLookupParallel(b *testing.B)   { benchMultiLookup(b, 0) }
+
+// Insert throughput: per-triple Insert settles the network after every
+// call (round trips serialize), while BulkInsert issues the whole
+// batch before one quiescence (round trips overlap).
+const insertBatch = 128
+
+func benchInsert(b *testing.B, bulk bool) {
+	c := unistore.New(unistore.Config{
+		Peers: 64, Seed: 10, Concurrent: true, TimeDilation: 200,
+	})
+	defer c.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ts := make([]unistore.Triple, 0, insertBatch)
+		for j := 0; j < insertBatch; j++ {
+			oid := unistore.GenerateOID("bench")
+			ts = append(ts, unistore.T(oid, "name", "bulk bench"))
+		}
+		if bulk {
+			c.BulkInsert(ts...)
+		} else {
+			for _, tr := range ts {
+				c.Insert(tr)
+			}
+		}
+	}
+	b.StopTimer()
+	elapsed := b.Elapsed()
+	if elapsed > 0 {
+		b.ReportMetric(float64(b.N*insertBatch)/elapsed.Seconds(), "triples/s")
+	}
+}
+
+func BenchmarkInsertSequential(b *testing.B) { benchInsert(b, false) }
+func BenchmarkInsertBulk(b *testing.B)       { benchInsert(b, true) }
+
 func BenchmarkSkylineQuery(b *testing.B) {
 	c := unistore.New(unistore.Config{Peers: 64, Seed: 6})
 	ds := workload.Generate(workload.Options{Seed: 7, Persons: 200})

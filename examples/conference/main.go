@@ -33,12 +33,14 @@ func main() {
 		{"manfred", "manfred@epfl.ch", "BC148"},
 		{"roman", "roman@epfl.ch", "BC149"},
 	}
+	var contacts []*unistore.Tuple
 	for _, p := range people {
-		c.InsertTuple(unistore.NewTuple(unistore.GenerateOID("contact")).
+		contacts = append(contacts, unistore.NewTuple(unistore.GenerateOID("contact")).
 			Set("name", unistore.S(p.name)).
 			Set("email", unistore.S(p.email)).
 			Set("office", unistore.S(p.office)))
 	}
+	c.BulkInsertTuples(contacts...)
 
 	// ...and restaurant recommendations with price and rating.
 	restaurants := []struct {
@@ -54,12 +56,14 @@ func main() {
 		{"Tapas Corner", 30, 8.0},
 		{"Curry House", 22, 8.6},
 	}
+	var recs []*unistore.Tuple
 	for _, r := range restaurants {
-		c.InsertTuple(unistore.NewTuple(unistore.GenerateOID("rest")).
+		recs = append(recs, unistore.NewTuple(unistore.GenerateOID("rest")).
 			Set("restname", unistore.S(r.name)).
 			Set("price", unistore.N(r.price)).
 			Set("rating", unistore.N(r.rating)))
 	}
+	c.BulkInsertTuples(recs...)
 	fmt.Printf("conference data shared across %d peers (3 replicas each)\n\n", c.Size())
 
 	// Where to eat tonight: cheap AND good — a skyline.

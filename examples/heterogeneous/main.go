@@ -18,8 +18,8 @@ func main() {
 
 	// The same logical world, two vocabularies.
 	dblp, ceur, mappings := workload.HeterogeneousPair(21, 25)
-	c.Insert(dblp.Triples...)
-	c.Insert(ceur.Triples...)
+	c.BulkInsert(dblp.Triples...)
+	c.BulkInsert(ceur.Triples...)
 	fmt.Printf("inserted %d dblp:* and %d ceur:* triples\n\n",
 		len(dblp.Triples), len(ceur.Triples))
 

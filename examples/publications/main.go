@@ -27,7 +27,8 @@ func main() {
 	// conference series names carry typos ("ICDEE", "ICD", ...), which
 	// is exactly what the edist filter is for.
 	ds := workload.Generate(workload.Options{Seed: 7, Persons: 150, TypoRate: 0.2})
-	c.Insert(ds.Triples...)
+	c.BulkInsert(ds.Triples...) // parallel bulk load: one settle for the batch
+
 	fmt.Printf("loaded %d triples over %d peers\n\n", len(ds.Triples), c.Size())
 
 	// The paper's example query, verbatim structure.

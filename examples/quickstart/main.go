@@ -17,14 +17,17 @@ func main() {
 
 	// The two example tuples of the paper's Fig. 2: each 3-attribute
 	// tuple becomes 3 triples, each indexed 3 ways → 18 entries.
-	c.InsertTuple(unistore.NewTuple("a12").
-		Set("title", unistore.S("Similarity...")).
-		Set("confname", unistore.S("ICDE 2006 - Workshops")).
-		Set("year", unistore.N(2006)))
-	c.InsertTuple(unistore.NewTuple("v34").
-		Set("title", unistore.S("Progressive...")).
-		Set("confname", unistore.S("ICDE 2005")).
-		Set("year", unistore.N(2005)))
+	// BulkInsertTuples loads the batch through the parallel insert
+	// path: all DHT puts overlap, one quiescence at the end.
+	c.BulkInsertTuples(
+		unistore.NewTuple("a12").
+			Set("title", unistore.S("Similarity...")).
+			Set("confname", unistore.S("ICDE 2006 - Workshops")).
+			Set("year", unistore.N(2006)),
+		unistore.NewTuple("v34").
+			Set("title", unistore.S("Progressive...")).
+			Set("confname", unistore.S("ICDE 2005")).
+			Set("year", unistore.N(2005)))
 
 	run := func(label, q string) *unistore.Result {
 		res, err := c.Query(q)

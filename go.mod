@@ -1,0 +1,3 @@
+module unistore
+
+go 1.24

@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"unistore/internal/algebra"
@@ -72,6 +74,27 @@ type Config struct {
 	// AdaptiveSamples, when non-nil, builds the trie adapted to this
 	// key sample (load balancing under skew) instead of peer-balanced.
 	AdaptiveSamples []keys.Key
+	// Concurrent switches the simulated network into concurrent mode
+	// once the overlay is built: messages are delivered by per-node
+	// worker goroutines in parallel, and queries/inserts may be issued
+	// from many goroutines at once. Exact per-seed repeatability of
+	// message interleavings is traded for wall-clock parallelism; the
+	// overlay topology itself is still built deterministically.
+	Concurrent bool
+	// TimeDilation compresses simulated link latency into wall clock
+	// in concurrent mode: wall = simulated/TimeDilation (default
+	// simnet.DefaultTimeDilation = 1000, i.e. a 1ms link costs 1µs).
+	// Lower values make the simulation more faithful to real latency;
+	// 1 runs in real time. Ignored in deterministic mode.
+	TimeDilation float64
+	// ProbeParallelism bounds each engine's per-step fan-out window:
+	// at most this many overlay probes or range shards in flight per
+	// query step. 0 = unbounded full fan-out (default), 1 = strictly
+	// sequential probing (the benchmarks' baseline).
+	ProbeParallelism int
+	// RangeShards splits every range scan into this many key-space
+	// shards showered independently (<= 1 disables sharding).
+	RangeShards int
 }
 
 func (c Config) withDefaults() Config {
@@ -94,7 +117,9 @@ func (c Config) withDefaults() Config {
 }
 
 // Cluster is a running universal storage: the simulated network, the
-// overlay peers, and a query engine per peer.
+// overlay peers, and a query engine per peer. With Config.Concurrent
+// set, Insert/Query may be called from multiple goroutines; call Close
+// when done to stop the network goroutines.
 type Cluster struct {
 	cfg     Config
 	net     *simnet.Network
@@ -102,7 +127,23 @@ type Cluster struct {
 	engines []*physical.Engine
 	opt     *optimizer.Optimizer
 	stats   *cost.Stats
-	clock   uint64
+	// statsMu guards the optimizer statistics: ingest paths write them
+	// and query optimization (including per-host re-optimization of
+	// migrated plans) reads them, possibly from many goroutines in
+	// concurrent mode.
+	statsMu sync.RWMutex
+	clock   atomic.Uint64
+}
+
+// lockedReopt adapts the optimizer's Rechoose to the cluster's stats
+// lock: hosted-plan re-optimization runs on network worker goroutines
+// and must not race with concurrent ingest updating the statistics.
+type lockedReopt struct{ c *Cluster }
+
+func (l lockedReopt) Rechoose(steps []physical.Step, bindingCount int, peer *pgrid.Peer) []physical.Step {
+	l.c.statsMu.RLock()
+	defer l.c.statsMu.RUnlock()
+	return l.c.opt.Rechoose(steps, bindingCount, peer)
 }
 
 // NewCluster builds and wires a cluster.
@@ -129,9 +170,25 @@ func NewCluster(cfg Config) *Cluster {
 	opt := optimizer.New(stats, cfg.Optimizer)
 	c := &Cluster{cfg: cfg, net: net, peers: peers, opt: opt, stats: stats}
 	for _, p := range peers {
-		c.engines = append(c.engines, physical.NewEngine(p, opt))
+		eng := physical.NewEngine(p, lockedReopt{c})
+		eng.SetParallelism(cfg.ProbeParallelism)
+		eng.SetRangeShards(cfg.RangeShards)
+		c.engines = append(c.engines, eng)
+	}
+	if cfg.Concurrent {
+		net.StartConcurrent(cfg.TimeDilation)
 	}
 	return c
+}
+
+// Close stops the network goroutines of a concurrent cluster (no-op in
+// deterministic mode). The cluster must not be used afterwards.
+func (c *Cluster) Close() { c.net.Stop() }
+
+// Engine exposes the query engine attached to one peer (benchmarks and
+// tests tune fan-out windows through it).
+func (c *Cluster) Engine(peerIdx int) *physical.Engine {
+	return c.engines[peerIdx%len(c.engines)]
 }
 
 // Net exposes the simulated network (experiment instrumentation).
@@ -147,10 +204,7 @@ func (c *Cluster) Stats() *cost.Stats { return c.stats }
 func (c *Cluster) Size() int { return len(c.peers) }
 
 // nextVersion issues a cluster-wide write version.
-func (c *Cluster) nextVersion() uint64 {
-	c.clock++
-	return c.clock
-}
+func (c *Cluster) nextVersion() uint64 { return c.clock.Add(1) }
 
 // --- Data ingestion ---------------------------------------------------------
 
@@ -158,7 +212,7 @@ func (c *Cluster) nextVersion() uint64 {
 // (all index entries and replicas placed). Statistics update so the
 // optimizer sees real attribute cardinalities.
 func (c *Cluster) Insert(ts ...triple.Triple) {
-	c.InsertFrom(int(c.net.Rand().Int63())%len(c.peers), ts...)
+	c.InsertFrom(int(c.net.Int63())%len(c.peers), ts...)
 }
 
 // InsertFrom stores triples entering the system at a specific peer.
@@ -170,10 +224,91 @@ func (c *Cluster) InsertFrom(peerIdx int, ts ...triple.Triple) {
 		if c.cfg.EnableQGram {
 			physical.InsertGrams(p, tr, v)
 		}
-		c.stats.TriplesPerAttr[tr.Attr]++
-		c.stats.TotalTriples++
 	}
+	c.noteInserted(ts)
 	c.net.Settle()
+}
+
+// noteInserted updates the optimizer statistics for freshly ingested
+// triples; the stats lock orders it against concurrent optimization.
+func (c *Cluster) noteInserted(ts []triple.Triple) {
+	c.statsMu.Lock()
+	for _, tr := range ts {
+		c.stats.TriplesPerAttr[tr.Attr]++
+	}
+	c.stats.TotalTriples += len(ts)
+	c.statsMu.Unlock()
+}
+
+// bulkLoaders bounds the goroutines a concurrent-mode BulkInsert uses.
+const bulkLoaders = 8
+
+// BulkInsert loads triples through the parallel bulk-insert path: the
+// batch is split across source peers (spreading the routing load over
+// the overlay instead of funnelling every insert through one origin)
+// and, in concurrent mode, issued from a bounded pool of loader
+// goroutines. One network quiescence at the end replaces the per-call
+// settling of Insert, so the DHT round trips of a batch overlap
+// instead of serializing — O(1) wall-clock per batch rather than
+// O(triples).
+func (c *Cluster) BulkInsert(ts ...triple.Triple) {
+	if len(ts) == 0 {
+		return
+	}
+	v := c.nextVersion()
+	c.noteInserted(ts)
+	loaders := len(c.peers)
+	if loaders > bulkLoaders {
+		loaders = bulkLoaders
+	}
+	if !c.net.Concurrent() || loaders <= 1 {
+		// Deterministic mode: issue everything fire-and-forget from
+		// round-robin origins, then drain the network once.
+		for i, tr := range ts {
+			c.insertAt(c.peers[i%len(c.peers)], tr, v)
+		}
+		c.net.Settle()
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (len(ts) + loaders - 1) / loaders
+	for w := 0; w < loaders; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(ts) {
+			hi = len(ts)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w int, part []triple.Triple) {
+			defer wg.Done()
+			p := c.peers[w%len(c.peers)]
+			for _, tr := range part {
+				c.insertAt(p, tr, v)
+			}
+		}(w, ts[lo:hi])
+	}
+	wg.Wait()
+	c.net.Quiesce()
+}
+
+// BulkInsertTuples decomposes and bulk-loads logical tuples.
+func (c *Cluster) BulkInsertTuples(tps ...*triple.Tuple) {
+	var ts []triple.Triple
+	for _, tp := range tps {
+		ts = append(ts, tp.Triples()...)
+	}
+	c.BulkInsert(ts...)
+}
+
+// insertAt issues one triple (and its q-gram postings) from peer p.
+func (c *Cluster) insertAt(p *pgrid.Peer, tr triple.Triple, v uint64) {
+	p.InsertTriple(tr, v)
+	if c.cfg.EnableQGram {
+		physical.InsertGrams(p, tr, v)
+	}
 }
 
 // InsertTuple decomposes and stores one logical tuple.
@@ -184,18 +319,14 @@ func (c *Cluster) InsertTuple(tp *triple.Tuple) {
 // Update overwrites fact (oid, attr) with a new value at a fresh
 // version; replicas converge by gossip/anti-entropy.
 func (c *Cluster) Update(tr triple.Triple) {
-	p := c.peers[int(c.net.Rand().Int63())%len(c.peers)]
-	v := c.nextVersion()
-	p.InsertTriple(tr, v)
-	if c.cfg.EnableQGram {
-		physical.InsertGrams(p, tr, v)
-	}
+	p := c.peers[int(c.net.Int63())%len(c.peers)]
+	c.insertAt(p, tr, c.nextVersion())
 	c.net.Settle()
 }
 
 // Delete tombstones fact (oid, attr).
 func (c *Cluster) Delete(oid, attr string) {
-	p := c.peers[int(c.net.Rand().Int63())%len(c.peers)]
+	p := c.peers[int(c.net.Int63())%len(c.peers)]
 	p.DeleteTriple(oid, attr, c.nextVersion())
 	c.net.Settle()
 }
@@ -212,6 +343,10 @@ type Result struct {
 	Bindings []algebra.Binding
 	Vars     []string
 	Elapsed  time.Duration // simulated time
+	// Messages is the network-wide message traffic attributed to this
+	// query. It is measured as a counter delta, which is only
+	// meaningful when queries run one at a time — in concurrent mode
+	// (overlapping queries, background timers) it reports 0.
 	Messages int
 	Hops     int
 	Plan     string
@@ -235,7 +370,7 @@ func (r *Result) Rows() [][]string {
 
 // Query parses and executes VQL from a random peer.
 func (c *Cluster) Query(src string) (*Result, error) {
-	return c.QueryFrom(int(c.net.Rand().Int63())%len(c.peers), src)
+	return c.QueryFrom(int(c.net.Int63())%len(c.peers), src)
 }
 
 // QueryFrom executes VQL originating at a specific peer.
@@ -252,17 +387,25 @@ func (c *Cluster) execQuery(peerIdx int, q *vql.Query) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	c.statsMu.RLock()
 	c.opt.Optimize(plan)
+	c.statsMu.RUnlock()
 	eng := c.engines[peerIdx%len(c.engines)]
-	before := c.net.Stats().MessagesSent
+	concurrent := c.net.Concurrent()
+	before := 0
+	if !concurrent {
+		before = c.net.Stats().MessagesSent
+	}
 	bs, ex := eng.RunPlan(plan)
 	res := &Result{
 		Bindings: bs,
 		Vars:     resultVars(q),
 		Elapsed:  ex.Elapsed(),
-		Messages: c.net.Stats().MessagesSent - before,
-		Hops:     ex.MaxHops,
+		Hops:     ex.MaxHops(),
 		Plan:     plan.String(),
+	}
+	if !concurrent {
+		res.Messages = c.net.Stats().MessagesSent - before
 	}
 	return res, nil
 }
@@ -276,7 +419,7 @@ func (c *Cluster) QueryWithMappings(src string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	peerIdx := int(c.net.Rand().Int63()) % len(c.peers)
+	peerIdx := int(c.net.Int63()) % len(c.peers)
 	mapRes, err := c.execQuery(peerIdx, schema.MappingQuery())
 	if err != nil {
 		return nil, err

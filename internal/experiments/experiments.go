@@ -109,7 +109,7 @@ func E3QueryLatency(scale Scale) *trace.Series {
 	for _, n := range []int{50, 100, 200, scale.n(400)} {
 		c := core.NewCluster(core.Config{Peers: n, Seed: 3, Latency: core.LatencyPlanetLab})
 		ds := workload.Generate(workload.Options{Seed: 4, Persons: 100})
-		c.Insert(ds.Triples...)
+		c.BulkInsert(ds.Triples...)
 		res, err := c.Query(`SELECT ?n,?a WHERE {(?p,'name',?n) (?p,'age',?a) FILTER ?a < 40}`)
 		if err != nil {
 			panic(err)
@@ -140,7 +140,7 @@ func E4PlanVariants(scale Scale) *trace.Series {
 	for _, v := range variants {
 		c := core.NewCluster(core.Config{Peers: n, Seed: 5, Latency: core.LatencyWAN, Optimizer: v.opt})
 		ds := workload.Generate(workload.Options{Seed: 6, Persons: 60})
-		c.Insert(ds.Triples...)
+		c.BulkInsert(ds.Triples...)
 		res, err := c.Query(query)
 		if err != nil {
 			panic(err)
@@ -170,7 +170,7 @@ func E5Similarity(scale Scale) *trace.Series {
 			}
 			data = append(data, triple.T(fmt.Sprintf("c%d", i), "series", s))
 		}
-		c.Insert(data...)
+		c.BulkInsert(data...)
 		run := func(strat physical.AccessStrategy) (int, int) {
 			q, err := vql.ParseQuery(`SELECT ?sr WHERE {(?c,'series',?sr) FILTER edist(?sr,'ICDE')<2}`)
 			if err != nil {
@@ -218,7 +218,7 @@ func E6LoadBalance(scale Scale) *trace.Series {
 		return maxL, float64(sum) / float64(len(loads)), gini(loads)
 	}
 	balanced := core.NewCluster(core.Config{Peers: n, Seed: 9})
-	balanced.Insert(data...)
+	balanced.BulkInsert(data...)
 	maxB, avgB, gB := load(balanced)
 	t.Add("peer-balanced", maxB, avgB, float64(maxB)/avgB, gB)
 
@@ -229,7 +229,7 @@ func E6LoadBalance(scale Scale) *trace.Series {
 		}
 	}
 	adaptive := core.NewCluster(core.Config{Peers: n, Seed: 9, AdaptiveSamples: samples})
-	adaptive.Insert(data...)
+	adaptive.BulkInsert(data...)
 	maxA, avgA, gA := load(adaptive)
 	t.Add("data-adaptive", maxA, avgA, float64(maxA)/avgA, gA)
 	return t
@@ -266,7 +266,7 @@ func E7Skyline(scale Scale) *trace.Series {
 	for _, persons := range []int{100, scale.n(400)} {
 		c := core.NewCluster(core.Config{Peers: n, Seed: 10, Latency: core.LatencyWAN})
 		ds := workload.Generate(workload.Options{Seed: 11, Persons: persons})
-		c.Insert(ds.Triples...)
+		c.BulkInsert(ds.Triples...)
 		sky, err := c.Query(`SELECT ?n,?age,?cnt WHERE {
 			(?p,'name',?n) (?p,'age',?age) (?p,'num_of_pubs',?cnt)
 		} ORDER BY SKYLINE OF ?age MIN, ?cnt MAX`)
@@ -369,8 +369,8 @@ func E10Mappings(scale Scale) *trace.Series {
 	persons := scale.n(40)
 	c := core.NewCluster(core.Config{Peers: n, Seed: 14})
 	a, b, ms := workload.HeterogeneousPair(15, persons)
-	c.Insert(a.Triples...)
-	c.Insert(b.Triples...)
+	c.BulkInsert(a.Triples...)
+	c.BulkInsert(b.Triples...)
 	q := `SELECT ?n WHERE {(?p,'dblp:name',?n)}`
 	plain, err := c.Query(q)
 	if err != nil {
@@ -429,7 +429,7 @@ func E12PaperQuery(scale Scale) *trace.Series {
 	n := scale.n(64)
 	c := core.NewCluster(core.Config{Peers: n, Seed: 17, EnableQGram: true, Latency: core.LatencyWAN})
 	ds := workload.Generate(workload.Options{Seed: 18, Persons: scale.n(120), TypoRate: 0.2})
-	c.Insert(ds.Triples...)
+	c.BulkInsert(ds.Triples...)
 	res, err := c.Query(`SELECT ?name,?age,?cnt
 		WHERE {(?a,'name',?name) (?a,'age',?age)
 		(?a,'num_of_pubs',?cnt)

@@ -1,0 +1,92 @@
+package keys
+
+import "math/big"
+
+// This file implements range partitioning for parallel query
+// execution: a key range can be split at bit midpoints into disjoint
+// contiguous shards, each of which routes through the overlay as an
+// independent (smaller) shower query.
+
+// keyToInt interprets k as a w-bit fixed-point fraction of the key
+// space scaled by 2^w: bit i of the key contributes 2^(w-1-i).
+func keyToInt(k Key, w int) *big.Int {
+	v := new(big.Int)
+	for i := 0; i < k.Len() && i < w; i++ {
+		if k.Bit(i) == 1 {
+			v.SetBit(v, w-1-i, 1)
+		}
+	}
+	return v
+}
+
+// intToKey converts a w-bit scaled fraction back to a key, trimming
+// trailing zero bits (a shorter key bounds the same region).
+func intToKey(v *big.Int, w int) Key {
+	n := w
+	for n > 1 && v.Bit(w-n) == 0 {
+		n--
+	}
+	k := Empty
+	for i := 0; i < n; i++ {
+		k = k.Append(int(v.Bit(w - 1 - i)))
+	}
+	return k
+}
+
+// Midpoint returns a key that splits r into two non-empty halves
+// [r.Lo, m) and [m, r.Hi), and ok=false when r is too narrow to split
+// (a single point, or bounds at the depth limit).
+func Midpoint(r Range) (Key, bool) {
+	w := r.Lo.Len()
+	if r.HiOpen && r.Hi.Len() > w {
+		w = r.Hi.Len()
+	}
+	w++ // one extra bit of resolution so adjacent shallow bounds still split
+	if w > MaxDepth {
+		w = MaxDepth // full-depth bounds split at full resolution
+	}
+	lo := keyToInt(r.Lo, w)
+	hi := new(big.Int)
+	if r.HiOpen {
+		hi = keyToInt(r.Hi, w)
+	} else {
+		hi.SetBit(hi, w, 1) // end of the key space: 2^w
+	}
+	mid := new(big.Int).Add(lo, hi)
+	mid.Rsh(mid, 1)
+	if mid.Cmp(lo) <= 0 || mid.Cmp(hi) >= 0 {
+		return Key{}, false
+	}
+	return intToKey(mid, w), true
+}
+
+// SplitRange partitions r into at most n contiguous disjoint subranges
+// whose union is exactly r, splitting at bit midpoints breadth-first
+// so shards cover comparable key-space volumes. Fewer than n (possibly
+// just r itself) are returned when the range is too narrow.
+func SplitRange(r Range, n int) []Range {
+	out := []Range{r}
+	for len(out) < n {
+		next := make([]Range, 0, 2*len(out))
+		progressed := false
+		for i, s := range out {
+			if len(next)+(len(out)-i) >= n {
+				next = append(next, out[i:]...)
+				break
+			}
+			if m, ok := Midpoint(s); ok {
+				next = append(next,
+					Range{Lo: s.Lo, Hi: m, HiOpen: true},
+					Range{Lo: m, Hi: s.Hi, HiOpen: s.HiOpen})
+				progressed = true
+			} else {
+				next = append(next, s)
+			}
+		}
+		out = next
+		if !progressed {
+			break
+		}
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+package keys
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomKey(rng *rand.Rand, bits int) Key {
+	k := Empty
+	for i := 0; i < bits; i++ {
+		k = k.Append(rng.Intn(2))
+	}
+	return k
+}
+
+func TestMidpointSplitsRange(t *testing.T) {
+	cases := []Range{
+		{},                            // whole key space
+		PrefixRange(FromBits("0")),    // half
+		PrefixRange(FromBits("1011")), // deep prefix
+		StringRange("aaa", "zzz"),     // string-derived bounds
+		{Lo: FromBits("01"), Hi: FromBits("11"), HiOpen: true},
+	}
+	for _, r := range cases {
+		m, ok := Midpoint(r)
+		if !ok {
+			t.Fatalf("Midpoint(%v) not splittable", r)
+		}
+		if !r.Contains(m) {
+			t.Fatalf("midpoint %s outside range %v", m, r)
+		}
+		if m.Compare(r.Lo) <= 0 {
+			t.Fatalf("midpoint %s not above Lo %s", m, r.Lo)
+		}
+		if r.HiOpen && m.Compare(r.Hi) >= 0 {
+			t.Fatalf("midpoint %s not below Hi %s", m, r.Hi)
+		}
+	}
+}
+
+func TestMidpointUnsplittable(t *testing.T) {
+	// A single-point-wide range at the depth limit cannot split.
+	lo := Empty
+	for i := 0; i < MaxDepth; i++ {
+		lo = lo.Append(0)
+	}
+	hi, _ := lo.Successor()
+	if _, ok := Midpoint(Range{Lo: lo, Hi: hi, HiOpen: true}); ok {
+		t.Fatal("expected depth-limited range to be unsplittable")
+	}
+}
+
+// TestSplitRangePartition verifies the shards are a disjoint
+// contiguous cover: membership of any key in the original range equals
+// membership in exactly one shard.
+func TestSplitRangePartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	ranges := []Range{
+		{},
+		PrefixRange(FromBits("10")),
+		StringRange("conf", "conz"),
+		{Lo: FromBits("001"), Hi: FromBits("11011"), HiOpen: true},
+	}
+	for _, r := range ranges {
+		for _, n := range []int{1, 2, 3, 4, 7, 16} {
+			shards := SplitRange(r, n)
+			if len(shards) < 1 || len(shards) > n {
+				t.Fatalf("SplitRange(%v,%d) returned %d shards", r, n, len(shards))
+			}
+			// Contiguity: shard i's Hi is shard i+1's Lo.
+			if !shards[0].Lo.Equal(r.Lo) {
+				t.Fatalf("first shard starts at %s, want %s", shards[0].Lo, r.Lo)
+			}
+			for i := 0; i+1 < len(shards); i++ {
+				if !shards[i].HiOpen || !shards[i].Hi.Equal(shards[i+1].Lo) {
+					t.Fatalf("shards %d/%d not contiguous: %v | %v", i, i+1, shards[i], shards[i+1])
+				}
+			}
+			last := shards[len(shards)-1]
+			if last.HiOpen != r.HiOpen || (r.HiOpen && !last.Hi.Equal(r.Hi)) {
+				t.Fatalf("last shard ends at %v, want %v", last, r)
+			}
+			// Random keys: in-range keys land in exactly one shard.
+			for trial := 0; trial < 200; trial++ {
+				k := randomKey(rng, 1+rng.Intn(MaxDepth-1))
+				in := 0
+				for _, s := range shards {
+					if s.Contains(k) {
+						in++
+					}
+				}
+				want := 0
+				if r.Contains(k) {
+					want = 1
+				}
+				if in != want {
+					t.Fatalf("key %s in %d shards of %v (split %d), want %d", k, in, r, n, want)
+				}
+			}
+		}
+	}
+}

@@ -38,6 +38,8 @@ func (p *Peer) StartExchange(to simnet.NodeID) {
 }
 
 func (p *Peer) exchangePayload(reply bool) exchangeMsg {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	refs := make([][]Ref, len(p.refs))
 	for i, ls := range p.refs {
 		refs[i] = append([]Ref(nil), ls...)
@@ -51,8 +53,9 @@ func (p *Peer) exchangePayload(reply bool) exchangeMsg {
 }
 
 func (p *Peer) handleExchange(msg exchangeMsg, from simnet.NodeID) {
-	p.stats.ExchangesRun++
-	cpl := p.path.CommonPrefixLen(msg.Path)
+	p.stats.exchangesRun.Add(1)
+	path := p.Path()
+	cpl := path.CommonPrefixLen(msg.Path)
 
 	// Adopt the sender's references for levels where our paths agree:
 	// a reference valid for the sender at level l < cpl is valid for us.
@@ -63,13 +66,13 @@ func (p *Peer) handleExchange(msg exchangeMsg, from simnet.NodeID) {
 	}
 
 	switch {
-	case p.path.Equal(msg.Path):
+	case path.Equal(msg.Path):
 		p.exchangeEqualPaths(msg, from)
-	case cpl == p.path.Len():
+	case cpl == path.Len():
 		// Our path is a proper prefix of the sender's: specialize into
 		// the sibling of the sender's next bit.
 		bit := msg.Path.Bit(cpl)
-		p.setPath(p.path.Append(1 - bit))
+		p.setPath(path.Append(1 - bit))
 		p.addRef(cpl, Ref{ID: from, Path: msg.Path})
 		p.rehomeEntries()
 	case cpl == msg.Path.Len():
@@ -97,6 +100,7 @@ func (p *Peer) handleExchange(msg exchangeMsg, from simnet.NodeID) {
 // whose path is strictly more similar to ours than the sender's own
 // path. Strict improvement bounds the recursion by the trie depth.
 func (p *Peer) recurseToward(msg exchangeMsg, cpl int) {
+	path := p.Path()
 	best := Ref{}
 	bestCpl := cpl
 	for _, ls := range msg.Refs {
@@ -104,7 +108,7 @@ func (p *Peer) recurseToward(msg exchangeMsg, cpl int) {
 			if r.ID == p.id {
 				continue
 			}
-			if c := p.path.CommonPrefixLen(r.Path); c > bestCpl {
+			if c := path.CommonPrefixLen(r.Path); c > bestCpl {
 				best, bestCpl = r, c
 			}
 		}
@@ -113,7 +117,7 @@ func (p *Peer) recurseToward(msg exchangeMsg, cpl int) {
 		if r.ID == p.id {
 			continue
 		}
-		if c := p.path.CommonPrefixLen(r.Path); c > bestCpl {
+		if c := path.CommonPrefixLen(r.Path); c > bestCpl {
 			best, bestCpl = r, c
 		}
 	}
@@ -133,18 +137,19 @@ func (p *Peer) recurseToward(msg exchangeMsg, cpl int) {
 // when paths are equal on a reply the peers simply coexist (implicit
 // replicas) until a later round pairs them again.
 func (p *Peer) exchangeEqualPaths(msg exchangeMsg, from simnet.NodeID) {
+	path := p.Path()
 	if msg.IsReply {
 		// Resolve the coexistence promptly: a fresh (non-reply)
 		// exchange makes the other peer the responder, which splits,
 		// and our processing of its reply specializes us. At the depth
 		// limit the peers are replicas by design — no follow-up, or
 		// the pair would re-exchange forever.
-		if p.path.Len() < MaxSplitDepth {
+		if path.Len() < MaxSplitDepth {
 			p.StartExchange(from)
 		}
 		return
 	}
-	if p.path.Len() >= MaxSplitDepth {
+	if path.Len() >= MaxSplitDepth {
 		p.becomeReplicaOf(msg, from)
 		return
 	}
@@ -156,18 +161,21 @@ func (p *Peer) exchangeEqualPaths(msg exchangeMsg, from simnet.NodeID) {
 	} else {
 		myBit = 1
 	}
-	p.setPath(p.path.Append(myBit))
-	p.addRef(p.path.Len()-1, Ref{ID: from, Path: msg.Path.Append(1 - myBit)})
+	p.setPath(path.Append(myBit))
+	p.addRef(path.Len(), Ref{ID: from, Path: msg.Path.Append(1 - myBit)})
 	// Former replicas stay replicas only if they took the same side;
 	// we cannot know, so drop them — anti-entropy re-discovers.
+	p.mu.Lock()
 	p.replicas = nil
+	p.mu.Unlock()
 	p.rehomeEntries()
 }
 
 func (p *Peer) becomeReplicaOf(msg exchangeMsg, from simnet.NodeID) {
+	path := p.Path()
 	p.addReplica(Ref{ID: from, Path: msg.Path})
 	for _, r := range msg.Replicas {
-		if r.Path.Equal(p.path) {
+		if r.Path.Equal(path) {
 			p.addReplica(r)
 		}
 	}
@@ -181,12 +189,14 @@ func (p *Peer) becomeReplicaOf(msg exchangeMsg, from simnet.NodeID) {
 // path change re-homes them again, and serving stale data beats losing
 // it under P-Grid's best-effort guarantees.
 func (p *Peer) rehomeEntries() {
+	path := p.Path()
+	levels := p.Levels()
 	for kind := 0; kind < 3; kind++ {
-		r := partitionRange(p.path)
+		r := partitionRange(path)
 		dropped := p.store.RetainRange(kindOf(kind), r)
 		for _, e := range dropped {
-			level := e.Key.CommonPrefixLen(p.path)
-			if level < len(p.refs) {
+			level := e.Key.CommonPrefixLen(path)
+			if level < levels {
 				if _, ok := p.pickRef(level); ok {
 					p.route(e.Key, insertReq{Entry: e})
 					continue
@@ -203,7 +213,7 @@ func (p *Peer) rehomeEntries() {
 // executed.
 func RunBootstrap(net *simnet.Network, peers []*Peer, rounds int) int {
 	for r := 0; r < rounds; r++ {
-		perm := net.Rand().Perm(len(peers))
+		perm := net.Perm(len(peers))
 		for i := 0; i+1 < len(perm); i += 2 {
 			peers[perm[i]].StartExchange(peers[perm[i+1]].id)
 		}
@@ -221,11 +231,11 @@ func RunBootstrap(net *simnet.Network, peers []*Peer, rounds int) int {
 func RunMerge(net *simnet.Network, a, b []*Peer, rounds int) {
 	for r := 0; r < rounds; r++ {
 		for _, p := range a {
-			q := b[net.Rand().Intn(len(b))]
+			q := b[net.Intn(len(b))]
 			p.StartExchange(q.id)
 		}
 		for _, p := range b {
-			q := a[net.Rand().Intn(len(a))]
+			q := a[net.Intn(len(a))]
 			p.StartExchange(q.id)
 		}
 		net.RunFor(5 * time.Second)

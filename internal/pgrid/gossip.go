@@ -23,7 +23,10 @@ func partitionRange(path keys.Key) keys.Range { return keys.PrefixRange(path) }
 
 // pushToReplicas eagerly propagates fresh entries to the replica group.
 func (p *Peer) pushToReplicas(entries []store.Entry) {
-	for _, r := range p.replicas {
+	p.mu.RLock()
+	replicas := append([]Ref(nil), p.replicas...)
+	p.mu.RUnlock()
+	for _, r := range replicas {
 		p.net.Send(p.id, r.ID, KindGossip, gossipMsg{Entries: entries})
 	}
 }
@@ -31,7 +34,7 @@ func (p *Peer) pushToReplicas(entries []store.Entry) {
 func (p *Peer) handleGossip(g gossipMsg) {
 	for _, e := range g.Entries {
 		if p.store.Apply(e) {
-			p.stats.GossipApplied++
+			p.stats.gossipApplied.Add(1)
 		}
 	}
 }
@@ -49,17 +52,20 @@ func (p *Peer) scheduleAntiEntropy() {
 
 // runAntiEntropy reconciles with one random live replica (push-pull).
 func (p *Peer) runAntiEntropy() {
+	p.mu.RLock()
 	if len(p.replicas) == 0 {
+		p.mu.RUnlock()
 		return
 	}
-	r := p.replicas[p.net.Rand().Intn(len(p.replicas))]
+	r := p.replicas[p.net.Intn(len(p.replicas))]
+	p.mu.RUnlock()
 	p.net.Send(p.id, r.ID, KindAntiEnt, antiEntropyMsg{Entries: p.store.Facts(), Reply: true})
 }
 
 func (p *Peer) handleAntiEntropy(msg antiEntropyMsg, from simnet.NodeID) {
 	for _, e := range msg.Entries {
 		if p.store.Apply(e) {
-			p.stats.GossipApplied++
+			p.stats.gossipApplied.Add(1)
 		}
 	}
 	if msg.Reply {

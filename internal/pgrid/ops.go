@@ -25,30 +25,55 @@ type Handle struct {
 }
 
 // Done reports whether the operation completed.
-func (h *Handle) Done() bool { return h.op.done }
+func (h *Handle) Done() bool {
+	h.peer.mu.RLock()
+	defer h.peer.mu.RUnlock()
+	return h.op.done
+}
 
 // Result snapshots the operation outcome (valid any time; Complete
 // tells whether it is final).
 func (h *Handle) Result() OpResult {
+	h.peer.mu.RLock()
+	defer h.peer.mu.RUnlock()
+	return h.op.result()
+}
+
+// result builds the OpResult snapshot; callers hold the peer's mu.
+func (o *pendingOp) result() OpResult {
 	return OpResult{
-		Entries:   h.op.entries,
-		Count:     h.op.count,
-		Hops:      h.op.hops,
-		Responses: h.op.responses,
-		Complete:  h.op.complete,
+		Entries:   o.entries,
+		Count:     o.count,
+		Hops:      o.hops,
+		Responses: o.responses,
+		Complete:  o.complete,
 	}
 }
 
-// Wait pumps the network until the operation completes or simulated
-// time advances by timeout, returning the (possibly partial) result.
-// A zero timeout waits until the event queue drains.
+// Wait blocks until the operation completes, returning the (possibly
+// partial) result. In deterministic mode it pumps the network until
+// completion or until simulated time advances by timeout (zero: until
+// the event queue drains). In concurrent mode it blocks on the
+// operation's completion signal, bounding the wait by the timeout
+// scaled to wall clock.
 func (h *Handle) Wait(timeout time.Duration) OpResult {
 	net := h.peer.net
+	if net.Concurrent() {
+		if timeout <= 0 {
+			<-h.op.fin
+		} else {
+			select {
+			case <-h.op.fin:
+			case <-time.After(net.WallTimeout(timeout)):
+			}
+		}
+		return h.Result()
+	}
 	if timeout <= 0 {
-		net.RunWhile(func() bool { return !h.op.done })
+		net.RunWhile(func() bool { return !h.Done() })
 	} else {
 		deadline := net.Now() + timeout
-		for !h.op.done && net.Pending() > 0 && net.Now() < deadline {
+		for !h.Done() && net.Pending() > 0 && net.Now() < deadline {
 			net.Step()
 		}
 	}
@@ -64,38 +89,59 @@ const opDeadline = 2 * time.Minute
 // the completion rule (whichever is positive). A deadline timer expires
 // the operation with partial results if responses are lost.
 func (p *Peer) newOp(needShares int64, needResponses int, cb func(OpResult)) (uint64, *pendingOp) {
-	p.reqSeq++
-	qid := p.reqSeq
-	op := &pendingOp{}
+	op := &pendingOp{
+		needShares:    needShares,
+		needResponses: needResponses,
+		fin:           make(chan struct{}),
+	}
 	op.onDone = func(o *pendingOp) {
 		if cb != nil {
-			cb(OpResult{Entries: o.entries, Count: o.count, Hops: o.hops,
-				Responses: o.responses, Complete: o.complete})
+			cb(o.result())
 		}
 	}
-	op.needShares = needShares
-	op.needResponses = needResponses
+	p.mu.Lock()
+	p.reqSeq++
+	qid := p.reqSeq
 	p.pending[qid] = op
+	p.mu.Unlock()
 	p.net.After(opDeadline, func() { p.expireOp(qid) })
 	return qid, op
 }
 
+// finishOpLocked marks the op done, removes it from the pending table
+// and returns the completion callback to run after unlocking (the
+// callback may start new operations on this peer, so it must not run
+// under the lock). Callers hold p.mu and then invoke the result.
+func (p *Peer) finishOpLocked(qid uint64, op *pendingOp, complete bool) func() {
+	op.done = true
+	op.complete = complete
+	delete(p.pending, qid)
+	close(op.fin)
+	onDone := op.onDone
+	if onDone == nil {
+		return func() {}
+	}
+	return func() { onDone(op) }
+}
+
 // expireOp force-completes an operation whose responses went missing.
 func (p *Peer) expireOp(qid uint64) {
+	p.mu.Lock()
 	op, ok := p.pending[qid]
 	if !ok || op.done {
+		p.mu.Unlock()
 		return
 	}
-	op.done = true
-	delete(p.pending, qid)
-	if op.onDone != nil {
-		op.onDone(op)
-	}
+	fire := p.finishOpLocked(qid, op, false)
+	p.mu.Unlock()
+	fire()
 }
 
 func (p *Peer) handleResponse(r queryResp) {
+	p.mu.Lock()
 	op, ok := p.pending[r.QID]
 	if !ok || op.done {
+		p.mu.Unlock()
 		return
 	}
 	op.entries = append(op.entries, r.Entries...)
@@ -105,34 +151,35 @@ func (p *Peer) handleResponse(r queryResp) {
 	if r.Hops > op.hops {
 		op.hops = r.Hops
 	}
-	p.maybeComplete(r.QID, op)
+	p.maybeCompleteLocked(r.QID, op)
 }
 
 func (p *Peer) handleAck(a ackMsg) {
+	p.mu.Lock()
 	op, ok := p.pending[a.QID]
 	if !ok || op.done {
+		p.mu.Unlock()
 		return
 	}
 	op.responses++
 	if a.Hops > op.hops {
 		op.hops = a.Hops
 	}
-	p.maybeComplete(a.QID, op)
+	p.maybeCompleteLocked(a.QID, op)
 }
 
-func (p *Peer) maybeComplete(qid uint64, op *pendingOp) {
-	if op.needShares > 0 && op.shares < op.needShares {
+// maybeCompleteLocked checks the completion rule and, when satisfied,
+// finishes the op and fires its callback. It is entered with p.mu held
+// and returns with it released.
+func (p *Peer) maybeCompleteLocked(qid uint64, op *pendingOp) {
+	if (op.needShares > 0 && op.shares < op.needShares) ||
+		(op.needResponses > 0 && op.responses < op.needResponses) {
+		p.mu.Unlock()
 		return
 	}
-	if op.needResponses > 0 && op.responses < op.needResponses {
-		return
-	}
-	op.done = true
-	op.complete = true
-	delete(p.pending, qid)
-	if op.onDone != nil {
-		op.onDone(op)
-	}
+	fire := p.finishOpLocked(qid, op, true)
+	p.mu.Unlock()
+	fire()
 }
 
 // --- Inserts ------------------------------------------------------------

@@ -7,13 +7,19 @@
 // updates (Datta et al., ICDCS 2003), range queries via the shower
 // algorithm, and merging of independent overlays.
 //
-// Peers live inside a simnet.Network; all protocol work happens in
-// HandleMessage, so an entire overlay runs deterministically in one
-// goroutine.
+// Peers live inside a simnet.Network. In the network's deterministic
+// mode an entire overlay runs in one goroutine; in concurrent mode
+// each peer's messages are handled on its own worker goroutine while
+// query drivers issue operations from arbitrary goroutines, so peer
+// state (routing table, replica group, pending operations, local
+// store) is guarded by a read-write mutex and protocol counters are
+// atomic.
 package pgrid
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"unistore/internal/keys"
 	"unistore/internal/simnet"
@@ -52,31 +58,51 @@ type AppHandler func(p *Peer, payload any, from simnet.NodeID, hops int)
 
 // Peer is one P-Grid node: a leaf of the virtual binary trie.
 type Peer struct {
-	net  *simnet.Network
-	id   simnet.NodeID
+	net *simnet.Network
+	id  simnet.NodeID
+
+	// mu guards the trie position and protocol state below. The peer's
+	// own message handler is the only writer of path/refs/replicas
+	// (single worker goroutine per node), but query drivers read them
+	// from other goroutines, and pending-operation state is written
+	// from both sides.
+	mu   sync.RWMutex
 	path keys.Key
 	// refs[l] holds references to peers whose paths agree with ours on
 	// the first l bits and differ at bit l — they cover the sibling
 	// subtree at level l. len(refs) tracks len(path).
 	refs     [][]Ref
 	replicas []Ref
-	store    *store.Store
-	cfg      Config
 
-	// Request correlation for operations this peer originated.
+	store *store.Store
+	cfg   Config
+
+	// Request correlation for operations this peer originated
+	// (guarded by mu).
 	reqSeq  uint64
 	pending map[uint64]*pendingOp
 
 	// Monotonic version source for locally issued updates.
-	clock uint64
+	clock atomic.Uint64
 
 	app AppHandler
 
-	// Counters for experiments.
-	stats PeerStats
+	// Counters for experiments (atomic: bumped from worker goroutines,
+	// snapshotted by experiment drivers).
+	stats peerCounters
 }
 
-// PeerStats accumulates per-peer protocol counters.
+// peerCounters holds the atomic protocol counters behind PeerStats.
+type peerCounters struct {
+	forwarded     atomic.Int64
+	delivered     atomic.Int64
+	rangeServed   atomic.Int64
+	routeFailures atomic.Int64
+	gossipApplied atomic.Int64
+	exchangesRun  atomic.Int64
+}
+
+// PeerStats is a snapshot of per-peer protocol counters.
 type PeerStats struct {
 	Forwarded     int // envelopes passed on toward their target
 	Delivered     int // envelopes this peer was responsible for
@@ -89,7 +115,9 @@ type PeerStats struct {
 // pendingOp tracks one outstanding operation issued by this peer.
 // Completion fires when shares reach needShares (range queries) or
 // responses reach needResponses (lookups, acked inserts) — whichever
-// rule is armed.
+// rule is armed. Fields are guarded by the owning peer's mu; fin is
+// closed exactly once on completion so concurrent-mode waiters can
+// block without pumping the event loop.
 type pendingOp struct {
 	entries       []store.Entry
 	count         int
@@ -101,6 +129,7 @@ type pendingOp struct {
 	done          bool
 	complete      bool // all expected responses arrived (vs. expired)
 	onDone        func(*pendingOp)
+	fin           chan struct{}
 }
 
 // NewPeer creates a peer with an empty path and registers it in the
@@ -129,7 +158,11 @@ func NewPeer(net *simnet.Network, cfg Config) *Peer {
 func (p *Peer) ID() simnet.NodeID { return p.id }
 
 // Path returns the peer's trie path (its key-space responsibility).
-func (p *Peer) Path() keys.Key { return p.path }
+func (p *Peer) Path() keys.Key {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.path
+}
 
 // Store exposes the peer's local storage service (the demo UI's
 // "inspect the local data" tab).
@@ -138,12 +171,23 @@ func (p *Peer) Store() *store.Store { return p.store }
 // Net returns the underlying simulated network.
 func (p *Peer) Net() *simnet.Network { return p.net }
 
-// Stats returns the peer's protocol counters.
-func (p *Peer) Stats() PeerStats { return p.stats }
+// Stats returns a snapshot of the peer's protocol counters.
+func (p *Peer) Stats() PeerStats {
+	return PeerStats{
+		Forwarded:     int(p.stats.forwarded.Load()),
+		Delivered:     int(p.stats.delivered.Load()),
+		RangeServed:   int(p.stats.rangeServed.Load()),
+		RouteFailures: int(p.stats.routeFailures.Load()),
+		GossipApplied: int(p.stats.gossipApplied.Load()),
+		ExchangesRun:  int(p.stats.exchangesRun.Load()),
+	}
+}
 
 // Refs returns a copy of the routing table level l (the demo UI's
 // "inspect the locally built routing tables" tab).
 func (p *Peer) Refs(level int) []Ref {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	if level < 0 || level >= len(p.refs) {
 		return nil
 	}
@@ -151,26 +195,45 @@ func (p *Peer) Refs(level int) []Ref {
 }
 
 // Levels returns the number of routing-table levels (= path length).
-func (p *Peer) Levels() int { return len(p.refs) }
+func (p *Peer) Levels() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.refs)
+}
 
 // Replicas returns the peer's known replica group.
-func (p *Peer) Replicas() []Ref { return append([]Ref(nil), p.replicas...) }
+func (p *Peer) Replicas() []Ref {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return append([]Ref(nil), p.replicas...)
+}
 
 // SetAppHandler installs the handler for application payloads (mutant
 // query plans). The triple-storage layer calls this once per peer.
-func (p *Peer) SetAppHandler(h AppHandler) { p.app = h }
+func (p *Peer) SetAppHandler(h AppHandler) {
+	p.mu.Lock()
+	p.app = h
+	p.mu.Unlock()
+}
+
+func (p *Peer) appHandler() AppHandler {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.app
+}
 
 // Responsible reports whether key k falls into this peer's partition.
-func (p *Peer) Responsible(k keys.Key) bool { return k.HasPrefix(p.path) }
+func (p *Peer) Responsible(k keys.Key) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return k.HasPrefix(p.path)
+}
 
 // NextClock returns a fresh version for an update issued at this peer.
 // P-Grid's loose consistency needs only per-fact monotonicity at the
 // writer; cross-writer conflicts resolve by the store's deterministic
 // tie-break.
-func (p *Peer) NextClock() uint64 {
-	p.clock++
-	return p.clock
-}
+func (p *Peer) NextClock() uint64 { return p.clock.Add(1) }
 
 // HandleMessage implements simnet.Handler: the protocol dispatcher.
 func (p *Peer) HandleMessage(m simnet.Message) {
@@ -195,8 +258,8 @@ func (p *Peer) HandleMessage(m simnet.Message) {
 		}
 	case KindApp:
 		a := m.Payload.(appMsg)
-		if p.app != nil {
-			p.app(p, a.Payload, m.From, a.Hops)
+		if h := p.appHandler(); h != nil {
+			h(p, a.Payload, m.From, a.Hops)
 		}
 	default:
 		// Unknown kinds are ignored; forward compatibility.
@@ -205,7 +268,7 @@ func (p *Peer) HandleMessage(m simnet.Message) {
 
 // deliver processes an envelope this peer is responsible for.
 func (p *Peer) deliver(env routeEnvelope, from simnet.NodeID) {
-	p.stats.Delivered++
+	p.stats.delivered.Add(1)
 	switch inner := env.Inner.(type) {
 	case insertReq:
 		p.applyInsert(inner, env.Hops)
@@ -213,11 +276,11 @@ func (p *Peer) deliver(env routeEnvelope, from simnet.NodeID) {
 		entries := p.store.Lookup(triple.IndexKind(inner.Kind), inner.Key)
 		p.net.Send(p.id, inner.Origin, KindResponse, queryResp{
 			QID: inner.QID, Entries: entries, Count: len(entries),
-			Share: TotalShare, Hops: env.Hops, From: p.id, Path: p.path,
+			Share: TotalShare, Hops: env.Hops, From: p.id, Path: p.Path(),
 		})
 	case appMsg:
-		if p.app != nil {
-			p.app(p, inner.Payload, from, env.Hops)
+		if h := p.appHandler(); h != nil {
+			h(p, inner.Payload, from, env.Hops)
 		}
 	default:
 		// Unknown payloads are dropped.
@@ -226,7 +289,7 @@ func (p *Peer) deliver(env routeEnvelope, from simnet.NodeID) {
 
 func (p *Peer) applyInsert(req insertReq, hops int) {
 	won := p.store.Apply(req.Entry)
-	if won && len(p.replicas) > 0 {
+	if won {
 		p.pushToReplicas([]store.Entry{req.Entry})
 	}
 	if req.QID != 0 {
@@ -236,5 +299,5 @@ func (p *Peer) applyInsert(req insertReq, hops int) {
 
 // String renders the peer for diagnostics.
 func (p *Peer) String() string {
-	return fmt.Sprintf("peer{id=%d path=%s store=%d}", p.id, p.path, p.store.Len())
+	return fmt.Sprintf("peer{id=%d path=%s store=%d}", p.id, p.Path(), p.store.Len())
 }

@@ -12,7 +12,7 @@ import (
 // one more bit, so an envelope reaches the responsible peer in at most
 // len(path) hops — O(log n) for a balanced trie.
 func (p *Peer) handleRoute(env routeEnvelope, from simnet.NodeID) {
-	if env.Target.HasPrefix(p.path) {
+	if p.Responsible(env.Target) {
 		p.deliver(env, from)
 		return
 	}
@@ -29,35 +29,49 @@ const maxRouteHops = 64
 // tolerance; with none live, the envelope is dropped and counted.
 func (p *Peer) forward(env routeEnvelope) {
 	if env.Hops >= maxRouteHops {
-		p.stats.RouteFailures++
+		p.stats.routeFailures.Add(1)
 		return
 	}
+	p.mu.RLock()
 	level := env.Target.CommonPrefixLen(p.path)
 	// level < len(path): our bit at `level` differs from the target's,
 	// so refs[level] covers the target's side of the trie.
 	if level >= len(p.refs) {
 		// Target extends our whole path — we are responsible (handled
 		// by caller) or the trie is inconsistent; drop.
-		p.stats.RouteFailures++
+		p.mu.RUnlock()
+		p.stats.routeFailures.Add(1)
 		return
 	}
+	ref, ok := p.pickRefLocked(level)
+	p.mu.RUnlock()
 	env.Hops++
-	if ref, ok := p.pickRef(level); ok {
-		p.stats.Forwarded++
+	if ok {
+		p.stats.forwarded.Add(1)
 		p.net.Send(p.id, ref.ID, KindRoute, env)
 		return
 	}
-	p.stats.RouteFailures++
+	p.stats.routeFailures.Add(1)
 }
 
 // pickRef chooses a live reference at the given level, randomizing for
 // load spreading.
 func (p *Peer) pickRef(level int) (Ref, bool) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.pickRefLocked(level)
+}
+
+// pickRefLocked is pickRef with p.mu already held (read or write).
+func (p *Peer) pickRefLocked(level int) (Ref, bool) {
+	if level < 0 || level >= len(p.refs) {
+		return Ref{}, false
+	}
 	ls := p.refs[level]
 	if len(ls) == 0 {
 		return Ref{}, false
 	}
-	start := p.net.Rand().Intn(len(ls))
+	start := p.net.Intn(len(ls))
 	for i := 0; i < len(ls); i++ {
 		ref := ls[(start+i)%len(ls)]
 		if p.net.Alive(ref.ID) {
@@ -71,7 +85,7 @@ func (p *Peer) pickRef(level int) (Ref, bool) {
 // locally when this peer is already responsible.
 func (p *Peer) route(target keys.Key, inner any) {
 	env := routeEnvelope{Target: target, Inner: inner}
-	if target.HasPrefix(p.path) {
+	if p.Responsible(target) {
 		p.deliver(env, p.id)
 		return
 	}
@@ -84,6 +98,8 @@ func (p *Peer) addRef(level int, r Ref) {
 	if r.ID == p.id {
 		return
 	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	for len(p.refs) <= level {
 		p.refs = append(p.refs, nil)
 	}
@@ -96,7 +112,7 @@ func (p *Peer) addRef(level int, r Ref) {
 	if len(p.refs[level]) >= p.cfg.RefsPerLevel {
 		// Replace a random entry so long-lived peers still rotate in
 		// fresh references.
-		p.refs[level][p.net.Rand().Intn(len(p.refs[level]))] = r
+		p.refs[level][p.net.Intn(len(p.refs[level]))] = r
 		return
 	}
 	p.refs[level] = append(p.refs[level], r)
@@ -107,6 +123,8 @@ func (p *Peer) addReplica(r Ref) {
 	if r.ID == p.id {
 		return
 	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	for i, old := range p.replicas {
 		if old.ID == r.ID {
 			p.replicas[i] = r
@@ -114,7 +132,7 @@ func (p *Peer) addReplica(r Ref) {
 		}
 	}
 	if len(p.replicas) >= p.cfg.MaxReplicas {
-		p.replicas[p.net.Rand().Intn(len(p.replicas))] = r
+		p.replicas[p.net.Intn(len(p.replicas))] = r
 		return
 	}
 	p.replicas = append(p.replicas, r)
@@ -123,6 +141,8 @@ func (p *Peer) addReplica(r Ref) {
 // setPath rewrites the peer's path, truncating or growing the routing
 // table to match.
 func (p *Peer) setPath(path keys.Key) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	p.path = path
 	for len(p.refs) > path.Len() {
 		p.refs = p.refs[:len(p.refs)-1]
@@ -144,16 +164,22 @@ func (p *Peer) handleRange(msg rangeMsg) {
 		ref   Ref
 	}
 	var branches []branch
+	failures := 0
+	p.mu.RLock()
 	for l := msg.Level; l < len(p.refs); l++ {
 		sibling := p.path.Prefix(l).Append(1 - p.path.Bit(l))
 		if !msg.R.OverlapsPrefix(sibling) {
 			continue
 		}
-		if ref, ok := p.pickRef(l); ok {
+		if ref, ok := p.pickRefLocked(l); ok {
 			branches = append(branches, branch{level: l, ref: ref})
 		} else {
-			p.stats.RouteFailures++
+			failures++
 		}
+	}
+	p.mu.RUnlock()
+	if failures > 0 {
+		p.stats.routeFailures.Add(int64(failures))
 	}
 	// Split the share mass: local serving keeps one part, each branch
 	// takes one part; the remainder sticks to the local part so the
@@ -173,8 +199,8 @@ func (p *Peer) handleRange(msg rangeMsg) {
 
 // serveRange answers the part of the range this peer stores.
 func (p *Peer) serveRange(msg rangeMsg, share int64) {
-	p.stats.RangeServed++
-	resp := queryResp{QID: msg.QID, Share: share, Hops: msg.Hops, From: p.id, Path: p.path}
+	p.stats.rangeServed.Add(1)
+	resp := queryResp{QID: msg.QID, Share: share, Hops: msg.Hops, From: p.id, Path: p.Path()}
 	p.store.Scan(triple.IndexKind(msg.Kind), msg.R, func(e store.Entry) bool {
 		if msg.Probe {
 			resp.Count++

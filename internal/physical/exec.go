@@ -2,6 +2,7 @@ package physical
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"unistore/internal/algebra"
@@ -23,15 +24,28 @@ type Reoptimizer interface {
 
 // Engine attaches query processing to one peer: it owns the peer's app
 // handler, hosts migrated plans, and tracks queries this peer
-// originated.
+// originated. An Engine is safe for concurrent use: multiple
+// goroutines may Start/Run queries against it in the network's
+// concurrent mode.
 type Engine struct {
-	peer    *pgrid.Peer
-	reopt   Reoptimizer
+	peer  *pgrid.Peer
+	reopt Reoptimizer
+
+	mu      sync.Mutex
 	seq     uint64
 	queries map[uint64]*Exec
+
 	// probeCap bounds how many distinct bound values a step resolves
 	// with parallel exact lookups before falling back to a range scan.
 	probeCap int
+	// parallelism bounds the in-flight probe/shard window per step:
+	// the fan-out pool issues at most this many overlay operations at
+	// once, topping the window up as completions arrive. 0 = issue
+	// everything at once (full fan-out); 1 = strictly sequential.
+	parallelism int
+	// rangeShards splits each range scan into this many key-space
+	// shards showered independently. 1 = a single shower (default).
+	rangeShards int
 }
 
 // planMsg carries a mutant plan to its next host.
@@ -70,13 +84,50 @@ func (m resultMsg) WireSize() int {
 // NewEngine wires an engine to a peer, installing the app handler that
 // receives mutant plans and results.
 func NewEngine(p *pgrid.Peer, reopt Reoptimizer) *Engine {
-	e := &Engine{peer: p, reopt: reopt, queries: make(map[uint64]*Exec), probeCap: 64}
+	e := &Engine{peer: p, reopt: reopt, queries: make(map[uint64]*Exec),
+		probeCap: 64, parallelism: 0, rangeShards: 1}
 	p.SetAppHandler(e.handleApp)
 	return e
 }
 
 // Peer returns the engine's peer.
 func (e *Engine) Peer() *pgrid.Peer { return e.peer }
+
+// SetParallelism bounds the per-step fan-out window: at most n overlay
+// probes (or range shards) in flight at once. n == 0 restores the
+// unbounded full fan-out; n == 1 degrades to the strictly sequential
+// probe-wait-probe path (the baseline the benchmarks compare against).
+func (e *Engine) SetParallelism(n int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	e.parallelism = n
+}
+
+// SetRangeShards makes every range scan fan out as n key-space shards
+// showered independently (n <= 1 disables sharding).
+func (e *Engine) SetRangeShards(n int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if n < 1 {
+		n = 1
+	}
+	e.rangeShards = n
+}
+
+func (e *Engine) window() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.parallelism
+}
+
+func (e *Engine) shards() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.rangeShards
+}
 
 func (e *Engine) handleApp(_ *pgrid.Peer, payload any, from simnet.NodeID, hops int) {
 	switch m := payload.(type) {
@@ -91,11 +142,14 @@ func (e *Engine) handleApp(_ *pgrid.Peer, payload any, from simnet.NodeID, hops 
 			bindings: m.Bindings, origin: m.Origin, rootQID: m.RootQID,
 			started: e.peer.Net().Now(),
 			seeded:  true,
+			doneCh:  make(chan struct{}),
 		}
 		ex.run()
 	case resultMsg:
+		e.mu.Lock()
 		ex, ok := e.queries[m.RootQID]
-		if !ok || ex.done {
+		e.mu.Unlock()
+		if !ok || ex.Done() {
 			return
 		}
 		ex.finishWith(m.Bindings)
@@ -103,6 +157,13 @@ func (e *Engine) handleApp(_ *pgrid.Peer, payload any, from simnet.NodeID, hops 
 }
 
 // Exec drives one query (or the hosted remainder of one) at one peer.
+//
+// The step machinery (bindings, stepIdx) forms a single logical thread
+// of control: it runs on the starting goroutine until the first
+// overlay operation is issued, then hops to the origin peer's response
+// path (the network worker goroutine in concurrent mode). Fields read
+// by other goroutines (done, result, counters) are guarded by mu; the
+// completion channel orders the final result for waiters.
 type Exec struct {
 	eng      *Engine
 	steps    []Step
@@ -117,32 +178,38 @@ type Exec struct {
 	// bindings: its first step joins instead of seeding.
 	seeded bool
 
+	mu       sync.Mutex
 	started  time.Duration
 	finished time.Duration
 	done     bool
 	result   []algebra.Binding
 	onDone   func(*Exec)
+	doneCh   chan struct{}
 
-	// Stats.
-	OpsIssued int
-	MaxHops   int
+	// Stats (guarded by mu while running; stable once Done).
+	opsIssued int
+	maxHops   int
 }
 
 // Start begins executing a compiled plan at the engine's peer,
 // returning the Exec handle. The callback (optional) fires on
-// completion; Wait drives the network synchronously.
+// completion; Wait drives the network (deterministic mode) or blocks
+// until the responses land (concurrent mode).
 func (e *Engine) Start(p *Plan, onDone func(*Exec)) *Exec {
-	e.seq++
 	ex := &Exec{
-		eng:     e,
-		steps:   p.Steps,
-		tail:    p.Tail,
-		origin:  e.peer.ID(),
-		rootQID: e.seq,
-		started: e.peer.Net().Now(),
-		onDone:  onDone,
+		eng:    e,
+		steps:  p.Steps,
+		tail:   p.Tail,
+		origin: e.peer.ID(),
+		onDone: onDone,
+		doneCh: make(chan struct{}),
 	}
+	e.mu.Lock()
+	e.seq++
+	ex.rootQID = e.seq
 	e.queries[ex.rootQID] = ex
+	e.mu.Unlock()
+	ex.started = e.peer.Net().Now()
 	ex.run()
 	return ex
 }
@@ -156,14 +223,14 @@ func (e *Engine) Run(q *vql.Query) ([]algebra.Binding, *Exec, error) {
 	}
 	ex := e.Start(plan, nil)
 	ex.Wait()
-	return ex.result, ex, nil
+	return ex.Result(), ex, nil
 }
 
 // RunPlan executes an already-compiled plan synchronously.
 func (e *Engine) RunPlan(p *Plan) ([]algebra.Binding, *Exec) {
 	ex := e.Start(p, nil)
 	ex.Wait()
-	return ex.result, ex
+	return ex.Result(), ex
 }
 
 // waitTimeout bounds a synchronous query in simulated time: generous
@@ -172,21 +239,75 @@ func (e *Engine) RunPlan(p *Plan) ([]algebra.Binding, *Exec) {
 // the event queue alive.
 const waitTimeout = 5 * time.Minute
 
-// Wait pumps the network until the query completes, the event queue
-// drains, or the simulated-time deadline passes.
+// Wait blocks until the query completes. In deterministic mode it
+// pumps the network; in concurrent mode it waits on the completion
+// signal (the network's own goroutines deliver the responses).
 func (ex *Exec) Wait() {
 	net := ex.eng.peer.Net()
+	if net.Concurrent() {
+		select {
+		case <-ex.doneCh:
+		case <-time.After(net.WallTimeout(waitTimeout)):
+		}
+		return
+	}
 	deadline := net.Now() + waitTimeout
-	for !ex.done && net.Pending() > 0 && net.Now() < deadline {
+	for !ex.Done() && net.Pending() > 0 && net.Now() < deadline {
 		net.Step()
 	}
 }
 
-// Done reports completion; Result returns the final bindings.
-func (ex *Exec) Done() bool                  { return ex.done }
-func (ex *Exec) Result() []algebra.Binding   { return ex.result }
-func (ex *Exec) Elapsed() time.Duration      { return ex.finished - ex.started }
+// Done reports completion.
+func (ex *Exec) Done() bool {
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	return ex.done
+}
+
+// Result returns the final bindings (nil until Done).
+func (ex *Exec) Result() []algebra.Binding {
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	return ex.result
+}
+
+// Elapsed returns the simulated time the query took.
+func (ex *Exec) Elapsed() time.Duration {
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	return ex.finished - ex.started
+}
+
+// OpsIssued returns the number of overlay operations the query issued.
+func (ex *Exec) OpsIssued() int {
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	return ex.opsIssued
+}
+
+// MaxHops returns the maximum routing distance observed.
+func (ex *Exec) MaxHops() int {
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	return ex.maxHops
+}
+
+// Bindings returns the current intermediate bindings (diagnostics).
 func (ex *Exec) Bindings() []algebra.Binding { return ex.bindings }
+
+func (ex *Exec) noteOp() {
+	ex.mu.Lock()
+	ex.opsIssued++
+	ex.mu.Unlock()
+}
+
+func (ex *Exec) noteHops(h int) {
+	ex.mu.Lock()
+	if h > ex.maxHops {
+		ex.maxHops = h
+	}
+	ex.mu.Unlock()
+}
 
 func (ex *Exec) run() {
 	if ex.stepIdx >= len(ex.steps) {
@@ -222,7 +343,7 @@ func (ex *Exec) migrate(target keys.Key) {
 		// Root stays registered, waiting for resultMsg.
 		return
 	}
-	ex.done = true
+	ex.markDone()
 }
 
 // shipTarget picks the region key the step's data lives at.
@@ -253,19 +374,42 @@ func (ex *Exec) complete() {
 	ex.finishWith(ex.tail.Apply(ex.bindings))
 }
 
+// markDone flips the done flag and closes the completion channel once.
+func (ex *Exec) markDone() bool {
+	ex.mu.Lock()
+	if ex.done {
+		ex.mu.Unlock()
+		return false
+	}
+	ex.done = true
+	close(ex.doneCh)
+	ex.mu.Unlock()
+	return true
+}
+
 func (ex *Exec) finishWith(bs []algebra.Binding) {
 	if ex.origin != ex.eng.peer.ID() {
 		// Hosted plan: tail already applied here; ship the result home.
 		ex.eng.peer.SendAppDirect(ex.origin, resultMsg{RootQID: ex.rootQID, Bindings: bs})
-		ex.done = true
+		ex.markDone()
+		return
+	}
+	ex.mu.Lock()
+	if ex.done {
+		ex.mu.Unlock()
 		return
 	}
 	ex.result = bs
-	ex.done = true
 	ex.finished = ex.eng.peer.Net().Now()
+	ex.done = true
+	close(ex.doneCh)
+	onDone := ex.onDone
+	ex.mu.Unlock()
+	ex.eng.mu.Lock()
 	delete(ex.eng.queries, ex.rootQID)
-	if ex.onDone != nil {
-		ex.onDone(ex)
+	ex.eng.mu.Unlock()
+	if onDone != nil {
+		onDone(ex)
 	}
 }
 
@@ -386,7 +530,79 @@ func (ex *Exec) valProbes(pat vql.Pattern, bound map[string][]triple.Value) []ke
 	return ks
 }
 
-// multiLookup issues parallel lookups and joins the union of results.
+// fanout drives one step's overlay operations through a bounded
+// in-flight window: up to `window` probes (or range shards) run at
+// once, and each completion tops the window up until every slot has
+// resolved. Results land in per-slot order so the merged entry list —
+// and therefore the joined bindings — is deterministic regardless of
+// response arrival order. A window of 1 is the sequential baseline;
+// 0 issues everything at once.
+type fanout struct {
+	ex     *Exec
+	issue  func(slot int, complete func(pgrid.OpResult))
+	finish func(results [][]store.Entry)
+	nSlots int
+
+	mu      sync.Mutex
+	results [][]store.Entry
+	next    int // next slot to issue
+	done    int // slots completed
+}
+
+// runFanout executes nSlots operations with the engine's window and
+// calls finish with the per-slot results once all have resolved.
+func (ex *Exec) runFanout(nSlots int, issue func(slot int, complete func(pgrid.OpResult)), finish func(results [][]store.Entry)) {
+	f := &fanout{ex: ex, issue: issue, finish: finish, nSlots: nSlots,
+		results: make([][]store.Entry, nSlots)}
+	w := ex.eng.window()
+	if w <= 0 || w > nSlots {
+		w = nSlots
+	}
+	f.next = w
+	for slot := 0; slot < w; slot++ {
+		f.start(slot)
+	}
+}
+
+// runFanoutJoin is runFanout with the common completion: flatten the
+// per-slot results in slot order and join them into the binding set.
+func (ex *Exec) runFanoutJoin(st Step, nSlots int, issue func(slot int, complete func(pgrid.OpResult))) {
+	ex.runFanout(nSlots, issue, func(results [][]store.Entry) {
+		var merged []store.Entry
+		for _, r := range results {
+			merged = append(merged, r...)
+		}
+		ex.advance(st, merged)
+	})
+}
+
+func (f *fanout) start(slot int) {
+	f.ex.noteOp()
+	f.issue(slot, func(res pgrid.OpResult) { f.complete(slot, res) })
+}
+
+func (f *fanout) complete(slot int, res pgrid.OpResult) {
+	f.ex.noteHops(res.Hops)
+	f.mu.Lock()
+	f.results[slot] = res.Entries
+	f.done++
+	nxt := -1
+	if f.next < f.nSlots {
+		nxt = f.next
+		f.next++
+	}
+	finished := f.done == f.nSlots
+	f.mu.Unlock()
+	if nxt >= 0 {
+		f.start(nxt)
+	}
+	if finished {
+		f.finish(f.results)
+	}
+}
+
+// multiLookup fans the probe keys out over the engine's window and
+// joins the union of results.
 func (ex *Exec) multiLookup(st Step, kind triple.IndexKind, ks []keys.Key) {
 	if len(ks) == 0 {
 		// No probes derivable (e.g., join variable bound nothing):
@@ -394,31 +610,21 @@ func (ex *Exec) multiLookup(st Step, kind triple.IndexKind, ks []keys.Key) {
 		ex.advance(st, nil)
 		return
 	}
-	remaining := len(ks)
-	var collected []store.Entry
-	for _, k := range ks {
-		ex.OpsIssued++
-		ex.eng.peer.Lookup(kind, k, func(res pgrid.OpResult) {
-			collected = append(collected, res.Entries...)
-			if res.Hops > ex.MaxHops {
-				ex.MaxHops = res.Hops
-			}
-			remaining--
-			if remaining == 0 {
-				ex.advance(st, collected)
-			}
-		})
-	}
+	ex.runFanoutJoin(st, len(ks), func(slot int, complete func(pgrid.OpResult)) {
+		ex.eng.peer.Lookup(kind, ks[slot], complete)
+	})
 }
 
-// rangeScan showers over a key range and joins the results.
+// rangeScan showers over a key range — split into the engine's shard
+// count and showered independently when sharding is enabled — and
+// joins the results.
 func (ex *Exec) rangeScan(st Step, kind triple.IndexKind, r keys.Range) {
-	ex.OpsIssued++
-	ex.eng.peer.RangeQuery(kind, r, false, func(res pgrid.OpResult) {
-		if res.Hops > ex.MaxHops {
-			ex.MaxHops = res.Hops
-		}
-		ex.advance(st, res.Entries)
+	shards := []keys.Range{r}
+	if n := ex.eng.shards(); n > 1 {
+		shards = keys.SplitRange(r, n)
+	}
+	ex.runFanoutJoin(st, len(shards), func(slot int, complete func(pgrid.OpResult)) {
+		ex.eng.peer.RangeQuery(kind, shards[slot], false, complete)
 	})
 }
 
@@ -490,5 +696,5 @@ func entriesToBindings(pat vql.Pattern, entries []store.Entry) []algebra.Binding
 // String renders execution state.
 func (ex *Exec) String() string {
 	return fmt.Sprintf("exec{step=%d/%d bindings=%d done=%v}",
-		ex.stepIdx, len(ex.steps), len(ex.bindings), ex.done)
+		ex.stepIdx, len(ex.steps), len(ex.bindings), ex.Done())
 }

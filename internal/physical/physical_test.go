@@ -418,7 +418,7 @@ func TestElapsedAndStats(t *testing.T) {
 	if ex.Elapsed() <= 0 {
 		t.Error("simulated latency must be positive")
 	}
-	if ex.OpsIssued == 0 {
+	if ex.OpsIssued() == 0 {
 		t.Error("ops counter must advance")
 	}
 }

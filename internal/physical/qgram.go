@@ -19,13 +19,20 @@ import (
 
 // InsertGrams publishes the q-gram postings for a string-valued triple.
 // Call alongside the triple insert when the similarity index is
-// enabled; version follows the triple's version.
+// enabled; version follows the triple's version. Grams are inserted in
+// sorted order so the message sequence (and thus every seeded run) is
+// deterministic.
 func InsertGrams(p *pgrid.Peer, tr triple.Triple, version uint64) int {
 	if tr.Val.Kind != triple.KindString {
 		return 0
 	}
-	n := 0
-	for g := range qgram.GramSet(tr.Val.Str, qgram.Q) {
+	set := qgram.GramSet(tr.Val.Str, qgram.Q)
+	grams := make([]string, 0, len(set))
+	for g := range set {
+		grams = append(grams, g)
+	}
+	sort.Strings(grams)
+	for _, g := range grams {
 		gt := triple.GramTriple(tr.Attr, g, tr.Val.Str)
 		p.InsertEntry(store.Entry{
 			Kind:    triple.ByVal,
@@ -33,9 +40,8 @@ func InsertGrams(p *pgrid.Peer, tr triple.Triple, version uint64) int {
 			Triple:  gt,
 			Version: version,
 		})
-		n++
 	}
-	return n
+	return len(grams)
 }
 
 // qgramStep resolves a pattern (?s, attr, ?v) under a similarity
@@ -50,33 +56,33 @@ func (ex *Exec) qgramStep(st Step) {
 	}
 	attr := pat.A.Val.Str
 	grams := qgram.GramSet(sim.Target, qgram.Q)
-	remaining := len(grams)
-	if remaining == 0 {
+	if len(grams) == 0 {
 		ex.advance(st, nil)
 		return
 	}
-	counts := make(map[string]int)
+	gramList := make([]string, 0, len(grams))
 	for g := range grams {
-		ex.OpsIssued++
-		r := triple.GramRange(attr, g)
-		ex.eng.peer.RangeQuery(triple.ByVal, r, false, func(res pgrid.OpResult) {
-			if res.Hops > ex.MaxHops {
-				ex.MaxHops = res.Hops
-			}
+		gramList = append(gramList, g)
+	}
+	sort.Strings(gramList)
+	ex.runFanout(len(gramList), func(slot int, complete func(pgrid.OpResult)) {
+		ex.eng.peer.RangeQuery(triple.ByVal, triple.GramRange(attr, gramList[slot]), false, complete)
+	}, func(results [][]store.Entry) {
+		// Count, per candidate value, how many of the target's grams it
+		// shares (each slot contributes each value at most once).
+		counts := make(map[string]int)
+		for _, entries := range results {
 			seen := map[string]bool{}
-			for _, e := range res.Entries {
+			for _, e := range entries {
 				val := e.Triple.Val.Str
 				if !seen[val] {
 					seen[val] = true
 					counts[val]++
 				}
 			}
-			remaining--
-			if remaining == 0 {
-				ex.qgramVerify(st, sim, attr, counts)
-			}
-		})
-	}
+		}
+		ex.qgramVerify(st, sim, attr, counts)
+	})
 }
 
 // simFor extracts the similarity predicate applicable to the step's
@@ -136,22 +142,10 @@ func dropSim(sims []SimSpec, v string) []SimSpec {
 	return out
 }
 
-// multiLookupValues probes A#v keys for each candidate value.
+// multiLookupValues probes A#v keys for each candidate value through
+// the bounded fan-out window.
 func (ex *Exec) multiLookupValues(st Step, attr string, values []string) {
-	remaining := len(values)
-	var collected []store.Entry
-	for _, v := range values {
-		ex.OpsIssued++
-		k := triple.AVKey(attr, triple.S(v))
-		ex.eng.peer.Lookup(triple.ByAV, k, func(res pgrid.OpResult) {
-			collected = append(collected, res.Entries...)
-			if res.Hops > ex.MaxHops {
-				ex.MaxHops = res.Hops
-			}
-			remaining--
-			if remaining == 0 {
-				ex.advance(st, collected)
-			}
-		})
-	}
+	ex.runFanoutJoin(st, len(values), func(slot int, complete func(pgrid.OpResult)) {
+		ex.eng.peer.Lookup(triple.ByAV, triple.AVKey(attr, triple.S(values[slot])), complete)
+	})
 }

@@ -1,7 +1,7 @@
-// Package simnet provides a deterministic discrete-event network
-// simulator that stands in for the paper's physical substrate (TCP/IP
-// links between workstation peers, and the PlanetLab wide-area testbed
-// used for the scalability demonstration).
+// Package simnet provides a discrete-event network simulator that
+// stands in for the paper's physical substrate (TCP/IP links between
+// workstation peers, and the PlanetLab wide-area testbed used for the
+// scalability demonstration).
 //
 // The simulator delivers messages between nodes with latencies drawn
 // from a configurable LatencyModel, optionally drops messages, and
@@ -10,10 +10,25 @@
 // repeatable — the paper's "results are traceable, analyzable and (in
 // limits) repeatable" claim, made unconditional.
 //
-// Time is virtual: the event loop advances a simulated clock to each
-// delivery instant, so a 400-node wide-area experiment runs in
-// milliseconds of wall time while reporting seconds of simulated
-// latency.
+// The network runs in one of two modes:
+//
+//   - Deterministic (the default): a single-threaded event loop driven
+//     by Step/Run/Settle. Time is virtual — the loop advances a
+//     simulated clock to each delivery instant, so a 400-node
+//     wide-area experiment runs in milliseconds of wall time while
+//     reporting seconds of simulated latency. Handlers run in the
+//     calling goroutine; per-seed runs are bit-for-bit repeatable.
+//
+//   - Concurrent (StartConcurrent): a scheduler goroutine releases
+//     events in simulated-time order, pacing them by wall clock
+//     (simulated time divided by the dilation factor), and hands each
+//     message to the destination node's FIFO inbox, where a dedicated
+//     worker goroutine runs the handler. Different nodes process
+//     messages in parallel; per-link FIFO order, loss, and latency
+//     distributions are preserved. Drivers block with Quiesce instead
+//     of pumping Step.
+//
+// All Network methods are safe for concurrent use in both modes.
 package simnet
 
 import (
@@ -21,6 +36,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 	"time"
 )
 
@@ -39,8 +55,11 @@ type Message struct {
 
 // Handler is implemented by protocol layers (P-Grid peers, Chord nodes).
 type Handler interface {
-	// HandleMessage processes one delivered message. It runs in the
-	// event loop; it may call Network.Send but must not block.
+	// HandleMessage processes one delivered message. In deterministic
+	// mode it runs in the event loop; in concurrent mode it runs on the
+	// destination node's worker goroutine (one handler at a time per
+	// node, but different nodes run in parallel). It may call
+	// Network.Send but must not block on network progress.
 	HandleMessage(msg Message)
 }
 
@@ -84,10 +103,63 @@ type Config struct {
 	Seed     int64
 }
 
-// Network is the simulated network. It is not safe for concurrent use;
-// the event loop is single-threaded by design (determinism).
+// DefaultTimeDilation is the simulated-to-wall-clock compression used
+// by StartConcurrent when the caller passes 0: one simulated
+// millisecond costs one wall-clock microsecond.
+const DefaultTimeDilation = 1000
+
+// inbox is an unbounded FIFO queue feeding one node's worker goroutine.
+type inbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	q      []*Message
+	closed bool
+}
+
+func newInbox() *inbox {
+	ib := &inbox{}
+	ib.cond = sync.NewCond(&ib.mu)
+	return ib
+}
+
+func (ib *inbox) push(m *Message) {
+	ib.mu.Lock()
+	ib.q = append(ib.q, m)
+	ib.mu.Unlock()
+	ib.cond.Signal()
+}
+
+// popAll blocks until messages are available and drains them all, or
+// returns nil when the inbox closes. Draining in batches amortizes the
+// per-message synchronization on hot nodes.
+func (ib *inbox) popAll() []*Message {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	for len(ib.q) == 0 && !ib.closed {
+		ib.cond.Wait()
+	}
+	if len(ib.q) == 0 {
+		return nil
+	}
+	ms := ib.q
+	ib.q = nil
+	return ms
+}
+
+func (ib *inbox) close() {
+	ib.mu.Lock()
+	ib.closed = true
+	ib.mu.Unlock()
+	ib.cond.Broadcast()
+}
+
+// Network is the simulated network. All methods are safe for concurrent
+// use; in deterministic mode the event loop itself (Step and the Run
+// helpers) is intended to be driven from one goroutine at a time.
 type Network struct {
-	cfg      Config
+	cfg Config
+
+	mu       sync.Mutex
 	rng      *rand.Rand
 	nodes    map[NodeID]Handler
 	alive    map[NodeID]bool
@@ -97,6 +169,20 @@ type Network struct {
 	stats    Stats
 	nextID   NodeID
 	inflight int
+	quiet    *sync.Cond // broadcast when inflight drops to zero
+
+	// Concurrent-mode state.
+	concurrent bool
+	dilation   float64
+	inboxes    map[NodeID]*inbox
+	linkLast   map[[2]NodeID]time.Duration // per-link FIFO clamp
+	kick       chan struct{}               // wakes the scheduler on new events
+	stopCh     chan struct{}
+	wg         sync.WaitGroup
+	// sleeping/sleepTarget describe the scheduler's pacing sleep, so
+	// Send only kicks it for events that beat the current target.
+	sleeping    bool
+	sleepTarget time.Duration
 }
 
 // New creates a network with the given configuration. A nil Latency
@@ -105,56 +191,117 @@ func New(cfg Config) *Network {
 	if cfg.Latency == nil {
 		cfg.Latency = ConstantLatency(time.Millisecond)
 	}
-	return &Network{
+	n := &Network{
 		cfg:   cfg,
 		rng:   rand.New(rand.NewSource(cfg.Seed)),
 		nodes: make(map[NodeID]Handler),
 		alive: make(map[NodeID]bool),
 		stats: newStats(),
 	}
+	n.quiet = sync.NewCond(&n.mu)
+	return n
 }
 
-// Rand exposes the network's seeded random source so protocol layers can
-// share the deterministic stream (e.g., for gossip fan-out choices).
+// Rand exposes the network's seeded random source so single-threaded
+// protocol phases (trie construction, deterministic experiments) can
+// share the deterministic stream. It must not be used concurrently;
+// concurrent callers use Intn/Int63/Float64/Perm, which lock.
 func (n *Network) Rand() *rand.Rand { return n.rng }
 
+// Intn draws from the network's seeded source under the network lock.
+func (n *Network) Intn(k int) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.rng.Intn(k)
+}
+
+// Int63 draws a non-negative int64 under the network lock.
+func (n *Network) Int63() int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.rng.Int63()
+}
+
+// Float64 draws from [0,1) under the network lock.
+func (n *Network) Float64() float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.rng.Float64()
+}
+
+// Perm returns a random permutation of [0,k) under the network lock.
+func (n *Network) Perm(k int) []int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.rng.Perm(k)
+}
+
 // Now returns the current simulated time.
-func (n *Network) Now() time.Duration { return n.now }
+func (n *Network) Now() time.Duration {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.now
+}
 
 // AddNode registers a handler and returns its fresh NodeID.
 func (n *Network) AddNode(h Handler) NodeID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	id := n.nextID
 	n.nextID++
 	n.nodes[id] = h
 	n.alive[id] = true
+	if n.concurrent {
+		n.startWorkerLocked(id)
+	}
 	return id
 }
 
 // Handler returns the handler registered for id, or nil.
-func (n *Network) Handler(id NodeID) Handler { return n.nodes[id] }
+func (n *Network) Handler(id NodeID) Handler {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.nodes[id]
+}
 
 // NodeIDs returns all registered node ids in ascending order.
 func (n *Network) NodeIDs() []NodeID {
+	n.mu.Lock()
 	ids := make([]NodeID, 0, len(n.nodes))
 	for id := range n.nodes {
 		ids = append(ids, id)
 	}
+	n.mu.Unlock()
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
 }
 
 // Alive reports whether the node is currently up.
-func (n *Network) Alive(id NodeID) bool { return n.alive[id] }
+func (n *Network) Alive(id NodeID) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.alive[id]
+}
 
 // Kill marks a node as down: messages to it are dropped until Revive.
 // Models churn / unreliable PlanetLab nodes.
-func (n *Network) Kill(id NodeID) { n.alive[id] = false }
+func (n *Network) Kill(id NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.alive[id] = false
+}
 
 // Revive brings a node back up.
-func (n *Network) Revive(id NodeID) { n.alive[id] = true }
+func (n *Network) Revive(id NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.alive[id] = true
+}
 
 // AliveCount returns the number of live nodes.
 func (n *Network) AliveCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	c := 0
 	for _, up := range n.alive {
 		if up {
@@ -167,6 +314,7 @@ func (n *Network) AliveCount() int {
 // Send schedules delivery of a message. Size is estimated from the
 // payload if the payload implements interface{ WireSize() int }.
 func (n *Network) Send(from, to NodeID, kind string, payload any) {
+	n.mu.Lock()
 	n.stats.MessagesSent++
 	n.stats.PerKind[kind]++
 	size := 64 // baseline header estimate
@@ -176,27 +324,57 @@ func (n *Network) Send(from, to NodeID, kind string, payload any) {
 	n.stats.BytesSent += size
 	if n.cfg.LossRate > 0 && n.rng.Float64() < n.cfg.LossRate {
 		n.stats.MessagesDropped++
+		n.mu.Unlock()
 		return
 	}
 	lat := n.cfg.Latency.Sample(n.rng, from, to)
+	deliver := n.now + lat
+	if n.concurrent {
+		// Per-link FIFO: clamp the delivery instant so a later send on
+		// the same (from,to) link never overtakes an earlier one —
+		// TCP-like ordered channels, as exemplar DHT simulators model.
+		link := [2]NodeID{from, to}
+		if last, ok := n.linkLast[link]; ok && deliver < last {
+			deliver = last
+		}
+		n.linkLast[link] = deliver
+	}
 	m := &Message{From: from, To: to, Kind: kind, Payload: payload,
-		Sent: n.now, Deliver: n.now + lat, Size: size}
+		Sent: n.now, Deliver: deliver, Size: size}
 	n.seq++
 	heap.Push(&n.queue, &event{at: m.Deliver, seq: n.seq, msg: m})
 	n.inflight++
+	// Kick the scheduler only when it is parked waiting for something
+	// later than (or other than) this event; if it is mid-dispatch it
+	// re-peeks the queue on its own.
+	needKick := n.concurrent && n.sleeping && deliver < n.sleepTarget
+	n.mu.Unlock()
+	if needKick {
+		n.wake()
+	}
 }
 
 // After schedules fn to run at now+d. Used for protocol timers
-// (gossip rounds, retries).
+// (gossip rounds, retries). In concurrent mode fn runs on the
+// scheduler goroutine; it must synchronize access to shared state.
 func (n *Network) After(d time.Duration, fn func()) {
+	n.mu.Lock()
 	n.seq++
 	heap.Push(&n.queue, &event{at: n.now + d, seq: n.seq, timer: fn})
+	concurrent := n.concurrent
+	n.mu.Unlock()
+	if concurrent {
+		n.wake()
+	}
 }
 
 // Step processes the next event. It returns false when the queue is
-// empty.
+// empty. In concurrent mode the scheduler owns the queue and Step is a
+// no-op returning false.
 func (n *Network) Step() bool {
-	if len(n.queue) == 0 {
+	n.mu.Lock()
+	if n.concurrent || len(n.queue) == 0 {
+		n.mu.Unlock()
 		return false
 	}
 	e := heap.Pop(&n.queue).(*event)
@@ -204,23 +382,31 @@ func (n *Network) Step() bool {
 		n.now = e.at
 	}
 	if e.timer != nil {
+		n.mu.Unlock()
 		e.timer()
 		return true
 	}
-	n.inflight--
+	n.dropInflightLocked()
 	m := e.msg
-	if !n.alive[m.To] {
+	if !n.alive[m.To] || n.nodes[m.To] == nil {
 		n.stats.MessagesDropped++
-		return true
-	}
-	h := n.nodes[m.To]
-	if h == nil {
-		n.stats.MessagesDropped++
+		n.mu.Unlock()
 		return true
 	}
 	n.stats.MessagesDelivered++
+	h := n.nodes[m.To]
+	n.mu.Unlock()
 	h.HandleMessage(*m)
 	return true
+}
+
+// dropInflightLocked decrements the in-flight count, waking quiescence
+// waiters at zero. Callers hold n.mu.
+func (n *Network) dropInflightLocked() {
+	n.inflight--
+	if n.inflight == 0 {
+		n.quiet.Broadcast()
+	}
 }
 
 // Run processes events until the queue drains and returns the number of
@@ -238,29 +424,53 @@ func (n *Network) Run() int {
 // to t) and returns the number processed.
 func (n *Network) RunUntil(t time.Duration) int {
 	c := 0
-	for len(n.queue) > 0 && n.queue.Peek().at <= t {
+	for {
+		n.mu.Lock()
+		ok := !n.concurrent && len(n.queue) > 0 && n.queue.Peek().at <= t
+		n.mu.Unlock()
+		if !ok {
+			break
+		}
 		n.Step()
 		c++
 	}
+	n.mu.Lock()
 	if n.now < t {
 		n.now = t
 	}
+	n.mu.Unlock()
 	return c
 }
 
 // RunFor advances the simulation by d.
-func (n *Network) RunFor(d time.Duration) int { return n.RunUntil(n.now + d) }
+func (n *Network) RunFor(d time.Duration) int { return n.RunUntil(n.Now() + d) }
 
 // Settle processes events until no message is in flight — quiescence
 // with respect to protocol traffic. Unlike Run it terminates even when
 // periodic timers (anti-entropy) keep the event queue non-empty
-// forever; timers that fire while messages are in flight do run.
+// forever; timers that fire while messages are in flight do run. In
+// concurrent mode Settle blocks until the workers drain (see Quiesce).
 func (n *Network) Settle() int {
+	n.mu.Lock()
+	if n.concurrent {
+		n.mu.Unlock()
+		n.Quiesce()
+		return 0
+	}
+	n.mu.Unlock()
 	c := 0
-	for n.inflight > 0 && n.Step() {
+	for n.Inflight() > 0 && n.Step() {
 		c++
 	}
 	return c
+}
+
+// Inflight returns the number of messages sent but not yet delivered
+// (or, in concurrent mode, not yet fully handled).
+func (n *Network) Inflight() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.inflight
 }
 
 // RunWhile keeps stepping while cond() holds and events remain. It is
@@ -275,6 +485,8 @@ func (n *Network) RunWhile(cond func() bool) int {
 
 // Stats returns a snapshot of accumulated statistics.
 func (n *Network) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	s := n.stats
 	s.PerKind = make(map[string]int, len(n.stats.PerKind))
 	for k, v := range n.stats.PerKind {
@@ -286,14 +498,274 @@ func (n *Network) Stats() Stats {
 // ResetStats zeroes the counters (the clock keeps running). Use between
 // experiment phases so setup traffic is not billed to the measured
 // query.
-func (n *Network) ResetStats() { n.stats = newStats() }
+func (n *Network) ResetStats() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stats = newStats()
+}
 
 // Pending returns the number of queued events (messages + timers).
-func (n *Network) Pending() int { return len(n.queue) }
+func (n *Network) Pending() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.queue)
+}
 
 // String summarizes the network state.
 func (n *Network) String() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	return fmt.Sprintf("simnet{nodes=%d alive=%d now=%v sent=%d delivered=%d dropped=%d}",
-		len(n.nodes), n.AliveCount(), n.now, n.stats.MessagesSent,
+		len(n.nodes), n.aliveCountLocked(), n.now, n.stats.MessagesSent,
 		n.stats.MessagesDelivered, n.stats.MessagesDropped)
+}
+
+// aliveCountLocked counts live nodes with n.mu held.
+func (n *Network) aliveCountLocked() int {
+	c := 0
+	for _, up := range n.alive {
+		if up {
+			c++
+		}
+	}
+	return c
+}
+
+// --- Concurrent mode ---------------------------------------------------------
+
+// Concurrent reports whether the network runs in concurrent mode.
+func (n *Network) Concurrent() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.concurrent
+}
+
+// StartConcurrent switches the network from the deterministic step
+// loop to goroutine-driven delivery: a scheduler goroutine releases
+// events in simulated-time order (paced by wall clock at the given
+// dilation: wall = simulated / dilation; 0 means DefaultTimeDilation),
+// and each node's messages are handled on its own worker goroutine in
+// per-link FIFO order.
+//
+// The usual pattern builds the overlay deterministically first (exact
+// repeatability of the topology), then calls StartConcurrent to serve
+// queries in parallel. Stop shuts the goroutines down.
+func (n *Network) StartConcurrent(dilation float64) {
+	n.mu.Lock()
+	if n.concurrent {
+		n.mu.Unlock()
+		return
+	}
+	if dilation <= 0 {
+		dilation = DefaultTimeDilation
+	}
+	n.concurrent = true
+	n.dilation = dilation
+	n.inboxes = make(map[NodeID]*inbox, len(n.nodes))
+	n.linkLast = make(map[[2]NodeID]time.Duration)
+	n.kick = make(chan struct{}, 1)
+	n.stopCh = make(chan struct{})
+	for id := range n.nodes {
+		n.startWorkerLocked(id)
+	}
+	n.wg.Add(1)
+	go n.schedule()
+	n.mu.Unlock()
+	n.wake()
+}
+
+// startWorkerLocked creates the inbox and worker goroutine for a node.
+// Callers hold n.mu.
+func (n *Network) startWorkerLocked(id NodeID) {
+	ib := newInbox()
+	n.inboxes[id] = ib
+	n.wg.Add(1)
+	go n.worker(n.nodes[id], ib)
+}
+
+// Stop shuts down the concurrent fabric: the scheduler and all workers
+// exit after finishing the message each is currently handling. Events
+// still queued are discarded. Stop is a no-op in deterministic mode.
+func (n *Network) Stop() {
+	n.mu.Lock()
+	if !n.concurrent {
+		n.mu.Unlock()
+		return
+	}
+	n.concurrent = false
+	close(n.stopCh)
+	inboxes := n.inboxes
+	n.inboxes = nil
+	n.mu.Unlock()
+	for _, ib := range inboxes {
+		ib.close()
+	}
+	// Workers finish (and account for) the batches they already hold
+	// before the in-flight count and event queue are reset — resetting
+	// first would race their decrements and leave inflight negative,
+	// silently breaking Settle/Quiesce on any later use.
+	n.wg.Wait()
+	n.mu.Lock()
+	n.queue = nil
+	n.inflight = 0
+	n.quiet.Broadcast()
+	n.mu.Unlock()
+}
+
+// Quiesce blocks until no message is in flight: every sent message has
+// been delivered and its handler has returned (or it was dropped).
+// The concurrent-mode analogue of Settle. Pending timers do not count,
+// mirroring Settle's treatment of periodic maintenance.
+func (n *Network) Quiesce() {
+	n.mu.Lock()
+	for n.inflight > 0 && n.concurrent {
+		n.quiet.Wait()
+	}
+	n.mu.Unlock()
+}
+
+// WallTimeout converts a simulated-time budget into the wall-clock
+// bound a concurrent-mode waiter should use: the budget divided by the
+// dilation factor, floored at one second of slack for scheduling
+// overhead. In deterministic mode it returns d unchanged.
+func (n *Network) WallTimeout(d time.Duration) time.Duration {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.concurrent {
+		return d
+	}
+	w := time.Duration(float64(d) / n.dilation)
+	if w < time.Second {
+		w = time.Second
+	}
+	return w
+}
+
+// wake nudges the scheduler after queue changes.
+func (n *Network) wake() {
+	select {
+	case n.kick <- struct{}{}:
+	default:
+	}
+}
+
+// dispatch is one scheduler decision: a due message bound for an
+// inbox, or a due timer to run.
+type dispatch struct {
+	ib    *inbox
+	msg   *Message
+	timer func()
+}
+
+// farFuture parks the scheduler's sleep target beyond any event time
+// while it waits on an empty queue, so every new event kicks it.
+const farFuture = time.Duration(1<<63 - 1)
+
+// schedule is the concurrent-mode event dispatcher: it pops events in
+// simulated-time order, sleeps the dilated wall-clock gap between
+// event times, runs timers, and routes messages to their destination
+// inboxes. Due events are drained in batches under one lock
+// acquisition so a large fan-out pays the synchronization cost once.
+func (n *Network) schedule() {
+	defer n.wg.Done()
+	var batch []dispatch
+	for {
+		n.mu.Lock()
+		n.sleeping = false
+		if !n.concurrent {
+			n.mu.Unlock()
+			return
+		}
+		if len(n.queue) == 0 {
+			n.sleeping = true
+			n.sleepTarget = farFuture
+			n.mu.Unlock()
+			select {
+			case <-n.kick:
+				continue
+			case <-n.stopCh:
+				return
+			}
+		}
+		next := n.queue.Peek()
+		if gap := next.at - n.now; gap > 0 {
+			wall := time.Duration(float64(gap) / n.dilation)
+			if wall > 0 {
+				target := next.at
+				n.sleeping = true
+				n.sleepTarget = target
+				n.mu.Unlock()
+				t := time.NewTimer(wall)
+				select {
+				case <-t.C:
+					// The pacing sleep elapsed: advance the simulated
+					// clock to the instant slept toward, so the event
+					// is due on the next pass.
+					n.mu.Lock()
+					n.sleeping = false
+					if n.now < target {
+						n.now = target
+					}
+					n.mu.Unlock()
+				case <-n.kick: // an earlier event arrived
+					t.Stop()
+				case <-n.stopCh:
+					t.Stop()
+					return
+				}
+				continue
+			}
+			// Gap below wall-clock resolution: advance immediately.
+			n.now = next.at
+		}
+		// Drain everything due at (or before) the current instant.
+		batch = batch[:0]
+		for len(n.queue) > 0 && n.queue.Peek().at <= n.now {
+			e := heap.Pop(&n.queue).(*event)
+			if e.timer != nil {
+				batch = append(batch, dispatch{timer: e.timer})
+				continue
+			}
+			m := e.msg
+			ib := n.inboxes[m.To]
+			if !n.alive[m.To] || ib == nil {
+				n.stats.MessagesDropped++
+				n.dropInflightLocked()
+				continue
+			}
+			n.stats.MessagesDelivered++
+			batch = append(batch, dispatch{ib: ib, msg: m})
+		}
+		n.mu.Unlock()
+		for _, d := range batch {
+			if d.timer != nil {
+				d.timer()
+			} else {
+				d.ib.push(d.msg)
+			}
+		}
+	}
+}
+
+// worker drains one node's inbox in batches, running the handler for
+// each message in FIFO order.
+func (n *Network) worker(h Handler, ib *inbox) {
+	defer n.wg.Done()
+	for {
+		ms := ib.popAll()
+		if ms == nil {
+			return
+		}
+		if h != nil {
+			for _, m := range ms {
+				h.HandleMessage(*m)
+			}
+		}
+		n.mu.Lock()
+		n.inflight -= len(ms)
+		if n.inflight == 0 {
+			n.quiet.Broadcast()
+		}
+		n.mu.Unlock()
+	}
 }

@@ -5,7 +5,10 @@
 // updates.
 package store
 
-import "sort"
+import (
+	"sort"
+	"sync"
+)
 
 // item is one key→values node slot in the B-tree. Values are opaque to
 // the tree; the store layer keeps []Entry per distinct key.
@@ -34,8 +37,10 @@ func (n *node) find(k string) (int, bool) {
 
 // btree is an in-memory B-tree mapping string keys to arbitrary values.
 // Keys iterate in lexicographic order. The zero value is not usable;
-// use newBTree.
+// use newBTree. All methods are safe for concurrent use: readers
+// (Get, Ascend*) take a shared lock, mutators an exclusive one.
 type btree struct {
+	mu   sync.RWMutex
 	root *node
 	size int
 }
@@ -43,10 +48,20 @@ type btree struct {
 func newBTree() *btree { return &btree{root: &node{}} }
 
 // Len returns the number of distinct keys.
-func (t *btree) Len() int { return t.size }
+func (t *btree) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.size
+}
 
 // Get returns the value stored at k, or nil.
 func (t *btree) Get(k string) any {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.get(k)
+}
+
+func (t *btree) get(k string) any {
 	n := t.root
 	for {
 		i, ok := n.find(k)
@@ -62,6 +77,12 @@ func (t *btree) Get(k string) any {
 
 // Set stores val at key k, replacing any previous value.
 func (t *btree) Set(k string, val any) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.set(k, val)
+}
+
+func (t *btree) set(k string, val any) {
 	if len(t.root.items) == 2*degree-1 {
 		old := t.root
 		t.root = &node{children: []*node{old}}
@@ -73,12 +94,15 @@ func (t *btree) Set(k string, val any) {
 }
 
 // Update fetches the value at k (nil if absent), passes it to fn, and
-// stores the result. It is the read-modify-write primitive the store
-// uses to append entries without a second traversal.
+// stores the result atomically with respect to other tree operations.
+// It is the read-modify-write primitive the store uses to append
+// entries without a second traversal.
 func (t *btree) Update(k string, fn func(old any) any) {
 	// Simple two-pass implementation keeps the tree code small; the
 	// store's hot path is iteration, not insertion.
-	t.Set(k, fn(t.Get(k)))
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.set(k, fn(t.get(k)))
 }
 
 // insertNonFull inserts into a node known to have room, reporting
@@ -133,6 +157,8 @@ func (n *node) splitChild(i int) {
 // Delete removes key k, reporting whether it was present. Deletion uses
 // the standard CLRS algorithm (merge/rotate on the way down).
 func (t *btree) Delete(k string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if !t.delete(t.root, k) {
 		return false
 	}
@@ -239,8 +265,11 @@ func (n *node) merge(i int) {
 }
 
 // AscendRange calls fn for every key in [lo, hi) in order; an empty hi
-// means unbounded. fn returning false stops the walk.
+// means unbounded. fn returning false stops the walk. The shared lock
+// is held for the whole walk; fn must not mutate the tree.
 func (t *btree) AscendRange(lo, hi string, fn func(k string, v any) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	t.root.ascend(lo, hi, fn)
 }
 
@@ -264,7 +293,9 @@ func (n *node) ascend(lo, hi string, fn func(string, any) bool) bool {
 	return true
 }
 
-// Ascend walks all keys in order.
+// Ascend walks all keys in order under the shared lock.
 func (t *btree) Ascend(fn func(k string, v any) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	t.root.ascend("", "", fn)
 }

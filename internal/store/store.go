@@ -3,6 +3,7 @@ package store
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"unistore/internal/keys"
 	"unistore/internal/triple"
@@ -48,10 +49,12 @@ type factID struct {
 }
 
 // Store is the local storage service of one peer: three ordered triple
-// indexes plus versioned fact bookkeeping. It is not safe for concurrent
-// use; in the simulator each peer runs in the single-threaded event
-// loop.
+// indexes plus versioned fact bookkeeping. It is safe for concurrent
+// use: in the simulator's concurrent mode a peer's worker goroutine,
+// protocol timers, and query drivers all touch the store in parallel.
+// Mutators take the exclusive lock; readers share it.
 type Store struct {
+	mu    sync.RWMutex
 	idx   [3]*btree // one ordered index per triple.IndexKind
 	facts map[factID]Entry
 }
@@ -101,6 +104,8 @@ func (s *Store) DeleteEntry(kind triple.IndexKind, oid, attr string, version uin
 func (s *Store) Apply(e Entry) bool { return s.apply(e) }
 
 func (s *Store) apply(e Entry) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	id := factID{e.Kind, e.Triple.OID, e.Triple.Attr}
 	if old, ok := s.facts[id]; ok {
 		if !supersedes(e, old) {
@@ -159,6 +164,8 @@ func (s *Store) removeFromIndex(old Entry) {
 // Lookup returns the live entries stored exactly at key k in the given
 // index.
 func (s *Store) Lookup(kind triple.IndexKind, k keys.Key) []Entry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	v := s.idx[kind].Get(k.String())
 	if v == nil {
 		return nil
@@ -170,8 +177,11 @@ func (s *Store) Lookup(kind triple.IndexKind, k keys.Key) []Entry {
 }
 
 // Scan calls fn for every live entry of the given index whose key lies
-// in r, in key order. fn returning false stops the scan.
+// in r, in key order. fn returning false stops the scan. The shared
+// lock is held for the whole scan; fn must not mutate the store.
 func (s *Store) Scan(kind triple.IndexKind, r keys.Range, fn func(Entry) bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	lo := r.Lo.String()
 	hi := ""
 	if r.HiOpen {
@@ -216,6 +226,8 @@ func (s *Store) All() []triple.Triple {
 // Entries returns every live entry of one index kind in key order — the
 // unit of data exchanged when peers split or replicate a partition.
 func (s *Store) Entries(kind triple.IndexKind) []Entry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	var out []Entry
 	s.idx[kind].Ascend(func(_ string, v any) bool {
 		out = append(out, v.(bucket)...)
@@ -227,10 +239,12 @@ func (s *Store) Entries(kind triple.IndexKind) []Entry {
 // Facts returns all versioned facts including tombstones, sorted — the
 // state exchanged by anti-entropy between replicas.
 func (s *Store) Facts() []Entry {
+	s.mu.RLock()
 	out := make([]Entry, 0, len(s.facts))
 	for _, e := range s.facts {
 		out = append(out, e)
 	}
+	s.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Kind != b.Kind {
@@ -246,12 +260,16 @@ func (s *Store) Facts() []Entry {
 
 // Version returns (version, deleted, present) for fact (kind, oid, attr).
 func (s *Store) Version(kind triple.IndexKind, oid, attr string) (uint64, bool, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	e, ok := s.facts[factID{kind, oid, attr}]
 	return e.Version, e.Deleted, ok
 }
 
 // Len returns the number of live entries across all indexes.
 func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	n := 0
 	for _, e := range s.facts {
 		if !e.Deleted {
@@ -264,6 +282,8 @@ func (s *Store) Len() int {
 // LenKind returns the number of live entries in one index — the
 // storage-load measure used by the load-balancing experiment (E6).
 func (s *Store) LenKind(kind triple.IndexKind) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	n := 0
 	for id, e := range s.facts {
 		if id.kind == kind && !e.Deleted {
@@ -277,6 +297,8 @@ func (s *Store) LenKind(kind triple.IndexKind) int {
 // inside r, returning the dropped entries (live and tombstoned) so the
 // caller can ship them to the peer taking over that partition.
 func (s *Store) DropRange(kind triple.IndexKind, r keys.Range) []Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	var doomed []Entry
 	for id, e := range s.facts {
 		if id.kind == kind && r.Contains(e.Key) {
@@ -291,6 +313,8 @@ func (s *Store) DropRange(kind triple.IndexKind, r keys.Range) []Entry {
 // OUTSIDE r — used when a peer adopts a narrower responsibility after a
 // split — returning the dropped entries.
 func (s *Store) RetainRange(kind triple.IndexKind, r keys.Range) []Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	var doomed []Entry
 	for id, e := range s.facts {
 		if id.kind == kind && !r.Contains(e.Key) {

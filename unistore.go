@@ -18,8 +18,12 @@
 //
 // The physical substrate — the TCP/IP network and the PlanetLab
 // testbed of the paper's demonstration — is replaced by a
-// deterministic discrete-event simulator, so clusters of hundreds of
-// peers run in-process, repeatably, in milliseconds of wall time.
+// discrete-event simulator, so clusters of hundreds of peers run
+// in-process, repeatably, in milliseconds of wall time. The simulator
+// runs deterministically by default; Config.Concurrent switches it to
+// goroutine-driven delivery, where peers handle messages in parallel,
+// queries can be issued from many goroutines at once, and batches load
+// through the parallel bulk-insert path.
 //
 // # Quickstart
 //
@@ -30,8 +34,18 @@
 //		Set("year", unistore.N(2006)))
 //	res, err := c.Query(`SELECT ?t WHERE {(?p,'title',?t) (?p,'year',?y) FILTER ?y >= 2006}`)
 //
-// See the examples directory for complete programs, DESIGN.md for the
-// system inventory, and EXPERIMENTS.md for the reproduced evaluation.
+// # Bulk loading
+//
+// Datasets load fastest through BulkInsert / BulkInsertTuples, which
+// spread the batch across source peers and overlap every DHT round
+// trip instead of settling the network per call:
+//
+//	c := unistore.New(unistore.Config{Peers: 64, Concurrent: true})
+//	defer c.Close()
+//	c.BulkInsert(dataset...) // one quiescence for the whole batch
+//
+// See the examples directory for complete programs and README.md for
+// the module layout and the deterministic-vs-concurrent trade-offs.
 package unistore
 
 import (

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt fmt-check test race bench ci
+.PHONY: all build vet fmt fmt-check test race bench docs ci
 
 all: build test
 
@@ -32,5 +32,13 @@ race:
 
 bench:
 	$(GO) test -run NONE -bench . -benchtime 1x ./...
+	$(GO) test -run NONE -bench 'TopK|TimeToFirstResult' -benchtime 5x .
 
-ci: fmt-check build vet test race bench
+# The docs job: broken intra-repo markdown links fail, sources stay
+# vetted and formatted.
+docs:
+	$(GO) test -run 'TestDocs' -v .
+	$(GO) vet ./...
+	@$(MAKE) fmt-check
+
+ci: fmt-check build vet test race bench docs

@@ -275,6 +275,74 @@ func benchInsert(b *testing.B, bulk bool) {
 func BenchmarkInsertSequential(b *testing.B) { benchInsert(b, false) }
 func BenchmarkInsertBulk(b *testing.B)       { benchInsert(b, true) }
 
+// --- Streaming top-k benchmarks -----------------------------------------------
+//
+// Before/after comparison for the streaming executor's early
+// termination on a 64-peer simnet: the same ranked top-k query with
+// the tail materialized (the pre-streaming baseline: every shard
+// showers, then sort+truncate) versus streamed (ordered shard release,
+// threshold stop). Metrics are simulated: total messages, end-to-end
+// simulated milliseconds, and time-to-first-result milliseconds.
+
+const topKQuery = `SELECT ?n WHERE {(?p,'name',?n)} ORDER BY ?n LIMIT 5`
+
+func benchTopK(b *testing.B, materialize bool) {
+	c := unistore.New(unistore.Config{
+		Peers: 64, Seed: 12,
+		RangeShards:      8,
+		ProbeParallelism: 2,
+	})
+	ds := workload.Generate(workload.Options{Seed: 13, Persons: 300})
+	c.BulkInsert(ds.Triples...)
+	c.Engine(0).SetMaterializeTail(materialize)
+	var msgs, simMS, firstMS float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := c.QueryFrom(0, topKQuery)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Bindings) != 5 {
+			b.Fatalf("top-5 returned %d rows", len(res.Bindings))
+		}
+		c.Net().Settle()
+		msgs = float64(res.Messages)
+		simMS = float64(res.Elapsed.Microseconds()) / 1000
+		firstMS = float64(res.TimeToFirst.Microseconds()) / 1000
+	}
+	b.ReportMetric(msgs, "msgs")
+	b.ReportMetric(simMS, "sim-ms")
+	b.ReportMetric(firstMS, "ttfr-ms")
+}
+
+func BenchmarkTopKMaterializing(b *testing.B) { benchTopK(b, true) }
+func BenchmarkTopKStreaming(b *testing.B)     { benchTopK(b, false) }
+
+// BenchmarkTimeToFirstResult reports how soon the streaming pipeline
+// surfaces its first row on an exhaustive (unlimited) scan, against
+// the query's full completion time.
+func BenchmarkTimeToFirstResult(b *testing.B) {
+	c := unistore.New(unistore.Config{
+		Peers: 64, Seed: 14,
+		RangeShards:      8,
+		ProbeParallelism: 1,
+	})
+	ds := workload.Generate(workload.Options{Seed: 15, Persons: 300})
+	c.BulkInsert(ds.Triples...)
+	var firstMS, totalMS float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := c.QueryFrom(0, `SELECT ?n WHERE {(?p,'name',?n)}`)
+		if err != nil {
+			b.Fatal(err)
+		}
+		firstMS = float64(res.TimeToFirst.Microseconds()) / 1000
+		totalMS = float64(res.Elapsed.Microseconds()) / 1000
+	}
+	b.ReportMetric(firstMS, "ttfr-ms")
+	b.ReportMetric(totalMS, "total-ms")
+}
+
 func BenchmarkSkylineQuery(b *testing.B) {
 	c := unistore.New(unistore.Config{Peers: 64, Seed: 6})
 	ds := workload.Generate(workload.Options{Seed: 7, Persons: 200})

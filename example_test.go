@@ -1,0 +1,61 @@
+package unistore_test
+
+import (
+	"context"
+	"fmt"
+
+	"unistore"
+)
+
+// ExampleConfig shows the knobs a cluster is built with: overlay size,
+// replication, the similarity index, and the streaming executor's
+// fan-out window and range sharding (which give LIMIT/top-k queries
+// shards to skip when they terminate early).
+func ExampleConfig() {
+	c := unistore.New(unistore.Config{
+		Peers:            32,   // key-space partitions
+		Replicas:         2,    // replica group per partition
+		Seed:             7,    // all randomness flows from here
+		EnableQGram:      true, // maintain the similarity index
+		ProbeParallelism: 4,    // at most 4 overlay ops in flight per query
+		RangeShards:      8,    // split each range scan into 8 showers
+	})
+	c.InsertTuple(unistore.NewTuple("a12").
+		Set("title", unistore.S("Similarity Queries")).
+		Set("year", unistore.N(2006)))
+	res, err := c.Query(`SELECT ?t WHERE {(?p,'title',?t) (?p,'year',?y) FILTER ?y >= 2006}`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Rows()[0][0])
+	// Output: Similarity Queries
+}
+
+// ExampleCluster_QueryStream runs a ranked top-k query through the
+// streaming pipeline: rows arrive through the cursor in ranking order
+// as shards of the ordered scan are released, and the query's remote
+// probes stop as soon as the bound proves no better name can arrive.
+func ExampleCluster_QueryStream() {
+	c := unistore.New(unistore.Config{Peers: 32, Seed: 1, RangeShards: 8})
+	for i, name := range []string{"carol", "alice", "dave", "bob", "erin"} {
+		c.InsertTuple(unistore.NewTuple(fmt.Sprintf("p%d", i)).
+			Set("name", unistore.S(name)))
+	}
+	st, err := c.QueryStream(context.Background(),
+		`SELECT ?n WHERE {(?p,'name',?n)} ORDER BY ?n LIMIT 3`)
+	if err != nil {
+		panic(err)
+	}
+	defer st.Close()
+	for {
+		row, ok := st.Next()
+		if !ok {
+			break
+		}
+		fmt.Println(row["n"])
+	}
+	// Output:
+	// alice
+	// bob
+	// carol
+}

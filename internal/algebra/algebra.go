@@ -685,6 +685,95 @@ func HashJoin(l, r []Binding, on []string) []Binding {
 	return out
 }
 
+// JoinState is an incremental symmetric hash join over two binding
+// streams: rows may arrive on either side in any order and every
+// matching pair is produced exactly once, so a pipelined executor can
+// emit join results as soon as both halves of a pair exist instead of
+// materializing either input. Semantics match HashJoin exactly — rows
+// pair when they agree on the `on` variables AND are Compatible on
+// every other shared variable (an empty `on` list degrades to the
+// Compatible-checked cartesian product), and the merged row is
+// left.Merge(right).
+//
+// JoinState is not safe for concurrent use; the executor serializes
+// access under its pipeline lock.
+type JoinState struct {
+	on    []string
+	left  map[string][]Binding
+	right map[string][]Binding
+	// Arrival order per side, for the keyless (cartesian) path.
+	leftSeq  []Binding
+	rightSeq []Binding
+	nLeft    int
+}
+
+// NewJoinState creates an empty incremental join on the given shared
+// variables.
+func NewJoinState(on []string) *JoinState {
+	return &JoinState{
+		on:    on,
+		left:  make(map[string][]Binding),
+		right: make(map[string][]Binding),
+	}
+}
+
+// AddLeft inserts one left row and returns the merged rows it forms
+// with every right row seen so far.
+func (j *JoinState) AddLeft(b Binding) []Binding {
+	j.nLeft++
+	if len(j.on) == 0 {
+		j.leftSeq = append(j.leftSeq, b)
+		var out []Binding
+		for _, rb := range j.rightSeq {
+			if b.Compatible(rb) {
+				out = append(out, b.Merge(rb))
+			}
+		}
+		return out
+	}
+	j.leftSeq = append(j.leftSeq, b)
+	k := Key(b, j.on)
+	j.left[k] = append(j.left[k], b)
+	var out []Binding
+	for _, rb := range j.right[k] {
+		if b.Compatible(rb) {
+			out = append(out, b.Merge(rb))
+		}
+	}
+	return out
+}
+
+// AddRight inserts one right row and returns the merged rows it forms
+// with every left row seen so far.
+func (j *JoinState) AddRight(b Binding) []Binding {
+	if len(j.on) == 0 {
+		j.rightSeq = append(j.rightSeq, b)
+		var out []Binding
+		for _, lb := range j.leftSeq {
+			if lb.Compatible(b) {
+				out = append(out, lb.Merge(b))
+			}
+		}
+		return out
+	}
+	k := Key(b, j.on)
+	j.right[k] = append(j.right[k], b)
+	var out []Binding
+	for _, lb := range j.left[k] {
+		if lb.Compatible(b) {
+			out = append(out, lb.Merge(b))
+		}
+	}
+	return out
+}
+
+// LeftRows returns every left row added so far, in arrival order —
+// the materialized frontier a mutant plan ships to its next host.
+func (j *JoinState) LeftRows() []Binding { return j.leftSeq }
+
+// LeftCount returns how many left rows were added.
+func (j *JoinState) LeftCount() int { return j.nLeft }
+
 // SortBindings sorts bindings by the ORDER BY keys (stable).
 func SortBindings(bs []Binding, keys []vql.OrderKey) {
 	sort.SliceStable(bs, func(i, j int) bool {

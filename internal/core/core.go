@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -87,10 +88,11 @@ type Config struct {
 	// Lower values make the simulation more faithful to real latency;
 	// 1 runs in real time. Ignored in deterministic mode.
 	TimeDilation float64
-	// ProbeParallelism bounds each engine's per-step fan-out window:
-	// at most this many overlay probes or range shards in flight per
-	// query step. 0 = unbounded full fan-out (default), 1 = strictly
-	// sequential probing (the benchmarks' baseline).
+	// ProbeParallelism bounds each query's in-flight fan-out window:
+	// at most this many overlay probes or range shards in flight at
+	// once across the query's whole streaming pipeline. 0 = unbounded
+	// full fan-out (default), 1 = strictly sequential probing (the
+	// benchmarks' baseline).
 	ProbeParallelism int
 	// RangeShards splits every range scan into this many key-space
 	// shards showered independently (<= 1 disables sharding).
@@ -140,10 +142,10 @@ type Cluster struct {
 // and must not race with concurrent ingest updating the statistics.
 type lockedReopt struct{ c *Cluster }
 
-func (l lockedReopt) Rechoose(steps []physical.Step, bindingCount int, peer *pgrid.Peer) []physical.Step {
+func (l lockedReopt) Rechoose(steps []physical.Step, tail physical.Tail, bindingCount int, peer *pgrid.Peer) []physical.Step {
 	l.c.statsMu.RLock()
 	defer l.c.statsMu.RUnlock()
-	return l.c.opt.Rechoose(steps, bindingCount, peer)
+	return l.c.opt.Rechoose(steps, tail, bindingCount, peer)
 }
 
 // NewCluster builds and wires a cluster.
@@ -343,6 +345,10 @@ type Result struct {
 	Bindings []algebra.Binding
 	Vars     []string
 	Elapsed  time.Duration // simulated time
+	// TimeToFirst is the simulated time until the first result row was
+	// available from the streaming pipeline (equal to Elapsed for
+	// blocking tails such as skyline and full sorts).
+	TimeToFirst time.Duration
 	// Messages is the network-wide message traffic attributed to this
 	// query. It is measured as a counter delta, which is only
 	// meaningful when queries run one at a time — in concurrent mode
@@ -375,14 +381,59 @@ func (c *Cluster) Query(src string) (*Result, error) {
 
 // QueryFrom executes VQL originating at a specific peer.
 func (c *Cluster) QueryFrom(peerIdx int, src string) (*Result, error) {
+	return c.QueryFromCtx(context.Background(), peerIdx, src)
+}
+
+// QueryCtx executes VQL from a random peer under a cancellation
+// context: canceling ctx terminates the query early — unissued probes
+// and shards are never sent, pending overlay operations are released —
+// and returns the rows produced so far.
+func (c *Cluster) QueryCtx(ctx context.Context, src string) (*Result, error) {
+	return c.QueryFromCtx(ctx, int(c.net.Int63())%len(c.peers), src)
+}
+
+// QueryFromCtx is QueryCtx originating at a specific peer.
+func (c *Cluster) QueryFromCtx(ctx context.Context, peerIdx int, src string) (*Result, error) {
 	q, err := vql.ParseQuery(src)
 	if err != nil {
 		return nil, err
 	}
-	return c.execQuery(peerIdx, q)
+	return c.execQueryCtx(ctx, peerIdx, q)
 }
 
 func (c *Cluster) execQuery(peerIdx int, q *vql.Query) (*Result, error) {
+	return c.execQueryCtx(context.Background(), peerIdx, q)
+}
+
+func (c *Cluster) execQueryCtx(ctx context.Context, peerIdx int, q *vql.Query) (*Result, error) {
+	plan, err := c.compile(q)
+	if err != nil {
+		return nil, err
+	}
+	eng := c.engines[peerIdx%len(c.engines)]
+	concurrent := c.net.Concurrent()
+	before := 0
+	if !concurrent {
+		before = c.net.Stats().MessagesSent
+	}
+	bs, ex := eng.RunPlanCtx(ctx, plan)
+	res := &Result{
+		Bindings:    bs,
+		Vars:        resultVars(q),
+		Elapsed:     ex.Elapsed(),
+		TimeToFirst: ex.TimeToFirst(),
+		Hops:        ex.MaxHops(),
+		Plan:        plan.String(),
+	}
+	if !concurrent {
+		res.Messages = c.net.Stats().MessagesSent - before
+	}
+	return res, nil
+}
+
+// compile parses nothing — it lowers and cost-optimizes a parsed query
+// under the statistics lock.
+func (c *Cluster) compile(q *vql.Query) (*physical.Plan, error) {
 	plan, err := physical.CompileQuery(q)
 	if err != nil {
 		return nil, err
@@ -390,25 +441,62 @@ func (c *Cluster) execQuery(peerIdx int, q *vql.Query) (*Result, error) {
 	c.statsMu.RLock()
 	c.opt.Optimize(plan)
 	c.statsMu.RUnlock()
-	eng := c.engines[peerIdx%len(c.engines)]
-	concurrent := c.net.Concurrent()
-	before := 0
-	if !concurrent {
-		before = c.net.Stats().MessagesSent
-	}
-	bs, ex := eng.RunPlan(plan)
-	res := &Result{
-		Bindings: bs,
-		Vars:     resultVars(q),
-		Elapsed:  ex.Elapsed(),
-		Hops:     ex.MaxHops(),
-		Plan:     plan.String(),
-	}
-	if !concurrent {
-		res.Messages = c.net.Stats().MessagesSent - before
-	}
-	return res, nil
+	return plan, nil
 }
+
+// Stream is an open streaming query: rows arrive through Next as the
+// distributed pipeline produces them, before the query has finished —
+// the time-to-first-result interface. Close abandons the remainder.
+type Stream struct {
+	// Vars lists the result variables in projection order.
+	Vars []string
+	cur  *physical.Cursor
+	plan string
+}
+
+// QueryStream opens a VQL query from a random peer and returns a pull
+// cursor over its result stream. The caller must exhaust or Close it.
+func (c *Cluster) QueryStream(ctx context.Context, src string) (*Stream, error) {
+	return c.QueryStreamFrom(ctx, int(c.net.Int63())%len(c.peers), src)
+}
+
+// QueryStreamFrom is QueryStream originating at a specific peer.
+func (c *Cluster) QueryStreamFrom(ctx context.Context, peerIdx int, src string) (*Stream, error) {
+	q, err := vql.ParseQuery(src)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := c.compile(q)
+	if err != nil {
+		return nil, err
+	}
+	eng := c.engines[peerIdx%len(c.engines)]
+	return &Stream{
+		Vars: resultVars(q),
+		cur:  eng.Open(ctx, plan),
+		plan: plan.String(),
+	}, nil
+}
+
+// Next returns the next result row; ok is false at end of stream. In
+// deterministic mode it drives the simulated network; in concurrent
+// mode it blocks until the pipeline emits.
+func (s *Stream) Next() (algebra.Binding, bool) { return s.cur.Next() }
+
+// Close terminates the query early, canceling its remaining overlay
+// operations. Safe after exhaustion.
+func (s *Stream) Close() { s.cur.Close() }
+
+// Plan renders the executed physical plan.
+func (s *Stream) Plan() string { return s.plan }
+
+// TimeToFirst reports the simulated time until the first row was
+// available (valid once at least one row arrived or the stream ended).
+func (s *Stream) TimeToFirst() time.Duration { return s.cur.Exec().TimeToFirst() }
+
+// Elapsed reports the query's total simulated time (valid once the
+// stream ended).
+func (s *Stream) Elapsed() time.Duration { return s.cur.Exec().Elapsed() }
 
 // QueryWithMappings answers a query over heterogeneous schemas: it
 // first retrieves all correspondence triples from the overlay, then

@@ -81,20 +81,52 @@ func (s *Stats) PartitionsForFraction(fraction float64) float64 {
 // Estimate is a predicted operator cost. Messages is the network load
 // measure the optimizer minimizes by default; Latency is the predicted
 // wall-clock (simulated) time assuming parallel branches overlap.
+//
+// The streaming executor additionally splits each cost into a startup
+// part (paid before the first tuple can possibly arrive — routing
+// descent, q-gram fan-out) and a per-tuple remainder that a LIMIT/top-k
+// early-out can avoid. StartupMessages/FirstLatency capture the startup
+// part; ScaledToLimit prices the operator as the streaming executor
+// will actually run it under a limit.
 type Estimate struct {
 	Messages float64
-	Latency  time.Duration
+	// StartupMessages is the message cost paid before the first result
+	// can arrive; the part of Messages early termination cannot avoid.
+	StartupMessages float64
+	Latency         time.Duration
+	// FirstLatency is the estimated time-to-first-result.
+	FirstLatency time.Duration
 	// Results is the estimated number of bindings produced.
 	Results float64
 }
 
-// Plus composes sequential costs.
+// Plus composes sequential costs: the downstream operator cannot start
+// until the upstream one finishes, so the upstream's FULL cost joins
+// the downstream's startup in both the message and latency floors.
 func (e Estimate) Plus(o Estimate) Estimate {
 	return Estimate{
-		Messages: e.Messages + o.Messages,
-		Latency:  e.Latency + o.Latency,
-		Results:  o.Results, // sequential composition: downstream wins
+		Messages:        e.Messages + o.Messages,
+		StartupMessages: e.Messages + o.StartupMessages,
+		Latency:         e.Latency + o.Latency,
+		FirstLatency:    e.Latency + o.FirstLatency,
+		Results:         o.Results, // sequential composition: downstream wins
 	}
+}
+
+// ScaledToLimit reprices the operator for a streaming execution that
+// stops after k results: the startup cost is paid in full, the
+// remainder shrinks to the fraction of the result stream actually
+// consumed. With k >= Results (or k <= 0) the estimate is unchanged.
+func (e Estimate) ScaledToLimit(k int) Estimate {
+	if k <= 0 || float64(k) >= e.Results {
+		return e
+	}
+	frac := float64(k) / math.Max(e.Results, 1)
+	out := e
+	out.Messages = e.StartupMessages + frac*(e.Messages-e.StartupMessages)
+	out.Latency = e.FirstLatency + time.Duration(frac*float64(e.Latency-e.FirstLatency))
+	out.Results = float64(k)
+	return out
 }
 
 // lat scales the average latency by a hop count.
@@ -102,36 +134,47 @@ func (s *Stats) lat(hops float64) time.Duration {
 	return time.Duration(hops * float64(s.AvgLatency))
 }
 
-// Lookup estimates one exact-key lookup: route + direct response.
+// Lookup estimates one exact-key lookup: route + direct response. A
+// lookup is all startup — nothing can be skipped by stopping early.
 func (s *Stats) Lookup(expectedResults float64) Estimate {
 	h := s.LookupHops()
 	return Estimate{
-		Messages: h + 1,
-		Latency:  s.lat(h + 1),
-		Results:  expectedResults,
+		Messages:        h + 1,
+		StartupMessages: h + 1,
+		Latency:         s.lat(h + 1),
+		FirstLatency:    s.lat(h + 1),
+		Results:         expectedResults,
 	}
 }
 
 // MultiLookup estimates k parallel lookups (index-nested-loop probes).
+// The first probe's round trip is the startup; the remaining probes
+// stream and can be skipped under a limit.
 func (s *Stats) MultiLookup(k int, expectedResults float64) Estimate {
 	h := s.LookupHops()
 	return Estimate{
-		Messages: float64(k) * (h + 1),
-		Latency:  s.lat(h + 1), // parallel
-		Results:  expectedResults,
+		Messages:        float64(k) * (h + 1),
+		StartupMessages: h + 1,
+		Latency:         s.lat(h + 1), // parallel
+		FirstLatency:    s.lat(h + 1),
+		Results:         expectedResults,
 	}
 }
 
 // Range estimates a shower range query covering `fraction` of an
 // attribute region: routing to the region plus one message per covered
-// partition and one response per partition.
+// partition and one response per partition. The descent plus the first
+// partition's response is the startup; the per-partition remainder
+// streams (shard by shard) and shrinks under a limit.
 func (s *Stats) Range(fraction float64, expectedResults float64) Estimate {
 	h := s.LookupHops()
 	p := s.PartitionsForFraction(fraction)
 	return Estimate{
-		Messages: h + (p - 1) + p, // descent + fan-out + responses
-		Latency:  s.lat(h + math.Log2(p+1) + 1),
-		Results:  expectedResults,
+		Messages:        h + (p - 1) + p, // descent + fan-out + responses
+		StartupMessages: h + 1,
+		Latency:         s.lat(h + math.Log2(p+1) + 1),
+		FirstLatency:    s.lat(h + 1),
+		Results:         expectedResults,
 	}
 }
 
@@ -140,15 +183,20 @@ func (s *Stats) Range(fraction float64, expectedResults float64) Estimate {
 func (s *Stats) Broadcast(expectedResults float64) Estimate {
 	p := float64(s.Partitions)
 	return Estimate{
-		Messages: 2*p - 1,
-		Latency:  s.lat(math.Log2(p+1) + 1),
-		Results:  expectedResults,
+		Messages:        2*p - 1,
+		StartupMessages: math.Log2(p+1) + 1,
+		Latency:         s.lat(math.Log2(p+1) + 1),
+		FirstLatency:    s.lat(2),
+		Results:         expectedResults,
 	}
 }
 
 // QGramSearch estimates the q-gram access path for edist(v, c) <= k:
 // one range query per gram of the target plus one verification lookup
-// per expected candidate.
+// per expected candidate. The whole gram phase is startup — the count
+// filter needs every gram's postings before the first candidate can be
+// verified — which is why a LIMIT query may prefer the plain range
+// scan even where the q-gram index wins on total messages.
 func (s *Stats) QGramSearch(targetLen, q, k int, candidates float64) Estimate {
 	grams := float64(targetLen + q - 1)
 	perGram := s.Range(1.0/float64(max(s.Partitions, 1)), 0)
@@ -157,7 +205,9 @@ func (s *Stats) QGramSearch(targetLen, q, k int, candidates float64) Estimate {
 		Latency:  perGram.Latency, // grams in parallel
 	}
 	probe := s.MultiLookup(int(candidates)+1, candidates)
+	total.StartupMessages = total.Messages + probe.StartupMessages
 	total.Messages += probe.Messages
+	total.FirstLatency = total.Latency + probe.FirstLatency
 	total.Latency += probe.Latency
 	total.Results = candidates
 	return total
@@ -168,9 +218,11 @@ func (s *Stats) QGramSearch(targetLen, q, k int, candidates float64) Estimate {
 func (s *Stats) Ship(bindings float64) Estimate {
 	h := s.LookupHops()
 	return Estimate{
-		Messages: h,
-		Latency:  s.lat(h),
-		Results:  bindings,
+		Messages:        h,
+		StartupMessages: h,
+		Latency:         s.lat(h),
+		FirstLatency:    s.lat(h),
+		Results:         bindings,
 	}
 }
 

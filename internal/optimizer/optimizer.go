@@ -5,6 +5,12 @@
 // migrate. Because the same optimizer runs again at every peer hosting
 // a migrated plan — with that peer's own statistics — query processing
 // is adaptive, as §2 of the paper describes.
+//
+// Costs are startup-vs-total aware: under a streamable LIMIT/top-k
+// tail the final operator is priced at what the early-terminating
+// streaming executor will actually pay (cost.Estimate.ScaledToLimit),
+// steering plans toward access paths that produce their first tuples
+// cheaply instead of ones that must materialize before emitting.
 package optimizer
 
 import (
@@ -70,16 +76,31 @@ func New(stats *cost.Stats, opt Options) *Optimizer {
 
 // Optimize rewrites a compiled plan in place: strategy selection, join
 // ordering and ship decisions. It returns the plan for chaining.
+// When the tail is a streamable LIMIT/top-k, operator costs are
+// repriced with their startup-vs-total split (cost.ScaledToLimit), so
+// plans whose expensive operators can terminate early — range scans
+// over access paths that must materialize before producing anything —
+// win ties against startup-heavy alternatives like the q-gram path.
 func (o *Optimizer) Optimize(p *physical.Plan) *physical.Plan {
-	p.Steps = o.order(p.Steps, 0)
+	p.Steps = o.order(p.Steps, 0, streamableLimit(p.Tail))
 	return p
+}
+
+// streamableLimit returns the limit the streaming executor can
+// terminate on early, or 0 when the tail blocks (skyline, multi-key
+// orderings) and every operator must run to completion.
+func streamableLimit(t physical.Tail) int {
+	if t.Limit <= 0 || len(t.Skyline) > 0 || len(t.OrderBy) > 1 {
+		return 0
+	}
+	return t.Limit
 }
 
 // Rechoose implements physical.Reoptimizer: a peer hosting a migrated
 // plan re-optimizes the remaining steps with its local view. The
 // partition estimate derives from the peer's own trie depth — a purely
 // local approximation of network size.
-func (o *Optimizer) Rechoose(steps []physical.Step, bindingCount int, peer *pgrid.Peer) []physical.Step {
+func (o *Optimizer) Rechoose(steps []physical.Step, tail physical.Tail, bindingCount int, peer *pgrid.Peer) []physical.Step {
 	if o.Opt.Disabled || len(steps) <= 1 {
 		return steps
 	}
@@ -90,7 +111,7 @@ func (o *Optimizer) Rechoose(steps []physical.Step, bindingCount int, peer *pgri
 	lo := &Optimizer{Stats: &local, Opt: o.Opt}
 	// The first step is pinned: we are already at (or heading to) its
 	// region.
-	rest := lo.order(steps[1:], float64(bindingCount))
+	rest := lo.order(steps[1:], float64(bindingCount), streamableLimit(tail))
 	out := make([]physical.Step, 0, len(steps))
 	out = append(out, steps[0])
 	out = append(out, rest...)
@@ -99,8 +120,9 @@ func (o *Optimizer) Rechoose(steps []physical.Step, bindingCount int, peer *pgri
 
 // order greedily sequences steps by estimated cost, recomputing join
 // variables, filter attachment and ship flags for the new order.
-// prevCard seeds the cardinality estimate (bindings already present).
-func (o *Optimizer) order(steps []physical.Step, prevCard float64) []physical.Step {
+// prevCard seeds the cardinality estimate (bindings already present);
+// limit > 0 reprices the final step for early termination.
+func (o *Optimizer) order(steps []physical.Step, prevCard float64, limit int) []physical.Step {
 	if len(steps) == 0 {
 		return steps
 	}
@@ -110,7 +132,7 @@ func (o *Optimizer) order(steps []physical.Step, prevCard float64) []physical.St
 		out := make([]physical.Step, len(steps))
 		copy(out, steps)
 		for i := range out {
-			out[i].Strat = o.chooseStrategy(out[i], i > 0 || prevCard > 0)
+			out[i].Strat = o.chooseStrategy(out[i], i > 0 || prevCard > 0, 0)
 			out[i].Ship = false
 		}
 		return out
@@ -146,12 +168,19 @@ func (o *Optimizer) order(steps []physical.Step, prevCard float64) []physical.St
 	var out []physical.Step
 	card := math.Max(prevCard, 1)
 	for len(remaining) > 0 {
+		// Only the final operator of a streamable-limit plan gets the
+		// early-termination discount: upstream steps feed joins and run
+		// to completion regardless.
+		stepLimit := 0
+		if len(remaining) == 1 {
+			stepLimit = limit
+		}
 		bestIdx, bestCost := -1, math.Inf(1)
 		var bestEst cost.Estimate
 		for _, ri := range remaining {
 			st := physical.Step{Pat: pool[ri].pat, Sims: simsFor(pool[ri].pat, allSims, usedSims)}
-			strat := o.chooseStrategy(st, len(out) > 0)
-			est := o.estimate(strat, st, card, connected(pool[ri].pat, bound))
+			strat := o.chooseStrategy(st, len(out) > 0, stepLimit)
+			est := o.estimate(strat, st, card, connected(pool[ri].pat, bound)).ScaledToLimit(stepLimit)
 			// Prefer connected, cheap, selective steps.
 			c := est.Messages + est.Results*0.1
 			if !connected(pool[ri].pat, bound) && len(bound) > 0 {
@@ -170,7 +199,7 @@ func (o *Optimizer) order(steps []physical.Step, prevCard float64) []physical.St
 			}
 		}
 		st.Sims = takeSims(pat, allSims, usedSims, bound)
-		st.Strat = o.chooseStrategy(st, len(out) > 0)
+		st.Strat = o.chooseStrategy(st, len(out) > 0, stepLimit)
 		for _, v := range pat.Vars() {
 			bound[v] = true
 		}
@@ -346,8 +375,12 @@ func walkOperand(o vql.Operand, fn func(string)) {
 	}
 }
 
-// chooseStrategy selects the physical access path for a step.
-func (o *Optimizer) chooseStrategy(st physical.Step, hasBindings bool) physical.AccessStrategy {
+// chooseStrategy selects the physical access path for a step. With a
+// streamable limit in effect for this step, candidate costs are scaled
+// to what the early-terminating executor will actually pay — which
+// penalizes the q-gram path (its gram phase is pure startup) relative
+// to the shard-by-shard range scan.
+func (o *Optimizer) chooseStrategy(st physical.Step, hasBindings bool, limit int) physical.AccessStrategy {
 	if o.Opt.ForceStrategy != physical.StratAuto {
 		if applicable(o.Opt.ForceStrategy, st) {
 			return o.Opt.ForceStrategy
@@ -360,8 +393,8 @@ func (o *Optimizer) chooseStrategy(st physical.Step, hasBindings bool) physical.
 		sim := st.Sims[0]
 		attrCount := float64(o.Stats.AttrCount(attr))
 		frac := attrCount / math.Max(float64(o.Stats.TotalTriples), 1)
-		rangeCost := o.Stats.Range(frac, attrCount)
-		qgramCost := o.Stats.QGramSearch(len(sim.Target), 3, sim.MaxDist, 8)
+		rangeCost := o.Stats.Range(frac, attrCount).ScaledToLimit(limit)
+		qgramCost := o.Stats.QGramSearch(len(sim.Target), 3, sim.MaxDist, 8).ScaledToLimit(limit)
 		if qgramCost.Messages < rangeCost.Messages {
 			return physical.StratQGram
 		}

@@ -22,6 +22,7 @@ type OpResult struct {
 type Handle struct {
 	peer *Peer
 	op   *pendingOp
+	qid  uint64
 }
 
 // Done reports whether the operation completed.
@@ -78,6 +79,37 @@ func (h *Handle) Wait(timeout time.Duration) OpResult {
 		}
 	}
 	return h.Result()
+}
+
+// Cancel abandons the operation: the pending state is released
+// immediately, the completion callback never fires, and responses still
+// in flight are dropped on arrival. Canceling a completed (or already
+// canceled) operation is a no-op. This is how the query executor's
+// early termination turns "discard the answer" into "stop waiting for
+// it" — combined with not issuing queued probes, a top-k early-out
+// actually reduces network traffic instead of ignoring it.
+func (h *Handle) Cancel() {
+	p := h.peer
+	p.mu.Lock()
+	if h.op.done {
+		p.mu.Unlock()
+		return
+	}
+	h.op.done = true
+	h.op.complete = false
+	h.op.onDone = nil
+	delete(p.pending, h.qid)
+	close(h.op.fin)
+	p.mu.Unlock()
+}
+
+// PendingOps reports how many operations this peer originated that are
+// still awaiting responses — zero once every query against the peer has
+// completed or been canceled (leak detection in tests).
+func (p *Peer) PendingOps() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.pending)
 }
 
 // opDeadline bounds how long (in simulated time) an operation waits for
@@ -211,7 +243,7 @@ func (p *Peer) InsertTripleAcked(tr triple.Triple, version uint64, cb func(OpRes
 			QID: qid, Origin: p.id,
 		})
 	}
-	return &Handle{peer: p, op: op}
+	return &Handle{peer: p, op: op, qid: qid}
 }
 
 // InsertTuple decomposes a logical tuple and inserts all its triples.
@@ -240,7 +272,7 @@ func (p *Peer) DeleteTriple(oid, attr string, version uint64) {
 func (p *Peer) Lookup(kind triple.IndexKind, k keys.Key, cb func(OpResult)) *Handle {
 	qid, op := p.newOp(0, 1, cb)
 	p.route(k, lookupReq{QID: qid, Origin: p.id, Kind: uint8(kind), Key: k})
-	return &Handle{peer: p, op: op}
+	return &Handle{peer: p, op: op, qid: qid}
 }
 
 // RangeQuery asynchronously collects all entries of `kind` with keys in
@@ -251,7 +283,7 @@ func (p *Peer) RangeQuery(kind triple.IndexKind, r keys.Range, probe bool, cb fu
 		Level: 0, Share: TotalShare, Probe: probe}
 	// The origin participates in the shower like any other peer.
 	p.handleRange(msg)
-	return &Handle{peer: p, op: op}
+	return &Handle{peer: p, op: op, qid: qid}
 }
 
 // Broadcast asynchronously reaches every peer and collects all entries

@@ -1,6 +1,7 @@
 package physical
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -10,22 +11,23 @@ import (
 	"unistore/internal/pgrid"
 	"unistore/internal/qgram"
 	"unistore/internal/simnet"
-	"unistore/internal/store"
 	"unistore/internal/triple"
 	"unistore/internal/vql"
 )
 
 // Reoptimizer lets a plan host revise the remaining steps with its own
 // statistics before continuing — the paper's adaptive, repeatedly
-// applied optimization. A nil Reoptimizer keeps plans as compiled.
+// applied optimization. The tail travels with the plan so limit-aware
+// costing applies at every host. A nil Reoptimizer keeps plans as
+// compiled.
 type Reoptimizer interface {
-	Rechoose(steps []Step, bindingCount int, peer *pgrid.Peer) []Step
+	Rechoose(steps []Step, tail Tail, bindingCount int, peer *pgrid.Peer) []Step
 }
 
 // Engine attaches query processing to one peer: it owns the peer's app
 // handler, hosts migrated plans, and tracks queries this peer
 // originated. An Engine is safe for concurrent use: multiple
-// goroutines may Start/Run queries against it in the network's
+// goroutines may Start/Run/Open queries against it in the network's
 // concurrent mode.
 type Engine struct {
 	peer  *pgrid.Peer
@@ -35,17 +37,23 @@ type Engine struct {
 	seq     uint64
 	queries map[uint64]*Exec
 
-	// probeCap bounds how many distinct bound values a step resolves
-	// with parallel exact lookups before falling back to a range scan.
+	// probeCap bounds how many distinct bound values a range-strategy
+	// step resolves with streaming exact lookups before escalating to a
+	// range scan.
 	probeCap int
-	// parallelism bounds the in-flight probe/shard window per step:
-	// the fan-out pool issues at most this many overlay operations at
-	// once, topping the window up as completions arrive. 0 = issue
-	// everything at once (full fan-out); 1 = strictly sequential.
+	// parallelism bounds the per-query in-flight window: the pipeline
+	// issues at most this many overlay operations at once across all
+	// its stages, topping the window up as completions arrive. 0 =
+	// issue everything as soon as it is derivable (full fan-out);
+	// 1 = strictly sequential.
 	parallelism int
 	// rangeShards splits each range scan into this many key-space
 	// shards showered independently. 1 = a single shower (default).
 	rangeShards int
+	// materializeTail forces every tail into the blocking (collect
+	// everything, then sort/limit/project) discipline — the
+	// pre-streaming behaviour, kept as the benchmarks' baseline.
+	materializeTail bool
 }
 
 // planMsg carries a mutant plan to its next host.
@@ -93,9 +101,10 @@ func NewEngine(p *pgrid.Peer, reopt Reoptimizer) *Engine {
 // Peer returns the engine's peer.
 func (e *Engine) Peer() *pgrid.Peer { return e.peer }
 
-// SetParallelism bounds the per-step fan-out window: at most n overlay
-// probes (or range shards) in flight at once. n == 0 restores the
-// unbounded full fan-out; n == 1 degrades to the strictly sequential
+// SetParallelism bounds the per-query fan-out window: at most n
+// overlay operations (probes, range shards, gram queries) in flight at
+// once across the whole pipeline. n == 0 restores the unbounded full
+// fan-out; n == 1 degrades to the strictly sequential
 // probe-wait-probe path (the baseline the benchmarks compare against).
 func (e *Engine) SetParallelism(n int) {
 	e.mu.Lock()
@@ -107,7 +116,9 @@ func (e *Engine) SetParallelism(n int) {
 }
 
 // SetRangeShards makes every range scan fan out as n key-space shards
-// showered independently (n <= 1 disables sharding).
+// showered independently (n <= 1 disables sharding). Sharding is also
+// what gives top-k queries something to skip: an early-out cancels the
+// shards not yet issued.
 func (e *Engine) SetRangeShards(n int) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -115,6 +126,22 @@ func (e *Engine) SetRangeShards(n int) {
 		n = 1
 	}
 	e.rangeShards = n
+}
+
+// SetMaterializeTail disables LIMIT/top-k early termination: every
+// operator runs to completion and the tail applies once, as the
+// materializing executor did. The before/after benchmarks use this as
+// their baseline; production paths leave it off.
+func (e *Engine) SetMaterializeTail(on bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.materializeTail = on
+}
+
+func (e *Engine) materialized() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.materializeTail
 }
 
 func (e *Engine) window() int {
@@ -135,16 +162,19 @@ func (e *Engine) handleApp(_ *pgrid.Peer, payload any, from simnet.NodeID, hops 
 		// Host a migrated plan: re-optimize the remainder, continue.
 		steps := m.Steps
 		if e.reopt != nil {
-			steps = e.reopt.Rechoose(steps, len(m.Bindings), e.peer)
+			steps = e.reopt.Rechoose(steps, m.Tail, len(m.Bindings), e.peer)
 		}
 		ex := &Exec{
 			eng: e, steps: steps, tail: m.Tail,
-			bindings: m.Bindings, origin: m.Origin, rootQID: m.RootQID,
+			seeded: true, seedRows: m.Bindings,
+			origin: m.Origin, rootQID: m.RootQID,
+			ctx:     context.Background(),
 			started: e.peer.Net().Now(),
-			seeded:  true,
 			doneCh:  make(chan struct{}),
 		}
-		ex.run()
+		ex.pmu.Lock()
+		ex.startPipeline()
+		ex.pmu.Unlock()
 	case resultMsg:
 		e.mu.Lock()
 		ex, ok := e.queries[m.RootQID]
@@ -158,33 +188,42 @@ func (e *Engine) handleApp(_ *pgrid.Peer, payload any, from simnet.NodeID, hops 
 
 // Exec drives one query (or the hosted remainder of one) at one peer.
 //
-// The step machinery (bindings, stepIdx) forms a single logical thread
-// of control: it runs on the starting goroutine until the first
-// overlay operation is issued, then hops to the origin peer's response
-// path (the network worker goroutine in concurrent mode). Fields read
-// by other goroutines (done, result, counters) are guarded by mu; the
-// completion channel orders the final result for waiters.
+// Execution is a streaming pipeline: one stage per plan step, results
+// flowing between stages as soon as overlay responses arrive, all
+// overlay operations scheduled through a single bounded in-flight
+// window, and the tail sink stopping the whole pipeline the moment a
+// LIMIT or top-k bound proves no further traffic can change the
+// result. Pipeline state is guarded by pmu and mutated only through
+// the window's completion path; externally visible state (done,
+// result, counters) is guarded by mu, with the completion channel
+// ordering the final result for waiters.
 type Exec struct {
 	eng      *Engine
 	steps    []Step
 	tail     Tail
-	bindings []algebra.Binding
-	stepIdx  int
-	// origin/rootQID route the final result back when this Exec hosts a
-	// migrated plan; origin == peer id means this is the root.
-	origin  simnet.NodeID
-	rootQID uint64
-	// seeded marks a hosted plan that arrived with intermediate
-	// bindings: its first step joins instead of seeding.
-	seeded bool
+	origin   simnet.NodeID
+	rootQID  uint64
+	seeded   bool
+	seedRows []algebra.Binding
+	ctx      context.Context
+
+	// Pipeline state (guarded by pmu).
+	pmu      sync.Mutex
+	win      *opWindow
+	stages   []*stage
+	sink     *tailSink
+	stopped  bool
+	migrated bool
 
 	mu       sync.Mutex
 	started  time.Duration
 	finished time.Duration
+	first    time.Duration
 	done     bool
 	result   []algebra.Binding
 	onDone   func(*Exec)
 	doneCh   chan struct{}
+	cursor   *Cursor
 
 	// Stats (guarded by mu while running; stable once Done).
 	opsIssued int
@@ -196,11 +235,44 @@ type Exec struct {
 // completion; Wait drives the network (deterministic mode) or blocks
 // until the responses land (concurrent mode).
 func (e *Engine) Start(p *Plan, onDone func(*Exec)) *Exec {
+	return e.StartCtx(context.Background(), p, onDone)
+}
+
+// StartCtx is Start with a cancellation context: canceling ctx stops
+// the pipeline, cancels the query's pending overlay operations and
+// completes the Exec with whatever rows had been produced.
+func (e *Engine) StartCtx(ctx context.Context, p *Plan, onDone func(*Exec)) *Exec {
+	ex := e.newExec(ctx, p, onDone)
+	ex.pmu.Lock()
+	ex.startPipeline()
+	ex.pmu.Unlock()
+	return ex
+}
+
+// Open starts a plan and returns a pull cursor over its result
+// stream — the Volcano-style Open half of the Open/Next/Close
+// contract; the cursor's Next and Close complete it. Rows become
+// available as the pipeline emits them, before the query finishes.
+func (e *Engine) Open(ctx context.Context, p *Plan) *Cursor {
+	ex := e.newExec(ctx, p, nil)
+	cur := newCursor(ex)
+	ex.cursor = cur
+	ex.pmu.Lock()
+	ex.startPipeline()
+	ex.pmu.Unlock()
+	return cur
+}
+
+func (e *Engine) newExec(ctx context.Context, p *Plan, onDone func(*Exec)) *Exec {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	ex := &Exec{
 		eng:    e,
 		steps:  p.Steps,
 		tail:   p.Tail,
 		origin: e.peer.ID(),
+		ctx:    ctx,
 		onDone: onDone,
 		doneCh: make(chan struct{}),
 	}
@@ -210,7 +282,6 @@ func (e *Engine) Start(p *Plan, onDone func(*Exec)) *Exec {
 	e.queries[ex.rootQID] = ex
 	e.mu.Unlock()
 	ex.started = e.peer.Net().Now()
-	ex.run()
 	return ex
 }
 
@@ -228,7 +299,13 @@ func (e *Engine) Run(q *vql.Query) ([]algebra.Binding, *Exec, error) {
 
 // RunPlan executes an already-compiled plan synchronously.
 func (e *Engine) RunPlan(p *Plan) ([]algebra.Binding, *Exec) {
-	ex := e.Start(p, nil)
+	return e.RunPlanCtx(context.Background(), p)
+}
+
+// RunPlanCtx executes a compiled plan synchronously under a
+// cancellation context.
+func (e *Engine) RunPlanCtx(ctx context.Context, p *Plan) ([]algebra.Binding, *Exec) {
+	ex := e.StartCtx(ctx, p, nil)
 	ex.Wait()
 	return ex.Result(), ex
 }
@@ -241,18 +318,26 @@ const waitTimeout = 5 * time.Minute
 
 // Wait blocks until the query completes. In deterministic mode it
 // pumps the network; in concurrent mode it waits on the completion
-// signal (the network's own goroutines deliver the responses).
+// signal (the network's own goroutines deliver the responses). A
+// canceled context terminates the query early with partial results.
 func (ex *Exec) Wait() {
 	net := ex.eng.peer.Net()
 	if net.Concurrent() {
 		select {
 		case <-ex.doneCh:
+		case <-ex.ctx.Done():
+			ex.Cancel()
+			<-ex.doneCh
 		case <-time.After(net.WallTimeout(waitTimeout)):
 		}
 		return
 	}
 	deadline := net.Now() + waitTimeout
 	for !ex.Done() && net.Pending() > 0 && net.Now() < deadline {
+		if ex.ctx.Err() != nil {
+			ex.Cancel()
+			return
+		}
 		net.Step()
 	}
 }
@@ -278,6 +363,19 @@ func (ex *Exec) Elapsed() time.Duration {
 	return ex.finished - ex.started
 }
 
+// TimeToFirst returns the simulated time until the first result row
+// was available: for streaming tails the instant the first row left
+// the pipeline, for blocking tails (skyline, full sorts) the
+// completion instant.
+func (ex *Exec) TimeToFirst() time.Duration {
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	if ex.first > 0 {
+		return ex.first - ex.started
+	}
+	return ex.finished - ex.started
+}
+
 // OpsIssued returns the number of overlay operations the query issued.
 func (ex *Exec) OpsIssued() int {
 	ex.mu.Lock()
@@ -292,8 +390,23 @@ func (ex *Exec) MaxHops() int {
 	return ex.maxHops
 }
 
-// Bindings returns the current intermediate bindings (diagnostics).
-func (ex *Exec) Bindings() []algebra.Binding { return ex.bindings }
+// Bindings returns the rows the tail sink has accumulated so far
+// (diagnostics; the final result once Done). The completed path reads
+// only the result, so completion callbacks may call it safely.
+func (ex *Exec) Bindings() []algebra.Binding {
+	ex.mu.Lock()
+	if ex.done {
+		defer ex.mu.Unlock()
+		return ex.result
+	}
+	ex.mu.Unlock()
+	ex.pmu.Lock()
+	defer ex.pmu.Unlock()
+	if ex.sink == nil {
+		return nil
+	}
+	return ex.sink.rows
+}
 
 func (ex *Exec) noteOp() {
 	ex.mu.Lock()
@@ -309,34 +422,83 @@ func (ex *Exec) noteHops(h int) {
 	ex.mu.Unlock()
 }
 
-func (ex *Exec) run() {
-	if ex.stepIdx >= len(ex.steps) {
-		ex.complete()
-		return
+func (ex *Exec) noteFirstResult() {
+	now := ex.eng.peer.Net().Now()
+	ex.mu.Lock()
+	if ex.first == 0 {
+		ex.first = now
 	}
-	st := ex.steps[ex.stepIdx]
-	if st.Ship && ex.stepIdx > 0 {
-		if target, ok := shipTarget(st); ok && !ex.eng.peer.Responsible(target) {
-			ex.migrate(target)
-			return
-		}
-	}
-	ex.runStep(st)
+	ex.mu.Unlock()
 }
 
-// migrate sends the remaining plan to the peer owning target.
-func (ex *Exec) migrate(target keys.Key) {
+// --- Pipeline lifecycle -------------------------------------------------------
+
+// startPipeline builds and opens the stage pipeline. Callers hold pmu.
+func (ex *Exec) startPipeline() {
+	ex.win = newOpWindow(ex, ex.eng.window())
+	ex.sink = newTailSink(ex)
+	if ex.ctx.Err() != nil {
+		// Canceled before the first operation: keep the promise that
+		// nothing is sent on behalf of a dead query.
+		ex.stopped = true
+		ex.finishPipeline(nil)
+		return
+	}
+	if len(ex.steps) == 0 {
+		ex.finishPipeline(ex.seedRows)
+		return
+	}
+	for i, st := range ex.steps {
+		ex.stages = append(ex.stages, newStage(ex, i, st))
+	}
+	if ex.sink.mode == sinkRank {
+		last := ex.stages[len(ex.stages)-1]
+		last.rank = true
+		last.rankDesc = ex.tail.OrderBy[0].Desc
+	}
+	for _, s := range ex.stages {
+		s.classify()
+	}
+	ex.openFrom(0)
+	s0 := ex.stages[0]
+	if s0.hasUp && len(ex.seedRows) > 0 {
+		s0.addLeft(ex.seedRows)
+	}
+	s0.upstreamEOS()
+}
+
+// openFrom opens stages i.. in order, halting before a barrier stage
+// whose upstream is still flowing (it opens itself at upstream EOS —
+// or migrates instead).
+func (ex *Exec) openFrom(i int) {
+	for j := i; j < len(ex.stages); j++ {
+		s := ex.stages[j]
+		if s.barrier() && !s.upDone {
+			return
+		}
+		s.open()
+	}
+}
+
+// migrateFrom sends the remaining plan (steps idx..) with the
+// materialized upstream rows to the peer owning the next region.
+// Callers hold pmu.
+func (ex *Exec) migrateFrom(idx int) {
+	s := ex.stages[idx]
+	target, _ := shipTarget(s.st)
+	// Shipping must not loop: the receiving host starts at step 0 with
+	// Ship cleared on the first step.
+	steps := append([]Step(nil), ex.steps[idx:]...)
+	steps[0].Ship = false
 	m := planMsg{
-		Steps:    ex.steps[ex.stepIdx:],
+		Steps:    steps,
 		Tail:     ex.tail,
-		Bindings: ex.bindings,
+		Bindings: s.join.LeftRows(),
 		Origin:   ex.origin,
 		RootQID:  ex.rootQID,
 	}
-	// Shipping must not loop: the receiving host starts at step 0 with
-	// Ship cleared on the first step.
-	m.Steps = append([]Step(nil), m.Steps...)
-	m.Steps[0].Ship = false
+	ex.migrated = true
+	ex.win.close()
 	ex.eng.peer.SendApp(target, m)
 	// This Exec's role ends here; the result flows to ex.origin.
 	if ex.origin == ex.eng.peer.ID() {
@@ -344,6 +506,53 @@ func (ex *Exec) migrate(target keys.Key) {
 		return
 	}
 	ex.markDone()
+}
+
+// earlyOut stops the pipeline once the sink has proven the result
+// cannot improve: queued operations are dropped, in-flight ones
+// canceled, and the query completes with the rows at hand. Callers
+// hold pmu.
+func (ex *Exec) earlyOut() {
+	if ex.stopped {
+		return
+	}
+	ex.stopped = true
+	ex.win.close()
+	ex.finishPipeline(ex.sink.rows)
+}
+
+// finishPipeline normalizes the accumulated rows through the tail and
+// completes the query. Callers hold pmu.
+func (ex *Exec) finishPipeline(rows []algebra.Binding) {
+	ex.win.close()
+	ex.finishWith(ex.tail.Apply(rows))
+}
+
+// Cancel terminates the query early: the pipeline stops, queued
+// operations are dropped, pending overlay operations are canceled at
+// the peer, and the Exec completes with the rows produced so far.
+// Canceling a completed query is a no-op.
+func (ex *Exec) Cancel() {
+	ex.pmu.Lock()
+	defer ex.pmu.Unlock()
+	if ex.Done() {
+		return
+	}
+	if ex.migrated {
+		// The plan is executing elsewhere; release the local waiter.
+		ex.finishWith(nil)
+		return
+	}
+	if ex.stopped {
+		return
+	}
+	ex.stopped = true
+	ex.win.close()
+	var rows []algebra.Binding
+	if ex.sink != nil {
+		rows = ex.sink.rows
+	}
+	ex.finishPipeline(rows)
 }
 
 // shipTarget picks the region key the step's data lives at.
@@ -368,10 +577,6 @@ func shipTarget(st Step) (keys.Key, bool) {
 		}
 	}
 	return keys.Key{}, false
-}
-
-func (ex *Exec) complete() {
-	ex.finishWith(ex.tail.Apply(ex.bindings))
 }
 
 // markDone flips the done flag and closes the completion channel once.
@@ -404,248 +609,22 @@ func (ex *Exec) finishWith(bs []algebra.Binding) {
 	ex.done = true
 	close(ex.doneCh)
 	onDone := ex.onDone
+	cur := ex.cursor
 	ex.mu.Unlock()
 	ex.eng.mu.Lock()
 	delete(ex.eng.queries, ex.rootQID)
 	ex.eng.mu.Unlock()
+	if cur != nil {
+		cur.finish(bs)
+	}
 	if onDone != nil {
 		onDone(ex)
 	}
 }
 
-// --- Step execution ---------------------------------------------------------
-
-// runStep resolves the pattern with the chosen physical operator and
-// joins the results into the binding set.
-func (ex *Exec) runStep(st Step) {
-	pat := st.Pat
-	// Runtime grounding: variables bound by earlier steps turn range
-	// strategies into (multi-)lookups — the DHT index join.
-	boundVals := ex.boundValues(pat)
-	switch st.Strat {
-	case StratOIDLookup:
-		ex.multiLookup(st, triple.ByOID, ex.oidProbes(pat, boundVals))
-	case StratAVLookup:
-		ex.multiLookup(st, triple.ByAV, ex.avProbes(pat, boundVals))
-	case StratValLookup:
-		ex.multiLookup(st, triple.ByVal, ex.valProbes(pat, boundVals))
-	case StratAVRange:
-		if vals, ok := boundVals[varName(pat.V)]; ok && len(vals) <= ex.eng.probeCap {
-			// Bound value variable: probe per value instead of scanning.
-			ks := make([]keys.Key, 0, len(vals))
-			for _, v := range vals {
-				ks = append(ks, triple.AVKey(pat.A.Val.Str, v))
-			}
-			ex.multiLookup(st, triple.ByAV, ks)
-			return
-		}
-		if st.ValuePrefix != "" {
-			// Pushed-down startswith: the order-preserving hash makes
-			// the matching values a contiguous key interval.
-			ex.rangeScan(st, triple.ByAV, triple.AVStringPrefixRange(pat.A.Val.Str, st.ValuePrefix))
-			return
-		}
-		ex.rangeScan(st, triple.ByAV, triple.AVPrefixRange(pat.A.Val.Str))
-	case StratBroadcast:
-		ex.rangeScan(st, triple.ByOID, keys.Range{})
-	case StratQGram:
-		ex.qgramStep(st)
-	default:
-		// Unknown strategy: degrade to broadcast, never wrong.
-		ex.rangeScan(st, triple.ByOID, keys.Range{})
-	}
-}
-
-func varName(t vql.Term) string {
-	if t.IsVar() {
-		return t.Var
-	}
-	return ""
-}
-
-// boundValues collects, per pattern variable, the distinct values bound
-// by the accumulated bindings.
-func (ex *Exec) boundValues(pat vql.Pattern) map[string][]triple.Value {
-	out := map[string][]triple.Value{}
-	if (ex.stepIdx == 0 && !ex.seeded) || len(ex.bindings) == 0 {
-		return out
-	}
-	for _, term := range []vql.Term{pat.S, pat.A, pat.V} {
-		if !term.IsVar() {
-			continue
-		}
-		seen := map[string]bool{}
-		var vals []triple.Value
-		bound := false
-		for _, b := range ex.bindings {
-			v, ok := b[term.Var]
-			if !ok {
-				continue
-			}
-			bound = true
-			k := v.Lexical()
-			if !seen[k] {
-				seen[k] = true
-				vals = append(vals, v)
-			}
-		}
-		if bound {
-			out[term.Var] = vals
-		}
-	}
-	return out
-}
-
-func (ex *Exec) oidProbes(pat vql.Pattern, bound map[string][]triple.Value) []keys.Key {
-	if !pat.S.IsVar() {
-		return []keys.Key{triple.OIDKey(pat.S.Val.Str)}
-	}
-	var ks []keys.Key
-	for _, v := range bound[pat.S.Var] {
-		ks = append(ks, triple.OIDKey(v.Str))
-	}
-	return ks
-}
-
-func (ex *Exec) avProbes(pat vql.Pattern, bound map[string][]triple.Value) []keys.Key {
-	attr := pat.A.Val.Str
-	if !pat.V.IsVar() {
-		return []keys.Key{triple.AVKey(attr, pat.V.Val)}
-	}
-	var ks []keys.Key
-	for _, v := range bound[pat.V.Var] {
-		ks = append(ks, triple.AVKey(attr, v))
-	}
-	return ks
-}
-
-func (ex *Exec) valProbes(pat vql.Pattern, bound map[string][]triple.Value) []keys.Key {
-	if !pat.V.IsVar() {
-		return []keys.Key{triple.ValKey(pat.V.Val)}
-	}
-	var ks []keys.Key
-	for _, v := range bound[pat.V.Var] {
-		ks = append(ks, triple.ValKey(v))
-	}
-	return ks
-}
-
-// fanout drives one step's overlay operations through a bounded
-// in-flight window: up to `window` probes (or range shards) run at
-// once, and each completion tops the window up until every slot has
-// resolved. Results land in per-slot order so the merged entry list —
-// and therefore the joined bindings — is deterministic regardless of
-// response arrival order. A window of 1 is the sequential baseline;
-// 0 issues everything at once.
-type fanout struct {
-	ex     *Exec
-	issue  func(slot int, complete func(pgrid.OpResult))
-	finish func(results [][]store.Entry)
-	nSlots int
-
-	mu      sync.Mutex
-	results [][]store.Entry
-	next    int // next slot to issue
-	done    int // slots completed
-}
-
-// runFanout executes nSlots operations with the engine's window and
-// calls finish with the per-slot results once all have resolved.
-func (ex *Exec) runFanout(nSlots int, issue func(slot int, complete func(pgrid.OpResult)), finish func(results [][]store.Entry)) {
-	f := &fanout{ex: ex, issue: issue, finish: finish, nSlots: nSlots,
-		results: make([][]store.Entry, nSlots)}
-	w := ex.eng.window()
-	if w <= 0 || w > nSlots {
-		w = nSlots
-	}
-	f.next = w
-	for slot := 0; slot < w; slot++ {
-		f.start(slot)
-	}
-}
-
-// runFanoutJoin is runFanout with the common completion: flatten the
-// per-slot results in slot order and join them into the binding set.
-func (ex *Exec) runFanoutJoin(st Step, nSlots int, issue func(slot int, complete func(pgrid.OpResult))) {
-	ex.runFanout(nSlots, issue, func(results [][]store.Entry) {
-		var merged []store.Entry
-		for _, r := range results {
-			merged = append(merged, r...)
-		}
-		ex.advance(st, merged)
-	})
-}
-
-func (f *fanout) start(slot int) {
-	f.ex.noteOp()
-	f.issue(slot, func(res pgrid.OpResult) { f.complete(slot, res) })
-}
-
-func (f *fanout) complete(slot int, res pgrid.OpResult) {
-	f.ex.noteHops(res.Hops)
-	f.mu.Lock()
-	f.results[slot] = res.Entries
-	f.done++
-	nxt := -1
-	if f.next < f.nSlots {
-		nxt = f.next
-		f.next++
-	}
-	finished := f.done == f.nSlots
-	f.mu.Unlock()
-	if nxt >= 0 {
-		f.start(nxt)
-	}
-	if finished {
-		f.finish(f.results)
-	}
-}
-
-// multiLookup fans the probe keys out over the engine's window and
-// joins the union of results.
-func (ex *Exec) multiLookup(st Step, kind triple.IndexKind, ks []keys.Key) {
-	if len(ks) == 0 {
-		// No probes derivable (e.g., join variable bound nothing):
-		// empty result.
-		ex.advance(st, nil)
-		return
-	}
-	ex.runFanoutJoin(st, len(ks), func(slot int, complete func(pgrid.OpResult)) {
-		ex.eng.peer.Lookup(kind, ks[slot], complete)
-	})
-}
-
-// rangeScan showers over a key range — split into the engine's shard
-// count and showered independently when sharding is enabled — and
-// joins the results.
-func (ex *Exec) rangeScan(st Step, kind triple.IndexKind, r keys.Range) {
-	shards := []keys.Range{r}
-	if n := ex.eng.shards(); n > 1 {
-		shards = keys.SplitRange(r, n)
-	}
-	ex.runFanoutJoin(st, len(shards), func(slot int, complete func(pgrid.OpResult)) {
-		ex.eng.peer.RangeQuery(kind, shards[slot], false, complete)
-	})
-}
-
-// advance joins fetched entries into the binding set, applies the
-// step's filters and similarity predicates, and proceeds.
-func (ex *Exec) advance(st Step, entries []store.Entry) {
-	patBindings := entriesToBindings(st.Pat, entries)
-	var joined []algebra.Binding
-	if ex.stepIdx == 0 && !ex.seeded {
-		joined = patBindings
-	} else {
-		joined = algebra.HashJoin(ex.bindings, patBindings, st.JoinOn)
-	}
-	joined = applyStepPredicates(st, joined)
-	ex.bindings = joined
-	ex.stepIdx++
-	ex.run()
-}
-
 // applyStepPredicates evaluates the step's filters and similarity
-// predicates over a binding set.
+// predicates over a binding set (in place; the input must be freshly
+// allocated by the caller).
 func applyStepPredicates(st Step, bs []algebra.Binding) []algebra.Binding {
 	if len(st.Filters) == 0 && len(st.Sims) == 0 {
 		return bs
@@ -675,26 +654,16 @@ func applyStepPredicates(st Step, bs []algebra.Binding) []algebra.Binding {
 	return out
 }
 
-// entriesToBindings unifies fetched entries with the pattern,
-// deduplicating replica copies of the same fact.
-func entriesToBindings(pat vql.Pattern, entries []store.Entry) []algebra.Binding {
-	seen := map[string]bool{}
-	var out []algebra.Binding
-	for _, e := range entries {
-		fact := e.Triple.OID + "\x00" + e.Triple.Attr + "\x00" + e.Triple.Val.Lexical()
-		if seen[fact] {
-			continue
-		}
-		seen[fact] = true
-		if b, ok := algebra.MatchPattern(pat, e.Triple); ok {
-			out = append(out, b)
-		}
-	}
-	return out
-}
-
 // String renders execution state.
 func (ex *Exec) String() string {
-	return fmt.Sprintf("exec{step=%d/%d bindings=%d done=%v}",
-		ex.stepIdx, len(ex.steps), len(ex.bindings), ex.Done())
+	ex.pmu.Lock()
+	stages := len(ex.stages)
+	var eos int
+	for _, s := range ex.stages {
+		if s.eosDown {
+			eos++
+		}
+	}
+	ex.pmu.Unlock()
+	return fmt.Sprintf("exec{stages=%d/%d done=%v}", eos, stages, ex.Done())
 }

@@ -6,6 +6,19 @@
 // migrate themselves — remaining steps plus intermediate bindings — to
 // the peer hosting the next region ("ship"), re-optimizing at every
 // host.
+//
+// Execution is a streaming operator pipeline, not
+// materialize-then-advance: each plan step runs as a stage whose
+// overlay responses flow into an incremental symmetric hash join the
+// moment they arrive, stages overlap (a later stage's independent scan
+// opens while earlier stages still stream), every operation of a query
+// shares one bounded in-flight window, and the tail sink terminates
+// the pipeline early when a LIMIT or ranked top-k bound proves no
+// further response can change the result — canceling pending overlay
+// operations and never issuing the queued ones. Blocking tails
+// (skyline, multi-key orderings) still materialize before the tail
+// applies; everything else streams, and Engine.Open exposes the
+// pipeline as a pull cursor (Open/Next/Close).
 package physical
 
 import (
@@ -114,8 +127,12 @@ func (st Step) String() string {
 	return sb.String()
 }
 
-// Tail is the post-join pipeline executed once all patterns resolved:
-// skyline, ordering, limit, projection.
+// Tail is the post-join pipeline: skyline, ordering, limit,
+// projection. The streaming executor consumes it incrementally where
+// it can — unordered limits stop the pipeline at the k-th row, and a
+// single-key ordering over the final scan's value variable streams in
+// ranking order with a threshold stop — while Apply remains the
+// blocking (and normalizing) formulation.
 type Tail struct {
 	Skyline []vql.SkylineKey
 	OrderBy []vql.OrderKey

@@ -44,45 +44,104 @@ func InsertGrams(p *pgrid.Peer, tr triple.Triple, version uint64) int {
 	return len(grams)
 }
 
-// qgramStep resolves a pattern (?s, attr, ?v) under a similarity
-// predicate on ?v using the distributed q-gram index.
-func (ex *Exec) qgramStep(st Step) {
-	pat := st.Pat
-	sim, ok := simFor(st)
+// classifyQGram configures a stage resolving a pattern (?s, attr, ?v)
+// under a similarity predicate on ?v via the distributed q-gram index:
+// phase one showers one gram-posting range query per gram of the
+// target (all must complete before the count filter can prune), phase
+// two streams one A#v verification probe per surviving candidate.
+func (s *stage) classifyQGram() {
+	pat := s.st.Pat
+	sim, ok := simFor(s.st)
 	if !ok || pat.A.IsVar() {
 		// No usable predicate: degrade to the attribute range scan.
-		ex.rangeScan(st, triple.ByAV, triple.AVPrefixRange(pat.A.Val.Str))
+		s.mode = modeScan
+		s.scanKind = triple.ByAV
+		s.scanRange = triple.AVPrefixRange(pat.A.Val.Str)
 		return
 	}
-	attr := pat.A.Val.Str
 	grams := qgram.GramSet(sim.Target, qgram.Q)
 	if len(grams) == 0 {
-		ex.advance(st, nil)
+		s.mode = modeEmpty
 		return
 	}
-	gramList := make([]string, 0, len(grams))
+	s.mode = modeQGram
+	s.sim = sim
+	s.gramList = make([]string, 0, len(grams))
 	for g := range grams {
-		gramList = append(gramList, g)
+		s.gramList = append(s.gramList, g)
 	}
-	sort.Strings(gramList)
-	ex.runFanout(len(gramList), func(slot int, complete func(pgrid.OpResult)) {
-		ex.eng.peer.RangeQuery(triple.ByVal, triple.GramRange(attr, gramList[slot]), false, complete)
-	}, func(results [][]store.Entry) {
-		// Count, per candidate value, how many of the target's grams it
-		// shares (each slot contributes each value at most once).
-		counts := make(map[string]int)
-		for _, entries := range results {
-			seen := map[string]bool{}
-			for _, e := range entries {
-				val := e.Triple.Val.Str
-				if !seen[val] {
-					seen[val] = true
-					counts[val]++
-				}
+	sort.Strings(s.gramList)
+	// The predicate is verified exactly during phase two; drop it from
+	// the predicates emit re-checks (it would pass anyway).
+	s.predStep.Sims = dropSim(s.st.Sims, pat.V.Var)
+}
+
+// openQGram issues the gram-posting range queries.
+func (s *stage) openQGram() {
+	attr := s.st.Pat.A.Val.Str
+	s.gramResults = make([][]store.Entry, len(s.gramList))
+	s.gramsLeft = len(s.gramList)
+	for i, g := range s.gramList {
+		slot, gram := i, g
+		s.submitOp(func(cb func(pgrid.OpResult)) *pgrid.Handle {
+			return s.ex.eng.peer.RangeQuery(triple.ByVal, triple.GramRange(attr, gram), false, cb)
+		}, func(res pgrid.OpResult) { s.onGram(slot, res.Entries) })
+	}
+}
+
+// onGram collects one gram's postings; the last one triggers the
+// count-filter + verification phase.
+func (s *stage) onGram(slot int, entries []store.Entry) {
+	s.gramResults[slot] = entries
+	s.gramsLeft--
+	if s.gramsLeft > 0 {
+		return
+	}
+	// Count, per candidate value, how many of the target's grams it
+	// shares (each slot contributes each value at most once).
+	counts := make(map[string]int)
+	for _, entries := range s.gramResults {
+		seen := map[string]bool{}
+		for _, e := range entries {
+			val := e.Triple.Val.Str
+			if !seen[val] {
+				seen[val] = true
+				counts[val]++
 			}
 		}
-		ex.qgramVerify(st, sim, attr, counts)
-	})
+	}
+	s.gramResults = nil
+	s.qgramVerify(counts)
+}
+
+// qgramVerify count-filters the candidates, verifies exactly, then
+// streams A#v probes for the surviving values.
+func (s *stage) qgramVerify(counts map[string]int) {
+	sim := s.sim
+	var candidates []string
+	for val, shared := range counts {
+		thr := qgram.CountFilterThreshold(len(sim.Target), len(val), qgram.Q, sim.MaxDist)
+		if thr > 0 && shared < thr {
+			// The distinct-gram count underestimates the true shared
+			// multiplicity only when grams repeat; re-check exactly
+			// before pruning (soundness over speed).
+			if qgram.SharedGrams(sim.Target, val, qgram.Q) < thr {
+				continue
+			}
+		}
+		if qgram.WithinDistance(sim.Target, val, sim.MaxDist) {
+			candidates = append(candidates, val)
+		}
+	}
+	sort.Strings(candidates)
+	s.verified = true
+	attr := s.st.Pat.A.Val.Str
+	for _, val := range candidates {
+		k := triple.AVKey(attr, triple.S(val))
+		s.submitOp(func(cb func(pgrid.OpResult)) *pgrid.Handle {
+			return s.ex.eng.peer.Lookup(triple.ByAV, k, cb)
+		}, func(res pgrid.OpResult) { s.onEntries(res.Entries) })
+	}
 }
 
 // simFor extracts the similarity predicate applicable to the step's
@@ -100,37 +159,6 @@ func simFor(st Step) (SimSpec, bool) {
 	return SimSpec{}, false
 }
 
-// qgramVerify count-filters the candidates, verifies exactly, then
-// probes the A#v index for the surviving values.
-func (ex *Exec) qgramVerify(st Step, sim SimSpec, attr string, counts map[string]int) {
-	var candidates []string
-	for val, shared := range counts {
-		thr := qgram.CountFilterThreshold(len(sim.Target), len(val), qgram.Q, sim.MaxDist)
-		if thr > 0 && shared < thr {
-			// The distinct-gram count underestimates the true shared
-			// multiplicity only when grams repeat; re-check exactly
-			// before pruning (soundness over speed).
-			if qgram.SharedGrams(sim.Target, val, qgram.Q) < thr {
-				continue
-			}
-		}
-		if qgram.WithinDistance(sim.Target, val, sim.MaxDist) {
-			candidates = append(candidates, val)
-		}
-	}
-	sort.Strings(candidates)
-	if len(candidates) == 0 {
-		ex.advance(st, nil)
-		return
-	}
-	// Resolve matching values to full bindings via the A#v index. The
-	// similarity predicate is already verified; drop it so advance()
-	// does not re-check (it would pass anyway).
-	probe := st
-	probe.Sims = dropSim(st.Sims, probe.Pat.V.Var)
-	ex.multiLookupValues(probe, attr, candidates)
-}
-
 // dropSim removes the (verified) similarity predicate on var v.
 func dropSim(sims []SimSpec, v string) []SimSpec {
 	out := make([]SimSpec, 0, len(sims))
@@ -140,12 +168,4 @@ func dropSim(sims []SimSpec, v string) []SimSpec {
 		}
 	}
 	return out
-}
-
-// multiLookupValues probes A#v keys for each candidate value through
-// the bounded fan-out window.
-func (ex *Exec) multiLookupValues(st Step, attr string, values []string) {
-	ex.runFanoutJoin(st, len(values), func(slot int, complete func(pgrid.OpResult)) {
-		ex.eng.peer.Lookup(triple.ByAV, triple.AVKey(attr, triple.S(values[slot])), complete)
-	})
 }

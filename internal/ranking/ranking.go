@@ -7,7 +7,6 @@
 package ranking
 
 import (
-	"container/heap"
 	"sort"
 )
 
@@ -126,44 +125,123 @@ func SkylineMerge(a, b [][]float64, dirs []Direction) []int {
 
 // TopN returns the indexes of the n best points under the scoring
 // function (lower score = better), in ascending score order. It runs in
-// O(len(points) · log n) with a bounded max-heap, never materializing a
-// full sort — the advantage the top-N operator has over ORDER BY+LIMIT.
+// O(len(points) · log n) with a bounded heap (ThresholdTopK), never
+// materializing a full sort — the advantage the top-N operator has
+// over ORDER BY+LIMIT.
 func TopN(n int, count int, score func(i int) float64) []int {
 	if n <= 0 || count <= 0 {
 		return nil
 	}
-	h := &maxHeap{score: score}
+	tk := NewThresholdTopK(n, func(a, b int) bool { return score(a) < score(b) })
 	for i := 0; i < count; i++ {
-		if h.Len() < n {
-			heap.Push(h, i)
-			continue
-		}
-		if score(i) < score(h.items[0]) {
-			h.items[0] = i
-			heap.Fix(h, 0)
-		}
+		tk.Offer(i)
 	}
-	out := make([]int, h.Len())
-	for i := len(out) - 1; i >= 0; i-- {
-		out[i] = heap.Pop(h).(int)
+	return tk.Ranked()
+}
+
+// --- Streaming top-k with threshold early-out --------------------------------
+
+// ThresholdTopK accumulates the k best rows of a stream under an
+// arbitrary strict ordering ("less" means strictly better) and answers
+// the threshold question of streaming top-k: once k rows are held and
+// the producer can guarantee that every future row is at least as bad
+// as some frontier value, no future row can displace the current
+// worst, so the consumer may stop the producer early. This is the
+// termination rule the streaming executor applies to LIMIT/TOP queries
+// whose final access path emits rows in ranking order (the
+// order-preserving hash makes range-scan shards arrive sorted).
+//
+// Ties are resolved first-come: a row equal to the current worst does
+// not displace it, which reproduces the stable sort-then-truncate
+// semantics of the materializing tail.
+type ThresholdTopK[T any] struct {
+	k    int
+	less func(a, b T) bool
+	// heap of the current best k with the WORST at index 0.
+	items []T
+}
+
+// NewThresholdTopK creates an accumulator keeping the k best rows
+// under less (less(a,b) == a is strictly better than b).
+func NewThresholdTopK[T any](k int, less func(a, b T) bool) *ThresholdTopK[T] {
+	return &ThresholdTopK[T]{k: k, less: less}
+}
+
+// Offer presents a row; it reports whether the row entered the current
+// top-k (displacing the previous worst when full).
+func (t *ThresholdTopK[T]) Offer(v T) bool {
+	if t.k <= 0 {
+		return false
 	}
+	if len(t.items) < t.k {
+		t.items = append(t.items, v)
+		t.up(len(t.items) - 1)
+		return true
+	}
+	// Full: v enters only if strictly better than the current worst.
+	if !t.less(v, t.items[0]) {
+		return false
+	}
+	t.items[0] = v
+	t.down(0)
+	return true
+}
+
+// Full reports whether k rows are held.
+func (t *ThresholdTopK[T]) Full() bool { return len(t.items) >= t.k }
+
+// Worst returns the k-th best row held so far; ok is false while fewer
+// than one row is held.
+func (t *ThresholdTopK[T]) Worst() (T, bool) {
+	var zero T
+	if len(t.items) == 0 {
+		return zero, false
+	}
+	return t.items[0], true
+}
+
+// Done reports whether the stream can terminate: k rows are held and
+// frontier — a lower bound on every row still to come — is no better
+// than the current worst. With an order-emitting producer the frontier
+// is simply the last row released.
+func (t *ThresholdTopK[T]) Done(frontier T) bool {
+	return t.Full() && !t.less(frontier, t.items[0])
+}
+
+// Ranked returns the accumulated rows best-first. The accumulator is
+// unchanged.
+func (t *ThresholdTopK[T]) Ranked() []T {
+	out := append([]T(nil), t.items...)
+	sort.SliceStable(out, func(i, j int) bool { return t.less(out[i], out[j]) })
 	return out
 }
 
-// maxHeap keeps the worst of the current best-n at the root.
-type maxHeap struct {
-	items []int
-	score func(i int) float64
+// up/down restore the max-at-root heap order ("max" = worst row).
+func (t *ThresholdTopK[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		// items[i] worse than items[parent] ⇒ items[parent] is better.
+		if !t.less(t.items[parent], t.items[i]) {
+			break
+		}
+		t.items[i], t.items[parent] = t.items[parent], t.items[i]
+		i = parent
+	}
 }
 
-func (h *maxHeap) Len() int           { return len(h.items) }
-func (h *maxHeap) Less(i, j int) bool { return h.score(h.items[i]) > h.score(h.items[j]) }
-func (h *maxHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
-func (h *maxHeap) Push(x any)         { h.items = append(h.items, x.(int)) }
-func (h *maxHeap) Pop() any {
-	old := h.items
-	n := len(old)
-	x := old[n-1]
-	h.items = old[:n-1]
-	return x
+func (t *ThresholdTopK[T]) down(i int) {
+	n := len(t.items)
+	for {
+		worst := i
+		for _, c := range []int{2*i + 1, 2*i + 2} {
+			if c < n && t.less(t.items[worst], t.items[c]) {
+				worst = c
+			}
+		}
+		if worst == i {
+			return
+		}
+		t.items[i], t.items[worst] = t.items[worst], t.items[i]
+		i = worst
+	}
 }

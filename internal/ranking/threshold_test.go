@@ -1,0 +1,87 @@
+package ranking
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func intTopK(k int) *ThresholdTopK[int] {
+	return NewThresholdTopK(k, func(a, b int) bool { return a < b })
+}
+
+func TestThresholdTopKOrderedStream(t *testing.T) {
+	// An order-emitting producer: the tracker must fill, then declare
+	// Done the moment the frontier reaches the k-th best.
+	tk := intTopK(3)
+	for i, v := range []int{1, 2, 3} {
+		if !tk.Offer(v) {
+			t.Fatalf("row %d rejected while filling", i)
+		}
+		if i < 2 && tk.Done(v) {
+			t.Fatalf("done before full at row %d", i)
+		}
+	}
+	if !tk.Full() {
+		t.Fatal("tracker must be full after k offers")
+	}
+	if !tk.Done(3) {
+		t.Fatal("ordered stream must terminate at the k-th row")
+	}
+	if got := tk.Ranked(); got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("ranked = %v", got)
+	}
+}
+
+func TestThresholdTopKTiesAreFirstCome(t *testing.T) {
+	// A row equal to the current worst must not displace it (stable
+	// sort-then-truncate semantics), and Done holds on an equal
+	// frontier.
+	tk := intTopK(2)
+	tk.Offer(5)
+	tk.Offer(7)
+	if tk.Offer(7) {
+		t.Fatal("tie must not displace the held row")
+	}
+	if !tk.Done(7) {
+		t.Fatal("equal frontier cannot improve the result")
+	}
+	if tk.Done(6) {
+		t.Fatal("a better frontier can still improve the result")
+	}
+}
+
+func TestThresholdTopKUnorderedMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 50; iter++ {
+		n := 1 + rng.Intn(40)
+		k := 1 + rng.Intn(6)
+		vals := make([]int, n)
+		for i := range vals {
+			vals[i] = rng.Intn(25)
+		}
+		tk := intTopK(k)
+		for _, v := range vals {
+			tk.Offer(v)
+		}
+		want := append([]int(nil), vals...)
+		sort.Ints(want)
+		if k > n {
+			k = n
+		}
+		want = want[:k]
+		got := tk.Ranked()
+		if len(got) != len(want) {
+			t.Fatalf("iter %d: size %d want %d", iter, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("iter %d: got %v want %v", iter, got, want)
+			}
+		}
+		worst, ok := tk.Worst()
+		if !ok || worst != want[len(want)-1] {
+			t.Fatalf("iter %d: worst %d want %d", iter, worst, want[len(want)-1])
+		}
+	}
+}

@@ -1,0 +1,196 @@
+// Streaming-executor tests at the public API: top-k early termination
+// must measurably reduce network traffic on a 64-peer simnet, the
+// streaming cursor must deliver rows before query completion, and
+// cancellation must leak neither goroutines nor pending overlay
+// operations (CI runs this file under -race).
+package unistore_test
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"unistore"
+	"unistore/internal/workload"
+)
+
+// streamCluster builds the deterministic 64-peer cluster the
+// message-count assertions run on: sharded range scans give the
+// early-out shards to skip, and a small window keeps them unissued.
+func streamCluster(seed int64) *unistore.Cluster {
+	return unistore.New(unistore.Config{
+		Peers: 64, Seed: seed,
+		RangeShards:      8,
+		ProbeParallelism: 2,
+	})
+}
+
+func loadPersons(c *unistore.Cluster, seed int64, n int) {
+	ds := workload.Generate(workload.Options{Seed: seed, Persons: n})
+	c.BulkInsert(ds.Triples...)
+}
+
+// TestLimitAndTopKSendFewerMessages: on a 64-peer simnet, LIMIT-k and
+// ranked top-k queries must send strictly fewer messages than the
+// exhaustive scan of the same pattern.
+func TestLimitAndTopKSendFewerMessages(t *testing.T) {
+	c := streamCluster(31)
+	loadPersons(c, 32, 150)
+	full, err := c.QueryFrom(0, `SELECT ?n WHERE {(?p,'name',?n)}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Net().Settle()
+	for _, src := range []string{
+		`SELECT ?n WHERE {(?p,'name',?n)} LIMIT 3`,
+		`SELECT ?n WHERE {(?p,'name',?n)} ORDER BY ?n LIMIT 5`,
+		`SELECT ?n WHERE {(?p,'name',?n)} ORDER BY ?n TOP 5`,
+	} {
+		res, err := c.QueryFrom(0, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Net().Settle()
+		if len(res.Bindings) == 0 {
+			t.Fatalf("%q returned nothing", src)
+		}
+		if res.Messages >= full.Messages {
+			t.Errorf("%q sent %d messages, full scan %d — early termination must stop remote probes",
+				src, res.Messages, full.Messages)
+		}
+		t.Logf("%q: %d messages (full scan %d)", src, res.Messages, full.Messages)
+	}
+}
+
+// TestTimeToFirstResultBeatsCompletion: a streaming scan must have its
+// first row strictly before the last shard lands.
+func TestTimeToFirstResultBeatsCompletion(t *testing.T) {
+	c := streamCluster(33)
+	loadPersons(c, 34, 150)
+	// Sequential shard processing guarantees a gap between the first
+	// and last response.
+	c.Engine(0).SetParallelism(1)
+	res, err := c.QueryFrom(0, `SELECT ?n WHERE {(?p,'name',?n)}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TimeToFirst <= 0 || res.TimeToFirst >= res.Elapsed {
+		t.Errorf("time-to-first %v must fall inside (0, %v)", res.TimeToFirst, res.Elapsed)
+	}
+}
+
+// TestQueryStreamDeliversIncrementally exercises the pull cursor end
+// to end in deterministic mode.
+func TestQueryStreamDeliversIncrementally(t *testing.T) {
+	c := streamCluster(35)
+	loadPersons(c, 36, 80)
+	st, err := c.QueryStream(context.Background(), `SELECT ?n WHERE {(?p,'name',?n)} ORDER BY ?n LIMIT 4`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	var names []string
+	for {
+		row, ok := st.Next()
+		if !ok {
+			break
+		}
+		names = append(names, row["n"].Str)
+	}
+	if len(names) != 4 || !sort.StringsAreSorted(names) {
+		t.Fatalf("streamed top-4 = %v", names)
+	}
+	if st.TimeToFirst() > st.Elapsed() {
+		t.Errorf("time-to-first %v after completion %v", st.TimeToFirst(), st.Elapsed())
+	}
+}
+
+// TestCancellationReleasesEverything: canceling queries mid-flight in
+// concurrent mode must leave no pending overlay operation and no
+// lingering goroutine once the cluster closes.
+func TestCancellationReleasesEverything(t *testing.T) {
+	before := runtime.NumGoroutine()
+	func() {
+		c := unistore.New(unistore.Config{
+			Peers: 64, Seed: 37,
+			RangeShards: 8, ProbeParallelism: 1,
+			Concurrent:   true,
+			TimeDilation: 20, // slow enough that cancellation races real work
+		})
+		defer c.Close()
+		loadPersons(c, 38, 100)
+		for i := 0; i < 8; i++ {
+			ctx, cancel := context.WithCancel(context.Background())
+			st, err := c.QueryStreamFrom(ctx, i, `SELECT ?n WHERE {(?p,'name',?n)}`)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i%2 == 0 {
+				// Half the queries die by context, half by Close; both
+				// paths must release the pending table.
+				cancel()
+			}
+			if _, ok := st.Next(); !ok && i%2 == 1 {
+				t.Errorf("query %d: no row before close", i)
+			}
+			st.Close()
+			cancel()
+		}
+		c.Net().Quiesce()
+		for i, p := range c.Peers() {
+			if n := p.PendingOps(); n != 0 {
+				t.Errorf("peer %d holds %d pending ops after cancellation", i, n)
+			}
+		}
+	}()
+	// The network's scheduler and worker goroutines exit in Close;
+	// allow some slack for the runtime's own background goroutines.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+}
+
+// TestConcurrentTopKMatchesDeterministic: the ordered shard release
+// must make concurrent-mode top-k results identical to the
+// deterministic reference even though shard completions race.
+func TestConcurrentTopKMatchesDeterministic(t *testing.T) {
+	ds := workload.Generate(workload.Options{Seed: 40, Persons: 60})
+	q := `SELECT ?n WHERE {(?p,'name',?n)} ORDER BY ?n LIMIT 7`
+
+	ref := streamCluster(41)
+	ref.Insert(ds.Triples...)
+	want, err := ref.QueryFrom(0, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := unistore.New(unistore.Config{
+		Peers: 64, Seed: 41,
+		RangeShards: 8, ProbeParallelism: 2,
+		Concurrent: true,
+	})
+	defer c.Close()
+	c.BulkInsert(ds.Triples...)
+	got, err := c.QueryFrom(0, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func(r *unistore.Result) string {
+		s := ""
+		for _, row := range r.Rows() {
+			s += fmt.Sprint(row) + "|"
+		}
+		return s
+	}
+	if render(got) != render(want) {
+		t.Fatalf("concurrent top-k diverged:\n got %s\nwant %s", render(got), render(want))
+	}
+}

@@ -44,8 +44,27 @@
 //	defer c.Close()
 //	c.BulkInsert(dataset...) // one quiescence for the whole batch
 //
-// See the examples directory for complete programs and README.md for
-// the module layout and the deterministic-vs-concurrent trade-offs.
+// # Streaming queries
+//
+// Execution is a streaming operator pipeline: rows flow between
+// operators as overlay responses arrive, LIMIT and ranked top-k
+// queries terminate remote probes as soon as the bound proves no
+// better row can arrive, and QueryStream exposes results as a pull
+// cursor before the query completes:
+//
+//	st, _ := c.QueryStream(ctx, `SELECT ?n WHERE {(?p,'name',?n)} ORDER BY ?n LIMIT 5`)
+//	defer st.Close()
+//	for row, ok := st.Next(); ok; row, ok = st.Next() {
+//		fmt.Println(row["n"])
+//	}
+//
+// Queries accept a context (QueryCtx / QueryFromCtx / QueryStream):
+// canceling it stops the pipeline and releases its pending overlay
+// operations instead of letting them run to waste.
+//
+// See the examples directory for complete programs, README.md for the
+// module layout, docs/architecture.md for the query lifecycle and the
+// streaming pipeline, and docs/vql.md for the query language.
 package unistore
 
 import (
@@ -65,8 +84,13 @@ type Config = core.Config
 type Cluster = core.Cluster
 
 // Result is a completed query: bindings plus execution metrics
-// (simulated latency, messages, routing hops).
+// (simulated latency, time-to-first-result, messages, routing hops).
 type Result = core.Result
+
+// Stream is an open streaming query: Next yields rows as the
+// distributed pipeline produces them, before the query has finished;
+// Close cancels the remainder. Obtained from Cluster.QueryStream.
+type Stream = core.Stream
 
 // LatencyProfile selects the simulated network's delay model.
 type LatencyProfile = core.LatencyProfile

@@ -32,7 +32,14 @@ race:
 
 bench:
 	$(GO) test -run NONE -bench . -benchtime 1x ./...
-	$(GO) test -run NONE -bench 'TopK|TimeToFirstResult' -benchtime 5x .
+	$(GO) test -run NONE -bench 'TopK|TimeToFirstResult|IndexJoin|PagedScan' -benchtime 5x .
+
+# Machine-readable benchmark record: msgs / sim-ms / ttfr-ms / bytes
+# for the topk, index-join (baseline vs warm routing cache) and paged
+# full-scan scenarios. Fails if the fast path regresses (see
+# cmd/benchjson). CI uploads the file as an artifact.
+bench-json:
+	$(GO) run ./cmd/benchjson -out BENCH_PR3.json
 
 # The docs job: broken intra-repo markdown links fail, sources stay
 # vetted and formatted.

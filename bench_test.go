@@ -13,7 +13,9 @@ import (
 	"time"
 
 	"unistore"
+	"unistore/internal/benchscen"
 	"unistore/internal/experiments"
+	"unistore/internal/pgrid"
 	"unistore/internal/trace"
 	"unistore/internal/workload"
 )
@@ -317,6 +319,67 @@ func benchTopK(b *testing.B, materialize bool) {
 
 func BenchmarkTopKMaterializing(b *testing.B) { benchTopK(b, true) }
 func BenchmarkTopKStreaming(b *testing.B)     { benchTopK(b, false) }
+
+// --- Message-layer fast-path benchmarks ----------------------------------------
+//
+// The DHT index join resolved with per-value OID probes, measured cold
+// (routing cache disabled — every probe pays the full routed path, the
+// pre-fast-path baseline) and warm (caches learned the partition map
+// from a first execution; probes batch per responsible peer). The
+// msgs metric is the headline: cmd/benchjson records the same
+// scenarios into BENCH_PR3.json for trend tracking.
+
+func benchIndexJoin(b *testing.B, disableCache bool) {
+	c := benchscen.IndexJoin(disableCache)
+	plan, err := benchscen.IndexJoinPlan()
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm run (teaches the caches; a no-op when the cache is off).
+	c.Engine(0).RunPlan(plan)
+	c.Net().Settle()
+	var msgs, simMS float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		before := c.Net().Stats().MessagesSent
+		bs, ex := c.Engine(0).RunPlan(plan)
+		c.Net().Settle()
+		if len(bs) == 0 {
+			b.Fatal("index join returned nothing")
+		}
+		msgs = float64(c.Net().Stats().MessagesSent - before)
+		simMS = float64(ex.Elapsed().Microseconds()) / 1000
+	}
+	b.ReportMetric(msgs, "msgs")
+	b.ReportMetric(simMS, "sim-ms")
+}
+
+func BenchmarkIndexJoinColdRoute(b *testing.B) { benchIndexJoin(b, true) }
+func BenchmarkIndexJoinWarmCache(b *testing.B) { benchIndexJoin(b, false) }
+
+// BenchmarkPagedScan measures the paged full scan: bounded responses
+// (PageSize entries each) at the cost of continuation pulls.
+func BenchmarkPagedScan(b *testing.B) {
+	c, _ := benchscen.Scan()
+	var msgs, maxResp float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Net().ResetStats()
+		res, err := c.QueryFrom(0, benchscen.ScanQuery)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c.Net().Settle()
+		if len(res.Bindings) == 0 {
+			b.Fatal("scan returned nothing")
+		}
+		st := c.Net().Stats()
+		msgs = float64(st.MessagesSent)
+		maxResp = float64(st.MaxSizePerKind[pgrid.KindResponse])
+	}
+	b.ReportMetric(msgs, "msgs")
+	b.ReportMetric(maxResp, "max-resp-bytes")
+}
 
 // BenchmarkTimeToFirstResult reports how soon the streaming pipeline
 // surfaces its first row on an exhaustive (unlimited) scan, against

@@ -1,0 +1,165 @@
+// Command benchjson runs the message-layer benchmark scenarios
+// (internal/benchscen — shared with bench_test.go and the
+// msgbudget_test.go CI guard, so every consumer measures the same
+// workloads) on deterministic 64-peer simnets and writes
+// machine-readable results (BENCH_PR3.json by default): total
+// messages, simulated milliseconds, time-to-first-result and bytes for
+// the ranked top-k, DHT index-join and paged full-scan benches. The
+// index join runs twice — once with the routing cache disabled (the
+// pre-fast-path baseline) and once warm — and the paged scan verifies
+// no response exceeded the page bound. CI runs it in the bench-smoke
+// job and uploads the file as an artifact, so the perf trajectory is
+// tracked from this PR on.
+//
+// The tool exits non-zero when the fast path regresses: warm-cache
+// index joins must send at least 30% fewer messages than the baseline,
+// and no paged response may exceed the configured page bound.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"unistore/internal/benchscen"
+	"unistore/internal/core"
+	"unistore/internal/pgrid"
+)
+
+type benchResult struct {
+	Name   string  `json:"name"`
+	Msgs   int     `json:"msgs"`
+	SimMS  float64 `json:"sim_ms"`
+	TtfrMS float64 `json:"ttfr_ms"`
+	Bytes  int     `json:"bytes"`
+	// Index-join comparison.
+	ImprovementPct float64 `json:"improvement_vs_baseline_pct,omitempty"`
+	// Paged-scan bound check. WithinBound must always serialize when
+	// set — its false value IS the failure signal tooling looks for.
+	PageSize       int   `json:"page_size,omitempty"`
+	MaxRespBytes   int   `json:"max_resp_bytes,omitempty"`
+	PageBoundBytes int   `json:"page_bound_bytes,omitempty"`
+	WithinBound    *bool `json:"within_page_bound,omitempty"`
+}
+
+type report struct {
+	GeneratedBy string        `json:"generated_by"`
+	Peers       int           `json:"peers"`
+	Benches     []benchResult `json:"benches"`
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}
+
+// run executes one query on a settled deterministic cluster and
+// returns its message/latency/byte metrics.
+func run(c *core.Cluster, src string) benchResult {
+	before := c.Net().Stats()
+	res, err := c.QueryFrom(0, src)
+	if err != nil {
+		die(err)
+	}
+	c.Net().Settle()
+	after := c.Net().Stats()
+	return benchResult{
+		Msgs:   after.MessagesSent - before.MessagesSent,
+		SimMS:  float64(res.Elapsed.Microseconds()) / 1000,
+		TtfrMS: float64(res.TimeToFirst.Microseconds()) / 1000,
+		Bytes:  after.BytesSent - before.BytesSent,
+	}
+}
+
+func topKBench() benchResult {
+	r := run(benchscen.TopK(), benchscen.TopKQuery)
+	r.Name = "topk-streaming"
+	return r
+}
+
+func indexJoinBench(disableCache, warm bool) benchResult {
+	c := benchscen.IndexJoin(disableCache)
+	plan, err := benchscen.IndexJoinPlan()
+	if err != nil {
+		die(err)
+	}
+	if warm {
+		// First execution teaches the origin peer the partition map of
+		// the probed OIDs; the measured run probes direct, batched per
+		// responsible peer.
+		c.Engine(0).RunPlan(plan)
+		c.Net().Settle()
+	}
+	before := c.Net().Stats()
+	_, ex := c.Engine(0).RunPlan(plan)
+	c.Net().Settle()
+	after := c.Net().Stats()
+	return benchResult{
+		Msgs:   after.MessagesSent - before.MessagesSent,
+		SimMS:  float64(ex.Elapsed().Microseconds()) / 1000,
+		TtfrMS: float64(ex.TimeToFirst().Microseconds()) / 1000,
+		Bytes:  after.BytesSent - before.BytesSent,
+	}
+}
+
+func scanBench() benchResult {
+	c, triples := benchscen.Scan()
+	c.Net().ResetStats() // max-size tracking starts at the measured query
+	r := run(c, benchscen.ScanQuery)
+	r.Name = "scan-paged"
+	r.PageSize = benchscen.ScanPageSize
+	r.MaxRespBytes = c.Net().Stats().MaxSizePerKind[pgrid.KindResponse]
+	r.PageBoundBytes = benchscen.PageBound(triples, benchscen.ScanPageSize)
+	within := r.MaxRespBytes <= r.PageBoundBytes
+	r.WithinBound = &within
+	return r
+}
+
+func main() {
+	out := flag.String("out", "BENCH_PR3.json", "output path")
+	flag.Parse()
+
+	topk := topKBench()
+	base := indexJoinBench(true, false)
+	base.Name = "index-join-baseline"
+	warmed := indexJoinBench(false, true)
+	warmed.Name = "index-join-warm-cache"
+	warmed.ImprovementPct = 100 * float64(base.Msgs-warmed.Msgs) / float64(base.Msgs)
+	scan := scanBench()
+
+	rep := report{
+		GeneratedBy: "cmd/benchjson",
+		Peers:       benchscen.Peers,
+		Benches:     []benchResult{topk, base, warmed, scan},
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		die(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		die(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+	fmt.Printf("  topk:       %d msgs, %.2f sim-ms, %.2f ttfr-ms\n", topk.Msgs, topk.SimMS, topk.TtfrMS)
+	fmt.Printf("  index-join: %d msgs baseline → %d warm (%.1f%% fewer)\n",
+		base.Msgs, warmed.Msgs, warmed.ImprovementPct)
+	fmt.Printf("  scan:       %d msgs, max resp %dB (bound %dB)\n",
+		scan.Msgs, scan.MaxRespBytes, scan.PageBoundBytes)
+
+	failed := false
+	if warmed.ImprovementPct < 30 {
+		fmt.Fprintf(os.Stderr, "FAIL: warm index join saved only %.1f%% of messages (need ≥30%%)\n",
+			warmed.ImprovementPct)
+		failed = true
+	}
+	if scan.WithinBound == nil || !*scan.WithinBound {
+		fmt.Fprintf(os.Stderr, "FAIL: paged response of %dB exceeded bound %dB\n",
+			scan.MaxRespBytes, scan.PageBoundBytes)
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,111 @@
+// Package benchscen defines the message-layer benchmark scenarios in
+// ONE place: cmd/benchjson (the BENCH_PR3.json trend record), the
+// bench_test.go benchmarks, and the msgbudget_test.go CI regression
+// guard all build their clusters and plans here, so the budgets
+// calibrated against the recorded numbers measure the same workload by
+// construction — a seed or dataset tweak cannot silently drift one
+// copy away from the others.
+package benchscen
+
+import (
+	"fmt"
+
+	"unistore/internal/core"
+	"unistore/internal/keys"
+	"unistore/internal/physical"
+	"unistore/internal/store"
+	"unistore/internal/triple"
+	"unistore/internal/vql"
+	"unistore/internal/workload"
+)
+
+// Peers is the simnet size every scenario runs on.
+const Peers = 64
+
+// The scenario queries.
+const (
+	TopKQuery      = `SELECT ?n WHERE {(?p,'name',?n)} ORDER BY ?n LIMIT 5`
+	IndexJoinQuery = `SELECT ?n,?a WHERE {(?p,'name',?n) (?p,'age',?a)}`
+	ScanQuery      = `SELECT ?n WHERE {(?p,'name',?n)}`
+	// ScanPageSize is the page bound of the paged full-scan scenario.
+	ScanPageSize = 8
+)
+
+// TopK builds the ranked top-5 scenario: deterministic 64-peer
+// cluster, sharded scans, bounded window, 300 persons loaded.
+func TopK() *core.Cluster {
+	c := core.NewCluster(core.Config{
+		Peers: Peers, Seed: 12, RangeShards: 8, ProbeParallelism: 2,
+	})
+	ds := workload.Generate(workload.Options{Seed: 13, Persons: 300})
+	c.BulkInsert(ds.Triples...)
+	return c
+}
+
+// IndexJoin builds the DHT index-join scenario: a trie adapted to the
+// dataset (the load-balanced production configuration — the
+// order-preserving hash would otherwise cluster every probe key into
+// one or two partitions and overstate the cache win), 60 persons
+// loaded. disableCache=true is the pre-fast-path baseline.
+func IndexJoin(disableCache bool) *core.Cluster {
+	ds := workload.Generate(workload.Options{Seed: 9, Persons: 60})
+	var samples []keys.Key
+	for _, tr := range ds.Triples {
+		for _, kind := range triple.AllIndexKinds {
+			samples = append(samples, triple.IndexKey(tr, kind))
+		}
+	}
+	c := core.NewCluster(core.Config{
+		Peers: Peers, Seed: 8, DisableRouteCache: disableCache,
+		AdaptiveSamples: samples,
+	})
+	c.BulkInsert(ds.Triples...)
+	return c
+}
+
+// IndexJoinPlan compiles the two-pattern join with the second step
+// pinned to the OID index: each person bound by the name scan is
+// resolved with one exact OID probe — the DHT index join, whose keys
+// scatter over the whole partition space.
+func IndexJoinPlan() (*physical.Plan, error) {
+	q, err := vql.ParseQuery(IndexJoinQuery)
+	if err != nil {
+		return nil, fmt.Errorf("benchscen: %w", err)
+	}
+	plan, err := physical.CompileQuery(q)
+	if err != nil {
+		return nil, fmt.Errorf("benchscen: %w", err)
+	}
+	plan.Steps[1].Strat = physical.StratOIDLookup
+	return plan, nil
+}
+
+// Scan builds the paged full-scan scenario (300 persons, page size
+// ScanPageSize) and returns the dataset for the page-bound
+// computation.
+func Scan() (*core.Cluster, []triple.Triple) {
+	c := core.NewCluster(core.Config{
+		Peers: Peers, Seed: 14, RangeShards: 4, PageSize: ScanPageSize,
+	})
+	ds := workload.Generate(workload.Options{Seed: 15, Persons: 300})
+	c.BulkInsert(ds.Triples...)
+	return c, ds.Triples
+}
+
+// PageBound is the byte ceiling one paged range response may reach for
+// the given dataset: the simnet header estimate, the response envelope
+// with continuation token, and pageSize entries of the largest entry
+// the dataset can produce.
+func PageBound(ts []triple.Triple, pageSize int) int {
+	maxEntry := 0
+	for _, tr := range ts {
+		for _, kind := range triple.AllIndexKinds {
+			e := store.Entry{Kind: kind, Key: triple.IndexKey(tr, kind), Triple: tr}
+			if w := e.WireSize(); w > maxEntry {
+				maxEntry = w
+			}
+		}
+	}
+	const headerAndEnvelope = 64 + 40 + 96 // simnet header + resp base + continuation
+	return headerAndEnvelope + pageSize*maxEntry
+}

@@ -97,6 +97,18 @@ type Config struct {
 	// RangeShards splits every range scan into this many key-space
 	// shards showered independently (<= 1 disables sharding).
 	RangeShards int
+	// PageSize bounds every range-scan response to this many entries:
+	// a responsible peer with more rows answers in pages, and the
+	// query origin pulls continuations only while its pipeline still
+	// needs rows — an early-terminated LIMIT/top-k never requests the
+	// next page. 0 disables paging (one monolithic response per
+	// partition, the pre-paging behaviour).
+	PageSize int
+	// DisableRouteCache turns off the peers' learned partition→node
+	// routing caches (and with them probe batching): every probe pays
+	// the full O(log n) routed path. Benchmarks use it as the baseline
+	// for the fast-path comparison.
+	DisableRouteCache bool
 }
 
 func (c Config) withDefaults() Config {
@@ -160,6 +172,8 @@ func NewCluster(cfg Config) *Cluster {
 	if cfg.AntiEntropy > 0 {
 		pcfg.AntiEntropyEvery = int64(cfg.AntiEntropy)
 	}
+	pcfg.PageSize = cfg.PageSize
+	pcfg.DisableRouteCache = cfg.DisableRouteCache
 	var peers []*pgrid.Peer
 	if cfg.AdaptiveSamples != nil {
 		peers = pgrid.BuildAdaptive(net, cfg.Peers, cfg.Replicas, cfg.AdaptiveSamples, pcfg)
@@ -169,6 +183,7 @@ func NewCluster(cfg Config) *Cluster {
 	stats := cost.DefaultStats(cfg.Peers)
 	stats.Replicas = cfg.Replicas
 	stats.TotalTriples = 0
+	stats.PageSize = cfg.PageSize
 	opt := optimizer.New(stats, cfg.Optimizer)
 	c := &Cluster{cfg: cfg, net: net, peers: peers, opt: opt, stats: stats}
 	for _, p := range peers {
@@ -432,16 +447,41 @@ func (c *Cluster) execQueryCtx(ctx context.Context, peerIdx int, q *vql.Query) (
 }
 
 // compile parses nothing — it lowers and cost-optimizes a parsed query
-// under the statistics lock.
+// under the statistics lock, after refreshing the observed routing-
+// cache hit rate so probe pricing tracks how warm the caches really
+// are.
 func (c *Cluster) compile(q *vql.Query) (*physical.Plan, error) {
 	plan, err := physical.CompileQuery(q)
 	if err != nil {
 		return nil, err
 	}
+	rate := c.routeCacheHitRate()
+	// Store the refreshed rate under the brief write lock, then
+	// optimize under the read lock so concurrent compilations still
+	// run in parallel.
+	c.statsMu.Lock()
+	c.stats.CacheHitRate = rate
+	c.statsMu.Unlock()
 	c.statsMu.RLock()
 	c.opt.Optimize(plan)
 	c.statsMu.RUnlock()
 	return plan, nil
+}
+
+// routeCacheHitRate aggregates the peers' routing-cache counters into
+// the fraction of probes that went direct — the cost model's
+// CacheHitRate input.
+func (c *Cluster) routeCacheHitRate() float64 {
+	hits, misses := 0, 0
+	for _, p := range c.peers {
+		st := p.Stats()
+		hits += st.RouteCacheHits
+		misses += st.RouteCacheMisses
+	}
+	if hits+misses == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
 }
 
 // Stream is an open streaming query: rows arrive through Next as the

@@ -30,6 +30,16 @@ type Stats struct {
 	TotalTriples int
 	// AvgLatency is the expected one-hop delay of the network.
 	AvgLatency time.Duration
+	// CacheHitRate is the observed fraction of probes resolved through
+	// the peers' routing caches (a cache hit reaches the responsible
+	// peer in one hop instead of log₂ P). The harness refreshes it from
+	// aggregate peer counters; 0 prices every probe cold.
+	CacheHitRate float64
+	// PageSize is the peer-side range-scan page bound in entries
+	// (0 = paging off). Paged scans trade extra pull round trips on
+	// exhaustive results for bounded response sizes — and for a
+	// per-tuple remainder a LIMIT/top-k early-out can skip.
+	PageSize int
 }
 
 // DefaultStats returns a conservative snapshot for a network with the
@@ -59,6 +69,23 @@ func (s *Stats) LookupHops() float64 {
 		return 0
 	}
 	return math.Log2(float64(s.Partitions))
+}
+
+// hitRate clamps the observed routing-cache hit rate to [0, 1].
+func (s *Stats) hitRate() float64 {
+	return math.Min(math.Max(s.CacheHitRate, 0), 1)
+}
+
+// EffectiveLookupHops is the expected routing distance to one key
+// given the routing cache: a cached probe goes direct (1 hop), a cold
+// one pays the full prefix-routing descent.
+func (s *Stats) EffectiveLookupHops() float64 {
+	h := s.LookupHops()
+	if h <= 1 {
+		return h
+	}
+	r := s.hitRate()
+	return r*1 + (1-r)*h
 }
 
 // PartitionsForFraction estimates how many partitions a key range
@@ -134,10 +161,11 @@ func (s *Stats) lat(hops float64) time.Duration {
 	return time.Duration(hops * float64(s.AvgLatency))
 }
 
-// Lookup estimates one exact-key lookup: route + direct response. A
-// lookup is all startup — nothing can be skipped by stopping early.
+// Lookup estimates one exact-key lookup: route + direct response,
+// with the routing descent shortened by the expected cache hit rate.
+// A lookup is all startup — nothing can be skipped by stopping early.
 func (s *Stats) Lookup(expectedResults float64) Estimate {
-	h := s.LookupHops()
+	h := s.EffectiveLookupHops()
 	return Estimate{
 		Messages:        h + 1,
 		StartupMessages: h + 1,
@@ -147,45 +175,78 @@ func (s *Stats) Lookup(expectedResults float64) Estimate {
 	}
 }
 
-// MultiLookup estimates k parallel lookups (index-nested-loop probes).
-// The first probe's round trip is the startup; the remaining probes
-// stream and can be skipped under a limit.
+// MultiLookup estimates k probes of a DHT index join. Cold probes pay
+// one routed envelope plus a response each. Cache-resolved probes are
+// batched: keys sharing a cached responsible peer travel in one
+// multi-lookup request answered by one batched response, so the cached
+// fraction costs ~2·(distinct peers touched) messages — the
+// balls-in-bins expectation over the partitions — rather than 2k. The
+// first probe's round trip is the startup; the rest stream and can be
+// skipped under a limit.
 func (s *Stats) MultiLookup(k int, expectedResults float64) Estimate {
 	h := s.LookupHops()
+	r := s.hitRate()
+	p := float64(max(s.Partitions, 1))
+	peers := p * (1 - math.Pow(1-1/p, float64(k)))
+	peers = math.Min(math.Max(peers, 1), float64(k))
+	cold := float64(k) * (h + 1)
+	batched := 2 * peers
+	startup := (1-r)*(h+1) + r*2
 	return Estimate{
-		Messages:        float64(k) * (h + 1),
-		StartupMessages: h + 1,
-		Latency:         s.lat(h + 1), // parallel
-		FirstLatency:    s.lat(h + 1),
+		Messages:        (1-r)*cold + r*batched,
+		StartupMessages: startup,
+		Latency:         s.lat(startup), // parallel
+		FirstLatency:    s.lat(startup),
 		Results:         expectedResults,
 	}
 }
 
+// pagePulls estimates the extra pull round trips (request + response
+// message pairs, total across partitions) a paged scan adds when the
+// expected rows per partition exceed the page size. Zero when paging
+// is off — the monolithic-response behaviour.
+func (s *Stats) pagePulls(partitions, expectedResults float64) float64 {
+	if s.PageSize <= 0 || partitions <= 0 || expectedResults <= 0 {
+		return 0
+	}
+	perPart := expectedResults / partitions
+	extra := math.Ceil(perPart/float64(s.PageSize)) - 1
+	if extra < 0 {
+		extra = 0
+	}
+	return partitions * extra
+}
+
 // Range estimates a shower range query covering `fraction` of an
 // attribute region: routing to the region plus one message per covered
-// partition and one response per partition. The descent plus the first
-// partition's response is the startup; the per-partition remainder
-// streams (shard by shard) and shrinks under a limit.
+// partition and one response per partition — plus, with peer-side
+// paging on, 2 messages per continuation pull. The descent plus the
+// first partition's first page is the startup; the per-partition (and
+// per-page) remainder streams and shrinks under a limit, which is
+// exactly why paging keeps limit-aware pricing honest: an early-out
+// skips whole pages, not just whole partitions.
 func (s *Stats) Range(fraction float64, expectedResults float64) Estimate {
 	h := s.LookupHops()
 	p := s.PartitionsForFraction(fraction)
+	pulls := s.pagePulls(p, expectedResults)
 	return Estimate{
-		Messages:        h + (p - 1) + p, // descent + fan-out + responses
+		Messages:        h + (p - 1) + p + 2*pulls, // descent + fan-out + responses + pulls
 		StartupMessages: h + 1,
-		Latency:         s.lat(h + math.Log2(p+1) + 1),
+		Latency:         s.lat(h + math.Log2(p+1) + 1 + 2*pulls/math.Max(p, 1)),
 		FirstLatency:    s.lat(h + 1),
 		Results:         expectedResults,
 	}
 }
 
 // Broadcast estimates a full-network scan: every partition receives the
-// query and responds.
+// query and responds (in pages, when paging is on).
 func (s *Stats) Broadcast(expectedResults float64) Estimate {
 	p := float64(s.Partitions)
+	pulls := s.pagePulls(p, expectedResults)
 	return Estimate{
-		Messages:        2*p - 1,
+		Messages:        2*p - 1 + 2*pulls,
 		StartupMessages: math.Log2(p+1) + 1,
-		Latency:         s.lat(math.Log2(p+1) + 1),
+		Latency:         s.lat(math.Log2(p+1) + 1 + 2*pulls/math.Max(p, 1)),
 		FirstLatency:    s.lat(2),
 		Results:         expectedResults,
 	}

@@ -1,0 +1,164 @@
+package pgrid
+
+import (
+	"unistore/internal/keys"
+	"unistore/internal/simnet"
+)
+
+// This file implements the per-peer routing cache: a learned
+// partition→node map that turns repeat probes into single-hop direct
+// sends. Every queryResp already carries the responder's identity and
+// trie path, so a peer passively accumulates the partition map of the
+// regions its queries touch — no extra maintenance traffic. The cache
+// is an accelerator, never an authority: a stale entry only costs the
+// message an extra forwarding leg through normal prefix routing, and
+// the repaired response replaces the entry.
+//
+// Invalidation:
+//   - a cached node that died is dropped the moment a send would use it
+//     (route failure fallback: the probe takes the normal routed path);
+//   - learning a deeper path for a region deletes cached entries at
+//     strict prefixes of it — those described a partition that has
+//     since split (bootstrap, merge, late join);
+//   - learning a different node for the same path replaces the entry;
+//   - a peer whose OWN path changes clears its whole cache, since a
+//     local split/merge means the trie it learned is suspect.
+
+// routeCacheMax bounds the entries kept per peer. A full partition map
+// of the largest experiment fits comfortably; the bound only guards
+// against pathological workloads.
+const routeCacheMax = 4096
+
+// routeCache is the learned partition→node map. It is guarded by the
+// owning peer's mu (reads under RLock, writes under Lock).
+type routeCache struct {
+	entries  map[string]Ref // partition path (bit string) → responder
+	maxDepth int            // longest cached path, bounds the lookup walk
+}
+
+func newRouteCache() *routeCache {
+	return &routeCache{entries: make(map[string]Ref)}
+}
+
+// lookupLocked finds the cached owner of the deepest cached partition
+// containing target. Longest prefix wins, so entries learned after a
+// split shadow the stale pre-split entry for the keys that moved.
+func (c *routeCache) lookupLocked(target keys.Key) (Ref, bool) {
+	if len(c.entries) == 0 {
+		return Ref{}, false
+	}
+	top := c.maxDepth
+	if target.Len() < top {
+		top = target.Len()
+	}
+	for l := top; l >= 0; l-- {
+		if r, ok := c.entries[target.Prefix(l).String()]; ok {
+			return r, true
+		}
+	}
+	return Ref{}, false
+}
+
+// learnLocked records that node ref answers for partition path,
+// returning how many contradicted entries were invalidated.
+func (c *routeCache) learnLocked(path keys.Key, ref Ref) int {
+	key := path.String()
+	invalidated := 0
+	if old, ok := c.entries[key]; ok && old.ID != ref.ID {
+		invalidated++
+	}
+	// Entries at strict prefixes of the learned path described a
+	// partition that has since split; drop them so they stop shadowing.
+	for l := path.Len() - 1; l >= 0; l-- {
+		p := path.Prefix(l).String()
+		if _, ok := c.entries[p]; ok {
+			delete(c.entries, p)
+			invalidated++
+		}
+	}
+	// Symmetrically, entries at strict extensions described partitions
+	// the learned one now covers. P-Grid paths only ever deepen today,
+	// so this sweep is normally empty — it exists so a future
+	// shallowing (partition coalescing) cannot leave deeper stale
+	// entries shadowing the fresh owner forever, degrading the 1-hop
+	// fast path while still counting as cache hits.
+	for p := range c.entries {
+		if len(p) > len(key) && p[:len(key)] == key {
+			delete(c.entries, p)
+			invalidated++
+		}
+	}
+	if _, exists := c.entries[key]; !exists && len(c.entries) >= routeCacheMax {
+		return invalidated // full: keep what we have rather than evict randomly
+	}
+	c.entries[key] = Ref{ID: ref.ID, Path: path}
+	if path.Len() > c.maxDepth {
+		c.maxDepth = path.Len()
+	}
+	return invalidated
+}
+
+// dropLocked removes the entry for one partition path.
+func (c *routeCache) dropLocked(path keys.Key) bool {
+	key := path.String()
+	if _, ok := c.entries[key]; !ok {
+		return false
+	}
+	delete(c.entries, key)
+	return true
+}
+
+// clearLocked empties the cache.
+func (c *routeCache) clearLocked() int {
+	n := len(c.entries)
+	c.entries = make(map[string]Ref)
+	c.maxDepth = 0
+	return n
+}
+
+// --- Peer-side cache operations ----------------------------------------------
+
+// cachedOwner resolves the cached responsible peer for a key, dropping
+// (and counting) an entry whose node has died — the route-failure
+// invalidation path.
+func (p *Peer) cachedOwner(target keys.Key) (Ref, bool) {
+	if p.cfg.DisableRouteCache {
+		return Ref{}, false
+	}
+	p.mu.RLock()
+	ref, ok := p.cache.lookupLocked(target)
+	p.mu.RUnlock()
+	if !ok {
+		return Ref{}, false
+	}
+	if !p.net.Alive(ref.ID) {
+		p.mu.Lock()
+		dropped := p.cache.dropLocked(ref.Path)
+		p.mu.Unlock()
+		if dropped {
+			p.stats.cacheInvalidations.Add(1)
+		}
+		return Ref{}, false
+	}
+	return ref, true
+}
+
+// learnRouteLocked records a responder observed in a query response;
+// callers hold p.mu. Entries for the peer itself are pointless
+// (Responsible short-circuits before the cache is consulted).
+func (p *Peer) learnRouteLocked(path keys.Key, from simnet.NodeID) {
+	if p.cfg.DisableRouteCache || from == p.id || path.Len() == 0 {
+		return
+	}
+	if inv := p.cache.learnLocked(path, Ref{ID: from, Path: path}); inv > 0 {
+		p.stats.cacheInvalidations.Add(int64(inv))
+	}
+}
+
+// RouteCacheSize reports how many partition→node entries the peer has
+// learned (tests and the demo UI's inspection tabs).
+func (p *Peer) RouteCacheSize() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.cache.entries)
+}

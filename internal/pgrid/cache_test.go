@@ -1,0 +1,227 @@
+package pgrid
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"unistore/internal/keys"
+	"unistore/internal/triple"
+)
+
+// TestRouteCacheLearnsAndGoesDirect: repeat probes for the same region
+// must hit the cache and reach the responsible peer in one hop.
+func TestRouteCacheLearnsAndGoesDirect(t *testing.T) {
+	net := newNet(51)
+	peers := BuildBalanced(net, 32, 1, DefaultConfig())
+	for i := 0; i < 64; i++ {
+		peers[i%32].InsertTriple(triple.TN(fmt.Sprintf("rc%02d", i), "age", float64(i)), 1)
+	}
+	net.Run()
+
+	q := peers[0]
+	key := triple.AVKey("age", triple.N(7))
+	cold := q.LookupSync(triple.ByAV, key)
+	if !cold.Complete || len(cold.Entries) != 1 {
+		t.Fatalf("cold lookup: %+v", cold)
+	}
+	if q.RouteCacheSize() == 0 {
+		t.Fatal("response did not populate the routing cache")
+	}
+	hitsBefore := q.Stats().RouteCacheHits
+	msgsBefore := net.Stats().MessagesSent
+	warm := q.LookupSync(triple.ByAV, key)
+	if !warm.Complete || len(warm.Entries) != 1 {
+		t.Fatalf("warm lookup: %+v", warm)
+	}
+	warmMsgs := net.Stats().MessagesSent - msgsBefore
+	if q.Stats().RouteCacheHits <= hitsBefore {
+		t.Error("warm lookup did not use the cache")
+	}
+	if warmMsgs > 2 {
+		t.Errorf("warm cached lookup cost %d messages, want ≤ 2 (request + response)", warmMsgs)
+	}
+	if warm.Hops > 1 {
+		t.Errorf("warm cached lookup took %d hops, want 1", warm.Hops)
+	}
+}
+
+// TestRouteCacheFallbackOnDeadOwner: a cached owner that died must be
+// invalidated at send time and the probe must still succeed through
+// normal routing (replicated partitions keep the data reachable).
+func TestRouteCacheFallbackOnDeadOwner(t *testing.T) {
+	net := newNet(52)
+	peers := BuildBalanced(net, 16, 2, DefaultConfig())
+	for i := 0; i < 32; i++ {
+		peers[i%len(peers)].InsertTriple(triple.TN(fmt.Sprintf("fd%02d", i), "age", float64(i)), 1)
+	}
+	net.Run()
+
+	q := peers[0]
+	key := triple.AVKey("age", triple.N(11))
+	cold := q.LookupSync(triple.ByAV, key)
+	if !cold.Complete || len(cold.Entries) != 1 {
+		t.Fatalf("cold lookup: %+v", cold)
+	}
+	// Kill the peer that answered; the cached entry now points at a
+	// corpse (its replica keeps the partition served).
+	q.mu.RLock()
+	var dead Ref
+	for _, r := range q.cache.entries {
+		dead = r
+	}
+	q.mu.RUnlock()
+	net.Kill(dead.ID)
+
+	invBefore := q.Stats().RouteCacheInvalidations
+	again := q.LookupSync(triple.ByAV, key)
+	if !again.Complete || len(again.Entries) != 1 {
+		t.Fatalf("lookup after owner death: %+v", again)
+	}
+	if q.Stats().RouteCacheInvalidations <= invBefore {
+		t.Error("dead cached owner was not invalidated")
+	}
+}
+
+// TestRouteCacheSurvivesChurn is the merge/late-join churn scenario:
+// warm caches against one overlay, merge a second overlay in (which
+// splits partitions and moves data), and verify that queries through
+// the now-stale caches still return correct results — stale entries
+// repair through the route-failure fallback and response learning.
+func TestRouteCacheSurvivesChurn(t *testing.T) {
+	net := newNet(53)
+	var data []triple.Triple
+	for i := 0; i < 40; i++ {
+		data = append(data, triple.TN(chOID(i), "age", float64(i)))
+	}
+	// Adapt the trie to the OID index keys: their uniform fnv bytes
+	// split the OID region across most of the 16 peers, so the warmed
+	// cache holds a real partition map (a shallow balanced trie would
+	// put the whole region on one peer and the test would prove
+	// nothing).
+	var samples []keys.Key
+	for _, tr := range data {
+		samples = append(samples, triple.IndexKey(tr, triple.ByOID))
+	}
+	a := BuildAdaptive(net, 16, 1, samples, DefaultConfig())
+	for i, tr := range data {
+		a[i%len(a)].InsertTriple(tr, 1)
+	}
+	net.Run()
+
+	// Warm the cache of a querying peer across many partitions.
+	q := a[0]
+	lookupAll := func(label string) {
+		t.Helper()
+		for i := 0; i < 40; i++ {
+			key := triple.OIDKey(chOID(i))
+			res := q.LookupSync(triple.ByOID, key)
+			if !res.Complete || len(res.Entries) != 1 {
+				t.Fatalf("%s: lookup ch%02d got %+v", label, i, res)
+			}
+		}
+	}
+	lookupAll("pre-churn")
+	if q.RouteCacheSize() < 2 {
+		t.Fatalf("cache not warmed across partitions (size %d)", q.RouteCacheSize())
+	}
+
+	// Churn: an independent overlay merges in. Paths deepen, partitions
+	// split, entries re-home — the warmed partition map is now stale.
+	b := BuildBalanced(net, 8, 1, DefaultConfig())
+	RunMerge(net, a, b, 6)
+	net.RunFor(30 * time.Second)
+	net.Settle()
+	if err := CheckTrie(append(append([]*Peer{}, a...), b...)); err != nil {
+		t.Fatalf("merged trie invalid: %v", err)
+	}
+
+	// Same queries through the stale cache must still be answered
+	// correctly (direct sends that miss forward onward; responses
+	// replace the stale entries).
+	invBefore := q.Stats().RouteCacheInvalidations
+	lookupAll("post-churn")
+	lookupAll("post-churn-rewarmed")
+	if q.RouteCacheSize() == 0 {
+		t.Error("cache never re-learned the merged trie")
+	}
+	t.Logf("churn: cache size %d, invalidations %d → %d", q.RouteCacheSize(),
+		invBefore, q.Stats().RouteCacheInvalidations)
+}
+
+// TestRouteCacheStaleEntryRepairs: a cached entry pointing at a peer
+// that is NOT responsible (the partition moved under it) must still
+// deliver — the wrong peer forwards the envelope onward — and the
+// response must repair the cache so the next probe goes direct again.
+func TestRouteCacheStaleEntryRepairs(t *testing.T) {
+	net := newNet(54)
+	peers := BuildBalanced(net, 32, 1, DefaultConfig())
+	for i := 0; i < 64; i++ {
+		peers[i%32].InsertTriple(triple.TN(fmt.Sprintf("st%02d", i), "age", float64(i)), 1)
+	}
+	net.Run()
+
+	q := peers[0]
+	key := triple.AVKey("age", triple.N(5))
+	var owner, wrong *Peer
+	for _, p := range peers {
+		if p.Responsible(key) {
+			owner = p
+		} else if p != q && wrong == nil {
+			wrong = p
+		}
+	}
+	if owner == nil || wrong == nil {
+		t.Fatal("topology did not yield owner and non-owner")
+	}
+	// Poison the cache: claim the wrong peer owns the key's partition —
+	// exactly what churn leaves behind when a partition moves.
+	q.mu.Lock()
+	q.cache.learnLocked(owner.Path(), Ref{ID: wrong.ID(), Path: owner.Path()})
+	q.mu.Unlock()
+
+	res := q.LookupSync(triple.ByAV, key)
+	if !res.Complete || len(res.Entries) != 1 {
+		t.Fatalf("lookup through stale entry: %+v", res)
+	}
+	if res.Hops < 2 {
+		t.Errorf("stale direct send resolved in %d hops; the fallback leg should add at least one", res.Hops)
+	}
+	q.mu.RLock()
+	ref, ok := q.cache.lookupLocked(key)
+	q.mu.RUnlock()
+	if !ok || ref.ID != owner.ID() {
+		t.Errorf("cache not repaired: %+v ok=%v want owner %d", ref, ok, owner.ID())
+	}
+	repaired := q.LookupSync(triple.ByAV, key)
+	if repaired.Hops > 1 {
+		t.Errorf("post-repair lookup took %d hops, want 1", repaired.Hops)
+	}
+}
+
+// TestRouteCacheLearnReplacesSplitEntries: learning a deeper path must
+// drop cached entries at strict prefixes (the partition split).
+func TestRouteCacheLearnReplacesSplitEntries(t *testing.T) {
+	c := newRouteCache()
+	p01 := keys.FromBits("01")
+	c.learnLocked(p01, Ref{ID: 1, Path: p01})
+	if _, ok := c.lookupLocked(keys.FromBits("0110")); !ok {
+		t.Fatal("prefix entry must match extensions")
+	}
+	p011 := keys.FromBits("011")
+	if inv := c.learnLocked(p011, Ref{ID: 2, Path: p011}); inv != 1 {
+		t.Fatalf("split learn invalidated %d entries, want 1", inv)
+	}
+	if _, ok := c.lookupLocked(keys.FromBits("0100")); ok {
+		t.Error("stale pre-split entry must be gone")
+	}
+	if r, ok := c.lookupLocked(keys.FromBits("0110")); !ok || r.ID != 2 {
+		t.Errorf("post-split lookup = %+v, %v", r, ok)
+	}
+}
+
+// chOID names the churn-test facts with a varying first character:
+// FNV's avalanche is weak in the high bytes for strings differing only
+// at the tail, and the OID index places by the hash's high bytes — a
+// leading difference is what actually spreads the keys.
+func chOID(i int) string { return fmt.Sprintf("%c-ch%02d", 'a'+i%26, i) }

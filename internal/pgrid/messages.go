@@ -10,15 +10,17 @@ import (
 // separates maintenance traffic (exchange, gossip) from query traffic
 // (route, range, response) through these labels.
 const (
-	KindRoute    = "pgrid.route"
-	KindRange    = "pgrid.range"
-	KindResponse = "pgrid.resp"
-	KindAck      = "pgrid.ack"
-	KindGossip   = "pgrid.gossip"
-	KindAntiEnt  = "pgrid.antientropy"
-	KindExchange = "pgrid.exchange"
-	KindXferData = "pgrid.xfer"
-	KindApp      = "pgrid.app"
+	KindRoute       = "pgrid.route"
+	KindRange       = "pgrid.range"
+	KindResponse    = "pgrid.resp"
+	KindAck         = "pgrid.ack"
+	KindGossip      = "pgrid.gossip"
+	KindAntiEnt     = "pgrid.antientropy"
+	KindExchange    = "pgrid.exchange"
+	KindXferData    = "pgrid.xfer"
+	KindApp         = "pgrid.app"
+	KindMultiLookup = "pgrid.mlookup"
+	KindPage        = "pgrid.page"
 )
 
 // TotalShare is the share mass carried by a range/broadcast query;
@@ -62,6 +64,27 @@ type lookupReq struct {
 
 func (r lookupReq) WireSize() int { return r.Key.Len()/8 + 16 }
 
+// multiLookupReq batches several exact-key probes of one query into a
+// single message, sent directly to the peer the sender's routing cache
+// believes responsible for all of them. The receiver answers the keys
+// it covers in one batched queryResp (Probes = keys answered) and
+// re-routes the rest as ordinary lookupReq envelopes — a stale cache
+// degrades to normal routing, never to a wrong answer.
+type multiLookupReq struct {
+	QID    uint64
+	Origin simnet.NodeID
+	Kind   uint8 // triple.IndexKind
+	Keys   []keys.Key
+}
+
+func (r multiLookupReq) WireSize() int {
+	s := 16
+	for _, k := range r.Keys {
+		s += k.Len()/8 + 2
+	}
+	return s
+}
+
 // rangeMsg implements the shower algorithm: it fans out down the trie,
 // reaching every peer whose partition overlaps R exactly once. Level is
 // the trie depth already resolved; Share is this branch's portion of
@@ -77,13 +100,53 @@ type rangeMsg struct {
 	// Probe suppresses entry payloads: the peer replies with counts
 	// only. Used by the cost model to sample selectivities cheaply.
 	Probe bool
+	// PageSize bounds the entries per response: a serving peer with
+	// more rows answers in pages, parking a continuation token in the
+	// response for the origin to pull the next page with (0 = one
+	// monolithic response). Set from the origin's Config.PageSize so
+	// the whole shower pages uniformly.
+	PageSize int
 }
 
-func (r rangeMsg) WireSize() int { return r.R.Lo.Len()/8 + r.R.Hi.Len()/8 + 32 }
+func (r rangeMsg) WireSize() int { return r.R.Lo.Len()/8 + r.R.Hi.Len()/8 + 36 }
+
+// pageCont is the continuation token of a paged range scan: everything
+// the serving peer needs to produce the next page, echoed back verbatim
+// by the origin so the server stays stateless. The cursor is the key
+// of the last entry sent (R.Lo resumes there, inclusive) plus how many
+// entries of that key's bucket went out already — key-aligned, so a
+// store mutation between pulls can only perturb the one bucket the
+// cursor sits in, never shift the rest of the scan. Share is released
+// only with the final page, which keeps the origin's completion
+// accounting exact across any number of pages.
+type pageCont struct {
+	Kind uint8
+	R    keys.Range
+	// SkipAtLo is how many entries stored at exactly R.Lo were already
+	// sent (0 on the first page, whose R.Lo is the range bound).
+	SkipAtLo int
+	Share    int64
+	PageSize int
+	Hops     int
+}
+
+func (c pageCont) WireSize() int { return c.R.Lo.Len()/8 + c.R.Hi.Len()/8 + 28 }
+
+// pageReq pulls the next page of a paged range scan, sent directly to
+// the serving peer. The origin only issues it while the operation is
+// still pending — an early-terminated query never pulls another page.
+type pageReq struct {
+	QID    uint64
+	Origin simnet.NodeID
+	Cont   pageCont
+}
+
+func (r pageReq) WireSize() int { return r.Cont.WireSize() + 12 }
 
 // queryResp returns entries (or a count, for probes) to the origin.
 // For range queries Share carries the branch mass; for lookups Share
-// is TotalShare.
+// is TotalShare. From and Path identify the responder — the origin's
+// routing cache learns the partition→node map from them.
 type queryResp struct {
 	QID     uint64
 	Entries []store.Entry
@@ -91,11 +154,21 @@ type queryResp struct {
 	Share   int64
 	Hops    int
 	From    simnet.NodeID
-	Path    keys.Key // responding peer's path, for diagnostics
+	Path    keys.Key // responding peer's path (routing-cache learning)
+	// Probes is how many batched lookup keys this response resolves
+	// (0 means 1, the unbatched compatibility default).
+	Probes int
+	// Cont, when non-nil, marks a partial page of a range scan: the
+	// origin echoes it back in a pageReq to pull the next page. Share
+	// on a partial page is 0; the final page carries the branch mass.
+	Cont *pageCont
 }
 
 func (r queryResp) WireSize() int {
 	s := 40
+	if r.Cont != nil {
+		s += r.Cont.WireSize()
+	}
 	for _, e := range r.Entries {
 		s += e.WireSize()
 	}

@@ -171,19 +171,60 @@ func (p *Peer) expireOp(qid uint64) {
 
 func (p *Peer) handleResponse(r queryResp) {
 	p.mu.Lock()
+	p.learnRouteLocked(r.Path, r.From)
 	op, ok := p.pending[r.QID]
 	if !ok || op.done {
+		// The operation completed or was canceled: a continuation is
+		// deliberately NOT pulled — the tail no longer needs rows, so
+		// the remaining pages are never requested.
 		p.mu.Unlock()
 		return
 	}
-	op.entries = append(op.entries, r.Entries...)
+	onPartial := op.onPartial
+	var partial []store.Entry
+	if onPartial != nil {
+		partial = r.Entries // streamed out below, not accumulated
+	} else {
+		op.entries = append(op.entries, r.Entries...)
+	}
 	op.count += r.Count
 	op.shares += r.Share
-	op.responses++
+	// A batched response resolves Probes lookup keys at once; plain
+	// responses (Probes 0) count as one.
+	if r.Probes > 1 {
+		op.responses += r.Probes
+	} else {
+		op.responses++
+	}
 	if r.Hops > op.hops {
 		op.hops = r.Hops
 	}
-	p.maybeCompleteLocked(r.QID, op)
+	pull := r.Cont != nil
+	// Completion must fire after the partial delivery, so the check is
+	// made under the lock but both callbacks run after unlocking.
+	var fire func()
+	if op.completionSatisfied() {
+		fire = p.finishOpLocked(r.QID, op, true)
+	}
+	p.mu.Unlock()
+	if len(partial) > 0 {
+		onPartial(partial)
+	}
+	if fire != nil {
+		fire()
+	}
+	if pull && fire == nil {
+		// The op was still pending (a partial page withholds its
+		// share) — but the partial delivery above may have fired an
+		// early-out that canceled it, so re-check before pulling: an
+		// early-terminated query must never request another page.
+		p.mu.Lock()
+		_, alive := p.pending[r.QID]
+		p.mu.Unlock()
+		if alive {
+			p.net.Send(p.id, r.From, KindPage, pageReq{QID: r.QID, Origin: p.id, Cont: *r.Cont})
+		}
+	}
 }
 
 func (p *Peer) handleAck(a ackMsg) {
@@ -200,12 +241,20 @@ func (p *Peer) handleAck(a ackMsg) {
 	p.maybeCompleteLocked(a.QID, op)
 }
 
+// completionSatisfied is THE completion rule, shared by the response
+// and ack paths: done once shares reach needShares and responses reach
+// needResponses (whichever rules are armed). Callers hold the owning
+// peer's mu.
+func (o *pendingOp) completionSatisfied() bool {
+	return !((o.needShares > 0 && o.shares < o.needShares) ||
+		(o.needResponses > 0 && o.responses < o.needResponses))
+}
+
 // maybeCompleteLocked checks the completion rule and, when satisfied,
 // finishes the op and fires its callback. It is entered with p.mu held
 // and returns with it released.
 func (p *Peer) maybeCompleteLocked(qid uint64, op *pendingOp) {
-	if (op.needShares > 0 && op.shares < op.needShares) ||
-		(op.needResponses > 0 && op.responses < op.needResponses) {
+	if !op.completionSatisfied() {
 		p.mu.Unlock()
 		return
 	}
@@ -275,13 +324,77 @@ func (p *Peer) Lookup(kind triple.IndexKind, k keys.Key, cb func(OpResult)) *Han
 	return &Handle{peer: p, op: op, qid: qid}
 }
 
+// MultiLookup fetches the entries at every key of ks in one operation,
+// coalescing keys whose cached responsible peer coincides into a single
+// multiLookupReq/batched-response pair. Keys this peer covers itself
+// are answered in one local batch; keys with no cache entry fall back
+// to individually routed lookups. The operation completes when all
+// len(ks) keys have been answered (batched responses count each key).
+func (p *Peer) MultiLookup(kind triple.IndexKind, ks []keys.Key, cb func(OpResult)) *Handle {
+	qid, op := p.newOp(0, len(ks), cb)
+	var local []keys.Key
+	groups := make(map[simnet.NodeID][]keys.Key)
+	var order []simnet.NodeID // deterministic send order
+	for _, k := range ks {
+		if p.Responsible(k) {
+			local = append(local, k)
+			continue
+		}
+		if ref, ok := p.cachedOwner(k); ok {
+			p.stats.cacheHits.Add(1)
+			if _, seen := groups[ref.ID]; !seen {
+				order = append(order, ref.ID)
+			}
+			groups[ref.ID] = append(groups[ref.ID], k)
+			continue
+		}
+		// Cache miss: the routed path (which counts the miss) resolves it.
+		p.route(k, lookupReq{QID: qid, Origin: p.id, Kind: uint8(kind), Key: k})
+	}
+	if len(local) > 0 {
+		// Serve own keys as one batch. The response travels through the
+		// network like any other so completion callbacks never fire
+		// inside the issuing call.
+		resp := queryResp{QID: qid, From: p.id, Path: p.Path(), Probes: len(local)}
+		for _, k := range local {
+			p.stats.delivered.Add(1)
+			entries := p.store.Lookup(kind, k)
+			resp.Entries = append(resp.Entries, entries...)
+			resp.Count += len(entries)
+		}
+		p.net.Send(p.id, p.id, KindResponse, resp)
+	}
+	for _, id := range order {
+		p.net.Send(p.id, id, KindMultiLookup, multiLookupReq{
+			QID: qid, Origin: p.id, Kind: uint8(kind), Keys: groups[id],
+		})
+	}
+	return &Handle{peer: p, op: op, qid: qid}
+}
+
 // RangeQuery asynchronously collects all entries of `kind` with keys in
 // r, using the shower algorithm. probe=true returns counts only.
 func (p *Peer) RangeQuery(kind triple.IndexKind, r keys.Range, probe bool, cb func(OpResult)) *Handle {
 	qid, op := p.newOp(TotalShare, 0, cb)
 	msg := rangeMsg{QID: qid, Origin: p.id, Kind: uint8(kind), R: r,
-		Level: 0, Share: TotalShare, Probe: probe}
+		Level: 0, Share: TotalShare, Probe: probe, PageSize: p.cfg.PageSize}
 	// The origin participates in the shower like any other peer.
+	p.handleRange(msg)
+	return &Handle{peer: p, op: op, qid: qid}
+}
+
+// RangeQueryPages is RangeQuery with streaming delivery: every
+// response's entries (each page of a paged scan, each partition's
+// answer) are handed to onPage the moment they arrive, in within-scan
+// key order per partition, and the final OpResult carries counts only.
+// Canceling the handle between pages stops the pull loop — remaining
+// pages are never requested. onPage runs outside the peer lock but
+// always before the completion callback.
+func (p *Peer) RangeQueryPages(kind triple.IndexKind, r keys.Range, onPage func([]store.Entry), cb func(OpResult)) *Handle {
+	qid, op := p.newOp(TotalShare, 0, cb)
+	op.onPartial = onPage
+	msg := rangeMsg{QID: qid, Origin: p.id, Kind: uint8(kind), R: r,
+		Level: 0, Share: TotalShare, PageSize: p.cfg.PageSize}
 	p.handleRange(msg)
 	return &Handle{peer: p, op: op, qid: qid}
 }

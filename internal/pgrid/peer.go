@@ -44,6 +44,16 @@ type Config struct {
 	// AntiEntropyEvery enables periodic replica reconciliation when
 	// positive (simulated time between rounds).
 	AntiEntropyEvery int64 // nanoseconds of simulated time; 0 disables
+	// PageSize bounds the entries per range-scan response: serving
+	// peers answer in pages of at most this many entries, with the
+	// origin pulling continuations only while it still needs rows.
+	// 0 disables paging (one monolithic response per partition).
+	PageSize int
+	// DisableRouteCache turns the learned partition→node routing cache
+	// off: every probe takes the full O(log n) routed path and batched
+	// lookups degrade to per-key envelopes. Benchmarks use it as the
+	// pre-cache baseline.
+	DisableRouteCache bool
 }
 
 // DefaultConfig returns the configuration used by the experiments.
@@ -73,6 +83,9 @@ type Peer struct {
 	// subtree at level l. len(refs) tracks len(path).
 	refs     [][]Ref
 	replicas []Ref
+	// cache is the learned partition→node routing cache (cache.go),
+	// guarded by mu like the routing table it shortcuts.
+	cache *routeCache
 
 	store *store.Store
 	cfg   Config
@@ -94,12 +107,16 @@ type Peer struct {
 
 // peerCounters holds the atomic protocol counters behind PeerStats.
 type peerCounters struct {
-	forwarded     atomic.Int64
-	delivered     atomic.Int64
-	rangeServed   atomic.Int64
-	routeFailures atomic.Int64
-	gossipApplied atomic.Int64
-	exchangesRun  atomic.Int64
+	forwarded          atomic.Int64
+	delivered          atomic.Int64
+	rangeServed        atomic.Int64
+	routeFailures      atomic.Int64
+	gossipApplied      atomic.Int64
+	exchangesRun       atomic.Int64
+	cacheHits          atomic.Int64
+	cacheMisses        atomic.Int64
+	cacheInvalidations atomic.Int64
+	pagesServed        atomic.Int64
 }
 
 // PeerStats is a snapshot of per-peer protocol counters.
@@ -110,6 +127,15 @@ type PeerStats struct {
 	RouteFailures int // envelopes dropped for lack of a live reference
 	GossipApplied int
 	ExchangesRun  int
+	// Routing-cache counters: probes sent direct on a cached partition
+	// owner, probes that took the full routed path, and cache entries
+	// dropped or replaced (dead node, split partition, churn).
+	RouteCacheHits          int
+	RouteCacheMisses        int
+	RouteCacheInvalidations int
+	// PagesServed counts paged range-scan responses (including the
+	// final page of each paged scan).
+	PagesServed int
 }
 
 // pendingOp tracks one outstanding operation issued by this peer.
@@ -129,7 +155,14 @@ type pendingOp struct {
 	done          bool
 	complete      bool // all expected responses arrived (vs. expired)
 	onDone        func(*pendingOp)
-	fin           chan struct{}
+	// onPartial, when set, receives each response's entries the moment
+	// it arrives (pages of a paged scan, shard responses) instead of
+	// accumulating them for the final result — the streaming delivery
+	// that lets a consumer's early-out stop the page pull loop
+	// mid-scan. It is invoked outside the peer lock, strictly before
+	// the completion callback, and never after it.
+	onPartial func([]store.Entry)
+	fin       chan struct{}
 }
 
 // NewPeer creates a peer with an empty path and registers it in the
@@ -145,6 +178,7 @@ func NewPeer(net *simnet.Network, cfg Config) *Peer {
 		net:     net,
 		store:   store.New(),
 		cfg:     cfg,
+		cache:   newRouteCache(),
 		pending: make(map[uint64]*pendingOp),
 	}
 	p.id = net.AddNode(p)
@@ -174,12 +208,16 @@ func (p *Peer) Net() *simnet.Network { return p.net }
 // Stats returns a snapshot of the peer's protocol counters.
 func (p *Peer) Stats() PeerStats {
 	return PeerStats{
-		Forwarded:     int(p.stats.forwarded.Load()),
-		Delivered:     int(p.stats.delivered.Load()),
-		RangeServed:   int(p.stats.rangeServed.Load()),
-		RouteFailures: int(p.stats.routeFailures.Load()),
-		GossipApplied: int(p.stats.gossipApplied.Load()),
-		ExchangesRun:  int(p.stats.exchangesRun.Load()),
+		Forwarded:               int(p.stats.forwarded.Load()),
+		Delivered:               int(p.stats.delivered.Load()),
+		RangeServed:             int(p.stats.rangeServed.Load()),
+		RouteFailures:           int(p.stats.routeFailures.Load()),
+		GossipApplied:           int(p.stats.gossipApplied.Load()),
+		ExchangesRun:            int(p.stats.exchangesRun.Load()),
+		RouteCacheHits:          int(p.stats.cacheHits.Load()),
+		RouteCacheMisses:        int(p.stats.cacheMisses.Load()),
+		RouteCacheInvalidations: int(p.stats.cacheInvalidations.Load()),
+		PagesServed:             int(p.stats.pagesServed.Load()),
 	}
 }
 
@@ -252,6 +290,10 @@ func (p *Peer) HandleMessage(m simnet.Message) {
 		p.handleAntiEntropy(m.Payload.(antiEntropyMsg), m.From)
 	case KindExchange:
 		p.handleExchange(m.Payload.(exchangeMsg), m.From)
+	case KindMultiLookup:
+		p.handleMultiLookup(m.Payload.(multiLookupReq))
+	case KindPage:
+		p.handlePage(m.Payload.(pageReq))
 	case KindXferData:
 		for _, e := range m.Payload.(xferMsg).Entries {
 			p.store.Apply(e)

@@ -82,12 +82,32 @@ func (p *Peer) pickRefLocked(level int) (Ref, bool) {
 }
 
 // route starts an envelope toward target from this peer, delivering
-// locally when this peer is already responsible.
+// locally when this peer is already responsible. A routing-cache hit
+// sends the envelope to the learned partition owner in one hop; if the
+// cached owner turns out stale (its partition split or moved), it
+// simply forwards the envelope onward — the fast path can add a leg,
+// never lose a message — and the eventual response repairs the cache.
 func (p *Peer) route(target keys.Key, inner any) {
 	env := routeEnvelope{Target: target, Inner: inner}
 	if p.Responsible(target) {
 		p.deliver(env, p.id)
 		return
+	}
+	// Hit/miss counters track probe traffic only: they feed the cost
+	// model's CacheHitRate, which prices lookups — a bulk load's
+	// fire-and-forget inserts (which get no learning response) would
+	// otherwise dilute the rate toward zero forever.
+	_, probe := inner.(lookupReq)
+	if ref, ok := p.cachedOwner(target); ok {
+		if probe {
+			p.stats.cacheHits.Add(1)
+		}
+		env.Hops = 1
+		p.net.Send(p.id, ref.ID, KindRoute, env)
+		return
+	}
+	if probe {
+		p.stats.cacheMisses.Add(1)
 	}
 	p.forward(env)
 }
@@ -139,7 +159,9 @@ func (p *Peer) addReplica(r Ref) {
 }
 
 // setPath rewrites the peer's path, truncating or growing the routing
-// table to match.
+// table to match. The routing cache is cleared wholesale: a local path
+// change (bootstrap split, merge, late join) means the trie this peer
+// learned its partition map against no longer exists.
 func (p *Peer) setPath(path keys.Key) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -149,6 +171,9 @@ func (p *Peer) setPath(path keys.Key) {
 	}
 	for len(p.refs) < path.Len() {
 		p.refs = append(p.refs, nil)
+	}
+	if n := p.cache.clearLocked(); n > 0 {
+		p.stats.cacheInvalidations.Add(int64(n))
 	}
 }
 
@@ -197,9 +222,19 @@ func (p *Peer) handleRange(msg rangeMsg) {
 	p.serveRange(msg, local)
 }
 
-// serveRange answers the part of the range this peer stores.
+// serveRange answers the part of the range this peer stores. With a
+// page size set (and actual entry payloads requested), the answer is
+// the first page plus a continuation token; count-only probes are
+// never paged — a count is one integer regardless of cardinality.
 func (p *Peer) serveRange(msg rangeMsg, share int64) {
 	p.stats.rangeServed.Add(1)
+	if msg.PageSize > 0 && !msg.Probe {
+		p.servePage(msg.QID, msg.Origin, pageCont{
+			Kind: msg.Kind, R: msg.R, Share: share,
+			PageSize: msg.PageSize, Hops: msg.Hops,
+		})
+		return
+	}
 	resp := queryResp{QID: msg.QID, Share: share, Hops: msg.Hops, From: p.id, Path: p.Path()}
 	p.store.Scan(triple.IndexKind(msg.Kind), msg.R, func(e store.Entry) bool {
 		if msg.Probe {
@@ -211,4 +246,84 @@ func (p *Peer) serveRange(msg rangeMsg, share int64) {
 		return true
 	})
 	p.net.Send(p.id, msg.Origin, KindResponse, resp)
+}
+
+// servePage answers one page of this peer's overlap with a range: at
+// most cont.PageSize entries starting at the key cursor (R.Lo, with
+// the first cont.SkipAtLo entries of that exact key's bucket already
+// sent). A partial page carries Share 0 and a continuation token whose
+// cursor is the last key sent; the final page releases the branch
+// share, completing the origin's accounting. The server keeps no
+// per-scan state — the token is echoed back verbatim in the next
+// pageReq — and the key-aligned cursor means entries applied or
+// removed between pulls outside the cursor's bucket never duplicate or
+// drop rows of the scan.
+func (p *Peer) servePage(qid uint64, origin simnet.NodeID, cont pageCont) {
+	p.stats.pagesServed.Add(1)
+	resp := queryResp{QID: qid, Hops: cont.Hops, From: p.id, Path: p.Path()}
+	skipLeft := cont.SkipAtLo
+	var last keys.Key
+	lastCount := 0 // entries sent at key `last` this page
+	more := false
+	p.store.Scan(triple.IndexKind(cont.Kind), cont.R, func(e store.Entry) bool {
+		if skipLeft > 0 && e.Key.Equal(cont.R.Lo) {
+			skipLeft--
+			return true
+		}
+		if len(resp.Entries) >= cont.PageSize {
+			more = true
+			return false
+		}
+		if last.Equal(e.Key) {
+			lastCount++
+		} else {
+			last = e.Key
+			lastCount = 1
+		}
+		resp.Entries = append(resp.Entries, e)
+		resp.Count++
+		return true
+	})
+	if more {
+		next := cont
+		next.R.Lo = last
+		next.SkipAtLo = lastCount
+		if last.Equal(cont.R.Lo) {
+			// The page never left the resumed bucket: carry the prior
+			// skip forward.
+			next.SkipAtLo += cont.SkipAtLo
+		}
+		resp.Cont = &next
+	} else {
+		resp.Share = cont.Share
+	}
+	p.net.Send(p.id, origin, KindResponse, resp)
+}
+
+// handlePage serves a continuation pulled by a paged scan's origin.
+func (p *Peer) handlePage(req pageReq) {
+	p.servePage(req.QID, req.Origin, req.Cont)
+}
+
+// handleMultiLookup answers a batch of exact-key probes in one
+// response. Keys this peer is responsible for are served together
+// (Probes counts them, so the origin's completion accounting stays
+// per-key exact); keys a stale sender cache mis-attributed are
+// re-routed as ordinary lookups toward their real owners.
+func (p *Peer) handleMultiLookup(req multiLookupReq) {
+	resp := queryResp{QID: req.QID, Hops: 1, From: p.id, Path: p.Path()}
+	for _, k := range req.Keys {
+		if !p.Responsible(k) {
+			p.route(k, lookupReq{QID: req.QID, Origin: req.Origin, Kind: req.Kind, Key: k})
+			continue
+		}
+		p.stats.delivered.Add(1)
+		resp.Probes++
+		entries := p.store.Lookup(triple.IndexKind(req.Kind), k)
+		resp.Entries = append(resp.Entries, entries...)
+		resp.Count += len(entries)
+	}
+	if resp.Probes > 0 {
+		p.net.Send(p.id, req.Origin, KindResponse, resp)
+	}
 }

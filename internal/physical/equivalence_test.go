@@ -107,9 +107,14 @@ func TestRandomQueryEquivalence(t *testing.T) {
 		{Mode: optimizer.ModeAuto, UseQGram: true, ShipThreshold: 8},
 		{Disabled: true},
 	}
+	// Every mode runs with a different peer-side page size (0 = off, 1
+	// = maximally paged), so the whole suite also proves that probe
+	// batching (always on, via the routing caches warmed as queries
+	// run) and response paging never change any result.
+	pageSizes := []int{1, 3, 0, 2}
 	nets := make([]*testNet, len(modes))
 	for mi, m := range modes {
-		nets[mi] = buildNet(t, 16, int64(100+mi), optimizer.New(stats, m))
+		nets[mi] = buildNetPaged(t, 16, int64(100+mi), optimizer.New(stats, m), pageSizes[mi])
 		nets[mi].load(corpus)
 	}
 	for iter := 0; iter < 60; iter++ {

@@ -24,6 +24,14 @@ type Reoptimizer interface {
 	Rechoose(steps []Step, tail Tail, bindingCount int, peer *pgrid.Peer) []Step
 }
 
+// hostKey identifies a hosted (migrated) plan globally: the root
+// origin plus the root's query id. Different origins allocate query
+// ids independently, so the pair is the unit of uniqueness.
+type hostKey struct {
+	origin simnet.NodeID
+	qid    uint64
+}
+
 // Engine attaches query processing to one peer: it owns the peer's app
 // handler, hosts migrated plans, and tracks queries this peer
 // originated. An Engine is safe for concurrent use: multiple
@@ -36,6 +44,17 @@ type Engine struct {
 	mu      sync.Mutex
 	seq     uint64
 	queries map[uint64]*Exec
+	// hosted tracks migrated plans this engine is executing (or has
+	// re-shipped onward), so a cancelMsg from the origin can stop them
+	// — or chase them one hop further.
+	hosted map[hostKey]*Exec
+	// canceledHosts tombstones cancellations that arrived before their
+	// planMsg (both are routed independently); the plan is dropped on
+	// arrival instead of executed. Values are the simulated creation
+	// instant: tombstones whose plan never shows up (a cancel that
+	// lost the race with normal completion, a lost planMsg) are pruned
+	// after hostedForwardTTL so benign races cannot fill the table.
+	canceledHosts map[hostKey]time.Duration
 
 	// probeCap bounds how many distinct bound values a range-strategy
 	// step resolves with streaming exact lookups before escalating to a
@@ -89,10 +108,22 @@ func (m resultMsg) WireSize() int {
 	return s
 }
 
+// cancelMsg chases a migrated plan: the origin (or an intermediate
+// host forwarding along the migration chain) tells the current host to
+// stop executing the remainder and release its pending overlay
+// operations.
+type cancelMsg struct {
+	Origin  simnet.NodeID
+	RootQID uint64
+}
+
+func (m cancelMsg) WireSize() int { return 16 }
+
 // NewEngine wires an engine to a peer, installing the app handler that
 // receives mutant plans and results.
 func NewEngine(p *pgrid.Peer, reopt Reoptimizer) *Engine {
 	e := &Engine{peer: p, reopt: reopt, queries: make(map[uint64]*Exec),
+		hosted: make(map[hostKey]*Exec), canceledHosts: make(map[hostKey]time.Duration),
 		probeCap: 64, parallelism: 0, rangeShards: 1}
 	p.SetAppHandler(e.handleApp)
 	return e
@@ -160,6 +191,7 @@ func (e *Engine) handleApp(_ *pgrid.Peer, payload any, from simnet.NodeID, hops 
 	switch m := payload.(type) {
 	case planMsg:
 		// Host a migrated plan: re-optimize the remainder, continue.
+		key := hostKey{m.Origin, m.RootQID}
 		steps := m.Steps
 		if e.reopt != nil {
 			steps = e.reopt.Rechoose(steps, m.Tail, len(m.Bindings), e.peer)
@@ -172,6 +204,16 @@ func (e *Engine) handleApp(_ *pgrid.Peer, payload any, from simnet.NodeID, hops 
 			started: e.peer.Net().Now(),
 			doneCh:  make(chan struct{}),
 		}
+		e.mu.Lock()
+		if _, canceled := e.canceledHosts[key]; canceled {
+			// The cancel overtook the plan: never start it.
+			delete(e.canceledHosts, key)
+			e.mu.Unlock()
+			return
+		}
+		e.sweepHostedLocked()
+		e.hosted[key] = ex
+		e.mu.Unlock()
 		ex.pmu.Lock()
 		ex.startPipeline()
 		ex.pmu.Unlock()
@@ -183,7 +225,102 @@ func (e *Engine) handleApp(_ *pgrid.Peer, payload any, from simnet.NodeID, hops 
 			return
 		}
 		ex.finishWith(m.Bindings)
+	case cancelMsg:
+		key := hostKey{m.Origin, m.RootQID}
+		now := e.peer.Net().Now()
+		e.mu.Lock()
+		ex, ok := e.hosted[key]
+		if !ok {
+			// Plan not here (yet): tombstone so a late arrival is
+			// dropped instead of executed. At the cap, the OLDEST
+			// tombstone gives way — dropping the new one would let the
+			// one plan we know was just canceled run to completion.
+			e.pruneTombstonesLocked(now)
+			if len(e.canceledHosts) >= maxCancelTombstones {
+				oldest, oldestBorn := hostKey{}, now+1
+				for k, born := range e.canceledHosts {
+					if born < oldestBorn {
+						oldest, oldestBorn = k, born
+					}
+				}
+				delete(e.canceledHosts, oldest)
+			}
+			e.canceledHosts[key] = now
+			e.mu.Unlock()
+			return
+		}
+		delete(e.hosted, key)
+		e.mu.Unlock()
+		if target, forward := ex.cancelHosted(); forward {
+			// The plan moved on before the cancel caught up: chase it.
+			e.peer.SendApp(target, m)
+		}
 	}
+}
+
+// maxCancelTombstones bounds the canceled-before-arrival memory
+// between prunes.
+const maxCancelTombstones = 1024
+
+// hostedForwardTTL is how long (simulated) completed bookkeeping is
+// kept for cancel handling: re-shipped hosted entries (needed to
+// forward a cancel along the migration chain) and tombstones (needed
+// to drop a plan the cancel overtook). Past the overlay's operation
+// deadline the origin has long given up, so chasing is pointless.
+const hostedForwardTTL = 2 * time.Minute
+
+// pruneTombstonesLocked drops tombstones older than the TTL — the
+// cancels that lost a benign race with normal completion and whose
+// planMsg will therefore never arrive. Callers hold e.mu.
+func (e *Engine) pruneTombstonesLocked(now time.Duration) {
+	for k, born := range e.canceledHosts {
+		if now-born > hostedForwardTTL {
+			delete(e.canceledHosts, k)
+		}
+	}
+}
+
+// sweepHostedLocked drops completed hosted plans once they both
+// accumulate and age out. Entries that re-shipped onward stay until
+// the TTL because they are what forwards a late cancel along the
+// migration chain; sweeping them early would quietly reintroduce
+// run-to-completion remainders. Callers hold e.mu.
+func (e *Engine) sweepHostedLocked() {
+	if len(e.hosted) < 64 {
+		return
+	}
+	now := e.peer.Net().Now()
+	for k, ex := range e.hosted {
+		if ex.Done() && now-ex.startedAt() > hostedForwardTTL {
+			delete(e.hosted, k)
+		}
+	}
+}
+
+// dropHosted removes a hosted plan's registration once it completed,
+// guarding on identity so a plan re-registered under the same key is
+// untouched.
+func (e *Engine) dropHosted(key hostKey, ex *Exec) {
+	e.mu.Lock()
+	if e.hosted[key] == ex {
+		delete(e.hosted, key)
+	}
+	e.mu.Unlock()
+}
+
+// HostedPlans reports how many migrated plans this engine currently
+// tracks (running, or re-shipped and awaiting potential cancels) —
+// leak detection in tests.
+func (e *Engine) HostedPlans() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := 0
+	for _, ex := range e.hosted {
+		if !ex.Done() {
+			n++
+		}
+	}
+	return n
 }
 
 // Exec drives one query (or the hosted remainder of one) at one peer.
@@ -214,6 +351,9 @@ type Exec struct {
 	sink     *tailSink
 	stopped  bool
 	migrated bool
+	// migratedTo is the region key the plan was shipped to — where a
+	// cancel must be sent to stop the hosted remainder.
+	migratedTo keys.Key
 
 	mu       sync.Mutex
 	started  time.Duration
@@ -498,6 +638,7 @@ func (ex *Exec) migrateFrom(idx int) {
 		RootQID:  ex.rootQID,
 	}
 	ex.migrated = true
+	ex.migratedTo = target
 	ex.win.close()
 	ex.eng.peer.SendApp(target, m)
 	// This Exec's role ends here; the result flows to ex.origin.
@@ -530,8 +671,11 @@ func (ex *Exec) finishPipeline(rows []algebra.Binding) {
 
 // Cancel terminates the query early: the pipeline stops, queued
 // operations are dropped, pending overlay operations are canceled at
-// the peer, and the Exec completes with the rows produced so far.
-// Canceling a completed query is a no-op.
+// the peer, and the Exec completes with the rows produced so far. If
+// the plan migrated, a cancel message chases it to the hosting peer
+// (and onward along any further migrations) so the remote remainder
+// stops too instead of running to completion. Canceling a completed
+// query is a no-op.
 func (ex *Exec) Cancel() {
 	ex.pmu.Lock()
 	defer ex.pmu.Unlock()
@@ -539,7 +683,9 @@ func (ex *Exec) Cancel() {
 		return
 	}
 	if ex.migrated {
-		// The plan is executing elsewhere; release the local waiter.
+		// The plan is executing elsewhere: tell the host to stop, then
+		// release the local waiter.
+		ex.eng.peer.SendApp(ex.migratedTo, cancelMsg{Origin: ex.origin, RootQID: ex.rootQID})
 		ex.finishWith(nil)
 		return
 	}
@@ -579,6 +725,41 @@ func shipTarget(st Step) (keys.Key, bool) {
 	return keys.Key{}, false
 }
 
+// cancelHosted stops a hosted (migrated-in) plan without shipping any
+// result home: the pipeline halts, queued operations are dropped and
+// pending overlay operations released. If this host already re-shipped
+// the plan onward, it reports the next region so the caller can
+// forward the cancel along the chain.
+func (ex *Exec) cancelHosted() (next keys.Key, forward bool) {
+	ex.pmu.Lock()
+	defer ex.pmu.Unlock()
+	if ex.migrated {
+		return ex.migratedTo, true
+	}
+	if ex.Done() {
+		return keys.Key{}, false
+	}
+	ex.stopped = true
+	ex.win.close()
+	ex.markDone()
+	return keys.Key{}, false
+}
+
+// startedAt returns the simulated instant the Exec was created.
+func (ex *Exec) startedAt() time.Duration {
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	return ex.started
+}
+
+// Migrated reports whether this Exec shipped its plan to another peer
+// (tests synchronize on the migration instant through it).
+func (ex *Exec) Migrated() bool {
+	ex.pmu.Lock()
+	defer ex.pmu.Unlock()
+	return ex.migrated
+}
+
 // markDone flips the done flag and closes the completion channel once.
 func (ex *Exec) markDone() bool {
 	ex.mu.Lock()
@@ -597,6 +778,7 @@ func (ex *Exec) finishWith(bs []algebra.Binding) {
 		// Hosted plan: tail already applied here; ship the result home.
 		ex.eng.peer.SendAppDirect(ex.origin, resultMsg{RootQID: ex.rootQID, Bindings: bs})
 		ex.markDone()
+		ex.eng.dropHosted(hostKey{ex.origin, ex.rootQID}, ex)
 		return
 	}
 	ex.mu.Lock()

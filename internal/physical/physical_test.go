@@ -26,8 +26,17 @@ type testNet struct {
 }
 
 func buildNet(t testing.TB, n int, seed int64, reopt Reoptimizer) *testNet {
+	return buildNetPaged(t, n, seed, reopt, 0)
+}
+
+// buildNetPaged is buildNet with peer-side range paging enabled at the
+// given page size (0 = off) — the equivalence suite runs the same
+// queries across page sizes to prove paging is invisible to results.
+func buildNetPaged(t testing.TB, n int, seed int64, reopt Reoptimizer, pageSize int) *testNet {
 	net := simnet.New(simnet.Config{Latency: simnet.ConstantLatency(time.Millisecond), Seed: seed})
-	peers := pgrid.BuildBalanced(net, n, 1, pgrid.DefaultConfig())
+	cfg := pgrid.DefaultConfig()
+	cfg.PageSize = pageSize
+	peers := pgrid.BuildBalanced(net, n, 1, cfg)
 	tn := &testNet{net: net, peers: peers}
 	for _, p := range peers {
 		tn.engines = append(tn.engines, NewEngine(p, reopt))

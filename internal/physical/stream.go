@@ -159,6 +159,11 @@ type stage struct {
 	probeKind triple.IndexKind
 	probeKey  func(v triple.Value) keys.Key
 	probed    map[string]bool
+	// probePend buffers probe keys derived from one upstream batch;
+	// flushProbes coalesces them into a single MultiLookup operation,
+	// which the peer groups per cached responsible node — a k-value
+	// index join costs ~peers-touched messages instead of k.
+	probePend []keys.Key
 	capped    bool // AV-range probe set exceeded probeCap; escalated to a scan
 	// Scan configuration (modeScan and escalation).
 	scanKind  triple.IndexKind
@@ -307,6 +312,7 @@ func (s *stage) open() {
 		for _, b := range s.join.LeftRows() {
 			s.noteLeft(b)
 		}
+		s.flushProbes()
 	case modeScan:
 		s.openScan()
 	case modeFixed:
@@ -322,7 +328,9 @@ func (s *stage) open() {
 	}
 }
 
-// addLeft feeds upstream rows into the stage.
+// addLeft feeds upstream rows into the stage. Probes derived from the
+// whole batch flush as one coalesced operation before the joined rows
+// move on.
 func (s *stage) addLeft(rows []algebra.Binding) {
 	if s.ex.stopped || s.ex.migrated {
 		return
@@ -334,6 +342,7 @@ func (s *stage) addLeft(rows []algebra.Binding) {
 		}
 		out = append(out, s.join.AddLeft(b)...)
 	}
+	s.flushProbes()
 	s.emit(out)
 }
 
@@ -366,20 +375,43 @@ func (s *stage) noteLeft(b algebra.Binding) {
 	if s.st.Strat == StratAVRange && len(s.probed) > s.ex.eng.probeCap {
 		// Too many distinct values for per-value probes: one region
 		// scan covers everything (fact dedup absorbs the overlap with
-		// probes already in flight).
+		// probes already in flight). Buffered probes are dropped — the
+		// scan subsumes them before they were ever sent.
 		s.capped = true
+		s.probePend = nil
 		s.openScan()
 		return
 	}
-	k := s.probeKey(v)
+	s.probePend = append(s.probePend, s.probeKey(v))
+}
+
+// flushProbes turns the buffered probe keys into one overlay
+// operation: a single Lookup for one key, a MultiLookup otherwise
+// (which the peer splits per cached responsible node, falling back to
+// individually routed lookups for uncached keys).
+func (s *stage) flushProbes() {
+	if len(s.probePend) == 0 {
+		return
+	}
+	ks := s.probePend
+	s.probePend = nil
+	if len(ks) == 1 {
+		k := ks[0]
+		s.submitOp(func(cb func(pgrid.OpResult)) *pgrid.Handle {
+			return s.ex.eng.peer.Lookup(s.probeKind, k, cb)
+		}, func(res pgrid.OpResult) { s.onEntries(res.Entries) })
+		return
+	}
 	s.submitOp(func(cb func(pgrid.OpResult)) *pgrid.Handle {
-		return s.ex.eng.peer.Lookup(s.probeKind, k, cb)
+		return s.ex.eng.peer.MultiLookup(s.probeKind, ks, cb)
 	}, func(res pgrid.OpResult) { s.onEntries(res.Entries) })
 }
 
 // openScan showers the stage's key range, split into the engine's
-// shard count. The rank stage instead issues shards with a bounded
-// lookahead and releases results strictly in key order.
+// shard count. Responses stream page by page into the join (the
+// overlay's paged scans deliver partial pages as they arrive). The
+// rank stage instead issues shards with a bounded lookahead and
+// releases results strictly in key order.
 func (s *stage) openScan() {
 	if s.issuedAll || len(s.shards) > 0 {
 		return
@@ -410,7 +442,8 @@ func (s *stage) openScan() {
 	for _, r := range shards {
 		r := r
 		s.submitOp(func(cb func(pgrid.OpResult)) *pgrid.Handle {
-			return s.ex.eng.peer.RangeQuery(s.scanKind, r, false, cb)
+			return s.ex.eng.peer.RangeQueryPages(s.scanKind, r,
+				func(es []store.Entry) { s.ex.opPage(s, -1, es) }, cb)
 		}, func(res pgrid.OpResult) { s.onEntries(res.Entries) })
 	}
 }
@@ -423,15 +456,52 @@ func (s *stage) issueRank() {
 		s.nextIssue++
 		r := s.shards[slot]
 		s.submitOp(func(cb func(pgrid.OpResult)) *pgrid.Handle {
-			return s.ex.eng.peer.RangeQuery(s.scanKind, r, false, cb)
-		}, func(res pgrid.OpResult) { s.onRankShard(slot, res.Entries) })
+			return s.ex.eng.peer.RangeQueryPages(s.scanKind, r,
+				func(es []store.Entry) { s.ex.opPage(s, slot, es) }, cb)
+		}, func(pgrid.OpResult) { s.onRankShard(slot) })
 	}
 }
 
-// onRankShard buffers a completed shard and releases the contiguous
-// prefix of completed shards in key order.
-func (s *stage) onRankShard(slot int, entries []store.Entry) {
-	s.shardBuf[slot] = entries
+// opPage is the streaming re-entry point from the overlay: one page
+// (or one partition's shard answer) enters the pipeline under pmu.
+// slot < 0 marks an unordered scan; otherwise the page belongs to the
+// rank stage's ordered shard at that slot.
+func (ex *Exec) opPage(s *stage, slot int, entries []store.Entry) {
+	ex.pmu.Lock()
+	defer ex.pmu.Unlock()
+	if ex.stopped || ex.migrated || ex.win.closed {
+		return
+	}
+	if slot < 0 {
+		s.onEntries(entries)
+		return
+	}
+	s.onRankPage(slot, entries)
+}
+
+// onRankPage handles one page of an ordered shard. Pages arrive in
+// ascending key order within a shard, so when the shard sits exactly
+// at the release frontier of an ascending rank, its pages flow
+// straight into the join — which is what lets a top-k threshold stop
+// fire mid-shard and cancel the remaining page pulls. Pages of shards
+// beyond the frontier (and every page of a descending rank, which
+// must be reversed whole) are buffered until release.
+func (s *stage) onRankPage(slot int, entries []store.Entry) {
+	if len(entries) == 0 {
+		return
+	}
+	if !s.rankDesc && slot == s.nextRel {
+		s.onEntries(entries)
+		return
+	}
+	s.shardBuf[slot] = append(s.shardBuf[slot], entries...)
+}
+
+// onRankShard marks an ordered shard complete and releases the
+// contiguous prefix of completed shards in key order, then flushes the
+// buffered pages of the (ascending) shard now sitting at the frontier
+// so its remaining pages can stream directly.
+func (s *stage) onRankShard(slot int) {
 	s.shardOK[slot] = true
 	for s.nextRel < len(s.shards) && s.shardOK[s.nextRel] {
 		entries := s.shardBuf[s.nextRel]
@@ -442,6 +512,14 @@ func (s *stage) onRankShard(slot int, entries []store.Entry) {
 				entries[i], entries[j] = entries[j], entries[i]
 			}
 		}
+		s.onEntries(entries)
+		if s.ex.stopped || s.ex.migrated {
+			return
+		}
+	}
+	if !s.rankDesc && s.nextRel < len(s.shards) && len(s.shardBuf[s.nextRel]) > 0 {
+		entries := s.shardBuf[s.nextRel]
+		s.shardBuf[s.nextRel] = nil
 		s.onEntries(entries)
 		if s.ex.stopped || s.ex.migrated {
 			return
@@ -515,6 +593,7 @@ func (s *stage) upstreamEOS() {
 	if !s.opened {
 		s.ex.openFrom(s.idx)
 	}
+	s.flushProbes() // probes derived from the final upstream batch
 	s.checkDone()
 }
 

@@ -92,9 +92,15 @@ type Stats struct {
 	MessagesDropped   int // lost to simulated loss or dead receivers
 	BytesSent         int
 	PerKind           map[string]int
+	// MaxSizePerKind records the largest single message (wire bytes,
+	// including the header estimate) sent per kind — how page-size
+	// bounds on responses are verified.
+	MaxSizePerKind map[string]int
 }
 
-func newStats() Stats { return Stats{PerKind: make(map[string]int)} }
+func newStats() Stats {
+	return Stats{PerKind: make(map[string]int), MaxSizePerKind: make(map[string]int)}
+}
 
 // Config parameterizes a Network.
 type Config struct {
@@ -322,6 +328,9 @@ func (n *Network) Send(from, to NodeID, kind string, payload any) {
 		size += s.WireSize()
 	}
 	n.stats.BytesSent += size
+	if size > n.stats.MaxSizePerKind[kind] {
+		n.stats.MaxSizePerKind[kind] = size
+	}
 	if n.cfg.LossRate > 0 && n.rng.Float64() < n.cfg.LossRate {
 		n.stats.MessagesDropped++
 		n.mu.Unlock()
@@ -491,6 +500,10 @@ func (n *Network) Stats() Stats {
 	s.PerKind = make(map[string]int, len(n.stats.PerKind))
 	for k, v := range n.stats.PerKind {
 		s.PerKind[k] = v
+	}
+	s.MaxSizePerKind = make(map[string]int, len(n.stats.MaxSizePerKind))
+	for k, v := range n.stats.MaxSizePerKind {
+		s.MaxSizePerKind[k] = v
 	}
 	return s
 }

@@ -1,0 +1,80 @@
+// Message-budget regression guard: the ranked top-5, warm index-join
+// and paged full-scan scenarios (internal/benchscen — the same
+// constructors cmd/benchjson records into BENCH_PR3.json, so budget
+// and record measure identical workloads by construction) run on the
+// 64-peer simnet and fail if their message counts exceed the
+// checked-in budgets. The budgets sit ~25% above the measured values
+// of this PR, so a future change that makes the message layer chatty —
+// losing the routing-cache fast path, breaking probe batching, pulling
+// pages past an early-out — fails CI instead of silently regressing.
+package unistore_test
+
+import (
+	"testing"
+
+	"unistore/internal/benchscen"
+	"unistore/internal/core"
+)
+
+// Checked-in budgets (messages per query, deterministic 64-peer
+// simnet). Measured at PR 3: topk 32, index-join warm 11, paged scan
+// 106.
+const (
+	budgetTopK          = 40
+	budgetIndexJoinWarm = 16
+	budgetPagedScan     = 135
+)
+
+// measure runs one query and returns its settled message count.
+func measure(t *testing.T, c *core.Cluster, src string) int {
+	t.Helper()
+	before := c.Net().Stats().MessagesSent
+	res, err := c.QueryFrom(0, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Bindings) == 0 {
+		t.Fatalf("%q returned nothing", src)
+	}
+	c.Net().Settle()
+	return c.Net().Stats().MessagesSent - before
+}
+
+func TestMessageBudgetRankedTopK(t *testing.T) {
+	msgs := measure(t, benchscen.TopK(), benchscen.TopKQuery)
+	if msgs > budgetTopK {
+		t.Errorf("ranked top-5 sent %d messages, budget %d", msgs, budgetTopK)
+	}
+	t.Logf("ranked top-5: %d messages (budget %d)", msgs, budgetTopK)
+}
+
+func TestMessageBudgetIndexJoinWarm(t *testing.T) {
+	c := benchscen.IndexJoin(false)
+	plan, err := benchscen.IndexJoinPlan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the origin's routing cache, then measure.
+	c.Engine(0).RunPlan(plan)
+	c.Net().Settle()
+	before := c.Net().Stats().MessagesSent
+	bs, _ := c.Engine(0).RunPlan(plan)
+	c.Net().Settle()
+	msgs := c.Net().Stats().MessagesSent - before
+	if len(bs) == 0 {
+		t.Fatal("index join returned nothing")
+	}
+	if msgs > budgetIndexJoinWarm {
+		t.Errorf("warm index join sent %d messages, budget %d", msgs, budgetIndexJoinWarm)
+	}
+	t.Logf("warm index join: %d messages (budget %d)", msgs, budgetIndexJoinWarm)
+}
+
+func TestMessageBudgetPagedScan(t *testing.T) {
+	c, _ := benchscen.Scan()
+	msgs := measure(t, c, benchscen.ScanQuery)
+	if msgs > budgetPagedScan {
+		t.Errorf("paged full scan sent %d messages, budget %d", msgs, budgetPagedScan)
+	}
+	t.Logf("paged full scan: %d messages (budget %d)", msgs, budgetPagedScan)
+}

@@ -60,7 +60,20 @@
 //
 // Queries accept a context (QueryCtx / QueryFromCtx / QueryStream):
 // canceling it stops the pipeline and releases its pending overlay
-// operations instead of letting them run to waste.
+// operations instead of letting them run to waste — including plans
+// that migrated to other peers, which are chased down and stopped.
+//
+// # Message-layer fast path
+//
+// Peers learn the partition→node map from the responses they observe,
+// so repeat probes reach the responsible peer in one hop instead of
+// O(log n); probes of an index join that map to the same cached peer
+// coalesce into one batched request/response pair; and with
+// Config.PageSize set, range scans are answered in bounded pages that
+// the query pulls only while its pipeline still needs rows. All three
+// are invisible to results (stale cache entries repair themselves
+// under churn) and priced by the cost model, so limit-aware plan
+// choices stay honest.
 //
 // See the examples directory for complete programs, README.md for the
 // module layout, docs/architecture.md for the query lifecycle and the

@@ -35,11 +35,13 @@ bench:
 	$(GO) test -run NONE -bench 'TopK|TimeToFirstResult|IndexJoin|PagedScan' -benchtime 5x .
 
 # Machine-readable benchmark record: msgs / sim-ms / ttfr-ms / bytes
-# for the topk, index-join (baseline vs warm routing cache) and paged
-# full-scan scenarios. Fails if the fast path regresses (see
-# cmd/benchjson). CI uploads the file as an artifact.
+# for the topk, index-join (baseline vs warm routing cache), paged
+# full-scan and churn top-k (single-owner vs replica-balanced reads,
+# 10% dead peers) scenarios. Fails if the fast path or the churn
+# failover regresses (see cmd/benchjson). CI uploads the file as an
+# artifact.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_PR3.json
+	$(GO) run ./cmd/benchjson -out BENCH_PR4.json
 
 # The docs job: broken intra-repo markdown links fail, sources stay
 # vetted and formatted.

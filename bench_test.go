@@ -327,7 +327,7 @@ func BenchmarkTopKStreaming(b *testing.B)     { benchTopK(b, false) }
 // pre-fast-path baseline) and warm (caches learned the partition map
 // from a first execution; probes batch per responsible peer). The
 // msgs metric is the headline: cmd/benchjson records the same
-// scenarios into BENCH_PR3.json for trend tracking.
+// scenarios into BENCH_PR4.json for trend tracking.
 
 func benchIndexJoin(b *testing.B, disableCache bool) {
 	c := benchscen.IndexJoin(disableCache)
@@ -380,6 +380,37 @@ func BenchmarkPagedScan(b *testing.B) {
 	b.ReportMetric(msgs, "msgs")
 	b.ReportMetric(maxResp, "max-resp-bytes")
 }
+
+// benchChurnTopK measures the ranked top-5 with 10% of a replicated
+// 64-node simnet killed while the query's branch envelopes are in
+// flight: single-owner routing (hedging off) waits out the operation
+// deadline; the replica-balanced read path recovers by hedging and
+// re-showering through live siblings.
+func benchChurnTopK(b *testing.B, singleOwner bool) {
+	var msgs, simMS, firstMS float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		c := benchscen.ChurnTopK(singleOwner)
+		b.StartTimer()
+		cr, err := benchscen.ChurnTopKRun(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if cr.Rows == 0 {
+			b.Fatal("churn top-k returned nothing")
+		}
+		msgs = float64(cr.Msgs)
+		simMS = cr.SimMS
+		firstMS = cr.TtfrMS
+	}
+	b.ReportMetric(msgs, "msgs")
+	b.ReportMetric(simMS, "sim-ms")
+	b.ReportMetric(firstMS, "ttfr-ms")
+}
+
+func BenchmarkChurnTopKSingleOwner(b *testing.B)     { benchChurnTopK(b, true) }
+func BenchmarkChurnTopKReplicaBalanced(b *testing.B) { benchChurnTopK(b, false) }
 
 // BenchmarkTimeToFirstResult reports how soon the streaming pipeline
 // surfaces its first row on an exhaustive (unlimited) scan, against

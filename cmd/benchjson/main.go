@@ -2,18 +2,23 @@
 // (internal/benchscen — shared with bench_test.go and the
 // msgbudget_test.go CI guard, so every consumer measures the same
 // workloads) on deterministic 64-peer simnets and writes
-// machine-readable results (BENCH_PR3.json by default): total
+// machine-readable results (BENCH_PR4.json by default): total
 // messages, simulated milliseconds, time-to-first-result and bytes for
-// the ranked top-k, DHT index-join and paged full-scan benches. The
-// index join runs twice — once with the routing cache disabled (the
-// pre-fast-path baseline) and once warm — and the paged scan verifies
-// no response exceeded the page bound. CI runs it in the bench-smoke
-// job and uploads the file as an artifact, so the perf trajectory is
-// tracked from this PR on.
+// the ranked top-k, DHT index-join, paged full-scan and churn top-k
+// benches. The index join runs twice — once with the routing cache
+// disabled (the pre-fast-path baseline) and once warm — the paged scan
+// verifies no response exceeded the page bound, and the churn top-k
+// runs twice on a replicated simnet with 10% of the nodes killed
+// mid-workload: once pinned to single-owner routing (fail-slow
+// baseline) and once with the replica-balanced read path. CI runs it
+// in the bench-smoke job and uploads the file as an artifact, so the
+// perf trajectory is tracked from this PR on.
 //
 // The tool exits non-zero when the fast path regresses: warm-cache
 // index joins must send at least 30% fewer messages than the baseline,
-// and no paged response may exceed the configured page bound.
+// no paged response may exceed the configured page bound, the churn
+// query must still complete with results, and replica-balanced reads
+// must beat single-owner routing on simulated time under churn.
 package main
 
 import (
@@ -41,6 +46,11 @@ type benchResult struct {
 	MaxRespBytes   int   `json:"max_resp_bytes,omitempty"`
 	PageBoundBytes int   `json:"page_bound_bytes,omitempty"`
 	WithinBound    *bool `json:"within_page_bound,omitempty"`
+	// Churn scenario: dead nodes and completion. Completed must always
+	// serialize when set — false IS the regression signal.
+	DeadPeers int   `json:"dead_peers,omitempty"`
+	Rows      int   `json:"rows,omitempty"`
+	Completed *bool `json:"completed,omitempty"`
 }
 
 type report struct {
@@ -103,6 +113,23 @@ func indexJoinBench(disableCache, warm bool) benchResult {
 	}
 }
 
+func churnBench(singleOwner bool) benchResult {
+	cr, err := benchscen.ChurnTopKRun(benchscen.ChurnTopK(singleOwner))
+	if err != nil {
+		die(err)
+	}
+	completed := cr.Rows > 0
+	return benchResult{
+		Msgs:      cr.Msgs,
+		SimMS:     cr.SimMS,
+		TtfrMS:    cr.TtfrMS,
+		Bytes:     cr.Bytes,
+		DeadPeers: cr.Dead,
+		Rows:      cr.Rows,
+		Completed: &completed,
+	}
+}
+
 func scanBench() benchResult {
 	c, triples := benchscen.Scan()
 	c.Net().ResetStats() // max-size tracking starts at the measured query
@@ -117,7 +144,7 @@ func scanBench() benchResult {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR3.json", "output path")
+	out := flag.String("out", "BENCH_PR4.json", "output path")
 	flag.Parse()
 
 	topk := topKBench()
@@ -127,11 +154,18 @@ func main() {
 	warmed.Name = "index-join-warm-cache"
 	warmed.ImprovementPct = 100 * float64(base.Msgs-warmed.Msgs) / float64(base.Msgs)
 	scan := scanBench()
+	churnSingle := churnBench(true)
+	churnSingle.Name = "churn-topk-single-owner"
+	churnReplica := churnBench(false)
+	churnReplica.Name = "churn-topk-replica-balanced"
+	if churnSingle.SimMS > 0 {
+		churnReplica.ImprovementPct = 100 * (churnSingle.SimMS - churnReplica.SimMS) / churnSingle.SimMS
+	}
 
 	rep := report{
 		GeneratedBy: "cmd/benchjson",
 		Peers:       benchscen.Peers,
-		Benches:     []benchResult{topk, base, warmed, scan},
+		Benches:     []benchResult{topk, base, warmed, scan, churnSingle, churnReplica},
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -147,6 +181,8 @@ func main() {
 		base.Msgs, warmed.Msgs, warmed.ImprovementPct)
 	fmt.Printf("  scan:       %d msgs, max resp %dB (bound %dB)\n",
 		scan.Msgs, scan.MaxRespBytes, scan.PageBoundBytes)
+	fmt.Printf("  churn-topk: %.2f sim-ms single-owner → %.2f replica-balanced (%d dead peers, %d msgs)\n",
+		churnSingle.SimMS, churnReplica.SimMS, churnReplica.DeadPeers, churnReplica.Msgs)
 
 	failed := false
 	if warmed.ImprovementPct < 30 {
@@ -157,6 +193,15 @@ func main() {
 	if scan.WithinBound == nil || !*scan.WithinBound {
 		fmt.Fprintf(os.Stderr, "FAIL: paged response of %dB exceeded bound %dB\n",
 			scan.MaxRespBytes, scan.PageBoundBytes)
+		failed = true
+	}
+	if churnReplica.Completed == nil || !*churnReplica.Completed {
+		fmt.Fprintf(os.Stderr, "FAIL: replica-balanced churn top-k returned no rows\n")
+		failed = true
+	}
+	if churnReplica.SimMS >= churnSingle.SimMS {
+		fmt.Fprintf(os.Stderr, "FAIL: replica-balanced churn reads (%.2f sim-ms) did not beat single-owner routing (%.2f sim-ms)\n",
+			churnReplica.SimMS, churnSingle.SimMS)
 		failed = true
 	}
 	if failed {

@@ -16,11 +16,11 @@ func main() {
 	// PlanetLab-like wide-area delays, 3 replicas per partition,
 	// periodic anti-entropy — the robustness configuration.
 	c := unistore.New(unistore.Config{
-		Peers:       48,
-		Replicas:    3,
-		Latency:     unistore.LatencyPlanetLab,
-		AntiEntropy: 10 * time.Second,
-		Seed:        11,
+		Peers:               48,
+		Replicas:            3,
+		Latency:             unistore.LatencyPlanetLab,
+		AntiEntropyInterval: 10 * time.Second,
+		Seed:                11,
 	})
 
 	// Participants share contacts...

@@ -1,5 +1,5 @@
 // Package benchscen defines the message-layer benchmark scenarios in
-// ONE place: cmd/benchjson (the BENCH_PR3.json trend record), the
+// ONE place: cmd/benchjson (the BENCH_PR4.json trend record), the
 // bench_test.go benchmarks, and the msgbudget_test.go CI regression
 // guard all build their clusters and plans here, so the budgets
 // calibrated against the recorded numbers measure the same workload by
@@ -10,6 +10,7 @@ package benchscen
 import (
 	"fmt"
 
+	"unistore/internal/algebra"
 	"unistore/internal/core"
 	"unistore/internal/keys"
 	"unistore/internal/physical"
@@ -78,6 +79,121 @@ func IndexJoinPlan() (*physical.Plan, error) {
 	}
 	plan.Steps[1].Strat = physical.StratOIDLookup
 	return plan, nil
+}
+
+// ChurnPeers/ChurnReplicas shape the churn scenario's overlay: 32
+// partitions × 2 replicas = the same 64-node simnet the other
+// scenarios use, but with every partition held twice.
+const (
+	ChurnPeers    = 32
+	ChurnReplicas = 2
+	// ChurnDeadFraction of the nodes are killed before the measured
+	// query (one replica per partition at most, so data stays
+	// reachable — the paper's churn regime, not a data-loss one).
+	ChurnDeadFraction = 0.10
+)
+
+// ChurnTopK builds the churn scenario cluster: a replicated 64-node
+// simnet (deterministic), 300 persons loaded, routing caches warmed by
+// one throwaway ranked query from peer 0. singleOwner pins reads to
+// the primary owner with hedging and scan retries disabled — the
+// fail-slow baseline whose queries wait out the operation deadline
+// when churn swallows a branch; the replica-balanced configuration
+// fails over instead.
+func ChurnTopK(singleOwner bool) *core.Cluster {
+	cfg := core.Config{
+		Peers: ChurnPeers, Replicas: ChurnReplicas, Seed: 21,
+		RangeShards: 8, ProbeParallelism: 2, PageSize: ScanPageSize,
+	}
+	if singleOwner {
+		cfg.ReadReplicas = 1
+		cfg.HedgeAfter = -1
+	}
+	c := core.NewCluster(cfg)
+	ds := workload.Generate(workload.Options{Seed: 22, Persons: 300})
+	c.BulkInsert(ds.Triples...)
+	// Warm the caches (and the replica sets they learn) from the peer
+	// the measured query will run on.
+	if _, err := c.QueryFrom(0, TopKQuery); err != nil {
+		panic(fmt.Sprintf("benchscen: churn warmup: %v", err))
+	}
+	c.Net().Settle()
+	return c
+}
+
+// ChurnResult is one measured churn run.
+type ChurnResult struct {
+	Rows     int
+	Dead     int
+	Msgs     int
+	Bytes    int
+	SimMS    float64
+	TtfrMS   float64
+	Bindings []algebra.Binding
+}
+
+// ChurnTopKRun executes the measured ranked top-k on a ChurnTopK
+// cluster with 10% of the nodes killed MID-FLIGHT: the query is
+// started, and the nodes its first-hop branch envelopes are in the air
+// toward (visible as network backlog) are killed before any is
+// delivered — their branch shares are genuinely lost, which is the
+// churn regime replicas exist for. At most one replica per partition
+// dies and never the origin, so every row stays reachable. The
+// fail-slow baseline waits out the overlay's operation deadline;
+// replica-balanced reads recover by re-showering the missing
+// partitions through live siblings.
+func ChurnTopKRun(c *core.Cluster) (ChurnResult, error) {
+	plan, err := physical.CompileQuery(mustParse(TopKQuery))
+	if err != nil {
+		return ChurnResult{}, err
+	}
+	net := c.Net()
+	before := net.Stats()
+	ex := c.Engine(0).Start(plan, nil)
+	// The first-hop branch envelopes are now queued; kill their targets.
+	want := int(float64(c.Size()) * ChurnDeadFraction)
+	origin := c.Peers()[0].ID()
+	byPath := make(map[string]bool)
+	dead := 0
+	kill := func(i int) {
+		p := c.Peers()[i]
+		if p.ID() == origin || !net.Alive(p.ID()) {
+			return
+		}
+		if path := p.Path().String(); !byPath[path] {
+			byPath[path] = true
+			c.Kill(i)
+			dead++
+		}
+	}
+	for i := 0; i < c.Size() && dead < want; i++ {
+		if net.Load(c.Peers()[i].ID()) > 0 {
+			kill(i)
+		}
+	}
+	for i := 0; i < c.Size() && dead < want; i++ {
+		kill(i)
+	}
+	ex.Wait()
+	net.Settle()
+	after := net.Stats()
+	return ChurnResult{
+		Rows:     len(ex.Result()),
+		Dead:     dead,
+		Msgs:     after.MessagesSent - before.MessagesSent,
+		Bytes:    after.BytesSent - before.BytesSent,
+		SimMS:    float64(ex.Elapsed().Microseconds()) / 1000,
+		TtfrMS:   float64(ex.TimeToFirst().Microseconds()) / 1000,
+		Bindings: ex.Result(),
+	}, nil
+}
+
+func mustParse(src string) *vql.Query {
+	q, err := vql.ParseQuery(src)
+	if err != nil {
+		panic(fmt.Sprintf("benchscen: %v", err))
+	}
+	return q
 }
 
 // Scan builds the paged full-scan scenario (300 persons, page size

@@ -70,8 +70,23 @@ type Config struct {
 	Optimizer optimizer.Options
 	// DisableOptimizer executes plans exactly as compiled.
 	DisableOptimizer bool
-	// AntiEntropy enables periodic replica reconciliation.
-	AntiEntropy time.Duration
+	// AntiEntropyInterval is the period of digest-based replica
+	// reconciliation: replicas exchange per-prefix version summaries
+	// and pull only the differing buckets, in PageSize-bounded pages.
+	// 0 disables the rounds.
+	AntiEntropyInterval time.Duration
+	// ReadReplicas bounds how many replicas the read path spreads
+	// probes and page pulls over (power-of-two-choices with hedged
+	// failover): 0 uses every replica the routing caches learn, 1 pins
+	// reads to the primary owner — the single-owner baseline.
+	ReadReplicas int
+	// HedgeAfter is the simulated time a direct probe may stay
+	// unanswered before it is hedged to a sibling replica (range scans
+	// re-shower missing partitions at a multiple of it). 0 selects
+	// pgrid.DefaultHedgeAfter; negative disables hedging and scan
+	// retries (fail-slow: churned queries wait out the operation
+	// deadline).
+	HedgeAfter time.Duration
 	// AdaptiveSamples, when non-nil, builds the trie adapted to this
 	// key sample (load balancing under skew) instead of peer-balanced.
 	AdaptiveSamples []keys.Key
@@ -169,11 +184,13 @@ func NewCluster(cfg Config) *Cluster {
 		Seed:     cfg.Seed,
 	})
 	pcfg := pgrid.DefaultConfig()
-	if cfg.AntiEntropy > 0 {
-		pcfg.AntiEntropyEvery = int64(cfg.AntiEntropy)
+	if cfg.AntiEntropyInterval > 0 {
+		pcfg.AntiEntropyEvery = int64(cfg.AntiEntropyInterval)
 	}
 	pcfg.PageSize = cfg.PageSize
 	pcfg.DisableRouteCache = cfg.DisableRouteCache
+	pcfg.ReadReplicas = cfg.ReadReplicas
+	pcfg.HedgeAfter = int64(cfg.HedgeAfter)
 	var peers []*pgrid.Peer
 	if cfg.AdaptiveSamples != nil {
 		peers = pgrid.BuildAdaptive(net, cfg.Peers, cfg.Replicas, cfg.AdaptiveSamples, pcfg)
@@ -184,6 +201,7 @@ func NewCluster(cfg Config) *Cluster {
 	stats.Replicas = cfg.Replicas
 	stats.TotalTriples = 0
 	stats.PageSize = cfg.PageSize
+	stats.ReadReplicas = effectiveReadReplicas(cfg)
 	opt := optimizer.New(stats, cfg.Optimizer)
 	c := &Cluster{cfg: cfg, net: net, peers: peers, opt: opt, stats: stats}
 	for _, p := range peers {
@@ -446,21 +464,36 @@ func (c *Cluster) execQueryCtx(ctx context.Context, peerIdx int, q *vql.Query) (
 	return res, nil
 }
 
+// effectiveReadReplicas is the replica count the read path can
+// actually spread over: the configured bound clipped to the replica
+// group size.
+func effectiveReadReplicas(cfg Config) int {
+	r := cfg.Replicas
+	if cfg.ReadReplicas > 0 && cfg.ReadReplicas < r {
+		r = cfg.ReadReplicas
+	}
+	if r < 1 {
+		r = 1
+	}
+	return r
+}
+
 // compile parses nothing — it lowers and cost-optimizes a parsed query
 // under the statistics lock, after refreshing the observed routing-
-// cache hit rate so probe pricing tracks how warm the caches really
-// are.
+// cache hit rate and probe-retry rate so probe pricing tracks how warm
+// the caches really are and how churned the overlay is.
 func (c *Cluster) compile(q *vql.Query) (*physical.Plan, error) {
 	plan, err := physical.CompileQuery(q)
 	if err != nil {
 		return nil, err
 	}
-	rate := c.routeCacheHitRate()
-	// Store the refreshed rate under the brief write lock, then
+	rate, retries := c.routeCacheRates()
+	// Store the refreshed rates under the brief write lock, then
 	// optimize under the read lock so concurrent compilations still
 	// run in parallel.
 	c.statsMu.Lock()
 	c.stats.CacheHitRate = rate
+	c.stats.RetryRate = retries
 	c.statsMu.Unlock()
 	c.statsMu.RLock()
 	c.opt.Optimize(plan)
@@ -468,20 +501,30 @@ func (c *Cluster) compile(q *vql.Query) (*physical.Plan, error) {
 	return plan, nil
 }
 
-// routeCacheHitRate aggregates the peers' routing-cache counters into
-// the fraction of probes that went direct — the cost model's
-// CacheHitRate input.
-func (c *Cluster) routeCacheHitRate() float64 {
-	hits, misses := 0, 0
+// routeCacheRates aggregates the peers' routing-cache counters into
+// the fraction of probes that went direct (the cost model's
+// CacheHitRate input) and the fraction of direct probe GROUPS that had
+// to be hedged or retried (its RetryRate input — groups over groups,
+// so batching many keys into one group cannot dilute the rate).
+func (c *Cluster) routeCacheRates() (hitRate, retryRate float64) {
+	hits, misses, groups, retries := 0, 0, 0, 0
 	for _, p := range c.peers {
 		st := p.Stats()
 		hits += st.RouteCacheHits
 		misses += st.RouteCacheMisses
+		groups += st.ProbeGroups
+		retries += st.ProbeRetries
 	}
-	if hits+misses == 0 {
-		return 0
+	if hits+misses > 0 {
+		hitRate = float64(hits) / float64(hits+misses)
 	}
-	return float64(hits) / float64(hits+misses)
+	if groups > 0 {
+		retryRate = float64(retries) / float64(groups)
+		if retryRate > 1 {
+			retryRate = 1
+		}
+	}
+	return hitRate, retryRate
 }
 
 // Stream is an open streaming query: rows arrive through Next as the

@@ -193,7 +193,7 @@ func TestIntrospection(t *testing.T) {
 }
 
 func TestChurnWithReplication(t *testing.T) {
-	c := NewCluster(Config{Peers: 8, Replicas: 2, Seed: 12, AntiEntropy: 5 * time.Second})
+	c := NewCluster(Config{Peers: 8, Replicas: 2, Seed: 12, AntiEntropyInterval: 5 * time.Second})
 	ds := workload.Generate(workload.Options{Seed: 13, Persons: 20})
 	c.Insert(ds.Triples...)
 	c.Kill(0)

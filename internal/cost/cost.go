@@ -35,6 +35,19 @@ type Stats struct {
 	// peer in one hop instead of log₂ P). The harness refreshes it from
 	// aggregate peer counters; 0 prices every probe cold.
 	CacheHitRate float64
+	// ReadReplicas is the number of replicas the read path spreads
+	// probes and page pulls over (power-of-two-choices). R replicas
+	// answering reads multiply a partition's effective service rate by
+	// R, which shrinks the queueing component of per-partition latency
+	// on hot shards by the same factor. 0 or 1 prices the single-owner
+	// path.
+	ReadReplicas int
+	// RetryRate is the observed fraction of direct probe groups that
+	// had to be hedged or retried to a sibling replica (dead or slow
+	// owner). Each retry costs one extra request/response pair and
+	// roughly a hedge deadline of added latency; the harness refreshes
+	// it from aggregate peer counters.
+	RetryRate float64
 	// PageSize is the peer-side range-scan page bound in entries
 	// (0 = paging off). Paged scans trade extra pull round trips on
 	// exhaustive results for bounded response sizes — and for a
@@ -48,6 +61,7 @@ func DefaultStats(partitions int) *Stats {
 	return &Stats{
 		Partitions:       max(partitions, 1),
 		Replicas:         1,
+		ReadReplicas:     1,
 		TriplesPerAttr:   make(map[string]int),
 		DefaultAttrCount: 1000,
 		TotalTriples:     10000,
@@ -74,6 +88,38 @@ func (s *Stats) LookupHops() float64 {
 // hitRate clamps the observed routing-cache hit rate to [0, 1].
 func (s *Stats) hitRate() float64 {
 	return math.Min(math.Max(s.CacheHitRate, 0), 1)
+}
+
+// retryRate clamps the observed probe-retry rate to [0, 1].
+func (s *Stats) retryRate() float64 {
+	return math.Min(math.Max(s.RetryRate, 0), 1)
+}
+
+// replicaSpread is the effective service-rate multiplier of the
+// replica-aware read path: R live replicas answering probes under
+// power-of-two-choices balance serve a hot partition ~R× faster than a
+// single owner, so the serving component of per-partition latency
+// divides by it.
+func (s *Stats) replicaSpread() float64 {
+	if s.ReadReplicas <= 1 {
+		return 1
+	}
+	return float64(s.ReadReplicas)
+}
+
+// retryMsgs is the expected extra messages of `groups` direct probe
+// groups under the observed retry rate: each retried group resends one
+// request and draws one more response.
+func (s *Stats) retryMsgs(groups float64) float64 {
+	return s.retryRate() * 2 * groups
+}
+
+// retryLatency is the expected added latency of a (possibly) hedged
+// probe: with probability RetryRate the origin waits out the hedge
+// deadline (priced at two hops of average latency) before the sibling
+// replica answers.
+func (s *Stats) retryLatency() time.Duration {
+	return time.Duration(s.retryRate() * 2 * float64(s.AvgLatency))
 }
 
 // EffectiveLookupHops is the expected routing distance to one key
@@ -162,15 +208,20 @@ func (s *Stats) lat(hops float64) time.Duration {
 }
 
 // Lookup estimates one exact-key lookup: route + direct response,
-// with the routing descent shortened by the expected cache hit rate.
-// A lookup is all startup — nothing can be skipped by stopping early.
+// with the routing descent shortened by the expected cache hit rate
+// and the cached fraction carrying the replica read path's expected
+// retry overhead. A lookup is all startup — nothing can be skipped by
+// stopping early.
 func (s *Stats) Lookup(expectedResults float64) Estimate {
 	h := s.EffectiveLookupHops()
+	r := s.hitRate()
+	msgs := h + 1 + r*s.retryMsgs(1)
+	lat := s.lat(h+1) + time.Duration(r*float64(s.retryLatency()))
 	return Estimate{
-		Messages:        h + 1,
-		StartupMessages: h + 1,
-		Latency:         s.lat(h + 1),
-		FirstLatency:    s.lat(h + 1),
+		Messages:        msgs,
+		StartupMessages: msgs,
+		Latency:         lat,
+		FirstLatency:    lat,
 		Results:         expectedResults,
 	}
 }
@@ -190,12 +241,12 @@ func (s *Stats) MultiLookup(k int, expectedResults float64) Estimate {
 	peers := p * (1 - math.Pow(1-1/p, float64(k)))
 	peers = math.Min(math.Max(peers, 1), float64(k))
 	cold := float64(k) * (h + 1)
-	batched := 2 * peers
+	batched := 2*peers + s.retryMsgs(peers) // hedged groups resend+answer
 	startup := (1-r)*(h+1) + r*2
 	return Estimate{
 		Messages:        (1-r)*cold + r*batched,
 		StartupMessages: startup,
-		Latency:         s.lat(startup), // parallel
+		Latency:         s.lat(startup) + time.Duration(r*float64(s.retryLatency())),
 		FirstLatency:    s.lat(startup),
 		Results:         expectedResults,
 	}
@@ -225,14 +276,21 @@ func (s *Stats) pagePulls(partitions, expectedResults float64) float64 {
 // per-page) remainder streams and shrinks under a limit, which is
 // exactly why paging keeps limit-aware pricing honest: an early-out
 // skips whole pages, not just whole partitions.
+//
+// The replica read path shows up twice: the serving term of the
+// latency divides by replicaSpread (R replicas answering page pulls
+// and re-showered branches multiply a hot partition's effective
+// service rate by R), and the observed retry rate adds the expected
+// re-shower traffic of partitions whose server died mid-scan.
 func (s *Stats) Range(fraction float64, expectedResults float64) Estimate {
 	h := s.LookupHops()
 	p := s.PartitionsForFraction(fraction)
 	pulls := s.pagePulls(p, expectedResults)
+	serve := (1 + 2*pulls/math.Max(p, 1)) / s.replicaSpread()
 	return Estimate{
-		Messages:        h + (p - 1) + p + 2*pulls, // descent + fan-out + responses + pulls
+		Messages:        h + (p - 1) + p + 2*pulls + s.retryMsgs(p), // descent + fan-out + responses + pulls + re-showers
 		StartupMessages: h + 1,
-		Latency:         s.lat(h + math.Log2(p+1) + 1 + 2*pulls/math.Max(p, 1)),
+		Latency:         s.lat(h + math.Log2(p+1) + serve),
 		FirstLatency:    s.lat(h + 1),
 		Results:         expectedResults,
 	}
@@ -243,10 +301,11 @@ func (s *Stats) Range(fraction float64, expectedResults float64) Estimate {
 func (s *Stats) Broadcast(expectedResults float64) Estimate {
 	p := float64(s.Partitions)
 	pulls := s.pagePulls(p, expectedResults)
+	serve := (1 + 2*pulls/math.Max(p, 1)) / s.replicaSpread()
 	return Estimate{
-		Messages:        2*p - 1 + 2*pulls,
+		Messages:        2*p - 1 + 2*pulls + s.retryMsgs(p),
 		StartupMessages: math.Log2(p+1) + 1,
-		Latency:         s.lat(math.Log2(p+1) + 1 + 2*pulls/math.Max(p, 1)),
+		Latency:         s.lat(math.Log2(p+1) + serve),
 		FirstLatency:    s.lat(2),
 		Results:         expectedResults,
 	}

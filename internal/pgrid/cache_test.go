@@ -46,9 +46,11 @@ func TestRouteCacheLearnsAndGoesDirect(t *testing.T) {
 	}
 }
 
-// TestRouteCacheFallbackOnDeadOwner: a cached owner that died must be
-// invalidated at send time and the probe must still succeed through
-// normal routing (replicated partitions keep the data reachable).
+// TestRouteCacheFallbackOnDeadOwner: a dead primary owner must fail
+// over to the cached sibling replica without giving up the direct fast
+// path; once EVERY cached owner of the partition is dead, the entry is
+// invalidated at send time and the probe still succeeds through normal
+// routing (replicated partitions keep the data reachable).
 func TestRouteCacheFallbackOnDeadOwner(t *testing.T) {
 	net := newNet(52)
 	peers := BuildBalanced(net, 16, 2, DefaultConfig())
@@ -63,23 +65,51 @@ func TestRouteCacheFallbackOnDeadOwner(t *testing.T) {
 	if !cold.Complete || len(cold.Entries) != 1 {
 		t.Fatalf("cold lookup: %+v", cold)
 	}
-	// Kill the peer that answered; the cached entry now points at a
-	// corpse (its replica keeps the partition served).
+	if q.RouteCacheOwners(key) < 2 {
+		t.Fatalf("response did not teach the replica set (owners %d)", q.RouteCacheOwners(key))
+	}
+	// Kill the peer that answered; the owner set still names its live
+	// sibling, so the follow-up probe stays direct — no invalidation.
 	q.mu.RLock()
 	var dead Ref
-	for _, r := range q.cache.entries {
-		dead = r
+	for _, s := range q.cache.entries {
+		dead = s.owners[0].Ref
 	}
 	q.mu.RUnlock()
 	net.Kill(dead.ID)
 
-	invBefore := q.Stats().RouteCacheInvalidations
+	hitsBefore := q.Stats().RouteCacheHits
 	again := q.LookupSync(triple.ByAV, key)
 	if !again.Complete || len(again.Entries) != 1 {
 		t.Fatalf("lookup after owner death: %+v", again)
 	}
+	if q.Stats().RouteCacheHits <= hitsBefore {
+		t.Error("dead primary did not fail over through the cached replica set")
+	}
+
+	// Strip the owner set down to the corpse (simulating a cache that
+	// never learned the sibling): the send-time fallback must now
+	// invalidate the entry and the probe must still resolve via prefix
+	// routing to the live replica.
+	q.mu.Lock()
+	for _, s := range q.cache.entries {
+		if s.path.Len() > 0 && key.HasPrefix(s.path) {
+			for _, o := range s.owners {
+				if o.ID == dead.ID {
+					s.owners = []ownerInfo{o}
+					break
+				}
+			}
+		}
+	}
+	q.mu.Unlock()
+	invBefore := q.Stats().RouteCacheInvalidations
+	final := q.LookupSync(triple.ByAV, key)
+	if !final.Complete || len(final.Entries) != 1 {
+		t.Fatalf("lookup after owner-set death: %+v", final)
+	}
 	if q.Stats().RouteCacheInvalidations <= invBefore {
-		t.Error("dead cached owner was not invalidated")
+		t.Error("dead owner set was not invalidated")
 	}
 }
 

@@ -1,6 +1,9 @@
 package pgrid
 
 import (
+	"hash/fnv"
+	"sort"
+	"strconv"
 	"time"
 
 	"unistore/internal/keys"
@@ -10,25 +13,106 @@ import (
 )
 
 // This file implements replica maintenance: eager push of fresh writes
-// to the replica group, and periodic anti-entropy reconciliation. The
+// to the replica group, and periodic DIGEST-BASED anti-entropy. The
 // combination yields the "update functionality with lose consistency
 // guarantees" (Datta, Hauswirth, Aberer, ICDCS 2003) the paper relies
 // on: updates reach available replicas quickly, unavailable replicas
 // converge when they return.
+//
+// The periodic rounds no longer ship full replica state both ways.
+// A round opens with a digest — per-bucket (index kind × key prefix)
+// version summaries, a few dozen bytes per bucket — and each side
+// pulls only the buckets whose summaries differ, delivered in pages of
+// at most Config.PageSize entries (the same bound the range-scan pager
+// enforces). Identical replicas exchange two digests and nothing else.
+// Full-state reconciliation survives only as the initial sync of a
+// freshly formed replica pair (becomeReplicaOf).
 
 func kindOf(i int) triple.IndexKind { return triple.IndexKind(i) }
 
 // partitionRange is the key range a peer with the given path covers.
 func partitionRange(path keys.Key) keys.Range { return keys.PrefixRange(path) }
 
-// pushToReplicas eagerly propagates fresh entries to the replica group.
-func (p *Peer) pushToReplicas(entries []store.Entry) {
+// pushToReplicas eagerly propagates fresh entries to the replica
+// group: one deduplicated gossipMsg per replica. The peer the entries
+// arrived from (a replica forwarding an insert, a gossiping sibling)
+// is skipped — it provably holds them already — and superseded
+// duplicates within the batch are dropped; both are counted as
+// suppressed sends.
+func (p *Peer) pushToReplicas(entries []store.Entry, from simnet.NodeID) {
 	p.mu.RLock()
 	replicas := append([]Ref(nil), p.replicas...)
 	p.mu.RUnlock()
-	for _, r := range replicas {
-		p.net.Send(p.id, r.ID, KindGossip, gossipMsg{Entries: entries})
+	if len(replicas) == 0 {
+		return
 	}
+	batch := dedupeEntries(entries, &p.stats)
+	seen := make(map[simnet.NodeID]bool, len(replicas))
+	for _, r := range replicas {
+		if r.ID == from || r.ID == p.id || seen[r.ID] {
+			p.stats.gossipSuppressed.Add(int64(len(batch)))
+			continue
+		}
+		seen[r.ID] = true
+		p.net.Send(p.id, r.ID, KindGossip, gossipMsg{Entries: batch})
+	}
+}
+
+// factKey is the replica layers' shared fact identity: one versioned
+// fact per index kind. Gossip dedup and anti-entropy suppression must
+// agree on it, so both go through factKeyOf.
+type factKey struct {
+	kind triple.IndexKind
+	oid  string
+	attr string
+}
+
+func factKeyOf(e store.Entry) factKey {
+	return factKey{e.Kind, e.Triple.OID, e.Triple.Attr}
+}
+
+// latestByFact maps each fact in entries to the highest version seen.
+func latestByFact(entries []store.Entry) map[factKey]uint64 {
+	out := make(map[factKey]uint64, len(entries))
+	for _, e := range entries {
+		if v, ok := out[factKeyOf(e)]; !ok || e.Version > v {
+			out[factKeyOf(e)] = e.Version
+		}
+	}
+	return out
+}
+
+// dedupeEntries drops batch entries superseded by a later entry for
+// the same fact, counting the drops.
+func dedupeEntries(entries []store.Entry, counters *peerCounters) []store.Entry {
+	if len(entries) <= 1 {
+		return entries
+	}
+	best := make(map[factKey]store.Entry, len(entries))
+	order := make([]factKey, 0, len(entries))
+	dropped := 0
+	for _, e := range entries {
+		fk := factKeyOf(e)
+		old, ok := best[fk]
+		if !ok {
+			best[fk] = e
+			order = append(order, fk)
+			continue
+		}
+		dropped++
+		if e.Version > old.Version {
+			best[fk] = e
+		}
+	}
+	if dropped == 0 {
+		return entries
+	}
+	counters.gossipSuppressed.Add(int64(dropped))
+	out := make([]store.Entry, 0, len(order))
+	for _, fk := range order {
+		out = append(out, best[fk])
+	}
+	return out
 }
 
 func (p *Peer) handleGossip(g gossipMsg) {
@@ -50,27 +134,164 @@ func (p *Peer) scheduleAntiEntropy() {
 	})
 }
 
-// runAntiEntropy reconciles with one random live replica (push-pull).
-func (p *Peer) runAntiEntropy() {
-	p.mu.RLock()
-	if len(p.replicas) == 0 {
-		p.mu.RUnlock()
-		return
+// digestPrefixBits is how many key bits past nothing (i.e. from the
+// root) bucket the digest: 16 buckets per index kind — coarse enough
+// that a digest stays tiny, fine enough that a single divergent fact
+// pulls a sliver of the store instead of all of it.
+const digestPrefixBits = 4
+
+// bucketID names the digest bucket of an entry: its index kind plus
+// the leading bits of its placement key.
+func bucketID(e store.Entry) string {
+	d := digestPrefixBits
+	if e.Key.Len() < d {
+		d = e.Key.Len()
 	}
-	r := p.replicas[p.net.Intn(len(p.replicas))]
-	p.mu.RUnlock()
-	p.net.Send(p.id, r.ID, KindAntiEnt, antiEntropyMsg{Entries: p.store.Facts(), Reply: true})
+	return strconv.Itoa(int(e.Kind)) + ":" + e.Key.Prefix(d).String()
 }
 
+// digest summarizes the peer's whole versioned store per bucket. The
+// bucket sums are order-independent (XOR hash, count, max), so the
+// unordered FactsEach walk suffices — no per-round copy or sort.
+func (p *Peer) digest() map[string]bucketSum {
+	out := make(map[string]bucketSum)
+	p.store.FactsEach(func(e store.Entry) {
+		b := bucketID(e)
+		s := out[b]
+		s.Count++
+		if e.Version > s.MaxVersion {
+			s.MaxVersion = e.Version
+		}
+		s.Hash ^= factHash(e)
+		out[b] = s
+	})
+	return out
+}
+
+// factHash folds one versioned fact into an order-independent bucket
+// hash.
+func factHash(e store.Entry) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte{byte(e.Kind)})
+	h.Write([]byte(e.Triple.OID))
+	h.Write([]byte{0})
+	h.Write([]byte(e.Triple.Attr))
+	h.Write([]byte{0})
+	if e.Deleted {
+		h.Write([]byte{1})
+	}
+	var v [8]byte
+	for i := 0; i < 8; i++ {
+		v[i] = byte(e.Version >> (8 * i))
+	}
+	h.Write(v[:])
+	return h.Sum64()
+}
+
+// runAntiEntropy opens a digest round with one random live replica.
+func (p *Peer) runAntiEntropy() {
+	p.mu.RLock()
+	var alive []Ref
+	for _, r := range p.replicas {
+		if p.net.Alive(r.ID) {
+			alive = append(alive, r)
+		}
+	}
+	p.mu.RUnlock()
+	if len(alive) == 0 {
+		return
+	}
+	r := alive[p.net.Intn(len(alive))]
+	p.stats.digestRounds.Add(1)
+	p.net.Send(p.id, r.ID, KindDigest, digestMsg{Buckets: p.digest(), Reply: true})
+}
+
+// handleDigest compares the sender's summaries with local state and
+// pulls the differing buckets; on the opening message of a round it
+// answers with its own digest so the exchange reconciles both ways.
+func (p *Peer) handleDigest(msg digestMsg, from simnet.NodeID) {
+	if msg.Reply {
+		// The responder's participation in the round; the opener
+		// counted at runAntiEntropy, and the reply leg is the same
+		// round, not a new one.
+		p.stats.digestRounds.Add(1)
+	}
+	mine := p.digest()
+	var want []string
+	for b, theirs := range msg.Buckets {
+		if mine[b] != theirs {
+			want = append(want, b)
+		}
+	}
+	// Buckets only this side holds are not pulled — the other side will
+	// request them off OUR digest (reply) or already did (we are the
+	// reply); entries flow toward whoever lacks them either way.
+	sort.Strings(want) // deterministic pull order
+	if len(want) > 0 {
+		p.net.Send(p.id, from, KindDigestPull, digestPullMsg{Buckets: want})
+	}
+	if msg.Reply {
+		p.net.Send(p.id, from, KindDigest, digestMsg{Buckets: mine, Reply: false})
+	}
+}
+
+// handleDigestPull answers a bucket pull with the requested entries in
+// pages of at most Config.PageSize (0: one message), reusing the
+// paging machinery's bound on response sizes — replica reconciliation
+// is batched the way probes batch by owner.
+func (p *Peer) handleDigestPull(msg digestPullMsg, from simnet.NodeID) {
+	p.stats.digestPulls.Add(1)
+	want := make(map[string]bool, len(msg.Buckets))
+	for _, b := range msg.Buckets {
+		want[b] = true
+	}
+	var batch []store.Entry
+	flush := func() {
+		if len(batch) > 0 {
+			p.net.Send(p.id, from, KindAntiEnt, antiEntropyMsg{Entries: batch})
+			batch = nil
+		}
+	}
+	for _, e := range p.store.Facts() {
+		if !want[bucketID(e)] {
+			continue
+		}
+		batch = append(batch, e)
+		if p.cfg.PageSize > 0 && len(batch) >= p.cfg.PageSize {
+			flush()
+		}
+	}
+	flush()
+}
+
+// handleAntiEntropy applies pushed replica state. For the full-state
+// form (Reply true — the initial sync of a fresh replica pair) it
+// answers with its own facts, SUPPRESSING the ones the incoming
+// message just proved the sender to hold at an equal or newer version:
+// entries are never echoed straight back to the peer they came from.
 func (p *Peer) handleAntiEntropy(msg antiEntropyMsg, from simnet.NodeID) {
 	for _, e := range msg.Entries {
 		if p.store.Apply(e) {
 			p.stats.gossipApplied.Add(1)
 		}
 	}
-	if msg.Reply {
-		p.net.Send(p.id, from, KindAntiEnt, antiEntropyMsg{Entries: p.store.Facts(), Reply: false})
+	if !msg.Reply {
+		return
 	}
+	theirs := latestByFact(msg.Entries)
+	var reply []store.Entry
+	suppressed := 0
+	for _, e := range p.store.Facts() {
+		if v, ok := theirs[factKeyOf(e)]; ok && v >= e.Version {
+			suppressed++
+			continue
+		}
+		reply = append(reply, e)
+	}
+	if suppressed > 0 {
+		p.stats.gossipSuppressed.Add(int64(suppressed))
+	}
+	p.net.Send(p.id, from, KindAntiEnt, antiEntropyMsg{Entries: reply})
 }
 
 // UpdateTriple writes a new value for fact (oid, attr) with a version

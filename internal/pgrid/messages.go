@@ -21,6 +21,8 @@ const (
 	KindApp         = "pgrid.app"
 	KindMultiLookup = "pgrid.mlookup"
 	KindPage        = "pgrid.page"
+	KindDigest      = "pgrid.digest"
+	KindDigestPull  = "pgrid.digestpull"
 )
 
 // TotalShare is the share mass carried by a range/broadcast query;
@@ -106,6 +108,10 @@ type rangeMsg struct {
 	// monolithic response). Set from the origin's Config.PageSize so
 	// the whole shower pages uniformly.
 	PageSize int
+	// Desc serves (and pages) each partition's overlap in descending
+	// key order, so a descending ranked scan streams pages instead of
+	// buffering whole shards for reversal.
+	Desc bool
 }
 
 func (r rangeMsg) WireSize() int { return r.R.Lo.Len()/8 + r.R.Hi.Len()/8 + 36 }
@@ -122,15 +128,25 @@ func (r rangeMsg) WireSize() int { return r.R.Lo.Len()/8 + r.R.Hi.Len()/8 + 36 }
 type pageCont struct {
 	Kind uint8
 	R    keys.Range
-	// SkipAtLo is how many entries stored at exactly R.Lo were already
-	// sent (0 on the first page, whose R.Lo is the range bound).
+	// SkipAtLo is how many entries stored at exactly the cursor key
+	// were already sent (0 on the first page, whose bounds are the
+	// range's own). Ascending scans cursor on R.Lo; descending scans
+	// cursor on the key just below R.Hi.
 	SkipAtLo int
 	Share    int64
 	PageSize int
 	Hops     int
+	// Desc pages the partition in descending key order; the cursor
+	// then lives at the top of R instead of the bottom, carried
+	// explicitly in Cursor (R.Lo cannot double as it the way ascending
+	// pages reuse the range bound).
+	Desc   bool
+	Cursor keys.Key
 }
 
-func (c pageCont) WireSize() int { return c.R.Lo.Len()/8 + c.R.Hi.Len()/8 + 28 }
+func (c pageCont) WireSize() int {
+	return c.R.Lo.Len()/8 + c.R.Hi.Len()/8 + c.Cursor.Len()/8 + 29
+}
 
 // pageReq pulls the next page of a paged range scan, sent directly to
 // the serving peer. The origin only issues it while the operation is
@@ -155,9 +171,25 @@ type queryResp struct {
 	Hops    int
 	From    simnet.NodeID
 	Path    keys.Key // responding peer's path (routing-cache learning)
+	// Replicas is the responder's replica group: the origin's routing
+	// cache learns the whole owner set of the partition, which is what
+	// the load-balanced replica chooser and the failover retries pick
+	// from.
+	Replicas []Ref
 	// Probes is how many batched lookup keys this response resolves
 	// (0 means 1, the unbatched compatibility default).
 	Probes int
+	// ProbeKeys lists the exact lookup keys this response answers.
+	// Key-tracked operations (probe groups with failover) mark these
+	// answered, so a hedged duplicate response can never double-count
+	// completion or re-deliver rows.
+	ProbeKeys []keys.Key
+	// Final marks a response that completes its partition's branch of
+	// a range scan (a monolithic answer, or the last page of a paged
+	// one). The origin's coverage bookkeeping — which partitions have
+	// fully answered, consulted by the churn-failover re-shower — is
+	// fed only by final responses.
+	Final bool
 	// Cont, when non-nil, marks a partial page of a range scan: the
 	// origin echoes it back in a pageReq to pull the next page. Share
 	// on a partial page is 0; the final page carries the branch mass.
@@ -165,7 +197,10 @@ type queryResp struct {
 }
 
 func (r queryResp) WireSize() int {
-	s := 40
+	s := 41 + len(r.Replicas)*10
+	for _, k := range r.ProbeKeys {
+		s += k.Len()/8 + 2
+	}
 	if r.Cont != nil {
 		s += r.Cont.WireSize()
 	}
@@ -195,9 +230,12 @@ func (g gossipMsg) WireSize() int {
 	return s
 }
 
-// antiEntropyMsg carries a replica's full versioned state (facts and
+// antiEntropyMsg carries versioned replica state (facts and
 // tombstones) for reconciliation; Reply requests the receiver's state
-// back.
+// back. The periodic digest protocol uses it only as the entry carrier
+// of pulled buckets (Reply false, chunked to Config.PageSize); the
+// full-state form survives as the initial sync of a freshly formed
+// replica pair (becomeReplicaOf).
 type antiEntropyMsg struct {
 	Entries []store.Entry
 	Reply   bool
@@ -207,6 +245,51 @@ func (a antiEntropyMsg) WireSize() int {
 	s := 8
 	for _, e := range a.Entries {
 		s += e.WireSize()
+	}
+	return s
+}
+
+// bucketSum summarizes one digest bucket (a key-prefix slice of one
+// index) without shipping its entries: live+tombstone count, the
+// highest version seen, and an order-independent hash of every
+// (fact, version, deleted) triple. Two replicas whose summaries match
+// hold identical bucket state with overwhelming probability; a
+// mismatch names exactly which bucket to pull.
+type bucketSum struct {
+	Count      int
+	MaxVersion uint64
+	Hash       uint64
+}
+
+// digestMsg opens (Reply true) or answers (Reply false) an
+// anti-entropy round: per-bucket version summaries of the sender's
+// whole store, a few dozen bytes per bucket instead of the full entry
+// payload the pre-digest protocol shipped every round.
+type digestMsg struct {
+	Buckets map[string]bucketSum
+	Reply   bool
+}
+
+func (d digestMsg) WireSize() int {
+	s := 9
+	for b := range d.Buckets {
+		s += len(b) + 20
+	}
+	return s
+}
+
+// digestPullMsg requests the full entries of the named buckets — the
+// ones whose summaries differed. The receiver answers with
+// antiEntropyMsg pages of at most Config.PageSize entries each,
+// reusing the paging machinery's bound on response sizes.
+type digestPullMsg struct {
+	Buckets []string
+}
+
+func (d digestPullMsg) WireSize() int {
+	s := 8
+	for _, b := range d.Buckets {
+		s += len(b) + 2
 	}
 	return s
 }

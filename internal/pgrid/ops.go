@@ -171,7 +171,7 @@ func (p *Peer) expireOp(qid uint64) {
 
 func (p *Peer) handleResponse(r queryResp) {
 	p.mu.Lock()
-	p.learnRouteLocked(r.Path, r.From)
+	p.learnRouteLocked(r.Path, r.From, r.Replicas)
 	op, ok := p.pending[r.QID]
 	if !ok || op.done {
 		// The operation completed or was canceled: a continuation is
@@ -179,6 +179,92 @@ func (p *Peer) handleResponse(r queryResp) {
 		// the remaining pages are never requested.
 		p.mu.Unlock()
 		return
+	}
+	if op.probeWant != nil && len(r.ProbeKeys) > 0 {
+		// Key-tracked probe op: mark keys answered. A response that
+		// answers nothing new is a hedged duplicate — its rows were
+		// already delivered by the replica that won the race, so the
+		// whole response is dropped; one that answers only SOME of its
+		// keys (a late batch racing per-key routed fallbacks) keeps
+		// only the entries of the newly answered keys. Either way
+		// entries and completion accounting stay exact.
+		newlySet := make(map[string]bool, len(r.ProbeKeys))
+		newly := 0
+		for _, k := range r.ProbeKeys {
+			ks := k.String()
+			if op.probeWant[ks] {
+				delete(op.probeWant, ks)
+				newlySet[ks] = true
+				newly++
+			}
+		}
+		if newly == 0 {
+			p.mu.Unlock()
+			return
+		}
+		if newly < len(r.ProbeKeys) {
+			kept := r.Entries[:0:0]
+			for _, e := range r.Entries {
+				if newlySet[e.Key.String()] {
+					kept = append(kept, e)
+				}
+			}
+			r.Entries = kept
+			r.Count = len(kept)
+		}
+		op.responses += newly
+		p.settleGroupsLocked(op, r.From)
+	} else if r.Probes > 1 {
+		// A batched response resolves Probes lookup keys at once; plain
+		// responses (Probes 0) count as one.
+		op.responses += r.Probes
+	} else {
+		op.responses++
+	}
+	if op.scan != nil && r.Path.Len() > 0 {
+		// Stream-claim dedup: the first responder for a partition owns
+		// its stream; a second stream of the same partition (a retry
+		// racing a slow-but-alive original, or vice versa) is dropped
+		// whole — pages included — so rows are never duplicated. The
+		// retry timer releases claims of dead or stalled owners.
+		sc := op.scan
+		key := r.Path.String()
+		now := p.net.Now()
+		if cl, claimed := sc.claims[key]; claimed && cl.from != r.From {
+			p.mu.Unlock()
+			return
+		} else if claimed {
+			if r.Cont != nil && cl.cont != nil && contEqual(*r.Cont, *cl.cont) {
+				// Same page again from the same server: a resume pull
+				// raced the original stream on one node. Keep one.
+				p.mu.Unlock()
+				return
+			}
+			cl.last = now
+			cl.cont = r.Cont
+		} else {
+			if sc.claims == nil {
+				sc.claims = make(map[string]*scanClaim)
+			}
+			sc.claims[key] = &scanClaim{path: r.Path, from: r.From, last: now, cont: r.Cont}
+		}
+		if r.Cont != nil {
+			if sc.cursors == nil {
+				sc.cursors = make(map[string]*scanCursor)
+			}
+			sc.cursors[key] = &scanCursor{path: r.Path, cont: *r.Cont}
+		}
+		if r.Final {
+			// Coverage bookkeeping for the churn re-shower: this
+			// partition has fully answered. A second final answer from
+			// the claimant itself would be a protocol bug; drop it too.
+			if sc.hasCovered(r.Path) {
+				p.mu.Unlock()
+				return
+			}
+			sc.covered = append(sc.covered, r.Path)
+			delete(sc.cursors, key)
+		}
 	}
 	onPartial := op.onPartial
 	var partial []store.Entry
@@ -189,13 +275,6 @@ func (p *Peer) handleResponse(r queryResp) {
 	}
 	op.count += r.Count
 	op.shares += r.Share
-	// A batched response resolves Probes lookup keys at once; plain
-	// responses (Probes 0) count as one.
-	if r.Probes > 1 {
-		op.responses += r.Probes
-	} else {
-		op.responses++
-	}
 	if r.Hops > op.hops {
 		op.hops = r.Hops
 	}
@@ -222,7 +301,27 @@ func (p *Peer) handleResponse(r queryResp) {
 		_, alive := p.pending[r.QID]
 		p.mu.Unlock()
 		if alive {
-			p.net.Send(p.id, r.From, KindPage, pageReq{QID: r.QID, Origin: p.id, Cont: *r.Cont})
+			target := r.From
+			if !p.net.Alive(target) {
+				// The server died between page and pull: the stateless
+				// continuation lets any sibling replica of its
+				// partition resume the cursor exactly — no duplicated
+				// or dropped rows. The partition's stream claim moves
+				// with the pull, or the sibling's pages would be
+				// rejected as a duplicate stream.
+				if sib, ok := p.siblingReplica(r.Path, target); ok {
+					target = sib
+					p.mu.Lock()
+					if op, live := p.pending[r.QID]; live && op.scan != nil {
+						if cl, ok := op.scan.claims[r.Path.String()]; ok && cl.from == r.From {
+							cl.from = sib
+							cl.last = p.net.Now()
+						}
+					}
+					p.mu.Unlock()
+				}
+			}
+			p.net.Send(p.id, target, KindPage, pageReq{QID: r.QID, Origin: p.id, Cont: *r.Cont})
 		}
 	}
 }
@@ -243,11 +342,20 @@ func (p *Peer) handleAck(a ackMsg) {
 
 // completionSatisfied is THE completion rule, shared by the response
 // and ack paths: done once shares reach needShares and responses reach
-// needResponses (whichever rules are armed). Callers hold the owning
-// peer's mu.
+// needResponses (whichever rules are armed). Range operations that had
+// to re-shower dead partitions (scan.coverage) additionally complete
+// when the partitions that answered fully tile the queried range —
+// retry showers carry no share mass, so the original rule could never
+// fire for them. Callers hold the owning peer's mu.
 func (o *pendingOp) completionSatisfied() bool {
-	return !((o.needShares > 0 && o.shares < o.needShares) ||
-		(o.needResponses > 0 && o.responses < o.needResponses))
+	if !((o.needShares > 0 && o.shares < o.needShares) ||
+		(o.needResponses > 0 && o.responses < o.needResponses)) {
+		return true
+	}
+	if o.scan != nil && o.scan.coverage {
+		return len(uncoveredPrefixes(o.scan.r, o.scan.covered)) == 0
+	}
+	return false
 }
 
 // maybeCompleteLocked checks the completion rule and, when satisfied,
@@ -317,58 +425,44 @@ func (p *Peer) DeleteTriple(oid, attr string, version uint64) {
 // --- Lookups and range queries -------------------------------------------
 
 // Lookup asynchronously fetches the entries stored at exactly key k in
-// the given index.
+// the given index. The probe is key-tracked: a cached owner set sends
+// it direct to a load-chosen replica with hedged failover; otherwise
+// it takes the routed path.
 func (p *Peer) Lookup(kind triple.IndexKind, k keys.Key, cb func(OpResult)) *Handle {
 	qid, op := p.newOp(0, 1, cb)
-	p.route(k, lookupReq{QID: qid, Origin: p.id, Kind: uint8(kind), Key: k})
+	p.mu.Lock()
+	op.probeWant = map[string]bool{k.String(): true}
+	op.probeKind = uint8(kind)
+	p.mu.Unlock()
+	p.dispatchProbes(qid, op, uint8(kind), []keys.Key{k})
 	return &Handle{peer: p, op: op, qid: qid}
 }
 
 // MultiLookup fetches the entries at every key of ks in one operation,
-// coalescing keys whose cached responsible peer coincides into a single
-// multiLookupReq/batched-response pair. Keys this peer covers itself
-// are answered in one local batch; keys with no cache entry fall back
-// to individually routed lookups. The operation completes when all
-// len(ks) keys have been answered (batched responses count each key).
+// coalescing keys whose cached responsible PARTITION coincides into a
+// single multiLookupReq/batched-response pair, sent to a replica of
+// that partition chosen by load (power of two choices over the cached
+// owner set). Keys this peer covers itself are answered in one local
+// batch; keys with no cache entry fall back to individually routed
+// lookups. Answers are tracked per key, so the operation completes
+// exactly when every distinct key has been answered — no matter how
+// responses, hedged duplicates, or failover retries interleave.
 func (p *Peer) MultiLookup(kind triple.IndexKind, ks []keys.Key, cb func(OpResult)) *Handle {
-	qid, op := p.newOp(0, len(ks), cb)
-	var local []keys.Key
-	groups := make(map[simnet.NodeID][]keys.Key)
-	var order []simnet.NodeID // deterministic send order
+	distinct := make([]keys.Key, 0, len(ks))
+	want := make(map[string]bool, len(ks))
 	for _, k := range ks {
-		if p.Responsible(k) {
-			local = append(local, k)
-			continue
+		s := k.String()
+		if !want[s] {
+			want[s] = true
+			distinct = append(distinct, k)
 		}
-		if ref, ok := p.cachedOwner(k); ok {
-			p.stats.cacheHits.Add(1)
-			if _, seen := groups[ref.ID]; !seen {
-				order = append(order, ref.ID)
-			}
-			groups[ref.ID] = append(groups[ref.ID], k)
-			continue
-		}
-		// Cache miss: the routed path (which counts the miss) resolves it.
-		p.route(k, lookupReq{QID: qid, Origin: p.id, Kind: uint8(kind), Key: k})
 	}
-	if len(local) > 0 {
-		// Serve own keys as one batch. The response travels through the
-		// network like any other so completion callbacks never fire
-		// inside the issuing call.
-		resp := queryResp{QID: qid, From: p.id, Path: p.Path(), Probes: len(local)}
-		for _, k := range local {
-			p.stats.delivered.Add(1)
-			entries := p.store.Lookup(kind, k)
-			resp.Entries = append(resp.Entries, entries...)
-			resp.Count += len(entries)
-		}
-		p.net.Send(p.id, p.id, KindResponse, resp)
-	}
-	for _, id := range order {
-		p.net.Send(p.id, id, KindMultiLookup, multiLookupReq{
-			QID: qid, Origin: p.id, Kind: uint8(kind), Keys: groups[id],
-		})
-	}
+	qid, op := p.newOp(0, len(distinct), cb)
+	p.mu.Lock()
+	op.probeWant = want
+	op.probeKind = uint8(kind)
+	p.mu.Unlock()
+	p.dispatchProbes(qid, op, uint8(kind), distinct)
 	return &Handle{peer: p, op: op, qid: qid}
 }
 
@@ -376,8 +470,12 @@ func (p *Peer) MultiLookup(kind triple.IndexKind, ks []keys.Key, cb func(OpResul
 // r, using the shower algorithm. probe=true returns counts only.
 func (p *Peer) RangeQuery(kind triple.IndexKind, r keys.Range, probe bool, cb func(OpResult)) *Handle {
 	qid, op := p.newOp(TotalShare, 0, cb)
+	p.mu.Lock()
+	op.scan = &scanState{kind: uint8(kind), r: r, pageSize: p.cfg.PageSize, probe: probe}
+	p.mu.Unlock()
 	msg := rangeMsg{QID: qid, Origin: p.id, Kind: uint8(kind), R: r,
 		Level: 0, Share: TotalShare, Probe: probe, PageSize: p.cfg.PageSize}
+	p.armScanRetry(qid)
 	// The origin participates in the shower like any other peer.
 	p.handleRange(msg)
 	return &Handle{peer: p, op: op, qid: qid}
@@ -391,10 +489,22 @@ func (p *Peer) RangeQuery(kind triple.IndexKind, r keys.Range, probe bool, cb fu
 // pages are never requested. onPage runs outside the peer lock but
 // always before the completion callback.
 func (p *Peer) RangeQueryPages(kind triple.IndexKind, r keys.Range, onPage func([]store.Entry), cb func(OpResult)) *Handle {
+	return p.RangeQueryPagesOrdered(kind, r, false, onPage, cb)
+}
+
+// RangeQueryPagesOrdered is RangeQueryPages with a direction: desc
+// serves (and pages) every partition's overlap from the top of the key
+// range down, so descending ranked scans stream pages in ranking order
+// instead of buffering whole shards for reversal.
+func (p *Peer) RangeQueryPagesOrdered(kind triple.IndexKind, r keys.Range, desc bool, onPage func([]store.Entry), cb func(OpResult)) *Handle {
 	qid, op := p.newOp(TotalShare, 0, cb)
+	p.mu.Lock()
 	op.onPartial = onPage
+	op.scan = &scanState{kind: uint8(kind), r: r, pageSize: p.cfg.PageSize, desc: desc}
+	p.mu.Unlock()
 	msg := rangeMsg{QID: qid, Origin: p.id, Kind: uint8(kind), R: r,
-		Level: 0, Share: TotalShare, PageSize: p.cfg.PageSize}
+		Level: 0, Share: TotalShare, PageSize: p.cfg.PageSize, Desc: desc}
+	p.armScanRetry(qid)
 	p.handleRange(msg)
 	return &Handle{peer: p, op: op, qid: qid}
 }

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"unistore/internal/keys"
 	"unistore/internal/simnet"
@@ -54,6 +55,48 @@ type Config struct {
 	// lookups degrade to per-key envelopes. Benchmarks use it as the
 	// pre-cache baseline.
 	DisableRouteCache bool
+	// ReadReplicas bounds how many replicas of a cached owner set the
+	// read path considers: 0 uses every known replica, 1 pins reads to
+	// the primary owner (the single-owner baseline — no load
+	// balancing, no failover target).
+	ReadReplicas int
+	// HedgeAfter is the simulated time a direct probe may stay
+	// unanswered before it is hedged to a sibling replica (and a range
+	// scan's missing partitions are re-showered, at a multiple of it).
+	// 0 selects DefaultHedgeAfter; negative disables hedging and scan
+	// retries entirely (the fail-slow baseline that waits out the
+	// operation deadline).
+	HedgeAfter int64 // nanoseconds of simulated time
+}
+
+// DefaultHedgeAfter is the probe-hedging deadline used when
+// Config.HedgeAfter is zero: far above any healthy round trip of the
+// experiment latency models, far below the operation deadline.
+const DefaultHedgeAfter = 100 * time.Millisecond
+
+// scanRetryFactor scales the hedge deadline into the range-scan
+// re-shower deadline: a shower fans out over log n hops and possibly
+// several pages, so its patience is an order of magnitude longer than
+// a single probe's.
+const scanRetryFactor = 10
+
+// maxProbeAttempts bounds how many replicas a probe group tries before
+// falling back to fully routed per-key lookups.
+const maxProbeAttempts = 3
+
+// maxScanRetries bounds the coverage re-shower rounds of one range
+// query; past it the operation expires with partial results as before.
+const maxScanRetries = 4
+
+// hedgeAfter resolves the configured hedging deadline (0 if disabled).
+func (c Config) hedgeAfter() time.Duration {
+	if c.HedgeAfter < 0 {
+		return 0
+	}
+	if c.HedgeAfter == 0 {
+		return DefaultHedgeAfter
+	}
+	return time.Duration(c.HedgeAfter)
 }
 
 // DefaultConfig returns the configuration used by the experiments.
@@ -112,11 +155,18 @@ type peerCounters struct {
 	rangeServed        atomic.Int64
 	routeFailures      atomic.Int64
 	gossipApplied      atomic.Int64
+	gossipSuppressed   atomic.Int64
 	exchangesRun       atomic.Int64
 	cacheHits          atomic.Int64
 	cacheMisses        atomic.Int64
+	cacheFwdHits       atomic.Int64
 	cacheInvalidations atomic.Int64
 	pagesServed        atomic.Int64
+	probeGroups        atomic.Int64
+	probeRetries       atomic.Int64
+	scanRetries        atomic.Int64
+	digestRounds       atomic.Int64
+	digestPulls        atomic.Int64
 }
 
 // PeerStats is a snapshot of per-peer protocol counters.
@@ -126,16 +176,38 @@ type PeerStats struct {
 	RangeServed   int // range branches served from the local store
 	RouteFailures int // envelopes dropped for lack of a live reference
 	GossipApplied int
-	ExchangesRun  int
+	// GossipSuppressed counts replica pushes the dedup layers withheld:
+	// batch entries superseded within one push, pushes skipped back to
+	// the peer an entry arrived from, and anti-entropy reply entries
+	// the other side had just proven to hold.
+	GossipSuppressed int
+	ExchangesRun     int
 	// Routing-cache counters: probes sent direct on a cached partition
 	// owner, probes that took the full routed path, and cache entries
 	// dropped or replaced (dead node, split partition, churn).
 	RouteCacheHits          int
 	RouteCacheMisses        int
 	RouteCacheInvalidations int
+	// RouteCacheFwdHits counts envelopes an INTERMEDIATE hop short-cut
+	// through its own cache while forwarding (the origin's hits are
+	// RouteCacheHits). Kept separate so the cost model's hit rate stays
+	// a per-probe origin statistic.
+	RouteCacheFwdHits int
 	// PagesServed counts paged range-scan responses (including the
 	// final page of each paged scan).
 	PagesServed int
+	// ProbeGroups counts direct probe groups sent to a chosen replica;
+	// ProbeRetries counts the groups re-sent to a sibling (hedged past
+	// the deadline or aimed at a dead owner) — their ratio is the cost
+	// model's RetryRate. ScanRetries counts coverage re-shower rounds
+	// of range queries.
+	ProbeGroups  int
+	ProbeRetries int
+	ScanRetries  int
+	// Digest anti-entropy: rounds participated in, and bucket pulls
+	// answered with entry pages.
+	DigestRounds int
+	DigestPulls  int
 }
 
 // pendingOp tracks one outstanding operation issued by this peer.
@@ -163,6 +235,86 @@ type pendingOp struct {
 	// the completion callback, and never after it.
 	onPartial func([]store.Entry)
 	fin       chan struct{}
+
+	// Key-tracked probe state (lookups and multi-lookups with replica
+	// failover). probeWant holds the keys still unanswered; responses
+	// mark keys answered through their ProbeKeys echo, so a hedged
+	// duplicate can neither double-count completion nor re-deliver
+	// rows. groups tracks the direct sends awaiting answers for the
+	// hedge timer.
+	probeWant map[string]bool
+	probeKind uint8
+	groupSeq  uint64
+	groups    map[uint64]*probeGroup
+
+	// scan tracks a range query's failover bookkeeping (which
+	// partitions answered, for the coverage re-shower).
+	scan *scanState
+}
+
+// probeGroup is one direct send of probe keys to a chosen replica,
+// tracked until its keys are answered or the hedge deadline passes.
+type probeGroup struct {
+	kind    uint8
+	keys    []keys.Key
+	target  simnet.NodeID
+	path    keys.Key // partition path the group was aimed at
+	sentAt  time.Duration
+	attempt int
+	tried   map[simnet.NodeID]bool
+}
+
+// scanState is the failover bookkeeping of one range query: enough to
+// re-shower the partitions that never finished answering, and the set
+// of partitions that did (fed by Final responses). Once a retry round
+// has run, completion switches from share mass to coverage — covered
+// partitions tiling the queried range — because retry showers carry no
+// share mass (double-counting a late original against a retry could
+// otherwise complete the operation while a partition is still silent).
+//
+// claims dedupes concurrent streams of one partition: the first
+// responder for a path owns its stream, and responses (pages included)
+// from any other replica of the same path are dropped whole — a retry
+// racing a slow-but-alive original can never duplicate rows. A claim
+// is released by the retry timer once its owner is dead or the stream
+// has made no progress for a whole retry interval, so a genuinely
+// wedged stream does hand the partition to a sibling.
+type scanState struct {
+	kind     uint8
+	r        keys.Range
+	pageSize int
+	probe    bool
+	desc     bool
+	covered  []keys.Key
+	claims   map[string]*scanClaim
+	// cursors memoizes each partition's page progress (the latest
+	// accepted continuation), independent of stream claims: it
+	// survives claim releases and lost resume pulls, so EVERY retry
+	// round resumes a partially-streamed partition at its cursor —
+	// never a from-scratch re-shower that would replay delivered rows.
+	// An entry is dropped when its partition's final page lands.
+	cursors  map[string]*scanCursor
+	retries  int
+	coverage bool // completion by coverage (armed by the first retry)
+}
+
+// scanClaim is one partition's stream ownership within a range query.
+// cont is the continuation of the last page accepted from the stream:
+// a same-From response carrying the identical continuation is the same
+// page again (a resume pull racing the original stream on one server)
+// and is dropped, so even same-node stream forks cannot duplicate
+// rows.
+type scanClaim struct {
+	path keys.Key
+	from simnet.NodeID
+	last time.Duration // simulated instant of the stream's last response
+	cont *pageCont
+}
+
+// scanCursor is one partition's resume point.
+type scanCursor struct {
+	path keys.Key
+	cont pageCont
 }
 
 // NewPeer creates a peer with an empty path and registers it in the
@@ -213,11 +365,18 @@ func (p *Peer) Stats() PeerStats {
 		RangeServed:             int(p.stats.rangeServed.Load()),
 		RouteFailures:           int(p.stats.routeFailures.Load()),
 		GossipApplied:           int(p.stats.gossipApplied.Load()),
+		GossipSuppressed:        int(p.stats.gossipSuppressed.Load()),
 		ExchangesRun:            int(p.stats.exchangesRun.Load()),
 		RouteCacheHits:          int(p.stats.cacheHits.Load()),
 		RouteCacheMisses:        int(p.stats.cacheMisses.Load()),
+		RouteCacheFwdHits:       int(p.stats.cacheFwdHits.Load()),
 		RouteCacheInvalidations: int(p.stats.cacheInvalidations.Load()),
 		PagesServed:             int(p.stats.pagesServed.Load()),
+		ProbeGroups:             int(p.stats.probeGroups.Load()),
+		ProbeRetries:            int(p.stats.probeRetries.Load()),
+		ScanRetries:             int(p.stats.scanRetries.Load()),
+		DigestRounds:            int(p.stats.digestRounds.Load()),
+		DigestPulls:             int(p.stats.digestPulls.Load()),
 	}
 }
 
@@ -288,6 +447,10 @@ func (p *Peer) HandleMessage(m simnet.Message) {
 		p.handleGossip(m.Payload.(gossipMsg))
 	case KindAntiEnt:
 		p.handleAntiEntropy(m.Payload.(antiEntropyMsg), m.From)
+	case KindDigest:
+		p.handleDigest(m.Payload.(digestMsg), m.From)
+	case KindDigestPull:
+		p.handleDigestPull(m.Payload.(digestPullMsg), m.From)
 	case KindExchange:
 		p.handleExchange(m.Payload.(exchangeMsg), m.From)
 	case KindMultiLookup:
@@ -295,8 +458,17 @@ func (p *Peer) HandleMessage(m simnet.Message) {
 	case KindPage:
 		p.handlePage(m.Payload.(pageReq))
 	case KindXferData:
+		// Split/re-home data: apply, then push the batch on to the
+		// replica group (deduplicated, one gossipMsg per replica) so
+		// siblings converge without waiting for an anti-entropy round.
+		var won []store.Entry
 		for _, e := range m.Payload.(xferMsg).Entries {
-			p.store.Apply(e)
+			if p.store.Apply(e) {
+				won = append(won, e)
+			}
+		}
+		if len(won) > 0 {
+			p.pushToReplicas(won, m.From)
 		}
 	case KindApp:
 		a := m.Payload.(appMsg)
@@ -313,13 +485,21 @@ func (p *Peer) deliver(env routeEnvelope, from simnet.NodeID) {
 	p.stats.delivered.Add(1)
 	switch inner := env.Inner.(type) {
 	case insertReq:
-		p.applyInsert(inner, env.Hops)
+		p.applyInsert(inner, env.Hops, from)
 	case lookupReq:
 		entries := p.store.Lookup(triple.IndexKind(inner.Kind), inner.Key)
-		p.net.Send(p.id, inner.Origin, KindResponse, queryResp{
+		resp := queryResp{
 			QID: inner.QID, Entries: entries, Count: len(entries),
-			Share: TotalShare, Hops: env.Hops, From: p.id, Path: p.Path(),
-		})
+			Share: TotalShare, Hops: env.Hops,
+			ProbeKeys: []keys.Key{inner.Key},
+		}
+		p.stampResp(&resp)
+		p.net.Send(p.id, inner.Origin, KindResponse, resp)
+	case pageReq:
+		// A routed page pull: the churn re-shower resumes a dead
+		// server's paged stream at its cursor through whichever replica
+		// of the partition routing reaches.
+		p.servePage(inner.QID, inner.Origin, inner.Cont)
 	case appMsg:
 		if h := p.appHandler(); h != nil {
 			h(p, inner.Payload, from, env.Hops)
@@ -329,14 +509,25 @@ func (p *Peer) deliver(env routeEnvelope, from simnet.NodeID) {
 	}
 }
 
-func (p *Peer) applyInsert(req insertReq, hops int) {
+func (p *Peer) applyInsert(req insertReq, hops int, from simnet.NodeID) {
 	won := p.store.Apply(req.Entry)
 	if won {
-		p.pushToReplicas([]store.Entry{req.Entry})
+		p.pushToReplicas([]store.Entry{req.Entry}, from)
 	}
 	if req.QID != 0 {
 		p.net.Send(p.id, req.Origin, KindAck, ackMsg{QID: req.QID, Hops: hops})
 	}
+}
+
+// stampResp fills the responder-identity fields every query response
+// carries: who answered, for which partition, and with which replica
+// siblings — the raw material of the origin's owner-set cache.
+func (p *Peer) stampResp(r *queryResp) {
+	p.mu.RLock()
+	r.From = p.id
+	r.Path = p.path
+	r.Replicas = append([]Ref(nil), p.replicas...)
+	p.mu.RUnlock()
 }
 
 // String renders the peer for diagnostics.

@@ -24,13 +24,31 @@ func (p *Peer) handleRoute(env routeEnvelope, from simnet.NodeID) {
 // potential loop into a counted routing failure.
 const maxRouteHops = 64
 
-// forward sends the envelope one hop closer to its target. It picks a
-// live reference at the divergence level, trying alternates for fault
-// tolerance; with none live, the envelope is dropped and counted.
+// forward sends the envelope one hop closer to its target. The hop
+// first consults its OWN routing cache: a cached owner whose recorded
+// path resolves strictly more target bits than this peer's own path
+// takes the envelope the rest of the way in one leg (the
+// strict-progress guard is what keeps two mutually stale caches from
+// bouncing an envelope back and forth; the hop TTL bounds what churn
+// can still construct). Otherwise it picks a live reference at the
+// divergence level, trying alternates for fault tolerance; with none
+// live, the envelope is dropped and counted.
 func (p *Peer) forward(env routeEnvelope) {
 	if env.Hops >= maxRouteHops {
 		p.stats.routeFailures.Add(1)
 		return
+	}
+	if ref, ok := p.cachedOwner(env.Target); ok && ref.ID != p.id {
+		p.mu.RLock()
+		progress := ref.Path.CommonPrefixLen(env.Target) > p.path.CommonPrefixLen(env.Target)
+		p.mu.RUnlock()
+		if progress {
+			env.Hops++
+			p.stats.forwarded.Add(1)
+			p.stats.cacheFwdHits.Add(1)
+			p.net.Send(p.id, ref.ID, KindRoute, env)
+			return
+		}
 	}
 	p.mu.RLock()
 	level := env.Target.CommonPrefixLen(p.path)
@@ -226,17 +244,23 @@ func (p *Peer) handleRange(msg rangeMsg) {
 // page size set (and actual entry payloads requested), the answer is
 // the first page plus a continuation token; count-only probes are
 // never paged — a count is one integer regardless of cardinality.
+// Desc serves the overlap top-down so descending ranked scans stream.
 func (p *Peer) serveRange(msg rangeMsg, share int64) {
 	p.stats.rangeServed.Add(1)
 	if msg.PageSize > 0 && !msg.Probe {
 		p.servePage(msg.QID, msg.Origin, pageCont{
 			Kind: msg.Kind, R: msg.R, Share: share,
-			PageSize: msg.PageSize, Hops: msg.Hops,
+			PageSize: msg.PageSize, Hops: msg.Hops, Desc: msg.Desc,
 		})
 		return
 	}
-	resp := queryResp{QID: msg.QID, Share: share, Hops: msg.Hops, From: p.id, Path: p.Path()}
-	p.store.Scan(triple.IndexKind(msg.Kind), msg.R, func(e store.Entry) bool {
+	resp := queryResp{QID: msg.QID, Share: share, Hops: msg.Hops, Final: true}
+	p.stampResp(&resp)
+	scan := p.store.Scan
+	if msg.Desc {
+		scan = p.store.ScanDesc
+	}
+	scan(triple.IndexKind(msg.Kind), msg.R, func(e store.Entry) bool {
 		if msg.Probe {
 			resp.Count++
 		} else {
@@ -259,8 +283,13 @@ func (p *Peer) serveRange(msg rangeMsg, share int64) {
 // removed between pulls outside the cursor's bucket never duplicate or
 // drop rows of the scan.
 func (p *Peer) servePage(qid uint64, origin simnet.NodeID, cont pageCont) {
+	if cont.Desc {
+		p.servePageDesc(qid, origin, cont)
+		return
+	}
 	p.stats.pagesServed.Add(1)
-	resp := queryResp{QID: qid, Hops: cont.Hops, From: p.id, Path: p.Path()}
+	resp := queryResp{QID: qid, Hops: cont.Hops}
+	p.stampResp(&resp)
 	skipLeft := cont.SkipAtLo
 	var last keys.Key
 	lastCount := 0 // entries sent at key `last` this page
@@ -296,6 +325,68 @@ func (p *Peer) servePage(qid uint64, origin simnet.NodeID, cont pageCont) {
 		resp.Cont = &next
 	} else {
 		resp.Share = cont.Share
+		resp.Final = true
+	}
+	p.net.Send(p.id, origin, KindResponse, resp)
+}
+
+// servePageDesc is servePage walking the overlap top-down: at most
+// PageSize entries ending at the key cursor carried in cont.Cursor
+// (with the first SkipAtLo entries of that bucket already sent). The
+// continuation tightens R.Hi to just above the cursor so the next page
+// resumes without rescanning, and — like the ascending form — the
+// token stays stateless and key-aligned, so any replica of the
+// partition can serve the next page without duplicating or dropping
+// rows.
+func (p *Peer) servePageDesc(qid uint64, origin simnet.NodeID, cont pageCont) {
+	p.stats.pagesServed.Add(1)
+	resp := queryResp{QID: qid, Hops: cont.Hops}
+	p.stampResp(&resp)
+	skipLeft := cont.SkipAtLo
+	cursor := cont.Cursor
+	var last keys.Key
+	lastCount := 0
+	more := false
+	p.store.ScanDesc(triple.IndexKind(cont.Kind), cont.R, func(e store.Entry) bool {
+		if cursor.Len() > 0 {
+			if e.Key.Compare(cursor) > 0 {
+				// Applied above the cursor between pulls: already past.
+				return true
+			}
+			if skipLeft > 0 && e.Key.Equal(cursor) {
+				skipLeft--
+				return true
+			}
+		}
+		if len(resp.Entries) >= cont.PageSize {
+			more = true
+			return false
+		}
+		if last.Equal(e.Key) {
+			lastCount++
+		} else {
+			last = e.Key
+			lastCount = 1
+		}
+		resp.Entries = append(resp.Entries, e)
+		resp.Count++
+		return true
+	})
+	if more {
+		next := cont
+		next.Cursor = last
+		next.SkipAtLo = lastCount
+		if cursor.Len() > 0 && last.Equal(cursor) {
+			next.SkipAtLo += cont.SkipAtLo
+		}
+		if hi, ok := last.Successor(); ok {
+			next.R.Hi = hi
+			next.R.HiOpen = true
+		}
+		resp.Cont = &next
+	} else {
+		resp.Share = cont.Share
+		resp.Final = true
 	}
 	p.net.Send(p.id, origin, KindResponse, resp)
 }
@@ -311,7 +402,8 @@ func (p *Peer) handlePage(req pageReq) {
 // per-key exact); keys a stale sender cache mis-attributed are
 // re-routed as ordinary lookups toward their real owners.
 func (p *Peer) handleMultiLookup(req multiLookupReq) {
-	resp := queryResp{QID: req.QID, Hops: 1, From: p.id, Path: p.Path()}
+	resp := queryResp{QID: req.QID, Hops: 1}
+	p.stampResp(&resp)
 	for _, k := range req.Keys {
 		if !p.Responsible(k) {
 			p.route(k, lookupReq{QID: req.QID, Origin: req.Origin, Kind: req.Kind, Key: k})
@@ -319,6 +411,7 @@ func (p *Peer) handleMultiLookup(req multiLookupReq) {
 		}
 		p.stats.delivered.Add(1)
 		resp.Probes++
+		resp.ProbeKeys = append(resp.ProbeKeys, k)
 		entries := p.store.Lookup(triple.IndexKind(req.Kind), k)
 		resp.Entries = append(resp.Entries, entries...)
 		resp.Count += len(entries)

@@ -449,14 +449,17 @@ func (s *stage) openScan() {
 }
 
 // issueRank keeps at most rankAhead ordered shards beyond the release
-// frontier in flight.
+// frontier in flight. Descending ranks issue shards high-to-low (the
+// shard list was reversed at openScan) and ask the overlay to serve
+// each partition's pages top-down, so pages arrive in ranking order
+// for both directions.
 func (s *stage) issueRank() {
 	for s.nextIssue < len(s.shards) && s.nextIssue < s.nextRel+s.rankAhead {
 		slot := s.nextIssue
 		s.nextIssue++
 		r := s.shards[slot]
 		s.submitOp(func(cb func(pgrid.OpResult)) *pgrid.Handle {
-			return s.ex.eng.peer.RangeQueryPages(s.scanKind, r,
+			return s.ex.eng.peer.RangeQueryPagesOrdered(s.scanKind, r, s.rankDesc,
 				func(es []store.Entry) { s.ex.opPage(s, slot, es) }, cb)
 		}, func(pgrid.OpResult) { s.onRankShard(slot) })
 	}
@@ -480,17 +483,17 @@ func (ex *Exec) opPage(s *stage, slot int, entries []store.Entry) {
 }
 
 // onRankPage handles one page of an ordered shard. Pages arrive in
-// ascending key order within a shard, so when the shard sits exactly
-// at the release frontier of an ascending rank, its pages flow
-// straight into the join — which is what lets a top-k threshold stop
-// fire mid-shard and cancel the remaining page pulls. Pages of shards
-// beyond the frontier (and every page of a descending rank, which
-// must be reversed whole) are buffered until release.
+// ranking order within a shard for BOTH directions (descending ranks
+// ask the overlay to page each partition top-down), so when the shard
+// sits exactly at the release frontier, its pages flow straight into
+// the join — which is what lets a top-k threshold stop fire mid-shard
+// and cancel the remaining page pulls. Pages of shards beyond the
+// frontier are buffered until release.
 func (s *stage) onRankPage(slot int, entries []store.Entry) {
 	if len(entries) == 0 {
 		return
 	}
-	if !s.rankDesc && slot == s.nextRel {
+	if slot == s.nextRel {
 		s.onEntries(entries)
 		return
 	}
@@ -498,26 +501,21 @@ func (s *stage) onRankPage(slot int, entries []store.Entry) {
 }
 
 // onRankShard marks an ordered shard complete and releases the
-// contiguous prefix of completed shards in key order, then flushes the
-// buffered pages of the (ascending) shard now sitting at the frontier
-// so its remaining pages can stream directly.
+// contiguous prefix of completed shards in ranking order, then flushes
+// the buffered pages of the shard now sitting at the frontier so its
+// remaining pages can stream directly.
 func (s *stage) onRankShard(slot int) {
 	s.shardOK[slot] = true
 	for s.nextRel < len(s.shards) && s.shardOK[s.nextRel] {
 		entries := s.shardBuf[s.nextRel]
 		s.shardBuf[s.nextRel] = nil
 		s.nextRel++
-		if s.rankDesc {
-			for i, j := 0, len(entries)-1; i < j; i, j = i+1, j-1 {
-				entries[i], entries[j] = entries[j], entries[i]
-			}
-		}
 		s.onEntries(entries)
 		if s.ex.stopped || s.ex.migrated {
 			return
 		}
 	}
-	if !s.rankDesc && s.nextRel < len(s.shards) && len(s.shardBuf[s.nextRel]) > 0 {
+	if s.nextRel < len(s.shards) && len(s.shardBuf[s.nextRel]) > 0 {
 		entries := s.shardBuf[s.nextRel]
 		s.shardBuf[s.nextRel] = nil
 		s.onEntries(entries)

@@ -176,6 +176,11 @@ type Network struct {
 	nextID   NodeID
 	inflight int
 	quiet    *sync.Cond // broadcast when inflight drops to zero
+	// load tracks the per-node backlog: messages sent to a node but not
+	// yet fully handled (scheduled deliveries plus, in concurrent mode,
+	// the node's inbox). Replica choosers read it through Load as the
+	// "least loaded of two" signal.
+	load map[NodeID]int
 
 	// Concurrent-mode state.
 	concurrent bool
@@ -202,6 +207,7 @@ func New(cfg Config) *Network {
 		rng:   rand.New(rand.NewSource(cfg.Seed)),
 		nodes: make(map[NodeID]Handler),
 		alive: make(map[NodeID]bool),
+		load:  make(map[NodeID]int),
 		stats: newStats(),
 	}
 	n.quiet = sync.NewCond(&n.mu)
@@ -353,6 +359,7 @@ func (n *Network) Send(from, to NodeID, kind string, payload any) {
 	n.seq++
 	heap.Push(&n.queue, &event{at: m.Deliver, seq: n.seq, msg: m})
 	n.inflight++
+	n.load[to]++
 	// Kick the scheduler only when it is parked waiting for something
 	// later than (or other than) this event; if it is mid-dispatch it
 	// re-peeks the queue on its own.
@@ -397,6 +404,7 @@ func (n *Network) Step() bool {
 	}
 	n.dropInflightLocked()
 	m := e.msg
+	n.dropLoadLocked(m.To, 1)
 	if !n.alive[m.To] || n.nodes[m.To] == nil {
 		n.stats.MessagesDropped++
 		n.mu.Unlock()
@@ -416,6 +424,24 @@ func (n *Network) dropInflightLocked() {
 	if n.inflight == 0 {
 		n.quiet.Broadcast()
 	}
+}
+
+// dropLoadLocked releases k units of a node's tracked backlog. Callers
+// hold n.mu.
+func (n *Network) dropLoadLocked(id NodeID, k int) {
+	if n.load[id] -= k; n.load[id] <= 0 {
+		delete(n.load, id)
+	}
+}
+
+// Load reports a node's current backlog: messages addressed to it that
+// have not yet been fully handled (scheduled deliveries plus, in
+// concurrent mode, its inbox). The replica-aware read path uses it as
+// the load signal of its power-of-two-choices replica chooser.
+func (n *Network) Load(id NodeID) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.load[id]
 }
 
 // Run processes events until the queue drains and returns the number of
@@ -621,6 +647,7 @@ func (n *Network) Stop() {
 	n.mu.Lock()
 	n.queue = nil
 	n.inflight = 0
+	n.load = make(map[NodeID]int)
 	n.quiet.Broadcast()
 	n.mu.Unlock()
 }
@@ -744,6 +771,7 @@ func (n *Network) schedule() {
 			if !n.alive[m.To] || ib == nil {
 				n.stats.MessagesDropped++
 				n.dropInflightLocked()
+				n.dropLoadLocked(m.To, 1)
 				continue
 			}
 			n.stats.MessagesDelivered++
@@ -776,6 +804,9 @@ func (n *Network) worker(h Handler, ib *inbox) {
 		}
 		n.mu.Lock()
 		n.inflight -= len(ms)
+		for _, m := range ms {
+			n.dropLoadLocked(m.To, 1)
+		}
 		if n.inflight == 0 {
 			n.quiet.Broadcast()
 		}

@@ -299,3 +299,39 @@ func (t *btree) Ascend(fn func(k string, v any) bool) {
 	defer t.mu.RUnlock()
 	t.root.ascend("", "", fn)
 }
+
+// DescendRange calls fn for every key in [lo, hi) in DESCENDING order;
+// an empty hi means unbounded above. fn returning false stops the
+// walk. The shared lock is held for the whole walk; fn must not mutate
+// the tree. This is what lets a descending ranked scan serve pages
+// from the top of a partition without materializing it first.
+func (t *btree) DescendRange(lo, hi string, fn func(k string, v any) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	t.root.descend(lo, hi, fn)
+}
+
+func (n *node) descend(lo, hi string, fn func(string, any) bool) bool {
+	// children[i] holds the keys between items[i-1] and items[i], so
+	// starting at the first item >= hi visits exactly the keys < hi.
+	i := len(n.items)
+	if hi != "" {
+		i, _ = n.find(hi)
+	}
+	if !n.leaf() && !n.children[i].descend(lo, hi, fn) {
+		return false
+	}
+	for j := i - 1; j >= 0; j-- {
+		it := n.items[j]
+		if it.key < lo {
+			return false
+		}
+		if !fn(it.key, it.val) {
+			return false
+		}
+		if !n.leaf() && !n.children[j].descend(lo, hi, fn) {
+			return false
+		}
+	}
+	return true
+}

@@ -197,6 +197,39 @@ func (s *Store) Scan(kind triple.IndexKind, r keys.Range, fn func(Entry) bool) {
 	})
 }
 
+// FactsEach calls fn for every versioned fact the peer holds (live and
+// tombstoned), in unspecified order and without copying or sorting —
+// the iteration behind order-independent digests.
+func (s *Store) FactsEach(fn func(Entry)) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, e := range s.facts {
+		fn(e)
+	}
+}
+
+// ScanDesc is Scan in descending key order: fn sees every live entry
+// of the index whose key lies in r, highest key first (entries sharing
+// a key keep their bucket order). The descending page server uses it
+// to stream a partition from the top.
+func (s *Store) ScanDesc(kind triple.IndexKind, r keys.Range, fn func(Entry) bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	lo := r.Lo.String()
+	hi := ""
+	if r.HiOpen {
+		hi = r.Hi.String()
+	}
+	s.idx[kind].DescendRange(lo, hi, func(_ string, v any) bool {
+		for _, e := range v.(bucket) {
+			if !fn(e) {
+				return false
+			}
+		}
+		return true
+	})
+}
+
 // CollectRange returns all live entries in r for the given index kind.
 func (s *Store) CollectRange(kind triple.IndexKind, r keys.Range) []Entry {
 	var out []Entry

@@ -1,12 +1,13 @@
-// Message-budget regression guard: the ranked top-5, warm index-join
-// and paged full-scan scenarios (internal/benchscen — the same
-// constructors cmd/benchjson records into BENCH_PR3.json, so budget
-// and record measure identical workloads by construction) run on the
-// 64-peer simnet and fail if their message counts exceed the
-// checked-in budgets. The budgets sit ~25% above the measured values
-// of this PR, so a future change that makes the message layer chatty —
+// Message-budget regression guard: the ranked top-5, warm index-join,
+// paged full-scan and churn top-k scenarios (internal/benchscen — the
+// same constructors cmd/benchjson records into BENCH_PR4.json, so
+// budget and record measure identical workloads by construction) run
+// on the 64-peer simnet and fail if their message counts exceed the
+// checked-in budgets. The budgets sit ~25-40% above the measured
+// values, so a future change that makes the message layer chatty —
 // losing the routing-cache fast path, breaking probe batching, pulling
-// pages past an early-out — fails CI instead of silently regressing.
+// pages past an early-out, retrying replicas unboundedly — fails CI
+// instead of silently regressing.
 package unistore_test
 
 import (
@@ -18,11 +19,13 @@ import (
 
 // Checked-in budgets (messages per query, deterministic 64-peer
 // simnet). Measured at PR 3: topk 32, index-join warm 11, paged scan
-// 106.
+// 106. Measured at PR 4: churn top-k with 10% dead peers and failover
+// retries 35.
 const (
 	budgetTopK          = 40
 	budgetIndexJoinWarm = 16
 	budgetPagedScan     = 135
+	budgetChurnTopK     = 50
 )
 
 // measure runs one query and returns its settled message count.
@@ -77,4 +80,25 @@ func TestMessageBudgetPagedScan(t *testing.T) {
 		t.Errorf("paged full scan sent %d messages, budget %d", msgs, budgetPagedScan)
 	}
 	t.Logf("paged full scan: %d messages (budget %d)", msgs, budgetPagedScan)
+}
+
+// TestMessageBudgetChurnTopK is the replica-read budget: the ranked
+// top-5 with 10% of the nodes killed mid-flight must recover through
+// hedges and re-showers without blowing the message budget — failover
+// is a bounded handful of extra envelopes, not a broadcast storm.
+func TestMessageBudgetChurnTopK(t *testing.T) {
+	cr, err := benchscen.ChurnTopKRun(benchscen.ChurnTopK(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.Rows == 0 {
+		t.Fatal("churn top-k returned nothing")
+	}
+	if cr.Dead == 0 {
+		t.Fatal("churn top-k killed nobody")
+	}
+	if cr.Msgs > budgetChurnTopK {
+		t.Errorf("churn top-5 sent %d messages, budget %d", cr.Msgs, budgetChurnTopK)
+	}
+	t.Logf("churn top-5: %d messages with %d dead peers (budget %d)", cr.Msgs, cr.Dead, budgetChurnTopK)
 }

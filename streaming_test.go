@@ -65,6 +65,53 @@ func TestLimitAndTopKSendFewerMessages(t *testing.T) {
 	}
 }
 
+// TestDescendingTopKStreamsPages: a DESCENDING ranked top-k on a
+// paged, sharded cluster must return the exact reverse-order result
+// while sending strictly fewer messages than the exhaustive scan —
+// the reverse-scan page order lets the rank frontier stream pages
+// top-down and stop mid-shard instead of buffering whole shards.
+func TestDescendingTopKStreamsPages(t *testing.T) {
+	build := func() *unistore.Cluster {
+		c := unistore.New(unistore.Config{
+			Peers: 64, Seed: 41, RangeShards: 8, ProbeParallelism: 2, PageSize: 4,
+		})
+		loadPersons(c, 42, 150)
+		return c
+	}
+	c := build()
+	full, err := c.QueryFrom(0, `SELECT ?n WHERE {(?p,'name',?n)}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Net().Settle()
+	// Expected: the 5 largest names, descending.
+	var names []string
+	for _, b := range full.Bindings {
+		names = append(names, b["n"].Lexical())
+	}
+	sort.Sort(sort.Reverse(sort.StringSlice(names)))
+	want := names[:5]
+
+	c2 := build() // fresh cluster: no warm caches to confound counts
+	res, err := c2.QueryFrom(0, `SELECT ?n WHERE {(?p,'name',?n)} ORDER BY ?n DESC LIMIT 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2.Net().Settle()
+	var got []string
+	for _, b := range res.Bindings {
+		got = append(got, b["n"].Lexical())
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("desc top-5 = %v, want %v", got, want)
+	}
+	if res.Messages >= full.Messages {
+		t.Errorf("desc top-5 sent %d messages, full scan %d — descending pages must stream and stop early",
+			res.Messages, full.Messages)
+	}
+	t.Logf("desc top-5: %d messages (full scan %d)", res.Messages, full.Messages)
+}
+
 // TestTimeToFirstResultBeatsCompletion: a streaming scan must have its
 // first row strictly before the last shard lands.
 func TestTimeToFirstResultBeatsCompletion(t *testing.T) {

@@ -36,12 +36,13 @@ bench:
 
 # Machine-readable benchmark record: msgs / sim-ms / ttfr-ms / bytes
 # for the topk, index-join (baseline vs warm routing cache), paged
-# full-scan and churn top-k (single-owner vs replica-balanced reads,
-# 10% dead peers) scenarios. Fails if the fast path or the churn
-# failover regresses (see cmd/benchjson). CI uploads the file as an
-# artifact.
+# full-scan, churn top-k (single-owner vs replica-balanced reads, 10%
+# dead peers) and group-by aggregation (peer-side pushdown vs
+# centralized fallback) scenarios. Fails if the fast path, the churn
+# failover or the aggregation pushdown regresses (see cmd/benchjson).
+# CI uploads the file as an artifact.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_PR4.json
+	$(GO) run ./cmd/benchjson -out BENCH_PR5.json
 
 # The docs job: broken intra-repo markdown links fail, sources stay
 # vetted and formatted.

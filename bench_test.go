@@ -327,7 +327,7 @@ func BenchmarkTopKStreaming(b *testing.B)     { benchTopK(b, false) }
 // pre-fast-path baseline) and warm (caches learned the partition map
 // from a first execution; probes batch per responsible peer). The
 // msgs metric is the headline: cmd/benchjson records the same
-// scenarios into BENCH_PR4.json for trend tracking.
+// scenarios into BENCH_PR5.json for trend tracking.
 
 func benchIndexJoin(b *testing.B, disableCache bool) {
 	c := benchscen.IndexJoin(disableCache)
@@ -411,6 +411,38 @@ func benchChurnTopK(b *testing.B, singleOwner bool) {
 
 func BenchmarkChurnTopKSingleOwner(b *testing.B)     { benchChurnTopK(b, true) }
 func BenchmarkChurnTopKReplicaBalanced(b *testing.B) { benchChurnTopK(b, false) }
+
+// benchGroupByAgg measures the in-network aggregation scenario: the
+// venue/count GROUP BY over ~600 publication rows, with the strategy
+// pinned to peer-side partial states (pushdown) or rows-to-the-
+// coordinator (centralized). cmd/benchjson records the same pair into
+// BENCH_PR5.json and fails CI when pushdown stops winning.
+func benchGroupByAgg(b *testing.B, pushdown bool) {
+	c, _ := benchscen.GroupByAgg(pushdown)
+	var msgs, bytes, simMS float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		before := c.Net().Stats()
+		res, err := c.QueryFrom(0, benchscen.GroupByAggQuery)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c.Net().Settle()
+		if len(res.Bindings) == 0 {
+			b.Fatal("group-by returned nothing")
+		}
+		after := c.Net().Stats()
+		msgs = float64(after.MessagesSent - before.MessagesSent)
+		bytes = float64(after.BytesSent - before.BytesSent)
+		simMS = float64(res.Elapsed.Microseconds()) / 1000
+	}
+	b.ReportMetric(msgs, "msgs")
+	b.ReportMetric(bytes, "bytes")
+	b.ReportMetric(simMS, "sim-ms")
+}
+
+func BenchmarkGroupByAggPushdown(b *testing.B)    { benchGroupByAgg(b, true) }
+func BenchmarkGroupByAggCentralized(b *testing.B) { benchGroupByAgg(b, false) }
 
 // BenchmarkTimeToFirstResult reports how soon the streaming pipeline
 // surfaces its first row on an exhaustive (unlimited) scan, against

@@ -2,23 +2,27 @@
 // (internal/benchscen — shared with bench_test.go and the
 // msgbudget_test.go CI guard, so every consumer measures the same
 // workloads) on deterministic 64-peer simnets and writes
-// machine-readable results (BENCH_PR4.json by default): total
+// machine-readable results (BENCH_PR5.json by default): total
 // messages, simulated milliseconds, time-to-first-result and bytes for
-// the ranked top-k, DHT index-join, paged full-scan and churn top-k
-// benches. The index join runs twice — once with the routing cache
-// disabled (the pre-fast-path baseline) and once warm — the paged scan
-// verifies no response exceeded the page bound, and the churn top-k
-// runs twice on a replicated simnet with 10% of the nodes killed
-// mid-workload: once pinned to single-owner routing (fail-slow
-// baseline) and once with the replica-balanced read path. CI runs it
-// in the bench-smoke job and uploads the file as an artifact, so the
-// perf trajectory is tracked from this PR on.
+// the ranked top-k, DHT index-join, paged full-scan, churn top-k and
+// in-network aggregation benches. The index join runs twice — once
+// with the routing cache disabled (the pre-fast-path baseline) and
+// once warm — the paged scan verifies no response exceeded the page
+// bound, the churn top-k runs twice on a replicated simnet with 10% of
+// the nodes killed mid-workload (single-owner fail-slow baseline vs
+// the replica-balanced read path), and the GROUP BY aggregation runs
+// twice with the strategy pinned: peer-side partial states (pushdown)
+// vs rows to the coordinator (centralized). CI runs it in the
+// bench-smoke job and uploads the file as an artifact, so the perf
+// trajectory is tracked from this PR on.
 //
-// The tool exits non-zero when the fast path regresses: warm-cache
-// index joins must send at least 30% fewer messages than the baseline,
-// no paged response may exceed the configured page bound, the churn
-// query must still complete with results, and replica-balanced reads
-// must beat single-owner routing on simulated time under churn.
+// The tool exits non-zero when a fast path regresses: warm-cache index
+// joins must send at least 30% fewer messages than the baseline, no
+// paged response may exceed the configured page bound, the churn query
+// must still complete with results, replica-balanced reads must beat
+// single-owner routing on simulated time under churn, and pushed-down
+// aggregation must move fewer messages AND bytes than the centralized
+// fallback.
 package main
 
 import (
@@ -130,6 +134,12 @@ func churnBench(singleOwner bool) benchResult {
 	}
 }
 
+func groupByAggBench(pushdown bool) benchResult {
+	c, _ := benchscen.GroupByAgg(pushdown)
+	r := run(c, benchscen.GroupByAggQuery)
+	return r
+}
+
 func scanBench() benchResult {
 	c, triples := benchscen.Scan()
 	c.Net().ResetStats() // max-size tracking starts at the measured query
@@ -144,7 +154,7 @@ func scanBench() benchResult {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR4.json", "output path")
+	out := flag.String("out", "BENCH_PR5.json", "output path")
 	flag.Parse()
 
 	topk := topKBench()
@@ -161,11 +171,18 @@ func main() {
 	if churnSingle.SimMS > 0 {
 		churnReplica.ImprovementPct = 100 * (churnSingle.SimMS - churnReplica.SimMS) / churnSingle.SimMS
 	}
+	aggCentral := groupByAggBench(false)
+	aggCentral.Name = "groupby-agg-centralized"
+	aggPush := groupByAggBench(true)
+	aggPush.Name = "groupby-agg-pushdown"
+	if aggCentral.Msgs > 0 {
+		aggPush.ImprovementPct = 100 * float64(aggCentral.Msgs-aggPush.Msgs) / float64(aggCentral.Msgs)
+	}
 
 	rep := report{
 		GeneratedBy: "cmd/benchjson",
 		Peers:       benchscen.Peers,
-		Benches:     []benchResult{topk, base, warmed, scan, churnSingle, churnReplica},
+		Benches:     []benchResult{topk, base, warmed, scan, churnSingle, churnReplica, aggCentral, aggPush},
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -183,6 +200,8 @@ func main() {
 		scan.Msgs, scan.MaxRespBytes, scan.PageBoundBytes)
 	fmt.Printf("  churn-topk: %.2f sim-ms single-owner → %.2f replica-balanced (%d dead peers, %d msgs)\n",
 		churnSingle.SimMS, churnReplica.SimMS, churnReplica.DeadPeers, churnReplica.Msgs)
+	fmt.Printf("  groupby-agg: %d msgs / %dB centralized → %d msgs / %dB pushdown (%.1f%% fewer msgs)\n",
+		aggCentral.Msgs, aggCentral.Bytes, aggPush.Msgs, aggPush.Bytes, aggPush.ImprovementPct)
 
 	failed := false
 	if warmed.ImprovementPct < 30 {
@@ -202,6 +221,16 @@ func main() {
 	if churnReplica.SimMS >= churnSingle.SimMS {
 		fmt.Fprintf(os.Stderr, "FAIL: replica-balanced churn reads (%.2f sim-ms) did not beat single-owner routing (%.2f sim-ms)\n",
 			churnReplica.SimMS, churnSingle.SimMS)
+		failed = true
+	}
+	if aggPush.Msgs >= aggCentral.Msgs {
+		fmt.Fprintf(os.Stderr, "FAIL: pushed-down aggregation (%d msgs) did not beat the centralized fallback (%d msgs)\n",
+			aggPush.Msgs, aggCentral.Msgs)
+		failed = true
+	}
+	if aggPush.Bytes >= aggCentral.Bytes {
+		fmt.Fprintf(os.Stderr, "FAIL: pushed-down aggregation (%dB) did not beat the centralized fallback (%dB)\n",
+			aggPush.Bytes, aggCentral.Bytes)
 		failed = true
 	}
 	if failed {

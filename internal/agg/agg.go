@@ -1,0 +1,727 @@
+// Package agg implements UniStore's in-network aggregation states: the
+// typed, mergeable partial aggregates (COUNT, SUM, AVG as sum+count,
+// MIN/MAX, COUNT DISTINCT via a bounded exact set with a spill-to-hash
+// fallback) that GROUP BY queries accumulate, keyed by group tuple,
+// with a binary wire encoding so peers can answer range and lookup
+// operations with per-group states instead of rows.
+//
+// The same Table runs in three places with identical semantics: the
+// in-memory reference executor (package algebra) aggregates oracle
+// bindings through it, the serving peers (package pgrid) build
+// per-partition partial tables from their stored entries, and the
+// query coordinator (package physical) merges partial states — or, on
+// the centralized fallback path, raw rows — into the final groups.
+// Because every path shares this one implementation, pushdown and
+// centralized aggregation agree bit-for-bit by construction.
+//
+// States are mergeable in the algebraic sense: merging the states of
+// any disjoint partition of the input rows yields the state of the
+// whole input, in any merge order. That is what makes the overlay's
+// failover machinery (per-partition stream claims, coverage-based
+// re-showers) sufficient for exactness: as long as every partition's
+// rows are aggregated into exactly one delivered state sequence, the
+// coordinator's merge is exact no matter how retries interleave.
+package agg
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"unistore/internal/triple"
+)
+
+// Func enumerates the aggregate functions.
+type Func uint8
+
+// Aggregate functions. Avg is carried as sum+count and finalized at
+// the coordinator, which is what keeps it mergeable.
+const (
+	Count Func = iota // count(*) with Var == "", else count(?v)
+	Sum
+	Avg
+	Min
+	Max
+)
+
+// String names the function as it appears in VQL.
+func (f Func) String() string {
+	switch f {
+	case Count:
+		return "count"
+	case Sum:
+		return "sum"
+	case Avg:
+		return "avg"
+	case Min:
+		return "min"
+	case Max:
+		return "max"
+	}
+	return fmt.Sprintf("func(%d)", uint8(f))
+}
+
+// Item is one aggregate of a query's select list.
+type Item struct {
+	Func Func
+	// Var is the argument variable ("" for count(*)).
+	Var string
+	// Distinct counts distinct argument values (count(DISTINCT ?v)).
+	Distinct bool
+	// Out is the output variable the finalized value binds to.
+	Out string
+}
+
+// String renders the item in VQL syntax.
+func (it Item) String() string {
+	arg := "*"
+	if it.Var != "" {
+		arg = "?" + it.Var
+		if it.Distinct {
+			arg = "DISTINCT " + arg
+		}
+	}
+	return fmt.Sprintf("%s(%s) AS ?%s", it.Func, arg, it.Out)
+}
+
+// Term is one position of the triple pattern a peer-side aggregation
+// matches entries against — a literal value or a variable. The zero
+// Term matches anything and binds nothing. It mirrors vql.Term without
+// importing the query language, so the overlay layer stays independent
+// of it.
+type Term struct {
+	IsLit bool
+	Var   string
+	Lit   triple.Value
+}
+
+// LitTerm builds a literal term.
+func LitTerm(v triple.Value) Term { return Term{IsLit: true, Lit: v} }
+
+// VarTerm builds a variable term.
+func VarTerm(name string) Term { return Term{Var: name} }
+
+// Spec describes one aggregation: the grouping variables, the
+// aggregate items, and — for peer-side evaluation — the triple pattern
+// whose bindings feed the groups. An empty GroupBy with items is a
+// global aggregate (one group); GroupBy without items is DISTINCT.
+type Spec struct {
+	GroupBy []string
+	Items   []Item
+	// Pat is the (S, A, V) pattern peer-side aggregation unifies stored
+	// triples with. Coordinator-side tables (fed bindings, not entries)
+	// leave it zero.
+	Pat [3]Term
+}
+
+// WireSize estimates the spec's serialized size for simnet accounting.
+func (sp *Spec) WireSize() int {
+	s := 8
+	for _, g := range sp.GroupBy {
+		s += len(g) + 1
+	}
+	for _, it := range sp.Items {
+		s += len(it.Var) + len(it.Out) + 3
+	}
+	for _, t := range sp.Pat {
+		s += len(t.Var) + len(t.Lit.Str) + 2
+	}
+	return s
+}
+
+// MatchTriple unifies the spec's pattern with a stored triple,
+// returning the variable bindings. Semantics mirror
+// algebra.MatchPattern: a repeated variable must bind equal values.
+func (sp *Spec) MatchTriple(tr triple.Triple) (map[string]triple.Value, bool) {
+	row := make(map[string]triple.Value, 3)
+	bind := func(t Term, v triple.Value) bool {
+		if t.IsLit {
+			return t.Lit.Equal(v)
+		}
+		if t.Var == "" {
+			return true
+		}
+		if old, ok := row[t.Var]; ok {
+			return old.Equal(v)
+		}
+		row[t.Var] = v
+		return true
+	}
+	if !bind(sp.Pat[0], triple.S(tr.OID)) {
+		return nil, false
+	}
+	if !bind(sp.Pat[1], triple.S(tr.Attr)) {
+		return nil, false
+	}
+	if !bind(sp.Pat[2], tr.Val) {
+		return nil, false
+	}
+	return row, true
+}
+
+// --- Distinct sets -----------------------------------------------------------
+
+// DistinctExactCap bounds the exact representation of a distinct set:
+// up to this many values are kept verbatim; past it the set spills to
+// 64-bit hashes, which stay exact up to hash collisions (~2⁻⁶⁴ per
+// pair) while bounding memory and wire size per value.
+const DistinctExactCap = 256
+
+// DistinctSet counts distinct values. Exact up to DistinctExactCap
+// values, hashed beyond. Merging two sets (in either representation)
+// yields the set of the union of their inputs, because hashing is
+// deterministic: the same value hashes identically on every peer.
+type DistinctSet struct {
+	exact  map[string]struct{}
+	hashed map[uint64]struct{}
+}
+
+// NewDistinctSet returns an empty set.
+func NewDistinctSet() *DistinctSet {
+	return &DistinctSet{exact: make(map[string]struct{})}
+}
+
+// Add inserts one value by its lexical encoding.
+func (d *DistinctSet) Add(lex string) {
+	if d.hashed != nil {
+		d.hashed[hash64(lex)] = struct{}{}
+		return
+	}
+	d.exact[lex] = struct{}{}
+	if len(d.exact) > DistinctExactCap {
+		d.spill()
+	}
+}
+
+// spill converts the exact set to the hashed representation.
+func (d *DistinctSet) spill() {
+	d.hashed = make(map[uint64]struct{}, len(d.exact))
+	for lex := range d.exact {
+		d.hashed[hash64(lex)] = struct{}{}
+	}
+	d.exact = nil
+}
+
+// Len reports the distinct count.
+func (d *DistinctSet) Len() int {
+	if d.hashed != nil {
+		return len(d.hashed)
+	}
+	return len(d.exact)
+}
+
+// Spilled reports whether the set switched to the hashed fallback.
+func (d *DistinctSet) Spilled() bool { return d.hashed != nil }
+
+// Merge folds another set into this one. If either side has spilled,
+// the union is hashed; otherwise the exact union may itself spill.
+func (d *DistinctSet) Merge(o *DistinctSet) {
+	if o == nil {
+		return
+	}
+	if o.hashed != nil && d.hashed == nil {
+		d.spill()
+	}
+	if d.hashed != nil {
+		if o.hashed != nil {
+			for h := range o.hashed {
+				d.hashed[h] = struct{}{}
+			}
+		} else {
+			for lex := range o.exact {
+				d.hashed[hash64(lex)] = struct{}{}
+			}
+		}
+		return
+	}
+	for lex := range o.exact {
+		// Add handles a spill mid-merge: once the cap is crossed, the
+		// remaining values land in the hashed set.
+		d.Add(lex)
+	}
+}
+
+// hash64 is FNV-1a, the deterministic value hash of the spill
+// representation.
+func hash64(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// --- States ------------------------------------------------------------------
+
+// Acc is the mergeable accumulator of one aggregate item over one
+// group. Only the fields the item's function needs are meaningful, but
+// the struct is uniform so states encode and merge without per-item
+// branching.
+type Acc struct {
+	// Count is the number of rows where the argument was bound (all
+	// rows for count(*)).
+	Count int64
+	// NumCount/Sum accumulate the numeric interpretation of the
+	// argument (SUM and AVG skip values that are neither numbers nor
+	// numeric strings, mirroring SQL's treatment of NULLs).
+	NumCount int64
+	Sum      float64
+	// Val/HasVal carry the running MIN or MAX under triple.Value order.
+	Val    triple.Value
+	HasVal bool
+	// Distinct is the distinct-value set (count DISTINCT only).
+	Distinct *DistinctSet
+}
+
+// State is the partial aggregate of one group: the group tuple plus
+// one accumulator per spec item.
+type State struct {
+	// Key holds the group-by values, aligned with Spec.GroupBy.
+	Key []triple.Value
+	// Accs holds one accumulator per Spec.Items entry.
+	Accs []Acc
+}
+
+// groupKey renders a group tuple as the canonical key: lexical
+// encodings joined by NUL (the same shape algebra.Key uses). It is the
+// single encoding behind both the table's map keys and the wire
+// cursor the paged protocol pages over.
+func groupKey(vals []triple.Value) string {
+	var sb strings.Builder
+	for _, v := range vals {
+		sb.WriteString(v.Lexical())
+		sb.WriteByte(0)
+	}
+	return sb.String()
+}
+
+// GroupKey renders the state's group tuple as the canonical
+// map/cursor key.
+func (s *State) GroupKey() string { return groupKey(s.Key) }
+
+// add folds one row into the state's accumulators.
+func (s *State) add(items []Item, row map[string]triple.Value) {
+	for i, it := range items {
+		a := &s.Accs[i]
+		if it.Var == "" { // count(*)
+			a.Count++
+			continue
+		}
+		v, ok := row[it.Var]
+		if !ok {
+			continue
+		}
+		a.Count++
+		switch it.Func {
+		case Count:
+			if it.Distinct {
+				if a.Distinct == nil {
+					a.Distinct = NewDistinctSet()
+				}
+				a.Distinct.Add(v.Lexical())
+			}
+		case Sum, Avg:
+			if f, ok := v.AsNumber(); ok {
+				a.NumCount++
+				a.Sum += f
+			}
+		case Min:
+			if !a.HasVal || v.Compare(a.Val) < 0 {
+				a.Val, a.HasVal = v, true
+			}
+		case Max:
+			if !a.HasVal || v.Compare(a.Val) > 0 {
+				a.Val, a.HasVal = v, true
+			}
+		}
+	}
+}
+
+// mergeAcc folds another accumulator of the same item into a.
+func mergeAcc(it Item, a, o *Acc) {
+	a.Count += o.Count
+	a.NumCount += o.NumCount
+	a.Sum += o.Sum
+	if o.HasVal {
+		if !a.HasVal {
+			a.Val, a.HasVal = o.Val, true
+		} else if it.Func == Min && o.Val.Compare(a.Val) < 0 {
+			a.Val = o.Val
+		} else if it.Func == Max && o.Val.Compare(a.Val) > 0 {
+			a.Val = o.Val
+		}
+	}
+	if o.Distinct != nil {
+		if a.Distinct == nil {
+			a.Distinct = NewDistinctSet()
+		}
+		a.Distinct.Merge(o.Distinct)
+	}
+}
+
+// finalize produces the item's result value; ok is false when the
+// aggregate is undefined over the group's rows (AVG with no numeric
+// input, MIN/MAX with no bound input), in which case the output
+// variable stays unbound — SQL's NULL.
+func (a *Acc) finalize(it Item) (triple.Value, bool) {
+	switch it.Func {
+	case Count:
+		if it.Distinct {
+			n := 0
+			if a.Distinct != nil {
+				n = a.Distinct.Len()
+			}
+			return triple.N(float64(n)), true
+		}
+		return triple.N(float64(a.Count)), true
+	case Sum:
+		return triple.N(a.Sum), true
+	case Avg:
+		if a.NumCount == 0 {
+			return triple.Value{}, false
+		}
+		return triple.N(a.Sum / float64(a.NumCount)), true
+	case Min, Max:
+		if !a.HasVal {
+			return triple.Value{}, false
+		}
+		return a.Val, true
+	}
+	return triple.Value{}, false
+}
+
+// --- Table -------------------------------------------------------------------
+
+// Table accumulates group states for one spec. It is not safe for
+// concurrent use; callers serialize (the executor under its pipeline
+// lock, serving peers on their worker goroutine).
+type Table struct {
+	spec   *Spec
+	groups map[string]*State
+}
+
+// NewTable returns an empty table for the spec.
+func NewTable(spec *Spec) *Table {
+	return &Table{spec: spec, groups: make(map[string]*State)}
+}
+
+// Spec returns the table's aggregation spec.
+func (t *Table) Spec() *Spec { return t.spec }
+
+// Len reports the number of groups.
+func (t *Table) Len() int { return len(t.groups) }
+
+// group finds or creates the state for a row's group tuple.
+func (t *Table) group(key []triple.Value) *State {
+	k := groupKey(key)
+	st, ok := t.groups[k]
+	if !ok {
+		st = &State{Key: key, Accs: make([]Acc, len(t.spec.Items))}
+		t.groups[k] = st
+	}
+	return st
+}
+
+// Add folds one input row (a variable binding) into its group. A group
+// variable missing from the row binds the zero value, so both the
+// distributed and the reference path treat such rows identically.
+func (t *Table) Add(row map[string]triple.Value) {
+	key := make([]triple.Value, len(t.spec.GroupBy))
+	for i, g := range t.spec.GroupBy {
+		key[i] = row[g]
+	}
+	t.group(key).add(t.spec.Items, row)
+}
+
+// AddTriple matches a stored triple against the spec's pattern and,
+// on success, folds the resulting row into its group — the peer-side
+// ingestion path. It reports whether the triple matched.
+func (t *Table) AddTriple(tr triple.Triple) bool {
+	row, ok := t.spec.MatchTriple(tr)
+	if !ok {
+		return false
+	}
+	t.Add(row)
+	return true
+}
+
+// MergeState folds one partial state (a remote peer's group) into the
+// table — the coordinator's merge path.
+func (t *Table) MergeState(s State) {
+	dst := t.group(s.Key)
+	for i := range t.spec.Items {
+		if i < len(s.Accs) {
+			mergeAcc(t.spec.Items[i], &dst.Accs[i], &s.Accs[i])
+		}
+	}
+}
+
+// MergeStates folds a batch of partial states.
+func (t *Table) MergeStates(states []State) {
+	for _, s := range states {
+		t.MergeState(s)
+	}
+}
+
+// States snapshots the table's groups sorted by group key — the
+// deterministic order the paged wire protocol's cursor pages over.
+func (t *Table) States() []State {
+	keys := make([]string, 0, len(t.groups))
+	for k := range t.groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]State, len(keys))
+	for i, k := range keys {
+		out[i] = *t.groups[k]
+	}
+	return out
+}
+
+// Rows finalizes the table: one output row per group with the group
+// variables and each item's output variable bound (undefined
+// aggregates leave their output unbound). A global aggregate (empty
+// GroupBy) over zero input rows still yields its single row — COUNT
+// over nothing is 0, as in SQL. Rows are ordered by group key.
+func (t *Table) Rows() []map[string]triple.Value {
+	states := t.States()
+	if len(states) == 0 && len(t.spec.GroupBy) == 0 && len(t.spec.Items) > 0 {
+		states = []State{{Accs: make([]Acc, len(t.spec.Items))}}
+	}
+	out := make([]map[string]triple.Value, 0, len(states))
+	for _, st := range states {
+		row := make(map[string]triple.Value, len(st.Key)+len(st.Accs))
+		for i, g := range t.spec.GroupBy {
+			if i < len(st.Key) {
+				row[g] = st.Key[i]
+			}
+		}
+		for i, it := range t.spec.Items {
+			if v, ok := st.Accs[i].finalize(it); ok {
+				row[it.Out] = v
+			}
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// --- Wire encoding -----------------------------------------------------------
+
+// The encoding is a plain length-prefixed binary layout: uvarint
+// counts, values as a kind byte plus either a length-prefixed string
+// or 8 float bits, accumulators with a presence bitmap for the
+// optional parts. It exists so partial states ride query responses as
+// opaque bytes — sized honestly for the simnet's byte accounting and
+// decoded only by the coordinator that knows the spec.
+
+// EncodeStates serializes a batch of states.
+func EncodeStates(states []State) []byte {
+	buf := binary.AppendUvarint(nil, uint64(len(states)))
+	for _, s := range states {
+		buf = binary.AppendUvarint(buf, uint64(len(s.Key)))
+		for _, v := range s.Key {
+			buf = appendValue(buf, v)
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(s.Accs)))
+		for _, a := range s.Accs {
+			buf = appendAcc(buf, a)
+		}
+	}
+	return buf
+}
+
+// DecodeStates parses a batch of states.
+func DecodeStates(data []byte) ([]State, error) {
+	d := &decoder{buf: data}
+	n := d.uvarint()
+	if n > uint64(len(data)) {
+		return nil, fmt.Errorf("agg: corrupt state count %d", n)
+	}
+	out := make([]State, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var s State
+		kn := d.uvarint()
+		if kn > uint64(len(data)) {
+			return nil, fmt.Errorf("agg: corrupt key arity %d", kn)
+		}
+		for j := uint64(0); j < kn; j++ {
+			s.Key = append(s.Key, d.value())
+		}
+		an := d.uvarint()
+		if an > uint64(len(data)) {
+			return nil, fmt.Errorf("agg: corrupt acc arity %d", an)
+		}
+		for j := uint64(0); j < an; j++ {
+			s.Accs = append(s.Accs, d.acc())
+		}
+		if d.err != nil {
+			return nil, d.err
+		}
+		out = append(out, s)
+	}
+	return out, d.err
+}
+
+func appendValue(buf []byte, v triple.Value) []byte {
+	buf = append(buf, byte(v.Kind))
+	if v.Kind == triple.KindNumber {
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], floatBits(v.Num))
+		return append(buf, b[:]...)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(v.Str)))
+	return append(buf, v.Str...)
+}
+
+const (
+	accHasVal byte = 1 << iota
+	accDistinctExact
+	accDistinctHashed
+)
+
+func appendAcc(buf []byte, a Acc) []byte {
+	var flags byte
+	if a.HasVal {
+		flags |= accHasVal
+	}
+	if a.Distinct != nil {
+		if a.Distinct.Spilled() {
+			flags |= accDistinctHashed
+		} else {
+			flags |= accDistinctExact
+		}
+	}
+	buf = append(buf, flags)
+	buf = binary.AppendUvarint(buf, uint64(a.Count))
+	buf = binary.AppendUvarint(buf, uint64(a.NumCount))
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], floatBits(a.Sum))
+	buf = append(buf, b[:]...)
+	if a.HasVal {
+		buf = appendValue(buf, a.Val)
+	}
+	if a.Distinct != nil {
+		if a.Distinct.Spilled() {
+			buf = binary.AppendUvarint(buf, uint64(len(a.Distinct.hashed)))
+			for h := range a.Distinct.hashed {
+				binary.BigEndian.PutUint64(b[:], h)
+				buf = append(buf, b[:]...)
+			}
+		} else {
+			buf = binary.AppendUvarint(buf, uint64(len(a.Distinct.exact)))
+			for lex := range a.Distinct.exact {
+				buf = binary.AppendUvarint(buf, uint64(len(lex)))
+				buf = append(buf, lex...)
+			}
+		}
+	}
+	return buf
+}
+
+// floatBits maps a float to its canonical IEEE bit pattern.
+func floatBits(f float64) uint64 { return math.Float64bits(f) }
+
+// decoder walks the encoded buffer, latching the first error.
+type decoder struct {
+	buf []byte
+	err error
+}
+
+func (d *decoder) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("agg: truncated state encoding")
+	}
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *decoder) bytes(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || n > len(d.buf) {
+		d.fail()
+		return nil
+	}
+	b := d.buf[:n]
+	d.buf = d.buf[n:]
+	return b
+}
+
+func (d *decoder) value() triple.Value {
+	kb := d.bytes(1)
+	if d.err != nil {
+		return triple.Value{}
+	}
+	if triple.ValueKind(kb[0]) == triple.KindNumber {
+		b := d.bytes(8)
+		if d.err != nil {
+			return triple.Value{}
+		}
+		return triple.N(math.Float64frombits(binary.BigEndian.Uint64(b)))
+	}
+	n := d.uvarint()
+	return triple.S(string(d.bytes(int(n))))
+}
+
+func (d *decoder) acc() Acc {
+	var a Acc
+	fb := d.bytes(1)
+	if d.err != nil {
+		return a
+	}
+	flags := fb[0]
+	a.Count = int64(d.uvarint())
+	a.NumCount = int64(d.uvarint())
+	if b := d.bytes(8); b != nil {
+		a.Sum = math.Float64frombits(binary.BigEndian.Uint64(b))
+	}
+	if flags&accHasVal != 0 {
+		a.Val, a.HasVal = d.value(), true
+	}
+	switch {
+	case flags&accDistinctExact != 0:
+		n := d.uvarint()
+		if n > uint64(len(d.buf))+1 {
+			d.fail()
+			return a
+		}
+		a.Distinct = NewDistinctSet()
+		for i := uint64(0); i < n && d.err == nil; i++ {
+			l := d.uvarint()
+			a.Distinct.Add(string(d.bytes(int(l))))
+		}
+	case flags&accDistinctHashed != 0:
+		n := d.uvarint()
+		if n > uint64(len(d.buf))/8+1 {
+			d.fail()
+			return a
+		}
+		a.Distinct = &DistinctSet{hashed: make(map[uint64]struct{}, n)}
+		for i := uint64(0); i < n && d.err == nil; i++ {
+			if b := d.bytes(8); b != nil {
+				a.Distinct.hashed[binary.BigEndian.Uint64(b)] = struct{}{}
+			}
+		}
+	}
+	return a
+}

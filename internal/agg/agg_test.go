@@ -1,0 +1,177 @@
+package agg
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"unistore/internal/triple"
+)
+
+func specAll() *Spec {
+	return &Spec{
+		GroupBy: []string{"g"},
+		Items: []Item{
+			{Func: Count, Out: "cnt"},
+			{Func: Count, Var: "v", Out: "cntv"},
+			{Func: Count, Var: "v", Distinct: true, Out: "cntd"},
+			{Func: Sum, Var: "v", Out: "sum"},
+			{Func: Avg, Var: "v", Out: "avg"},
+			{Func: Min, Var: "v", Out: "min"},
+			{Func: Max, Var: "v", Out: "max"},
+		},
+	}
+}
+
+func row(g string, v float64) map[string]triple.Value {
+	return map[string]triple.Value{"g": triple.S(g), "v": triple.N(v)}
+}
+
+// TestMergeEquivalence is the mergeability property: aggregating rows
+// in one table must equal splitting them across partial tables in any
+// partition and merging the encoded states.
+func TestMergeEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var rows []map[string]triple.Value
+	for i := 0; i < 500; i++ {
+		rows = append(rows, row(fmt.Sprintf("g%d", rng.Intn(7)), float64(rng.Intn(50))))
+	}
+	whole := NewTable(specAll())
+	for _, r := range rows {
+		whole.Add(r)
+	}
+	parts := make([]*Table, 5)
+	for i := range parts {
+		parts[i] = NewTable(specAll())
+	}
+	for _, r := range rows {
+		parts[rng.Intn(len(parts))].Add(r)
+	}
+	merged := NewTable(specAll())
+	for _, p := range parts {
+		enc := EncodeStates(p.States())
+		dec, err := DecodeStates(enc)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		merged.MergeStates(dec)
+	}
+	if !reflect.DeepEqual(merged.Rows(), whole.Rows()) {
+		t.Fatalf("merged rows diverged:\n got %v\nwant %v", merged.Rows(), whole.Rows())
+	}
+}
+
+// TestDistinctSpill: the exact set must spill past the cap and keep
+// counting exactly; merging exact and spilled sets must agree with a
+// set that saw everything.
+func TestDistinctSpill(t *testing.T) {
+	a, b, all := NewDistinctSet(), NewDistinctSet(), NewDistinctSet()
+	for i := 0; i < DistinctExactCap*2; i++ {
+		lex := fmt.Sprintf("v%04d", i)
+		all.Add(lex)
+		if i%2 == 0 {
+			a.Add(lex)
+		} else {
+			b.Add(lex)
+		}
+	}
+	if !all.Spilled() {
+		t.Fatal("set past the cap did not spill")
+	}
+	if all.Len() != DistinctExactCap*2 {
+		t.Fatalf("spilled set lost values: %d", all.Len())
+	}
+	a.Merge(b) // exact + exact crossing the cap mid-merge
+	if a.Len() != DistinctExactCap*2 {
+		t.Fatalf("merged set has %d values, want %d", a.Len(), DistinctExactCap*2)
+	}
+	// Duplicates across representations must not double-count.
+	c := NewDistinctSet()
+	c.Add("v0000")
+	a.Merge(c)
+	if a.Len() != DistinctExactCap*2 {
+		t.Fatalf("duplicate inflated the merged set to %d", a.Len())
+	}
+}
+
+// TestEncodeRoundTrip covers values of both kinds, unbound aggregates
+// and both distinct representations.
+func TestEncodeRoundTrip(t *testing.T) {
+	sp := specAll()
+	tbl := NewTable(sp)
+	tbl.Add(map[string]triple.Value{"g": triple.S("x")}) // v unbound
+	tbl.Add(row("y", 3))
+	tbl.Add(row("y", 5))
+	big := NewTable(sp)
+	for i := 0; i < DistinctExactCap+10; i++ {
+		big.Add(row("z", float64(i)))
+	}
+	for _, src := range []*Table{tbl, big} {
+		states := src.States()
+		dec, err := DecodeStates(EncodeStates(states))
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		back := NewTable(sp)
+		back.MergeStates(dec)
+		if !reflect.DeepEqual(back.Rows(), src.Rows()) {
+			t.Fatalf("round trip diverged:\n got %v\nwant %v", back.Rows(), src.Rows())
+		}
+	}
+}
+
+// TestDecodeCorrupt: truncated or garbage buffers must error, never
+// panic.
+func TestDecodeCorrupt(t *testing.T) {
+	tbl := NewTable(specAll())
+	tbl.Add(row("g", 1))
+	enc := EncodeStates(tbl.States())
+	for cut := 1; cut < len(enc); cut += 3 {
+		if _, err := DecodeStates(enc[:cut]); err == nil {
+			// A prefix that happens to parse as a shorter batch is
+			// acceptable; a panic is not (reaching here is the test).
+			continue
+		}
+	}
+	if _, err := DecodeStates([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}); err == nil {
+		t.Error("absurd state count decoded without error")
+	}
+}
+
+// TestGlobalAggregateEmptyInput: a global aggregate over zero rows
+// still yields its single row with count 0 and unbound min/max/avg.
+func TestGlobalAggregateEmptyInput(t *testing.T) {
+	sp := &Spec{Items: []Item{{Func: Count, Out: "n"}, {Func: Min, Var: "v", Out: "lo"}}}
+	rows := NewTable(sp).Rows()
+	if len(rows) != 1 {
+		t.Fatalf("got %d rows, want 1", len(rows))
+	}
+	if n := rows[0]["n"]; n.Num != 0 {
+		t.Fatalf("count over nothing = %v, want 0", n)
+	}
+	if _, ok := rows[0]["lo"]; ok {
+		t.Fatal("min over nothing must stay unbound")
+	}
+}
+
+// TestMatchTriple mirrors algebra.MatchPattern semantics, including
+// the repeated-variable equality constraint.
+func TestMatchTriple(t *testing.T) {
+	sp := &Spec{Pat: [3]Term{VarTerm("p"), LitTerm(triple.S("name")), VarTerm("n")}}
+	if _, ok := sp.MatchTriple(triple.T("o1", "age", "x")); ok {
+		t.Fatal("attribute literal must filter")
+	}
+	row, ok := sp.MatchTriple(triple.T("o1", "name", "alice"))
+	if !ok || row["p"].Str != "o1" || row["n"].Str != "alice" {
+		t.Fatalf("match failed: %v %v", row, ok)
+	}
+	// Repeated variable: (?x,'attr',?x) only matches OID == value.
+	rep := &Spec{Pat: [3]Term{VarTerm("x"), VarTerm("a"), VarTerm("x")}}
+	if _, ok := rep.MatchTriple(triple.T("o1", "name", "o2")); ok {
+		t.Fatal("repeated variable must require equal bindings")
+	}
+	if _, ok := rep.MatchTriple(triple.T("o1", "name", "o1")); !ok {
+		t.Fatal("repeated variable with equal values must match")
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"sort"
 	"strings"
 
+	"unistore/internal/agg"
 	"unistore/internal/qgram"
 	"unistore/internal/ranking"
 	"unistore/internal/triple"
@@ -131,6 +132,19 @@ type TopN struct {
 	N     int
 }
 
+// Aggregate groups its input by the GroupBy variables and folds each
+// group through the mergeable aggregate states of package agg —
+// COUNT / SUM / AVG / MIN / MAX / COUNT DISTINCT. An empty GroupBy is
+// a global aggregate (one group, even over zero rows); empty Items is
+// DISTINCT over the group variables. Having filters the finalized
+// groups and may reference aggregate outputs.
+type Aggregate struct {
+	Input   Plan
+	GroupBy []string
+	Items   []agg.Item
+	Having  vql.Expr
+}
+
 // Skyline keeps the non-dominated bindings.
 type Skyline struct {
 	Input Plan
@@ -145,6 +159,7 @@ func (p *Project) Inputs() []Plan          { return []Plan{p.Input} }
 func (o *OrderBy) Inputs() []Plan          { return []Plan{o.Input} }
 func (l *Limit) Inputs() []Plan            { return []Plan{l.Input} }
 func (t *TopN) Inputs() []Plan             { return []Plan{t.Input} }
+func (a *Aggregate) Inputs() []Plan        { return []Plan{a.Input} }
 func (s *Skyline) Inputs() []Plan          { return []Plan{s.Input} }
 
 func (p *PatternScan) String() string { return "scan" + p.Pat.String() }
@@ -167,6 +182,17 @@ func (o *OrderBy) String() string {
 }
 func (l *Limit) String() string { return fmt.Sprintf("limit[%d](%s)", l.N, l.Input) }
 func (t *TopN) String() string  { return fmt.Sprintf("top[%d](%s)", t.N, t.Input) }
+func (a *Aggregate) String() string {
+	parts := make([]string, 0, len(a.Items))
+	for _, it := range a.Items {
+		parts = append(parts, it.String())
+	}
+	s := fmt.Sprintf("γ[%s;%s](%s)", strings.Join(a.GroupBy, ","), strings.Join(parts, ","), a.Input)
+	if a.Having != nil {
+		s = fmt.Sprintf("σH[%s](%s)", a.Having, s)
+	}
+	return s
+}
 func (s *Skyline) String() string {
 	parts := make([]string, len(s.Keys))
 	for i, k := range s.Keys {
@@ -249,9 +275,40 @@ func Build(q *vql.Query) (Plan, error) {
 			return nil, fmt.Errorf("algebra: filter %s references unbound variables", filters[i])
 		}
 	}
+	// Aggregation sits between the join/filter pipeline and the
+	// ordering tail: after it, only the group variables and the
+	// aggregate outputs are visible.
+	visible := bound
+	project := q.Select
+	if HasAggregation(q) {
+		if len(q.Skyline) > 0 {
+			return nil, fmt.Errorf("algebra: SKYLINE OF cannot combine with aggregation")
+		}
+		node, outs, err := buildAggregate(q, bound)
+		if err != nil {
+			return nil, err
+		}
+		node.Input = plan
+		plan = node
+		visible = map[string]bool{}
+		for _, g := range node.GroupBy {
+			visible[g] = true
+		}
+		for _, o := range outs {
+			visible[o] = true
+		}
+		for _, k := range q.OrderBy {
+			if !visible[k.Var] {
+				return nil, fmt.Errorf("algebra: ORDER BY ?%s is neither grouped nor an aggregate output", k.Var)
+			}
+		}
+		if len(q.Select) > 0 || len(q.Aggs) > 0 {
+			project = append(append([]string{}, q.Select...), outs...)
+		}
+	}
 	if len(q.Skyline) > 0 {
 		for _, k := range q.Skyline {
-			if !bound[k.Var] {
+			if !visible[k.Var] {
 				return nil, fmt.Errorf("algebra: skyline variable ?%s is unbound", k.Var)
 			}
 		}
@@ -266,15 +323,142 @@ func Build(q *vql.Query) (Plan, error) {
 	if q.Limit > 0 && !(q.Top && len(q.OrderBy) > 0) {
 		plan = &Limit{Input: plan, N: q.Limit}
 	}
-	if len(q.Select) > 0 {
-		for _, v := range q.Select {
-			if !bound[v] {
+	if len(project) > 0 {
+		for _, v := range project {
+			if !visible[v] {
 				return nil, fmt.Errorf("algebra: selected variable ?%s is unbound", v)
 			}
 		}
-		plan = &Project{Input: plan, Vars: q.Select}
+		plan = &Project{Input: plan, Vars: project}
 	}
 	return plan, nil
+}
+
+// HasAggregation reports whether the query needs an Aggregate node:
+// aggregate select items, a GROUP BY clause, or SELECT DISTINCT.
+func HasAggregation(q *vql.Query) bool {
+	return len(q.Aggs) > 0 || len(q.GroupBy) > 0 || q.Distinct
+}
+
+// AggregateClauses extracts the validated aggregation clauses of a
+// query — the Aggregate node (without input) plus the ordered output
+// names — for callers that apply the aggregation to externally
+// produced bindings, such as the schema-mapping union path. It returns
+// (nil, nil, nil) for non-aggregating queries.
+func AggregateClauses(q *vql.Query) (*Aggregate, []string, error) {
+	if !HasAggregation(q) {
+		return nil, nil, nil
+	}
+	bound := map[string]bool{}
+	for _, v := range q.Vars() {
+		bound[v] = true
+	}
+	return buildAggregate(q, bound)
+}
+
+// buildAggregate validates the query's aggregation clauses against the
+// pattern-bound variables and constructs the (input-less) Aggregate
+// node plus the ordered aggregate output names.
+func buildAggregate(q *vql.Query, bound map[string]bool) (*Aggregate, []string, error) {
+	groupBy := q.GroupBy
+	if len(groupBy) == 0 && len(q.Aggs) == 0 {
+		// SELECT DISTINCT: group by the projected variables (all bound
+		// variables for SELECT DISTINCT *).
+		if len(q.Select) > 0 {
+			groupBy = q.Select
+		} else {
+			groupBy = q.Vars()
+		}
+	}
+	for _, g := range groupBy {
+		if !bound[g] {
+			return nil, nil, fmt.Errorf("algebra: GROUP BY ?%s is unbound", g)
+		}
+	}
+	grouped := map[string]bool{}
+	for _, g := range groupBy {
+		grouped[g] = true
+	}
+	// Non-grouped bare variables in the select list are rejected — the
+	// classic SQL rule; every plain projection must be a group key.
+	for _, v := range q.Select {
+		if !grouped[v] {
+			return nil, nil, fmt.Errorf("algebra: selected variable ?%s is neither grouped nor aggregated", v)
+		}
+	}
+	items := make([]agg.Item, 0, len(q.Aggs))
+	outs := make([]string, 0, len(q.Aggs))
+	for _, a := range q.Aggs {
+		if !a.Star && !bound[a.Var] {
+			return nil, nil, fmt.Errorf("algebra: aggregate argument ?%s is unbound", a.Var)
+		}
+		if bound[a.As] {
+			return nil, nil, fmt.Errorf("algebra: aggregate output ?%s collides with a pattern variable", a.As)
+		}
+		items = append(items, agg.Item{
+			Func:     aggFunc(a.Func),
+			Var:      a.Var,
+			Distinct: a.Distinct,
+			Out:      a.As,
+		})
+		outs = append(outs, a.As)
+	}
+	node := &Aggregate{GroupBy: groupBy, Items: items, Having: q.Having}
+	if q.Having != nil {
+		visible := map[string]bool{}
+		for _, g := range groupBy {
+			visible[g] = true
+		}
+		for _, o := range outs {
+			visible[o] = true
+		}
+		if !varsCovered(q.Having, visible) {
+			return nil, nil, fmt.Errorf("algebra: HAVING %s references a variable that is neither grouped nor an aggregate output", q.Having)
+		}
+	}
+	return node, outs, nil
+}
+
+// aggFunc maps the syntactic aggregate function to its state kind.
+func aggFunc(f vql.AggFunc) agg.Func {
+	switch f {
+	case vql.AggSum:
+		return agg.Sum
+	case vql.AggAvg:
+		return agg.Avg
+	case vql.AggMin:
+		return agg.Min
+	case vql.AggMax:
+		return agg.Max
+	default:
+		return agg.Count
+	}
+}
+
+// ExecuteAggregate folds already-produced bindings through an
+// Aggregate node — shared by the reference executor and the physical
+// tail's centralized fallback.
+func ExecuteAggregate(a *Aggregate, in []Binding) []Binding {
+	tbl := agg.NewTable(&agg.Spec{GroupBy: a.GroupBy, Items: a.Items})
+	for _, b := range in {
+		tbl.Add(b)
+	}
+	return FinalizeAggregate(a.Having, tbl)
+}
+
+// FinalizeAggregate turns an accumulated table into result bindings,
+// applying the HAVING filter.
+func FinalizeAggregate(having vql.Expr, tbl *agg.Table) []Binding {
+	rows := tbl.Rows()
+	out := make([]Binding, 0, len(rows))
+	for _, r := range rows {
+		b := Binding(r)
+		if having != nil && !EvalExpr(having, b) {
+			continue
+		}
+		out = append(out, b)
+	}
+	return out
 }
 
 // orderPatterns sorts patterns by estimated selectivity: fully-ground
@@ -644,6 +828,8 @@ func Execute(p Plan, src TripleSource) []Binding {
 			out[i] = in[j]
 		}
 		return out
+	case *Aggregate:
+		return ExecuteAggregate(x, Execute(x.Input, src))
 	case *Skyline:
 		in := Execute(x.Input, src)
 		idx := SkylineIndexes(in, x.Keys)

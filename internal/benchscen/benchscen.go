@@ -1,5 +1,5 @@
 // Package benchscen defines the message-layer benchmark scenarios in
-// ONE place: cmd/benchjson (the BENCH_PR4.json trend record), the
+// ONE place: cmd/benchjson (the BENCH_PR5.json trend record), the
 // bench_test.go benchmarks, and the msgbudget_test.go CI regression
 // guard all build their clusters and plans here, so the budgets
 // calibrated against the recorded numbers measure the same workload by
@@ -13,6 +13,7 @@ import (
 	"unistore/internal/algebra"
 	"unistore/internal/core"
 	"unistore/internal/keys"
+	"unistore/internal/optimizer"
 	"unistore/internal/physical"
 	"unistore/internal/store"
 	"unistore/internal/triple"
@@ -133,20 +134,27 @@ type ChurnResult struct {
 }
 
 // ChurnTopKRun executes the measured ranked top-k on a ChurnTopK
-// cluster with 10% of the nodes killed MID-FLIGHT: the query is
-// started, and the nodes its first-hop branch envelopes are in the air
-// toward (visible as network backlog) are killed before any is
-// delivered — their branch shares are genuinely lost, which is the
-// churn regime replicas exist for. At most one replica per partition
-// dies and never the origin, so every row stays reachable. The
-// fail-slow baseline waits out the overlay's operation deadline;
-// replica-balanced reads recover by re-showering the missing
-// partitions through live siblings.
+// cluster with 10% of the nodes killed MID-FLIGHT (see ChurnRun).
 func ChurnTopKRun(c *core.Cluster) (ChurnResult, error) {
 	plan, err := physical.CompileQuery(mustParse(TopKQuery))
 	if err != nil {
 		return ChurnResult{}, err
 	}
+	return ChurnRun(c, plan)
+}
+
+// ChurnRun executes one compiled plan with 10% of the nodes killed
+// MID-FLIGHT: the plan is started, and the nodes its first-hop branch
+// envelopes are in the air toward (visible as network backlog) are
+// killed before any is delivered — their branch shares are genuinely
+// lost, which is the churn regime replicas exist for. At most one
+// replica per partition dies and never the origin, so every row stays
+// reachable. The fail-slow baseline waits out the overlay's operation
+// deadline; replica-balanced reads recover by hedging pulls and
+// re-showering the missing partitions through live siblings —
+// aggregated scans included, whose per-partition states the claim
+// dedup keeps exactly-once.
+func ChurnRun(c *core.Cluster, plan *physical.Plan) (ChurnResult, error) {
 	net := c.Net()
 	before := net.Stats()
 	ex := c.Engine(0).Start(plan, nil)
@@ -194,6 +202,67 @@ func mustParse(src string) *vql.Query {
 		panic(fmt.Sprintf("benchscen: %v", err))
 	}
 	return q
+}
+
+// GroupByAggQuery is the in-network aggregation scenario: venues with
+// their publication counts — many matching rows folding into few
+// groups, the shape peer-side partial aggregation exists for.
+const GroupByAggQuery = `SELECT ?c, count(*) AS ?n WHERE {(?u,'published_in',?c)} GROUP BY ?c`
+
+// aggOptions forces one aggregation strategy while keeping the rest of
+// the optimizer at its defaults.
+func aggOptions(pushdown bool) optimizer.Options {
+	opt := optimizer.DefaultOptions()
+	if pushdown {
+		opt.Agg = optimizer.AggPushdown
+	} else {
+		opt.Agg = optimizer.AggCentralized
+	}
+	return opt
+}
+
+// GroupByAgg builds the aggregation scenario cluster: deterministic
+// 64-peer simnet, paged responses, sharded scans, 300 persons (≈600
+// publication rows over ~40 venues), with the strategy pinned to
+// pushdown or the centralized fallback. The dataset is returned for
+// reference-equivalence checks.
+func GroupByAgg(pushdown bool) (*core.Cluster, []triple.Triple) {
+	c := core.NewCluster(core.Config{
+		Peers: Peers, Seed: 17, RangeShards: 4, PageSize: ScanPageSize,
+		Optimizer: aggOptions(pushdown),
+	})
+	ds := workload.Generate(workload.Options{Seed: 18, Persons: 300})
+	c.BulkInsert(ds.Triples...)
+	return c, ds.Triples
+}
+
+// GroupByAggChurn is the replicated variant of the aggregation
+// scenario for ChurnRun: ChurnPeers×ChurnReplicas nodes, caches warmed
+// from peer 0 so failover has sibling sets to work with.
+func GroupByAggChurn(pushdown bool) (*core.Cluster, []triple.Triple) {
+	c := core.NewCluster(core.Config{
+		Peers: ChurnPeers, Replicas: ChurnReplicas, Seed: 19,
+		RangeShards: 4, PageSize: ScanPageSize, ProbeParallelism: 2,
+		Optimizer: aggOptions(pushdown),
+	})
+	ds := workload.Generate(workload.Options{Seed: 18, Persons: 300})
+	c.BulkInsert(ds.Triples...)
+	if _, err := c.QueryFrom(0, GroupByAggQuery); err != nil {
+		panic(fmt.Sprintf("benchscen: group-by churn warmup: %v", err))
+	}
+	c.Net().Settle()
+	return c, ds.Triples
+}
+
+// GroupByAggPlan compiles the aggregation scenario query with the
+// strategy pinned.
+func GroupByAggPlan(pushdown bool) (*physical.Plan, error) {
+	plan, err := physical.CompileQuery(mustParse(GroupByAggQuery))
+	if err != nil {
+		return nil, err
+	}
+	plan.Tail.AggPushdown = pushdown && physical.AggPushdownable(plan)
+	return plan, nil
 }
 
 // Scan builds the paged full-scan scenario (300 persons, page size

@@ -487,13 +487,14 @@ func (c *Cluster) compile(q *vql.Query) (*physical.Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	rate, retries := c.routeCacheRates()
+	rate, retries, rtt := c.routeCacheRates()
 	// Store the refreshed rates under the brief write lock, then
 	// optimize under the read lock so concurrent compilations still
 	// run in parallel.
 	c.statsMu.Lock()
 	c.stats.CacheHitRate = rate
 	c.stats.RetryRate = retries
+	c.stats.ProbeRTT = rtt
 	c.statsMu.Unlock()
 	c.statsMu.RLock()
 	c.opt.Optimize(plan)
@@ -503,17 +504,25 @@ func (c *Cluster) compile(q *vql.Query) (*physical.Plan, error) {
 
 // routeCacheRates aggregates the peers' routing-cache counters into
 // the fraction of probes that went direct (the cost model's
-// CacheHitRate input) and the fraction of direct probe GROUPS that had
+// CacheHitRate input), the fraction of direct probe GROUPS that had
 // to be hedged or retried (its RetryRate input — groups over groups,
-// so batching many keys into one group cannot dilute the rate).
-func (c *Cluster) routeCacheRates() (hitRate, retryRate float64) {
+// so batching many keys into one group cannot dilute the rate), and
+// the mean of the cached per-replica latency EWMAs (its ProbeRTT
+// input — direct probes priced at the round trips the replica
+// choosers actually observed).
+func (c *Cluster) routeCacheRates() (hitRate, retryRate float64, probeRTT time.Duration) {
 	hits, misses, groups, retries := 0, 0, 0, 0
+	var rttSum time.Duration
+	rttN := 0
 	for _, p := range c.peers {
 		st := p.Stats()
 		hits += st.RouteCacheHits
 		misses += st.RouteCacheMisses
 		groups += st.ProbeGroups
 		retries += st.ProbeRetries
+		sum, n := p.RouteCacheLatency()
+		rttSum += sum
+		rttN += n
 	}
 	if hits+misses > 0 {
 		hitRate = float64(hits) / float64(hits+misses)
@@ -524,7 +533,10 @@ func (c *Cluster) routeCacheRates() (hitRate, retryRate float64) {
 			retryRate = 1
 		}
 	}
-	return hitRate, retryRate
+	if rttN > 0 {
+		probeRTT = rttSum / time.Duration(rttN)
+	}
+	return hitRate, retryRate, probeRTT
 }
 
 // Stream is an open streaming query: rows arrive through Next as the
@@ -602,9 +614,10 @@ func (c *Cluster) QueryWithMappings(src string) (*Result, error) {
 		})
 	}
 	closure := schema.NewClosure(mappings)
-	// Ranking, ordering, limiting and projection must apply to the
-	// UNION of the variants' bindings, not per variant (a union of
-	// skylines is not the skyline of the union) — so the variants run
+	// Ranking, aggregation, ordering, limiting and projection must
+	// apply to the UNION of the variants' bindings, not per variant (a
+	// union of skylines is not the skyline of the union, and a union of
+	// group counts is not the count of the union) — so the variants run
 	// without the tail clauses, which are applied afterwards.
 	tail := physical.Tail{
 		Skyline: q.Skyline,
@@ -613,12 +626,26 @@ func (c *Cluster) QueryWithMappings(src string) (*Result, error) {
 		Limit:   q.Limit,
 		Project: q.Select,
 	}
+	if aggNode, outs, err := algebra.AggregateClauses(q); err != nil {
+		return nil, err
+	} else if aggNode != nil {
+		tail.GroupBy = aggNode.GroupBy
+		tail.Aggs = aggNode.Items
+		tail.Having = aggNode.Having
+		if len(q.Select) > 0 || len(q.Aggs) > 0 {
+			tail.Project = append(append([]string{}, q.Select...), outs...)
+		}
+	}
 	stripped := *q
 	stripped.Skyline = nil
 	stripped.OrderBy = nil
 	stripped.Limit = 0
 	stripped.Top = false
 	stripped.Select = nil
+	stripped.Aggs = nil
+	stripped.GroupBy = nil
+	stripped.Having = nil
+	stripped.Distinct = false
 	variants := schema.Rewrite(&stripped, closure)
 	union := &Result{Vars: resultVars(q)}
 	seen := map[string]bool{}
@@ -658,8 +685,12 @@ func bindingKey(b algebra.Binding) string {
 }
 
 func resultVars(q *vql.Query) []string {
-	if len(q.Select) > 0 {
-		return q.Select
+	if len(q.Select) > 0 || len(q.Aggs) > 0 {
+		out := append([]string{}, q.Select...)
+		for _, a := range q.Aggs {
+			out = append(out, a.As)
+		}
+		return out
 	}
 	return q.Vars()
 }

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"time"
 
+	"unistore/internal/optimizer"
 	"unistore/internal/schema"
 	"unistore/internal/triple"
 	"unistore/internal/workload"
@@ -252,5 +254,34 @@ func BenchmarkClusterQuery(b *testing.B) {
 		if _, err := c.Query(`SELECT ?n WHERE {(?p,'name',?n) (?p,'age',?a) FILTER ?a < 30}`); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestProbeRTTSurfacedFromCaches: after warm probe traffic the
+// compile-time stats refresh must surface a positive observed probe
+// RTT out of the peers' per-replica latency EWMAs.
+func TestProbeRTTSurfacedFromCaches(t *testing.T) {
+	// Fetch mode keeps the probing stage at the origin (a shipped plan
+	// would run its probes where the keys live, all loopback).
+	c := NewCluster(Config{Peers: 16, Seed: 5, Latency: LatencyLAN,
+		Optimizer: optimizer.Options{Mode: optimizer.ModeFetch}})
+	for i := 0; i < 20; i++ {
+		c.Insert(triple.T(fmt.Sprintf("r%02d", i), "name", fmt.Sprintf("n%02d", i)),
+			triple.T(fmt.Sprintf("r%02d", i), "friend", fmt.Sprintf("n%02d", (i+1)%20)))
+	}
+	// The friend pattern's value variable is bound upstream, so the
+	// second stage resolves with direct value probes — the traffic that
+	// feeds the per-replica latency EWMAs.
+	src := `SELECT ?p,?q WHERE {(?p,'name',?n) (?q,'friend',?n)}`
+	// First run warms the caches; the second sends direct probes whose
+	// round trips feed the EWMAs; the third compile reads them.
+	for i := 0; i < 3; i++ {
+		if _, err := c.QueryFrom(0, src); err != nil {
+			t.Fatal(err)
+		}
+		c.Net().Settle()
+	}
+	if rtt := c.Stats().ProbeRTT; rtt <= 0 {
+		t.Fatalf("observed probe RTT not surfaced: %v", rtt)
 	}
 }

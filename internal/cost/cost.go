@@ -48,6 +48,13 @@ type Stats struct {
 	// roughly a hedge deadline of added latency; the harness refreshes
 	// it from aggregate peer counters.
 	RetryRate float64
+	// ProbeRTT is the observed round trip of direct (cache-hit) probes:
+	// the mean of the per-replica latency EWMAs the routing caches
+	// maintain. It makes cached-probe pricing latency-profile-aware —
+	// a WAN overlay's direct probes cost what its links actually
+	// measure, not a synthetic two-hop guess. 0 falls back to
+	// 2×AvgLatency.
+	ProbeRTT time.Duration
 	// PageSize is the peer-side range-scan page bound in entries
 	// (0 = paging off). Paged scans trade extra pull round trips on
 	// exhaustive results for bounded response sizes — and for a
@@ -120,6 +127,16 @@ func (s *Stats) retryMsgs(groups float64) float64 {
 // replica answers.
 func (s *Stats) retryLatency() time.Duration {
 	return time.Duration(s.retryRate() * 2 * float64(s.AvgLatency))
+}
+
+// cachedRTT is the expected round trip of a cache-hit probe: the
+// observed per-replica EWMA mean when the harness surfaced one, a
+// two-hop synthetic otherwise.
+func (s *Stats) cachedRTT() time.Duration {
+	if s.ProbeRTT > 0 {
+		return s.ProbeRTT
+	}
+	return s.lat(2)
 }
 
 // EffectiveLookupHops is the expected routing distance to one key
@@ -209,14 +226,17 @@ func (s *Stats) lat(hops float64) time.Duration {
 
 // Lookup estimates one exact-key lookup: route + direct response,
 // with the routing descent shortened by the expected cache hit rate
-// and the cached fraction carrying the replica read path's expected
-// retry overhead. A lookup is all startup — nothing can be skipped by
-// stopping early.
+// and the cached fraction priced at the OBSERVED direct-probe round
+// trip (per-replica EWMAs) plus the expected retry overhead. A lookup
+// is all startup — nothing can be skipped by stopping early.
 func (s *Stats) Lookup(expectedResults float64) Estimate {
 	h := s.EffectiveLookupHops()
+	cold := s.LookupHops()
 	r := s.hitRate()
 	msgs := h + 1 + r*s.retryMsgs(1)
-	lat := s.lat(h+1) + time.Duration(r*float64(s.retryLatency()))
+	lat := time.Duration((1-r)*float64(s.lat(cold+1))) +
+		time.Duration(r*float64(s.cachedRTT())) +
+		time.Duration(r*float64(s.retryLatency()))
 	return Estimate{
 		Messages:        msgs,
 		StartupMessages: msgs,
@@ -243,11 +263,13 @@ func (s *Stats) MultiLookup(k int, expectedResults float64) Estimate {
 	cold := float64(k) * (h + 1)
 	batched := 2*peers + s.retryMsgs(peers) // hedged groups resend+answer
 	startup := (1-r)*(h+1) + r*2
+	startupLat := time.Duration((1-r)*float64(s.lat(h+1))) +
+		time.Duration(r*float64(s.cachedRTT()))
 	return Estimate{
 		Messages:        (1-r)*cold + r*batched,
 		StartupMessages: startup,
-		Latency:         s.lat(startup) + time.Duration(r*float64(s.retryLatency())),
-		FirstLatency:    s.lat(startup),
+		Latency:         startupLat + time.Duration(r*float64(s.retryLatency())),
+		FirstLatency:    startupLat,
 		Results:         expectedResults,
 	}
 }
@@ -293,6 +315,41 @@ func (s *Stats) Range(fraction float64, expectedResults float64) Estimate {
 		Latency:         s.lat(h + math.Log2(p+1) + serve),
 		FirstLatency:    s.lat(h + 1),
 		Results:         expectedResults,
+	}
+}
+
+// GroupShare is the default ratio of distinct groups to input rows
+// used when no group-cardinality statistic exists — the System-R-style
+// constant behind pushdown-vs-centralized pricing.
+const GroupShare = 0.1
+
+// AggRange prices a peer-side aggregated range scan: the same descent
+// and shower fan-out as Range, but every response carries per-group
+// partial states instead of rows, so the paged remainder scales with
+// groups shipped — each partition ships at most min(groups, its rows)
+// states, and page pulls amortize over that. Aggregation is blocking
+// (no group is final before every partition answered), so the whole
+// cost is startup: a streamable LIMIT discounts nothing, which is
+// exactly what steers small-limit group-key orderings back to the
+// centralized row stream.
+func (s *Stats) AggRange(fraction, expectedRows, expectedGroups float64) Estimate {
+	h := s.LookupHops()
+	p := s.PartitionsForFraction(fraction)
+	if expectedGroups < 1 {
+		expectedGroups = 1
+	}
+	perPart := expectedRows / math.Max(p, 1)
+	shipped := p * math.Min(expectedGroups, math.Max(perPart, 1))
+	pulls := s.pagePulls(p, shipped)
+	serve := (1 + 2*pulls/math.Max(p, 1)) / s.replicaSpread()
+	msgs := h + (p - 1) + p + 2*pulls + s.retryMsgs(p)
+	lat := s.lat(h + math.Log2(p+1) + serve)
+	return Estimate{
+		Messages:        msgs,
+		StartupMessages: msgs,
+		Latency:         lat,
+		FirstLatency:    lat,
+		Results:         expectedGroups,
 	}
 }
 

@@ -94,3 +94,34 @@ func TestShipCost(t *testing.T) {
 		t.Error("shipping a plan costs one routed payload")
 	}
 }
+
+// TestProbeRTTLatencyAware: cached-probe pricing must track the
+// observed per-replica round trip — a slow profile raises lookup
+// latency estimates, a fast one lowers them, and messages stay put.
+func TestProbeRTTLatencyAware(t *testing.T) {
+	base := DefaultStats(64)
+	base.CacheHitRate = 1 // price the cached path only
+	def := base.Lookup(1)
+
+	slow := *base
+	slow.ProbeRTT = 10 * base.AvgLatency
+	fast := *base
+	fast.ProbeRTT = base.AvgLatency / 10
+
+	if got := slow.Lookup(1); got.Latency <= def.Latency {
+		t.Errorf("slow observed RTT did not raise the estimate: %v <= %v", got.Latency, def.Latency)
+	} else if got.Messages != def.Messages {
+		t.Errorf("ProbeRTT changed message estimate: %v vs %v", got.Messages, def.Messages)
+	}
+	if got := fast.Lookup(1); got.Latency >= def.Latency {
+		t.Errorf("fast observed RTT did not lower the estimate: %v >= %v", got.Latency, def.Latency)
+	}
+	// With no observations the default two-hop synthetic applies.
+	if base.cachedRTT() != base.lat(2) {
+		t.Errorf("default cached RTT = %v, want %v", base.cachedRTT(), base.lat(2))
+	}
+	// MultiLookup's first-result latency moves the same way.
+	if s, f := slow.MultiLookup(8, 8), fast.MultiLookup(8, 8); s.FirstLatency <= f.FirstLatency {
+		t.Errorf("MultiLookup first latency ignores RTT: slow %v vs fast %v", s.FirstLatency, f.FirstLatency)
+	}
+}

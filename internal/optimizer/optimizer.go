@@ -37,10 +37,29 @@ const (
 	ModeShip
 )
 
+// AggChoice selects the aggregation execution strategy.
+type AggChoice int
+
+// Aggregation strategies.
+const (
+	// AggAuto prices pushdown (groups shipped) against centralized
+	// (rows shipped) and picks the cheaper.
+	AggAuto AggChoice = iota
+	// AggPushdown forces peer-side partial aggregation wherever the
+	// plan shape allows it.
+	AggPushdown
+	// AggCentralized forces the centralized fallback — rows stream to
+	// the coordinator and aggregate there (the benchmarks' baseline).
+	AggCentralized
+)
+
 // Options tune the optimizer; the demo's "influencing the integrated
 // optimizer" (§4) maps to these knobs.
 type Options struct {
 	Mode Mode
+	// Agg selects pushdown vs centralized aggregation (default: cost
+	// decides).
+	Agg AggChoice
 	// UseQGram enables the q-gram access path for similarity
 	// predicates (requires the gram index to be populated).
 	UseQGram bool
@@ -83,14 +102,66 @@ func New(stats *cost.Stats, opt Options) *Optimizer {
 // win ties against startup-heavy alternatives like the q-gram path.
 func (o *Optimizer) Optimize(p *physical.Plan) *physical.Plan {
 	p.Steps = o.order(p.Steps, 0, streamableLimit(p.Tail))
+	o.chooseAggStrategy(p)
 	return p
+}
+
+// chooseAggStrategy decides pushdown vs centralized for an aggregating
+// tail by pricing groups-shipped against rows-shipped. Pushdown ships
+// at most min(groups, partition rows) states per partition; the
+// centralized row stream pays for every row but can terminate early
+// when the ordering key is the group variable the scan streams in key
+// order (the rank-fed group-by), which is the one shape where rows can
+// beat states. Forced choices short-circuit the pricing.
+func (o *Optimizer) chooseAggStrategy(p *physical.Plan) {
+	if !p.Tail.HasAgg() {
+		return
+	}
+	switch o.Opt.Agg {
+	case AggPushdown:
+		p.Tail.AggPushdown = physical.AggPushdownable(p)
+		return
+	case AggCentralized:
+		p.Tail.AggPushdown = false
+		return
+	}
+	if o.Opt.Disabled || !physical.AggPushdownable(p) {
+		return
+	}
+	st := p.Steps[0]
+	est := o.estimate(st.Strat, st, 1, false)
+	rows := math.Max(est.Results, 1)
+	groups := math.Max(rows*cost.GroupShare, 1)
+	attr := ""
+	if !st.Pat.A.IsVar() {
+		attr = st.Pat.A.Val.Str
+	}
+	frac := float64(o.Stats.AttrCount(attr)) / math.Max(float64(o.Stats.TotalTriples), 1)
+	if st.Strat == physical.StratBroadcast {
+		frac = 1
+	}
+	push := o.Stats.AggRange(frac, rows, groups)
+	central := est
+	if physical.AggRankStreamable(p) {
+		// Rank-fed group-by: the centralized stream stops after the
+		// rows of the first Limit groups. The gate mirrors the
+		// executor's (the scan must emit the ordering variable in key
+		// order), so the discount never credits a plan that would run
+		// blocking.
+		kRows := int(math.Ceil(rows * float64(p.Tail.Limit) / groups))
+		central = central.ScaledToLimit(kRows)
+	}
+	p.Tail.AggPushdown = push.Messages <= central.Messages
 }
 
 // streamableLimit returns the limit the streaming executor can
 // terminate on early, or 0 when the tail blocks (skyline, multi-key
-// orderings) and every operator must run to completion.
+// orderings) and every operator must run to completion. An aggregating
+// tail's limit counts GROUPS, not rows, so per-step row costs must not
+// scale by it — chooseAggStrategy prices the rank-fed group-by case
+// itself.
 func streamableLimit(t physical.Tail) int {
-	if t.Limit <= 0 || len(t.Skyline) > 0 || len(t.OrderBy) > 1 {
+	if t.Limit <= 0 || len(t.Skyline) > 0 || len(t.OrderBy) > 1 || t.HasAgg() {
 		return 0
 	}
 	return t.Limit

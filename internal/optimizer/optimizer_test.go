@@ -185,3 +185,45 @@ func TestPrefixPushdown(t *testing.T) {
 		}
 	}
 }
+
+// TestAggStrategyChoice: the cost model must push aggregation down
+// when groups are much smaller than rows, keep the centralized stream
+// for a small rank-fed group limit, and honor forced choices.
+func TestAggStrategyChoice(t *testing.T) {
+	stats := cost.DefaultStats(64)
+	stats.TriplesPerAttr["group"] = 5000
+	stats.TotalTriples = 20000
+	stats.PageSize = 8
+	grouped := `SELECT ?g, count(*) AS ?n WHERE {(?p,'group',?g)} GROUP BY ?g`
+	ranked := `SELECT ?g, count(*) AS ?n WHERE {(?p,'group',?g)} GROUP BY ?g ORDER BY ?g LIMIT 2`
+	joined := `SELECT ?g, count(*) AS ?n WHERE {(?p,'group',?g) (?p,'age',?a)} GROUP BY ?g`
+
+	o := optimizer.New(stats, optimizer.DefaultOptions())
+	if p := o.Optimize(compile(t, grouped)); !p.Tail.AggPushdown {
+		t.Error("auto: exhaustive group-by must push down")
+	}
+	if p := o.Optimize(compile(t, ranked)); p.Tail.AggPushdown {
+		t.Error("auto: small rank-fed group limit must stay centralized")
+	}
+	if p := o.Optimize(compile(t, joined)); p.Tail.AggPushdown {
+		t.Error("a join below the aggregation cannot push down")
+	}
+	forcedC := optimizer.New(stats, optimizer.Options{Mode: optimizer.ModeFetch, Agg: optimizer.AggCentralized})
+	if p := forcedC.Optimize(compile(t, grouped)); p.Tail.AggPushdown {
+		t.Error("forced centralized ignored")
+	}
+	// A group-key ordering the scan CANNOT stream (order var is the
+	// subject, scan key order is the value) must not earn the
+	// centralized limit discount — pushdown still wins.
+	unstreamable := `SELECT ?p, count(*) AS ?n WHERE {(?p,'score',?s)} GROUP BY ?p ORDER BY ?p LIMIT 2`
+	if p := o.Optimize(compile(t, unstreamable)); !p.Tail.AggPushdown {
+		t.Error("auto: unstreamable group ordering must not discount the centralized scan")
+	}
+	forcedP := optimizer.New(stats, optimizer.Options{Mode: optimizer.ModeFetch, Agg: optimizer.AggPushdown})
+	if p := forcedP.Optimize(compile(t, grouped)); !p.Tail.AggPushdown {
+		t.Error("forced pushdown ignored")
+	}
+	if p := forcedP.Optimize(compile(t, joined)); p.Tail.AggPushdown {
+		t.Error("forced pushdown must still respect feasibility")
+	}
+}

@@ -1,0 +1,124 @@
+package pgrid
+
+import (
+	"sort"
+
+	"unistore/internal/agg"
+	"unistore/internal/keys"
+	"unistore/internal/simnet"
+	"unistore/internal/store"
+	"unistore/internal/triple"
+)
+
+// This file is the serving side of in-network aggregation: a peer
+// whose partition overlaps an aggregated range (or owns a probed key)
+// matches its stored entries against the spec's pattern, folds them
+// into per-group partial states, and ships those instead of rows. A
+// page of an aggregated scan is a bounded batch of group states served
+// in group-key order behind a stateless cursor, so the whole paging,
+// claim-dedup and coverage-retry machinery of row scans applies
+// unchanged — states are per-partition idempotent, which is what keeps
+// failover exact.
+
+// aggStates builds this peer's partial states for the spec over one
+// key range of one index.
+func (p *Peer) aggStates(kind triple.IndexKind, r keys.Range, spec *agg.Spec) []agg.State {
+	tbl := agg.NewTable(spec)
+	p.store.Scan(kind, r, func(e store.Entry) bool {
+		tbl.AddTriple(e.Triple)
+		return true
+	})
+	return tbl.States()
+}
+
+// serveAggPage answers one page of an aggregated range scan: the next
+// cont.PageSize group states (all of them with paging off) after the
+// cont.AggAfter group-key cursor. The table is recomputed per pull —
+// the server keeps no per-scan state, so any replica of the partition
+// can serve a resumed continuation, exactly like row pages.
+func (p *Peer) serveAggPage(qid uint64, origin simnet.NodeID, cont pageCont) {
+	if cont.PageSize > 0 {
+		p.stats.pagesServed.Add(1)
+	}
+	states := p.aggStates(triple.IndexKind(cont.Kind), cont.R, cont.Agg)
+	if cont.AggAfter != "" {
+		i := sort.Search(len(states), func(i int) bool {
+			return states[i].GroupKey() > cont.AggAfter
+		})
+		states = states[i:]
+	}
+	resp := queryResp{QID: qid, Hops: cont.Hops}
+	p.stampResp(&resp)
+	page := states
+	more := false
+	if cont.PageSize > 0 && len(states) > cont.PageSize {
+		page = states[:cont.PageSize]
+		more = true
+	}
+	resp.AggData = agg.EncodeStates(page)
+	resp.AggGroups = len(page)
+	resp.Count = len(page)
+	if more {
+		next := cont
+		next.AggAfter = page[len(page)-1].GroupKey()
+		resp.Cont = &next
+	} else {
+		resp.Share = cont.Share
+		resp.Final = true
+	}
+	p.net.Send(p.id, origin, KindResponse, resp)
+}
+
+// aggProbeResp fills a probe response with the aggregated form of the
+// given entries (the lookup and multi-lookup pushdown path).
+func aggProbeResp(resp *queryResp, spec *agg.Spec, entries []store.Entry) {
+	tbl := agg.NewTable(spec)
+	for _, e := range entries {
+		tbl.AddTriple(e.Triple)
+	}
+	states := tbl.States()
+	resp.AggData = agg.EncodeStates(states)
+	resp.AggGroups = len(states)
+	resp.Count = len(states)
+}
+
+// --- Origin-side operations ---------------------------------------------------
+
+// RangeQueryAgg runs the shower over r with the aggregation pushed to
+// the serving peers: each overlapping partition answers with its
+// per-group partial states (paged by Config.PageSize groups), streamed
+// to onGroups as they arrive. The coordinator merges them — states are
+// mergeable in any order, and the scan's claim/coverage failover keeps
+// each partition's contribution exactly-once, so the merge is exact
+// even under churn. The final OpResult carries counts only.
+func (p *Peer) RangeQueryAgg(kind triple.IndexKind, r keys.Range, spec *agg.Spec, onGroups func([]agg.State), cb func(OpResult)) *Handle {
+	qid, op := p.newOp(TotalShare, 0, cb)
+	p.mu.Lock()
+	op.aggSpec = spec
+	op.onAgg = onGroups
+	op.scan = &scanState{kind: uint8(kind), r: r, pageSize: p.cfg.PageSize, agg: spec}
+	p.mu.Unlock()
+	msg := rangeMsg{QID: qid, Origin: p.id, Kind: uint8(kind), R: r,
+		Level: 0, Share: TotalShare, PageSize: p.cfg.PageSize, Agg: spec}
+	p.armScanRetry(qid)
+	p.handleRange(msg)
+	return &Handle{peer: p, op: op, qid: qid}
+}
+
+// LookupAgg is Lookup with the aggregation pushed to the owning peer:
+// the responsible replica folds the key's entries into group states
+// and answers with those. It rides the same key-tracked probe path as
+// Lookup — cached owner sets, load-balanced replica choice, hedged
+// failover — so a dead or slow owner degrades to a sibling or the
+// routed path, never to a wrong answer.
+func (p *Peer) LookupAgg(kind triple.IndexKind, k keys.Key, spec *agg.Spec, onGroups func([]agg.State), cb func(OpResult)) *Handle {
+	qid, op := p.newOp(0, 1, cb)
+	p.mu.Lock()
+	op.probeWant = map[string]bool{k.String(): true}
+	op.probeKind = uint8(kind)
+	op.aggSpec = spec
+	op.onAgg = onGroups
+	p.mu.Unlock()
+	p.dispatchProbes(qid, op, uint8(kind), []keys.Key{k})
+	return &Handle{peer: p, op: op, qid: qid}
+}

@@ -346,6 +346,24 @@ func (p *Peer) observeOwnerLocked(path keys.Key, from simnet.NodeID, rtt time.Du
 	}
 }
 
+// RouteCacheLatency sums the cached per-replica latency EWMAs (and
+// counts the owners carrying a sample) — the raw material the harness
+// averages into cost.Stats.ProbeRTT, so probe pricing tracks the
+// latency profile the replica chooser actually observes.
+func (p *Peer) RouteCacheLatency() (sum time.Duration, samples int) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	for _, set := range p.cache.entries {
+		for _, o := range set.owners {
+			if o.ewma > 0 {
+				sum += time.Duration(o.ewma)
+				samples++
+			}
+		}
+	}
+	return sum, samples
+}
+
 // RouteCacheSize reports how many partition→owner-set entries the peer
 // has learned (tests and the demo UI's inspection tabs).
 func (p *Peer) RouteCacheSize() int {

@@ -1,10 +1,19 @@
 package pgrid
 
 import (
+	"unistore/internal/agg"
 	"unistore/internal/keys"
 	"unistore/internal/simnet"
 	"unistore/internal/store"
 )
+
+// aggWireSize sizes an optional aggregation spec rider.
+func aggWireSize(sp *agg.Spec) int {
+	if sp == nil {
+		return 0
+	}
+	return sp.WireSize()
+}
 
 // Message kinds, used for simnet accounting. The experiment harness
 // separates maintenance traffic (exchange, gossip) from query traffic
@@ -47,24 +56,31 @@ func (e routeEnvelope) WireSize() int {
 	return s
 }
 
-// insertReq asks the responsible peer to apply one index entry.
+// insertReq asks the responsible peer to apply one index entry. Seq
+// identifies the entry within an acked insert operation, echoed in the
+// ack so the origin's retry bookkeeping is per-entry exact.
 type insertReq struct {
 	Entry  store.Entry
 	QID    uint64 // 0 for fire-and-forget
 	Origin simnet.NodeID
+	Seq    uint8
 }
 
-func (r insertReq) WireSize() int { return r.Entry.WireSize() + 12 }
+func (r insertReq) WireSize() int { return r.Entry.WireSize() + 13 }
 
 // lookupReq asks the responsible peer for the entries at exactly Key.
+// With Agg set the peer aggregates the matching entries and answers
+// with per-group states instead of rows (the pushed-down form of a
+// single-key aggregation).
 type lookupReq struct {
 	QID    uint64
 	Origin simnet.NodeID
 	Kind   uint8 // triple.IndexKind
 	Key    keys.Key
+	Agg    *agg.Spec
 }
 
-func (r lookupReq) WireSize() int { return r.Key.Len()/8 + 16 }
+func (r lookupReq) WireSize() int { return r.Key.Len()/8 + 16 + aggWireSize(r.Agg) }
 
 // multiLookupReq batches several exact-key probes of one query into a
 // single message, sent directly to the peer the sender's routing cache
@@ -77,10 +93,15 @@ type multiLookupReq struct {
 	Origin simnet.NodeID
 	Kind   uint8 // triple.IndexKind
 	Keys   []keys.Key
+	// Agg, when set, asks the peer to aggregate the matching entries of
+	// the keys it covers into group states (one batched state answer
+	// instead of rows); mis-attributed keys re-route with the spec
+	// attached, so a stale cache degrades to routed aggregation.
+	Agg *agg.Spec
 }
 
 func (r multiLookupReq) WireSize() int {
-	s := 16
+	s := 16 + aggWireSize(r.Agg)
 	for _, k := range r.Keys {
 		s += k.Len()/8 + 2
 	}
@@ -112,9 +133,17 @@ type rangeMsg struct {
 	// key order, so a descending ranked scan streams pages instead of
 	// buffering whole shards for reversal.
 	Desc bool
+	// Agg, when set, turns the scan into peer-side aggregation: each
+	// overlapping partition matches its stored entries against the
+	// spec's pattern, folds them into per-group partial states and
+	// answers with those (paged by groups when PageSize is set) instead
+	// of shipping rows.
+	Agg *agg.Spec
 }
 
-func (r rangeMsg) WireSize() int { return r.R.Lo.Len()/8 + r.R.Hi.Len()/8 + 36 }
+func (r rangeMsg) WireSize() int {
+	return r.R.Lo.Len()/8 + r.R.Hi.Len()/8 + 36 + aggWireSize(r.Agg)
+}
 
 // pageCont is the continuation token of a paged range scan: everything
 // the serving peer needs to produce the next page, echoed back verbatim
@@ -142,10 +171,18 @@ type pageCont struct {
 	// pages reuse the range bound).
 	Desc   bool
 	Cursor keys.Key
+	// Agg marks an aggregation continuation: the server recomputes its
+	// partition's group table over R and serves the next PageSize
+	// groups after AggAfter (group-key cursor, "" = first page). Like
+	// the row cursor, the token is stateless and any replica of the
+	// partition can serve the next page.
+	Agg      *agg.Spec
+	AggAfter string
 }
 
 func (c pageCont) WireSize() int {
-	return c.R.Lo.Len()/8 + c.R.Hi.Len()/8 + c.Cursor.Len()/8 + 29
+	return c.R.Lo.Len()/8 + c.R.Hi.Len()/8 + c.Cursor.Len()/8 + 29 +
+		aggWireSize(c.Agg) + len(c.AggAfter)
 }
 
 // pageReq pulls the next page of a paged range scan, sent directly to
@@ -194,10 +231,17 @@ type queryResp struct {
 	// origin echoes it back in a pageReq to pull the next page. Share
 	// on a partial page is 0; the final page carries the branch mass.
 	Cont *pageCont
+	// AggData carries encoded partial-aggregate states (agg.State) in
+	// place of Entries when the operation pushed an aggregation down;
+	// AggGroups is the group count it encodes. A page of an aggregated
+	// scan is a bounded batch of group states, exactly as a row page is
+	// a bounded batch of entries.
+	AggData   []byte
+	AggGroups int
 }
 
 func (r queryResp) WireSize() int {
-	s := 41 + len(r.Replicas)*10
+	s := 41 + len(r.Replicas)*10 + len(r.AggData)
 	for _, k := range r.ProbeKeys {
 		s += k.Len()/8 + 2
 	}
@@ -210,10 +254,12 @@ func (r queryResp) WireSize() int {
 	return s
 }
 
-// ackMsg confirms an insert reached its responsible peer.
+// ackMsg confirms an insert reached its responsible peer; Seq echoes
+// the entry it acknowledges.
 type ackMsg struct {
 	QID  uint64
 	Hops int
+	Seq  uint8
 }
 
 // gossipMsg pushes freshly written entries to replicas of the same

@@ -3,6 +3,7 @@ package pgrid
 import (
 	"time"
 
+	"unistore/internal/agg"
 	"unistore/internal/keys"
 	"unistore/internal/simnet"
 	"unistore/internal/store"
@@ -203,6 +204,21 @@ func (p *Peer) handleResponse(r queryResp) {
 			return
 		}
 		if newly < len(r.ProbeKeys) {
+			if op.aggSpec != nil {
+				// Aggregated probe batches cannot be split per key: the
+				// states fold every answered key's rows together, so
+				// keeping this response would re-count the rows of keys
+				// another response already delivered. Drop it whole and
+				// put its keys back — the path that answered the others
+				// (hedge resend, per-key routed fallback) also carries
+				// the still-wanted keys, and the retry budget plus the
+				// operation deadline backstop the rest.
+				for ks := range newlySet {
+					op.probeWant[ks] = true
+				}
+				p.mu.Unlock()
+				return
+			}
 			kept := r.Entries[:0:0]
 			for _, e := range r.Entries {
 				if newlySet[e.Key.String()] {
@@ -273,6 +289,17 @@ func (p *Peer) handleResponse(r queryResp) {
 	} else {
 		op.entries = append(op.entries, r.Entries...)
 	}
+	// Pushed-down aggregation: decode the response's partial group
+	// states for streaming delivery (outside the lock, below). A batch
+	// that fails to decode is dropped — the coverage machinery treats
+	// the partition as unanswered and retries it.
+	onAgg := op.onAgg
+	var aggStates []agg.State
+	if onAgg != nil && len(r.AggData) > 0 {
+		if sts, err := agg.DecodeStates(r.AggData); err == nil {
+			aggStates = sts
+		}
+	}
 	op.count += r.Count
 	op.shares += r.Share
 	if r.Hops > op.hops {
@@ -288,6 +315,9 @@ func (p *Peer) handleResponse(r queryResp) {
 	p.mu.Unlock()
 	if len(partial) > 0 {
 		onPartial(partial)
+	}
+	if len(aggStates) > 0 {
+		onAgg(aggStates)
 	}
 	if fire != nil {
 		fire()
@@ -322,6 +352,12 @@ func (p *Peer) handleResponse(r queryResp) {
 				}
 			}
 			p.net.Send(p.id, target, KindPage, pageReq{QID: r.QID, Origin: p.id, Cont: *r.Cont})
+			// Hedge the pull itself: if the server dies (or the pull or
+			// its answer is swallowed) with the request already sent,
+			// the stalled cursor re-sends to a live sibling after the
+			// hedge deadline instead of waiting for the scan-level
+			// re-shower backstop.
+			p.armPagePull(r.QID, r.Path, *r.Cont, target)
 		}
 	}
 }
@@ -332,6 +368,16 @@ func (p *Peer) handleAck(a ackMsg) {
 	if !ok || op.done {
 		p.mu.Unlock()
 		return
+	}
+	if op.insertPend != nil {
+		if _, pending := op.insertPend[a.Seq]; !pending {
+			// A duplicate ack: the original and a retried insert both
+			// landed (idempotently). Counting it would complete the
+			// operation while another entry is still unacked.
+			p.mu.Unlock()
+			return
+		}
+		delete(op.insertPend, a.Seq)
 	}
 	op.responses++
 	if a.Hops > op.hops {
@@ -390,16 +436,29 @@ func (p *Peer) InsertTriple(tr triple.Triple, version uint64) {
 }
 
 // InsertTripleAcked inserts tr under all three kinds and reports
-// completion (all three acks) through the returned handle.
+// completion (all three acks) through the returned handle. The write
+// path is replica-aware like the read path: routing consults the
+// cached owner set (dead primaries fail over to live siblings at send
+// time), and entries whose ack is still missing when the hedge
+// deadline passes are re-routed — safely, because the store resolves
+// duplicate entries by version, so a retried insert is idempotent.
 func (p *Peer) InsertTripleAcked(tr triple.Triple, version uint64, cb func(OpResult)) *Handle {
 	qid, op := p.newOp(0, len(triple.AllIndexKinds), cb)
-	for _, kind := range triple.AllIndexKinds {
+	p.mu.Lock()
+	op.insertPend = make(map[uint8]store.Entry, len(triple.AllIndexKinds))
+	for i, kind := range triple.AllIndexKinds {
+		op.insertPend[uint8(i)] = store.Entry{Kind: kind, Key: triple.IndexKey(tr, kind),
+			Triple: tr, Version: version}
+	}
+	p.mu.Unlock()
+	for i, kind := range triple.AllIndexKinds {
 		p.route(triple.IndexKey(tr, kind), insertReq{
 			Entry: store.Entry{Kind: kind, Key: triple.IndexKey(tr, kind),
 				Triple: tr, Version: version},
-			QID: qid, Origin: p.id,
+			QID: qid, Origin: p.id, Seq: uint8(i),
 		})
 	}
+	p.armInsertRetry(qid, 0)
 	return &Handle{peer: p, op: op, qid: qid}
 }
 

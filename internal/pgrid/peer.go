@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"unistore/internal/agg"
 	"unistore/internal/keys"
 	"unistore/internal/simnet"
 	"unistore/internal/store"
@@ -165,6 +166,8 @@ type peerCounters struct {
 	probeGroups        atomic.Int64
 	probeRetries       atomic.Int64
 	scanRetries        atomic.Int64
+	pageHedges         atomic.Int64
+	writeRetries       atomic.Int64
 	digestRounds       atomic.Int64
 	digestPulls        atomic.Int64
 }
@@ -204,6 +207,15 @@ type PeerStats struct {
 	ProbeGroups  int
 	ProbeRetries int
 	ScanRetries  int
+	// PagePullHedges counts stalled page pulls re-sent to a sibling
+	// replica (or re-routed) after the hedge deadline — the pull-level
+	// failover that recovers a server dying between pages without
+	// waiting for the scan-level re-shower backstop.
+	PagePullHedges int
+	// WriteRetries counts acked insert entries re-routed after the
+	// hedge deadline passed without their ack — the write-path mirror
+	// of probe failover (idempotent by entry version).
+	WriteRetries int
 	// Digest anti-entropy: rounds participated in, and bucket pulls
 	// answered with entry pages.
 	DigestRounds int
@@ -234,7 +246,12 @@ type pendingOp struct {
 	// mid-scan. It is invoked outside the peer lock, strictly before
 	// the completion callback, and never after it.
 	onPartial func([]store.Entry)
-	fin       chan struct{}
+	// aggSpec/onAgg mark a pushed-down aggregation: responses carry
+	// encoded partial group states, decoded and streamed to onAgg with
+	// the same ordering guarantees onPartial has.
+	aggSpec *agg.Spec
+	onAgg   func([]agg.State)
+	fin     chan struct{}
 
 	// Key-tracked probe state (lookups and multi-lookups with replica
 	// failover). probeWant holds the keys still unanswered; responses
@@ -250,6 +267,12 @@ type pendingOp struct {
 	// scan tracks a range query's failover bookkeeping (which
 	// partitions answered, for the coverage re-shower).
 	scan *scanState
+
+	// insertPend tracks an acked insert's entries still awaiting their
+	// ack, by sequence number: the retry timer re-routes the missing
+	// ones (idempotent — the store resolves duplicates by version), and
+	// a duplicate ack from a retried entry cannot double-count.
+	insertPend map[uint8]store.Entry
 }
 
 // probeGroup is one direct send of probe keys to a chosen replica,
@@ -285,8 +308,11 @@ type scanState struct {
 	pageSize int
 	probe    bool
 	desc     bool
-	covered  []keys.Key
-	claims   map[string]*scanClaim
+	// agg is the pushed-down aggregation spec; retry showers carry it
+	// so re-showered partitions keep answering in group states.
+	agg     *agg.Spec
+	covered []keys.Key
+	claims  map[string]*scanClaim
 	// cursors memoizes each partition's page progress (the latest
 	// accepted continuation), independent of stream claims: it
 	// survives claim releases and lost resume pulls, so EVERY retry
@@ -311,10 +337,15 @@ type scanClaim struct {
 	cont *pageCont
 }
 
-// scanCursor is one partition's resume point.
+// scanCursor is one partition's resume point. hedges counts the
+// pull-level retries spent at this exact position; a fresh page resets
+// it (a new scanCursor replaces the old), so the budget is per page,
+// with the scan-level re-shower still backstopping a position that
+// exhausts it.
 type scanCursor struct {
-	path keys.Key
-	cont pageCont
+	path   keys.Key
+	cont   pageCont
+	hedges int
 }
 
 // NewPeer creates a peer with an empty path and registers it in the
@@ -375,6 +406,8 @@ func (p *Peer) Stats() PeerStats {
 		ProbeGroups:             int(p.stats.probeGroups.Load()),
 		ProbeRetries:            int(p.stats.probeRetries.Load()),
 		ScanRetries:             int(p.stats.scanRetries.Load()),
+		PagePullHedges:          int(p.stats.pageHedges.Load()),
+		WriteRetries:            int(p.stats.writeRetries.Load()),
 		DigestRounds:            int(p.stats.digestRounds.Load()),
 		DigestPulls:             int(p.stats.digestPulls.Load()),
 	}
@@ -489,9 +522,14 @@ func (p *Peer) deliver(env routeEnvelope, from simnet.NodeID) {
 	case lookupReq:
 		entries := p.store.Lookup(triple.IndexKind(inner.Kind), inner.Key)
 		resp := queryResp{
-			QID: inner.QID, Entries: entries, Count: len(entries),
-			Share: TotalShare, Hops: env.Hops,
+			QID: inner.QID, Share: TotalShare, Hops: env.Hops,
 			ProbeKeys: []keys.Key{inner.Key},
+		}
+		if inner.Agg != nil {
+			aggProbeResp(&resp, inner.Agg, entries)
+		} else {
+			resp.Entries = entries
+			resp.Count = len(entries)
 		}
 		p.stampResp(&resp)
 		p.net.Send(p.id, inner.Origin, KindResponse, resp)
@@ -515,7 +553,7 @@ func (p *Peer) applyInsert(req insertReq, hops int, from simnet.NodeID) {
 		p.pushToReplicas([]store.Entry{req.Entry}, from)
 	}
 	if req.QID != 0 {
-		p.net.Send(p.id, req.Origin, KindAck, ackMsg{QID: req.QID, Hops: hops})
+		p.net.Send(p.id, req.Origin, KindAck, ackMsg{QID: req.QID, Hops: hops, Seq: req.Seq})
 	}
 }
 

@@ -1,8 +1,10 @@
 package pgrid
 
 import (
+	"unistore/internal/agg"
 	"unistore/internal/keys"
 	"unistore/internal/simnet"
+	"unistore/internal/store"
 	"unistore/internal/triple"
 )
 
@@ -63,11 +65,19 @@ func (p *Peer) dispatchProbes(qid uint64, op *pendingOp, kind uint8, ks []keys.K
 		// inside the issuing call.
 		resp := queryResp{QID: qid, Probes: len(local), ProbeKeys: local}
 		p.stampResp(&resp)
+		var collected []store.Entry
 		for _, k := range local {
 			p.stats.delivered.Add(1)
 			entries := p.store.Lookup(triple.IndexKind(kind), k)
+			if op.aggSpec != nil {
+				collected = append(collected, entries...)
+				continue
+			}
 			resp.Entries = append(resp.Entries, entries...)
 			resp.Count += len(entries)
+		}
+		if op.aggSpec != nil {
+			aggProbeResp(&resp, op.aggSpec, collected)
 		}
 		p.net.Send(p.id, p.id, KindResponse, resp)
 	}
@@ -75,15 +85,16 @@ func (p *Peer) dispatchProbes(qid uint64, op *pendingOp, kind uint8, ks []keys.K
 		p.sendProbeGroup(qid, op, kind, g.ks, g.path, nil, 0)
 	}
 	for _, k := range routed {
-		p.routeProbe(qid, kind, k)
+		p.routeProbe(qid, kind, k, op.aggSpec)
 	}
 }
 
 // routeProbe sends one probe down the ordinary prefix-routed path (the
-// cache statistics for it were already taken by the caller).
-func (p *Peer) routeProbe(qid uint64, kind uint8, k keys.Key) {
+// cache statistics for it were already taken by the caller). A non-nil
+// spec pushes the aggregation along with it.
+func (p *Peer) routeProbe(qid uint64, kind uint8, k keys.Key, spec *agg.Spec) {
 	p.forward(routeEnvelope{Target: k, Inner: lookupReq{
-		QID: qid, Origin: p.id, Kind: kind, Key: k,
+		QID: qid, Origin: p.id, Kind: kind, Key: k, Agg: spec,
 	}})
 }
 
@@ -106,9 +117,10 @@ func (p *Peer) sendProbeGroup(qid uint64, op *pendingOp, kind uint8, ks []keys.K
 				p.stats.cacheInvalidations.Add(1)
 			}
 		}
+		spec := op.aggSpec
 		p.mu.Unlock()
 		for _, k := range ks {
-			p.routeProbe(qid, kind, k)
+			p.routeProbe(qid, kind, k, spec)
 		}
 		return false
 	}
@@ -129,10 +141,11 @@ func (p *Peer) sendProbeGroup(qid uint64, op *pendingOp, kind uint8, ks []keys.K
 		kind: kind, keys: ks, target: target.ID, path: path,
 		sentAt: p.net.Now(), attempt: attempt, tried: tried,
 	}
+	spec := op.aggSpec
 	p.mu.Unlock()
 	p.stats.probeGroups.Add(1)
 	p.net.Send(p.id, target.ID, KindMultiLookup, multiLookupReq{
-		QID: qid, Origin: p.id, Kind: kind, Keys: ks,
+		QID: qid, Origin: p.id, Kind: kind, Keys: ks, Agg: spec,
 	})
 	if hedge := p.cfg.hedgeAfter(); hedge > 0 {
 		p.net.After(hedge, func() { p.hedgeProbeGroup(qid, gid) })
@@ -196,6 +209,7 @@ func (p *Peer) hedgeProbeGroup(qid, gid uint64) {
 		set.penalize(g.target, p.cfg.hedgeAfter())
 	}
 	kind, attempt, tried, path := g.kind, g.attempt+1, g.tried, g.path
+	spec := op.aggSpec
 	p.mu.Unlock()
 	p.stats.probeRetries.Add(1)
 	if attempt < maxProbeAttempts && p.sendProbeGroup(qid, op, kind, unanswered, path, tried, attempt) {
@@ -203,7 +217,7 @@ func (p *Peer) hedgeProbeGroup(qid, gid uint64) {
 	}
 	if attempt >= maxProbeAttempts {
 		for _, k := range unanswered {
-			p.routeProbe(qid, kind, k)
+			p.routeProbe(qid, kind, k, spec)
 		}
 	}
 }
@@ -237,11 +251,16 @@ func (p *Peer) settleGroupsLocked(op *pendingOp, from simnet.NodeID) {
 // than `dead` — the page-pull redirect target when a paged scan's
 // server dies between pages.
 func (p *Peer) siblingReplica(path keys.Key, dead simnet.NodeID) (simnet.NodeID, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.siblingReplicaLocked(path, dead)
+}
+
+// siblingReplicaLocked is siblingReplica with p.mu already held.
+func (p *Peer) siblingReplicaLocked(path keys.Key, dead simnet.NodeID) (simnet.NodeID, bool) {
 	if p.cfg.DisableRouteCache || p.cfg.ReadReplicas == 1 || path.Len() == 0 {
 		return 0, false
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	set, ok := p.cache.entries[path.String()]
 	if !ok {
 		return 0, false
@@ -251,6 +270,112 @@ func (p *Peer) siblingReplica(path keys.Key, dead simnet.NodeID) (simnet.NodeID,
 		return 0, false
 	}
 	return ref.ID, true
+}
+
+// --- Page-pull hedging -------------------------------------------------------
+
+// armPagePull schedules the pull-level hedge of one in-flight page
+// request: if the partition's cursor has not moved past cont when the
+// hedge deadline fires, the pull (or its answer) was swallowed — most
+// likely the server died with the request already sent — and the pull
+// re-sends to a live sibling replica.
+func (p *Peer) armPagePull(qid uint64, path keys.Key, cont pageCont, server simnet.NodeID) {
+	hedge := p.cfg.hedgeAfter()
+	if hedge == 0 {
+		return
+	}
+	p.net.After(hedge, func() { p.hedgePagePull(qid, path, cont, server) })
+}
+
+// hedgePagePull fires at the pull hedge deadline. A cursor that moved
+// (or a finished partition) means the stream is healthy and the timer
+// dissolves; a stalled cursor re-sends the pull — direct to a sibling
+// replica with the stream claim transferred (so the sibling's pages
+// are accepted and a late original is dropped whole), or routed with
+// the claim released when no sibling is cached. The per-cursor hedge
+// budget keeps a persistently wedged position from looping; past it
+// the scan-level re-shower backstop still applies.
+func (p *Peer) hedgePagePull(qid uint64, path keys.Key, cont pageCont, server simnet.NodeID) {
+	p.mu.Lock()
+	op, ok := p.pending[qid]
+	if !ok || op.done || op.scan == nil {
+		p.mu.Unlock()
+		return
+	}
+	sc := op.scan
+	key := path.String()
+	cu, ok := sc.cursors[key]
+	if !ok || !contEqual(cu.cont, cont) {
+		p.mu.Unlock()
+		return
+	}
+	if cu.hedges >= maxProbeAttempts {
+		p.mu.Unlock()
+		return
+	}
+	cu.hedges++
+	target, direct := p.siblingReplicaLocked(path, server)
+	if cl, claimed := sc.claims[key]; claimed {
+		if direct {
+			cl.from = target
+			cl.last = p.net.Now()
+		} else {
+			// Routed pull: whichever replica answers re-claims; the
+			// claim dedup still drops whichever stream loses the race.
+			delete(sc.claims, key)
+		}
+	}
+	p.mu.Unlock()
+	p.stats.pageHedges.Add(1)
+	req := pageReq{QID: qid, Origin: p.id, Cont: cont}
+	if direct {
+		p.net.Send(p.id, target, KindPage, req)
+		p.armPagePull(qid, path, cont, target)
+		return
+	}
+	p.route(path, req)
+	p.armPagePull(qid, path, cont, server)
+}
+
+// --- Write-path failover -----------------------------------------------------
+
+// armInsertRetry schedules the ack watchdog of an acked insert.
+func (p *Peer) armInsertRetry(qid uint64, attempt int) {
+	hedge := p.cfg.hedgeAfter()
+	if hedge == 0 || attempt >= maxProbeAttempts {
+		return
+	}
+	p.net.After(hedge, func() { p.retryInserts(qid, attempt) })
+}
+
+// retryInserts re-routes the entries of an acked insert whose acks are
+// still missing at the hedge deadline — the envelope (or its ack) was
+// swallowed, typically by the responsible primary dying with the
+// message in flight. Routing re-consults the cached owner set and the
+// liveness-checked reference tables, so the retry lands on a live
+// replica of the partition; the store's version tie-break makes a
+// duplicate delivery harmless.
+func (p *Peer) retryInserts(qid uint64, attempt int) {
+	p.mu.Lock()
+	op, ok := p.pending[qid]
+	if !ok || op.done || len(op.insertPend) == 0 {
+		p.mu.Unlock()
+		return
+	}
+	type pend struct {
+		seq uint8
+		e   store.Entry
+	}
+	var missing []pend
+	for seq, e := range op.insertPend {
+		missing = append(missing, pend{seq, e})
+	}
+	p.mu.Unlock()
+	p.stats.writeRetries.Add(int64(len(missing)))
+	for _, m := range missing {
+		p.route(m.e.Key, insertReq{Entry: m.e, QID: qid, Origin: p.id, Seq: m.seq})
+	}
+	p.armInsertRetry(qid, attempt+1)
 }
 
 // --- Range-scan failover -----------------------------------------------------
@@ -334,7 +459,7 @@ func (p *Peer) retryScan(qid uint64) {
 		active = append(active, cu.path)
 	}
 	gaps := uncoveredPrefixes(sc.r, active)
-	kind, pageSize, probe, desc := sc.kind, sc.pageSize, sc.probe, sc.desc
+	kind, pageSize, probe, desc, aggSpec := sc.kind, sc.pageSize, sc.probe, sc.desc, sc.agg
 	if len(gaps) == 0 && len(resumes) == 0 {
 		// Covered while the timer was in flight: the completion rule
 		// just changed, so check it here — no further response may.
@@ -360,18 +485,21 @@ func (p *Peer) retryScan(qid uint64) {
 		p.handleRange(rangeMsg{
 			QID: qid, Origin: p.id, Kind: kind,
 			R: clipRangeToPrefix(r, g), Level: 0, Share: 0,
-			Probe: probe, PageSize: pageSize, Desc: desc,
+			Probe: probe, PageSize: pageSize, Desc: desc, Agg: aggSpec,
 		})
 	}
 	p.armScanRetry(qid)
 }
 
 // contEqual reports whether two continuation tokens name the same
-// page position (everything but the constant transport fields).
+// page position (everything but the constant transport fields). An
+// aggregated scan's position lives in the group-key cursor, so it
+// participates too — successive group pages share the same key range.
 func contEqual(a, b pageCont) bool {
 	return a.Kind == b.Kind && a.SkipAtLo == b.SkipAtLo && a.Desc == b.Desc &&
 		a.R.Lo.Equal(b.R.Lo) && a.R.Hi.Equal(b.R.Hi) && a.R.HiOpen == b.R.HiOpen &&
-		a.Cursor.Equal(b.Cursor)
+		a.Cursor.Equal(b.Cursor) &&
+		(a.Agg == nil) == (b.Agg == nil) && a.AggAfter == b.AggAfter
 }
 
 // uncoveredPrefixes returns the minimal trie prefixes overlapping r

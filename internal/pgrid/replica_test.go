@@ -266,8 +266,11 @@ func TestPagedScanResumesAtCursorAfterMidPaginationDeath(t *testing.T) {
 	if !res.Complete {
 		t.Fatalf("scan did not complete after mid-pagination death: %+v", res)
 	}
-	if q.Stats().ScanRetries == 0 {
-		t.Error("stream was not resumed through the retry path")
+	if st := q.Stats(); st.ScanRetries == 0 && st.PagePullHedges == 0 {
+		// Recovery normally happens through the pull-level hedge (one
+		// hedge interval); the scan-level re-shower remains the slower
+		// backstop. Either path counts as a resumed stream.
+		t.Error("stream was not resumed through any failover path")
 	}
 	got := map[string]int{}
 	for _, e := range streamed {

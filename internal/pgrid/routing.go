@@ -247,6 +247,15 @@ func (p *Peer) handleRange(msg rangeMsg) {
 // Desc serves the overlap top-down so descending ranked scans stream.
 func (p *Peer) serveRange(msg rangeMsg, share int64) {
 	p.stats.rangeServed.Add(1)
+	if msg.Agg != nil && !msg.Probe {
+		// Pushed-down aggregation: answer with per-group states (paged
+		// by groups when a page size is set) instead of rows.
+		p.serveAggPage(msg.QID, msg.Origin, pageCont{
+			Kind: msg.Kind, R: msg.R, Share: share,
+			PageSize: msg.PageSize, Hops: msg.Hops, Agg: msg.Agg,
+		})
+		return
+	}
 	if msg.PageSize > 0 && !msg.Probe {
 		p.servePage(msg.QID, msg.Origin, pageCont{
 			Kind: msg.Kind, R: msg.R, Share: share,
@@ -283,6 +292,10 @@ func (p *Peer) serveRange(msg rangeMsg, share int64) {
 // removed between pulls outside the cursor's bucket never duplicate or
 // drop rows of the scan.
 func (p *Peer) servePage(qid uint64, origin simnet.NodeID, cont pageCont) {
+	if cont.Agg != nil {
+		p.serveAggPage(qid, origin, cont)
+		return
+	}
 	if cont.Desc {
 		p.servePageDesc(qid, origin, cont)
 		return
@@ -404,19 +417,30 @@ func (p *Peer) handlePage(req pageReq) {
 func (p *Peer) handleMultiLookup(req multiLookupReq) {
 	resp := queryResp{QID: req.QID, Hops: 1}
 	p.stampResp(&resp)
+	var covered []store.Entry
 	for _, k := range req.Keys {
 		if !p.Responsible(k) {
-			p.route(k, lookupReq{QID: req.QID, Origin: req.Origin, Kind: req.Kind, Key: k})
+			p.route(k, lookupReq{QID: req.QID, Origin: req.Origin, Kind: req.Kind, Key: k, Agg: req.Agg})
 			continue
 		}
 		p.stats.delivered.Add(1)
 		resp.Probes++
 		resp.ProbeKeys = append(resp.ProbeKeys, k)
 		entries := p.store.Lookup(triple.IndexKind(req.Kind), k)
+		if req.Agg != nil {
+			covered = append(covered, entries...)
+			continue
+		}
 		resp.Entries = append(resp.Entries, entries...)
 		resp.Count += len(entries)
 	}
-	if resp.Probes > 0 {
-		p.net.Send(p.id, req.Origin, KindResponse, resp)
+	if resp.Probes == 0 {
+		return
 	}
+	if req.Agg != nil {
+		// Aggregated probe batch: one set of group states covers every
+		// key this peer answered.
+		aggProbeResp(&resp, req.Agg, covered)
+	}
+	p.net.Send(p.id, req.Origin, KindResponse, resp)
 }

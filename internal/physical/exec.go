@@ -345,10 +345,14 @@ type Exec struct {
 	ctx      context.Context
 
 	// Pipeline state (guarded by pmu).
-	pmu      sync.Mutex
-	win      *opWindow
-	stages   []*stage
-	sink     *tailSink
+	pmu    sync.Mutex
+	win    *opWindow
+	stages []*stage
+	sink   *tailSink
+	// agg is the aggregation coordinator (nil for non-aggregating
+	// tails): merges pushed-down partial states or folds centralized
+	// rows, then finalizes groups through the sink.
+	agg      *aggRun
 	stopped  bool
 	migrated bool
 	// migratedTo is the region key the plan was shipped to — where a
@@ -576,7 +580,18 @@ func (ex *Exec) noteFirstResult() {
 // startPipeline builds and opens the stage pipeline. Callers hold pmu.
 func (ex *Exec) startPipeline() {
 	ex.win = newOpWindow(ex, ex.eng.window())
+	if ex.tail.HasAgg() {
+		// The pushdown choice made at compile time is re-validated
+		// against this execution: a hosted remainder (seeded rows) or a
+		// reordered plan that no longer qualifies falls back to the
+		// centralized path, never to a wrong answer.
+		push := ex.tail.AggPushdown && !ex.seeded && aggPushdownable(ex.steps, ex.tail)
+		ex.agg = newAggRun(ex, push)
+	}
 	ex.sink = newTailSink(ex)
+	if ex.agg != nil {
+		ex.agg.configureStream(ex.sink)
+	}
 	if ex.ctx.Err() != nil {
 		// Canceled before the first operation: keep the promise that
 		// nothing is sent on behalf of a dead query.
@@ -585,6 +600,12 @@ func (ex *Exec) startPipeline() {
 		return
 	}
 	if len(ex.steps) == 0 {
+		if ex.agg != nil {
+			ex.agg.started = true
+			ex.agg.addRows(ex.seedRows)
+			ex.finishPipeline(nil)
+			return
+		}
 		ex.finishPipeline(ex.seedRows)
 		return
 	}
@@ -598,6 +619,9 @@ func (ex *Exec) startPipeline() {
 	}
 	for _, s := range ex.stages {
 		s.classify()
+	}
+	if ex.agg != nil && ex.agg.pushdown {
+		ex.stages[0].aggPush = true
 	}
 	ex.openFrom(0)
 	s0 := ex.stages[0]
@@ -663,9 +687,16 @@ func (ex *Exec) earlyOut() {
 }
 
 // finishPipeline normalizes the accumulated rows through the tail and
-// completes the query. Callers hold pmu.
+// completes the query. Callers hold pmu. With an aggregation the sink
+// delivered finalized GROUP rows (plus whatever groups a cancel left
+// unflushed), so only the post-aggregation clauses re-apply —
+// re-aggregating group rows would count groups instead of rows.
 func (ex *Exec) finishPipeline(rows []algebra.Binding) {
 	ex.win.close()
+	if ex.agg != nil {
+		ex.finishWith(ex.tail.post(ex.agg.drainInto(rows)))
+		return
+	}
 	ex.finishWith(ex.tail.Apply(rows))
 }
 

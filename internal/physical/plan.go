@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"strings"
 
+	"unistore/internal/agg"
 	"unistore/internal/algebra"
 	"unistore/internal/vql"
 )
@@ -135,14 +136,41 @@ func (st Step) String() string {
 // blocking (and normalizing) formulation.
 type Tail struct {
 	Skyline []vql.SkylineKey
-	OrderBy []vql.OrderKey
-	TopN    bool
-	Limit   int
-	Project []string
+	// GroupBy/Aggs/Having describe the aggregation (GROUP BY, the
+	// aggregate select items, and the group filter). AggPushdown is the
+	// optimizer's strategy choice: peer-side partial aggregation when
+	// the plan shape allows it, centralized fallback otherwise (the
+	// executor re-validates feasibility at run time).
+	GroupBy     []string
+	Aggs        []agg.Item
+	Having      vql.Expr
+	AggPushdown bool
+	OrderBy     []vql.OrderKey
+	TopN        bool
+	Limit       int
+	Project     []string
 }
 
-// Apply runs the tail pipeline over a binding set.
+// HasAgg reports whether the tail aggregates (GROUP BY, aggregate
+// items, or DISTINCT compiled as grouping).
+func (t Tail) HasAgg() bool { return len(t.GroupBy) > 0 || len(t.Aggs) > 0 }
+
+// Apply runs the tail pipeline over a binding set: aggregation (when
+// present), then ordering, limiting and projection. The streaming
+// executor aggregates incrementally and calls post directly; Apply is
+// the blocking, normalizing formulation over raw rows.
 func (t Tail) Apply(bs []algebra.Binding) []algebra.Binding {
+	if t.HasAgg() {
+		bs = algebra.ExecuteAggregate(&algebra.Aggregate{
+			GroupBy: t.GroupBy, Items: t.Aggs, Having: t.Having,
+		}, bs)
+	}
+	return t.post(bs)
+}
+
+// post applies the non-aggregating tail clauses to (possibly already
+// aggregated) rows.
+func (t Tail) post(bs []algebra.Binding) []algebra.Binding {
 	if len(t.Skyline) > 0 {
 		idx := algebra.SkylineIndexes(bs, t.Skyline)
 		out := make([]algebra.Binding, len(idx))
@@ -185,7 +213,20 @@ func (p *Plan) String() string {
 	for i, s := range p.Steps {
 		parts[i] = s.String()
 	}
-	return strings.Join(parts, " → ")
+	out := strings.Join(parts, " → ")
+	if p.Tail.HasAgg() {
+		mode := "centralized"
+		if p.Tail.AggPushdown {
+			mode = "pushdown"
+		}
+		items := make([]string, len(p.Tail.Aggs))
+		for i, it := range p.Tail.Aggs {
+			items[i] = it.String()
+		}
+		out += fmt.Sprintf(" ⇒ γ[%s; %s; %s]",
+			strings.Join(p.Tail.GroupBy, ","), strings.Join(items, ","), mode)
+	}
+	return out
 }
 
 // WireSize estimates the serialized plan size.
@@ -222,6 +263,12 @@ func Compile(lp algebra.Plan) (*Plan, error) {
 			continue
 		case *algebra.Skyline:
 			p.Tail.Skyline = x.Keys
+			inner = x.Input
+			continue
+		case *algebra.Aggregate:
+			p.Tail.GroupBy = x.GroupBy
+			p.Tail.Aggs = x.Items
+			p.Tail.Having = x.Having
 			inner = x.Input
 			continue
 		}

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"unistore/internal/agg"
 	"unistore/internal/algebra"
 	"unistore/internal/keys"
 	"unistore/internal/pgrid"
@@ -192,6 +193,11 @@ type stage struct {
 	nextIssue int
 	nextRel   int
 
+	// aggPush runs the stage's access path in aggregated form: overlay
+	// operations carry the query's aggregation spec and deliver partial
+	// group states to the coordinator table instead of rows.
+	aggPush bool
+
 	opsOut  int
 	seen    map[string]bool // fact-level dedup of replica copies
 	eosDown bool
@@ -314,11 +320,23 @@ func (s *stage) open() {
 		}
 		s.flushProbes()
 	case modeScan:
+		if s.aggPush {
+			s.openAggScan()
+			return
+		}
 		s.openScan()
 	case modeFixed:
 		s.issuedAll = true
 		for _, k := range s.fixedKeys {
 			k := k
+			if s.aggPush {
+				spec := s.ex.agg.spec
+				s.submitOp(func(cb func(pgrid.OpResult)) *pgrid.Handle {
+					return s.ex.eng.peer.LookupAgg(s.fixedKind, k, spec,
+						func(states []agg.State) { s.ex.opAggStates(states) }, cb)
+				}, func(pgrid.OpResult) {})
+				continue
+			}
 			s.submitOp(func(cb func(pgrid.OpResult)) *pgrid.Handle {
 				return s.ex.eng.peer.Lookup(s.fixedKind, k, cb)
 			}, func(res pgrid.OpResult) { s.onEntries(res.Entries) })
@@ -326,6 +344,40 @@ func (s *stage) open() {
 	case modeQGram:
 		s.openQGram()
 	}
+}
+
+// openAggScan showers the stage's key range with the aggregation
+// pushed to the serving peers: each shard's partitions answer with
+// per-group partial states (paged as bounded batches of groups) that
+// stream into the coordinator's merge table.
+func (s *stage) openAggScan() {
+	if s.issuedAll {
+		return
+	}
+	s.issuedAll = true
+	shards := []keys.Range{s.scanRange}
+	if n := s.ex.eng.shards(); n > 1 {
+		shards = keys.SplitRange(s.scanRange, n)
+	}
+	spec := s.ex.agg.spec
+	for _, r := range shards {
+		r := r
+		s.submitOp(func(cb func(pgrid.OpResult)) *pgrid.Handle {
+			return s.ex.eng.peer.RangeQueryAgg(s.scanKind, r, spec,
+				func(states []agg.State) { s.ex.opAggStates(states) }, cb)
+		}, func(pgrid.OpResult) {})
+	}
+}
+
+// opAggStates is the pushdown re-entry point from the overlay: one
+// batch of partial group states enters the merge table under pmu.
+func (ex *Exec) opAggStates(states []agg.State) {
+	ex.pmu.Lock()
+	defer ex.pmu.Unlock()
+	if ex.stopped || ex.migrated || ex.win.closed || ex.agg == nil {
+		return
+	}
+	ex.agg.merge(states)
 }
 
 // addLeft feeds upstream rows into the stage. Probes derived from the
@@ -569,6 +621,13 @@ func (s *stage) emit(rows []algebra.Binding) {
 		return
 	}
 	if s.idx == len(s.ex.stages)-1 {
+		if a := s.ex.agg; a != nil && !a.pushdown {
+			// Centralized aggregation: rows fold into the group table
+			// instead of materializing in the sink — the sink only sees
+			// finalized groups.
+			a.addRows(rows)
+			return
+		}
 		s.ex.sink.push(rows)
 		return
 	}
@@ -677,6 +736,16 @@ type tailSink struct {
 func newTailSink(ex *Exec) *tailSink {
 	t := ex.tail
 	k := &tailSink{ex: ex, mode: sinkAll, limit: t.Limit}
+	// With an aggregation the sink consumes finalized GROUP rows. The
+	// rank discipline additionally needs those rows to arrive in
+	// ranking order, which only the centralized path streaming over the
+	// group key can provide: pushdown delivers unordered partial states
+	// and must materialize before ordering.
+	aggRankOK := true
+	if t.HasAgg() {
+		aggRankOK = ex.agg != nil && !ex.agg.pushdown &&
+			len(t.OrderBy) == 1 && containsVar(t.GroupBy, t.OrderBy[0].Var)
+	}
 	switch {
 	case ex.eng.materialized() || len(t.Skyline) > 0 || (t.Limit <= 0 && len(t.OrderBy) > 0):
 		// Blocking tail: every row is needed before the first can leave.
@@ -685,7 +754,7 @@ func newTailSink(ex *Exec) *tailSink {
 		k.mode = sinkLimit
 	case t.Limit <= 0:
 		// Ordered without limit: blocking.
-	case len(t.OrderBy) == 1 && rankStreamable(ex.steps, t):
+	case len(t.OrderBy) == 1 && rankStreamable(ex.steps, t) && aggRankOK:
 		k.mode = sinkRank
 		key := t.OrderBy[0]
 		k.rankVar = key.Var
@@ -698,6 +767,16 @@ func newTailSink(ex *Exec) *tailSink {
 		})
 	}
 	return k
+}
+
+// containsVar reports membership in a variable list.
+func containsVar(vars []string, v string) bool {
+	for _, x := range vars {
+		if x == v {
+			return true
+		}
+	}
+	return false
 }
 
 // rankStreamable reports whether the final step's access path can emit
@@ -752,8 +831,17 @@ func (k *tailSink) deliver(b algebra.Binding) {
 	}
 }
 
-// eos finalizes the pipeline once every stage is exhausted.
+// eos finalizes the pipeline once every stage is exhausted. An
+// aggregation flushes its remaining groups through the sink first, so
+// LIMIT and rank termination apply to the finalized group rows (the
+// flush itself may early-out, which already completed the query).
 func (k *tailSink) eos() {
+	if a := k.ex.agg; a != nil {
+		a.flush(k)
+		if k.ex.stopped || k.ex.Done() {
+			return
+		}
+	}
 	k.ex.finishPipeline(k.rows)
 }
 

@@ -1,0 +1,111 @@
+package vql
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseGroupByAggregates(t *testing.T) {
+	q, err := ParseQuery(`SELECT ?g, count(*) AS ?n, sum(?a), avg(?a), min(?a), max(?a),
+		count(DISTINCT ?a) WHERE {(?p,'group',?g) (?p,'age',?a)}
+		GROUP BY ?g HAVING ?n > 2 ORDER BY ?n DESC LIMIT 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(q.Select, []string{"g"}) {
+		t.Fatalf("select = %v", q.Select)
+	}
+	wantAggs := []AggSelect{
+		{Func: AggCount, Star: true, As: "n"},
+		{Func: AggSum, Var: "a", As: "sum_a"},
+		{Func: AggAvg, Var: "a", As: "avg_a"},
+		{Func: AggMin, Var: "a", As: "min_a"},
+		{Func: AggMax, Var: "a", As: "max_a"},
+		{Func: AggCount, Var: "a", Distinct: true, As: "count_distinct_a"},
+	}
+	if !reflect.DeepEqual(q.Aggs, wantAggs) {
+		t.Fatalf("aggs = %+v", q.Aggs)
+	}
+	if !reflect.DeepEqual(q.GroupBy, []string{"g"}) {
+		t.Fatalf("group by = %v", q.GroupBy)
+	}
+	if q.Having == nil || q.Having.String() != "?n>2" {
+		t.Fatalf("having = %v", q.Having)
+	}
+	if len(q.OrderBy) != 1 || q.OrderBy[0].Var != "n" || !q.OrderBy[0].Desc || q.Limit != 3 {
+		t.Fatalf("order/limit = %v %d", q.OrderBy, q.Limit)
+	}
+}
+
+func TestParseSelectDistinct(t *testing.T) {
+	q, err := ParseQuery(`SELECT DISTINCT ?g WHERE {(?p,'group',?g)}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Distinct || !reflect.DeepEqual(q.Select, []string{"g"}) {
+		t.Fatalf("distinct=%v select=%v", q.Distinct, q.Select)
+	}
+	if _, err := ParseQuery(`SELECT DISTINCT * WHERE {(?p,'group',?g)}`); err != nil {
+		t.Fatalf("SELECT DISTINCT *: %v", err)
+	}
+}
+
+func TestParseGlobalAggregate(t *testing.T) {
+	q, err := ParseQuery(`SELECT count(*) WHERE {(?p,'name',?n)}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Select) != 0 || len(q.Aggs) != 1 || q.Aggs[0].As != "count" || len(q.GroupBy) != 0 {
+		t.Fatalf("parsed %+v", q)
+	}
+}
+
+func TestAggParseErrors(t *testing.T) {
+	for _, src := range []string{
+		`SELECT sum(*) WHERE {(?p,'a',?v)}`,                       // only count(*)
+		`SELECT sum(DISTINCT ?v) WHERE {(?p,'a',?v)}`,             // DISTINCT only in count
+		`SELECT count(*), count(*) WHERE {(?p,'a',?v)}`,           // duplicate default name
+		`SELECT count(*) AS ?v, ?v WHERE {(?p,'a',?v)}`,           // AS collides with var — caught as dup
+		`SELECT frobnicate(?v) WHERE {(?p,'a',?v)}`,               // unknown function
+		`SELECT ?v WHERE {(?p,'a',?v)} GROUP BY`,                  // missing var list
+		`SELECT ?v WHERE {(?p,'a',?v)} HAVING`,                    // missing expr
+		`SELECT count(?v AS ?n WHERE {(?p,'a',?v)}`,               // malformed call
+		`SELECT ?v, count() WHERE {(?p,'a',?v)}`,                  // empty argument
+		`SELECT ?g WHERE {(?p,'a',?g)} HAVING ?g > 1 GROUP BY ?g`, // clause order
+		`SELECT ?g WHERE {(?p,'a',?g)} ORDER BY ?g GROUP BY ?g`,   // clause order
+		`SELECT sum(?v) AS ?s, avg(?v) AS ?s WHERE {(?p,'a',?v)}`, // explicit dup AS
+	} {
+		if _, err := ParseQuery(src); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+// TestAggPrintParseFixpoint: String() of an aggregate query must parse
+// back to an equivalent query.
+func TestAggPrintParseFixpoint(t *testing.T) {
+	srcs := []string{
+		`SELECT ?g, count(*) AS ?n WHERE {(?p,'group',?g)} GROUP BY ?g HAVING ?n >= 2 ORDER BY ?n DESC LIMIT 2`,
+		`SELECT DISTINCT ?g WHERE {(?p,'group',?g)}`,
+		`SELECT count(DISTINCT ?v) AS ?d, sum(?v) WHERE {(?p,'a',?v)}`,
+		`SELECT ?a, ?b, min(?v) WHERE {(?x,?a,?v) (?x,'k',?b)} GROUP BY ?a, ?b`,
+	}
+	for _, src := range srcs {
+		q1, err := ParseQuery(src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		rendered := q1.String()
+		q2, err := ParseQuery(rendered)
+		if err != nil {
+			t.Fatalf("re-parse of %q: %v", rendered, err)
+		}
+		if q1.String() != q2.String() {
+			t.Fatalf("fixpoint broken:\n %q\n %q", q1.String(), q2.String())
+		}
+		if !strings.Contains(rendered, "GROUP BY") == (len(q1.GroupBy) > 0) {
+			t.Fatalf("GROUP BY rendering mismatch: %q", rendered)
+		}
+	}
+}

@@ -180,12 +180,77 @@ func (s SkylineKey) String() string {
 	return "?" + s.Var + " MIN"
 }
 
+// AggFunc enumerates the aggregate functions of the select list.
+type AggFunc int
+
+// Aggregate functions.
+const (
+	AggCount AggFunc = iota
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+)
+
+// String names the function as written in VQL.
+func (f AggFunc) String() string {
+	switch f {
+	case AggCount:
+		return "count"
+	case AggSum:
+		return "sum"
+	case AggAvg:
+		return "avg"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	}
+	return fmt.Sprintf("AggFunc(%d)", int(f))
+}
+
+// AggSelect is one aggregate item of the select list, e.g.
+// count(*) AS ?n or sum(?pubs) AS ?total. Without an explicit AS the
+// parser derives the output name from the function and argument.
+type AggSelect struct {
+	Func AggFunc
+	// Var is the argument variable; empty with Star set for count(*).
+	Var  string
+	Star bool
+	// Distinct counts distinct values: count(DISTINCT ?v).
+	Distinct bool
+	// As is the output variable name the result binds to.
+	As string
+}
+
+func (a AggSelect) String() string {
+	arg := "*"
+	if !a.Star {
+		arg = "?" + a.Var
+		if a.Distinct {
+			arg = "DISTINCT " + arg
+		}
+	}
+	return fmt.Sprintf("%s(%s) AS ?%s", a.Func, arg, a.As)
+}
+
 // Query is a parsed VQL query.
 type Query struct {
-	// Select lists projected variable names; empty means SELECT *.
-	Select  []string
-	Where   []Pattern
-	Filters []Expr
+	// Select lists projected variable names; empty (with no Aggs)
+	// means SELECT *.
+	Select []string
+	// Aggs lists the aggregate items of the select list; rows are
+	// grouped by GroupBy (or form one global group when it is empty).
+	Aggs []AggSelect
+	// Distinct marks SELECT DISTINCT: duplicate result rows collapse
+	// (compiled as grouping by the projected variables).
+	Distinct bool
+	Where    []Pattern
+	Filters  []Expr
+	GroupBy  []string
+	// Having filters groups after aggregation; it may reference group
+	// variables and aggregate output names.
+	Having  Expr
 	OrderBy []OrderKey
 	Skyline []SkylineKey
 	// Limit bounds the result (0 = unlimited). TOP n parses as
@@ -214,7 +279,10 @@ func (q *Query) Vars() []string {
 func (q *Query) String() string {
 	var sb strings.Builder
 	sb.WriteString("SELECT ")
-	if len(q.Select) == 0 {
+	if q.Distinct {
+		sb.WriteString("DISTINCT ")
+	}
+	if len(q.Select) == 0 && len(q.Aggs) == 0 {
 		sb.WriteString("*")
 	} else {
 		for i, v := range q.Select {
@@ -222,6 +290,12 @@ func (q *Query) String() string {
 				sb.WriteString(",")
 			}
 			sb.WriteString("?" + v)
+		}
+		for i, a := range q.Aggs {
+			if i > 0 || len(q.Select) > 0 {
+				sb.WriteString(",")
+			}
+			sb.WriteString(a.String())
 		}
 	}
 	sb.WriteString(" WHERE {")
@@ -235,6 +309,18 @@ func (q *Query) String() string {
 		sb.WriteString(" FILTER " + f.String())
 	}
 	sb.WriteString("}")
+	if len(q.GroupBy) > 0 {
+		sb.WriteString(" GROUP BY ")
+		for i, g := range q.GroupBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString("?" + g)
+		}
+	}
+	if q.Having != nil {
+		sb.WriteString(" HAVING " + q.Having.String())
+	}
 	if len(q.Skyline) > 0 {
 		sb.WriteString(" ORDER BY SKYLINE OF ")
 		for i, s := range q.Skyline {

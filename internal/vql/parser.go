@@ -89,23 +89,42 @@ func (p *parser) parseQuery() (*Query, error) {
 	if err := p.expectKw("SELECT"); err != nil {
 		return nil, err
 	}
+	if p.kw("DISTINCT") {
+		q.Distinct = true
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
 	if p.tok.Kind == TokStar {
 		if err := p.advance(); err != nil {
 			return nil, err
 		}
 	} else {
 		for {
-			v, err := p.expect(TokVar)
-			if err != nil {
-				return nil, err
+			switch p.tok.Kind {
+			case TokVar:
+				q.Select = append(q.Select, p.tok.Text)
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+			case TokIdent:
+				a, err := p.parseAggSelect()
+				if err != nil {
+					return nil, err
+				}
+				q.Aggs = append(q.Aggs, a)
+			default:
+				return nil, errf(p.tok.Pos, "expected variable or aggregate, found %s", p.tok)
 			}
-			q.Select = append(q.Select, v.Text)
 			if p.tok.Kind != TokComma {
 				break
 			}
 			if err := p.advance(); err != nil {
 				return nil, err
 			}
+		}
+		if err := nameAggs(q); err != nil {
+			return nil, err
 		}
 	}
 	if err := p.expectKw("WHERE"); err != nil {
@@ -143,6 +162,95 @@ func (p *parser) parseQuery() (*Query, error) {
 			return nil, errf(p.tok.Pos, "expected pattern, FILTER or '}', found %s", p.tok)
 		}
 	}
+}
+
+// aggFuncs maps select-list function names to aggregate functions.
+var aggFuncs = map[string]AggFunc{
+	"count": AggCount, "sum": AggSum, "avg": AggAvg, "min": AggMin, "max": AggMax,
+}
+
+// parseAggSelect parses one aggregate select item:
+// fn( * | [DISTINCT] ?var ) [AS ?name].
+func (p *parser) parseAggSelect() (AggSelect, error) {
+	var a AggSelect
+	fn, ok := aggFuncs[strings.ToLower(p.tok.Text)]
+	if !ok {
+		return a, errf(p.tok.Pos, "unknown aggregate function %q", p.tok.Text)
+	}
+	a.Func = fn
+	if err := p.advance(); err != nil {
+		return a, err
+	}
+	if _, err := p.expect(TokLParen); err != nil {
+		return a, err
+	}
+	switch {
+	case p.tok.Kind == TokStar:
+		if a.Func != AggCount {
+			return a, errf(p.tok.Pos, "%s(*) is not valid; only count(*)", a.Func)
+		}
+		a.Star = true
+		if err := p.advance(); err != nil {
+			return a, err
+		}
+	default:
+		if p.kw("DISTINCT") {
+			if a.Func != AggCount {
+				return a, errf(p.tok.Pos, "DISTINCT inside %s is not supported", a.Func)
+			}
+			a.Distinct = true
+			if err := p.advance(); err != nil {
+				return a, err
+			}
+		}
+		v, err := p.expect(TokVar)
+		if err != nil {
+			return a, err
+		}
+		a.Var = v.Text
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return a, err
+	}
+	if p.kw("AS") {
+		if err := p.advance(); err != nil {
+			return a, err
+		}
+		v, err := p.expect(TokVar)
+		if err != nil {
+			return a, err
+		}
+		a.As = v.Text
+	}
+	return a, nil
+}
+
+// nameAggs assigns default output names to unnamed aggregates
+// (count(*) → ?count, sum(?v) → ?sum_v, count(DISTINCT ?v) →
+// ?count_distinct_v) and rejects duplicate output names.
+func nameAggs(q *Query) error {
+	used := map[string]bool{}
+	for _, v := range q.Select {
+		used[v] = true
+	}
+	for i := range q.Aggs {
+		a := &q.Aggs[i]
+		if a.As == "" {
+			switch {
+			case a.Star:
+				a.As = "count"
+			case a.Distinct:
+				a.As = "count_distinct_" + a.Var
+			default:
+				a.As = a.Func.String() + "_" + a.Var
+			}
+		}
+		if used[a.As] {
+			return errf(0, "duplicate select name ?%s (use AS to disambiguate)", a.As)
+		}
+		used[a.As] = true
+	}
+	return nil
 }
 
 func (p *parser) parsePattern() (Pattern, error) {
@@ -317,6 +425,37 @@ func (p *parser) parseOperand() (Operand, error) {
 }
 
 func (p *parser) parseClauses(q *Query) error {
+	if p.kw("GROUP") {
+		if err := p.advance(); err != nil {
+			return err
+		}
+		if err := p.expectKw("BY"); err != nil {
+			return err
+		}
+		for {
+			v, err := p.expect(TokVar)
+			if err != nil {
+				return err
+			}
+			q.GroupBy = append(q.GroupBy, v.Text)
+			if p.tok.Kind != TokComma {
+				break
+			}
+			if err := p.advance(); err != nil {
+				return err
+			}
+		}
+	}
+	if p.kw("HAVING") {
+		if err := p.advance(); err != nil {
+			return err
+		}
+		h, err := p.parseOr()
+		if err != nil {
+			return err
+		}
+		q.Having = h
+	}
 	if p.kw("ORDER") {
 		if err := p.advance(); err != nil {
 			return err

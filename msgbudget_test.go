@@ -1,6 +1,6 @@
 // Message-budget regression guard: the ranked top-5, warm index-join,
 // paged full-scan and churn top-k scenarios (internal/benchscen — the
-// same constructors cmd/benchjson records into BENCH_PR4.json, so
+// same constructors cmd/benchjson records into BENCH_PR5.json, so
 // budget and record measure identical workloads by construction) run
 // on the 64-peer simnet and fail if their message counts exceed the
 // checked-in budgets. The budgets sit ~25-40% above the measured
@@ -20,12 +20,14 @@ import (
 // Checked-in budgets (messages per query, deterministic 64-peer
 // simnet). Measured at PR 3: topk 32, index-join warm 11, paged scan
 // 106. Measured at PR 4: churn top-k with 10% dead peers and failover
-// retries 35.
+// retries 35. Measured at PR 5: pushed-down GROUP BY over ~600
+// publication rows 44 (the centralized fallback moves 226).
 const (
 	budgetTopK          = 40
 	budgetIndexJoinWarm = 16
 	budgetPagedScan     = 135
 	budgetChurnTopK     = 50
+	budgetGroupByAgg    = 60
 )
 
 // measure runs one query and returns its settled message count.
@@ -80,6 +82,20 @@ func TestMessageBudgetPagedScan(t *testing.T) {
 		t.Errorf("paged full scan sent %d messages, budget %d", msgs, budgetPagedScan)
 	}
 	t.Logf("paged full scan: %d messages (budget %d)", msgs, budgetPagedScan)
+}
+
+// TestMessageBudgetGroupByAgg is the in-network aggregation budget:
+// the pushed-down GROUP BY must keep shipping group states, not rows —
+// losing the pushdown (or paging group pages past need) trips it. The
+// centralized fallback on the same data measures ~5× more messages, so
+// the budget also implicitly guards the strategy choice.
+func TestMessageBudgetGroupByAgg(t *testing.T) {
+	c, _ := benchscen.GroupByAgg(true)
+	msgs := measure(t, c, benchscen.GroupByAggQuery)
+	if msgs > budgetGroupByAgg {
+		t.Errorf("pushed-down group-by sent %d messages, budget %d", msgs, budgetGroupByAgg)
+	}
+	t.Logf("pushed-down group-by: %d messages (budget %d)", msgs, budgetGroupByAgg)
 }
 
 // TestMessageBudgetChurnTopK is the replica-read budget: the ranked

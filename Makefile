@@ -3,7 +3,8 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt fmt-check test race bench docs ci
+.PHONY: all build vet fmt fmt-check test race bench docs ci \
+	lint integration integration-race fuzz-smoke
 
 all: build test
 
@@ -51,4 +52,30 @@ docs:
 	$(GO) vet ./...
 	@$(MAKE) fmt-check
 
-ci: fmt-check build vet test race bench docs
+# staticcheck with the checked-in staticcheck.conf. CI pins the tool
+# version (see .github/workflows/ci.yml); locally this expects
+# staticcheck on PATH and is not part of the default `ci` target so a
+# machine without it can still reproduce the test jobs.
+lint:
+	staticcheck ./...
+
+# The multi-process suite: builds the node daemon, launches a
+# loopback-TCP cluster of real OS processes, and requires exact
+# equivalence with the in-process simnet reference (including the
+# kill -9 churn case). Gated behind UNISTORE_INTEGRATION so plain
+# `go test ./...` stays hermetic.
+integration:
+	UNISTORE_INTEGRATION=1 $(GO) test -v -timeout 10m ./integration/
+
+# Same suite with both the harness and the daemon binary built -race.
+integration-race:
+	UNISTORE_INTEGRATION=1 UNISTORE_RACE=1 \
+		$(GO) test -race -v -timeout 10m -count=1 ./integration/
+
+# Bounded fuzzing of the wire payload codec and the TCP frame reader:
+# neither may panic on arbitrary bytes.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzDecodePayload -fuzztime 30s ./internal/pgrid/
+	$(GO) test -run '^$$' -fuzz FuzzReadFrame -fuzztime 30s ./internal/netx/
+
+ci: fmt-check build vet test race bench docs integration integration-race fuzz-smoke

@@ -1,0 +1,170 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"unistore/internal/core"
+	"unistore/internal/triple"
+)
+
+// daemonOptions carries the -listen mode flags.
+type daemonOptions struct {
+	listen     string
+	seeds      string
+	partitions int
+	replicas   int
+	procs      int
+	proc       int
+	seed       int64
+	pageSize   int
+}
+
+// runDaemon runs one node process of a multi-process cluster. It
+// speaks a line protocol on stdin/stdout (the integration harness is
+// the client) and logs to stderr:
+//
+//	-> READY <addr>            printed once bootstrap converged
+//	<- PING                    -> PONG
+//	<- INSERT <oid> <attr> <value>
+//	                           -> OK | ERR <msg>   (acked write)
+//	<- QUERY <vql>             -> OK <n>, n tab-separated rows, "."
+//	<- BARRIER                 -> OK | ERR timeout  (local quiescence)
+//	<- QUIT                    -> graceful shutdown, exit 0
+//
+// SIGTERM/SIGINT also trigger graceful shutdown: pending operations
+// drain, queued frames flush, and every goroutine joins before exit.
+func runDaemon(o daemonOptions) {
+	logger := log.New(os.Stderr, fmt.Sprintf("unistore[%d]: ", o.proc), log.Lmicroseconds)
+	var seeds []string
+	for _, s := range strings.Split(o.seeds, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			seeds = append(seeds, s)
+		}
+	}
+	n, err := core.NewNode(core.NodeConfig{
+		Listen:     o.listen,
+		Seeds:      seeds,
+		Partitions: o.partitions,
+		Replicas:   o.replicas,
+		Procs:      o.procs,
+		ProcIndex:  o.proc,
+		Seed:       o.seed,
+		PageSize:   o.pageSize,
+		Logf:       logger.Printf,
+	})
+	if err != nil {
+		logger.Printf("start: %v", err)
+		os.Exit(1)
+	}
+	logger.Printf("listening on %s, hosting %d/%d peers", n.Addr(), len(n.Peers()), n.ClusterSize())
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	go func() {
+		sig := <-sigCh
+		logger.Printf("%v: draining and shutting down", sig)
+		n.Close(10 * time.Second)
+		os.Exit(0)
+	}()
+
+	// ADDR goes out immediately — the harness needs the resolved :0
+	// port to seed the next process. READY follows once this process
+	// knows a route to every peer in the cluster, which requires the
+	// other processes to be up; the two-line handshake avoids the
+	// chicken-and-egg of gating the address on full convergence.
+	out := bufio.NewWriter(os.Stdout)
+	fmt.Fprintf(out, "ADDR %s\n", n.Addr())
+	out.Flush()
+	if !n.WaitReady(60 * time.Second) {
+		logger.Printf("bootstrap timeout: routes=%v", n.Transport().Routes())
+		os.Exit(1)
+	}
+	fmt.Fprintf(out, "READY %s\n", n.Addr())
+	out.Flush()
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		serveCommand(n, logger, out, line)
+		out.Flush()
+	}
+	// stdin closed: the harness is gone; shut down gracefully.
+	logger.Printf("stdin closed, shutting down")
+	n.Close(10 * time.Second)
+}
+
+func serveCommand(n *core.Node, logger *log.Logger, out io.Writer, line string) {
+	cmd, rest, _ := strings.Cut(line, " ")
+	switch strings.ToUpper(cmd) {
+	case "PING":
+		fmt.Fprintln(out, "PONG")
+	case "INSERT":
+		oid, rest, ok1 := cut2(rest)
+		attr, val, ok2 := cut2(rest)
+		if !ok1 || !ok2 {
+			fmt.Fprintln(out, "ERR usage: INSERT <oid> <attr> <value>")
+			return
+		}
+		tr := triple.Triple{OID: oid, Attr: attr, Val: parseValue(val)}
+		if err := n.Insert(tr, 30*time.Second); err != nil {
+			logger.Printf("insert: %v", err)
+			fmt.Fprintf(out, "ERR %v\n", err)
+			return
+		}
+		fmt.Fprintln(out, "OK")
+	case "QUERY":
+		res, err := n.Query(rest)
+		if err != nil {
+			logger.Printf("query: %v", err)
+			fmt.Fprintf(out, "ERR %v\n", strings.ReplaceAll(err.Error(), "\n", " "))
+			return
+		}
+		rows := res.Rows()
+		fmt.Fprintf(out, "OK %d\n", len(rows))
+		for _, row := range rows {
+			fmt.Fprintln(out, strings.Join(row, "\t"))
+		}
+		fmt.Fprintln(out, ".")
+	case "BARRIER":
+		if n.Barrier(30 * time.Second) {
+			fmt.Fprintln(out, "OK")
+		} else {
+			fmt.Fprintln(out, "ERR timeout")
+		}
+	case "QUIT":
+		fmt.Fprintln(out, "OK")
+		if f, ok := out.(interface{ Flush() error }); ok {
+			f.Flush()
+		}
+		n.Close(10 * time.Second)
+		os.Exit(0)
+	default:
+		fmt.Fprintf(out, "ERR unknown command %q\n", cmd)
+	}
+}
+
+func cut2(s string) (string, string, bool) {
+	a, b, ok := strings.Cut(strings.TrimSpace(s), " ")
+	return a, strings.TrimSpace(b), ok
+}
+
+// parseValue types a protocol value: numbers become N, the rest S.
+func parseValue(s string) triple.Value {
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return triple.N(f)
+	}
+	return triple.S(s)
+}

@@ -7,6 +7,12 @@
 //
 //	unistore [-peers 64] [-replicas 2] [-latency planetlab] [-qgram] [-demo]
 //
+// With -listen, unistore instead runs as one node daemon of a real
+// multi-process cluster over TCP (see daemon.go):
+//
+//	unistore -listen 127.0.0.1:0 -procs 3 -proc 1 -seeds <addr> \
+//	         [-peers 8] [-replicas 2] [-page 64]
+//
 // Commands at the prompt:
 //
 //	SELECT ... / INSERT {...}   VQL statement (multi-line until ';')
@@ -42,7 +48,26 @@ func main() {
 	qgram := flag.Bool("qgram", true, "maintain the distributed q-gram similarity index")
 	seed := flag.Int64("seed", 1, "random seed")
 	demo := flag.Bool("demo", false, "preload the demo publication dataset")
+	listen := flag.String("listen", "", "daemon mode: TCP listen address (e.g. 127.0.0.1:0)")
+	seeds := flag.String("seeds", "", "daemon mode: comma-separated seed addresses")
+	procs := flag.Int("procs", 1, "daemon mode: total process count")
+	proc := flag.Int("proc", 0, "daemon mode: this process's index (0-based)")
+	page := flag.Int("page", 0, "daemon mode: range-scan page size (0 = no paging)")
 	flag.Parse()
+
+	if *listen != "" {
+		runDaemon(daemonOptions{
+			listen:     *listen,
+			seeds:      *seeds,
+			partitions: *peers,
+			replicas:   *replicas,
+			procs:      *procs,
+			proc:       *proc,
+			seed:       *seed,
+			pageSize:   *page,
+		})
+		return
+	}
 
 	c := core.NewCluster(core.Config{
 		Peers:       *peers,

@@ -1,0 +1,250 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"unistore/internal/cost"
+	"unistore/internal/netx"
+	"unistore/internal/optimizer"
+	"unistore/internal/pgrid"
+	"unistore/internal/physical"
+	"unistore/internal/triple"
+	"unistore/internal/vql"
+)
+
+// NodeConfig parameterizes one process of a multi-process cluster. The
+// topology fields (Partitions, Replicas, Procs, Seed) must be
+// identical in every process: each daemon independently computes the
+// same overlay plan (pgrid.BalancedSpecs) and instantiates the slice
+// it hosts, so no process ever has to ship topology to another.
+type NodeConfig struct {
+	// Listen is the TCP address to bind; ":0" picks a free port.
+	Listen string
+	// Seeds are listen addresses of already-running nodes (empty for
+	// the first process).
+	Seeds []string
+	// Partitions is the cluster-wide number of key-space partitions.
+	Partitions int
+	// Replicas is the replica-group size per partition.
+	Replicas int
+	// Procs is the total process count; ProcIndex identifies this one
+	// (0-based). Peer i is hosted by process i mod Procs, which places
+	// the members of a replica group on different processes — killing
+	// one process keeps every partition covered.
+	Procs     int
+	ProcIndex int
+	// Seed drives the shared overlay plan and this process's transport
+	// randomness.
+	Seed int64
+	// PageSize bounds range-scan response pages (0 disables paging).
+	PageSize int
+	// Logf receives transport diagnostics.
+	Logf func(format string, args ...any)
+}
+
+func (c NodeConfig) withDefaults() (NodeConfig, error) {
+	if c.Partitions <= 0 {
+		c.Partitions = 4
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 2
+	}
+	if c.Procs <= 0 {
+		c.Procs = 1
+	}
+	if c.ProcIndex < 0 || c.ProcIndex >= c.Procs {
+		return c, fmt.Errorf("core: proc index %d out of range [0,%d)", c.ProcIndex, c.Procs)
+	}
+	if c.ProcIndex >= 1<<versionProcBits {
+		return c, fmt.Errorf("core: proc index %d exceeds version namespace (%d)", c.ProcIndex, 1<<versionProcBits)
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c, nil
+}
+
+// versionProcBits is the low-bit slice of every write version that
+// carries the issuing process index: version = seq<<bits | proc.
+// Versions from different processes can never collide, and within a
+// process they are strictly monotone — the store's last-writer-wins
+// rule stays total without any cross-process coordination.
+const versionProcBits = 10
+
+// Node is one process's share of a multi-process UniStore cluster: a
+// netx transport, the overlay peers this process hosts, and a query
+// engine per peer. It is the daemon-side counterpart of Cluster.
+type Node struct {
+	cfg     NodeConfig
+	tr      *netx.Transport
+	specs   []pgrid.NodeSpec
+	peers   []*pgrid.Peer
+	engines []*physical.Engine
+	opt     *optimizer.Optimizer
+	stats   *cost.Stats
+	statsMu sync.RWMutex
+	seq     atomic.Uint64
+}
+
+// nodeReopt adapts hosted-plan re-optimization to the node's stats
+// lock, mirroring the cluster's lockedReopt.
+type nodeReopt struct{ n *Node }
+
+func (l nodeReopt) Rechoose(steps []physical.Step, tail physical.Tail, bindingCount int, peer *pgrid.Peer) []physical.Step {
+	l.n.statsMu.RLock()
+	defer l.n.statsMu.RUnlock()
+	return l.n.opt.Rechoose(steps, tail, bindingCount, peer)
+}
+
+// NewNode plans the cluster-wide overlay, instantiates this process's
+// peers on a freshly bound TCP transport, and starts the transport
+// (announcing to the seeds). It returns once the local half is up;
+// WaitReady blocks until the whole cluster's routes are known.
+func NewNode(cfg NodeConfig) (*Node, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	pcfg := pgrid.DefaultConfig()
+	pcfg.PageSize = cfg.PageSize
+	specs := pgrid.BalancedSpecs(cfg.Partitions, cfg.Replicas, pcfg, cfg.Seed)
+	var hosted []pgrid.NodeSpec
+	for _, s := range specs {
+		if int(s.ID)%cfg.Procs == cfg.ProcIndex {
+			hosted = append(hosted, s)
+		}
+	}
+	if len(hosted) == 0 {
+		return nil, fmt.Errorf("core: process %d/%d hosts no peers (%d total)", cfg.ProcIndex, cfg.Procs, len(specs))
+	}
+	tr, err := netx.New(netx.Config{
+		Listen: cfg.Listen,
+		Seeds:  cfg.Seeds,
+		Seed:   cfg.Seed + int64(cfg.ProcIndex)*7919,
+		Logf:   cfg.Logf,
+	}, pgrid.WireCodec{})
+	if err != nil {
+		return nil, err
+	}
+	peers, err := pgrid.BuildFromSpecs(tr, specs, hosted, pcfg)
+	if err != nil {
+		tr.Close()
+		return nil, err
+	}
+	stats := cost.DefaultStats(cfg.Partitions)
+	stats.Replicas = cfg.Replicas
+	stats.TotalTriples = 0
+	stats.PageSize = cfg.PageSize
+	n := &Node{cfg: cfg, tr: tr, specs: specs, peers: peers, stats: stats}
+	n.opt = optimizer.New(stats, optimizer.DefaultOptions())
+	for _, p := range peers {
+		n.engines = append(n.engines, physical.NewEngine(p, nodeReopt{n}))
+	}
+	tr.Start()
+	return n, nil
+}
+
+// Addr returns the transport's resolved listen address — what other
+// processes pass as a seed.
+func (n *Node) Addr() string { return n.tr.Addr() }
+
+// Peers returns the locally hosted overlay peers.
+func (n *Node) Peers() []*pgrid.Peer { return n.peers }
+
+// Transport exposes the underlying netx transport.
+func (n *Node) Transport() *netx.Transport { return n.tr }
+
+// ClusterSize returns the cluster-wide peer count.
+func (n *Node) ClusterSize() int { return len(n.specs) }
+
+// WaitReady blocks until this process knows a route to every peer in
+// the cluster (bootstrap converged) or the timeout elapses.
+func (n *Node) WaitReady(timeout time.Duration) bool {
+	return n.tr.WaitRoutes(len(n.specs), timeout)
+}
+
+// nextVersion issues a write version unique across the cluster: the
+// process-local sequence in the high bits, the process index in the
+// low bits.
+func (n *Node) nextVersion() uint64 {
+	return n.seq.Add(1)<<versionProcBits | uint64(n.cfg.ProcIndex)
+}
+
+// Insert stores one triple through the acked write path and blocks
+// until every index entry reached a responsible peer (replica push is
+// asynchronous; Barrier covers it).
+func (n *Node) Insert(tr triple.Triple, timeout time.Duration) error {
+	p := n.peers[int(n.seq.Load())%len(n.peers)]
+	h := p.InsertTripleAcked(tr, n.nextVersion(), nil)
+	if res := h.Wait(timeout); !res.Complete {
+		return fmt.Errorf("core: insert %s/%s not acked within %v", tr.OID, tr.Attr, timeout)
+	}
+	n.statsMu.Lock()
+	n.stats.TriplesPerAttr[tr.Attr]++
+	n.stats.TotalTriples++
+	n.statsMu.Unlock()
+	return nil
+}
+
+// Query parses and executes VQL from a local peer.
+func (n *Node) Query(src string) (*Result, error) {
+	q, err := vql.ParseQuery(src)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := physical.CompileQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	n.statsMu.RLock()
+	n.opt.Optimize(plan)
+	n.statsMu.RUnlock()
+	eng := n.engines[0]
+	bs, ex := eng.RunPlanCtx(context.Background(), plan)
+	return &Result{
+		Bindings:    bs,
+		Vars:        resultVars(q),
+		Elapsed:     ex.Elapsed(),
+		TimeToFirst: ex.TimeToFirst(),
+		Hops:        ex.MaxHops(),
+		Plan:        plan.String(),
+	}, nil
+}
+
+// Barrier waits until this process is quiescent: no queued transport
+// frames and no pending overlay operations on any local peer. It
+// reports whether quiescence was reached within the timeout. A
+// cluster-wide barrier is every process's Barrier passing — the
+// integration harness calls it on each daemon in turn.
+func (n *Node) Barrier(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		rest := time.Until(deadline)
+		if rest <= 0 {
+			return false
+		}
+		if !n.tr.Flush(rest) {
+			return false
+		}
+		pending := 0
+		for _, p := range n.peers {
+			pending += p.PendingOps()
+		}
+		if pending == 0 && n.tr.Flush(50*time.Millisecond) {
+			return true
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// Close shuts the node down gracefully: drains pending operations (up
+// to the timeout), then closes the transport — which flushes queued
+// frames, cancels timers, and joins every goroutine.
+func (n *Node) Close(timeout time.Duration) error {
+	n.Barrier(timeout)
+	return n.tr.Close()
+}

@@ -323,3 +323,43 @@ func StringRange(lo, hi string) Range {
 	}
 	return r
 }
+
+// --- Binary marshaling --------------------------------------------------------
+//
+// Keys cross process boundaries inside wire messages (the real
+// transport's gob-encoded payloads). The format is 2 bytes of
+// big-endian bit count followed by the packed bits, MSB first — the
+// in-memory layout, made explicit and validated on decode.
+
+// maxWireBits bounds the bit count accepted from the wire: far above
+// MaxDepth and every derivable key, far below anything that could make
+// a hostile length allocate real memory.
+const maxWireBits = 1 << 15
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (k Key) MarshalBinary() ([]byte, error) {
+	nb := (k.n + 7) / 8
+	out := make([]byte, 2+nb)
+	binary.BigEndian.PutUint16(out, uint16(k.n))
+	copy(out[2:], k.bits[:nb])
+	return out, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler. Unlike
+// FromBytes it rejects malformed input with an error instead of
+// panicking: wire data is untrusted.
+func (k *Key) UnmarshalBinary(data []byte) error {
+	if len(data) < 2 {
+		return fmt.Errorf("keys: key blob too short (%d bytes)", len(data))
+	}
+	n := int(binary.BigEndian.Uint16(data))
+	if n > maxWireBits {
+		return fmt.Errorf("keys: key length %d bits exceeds wire bound", n)
+	}
+	nb := (n + 7) / 8
+	if len(data) != 2+nb {
+		return fmt.Errorf("keys: key blob carries %d bytes for %d bits", len(data)-2, n)
+	}
+	*k = FromBytes(data[2:], n)
+	return nil
+}

@@ -1,0 +1,129 @@
+// Package netx is the real-network transport: it carries the same
+// overlay messages the simulator delivers in-process over TCP
+// connections between node processes. It implements pgrid.Transport
+// (by method set — netx does not import pgrid) with length-prefixed
+// binary framing, a per-address outbound connection pool with
+// reconnect-on-failure, seed-address bootstrap, and graceful shutdown
+// that drains queued frames.
+package netx
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"unistore/internal/simnet"
+)
+
+// Frame layout (all integers big-endian):
+//
+//	u32  length   — byte count of everything after this field
+//	u8   version  — frameVersion
+//	i64  from     — sender NodeID
+//	i64  to       — receiver NodeID (controlNode for transport control)
+//	u8   kindLen  — length of the kind string
+//	...  kind     — message kind (UTF-8)
+//	...  body     — encoded payload (length - fixed header - kindLen)
+//
+// The length prefix is bounded by the transport's max frame size;
+// readers reject oversized lengths before allocating and treat any
+// short read as a broken connection, so a truncated or hostile stream
+// can neither panic the reader nor balloon memory.
+
+const (
+	frameVersion = 1
+
+	// frameFixed is the byte count of the fixed fields after the length
+	// prefix: version(1) + from(8) + to(8) + kindLen(1).
+	frameFixed = 1 + 8 + 8 + 1
+
+	// DefaultMaxFrame bounds a single message on the wire. Query pages
+	// are capped well below this by the overlay's page sizing.
+	DefaultMaxFrame = 16 << 20
+
+	// maxKindLen bounds the kind string; all real kinds are short
+	// dotted identifiers ("pgrid.range", "phys.plan").
+	maxKindLen = 255
+)
+
+// controlNode is the To address of transport-internal control frames
+// (bootstrap/routing gossip). It is outside the valid NodeID space.
+const controlNode simnet.NodeID = -1
+
+// Frame is one wire message, decoded as far as the transport cares:
+// the body stays opaque bytes until the payload codec runs.
+type Frame struct {
+	From, To simnet.NodeID
+	Kind     string
+	Body     []byte
+}
+
+var (
+	ErrFrameTooLarge = errors.New("netx: frame exceeds max size")
+	ErrFrameTooShort = errors.New("netx: frame shorter than fixed header")
+	ErrBadVersion    = errors.New("netx: unknown frame version")
+	ErrBadKindLen    = errors.New("netx: kind length exceeds frame")
+)
+
+// AppendFrame serializes f onto buf and returns the extended slice.
+func AppendFrame(buf []byte, f Frame) ([]byte, error) {
+	if len(f.Kind) > maxKindLen {
+		return nil, fmt.Errorf("netx: kind %q too long", f.Kind)
+	}
+	n := frameFixed + len(f.Kind) + len(f.Body)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(n))
+	buf = append(buf, frameVersion)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(f.From))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(f.To))
+	buf = append(buf, byte(len(f.Kind)))
+	buf = append(buf, f.Kind...)
+	buf = append(buf, f.Body...)
+	return buf, nil
+}
+
+// ReadFrame reads one frame from r, enforcing maxFrame (0 means
+// DefaultMaxFrame). It returns io.EOF only on a clean boundary —
+// a stream that ends mid-frame yields io.ErrUnexpectedEOF, and any
+// header violation yields a descriptive error; it never panics and
+// never allocates more than maxFrame bytes.
+func ReadFrame(r io.Reader, maxFrame int) (Frame, error) {
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return Frame{}, io.EOF // clean close between frames
+		}
+		return Frame{}, fmt.Errorf("netx: read frame length: %w", err)
+	}
+	n := int(binary.BigEndian.Uint32(lenBuf[:]))
+	if n > maxFrame {
+		return Frame{}, fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, n, maxFrame)
+	}
+	if n < frameFixed {
+		return Frame{}, fmt.Errorf("%w: %d < %d", ErrFrameTooShort, n, frameFixed)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		return Frame{}, fmt.Errorf("netx: read frame body: %w", err)
+	}
+	if buf[0] != frameVersion {
+		return Frame{}, fmt.Errorf("%w: %d", ErrBadVersion, buf[0])
+	}
+	f := Frame{
+		From: simnet.NodeID(int64(binary.BigEndian.Uint64(buf[1:9]))),
+		To:   simnet.NodeID(int64(binary.BigEndian.Uint64(buf[9:17]))),
+	}
+	kindLen := int(buf[17])
+	if frameFixed+kindLen > n {
+		return Frame{}, fmt.Errorf("%w: %d in frame of %d", ErrBadKindLen, kindLen, n)
+	}
+	f.Kind = string(buf[frameFixed : frameFixed+kindLen])
+	f.Body = buf[frameFixed+kindLen:]
+	return f, nil
+}

@@ -1,0 +1,46 @@
+package netx
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzReadFrame feeds arbitrary byte streams to the frame reader. The
+// invariants: never panic, never allocate beyond maxFrame, and any
+// successfully read frame must re-serialize to bytes the reader parses
+// back to the same frame.
+func FuzzReadFrame(f *testing.F) {
+	seed1, _ := AppendFrame(nil, Frame{From: 0, To: 1, Kind: "pgrid.insert", Body: []byte("hi")})
+	seed2, _ := AppendFrame(nil, Frame{From: -1, To: -1, Kind: "!table", Body: []byte("{}")})
+	f.Add(seed1)
+	f.Add(append(seed1, seed2...))
+	f.Add(seed1[:5])
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const maxFrame = 1 << 16
+		r := bytes.NewReader(data)
+		for {
+			fr, err := ReadFrame(r, maxFrame)
+			if err != nil {
+				if err == io.EOF && r.Len() != 0 {
+					t.Fatalf("clean EOF with %d bytes left", r.Len())
+				}
+				return
+			}
+			buf, err := AppendFrame(nil, fr)
+			if err != nil {
+				t.Fatalf("parsed frame does not re-serialize: %v", err)
+			}
+			fr2, err := ReadFrame(bytes.NewReader(buf), maxFrame)
+			if err != nil {
+				t.Fatalf("re-serialized frame does not parse: %v", err)
+			}
+			if fr2.From != fr.From || fr2.To != fr.To || fr2.Kind != fr.Kind ||
+				!bytes.Equal(fr2.Body, fr.Body) {
+				t.Fatalf("round-trip mismatch: %+v vs %+v", fr, fr2)
+			}
+		}
+	})
+}

@@ -1,0 +1,99 @@
+package netx
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	frames := []Frame{
+		{From: 0, To: 1, Kind: "pgrid.insert", Body: []byte("hello")},
+		{From: 42, To: -1, Kind: "!table", Body: []byte(`{"Addr":"x"}`)},
+		{From: 7, To: 7, Kind: "", Body: nil},
+		{From: 1, To: 2, Kind: "k", Body: bytes.Repeat([]byte{0xab}, 4096)},
+	}
+	var buf []byte
+	for _, f := range frames {
+		var err error
+		buf, err = AppendFrame(buf, f)
+		if err != nil {
+			t.Fatalf("append %+v: %v", f, err)
+		}
+	}
+	r := bytes.NewReader(buf)
+	for i, want := range frames {
+		got, err := ReadFrame(r, 0)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.From != want.From || got.To != want.To || got.Kind != want.Kind ||
+			!bytes.Equal(got.Body, want.Body) {
+			t.Errorf("frame %d: got %+v want %+v", i, got, want)
+		}
+	}
+	if _, err := ReadFrame(r, 0); err != io.EOF {
+		t.Errorf("after last frame: got %v, want io.EOF", err)
+	}
+}
+
+func TestFrameRejectsOversized(t *testing.T) {
+	f := Frame{From: 1, To: 2, Kind: "k", Body: make([]byte, 1000)}
+	buf, err := AppendFrame(nil, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = ReadFrame(bytes.NewReader(buf), 100)
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("got %v, want ErrFrameTooLarge", err)
+	}
+	// A hostile length prefix must be rejected before allocation.
+	huge := binary.BigEndian.AppendUint32(nil, 0xffffffff)
+	_, err = ReadFrame(bytes.NewReader(huge), 0)
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("hostile length: got %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestFrameRejectsTruncated(t *testing.T) {
+	buf, err := AppendFrame(nil, Frame{From: 3, To: 4, Kind: "pgrid.range", Body: []byte("payload")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < len(buf); cut++ {
+		_, err := ReadFrame(bytes.NewReader(buf[:cut]), 0)
+		if err == nil {
+			t.Fatalf("truncation at %d/%d read without error", cut, len(buf))
+		}
+		if err == io.EOF {
+			t.Fatalf("truncation at %d/%d reported clean EOF", cut, len(buf))
+		}
+	}
+}
+
+func TestFrameRejectsBadHeader(t *testing.T) {
+	good, err := AppendFrame(nil, Frame{From: 1, To: 2, Kind: "kk", Body: []byte("b")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrong version byte.
+	bad := bytes.Clone(good)
+	bad[4] = 99
+	if _, err := ReadFrame(bytes.NewReader(bad), 0); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("bad version: got %v", err)
+	}
+	// Kind length pointing past the frame end.
+	bad = bytes.Clone(good)
+	bad[4+17] = 255
+	if _, err := ReadFrame(bytes.NewReader(bad), 0); !errors.Is(err, ErrBadKindLen) {
+		t.Errorf("bad kind length: got %v", err)
+	}
+	// Length prefix smaller than the fixed header.
+	short := binary.BigEndian.AppendUint32(nil, uint32(frameFixed-1))
+	short = append(short, make([]byte, frameFixed-1)...)
+	if _, err := ReadFrame(bytes.NewReader(short), 0); !errors.Is(err, ErrFrameTooShort) {
+		t.Errorf("short frame: got %v", err)
+	}
+}

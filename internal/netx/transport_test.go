@@ -1,0 +1,351 @@
+package netx
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"unistore/internal/simnet"
+)
+
+// gobCodec is the test stand-in for pgrid's payload codec.
+type gobCodec struct{}
+
+type testPayload struct{ S string }
+
+func init() { gob.Register(testPayload{}) }
+
+func (gobCodec) Encode(payload any) ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(&payload)
+	return buf.Bytes(), err
+}
+
+func (gobCodec) Decode(data []byte) (any, error) {
+	var p any
+	err := gob.NewDecoder(bytes.NewReader(data)).Decode(&p)
+	return p, err
+}
+
+// recorder collects delivered messages and signals each arrival.
+type recorder struct {
+	mu   sync.Mutex
+	msgs []simnet.Message
+	ch   chan simnet.Message
+}
+
+func newRecorder() *recorder { return &recorder{ch: make(chan simnet.Message, 128)} }
+
+func (r *recorder) HandleMessage(msg simnet.Message) {
+	r.mu.Lock()
+	r.msgs = append(r.msgs, msg)
+	r.mu.Unlock()
+	r.ch <- msg
+}
+
+func (r *recorder) wait(t *testing.T, timeout time.Duration) simnet.Message {
+	t.Helper()
+	select {
+	case m := <-r.ch:
+		return m
+	case <-time.After(timeout):
+		t.Fatal("timed out waiting for message")
+		return simnet.Message{}
+	}
+}
+
+func newTestTransport(t *testing.T, seeds ...string) *Transport {
+	t.Helper()
+	tr, err := New(Config{Listen: "127.0.0.1:0", Seeds: seeds, Seed: 1,
+		DialTimeout: time.Second, RedialBackoff: 10 * time.Millisecond}, gobCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestTransportLocalAndRemoteDelivery(t *testing.T) {
+	a := newTestTransport(t)
+	defer a.Close()
+	ra0, ra1 := newRecorder(), newRecorder()
+	a.Reserve(0, 1)
+	a.AddNode(ra0)
+	a.AddNode(ra1)
+	a.Start()
+
+	b := newTestTransport(t, a.Addr())
+	defer b.Close()
+	rb := newRecorder()
+	b.Reserve(2)
+	b.AddNode(rb)
+	b.Start()
+
+	if !a.WaitRoutes(3, 5*time.Second) || !b.WaitRoutes(3, 5*time.Second) {
+		t.Fatalf("bootstrap did not converge: a=%v b=%v", a.Routes(), b.Routes())
+	}
+
+	// Local delivery (same transport).
+	a.Send(0, 1, "test.local", testPayload{S: "x"})
+	if m := ra1.wait(t, 5*time.Second); m.Payload.(testPayload).S != "x" {
+		t.Errorf("local payload: %+v", m.Payload)
+	}
+	// Remote delivery, both directions.
+	a.Send(0, 2, "test.remote", testPayload{S: "a->b"})
+	if m := rb.wait(t, 5*time.Second); m.Payload.(testPayload).S != "a->b" || m.From != 0 {
+		t.Errorf("remote payload: %+v", m)
+	}
+	b.Send(2, 0, "test.remote", testPayload{S: "b->a"})
+	if m := ra0.wait(t, 5*time.Second); m.Payload.(testPayload).S != "b->a" || m.From != 2 {
+		t.Errorf("remote payload: %+v", m)
+	}
+}
+
+func TestTransportBootstrapTransitive(t *testing.T) {
+	// C seeds only on B, B seeds only on A: routes to A's nodes must
+	// reach C through gossip, not direct seeding.
+	a := newTestTransport(t)
+	defer a.Close()
+	a.Reserve(0)
+	a.AddNode(newRecorder())
+	a.Start()
+
+	b := newTestTransport(t, a.Addr())
+	defer b.Close()
+	b.Reserve(1)
+	b.AddNode(newRecorder())
+	b.Start()
+
+	c := newTestTransport(t, b.Addr())
+	defer c.Close()
+	rc := newRecorder()
+	c.Reserve(2)
+	c.AddNode(rc)
+	c.Start()
+
+	for _, tr := range []*Transport{a, b, c} {
+		if !tr.WaitRoutes(3, 5*time.Second) {
+			t.Fatalf("%s did not learn all routes: %v", tr.Addr(), tr.Routes())
+		}
+	}
+	a.Send(0, 2, "test.hop", testPayload{S: "far"})
+	if m := rc.wait(t, 5*time.Second); m.Payload.(testPayload).S != "far" {
+		t.Errorf("transitive delivery: %+v", m)
+	}
+}
+
+func TestTransportReconnectReusesPool(t *testing.T) {
+	a := newTestTransport(t)
+	defer a.Close()
+	a.Reserve(0)
+	a.AddNode(newRecorder())
+	a.Start()
+
+	b := newTestTransport(t, a.Addr())
+	rb := newRecorder()
+	b.Reserve(1)
+	b.AddNode(rb)
+	b.Start()
+	if !a.WaitRoutes(2, 5*time.Second) {
+		t.Fatal("bootstrap did not converge")
+	}
+
+	a.Send(0, 1, "test.one", testPayload{S: "1"})
+	rb.wait(t, 5*time.Second)
+	a.mu.Lock()
+	pc1 := a.conns[b.Addr()]
+	a.mu.Unlock()
+	if pc1 == nil {
+		t.Fatal("no pooled connection after first send")
+	}
+	dials1 := a.Stats().Dials
+
+	// Kill the receiving transport; its replacement reuses the address,
+	// so the sender's pool entry must carry over with a fresh dial.
+	addr := b.Addr()
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := New(Config{Listen: addr, Seed: 2,
+		DialTimeout: time.Second, RedialBackoff: 10 * time.Millisecond}, gobCodec{})
+	if err != nil {
+		t.Fatalf("relisten on %s: %v", addr, err)
+	}
+	defer b2.Close()
+	rb2 := newRecorder()
+	b2.Reserve(1)
+	b2.AddNode(rb2)
+	b2.Start()
+
+	// The sender discovers the break only on write; retry until the
+	// redial lands a message on the revived receiver.
+	deadline := time.Now().Add(10 * time.Second)
+	delivered := false
+	for !delivered && time.Now().Before(deadline) {
+		a.Send(0, 1, "test.two", testPayload{S: "2"})
+		select {
+		case <-rb2.ch:
+			delivered = true
+		case <-time.After(200 * time.Millisecond):
+		}
+	}
+	if !delivered {
+		t.Fatal("no delivery after reconnect")
+	}
+	a.mu.Lock()
+	pc2 := a.conns[addr]
+	poolSize := len(a.conns)
+	a.mu.Unlock()
+	if pc2 != pc1 {
+		t.Error("reconnect created a new pool entry instead of reusing it")
+	}
+	if poolSize != 1 {
+		t.Errorf("pool grew to %d entries", poolSize)
+	}
+	if a.Stats().Dials <= dials1 {
+		t.Error("no fresh dial recorded after reconnect")
+	}
+	if !a.Alive(1) {
+		t.Error("node 1 still marked dead after successful reconnect")
+	}
+}
+
+func TestTransportDeadPeerDetection(t *testing.T) {
+	a := newTestTransport(t)
+	defer a.Close()
+	a.Reserve(0)
+	a.AddNode(newRecorder())
+	a.Start()
+
+	b := newTestTransport(t, a.Addr())
+	b.Reserve(1)
+	b.AddNode(newRecorder())
+	b.Start()
+	if !a.WaitRoutes(2, 5*time.Second) {
+		t.Fatal("bootstrap did not converge")
+	}
+	b.Close()
+
+	if !a.Alive(1) {
+		t.Fatal("peer marked dead before any failure observed")
+	}
+	// Sends to the closed address must eventually mark it dead without
+	// blocking the caller.
+	deadline := time.Now().Add(10 * time.Second)
+	for a.Alive(1) && time.Now().Before(deadline) {
+		a.Send(0, 1, "test.dead", testPayload{S: "x"})
+		time.Sleep(50 * time.Millisecond)
+	}
+	if a.Alive(1) {
+		t.Error("peer with failing dials never marked dead")
+	}
+}
+
+func TestTransportCloseLeavesNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	a := newTestTransport(t)
+	a.Reserve(0)
+	a.AddNode(newRecorder())
+	a.Start()
+	b := newTestTransport(t, a.Addr())
+	rb := newRecorder()
+	b.Reserve(1)
+	b.AddNode(rb)
+	b.Start()
+	a.WaitRoutes(2, 5*time.Second)
+	a.Send(0, 1, "test.x", testPayload{S: "x"})
+	rb.wait(t, 5*time.Second)
+	// Leave a long timer pending: Close must cancel it, not wait on it.
+	a.After(time.Hour, func() {})
+
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Goroutine counts settle asynchronously (conn teardown).
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	after := runtime.NumGoroutine()
+	if after > before {
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		stacks := string(buf[:n])
+		var leaked []string
+		for _, g := range strings.Split(stacks, "\n\n") {
+			if strings.Contains(g, "netx.") {
+				leaked = append(leaked, g)
+			}
+		}
+		if len(leaked) > 0 {
+			t.Errorf("%d goroutines leaked (%d -> %d):\n%s",
+				len(leaked), before, after, strings.Join(leaked, "\n\n"))
+		}
+	}
+}
+
+func TestTransportSendAfterCloseDrops(t *testing.T) {
+	a := newTestTransport(t)
+	a.Reserve(0)
+	a.AddNode(newRecorder())
+	a.Start()
+	a.Close()
+	// Must not panic or block.
+	a.Send(0, 1, "test.after", testPayload{S: "x"})
+	a.After(time.Millisecond, func() { t.Error("timer fired after Close") })
+	time.Sleep(20 * time.Millisecond)
+}
+
+func TestTransportConcurrentSends(t *testing.T) {
+	a := newTestTransport(t)
+	defer a.Close()
+	a.Reserve(0)
+	a.AddNode(newRecorder())
+	a.Start()
+	b := newTestTransport(t, a.Addr())
+	defer b.Close()
+	rb := newRecorder()
+	rb.ch = make(chan simnet.Message, 2048)
+	b.Reserve(1)
+	b.AddNode(rb)
+	b.Start()
+	if !a.WaitRoutes(2, 5*time.Second) {
+		t.Fatal("bootstrap did not converge")
+	}
+
+	const senders, per = 8, 50
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				a.Send(0, 1, "test.cc", testPayload{S: fmt.Sprintf("%d/%d", s, i)})
+			}
+		}(s)
+	}
+	wg.Wait()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		rb.mu.Lock()
+		n := len(rb.msgs)
+		rb.mu.Unlock()
+		if n == senders*per {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	rb.mu.Lock()
+	n := len(rb.msgs)
+	rb.mu.Unlock()
+	t.Fatalf("got %d/%d messages", n, senders*per)
+}

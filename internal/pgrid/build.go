@@ -5,7 +5,6 @@ import (
 	"sort"
 
 	"unistore/internal/keys"
-	"unistore/internal/simnet"
 )
 
 // BuildBalanced constructs a P-Grid overlay of n*replicas peers whose
@@ -14,7 +13,7 @@ import (
 // experiment workhorse — it produces in one step the trie that the
 // decentralized exchange protocol (see exchange.go) converges to under
 // uniform data, so large-scale runs skip the bootstrap phase.
-func BuildBalanced(net *simnet.Network, n, replicas int, cfg Config) []*Peer {
+func BuildBalanced(net Transport, n, replicas int, cfg Config) []*Peer {
 	if n <= 0 {
 		panic("pgrid: BuildBalanced needs n > 0")
 	}
@@ -50,7 +49,7 @@ func balancedPaths(n int) []keys.Key {
 // sample keys splits first, so hot key regions get proportionally more
 // peers and per-peer storage load evens out. samples should be the
 // placement keys of (a sample of) the workload.
-func BuildAdaptive(net *simnet.Network, n, replicas int, samples []keys.Key, cfg Config) []*Peer {
+func BuildAdaptive(net Transport, n, replicas int, samples []keys.Key, cfg Config) []*Peer {
 	if n <= 0 {
 		panic("pgrid: BuildAdaptive needs n > 0")
 	}
@@ -99,7 +98,7 @@ func BuildAdaptive(net *simnet.Network, n, replicas int, samples []keys.Key, cfg
 // assemble creates peers for the given partition paths (each `replicas`
 // times), wires routing tables and replica groups, and returns all
 // peers.
-func assemble(net *simnet.Network, paths []keys.Key, replicas int, cfg Config) []*Peer {
+func assemble(net Transport, paths []keys.Key, replicas int, cfg Config) []*Peer {
 	sort.Slice(paths, func(i, j int) bool { return paths[i].Compare(paths[j]) < 0 })
 	var peers []*Peer
 	groups := make([][]*Peer, len(paths))
@@ -130,7 +129,7 @@ func assemble(net *simnet.Network, paths []keys.Key, replicas int, cfg Config) [
 // RefsPerLevel random references into the sibling subtree at l. The
 // exchange protocol builds the same structure pairwise; experiments use
 // this direct form. Existing references are discarded.
-func WireRouting(net *simnet.Network, peers []*Peer) {
+func WireRouting(net Transport, peers []*Peer) {
 	// Sort peers by path string so each prefix owns a contiguous run.
 	sorted := make([]*Peer, len(peers))
 	copy(sorted, peers)
@@ -152,7 +151,6 @@ func WireRouting(net *simnet.Network, peers []*Peer) {
 		}
 		return lo, hi
 	}
-	rng := net.Rand()
 	for _, p := range peers {
 		p.refs = make([][]Ref, p.path.Len())
 		for l := 0; l < p.path.Len(); l++ {
@@ -168,7 +166,7 @@ func WireRouting(net *simnet.Network, peers []*Peer) {
 			}
 			seen := make(map[int]bool, want)
 			for len(seen) < want {
-				i := lo + rng.Intn(count)
+				i := lo + net.Intn(count)
 				if seen[i] {
 					continue
 				}

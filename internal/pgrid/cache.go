@@ -66,7 +66,7 @@ type ownerSet struct {
 
 // live returns the indexes of owners currently alive, capped at bound
 // (0 = no cap) — the candidate list of the replica chooser.
-func (s *ownerSet) live(net *simnet.Network, bound int, skip map[simnet.NodeID]bool) []int {
+func (s *ownerSet) live(net Transport, bound int, skip map[simnet.NodeID]bool) []int {
 	n := len(s.owners)
 	if bound > 0 && bound < n {
 		n = bound

@@ -60,7 +60,8 @@ func (o *pendingOp) result() OpResult {
 // scaled to wall clock.
 func (h *Handle) Wait(timeout time.Duration) OpResult {
 	net := h.peer.net
-	if net.Concurrent() {
+	d := driver(net)
+	if d == nil {
 		if timeout <= 0 {
 			<-h.op.fin
 		} else {
@@ -72,11 +73,11 @@ func (h *Handle) Wait(timeout time.Duration) OpResult {
 		return h.Result()
 	}
 	if timeout <= 0 {
-		net.RunWhile(func() bool { return !h.Done() })
+		d.RunWhile(func() bool { return !h.Done() })
 	} else {
 		deadline := net.Now() + timeout
-		for !h.Done() && net.Pending() > 0 && net.Now() < deadline {
-			net.Step()
+		for !h.Done() && d.Pending() > 0 && net.Now() < deadline {
+			d.Step()
 		}
 	}
 	return h.Result()

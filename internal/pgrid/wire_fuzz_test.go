@@ -1,0 +1,36 @@
+package pgrid
+
+import "testing"
+
+// FuzzDecodePayload throws arbitrary bytes at the wire decoder. The
+// invariant under test is the transport's safety contract: DecodePayload
+// returns (payload, nil) or (nil, error) — it never panics, whatever the
+// peer on the other end of the socket sent. Valid frames must also
+// survive a re-encode/re-decode cycle.
+func FuzzDecodePayload(f *testing.F) {
+	for _, p := range samplePayloads() {
+		data, err := EncodePayload(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Add([]byte("go test fuzz"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := DecodePayload(data)
+		if err != nil {
+			return
+		}
+		// A frame the decoder accepted must be re-encodable: otherwise a
+		// relay node could receive a message it cannot forward.
+		out, err := EncodePayload(p)
+		if err != nil {
+			t.Fatalf("decoded payload %T does not re-encode: %v", p, err)
+		}
+		if _, err := DecodePayload(out); err != nil {
+			t.Fatalf("re-encoded payload %T does not decode: %v", p, err)
+		}
+	})
+}

@@ -2,6 +2,7 @@ package physical
 
 import (
 	"context"
+	"encoding/gob"
 	"fmt"
 	"sync"
 	"time"
@@ -118,6 +119,23 @@ type cancelMsg struct {
 }
 
 func (m cancelMsg) WireSize() int { return 16 }
+
+func init() {
+	// Register the application payloads (and the interface-typed AST
+	// nodes they embed in Step.Filters) with the wire codec, so mutant
+	// plans survive real transports the same way they cross the simnet.
+	gob.Register(planMsg{})
+	gob.Register(resultMsg{})
+	gob.Register(cancelMsg{})
+	gob.Register(vql.Cmp{})
+	gob.Register(vql.And{})
+	gob.Register(vql.Or{})
+	gob.Register(vql.Not{})
+	gob.Register(vql.BoolFunc{})
+	gob.Register(vql.VarOperand{})
+	gob.Register(vql.LitOperand{})
+	gob.Register(vql.FuncOperand{})
+}
 
 // NewEngine wires an engine to a peer, installing the app handler that
 // receives mutant plans and results.
@@ -466,7 +484,8 @@ const waitTimeout = 5 * time.Minute
 // canceled context terminates the query early with partial results.
 func (ex *Exec) Wait() {
 	net := ex.eng.peer.Net()
-	if net.Concurrent() {
+	d := pgrid.DriverOf(net)
+	if d == nil {
 		select {
 		case <-ex.doneCh:
 		case <-ex.ctx.Done():
@@ -477,12 +496,12 @@ func (ex *Exec) Wait() {
 		return
 	}
 	deadline := net.Now() + waitTimeout
-	for !ex.Done() && net.Pending() > 0 && net.Now() < deadline {
+	for !ex.Done() && d.Pending() > 0 && net.Now() < deadline {
 		if ex.ctx.Err() != nil {
 			ex.Cancel()
 			return
 		}
-		net.Step()
+		d.Step()
 	}
 }
 

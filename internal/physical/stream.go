@@ -911,6 +911,7 @@ func (c *Cursor) wake() {
 // network) until one is available; ok is false at end of stream.
 func (c *Cursor) Next() (algebra.Binding, bool) {
 	net := c.ex.eng.peer.Net()
+	drv := pgrid.DriverOf(net)
 	deadline := time.Duration(-1)
 	for {
 		c.mu.Lock()
@@ -929,7 +930,7 @@ func (c *Cursor) Next() (algebra.Binding, bool) {
 			c.ex.Cancel()
 			continue
 		}
-		if net.Concurrent() {
+		if drv == nil {
 			select {
 			case <-c.notify:
 			case <-c.ex.doneCh:
@@ -946,11 +947,11 @@ func (c *Cursor) Next() (algebra.Binding, bool) {
 		if deadline < 0 {
 			deadline = net.Now() + waitTimeout
 		}
-		if net.Pending() == 0 || net.Now() >= deadline {
+		if drv.Pending() == 0 || net.Now() >= deadline {
 			c.ex.Cancel()
 			continue
 		}
-		net.Step()
+		drv.Step()
 	}
 }
 

@@ -4,7 +4,8 @@
 GO ?= go
 
 .PHONY: all build vet fmt fmt-check test race bench docs ci \
-	lint integration integration-race fuzz-smoke
+	lint integration integration-race fuzz-smoke \
+	bench-scale bench-scale-smoke
 
 all: build test
 
@@ -44,6 +45,19 @@ bench:
 # CI uploads the file as an artifact.
 bench-json:
 	$(GO) run ./cmd/benchjson -out BENCH_PR5.json
+
+# The scale harness record: msgs-per-routed-lookup at 128..1024 peers
+# with a log-linear fit (fails if the largest point exceeds 2x the
+# log-extrapolation), Zipf hot-shard load spread with replica-balanced
+# vs pinned reads, two-cluster WAN latency scenario, and a live
+# join/split/merge churn run that must stay exact. CI runs the smoke
+# variant on PRs and the full sweep nightly (see bench-scale in
+# .github/workflows/ci.yml).
+bench-scale:
+	$(GO) run ./cmd/benchjson -scale -out BENCH_SCALE.json
+
+bench-scale-smoke:
+	$(GO) run ./cmd/benchjson -scale -sizes 128,256 -out BENCH_SCALE.json
 
 # The docs job: broken intra-repo markdown links fail, sources stay
 # vetted and formatted.

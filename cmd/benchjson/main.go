@@ -30,6 +30,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
+	"strconv"
+	"strings"
 
 	"unistore/internal/benchscen"
 	"unistore/internal/core"
@@ -153,9 +156,148 @@ func scanBench() benchResult {
 	return r
 }
 
+// scaleReport is the BENCH_SCALE.json shape: the routed-lookup cost
+// curve over peer counts with its log-linear fit and gate verdict, the
+// hot-shard load distributions with replica spreading on and off, the
+// latency-topology comparison and the live-churn exactness check.
+type scaleReport struct {
+	GeneratedBy string                            `json:"generated_by"`
+	Sizes       []int                             `json:"sizes"`
+	Curve       []benchscen.ScalePoint            `json:"routing_curve"`
+	FitA        float64                           `json:"fit_intercept"`
+	FitB        float64                           `json:"fit_slope_per_log2_peers"`
+	CurveOK     bool                              `json:"curve_ok"`
+	HotShard    []benchscen.HotShardResult        `json:"hot_shard"`
+	Latency     []benchscen.LatencyScenarioResult `json:"latency"`
+	Churn       benchscen.ChurnScaleResult        `json:"churn"`
+}
+
+func parseSizes(csv string) []int {
+	var out []int
+	for _, f := range strings.Split(csv, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n < 2 {
+			die(fmt.Errorf("bad -sizes entry %q", f))
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		die(fmt.Errorf("-sizes is empty"))
+	}
+	return out
+}
+
+// runScale executes the scale sweep and writes BENCH_SCALE.json,
+// exiting non-zero when the routing curve leaves its logarithmic
+// envelope, churn costs exactness, or replica spreading stops helping
+// the hot shard.
+func runScale(out string, sizes []int, cpuprofile string) {
+	if cpuprofile != "" {
+		f, err := os.Create(cpuprofile)
+		if err != nil {
+			die(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			die(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	curve := benchscen.RoutingCurve(sizes)
+	a, b := benchscen.LogFit(curve)
+	curveOK := benchscen.CurveOK(curve)
+	largest := sizes[len(sizes)-1]
+	hotPinned := benchscen.HotShard(largest, 1, 1.1)
+	hotSpread := benchscen.HotShard(largest, 0, 1.1)
+	latencies := []benchscen.LatencyScenarioResult{
+		benchscen.LatencyScenario(core.LatencyLAN, sizes[0]),
+		benchscen.LatencyScenario(core.LatencyTwoCluster, sizes[0]),
+	}
+	churn := benchscen.ChurnScale(sizes[0])
+	rep := scaleReport{
+		GeneratedBy: "cmd/benchjson -scale",
+		Sizes:       sizes,
+		Curve:       curve,
+		FitA:        a,
+		FitB:        b,
+		CurveOK:     curveOK,
+		HotShard:    []benchscen.HotShardResult{hotPinned, hotSpread},
+		Latency:     latencies,
+		Churn:       churn,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		die(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		die(err)
+	}
+	fmt.Printf("wrote %s\n", out)
+	for _, p := range curve {
+		fmt.Printf("  %4d peers: %.2f msgs/lookup, %.2f hops\n",
+			p.Peers, p.MsgsPerLookup, p.MeanHops)
+	}
+	fmt.Printf("  fit: msgs = %.2f + %.2f·log2(peers), curve_ok=%v\n", a, b, curveOK)
+	fmt.Printf("  hot shard @%d peers: max load %d pinned → %d spread\n",
+		largest, hotPinned.MaxLoad, hotSpread.MaxLoad)
+	fmt.Printf("  latency: %.2f sim-ms lan → %.2f sim-ms two-cluster\n",
+		latencies[0].SimMS, latencies[1].SimMS)
+	fmt.Printf("  churn @%d peers: %d/%d rows exact=%v invalidations=%d\n",
+		churn.Peers, churn.Rows, churn.Expected, churn.Exact, churn.Invalidations)
+
+	failed := false
+	if !curveOK {
+		last := curve[len(curve)-1]
+		fmt.Fprintf(os.Stderr, "FAIL: %d-peer lookups cost %.2f msgs, above 2x the log extrapolation from %d/%d peers\n",
+			last.Peers, last.MsgsPerLookup, sizes[0], sizes[1])
+		failed = true
+	}
+	if !churn.Exact {
+		fmt.Fprintf(os.Stderr, "FAIL: scan under live join/leave churn lost exactness (%d/%d rows)\n",
+			churn.Rows, churn.Expected)
+		failed = true
+	}
+	if churn.Invalidations == 0 {
+		fmt.Fprintf(os.Stderr, "FAIL: live churn invalidated no routing-cache entries\n")
+		failed = true
+	}
+	if hotSpread.MaxLoad >= hotPinned.MaxLoad {
+		fmt.Fprintf(os.Stderr, "FAIL: replica spreading did not reduce the hot shard's peak load (%d pinned vs %d spread)\n",
+			hotPinned.MaxLoad, hotSpread.MaxLoad)
+		failed = true
+	}
+	if latencies[1].SimMS <= latencies[0].SimMS {
+		fmt.Fprintf(os.Stderr, "FAIL: two-cluster WAN topology was not slower than LAN (%.2f vs %.2f sim-ms)\n",
+			latencies[1].SimMS, latencies[0].SimMS)
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
 func main() {
-	out := flag.String("out", "BENCH_PR5.json", "output path")
+	out := flag.String("out", "", "output path (default BENCH_PR5.json, or BENCH_SCALE.json with -scale)")
+	scale := flag.Bool("scale", false, "run the scale sweep (routing curve, hot shard, latency topology, live churn) instead of the PR5 benches")
+	sizes := flag.String("sizes", "128,256,512,1024", "comma-separated peer counts for -scale")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the -scale sweep to this file")
 	flag.Parse()
+
+	if *scale {
+		if *out == "" {
+			*out = "BENCH_SCALE.json"
+		}
+		runScale(*out, parseSizes(*sizes), *cpuprofile)
+		return
+	}
+	if *out == "" {
+		*out = "BENCH_PR5.json"
+	}
 
 	topk := topKBench()
 	base := indexJoinBench(true, false)

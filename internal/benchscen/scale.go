@@ -1,0 +1,338 @@
+package benchscen
+
+// Scale scenarios: parameterized peer counts up to 1024, Zipf-skewed
+// hot keys and hot queries, live join/leave churn, and WAN-vs-LAN
+// latency topologies. cmd/benchjson -scale records them into
+// BENCH_SCALE.json and the CI curve gate fails when routed-lookup cost
+// stops growing logarithmically; the root scale_test.go asserts the
+// same scenarios stay exact and within message budgets.
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"unistore/internal/core"
+	"unistore/internal/keys"
+	"unistore/internal/pgrid"
+	"unistore/internal/simnet"
+	"unistore/internal/triple"
+	"unistore/internal/workload"
+)
+
+// ScaleSizes are the peer counts the full scale sweep measures. CI's
+// PR smoke run covers the first two; the nightly run covers all four.
+var ScaleSizes = []int{128, 256, 512, 1024}
+
+// ScalePoint is one measured routing-curve point: the mean message and
+// hop cost of a cold routed lookup on an N-peer overlay.
+type ScalePoint struct {
+	Peers         int     `json:"peers"`
+	MsgsPerLookup float64 `json:"msgs_per_lookup"`
+	MeanHops      float64 `json:"mean_hops"`
+}
+
+// scaleProbes is how many routed lookups each curve point averages.
+const scaleProbes = 64
+
+// RoutingCurvePoint measures msgs-per-routed-lookup on an n-peer
+// overlay with the routing cache disabled — every probe pays the full
+// prefix-routed path, so the mean cost tracks the trie depth O(log n).
+func RoutingCurvePoint(n int) ScalePoint {
+	net := simnet.New(simnet.Config{
+		Latency: simnet.ConstantLatency(time.Millisecond), Seed: int64(n),
+	})
+	cfg := pgrid.DefaultConfig()
+	cfg.DisableRouteCache = true
+	peers := pgrid.BuildBalanced(net, n, 1, cfg)
+	ds := workload.Generate(workload.Options{Seed: 31, Persons: 40})
+	v := uint64(0)
+	for _, tr := range ds.Triples {
+		v++
+		peers[0].InsertTriple(tr, v)
+	}
+	net.Settle()
+	var ks []keys.Key
+	for _, tr := range ds.Triples {
+		if tr.Attr == "name" {
+			ks = append(ks, triple.IndexKey(tr, triple.ByAV))
+		}
+	}
+	before := net.Stats().MessagesSent
+	hops := 0
+	for i := 0; i < scaleProbes; i++ {
+		origin := peers[(i*257+1)%n]
+		res := origin.LookupSync(triple.ByAV, ks[i%len(ks)])
+		hops += res.Hops
+	}
+	net.Settle()
+	msgs := net.Stats().MessagesSent - before
+	return ScalePoint{
+		Peers:         n,
+		MsgsPerLookup: float64(msgs) / scaleProbes,
+		MeanHops:      float64(hops) / scaleProbes,
+	}
+}
+
+// RoutingCurve measures a curve point per size.
+func RoutingCurve(sizes []int) []ScalePoint {
+	out := make([]ScalePoint, 0, len(sizes))
+	for _, n := range sizes {
+		out = append(out, RoutingCurvePoint(n))
+	}
+	return out
+}
+
+// LogFit least-squares fits msgs = a + b·log2(peers) to the curve —
+// the growth exponent b is the headline scalability number (O(log N)
+// routing means b stays a small constant while peers double).
+func LogFit(pts []ScalePoint) (a, b float64) {
+	n := float64(len(pts))
+	if n < 2 {
+		if n == 1 {
+			return pts[0].MsgsPerLookup, 0
+		}
+		return 0, 0
+	}
+	var sx, sy, sxx, sxy float64
+	for _, p := range pts {
+		x := math.Log2(float64(p.Peers))
+		y := p.MsgsPerLookup
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return sy / n, 0
+	}
+	b = (n*sxy - sx*sy) / den
+	a = (sy - b*sx) / n
+	return a, b
+}
+
+// CurveOK is the CI gate: the largest measured size must cost at most
+// twice the log-linear extrapolation from the two smallest sizes. A
+// routing regression to O(N) behaviour (linear scans, cache-less
+// flooding) overshoots immediately; log growth passes with slack.
+func CurveOK(pts []ScalePoint) bool {
+	if len(pts) < 3 {
+		return true
+	}
+	x0 := math.Log2(float64(pts[0].Peers))
+	x1 := math.Log2(float64(pts[1].Peers))
+	if x1 == x0 {
+		return true
+	}
+	slope := (pts[1].MsgsPerLookup - pts[0].MsgsPerLookup) / (x1 - x0)
+	last := pts[len(pts)-1]
+	extrap := pts[0].MsgsPerLookup + slope*(math.Log2(float64(last.Peers))-x0)
+	if extrap <= 0 {
+		extrap = pts[1].MsgsPerLookup
+	}
+	return last.MsgsPerLookup <= 2*extrap
+}
+
+// HotShardResult summarizes per-peer serve load under hot-query skew.
+type HotShardResult struct {
+	Peers        int     `json:"peers"`
+	ReadReplicas int     `json:"read_replicas"`
+	MedianLoad   int     `json:"median_load"`
+	P99Load      int     `json:"p99_load"`
+	MaxLoad      int     `json:"max_load"`
+	P99OverMed   float64 `json:"p99_over_median"`
+}
+
+// hotShardProbes is the lookup count of the hot-shard scenario.
+const hotShardProbes = 400
+
+// HotShard runs a Zipf-hot query workload against an n-node overlay
+// (n/2 partitions × 2 replicas) and reports the per-peer serve-load
+// distribution. readReplicas=1 pins every probe of the hot value to
+// one owner (the hot shard); 0 lets the replica-balanced read path
+// spread it over the whole group.
+func HotShard(n, readReplicas int, zipfS float64) HotShardResult {
+	parts := n / 2
+	net := simnet.New(simnet.Config{
+		Latency: simnet.ConstantLatency(time.Millisecond), Seed: 41,
+	})
+	cfg := pgrid.DefaultConfig()
+	cfg.ReadReplicas = readReplicas
+	peers := pgrid.BuildBalanced(net, parts, 2, cfg)
+	ts := workload.SkewedValues(42, 1500, zipfS)
+	v := uint64(0)
+	for i, tr := range ts {
+		v++
+		peers[(i*13)%len(peers)].InsertTriple(tr, v)
+	}
+	net.Settle()
+	// Query popularity is itself Zipf over the stored values: the pool's
+	// head ranks absorb most lookups, concentrating load on their owners.
+	pool := make([]string, 0, 256)
+	valKey := make(map[string]keys.Key, 256)
+	for _, tr := range ts[:256] {
+		pool = append(pool, tr.Val.Str)
+		valKey[tr.Val.Str] = triple.IndexKey(tr, triple.ByVal)
+	}
+	hot := workload.NewHotQueries(43, pool, zipfS)
+	origin := peers[0]
+	// Warm the origin's routing cache so the measured probes go direct —
+	// the regime where replica spreading matters.
+	for _, val := range pool[:32] {
+		origin.LookupSync(triple.ByVal, valKey[val])
+	}
+	net.Settle()
+	before := make([]int, len(peers))
+	for i, p := range peers {
+		before[i] = p.Stats().Delivered
+	}
+	for i := 0; i < hotShardProbes; i++ {
+		origin.LookupSync(triple.ByVal, valKey[hot.Next()])
+	}
+	net.Settle()
+	loads := make([]int, len(peers))
+	for i, p := range peers {
+		loads[i] = p.Stats().Delivered - before[i]
+	}
+	sort.Ints(loads)
+	med := loads[len(loads)/2]
+	p99 := loads[(len(loads)*99)/100]
+	maxL := loads[len(loads)-1]
+	ratio := 0.0
+	if med > 0 {
+		ratio = float64(p99) / float64(med)
+	} else {
+		ratio = float64(p99)
+	}
+	return HotShardResult{
+		Peers: n, ReadReplicas: readReplicas,
+		MedianLoad: med, P99Load: p99, MaxLoad: maxL, P99OverMed: ratio,
+	}
+}
+
+// LatencyScenarioResult is one latency-topology measurement.
+type LatencyScenarioResult struct {
+	Profile string  `json:"profile"`
+	Peers   int     `json:"peers"`
+	SimMS   float64 `json:"sim_ms"`
+	Msgs    int     `json:"msgs"`
+}
+
+// LatencyScenario runs the ranked top-k on an n-peer cluster under the
+// given latency profile — uniform LAN vs the two-cluster WAN topology
+// exercises simnet's per-pair delay models at scale.
+func LatencyScenario(profile core.LatencyProfile, n int) LatencyScenarioResult {
+	c := core.NewCluster(core.Config{
+		Peers: n, Seed: 51, Latency: profile,
+		RangeShards: 8, ProbeParallelism: 2, PageSize: ScanPageSize,
+	})
+	ds := workload.Generate(workload.Options{Seed: 52, Persons: 100})
+	c.BulkInsert(ds.Triples...)
+	before := c.Net().Stats().MessagesSent
+	res, err := c.QueryFrom(0, TopKQuery)
+	if err != nil {
+		panic(fmt.Sprintf("benchscen: latency scenario: %v", err))
+	}
+	c.Net().Settle()
+	return LatencyScenarioResult{
+		Profile: string(profile), Peers: n,
+		SimMS: float64(res.Elapsed.Microseconds()) / 1000,
+		Msgs:  c.Net().Stats().MessagesSent - before,
+	}
+}
+
+// ChurnScaleResult is the live join/leave churn scenario outcome: a
+// paged scan runs to completion while a replica group splits and
+// another merges mid-flight, and the row set must equal the loaded
+// dataset exactly.
+type ChurnScaleResult struct {
+	Peers         int  `json:"peers"`
+	Rows          int  `json:"rows"`
+	Expected      int  `json:"expected"`
+	Exact         bool `json:"exact"`
+	Invalidations int  `json:"route_cache_invalidations"`
+}
+
+// ChurnScale builds an n-node cluster (n/2 partitions × 2 replicas),
+// opens a paged scan, performs a live split after the first rows and a
+// live merge further in, and checks the completed scan against the
+// dataset's ground truth. Routing caches must self-repair (observed as
+// invalidation counts) without costing correctness.
+func ChurnScale(n int) ChurnScaleResult {
+	c := core.NewCluster(core.Config{
+		Peers: n / 2, Replicas: 2, Seed: 61,
+		RangeShards: 4, PageSize: ScanPageSize, ProbeParallelism: 2,
+	})
+	ds := workload.Generate(workload.Options{Seed: 62, Persons: 120})
+	c.BulkInsert(ds.Triples...)
+	// Warm routing caches so the churn has learned state to invalidate.
+	if _, err := c.QueryFrom(0, TopKQuery); err != nil {
+		panic(fmt.Sprintf("benchscen: churn scale warmup: %v", err))
+	}
+	c.Net().Settle()
+	expected := map[string]int{}
+	for _, tr := range ds.Triples {
+		if tr.Attr == "name" {
+			expected[tr.Val.Str]++
+		}
+	}
+	stream, err := c.QueryStreamFrom(context.Background(), 0, ScanQuery)
+	if err != nil {
+		panic(fmt.Sprintf("benchscen: churn scale: %v", err))
+	}
+	want := 0
+	for _, n := range expected {
+		want += n
+	}
+	got := map[string]int{}
+	rows := 0
+	pull := func(k int) bool {
+		for i := 0; i < k; i++ {
+			b, ok := stream.Next()
+			if !ok {
+				return false
+			}
+			got[b["n"].Str]++
+			rows++
+		}
+		return true
+	}
+	if pull(5) {
+		// A new peer joins peer 1's group and the enlarged group splits
+		// live — mid-scan, with pages outstanding.
+		c.JoinPeer(1)
+		if err := c.SplitGroup(1); err != nil {
+			panic(fmt.Sprintf("benchscen: churn scale split: %v", err))
+		}
+		if pull(5) {
+			// And an unrelated group at the far end of the key space
+			// merges into its sibling.
+			if err := c.MergeGroup(c.Size() - 2); err != nil {
+				panic(fmt.Sprintf("benchscen: churn scale merge: %v", err))
+			}
+		}
+	}
+	for pull(64) {
+	}
+	stream.Close()
+	inval := 0
+	for _, p := range c.Peers() {
+		inval += p.Stats().RouteCacheInvalidations
+	}
+	exact := len(got) == len(expected)
+	if exact {
+		for k, n := range expected {
+			if got[k] != n {
+				exact = false
+				break
+			}
+		}
+	}
+	return ChurnScaleResult{
+		Peers: n, Rows: rows, Expected: want,
+		Exact: exact, Invalidations: inval,
+	}
+}

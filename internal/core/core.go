@@ -33,10 +33,11 @@ type LatencyProfile string
 
 // Latency profiles.
 const (
-	LatencyConstant  LatencyProfile = "constant"  // 1ms fixed (hop counting)
-	LatencyLAN       LatencyProfile = "lan"       // local cluster
-	LatencyWAN       LatencyProfile = "wan"       // generic wide area
-	LatencyPlanetLab LatencyProfile = "planetlab" // the paper's testbed
+	LatencyConstant   LatencyProfile = "constant"    // 1ms fixed (hop counting)
+	LatencyLAN        LatencyProfile = "lan"         // local cluster
+	LatencyWAN        LatencyProfile = "wan"         // generic wide area
+	LatencyPlanetLab  LatencyProfile = "planetlab"   // the paper's testbed
+	LatencyTwoCluster LatencyProfile = "two-cluster" // two LAN sites over a WAN link
 )
 
 func (p LatencyProfile) model() simnet.LatencyModel {
@@ -47,6 +48,8 @@ func (p LatencyProfile) model() simnet.LatencyModel {
 		return simnet.NewPairwiseLatency(simnet.WANLatency(), simnet.LANLatency())
 	case LatencyPlanetLab:
 		return simnet.NewPairwiseLatency(simnet.PlanetLabLatency(), simnet.LANLatency())
+	case LatencyTwoCluster:
+		return simnet.TwoClusterLatency()
 	default:
 		return simnet.ConstantLatency(time.Millisecond)
 	}
@@ -151,6 +154,7 @@ func (c Config) withDefaults() Config {
 // when done to stop the network goroutines.
 type Cluster struct {
 	cfg     Config
+	pcfg    pgrid.Config
 	net     *simnet.Network
 	peers   []*pgrid.Peer
 	engines []*physical.Engine
@@ -162,6 +166,15 @@ type Cluster struct {
 	// concurrent mode.
 	statsMu sync.RWMutex
 	clock   atomic.Uint64
+	// rates memoizes the O(peers) routing-cache counter aggregation so
+	// repeated compilations at large N don't rescan every peer; entries
+	// expire after rateWindow of simulated time.
+	ratesMu   sync.Mutex
+	ratesOK   bool
+	ratesAt   time.Duration
+	hitRate   float64
+	retryRate float64
+	probeRTT  time.Duration
 }
 
 // lockedReopt adapts the optimizer's Rechoose to the cluster's stats
@@ -203,7 +216,7 @@ func NewCluster(cfg Config) *Cluster {
 	stats.PageSize = cfg.PageSize
 	stats.ReadReplicas = effectiveReadReplicas(cfg)
 	opt := optimizer.New(stats, cfg.Optimizer)
-	c := &Cluster{cfg: cfg, net: net, peers: peers, opt: opt, stats: stats}
+	c := &Cluster{cfg: cfg, pcfg: pcfg, net: net, peers: peers, opt: opt, stats: stats}
 	for _, p := range peers {
 		eng := physical.NewEngine(p, lockedReopt{c})
 		eng.SetParallelism(cfg.ProbeParallelism)
@@ -510,7 +523,31 @@ func (c *Cluster) compile(q *vql.Query) (*physical.Plan, error) {
 // the mean of the cached per-replica latency EWMAs (its ProbeRTT
 // input — direct probes priced at the round trips the replica
 // choosers actually observed).
+// rateWindow is how long (simulated time) a memoized rate snapshot
+// stays fresh. Short enough that a warmup phase followed by a measured
+// query recomputes, long enough that back-to-back compilations at
+// 1024 peers pay the full-peer scan once.
+const rateWindow = 5 * time.Millisecond
+
 func (c *Cluster) routeCacheRates() (hitRate, retryRate float64, probeRTT time.Duration) {
+	now := c.net.Now()
+	c.ratesMu.Lock()
+	if c.ratesOK && now >= c.ratesAt && now-c.ratesAt < rateWindow {
+		hitRate, retryRate, probeRTT = c.hitRate, c.retryRate, c.probeRTT
+		c.ratesMu.Unlock()
+		return
+	}
+	c.ratesMu.Unlock()
+	hitRate, retryRate, probeRTT = c.scanCacheRates()
+	c.ratesMu.Lock()
+	c.ratesOK, c.ratesAt = true, now
+	c.hitRate, c.retryRate, c.probeRTT = hitRate, retryRate, probeRTT
+	c.ratesMu.Unlock()
+	return
+}
+
+// scanCacheRates does the actual O(peers) counter aggregation.
+func (c *Cluster) scanCacheRates() (hitRate, retryRate float64, probeRTT time.Duration) {
 	hits, misses, groups, retries := 0, 0, 0, 0
 	var rttSum time.Duration
 	rttN := 0
@@ -732,3 +769,96 @@ func (c *Cluster) StorageLoad() []int {
 // Kill and Revive drive churn experiments.
 func (c *Cluster) Kill(peerIdx int)   { c.net.Kill(c.peers[peerIdx%len(c.peers)].ID()) }
 func (c *Cluster) Revive(peerIdx int) { c.net.Revive(c.peers[peerIdx%len(c.peers)].ID()) }
+
+// settle drains the network in whichever mode it runs.
+func (c *Cluster) settle() {
+	if c.net.Concurrent() {
+		c.net.Quiesce()
+	} else {
+		c.net.Settle()
+	}
+}
+
+// samePathGroup returns every live peer sharing peers[idx]'s partition
+// path — the replica group the membership operations act on.
+func (c *Cluster) samePathGroup(idx int) []*pgrid.Peer {
+	base := c.peers[idx%len(c.peers)].Path()
+	var g []*pgrid.Peer
+	for _, p := range c.peers {
+		if p.Path().Equal(base) {
+			g = append(g, p)
+		}
+	}
+	return g
+}
+
+// JoinPeer boots a brand-new peer into the running cluster via the
+// overlay join protocol: it contacts the target, adopts its partition
+// path, routing refs and replica set, and receives the partition's
+// state by anti-entropy pages. The group grows by one replica; call
+// SplitGroup afterwards to divide the enlarged group into two deeper
+// partitions. Returns the new peer's index.
+func (c *Cluster) JoinPeer(targetIdx int) int {
+	target := c.peers[targetIdx%len(c.peers)]
+	p := pgrid.NewPeer(c.net, c.pcfg)
+	p.Join(target.ID())
+	c.settle()
+	eng := physical.NewEngine(p, lockedReopt{c})
+	eng.SetParallelism(c.cfg.ProbeParallelism)
+	eng.SetRangeShards(c.cfg.RangeShards)
+	c.peers = append(c.peers, p)
+	c.engines = append(c.engines, eng)
+	return len(c.peers) - 1
+}
+
+// SplitGroup performs a live P-Grid split of peers[peerIdx]'s replica
+// group: the group divides into the path+0 and path+1 halves, each half
+// retains only its partition's entries and hands the rest to the other
+// side, and stale routing-cache entries for the old partition are
+// invalidated cluster-wide as queries observe the new paths. Queries
+// in flight across the split stay exact (scan claims migrate and the
+// coverage ledger accounts for the abandoned half).
+func (c *Cluster) SplitGroup(peerIdx int) error {
+	if err := pgrid.SplitGroup(c.samePathGroup(peerIdx)); err != nil {
+		return err
+	}
+	c.settle()
+	return nil
+}
+
+// MergeGroup retires peers[peerIdx]'s replica group by merging its
+// partition into the sibling partition: the leavers first transfer all
+// their entries to the sibling group (data phase), the sibling group
+// widens its path to the common parent, and the leavers then depart.
+// The sibling must be a leaf partition (exact sibling path) — merging
+// into a subdivided sibling would need a cascade of merges.
+func (c *Cluster) MergeGroup(peerIdx int) error {
+	leavers := c.samePathGroup(peerIdx)
+	base := leavers[0].Path()
+	if base.Len() == 0 {
+		return fmt.Errorf("core: cannot merge the root partition")
+	}
+	sibling := base.Prefix(base.Len() - 1).Append(1 - base.Bit(base.Len()-1))
+	var sibs []*pgrid.Peer
+	for _, p := range c.peers {
+		if p.Path().Equal(sibling) {
+			sibs = append(sibs, p)
+		}
+	}
+	if len(sibs) == 0 {
+		return fmt.Errorf("core: no leaf group at sibling partition %s", sibling)
+	}
+	// Data before structure: the widened group must already hold the
+	// leavers' entries when routing starts sending it the merged
+	// partition's queries.
+	pgrid.TransferStores(leavers, sibs[0])
+	c.settle()
+	if err := pgrid.WidenGroup(sibs); err != nil {
+		return err
+	}
+	for _, p := range leavers {
+		c.net.Kill(p.ID())
+	}
+	c.settle()
+	return nil
+}

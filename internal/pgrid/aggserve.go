@@ -49,6 +49,7 @@ func (p *Peer) serveAggPage(qid uint64, origin simnet.NodeID, cont pageCont) {
 	}
 	resp := queryResp{QID: qid, Hops: cont.Hops}
 	p.stampResp(&resp)
+	resp.ScanPath = cont.StreamPath
 	page := states
 	more := false
 	if cont.PageSize > 0 && len(states) > cont.PageSize {

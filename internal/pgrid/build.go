@@ -3,6 +3,7 @@ package pgrid
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"unistore/internal/keys"
 )
@@ -145,10 +146,12 @@ func WireRouting(net Transport, peers []*Peer) {
 	// partition contains or intersects the prefix region).
 	peersWithPrefix := func(prefix string) (int, int) {
 		lo := sort.SearchStrings(pathStrs, prefix)
-		hi := lo
-		for hi < len(pathStrs) && len(pathStrs[hi]) >= len(prefix) && pathStrs[hi][:len(prefix)] == prefix {
-			hi++
-		}
+		// Paths sharing the prefix sort contiguously after lo; binary-
+		// search the end of the run so wiring N peers costs O(N log² N)
+		// rather than O(N²) at the deepest levels.
+		hi := lo + sort.Search(len(pathStrs)-lo, func(i int) bool {
+			return !strings.HasPrefix(pathStrs[lo+i], prefix)
+		})
 		return lo, hi
 	}
 	for _, p := range peers {

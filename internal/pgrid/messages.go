@@ -32,6 +32,8 @@ const (
 	KindPage        = "pgrid.page"
 	KindDigest      = "pgrid.digest"
 	KindDigestPull  = "pgrid.digestpull"
+	KindJoin        = "pgrid.join"
+	KindLeave       = "pgrid.leave"
 )
 
 // TotalShare is the share mass carried by a range/broadcast query;
@@ -178,10 +180,18 @@ type pageCont struct {
 	// partition can serve the next page.
 	Agg      *agg.Spec
 	AggAfter string
+	// StreamPath is the serving partition's path at the moment the
+	// stream began — the stream's identity under live splits and
+	// merges. A server whose partition split mid-stream clips the
+	// continuation to the half it kept and deepens this field, telling
+	// the origin exactly which region the stream still covers; one that
+	// widened in a merge keeps it, so a continuation never serves
+	// outside the partition it started in.
+	StreamPath keys.Key
 }
 
 func (c pageCont) WireSize() int {
-	return c.R.Lo.Len()/8 + c.R.Hi.Len()/8 + c.Cursor.Len()/8 + 29 +
+	return c.R.Lo.Len()/8 + c.R.Hi.Len()/8 + c.Cursor.Len()/8 + c.StreamPath.Len()/8 + 29 +
 		aggWireSize(c.Agg) + len(c.AggAfter)
 }
 
@@ -238,10 +248,17 @@ type queryResp struct {
 	// a bounded batch of entries.
 	AggData   []byte
 	AggGroups int
+	// ScanPath is the partition a range-scan response belongs to when
+	// that differs from the responder's CURRENT path: live splits and
+	// merges move a server mid-stream, and while Path must stay current
+	// (it feeds routing-cache learning), the origin's stream claims,
+	// cursors and coverage must key on the stream's partition. Empty
+	// means Path.
+	ScanPath keys.Key
 }
 
 func (r queryResp) WireSize() int {
-	s := 41 + len(r.Replicas)*10 + len(r.AggData)
+	s := 41 + len(r.Replicas)*10 + len(r.AggData) + r.ScanPath.Len()/8
 	for _, k := range r.ProbeKeys {
 		s += k.Len()/8 + 2
 	}
@@ -376,6 +393,55 @@ type xferMsg struct {
 func (x xferMsg) WireSize() int {
 	s := 8
 	for _, e := range x.Entries {
+		s += e.WireSize()
+	}
+	return s
+}
+
+// joinReq asks an existing peer to adopt the sender into its replica
+// group — the first half of live membership growth (membership.go).
+// The target answers with a joinAck (trie position and membership),
+// notifies its existing replicas with memberMsg, and streams its full
+// state to the joiner as chunked anti-entropy pages.
+type joinReq struct{}
+
+func (joinReq) WireSize() int { return 4 }
+
+// joinAck carries the target's trie position to a joining peer: path,
+// routing references and the replica group (target included). The
+// joiner adopts all three and becomes a live replica of the partition.
+type joinAck struct {
+	Path     keys.Key
+	Refs     [][]Ref
+	Replicas []Ref
+}
+
+func (a joinAck) WireSize() int {
+	s := a.Path.Len()/8 + 8 + len(a.Replicas)*10
+	for _, ls := range a.Refs {
+		s += len(ls) * 10
+	}
+	return s
+}
+
+// memberMsg tells the existing replicas of a partition about a freshly
+// joined member, so writes gossip to the newcomer immediately instead
+// of waiting for an anti-entropy round to discover it.
+type memberMsg struct{ Member Ref }
+
+func (m memberMsg) WireSize() int { return m.Member.Path.Len()/8 + 10 }
+
+// leaveMsg announces a graceful departure to the sender's replica
+// group: each receiver drops the leaver from its membership and
+// applies the handed-off entries (chunked like anti-entropy pages), so
+// a write only the leaver had seen survives the departure.
+type leaveMsg struct {
+	Entries []store.Entry
+}
+
+func (l leaveMsg) WireSize() int {
+	s := 8
+	for _, e := range l.Entries {
 		s += e.WireSize()
 	}
 	return s

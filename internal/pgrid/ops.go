@@ -238,16 +238,35 @@ func (p *Peer) handleResponse(r queryResp) {
 	} else {
 		op.responses++
 	}
-	if op.scan != nil && r.Path.Len() > 0 {
+	// spath is the partition identity of a scan response: the paged
+	// stream's StreamPath when the server's path moved mid-stream
+	// (split, merge), the responder's current path otherwise.
+	spath := r.ScanPath
+	if spath.Len() == 0 {
+		spath = r.Path
+	}
+	if op.scan != nil && spath.Len() > 0 {
 		// Stream-claim dedup: the first responder for a partition owns
 		// its stream; a second stream of the same partition (a retry
 		// racing a slow-but-alive original, or vice versa) is dropped
 		// whole — pages included — so rows are never duplicated. The
 		// retry timer releases claims of dead or stalled owners.
 		sc := op.scan
-		key := r.Path.String()
+		key := spath.String()
 		now := p.net.Now()
-		if cl, claimed := sc.claims[key]; claimed && cl.from != r.From {
+		cl, claimed := sc.claims[key]
+		if !claimed {
+			if mcl, mkey := sc.splitClaim(r.From, spath); mcl != nil {
+				// The server's partition split mid-stream: its stream now
+				// covers only the deeper half it kept. Migrate the claim
+				// (and cursor memo) to the deeper identity and classify
+				// the abandoned sibling regions — covered, resumable at
+				// the old cursor, or a gap for the coverage re-shower.
+				p.migrateSplitClaimLocked(sc, mcl, mkey, spath)
+				cl, claimed = mcl, true
+			}
+		}
+		if claimed && cl.from != r.From {
 			p.mu.Unlock()
 			return
 		} else if claimed {
@@ -263,23 +282,23 @@ func (p *Peer) handleResponse(r queryResp) {
 			if sc.claims == nil {
 				sc.claims = make(map[string]*scanClaim)
 			}
-			sc.claims[key] = &scanClaim{path: r.Path, from: r.From, last: now, cont: r.Cont}
+			sc.claims[key] = &scanClaim{path: spath, from: r.From, last: now, cont: r.Cont}
 		}
 		if r.Cont != nil {
 			if sc.cursors == nil {
 				sc.cursors = make(map[string]*scanCursor)
 			}
-			sc.cursors[key] = &scanCursor{path: r.Path, cont: *r.Cont}
+			sc.cursors[key] = &scanCursor{path: spath, cont: *r.Cont}
 		}
 		if r.Final {
 			// Coverage bookkeeping for the churn re-shower: this
 			// partition has fully answered. A second final answer from
 			// the claimant itself would be a protocol bug; drop it too.
-			if sc.hasCovered(r.Path) {
+			if sc.hasCovered(spath) {
 				p.mu.Unlock()
 				return
 			}
-			sc.covered = append(sc.covered, r.Path)
+			sc.covered = append(sc.covered, spath)
 			delete(sc.cursors, key)
 		}
 	}
@@ -344,7 +363,7 @@ func (p *Peer) handleResponse(r queryResp) {
 					target = sib
 					p.mu.Lock()
 					if op, live := p.pending[r.QID]; live && op.scan != nil {
-						if cl, ok := op.scan.claims[r.Path.String()]; ok && cl.from == r.From {
+						if cl, ok := op.scan.claims[spath.String()]; ok && cl.from == r.From {
 							cl.from = sib
 							cl.last = p.net.Now()
 						}
@@ -357,8 +376,9 @@ func (p *Peer) handleResponse(r queryResp) {
 			// its answer is swallowed) with the request already sent,
 			// the stalled cursor re-sends to a live sibling after the
 			// hedge deadline instead of waiting for the scan-level
-			// re-shower backstop.
-			p.armPagePull(r.QID, r.Path, *r.Cont, target)
+			// re-shower backstop. Hedging keys on the STREAM's
+			// partition — that is what the cursor memo is filed under.
+			p.armPagePull(r.QID, spath, *r.Cont, target)
 		}
 	}
 }
@@ -389,20 +409,20 @@ func (p *Peer) handleAck(a ackMsg) {
 
 // completionSatisfied is THE completion rule, shared by the response
 // and ack paths: done once shares reach needShares and responses reach
-// needResponses (whichever rules are armed). Range operations that had
-// to re-shower dead partitions (scan.coverage) additionally complete
-// when the partitions that answered fully tile the queried range —
-// retry showers carry no share mass, so the original rule could never
-// fire for them. Callers hold the owning peer's mu.
+// needResponses (whichever rules are armed). A range operation whose
+// scan needed repair (scan.coverage — armed by the first retry round
+// or by a mid-stream split) completes ONLY when the partitions that
+// answered fully tile the queried range: retry showers carry no share
+// mass, and a split server's final page releases its whole pre-split
+// branch share — either way the share ledger stops being trustworthy
+// the moment the scan needed repair. Callers hold the owning peer's
+// mu.
 func (o *pendingOp) completionSatisfied() bool {
-	if !((o.needShares > 0 && o.shares < o.needShares) ||
-		(o.needResponses > 0 && o.responses < o.needResponses)) {
-		return true
-	}
 	if o.scan != nil && o.scan.coverage {
 		return len(uncoveredPrefixes(o.scan.r, o.scan.covered)) == 0
 	}
-	return false
+	return !((o.needShares > 0 && o.shares < o.needShares) ||
+		(o.needResponses > 0 && o.responses < o.needResponses))
 }
 
 // maybeCompleteLocked checks the completion rule and, when satisfied,

@@ -505,6 +505,17 @@ func (p *Peer) HandleMessage(m simnet.Message) {
 		if len(won) > 0 {
 			p.pushToReplicas(won, m.From)
 		}
+	case KindJoin:
+		switch jm := m.Payload.(type) {
+		case joinReq:
+			p.handleJoinReq(m.From)
+		case joinAck:
+			p.handleJoinAck(jm)
+		case memberMsg:
+			p.addReplica(jm.Member)
+		}
+	case KindLeave:
+		p.handleLeave(m.Payload.(leaveMsg), m.From)
 	case KindApp:
 		a := m.Payload.(appMsg)
 		if h := p.appHandler(); h != nil {

@@ -28,6 +28,31 @@ import (
 // owner set travel direct to a load-chosen replica (grouped per
 // partition, hedging armed), and the rest take the routed path.
 func (p *Peer) dispatchProbes(qid uint64, op *pendingOp, kind uint8, ks []keys.Key) {
+	// Single-key fast path: the dominant Lookup shape needs no group
+	// index map or slice bookkeeping — resolve the one key and go.
+	if len(ks) == 1 {
+		k := ks[0]
+		p.mu.RLock()
+		if k.HasPrefix(p.path) {
+			p.mu.RUnlock()
+			p.serveLocalProbes(qid, op, kind, ks)
+			return
+		}
+		set, ok := p.cachedSetLocked(k)
+		var spath keys.Key
+		if ok {
+			spath = set.path
+		}
+		p.mu.RUnlock()
+		if ok {
+			p.stats.cacheHits.Add(1)
+			p.sendProbeGroup(qid, op, kind, ks, spath, nil, 0)
+			return
+		}
+		p.stats.cacheMisses.Add(1)
+		p.routeProbe(qid, kind, k, op.aggSpec)
+		return
+	}
 	var local []keys.Key
 	type group struct {
 		path keys.Key
@@ -60,26 +85,7 @@ func (p *Peer) dispatchProbes(qid uint64, op *pendingOp, kind uint8, ks []keys.K
 	}
 	p.mu.RUnlock()
 	if len(local) > 0 {
-		// Serve own keys as one batch. The response travels through the
-		// network like any other so completion callbacks never fire
-		// inside the issuing call.
-		resp := queryResp{QID: qid, Probes: len(local), ProbeKeys: local}
-		p.stampResp(&resp)
-		var collected []store.Entry
-		for _, k := range local {
-			p.stats.delivered.Add(1)
-			entries := p.store.Lookup(triple.IndexKind(kind), k)
-			if op.aggSpec != nil {
-				collected = append(collected, entries...)
-				continue
-			}
-			resp.Entries = append(resp.Entries, entries...)
-			resp.Count += len(entries)
-		}
-		if op.aggSpec != nil {
-			aggProbeResp(&resp, op.aggSpec, collected)
-		}
-		p.net.Send(p.id, p.id, KindResponse, resp)
+		p.serveLocalProbes(qid, op, kind, local)
 	}
 	for _, g := range groups {
 		p.sendProbeGroup(qid, op, kind, g.ks, g.path, nil, 0)
@@ -87,6 +93,29 @@ func (p *Peer) dispatchProbes(qid uint64, op *pendingOp, kind uint8, ks []keys.K
 	for _, k := range routed {
 		p.routeProbe(qid, kind, k, op.aggSpec)
 	}
+}
+
+// serveLocalProbes answers probe keys owned by this peer as one batch.
+// The response travels through the network like any other so completion
+// callbacks never fire inside the issuing call.
+func (p *Peer) serveLocalProbes(qid uint64, op *pendingOp, kind uint8, local []keys.Key) {
+	resp := queryResp{QID: qid, Probes: len(local), ProbeKeys: local}
+	p.stampResp(&resp)
+	var collected []store.Entry
+	for _, k := range local {
+		p.stats.delivered.Add(1)
+		entries := p.store.Lookup(triple.IndexKind(kind), k)
+		if op.aggSpec != nil {
+			collected = append(collected, entries...)
+			continue
+		}
+		resp.Entries = append(resp.Entries, entries...)
+		resp.Count += len(entries)
+	}
+	if op.aggSpec != nil {
+		aggProbeResp(&resp, op.aggSpec, collected)
+	}
+	p.net.Send(p.id, p.id, KindResponse, resp)
 }
 
 // routeProbe sends one probe down the ordinary prefix-routed path (the

@@ -203,8 +203,9 @@ func (p *Peer) setPath(path keys.Key) {
 func (p *Peer) handleRange(msg rangeMsg) {
 	// Collect the levels whose sibling subtrees overlap the range.
 	type branch struct {
-		level int
-		ref   Ref
+		level   int
+		ref     Ref
+		sibling keys.Key
 	}
 	var branches []branch
 	failures := 0
@@ -215,7 +216,7 @@ func (p *Peer) handleRange(msg rangeMsg) {
 			continue
 		}
 		if ref, ok := p.pickRefLocked(l); ok {
-			branches = append(branches, branch{level: l, ref: ref})
+			branches = append(branches, branch{level: l, ref: ref, sibling: sibling})
 		} else {
 			failures++
 		}
@@ -235,6 +236,12 @@ func (p *Peer) handleRange(msg rangeMsg) {
 		fwd.Level = b.level + 1
 		fwd.Share = each
 		fwd.Hops = msg.Hops + 1
+		// Clip each branch to its sibling subtree's region: under live
+		// splits and merges a recipient whose path changed in flight
+		// re-branches from its NEW position, and the clip keeps that
+		// re-branching inside the region this branch is accountable
+		// for — no region is ever served under two branches' shares.
+		fwd.R = clipRangeToPrefix(msg.R, b.sibling)
 		p.net.Send(p.id, b.ref.ID, KindRange, fwd)
 	}
 	p.serveRange(msg, local)
@@ -247,19 +254,33 @@ func (p *Peer) handleRange(msg rangeMsg) {
 // Desc serves the overlap top-down so descending ranked scans stream.
 func (p *Peer) serveRange(msg rangeMsg, share int64) {
 	p.stats.rangeServed.Add(1)
+	// Serve only the intersection of the queried range with this peer's
+	// own partition, and bake the partition into paged continuations as
+	// the stream's identity. Under live splits and merges the store can
+	// transiently hold a neighbouring partition's entries (merge
+	// handoff) or lose half its region (split); the clip pins every
+	// answer to the partition it was served under, which is what keeps
+	// the origin's claim and coverage bookkeeping exact.
+	path := p.Path()
+	r := msg.R
+	if path.Len() > 0 {
+		r = clipRangeToPrefix(r, path)
+	}
 	if msg.Agg != nil && !msg.Probe {
 		// Pushed-down aggregation: answer with per-group states (paged
 		// by groups when a page size is set) instead of rows.
 		p.serveAggPage(msg.QID, msg.Origin, pageCont{
-			Kind: msg.Kind, R: msg.R, Share: share,
+			Kind: msg.Kind, R: r, Share: share,
 			PageSize: msg.PageSize, Hops: msg.Hops, Agg: msg.Agg,
+			StreamPath: path,
 		})
 		return
 	}
 	if msg.PageSize > 0 && !msg.Probe {
 		p.servePage(msg.QID, msg.Origin, pageCont{
-			Kind: msg.Kind, R: msg.R, Share: share,
+			Kind: msg.Kind, R: r, Share: share,
 			PageSize: msg.PageSize, Hops: msg.Hops, Desc: msg.Desc,
+			StreamPath: path,
 		})
 		return
 	}
@@ -269,7 +290,7 @@ func (p *Peer) serveRange(msg rangeMsg, share int64) {
 	if msg.Desc {
 		scan = p.store.ScanDesc
 	}
-	scan(triple.IndexKind(msg.Kind), msg.R, func(e store.Entry) bool {
+	scan(triple.IndexKind(msg.Kind), r, func(e store.Entry) bool {
 		if msg.Probe {
 			resp.Count++
 		} else {
@@ -292,6 +313,12 @@ func (p *Peer) serveRange(msg rangeMsg, share int64) {
 // removed between pulls outside the cursor's bucket never duplicate or
 // drop rows of the scan.
 func (p *Peer) servePage(qid uint64, origin simnet.NodeID, cont pageCont) {
+	// Reconcile the stream with the server's current partition first: a
+	// split deepens and clips it, a merge keeps it, an unrelated move
+	// drops the pull (the origin's hedge finds a live replica).
+	if !p.adjustStream(&cont) {
+		return
+	}
 	if cont.Agg != nil {
 		p.serveAggPage(qid, origin, cont)
 		return
@@ -303,6 +330,7 @@ func (p *Peer) servePage(qid uint64, origin simnet.NodeID, cont pageCont) {
 	p.stats.pagesServed.Add(1)
 	resp := queryResp{QID: qid, Hops: cont.Hops}
 	p.stampResp(&resp)
+	resp.ScanPath = cont.StreamPath
 	skipLeft := cont.SkipAtLo
 	var last keys.Key
 	lastCount := 0 // entries sent at key `last` this page
@@ -355,6 +383,7 @@ func (p *Peer) servePageDesc(qid uint64, origin simnet.NodeID, cont pageCont) {
 	p.stats.pagesServed.Add(1)
 	resp := queryResp{QID: qid, Hops: cont.Hops}
 	p.stampResp(&resp)
+	resp.ScanPath = cont.StreamPath
 	skipLeft := cont.SkipAtLo
 	cursor := cont.Cursor
 	var last keys.Key

@@ -42,6 +42,10 @@ func init() {
 	gob.Register(exchangeMsg{})
 	gob.Register(xferMsg{})
 	gob.Register(appMsg{})
+	gob.Register(joinReq{})
+	gob.Register(joinAck{})
+	gob.Register(memberMsg{})
+	gob.Register(leaveMsg{})
 	// pageCont travels inside queryResp/pageReq by value already; the
 	// registration covers any future any-field carrying it.
 	gob.Register(pageCont{})

@@ -75,6 +75,34 @@ func PlanetLabLatency() LatencyModel {
 		min: 10 * time.Millisecond, max: 1500 * time.Millisecond}
 }
 
+// ClusteredLatency partitions nodes into Clusters groups by NodeID
+// modulo and samples intra-cluster messages from Intra and cross-
+// cluster messages from Inter — the classic two-datacenter (or
+// multi-site) WAN topology where locality matters.
+type ClusteredLatency struct {
+	Intra    LatencyModel
+	Inter    LatencyModel
+	Clusters int
+}
+
+// Sample implements LatencyModel.
+func (c ClusteredLatency) Sample(rng *rand.Rand, from, to NodeID) time.Duration {
+	n := c.Clusters
+	if n <= 1 {
+		return c.Intra.Sample(rng, from, to)
+	}
+	if int(from)%n == int(to)%n {
+		return c.Intra.Sample(rng, from, to)
+	}
+	return c.Inter.Sample(rng, from, to)
+}
+
+// TwoClusterLatency models two LAN sites joined by a WAN link: nodes in
+// the same site see LAN delays, cross-site messages pay WAN delays.
+func TwoClusterLatency() LatencyModel {
+	return ClusteredLatency{Intra: LANLatency(), Inter: WANLatency(), Clusters: 2}
+}
+
 // PairwiseLatency assigns each unordered node pair a stable base delay
 // drawn once from Base, plus per-message jitter from Jitter. This gives
 // a consistent "geography": the same two nodes always observe similar

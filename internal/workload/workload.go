@@ -208,6 +208,28 @@ func HeterogeneousPair(seed int64, personsEach int) (a, b *Dataset, mappings []s
 	return a, b, mappings
 }
 
+// HotQueries draws query targets from a fixed value pool with
+// Zipf-ranked popularity — the hot-query axis of the scale scenarios:
+// rank 0 (the first value) absorbs the largest share of lookups, so
+// whichever partition owns it becomes the hot shard. s=0 degrades to
+// uniform popularity.
+type HotQueries struct {
+	values []string
+	z      *Zipf
+}
+
+// NewHotQueries builds a seeded hot-query sampler over the value pool.
+func NewHotQueries(seed int64, values []string, s float64) *HotQueries {
+	if len(values) == 0 {
+		panic("workload: NewHotQueries needs a non-empty value pool")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return &HotQueries{values: values, z: NewZipf(rng, len(values), s)}
+}
+
+// Next draws one query value.
+func (h *HotQueries) Next() string { return h.values[h.z.Next()] }
+
 // SkewedValues generates n triples of one attribute whose values follow
 // a Zipf rank distribution over distinct strings with shared prefixes —
 // the E6 load-balancing stressor for order-preserving hashing.

@@ -177,6 +177,87 @@ func TestSkewedValues(t *testing.T) {
 	}
 }
 
+func TestHotQueriesTop1Frequency(t *testing.T) {
+	// The rank-0 value's draw frequency must track the Zipf prediction
+	// 1/H_n(s) — the hot-shard scenarios calibrate load against it.
+	values := make([]string, 50)
+	for i := range values {
+		values[i] = Series[i%len(Series)] + string(rune('a'+i/len(Series)))
+	}
+	for _, s := range []float64{0.8, 1.1, 1.4} {
+		hn := 0.0
+		for i := 1; i <= len(values); i++ {
+			hn += 1 / math.Pow(float64(i), s)
+		}
+		wantFreq := 1 / hn
+		hot := NewHotQueries(21, values, s)
+		const draws = 30000
+		top := 0
+		for i := 0; i < draws; i++ {
+			if hot.Next() == values[0] {
+				top++
+			}
+		}
+		gotFreq := float64(top) / draws
+		if math.Abs(gotFreq-wantFreq) > 0.25*wantFreq {
+			t.Errorf("s=%.1f: top-1 frequency %.3f, want %.3f ±25%%", s, gotFreq, wantFreq)
+		}
+	}
+}
+
+func TestHotQueriesReproducible(t *testing.T) {
+	values := []string{"icde", "vldb", "sigmod", "edbt", "cidr"}
+	a := NewHotQueries(33, values, 1.2)
+	b := NewHotQueries(33, values, 1.2)
+	for i := 0; i < 500; i++ {
+		if av, bv := a.Next(), b.Next(); av != bv {
+			t.Fatalf("draw %d diverged: %q vs %q", i, av, bv)
+		}
+	}
+	c := NewHotQueries(34, values, 1.2)
+	diverged := false
+	for i := 0; i < 500; i++ {
+		if a.Next() != c.Next() {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Error("different seeds produced identical draw sequences")
+	}
+}
+
+func TestHotQueriesRankStableAcrossNamespaces(t *testing.T) {
+	// The same seed must pick the same RANKS regardless of the value
+	// pool's namespace decoration — so heterogeneity experiments can
+	// replay one hot-query schedule against both schemas.
+	base := []string{"icde", "vldb", "sigmod", "edbt", "cidr", "pods"}
+	dblp := make([]string, len(base))
+	ceur := make([]string, len(base))
+	for i, v := range base {
+		dblp[i] = "dblp:" + v
+		ceur[i] = "ceur:" + v
+	}
+	a := NewHotQueries(55, dblp, 1.1)
+	b := NewHotQueries(55, ceur, 1.1)
+	for i := 0; i < 500; i++ {
+		av := strings.TrimPrefix(a.Next(), "dblp:")
+		bv := strings.TrimPrefix(b.Next(), "ceur:")
+		if av != bv {
+			t.Fatalf("draw %d picked different ranks: %q vs %q", i, av, bv)
+		}
+	}
+}
+
+func TestTypoZeroEditsIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, s := range []string{"ICDE", "VLDB 2003", ""} {
+		if got := Typo(rng, s, 0); got != s {
+			t.Errorf("Typo(%q, 0) = %q, want identity", s, got)
+		}
+	}
+}
+
 func TestZipfPanicsOnBadN(t *testing.T) {
 	defer func() {
 		if recover() == nil {

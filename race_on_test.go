@@ -1,0 +1,8 @@
+//go:build race
+
+package unistore_test
+
+// raceEnabled reports whether this test binary runs under the race
+// detector. The scale equivalence matrix widens under -race (CI's race
+// job), keeping the default tier-1 run fast.
+const raceEnabled = true

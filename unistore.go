@@ -125,10 +125,11 @@ type LatencyProfile = core.LatencyProfile
 
 // Latency profiles for Config.Latency.
 const (
-	LatencyConstant  = core.LatencyConstant
-	LatencyLAN       = core.LatencyLAN
-	LatencyWAN       = core.LatencyWAN
-	LatencyPlanetLab = core.LatencyPlanetLab
+	LatencyConstant   = core.LatencyConstant
+	LatencyLAN        = core.LatencyLAN
+	LatencyWAN        = core.LatencyWAN
+	LatencyPlanetLab  = core.LatencyPlanetLab
+	LatencyTwoCluster = core.LatencyTwoCluster
 )
 
 // Triple is one (OID, attribute, value) fact — the unit of storage.

@@ -5,7 +5,7 @@ GO ?= go
 
 .PHONY: all build vet fmt fmt-check test race bench docs ci \
 	lint integration integration-race fuzz-smoke \
-	bench-scale bench-scale-smoke
+	bench-scale bench-scale-smoke bench-durability
 
 all: build test
 
@@ -59,6 +59,16 @@ bench-scale:
 bench-scale-smoke:
 	$(GO) run ./cmd/benchjson -scale -sizes 128,256 -out BENCH_SCALE.json
 
+# The durability record: one restart-rejoin run on a WAL-backed simnet
+# peer — kill -9, recover, catch up by digest delta — against the
+# empty-disk full-sync baseline. Fails if recovery loses an acked
+# write, a rejoined replica misses exactness, or the delta catch-up
+# stops being cheaper than full sync on messages or bytes. Simnet
+# benches run fsync-off (see docs/architecture.md); the fsync cost is
+# a real-disk property the simulated network cannot price.
+bench-durability:
+	$(GO) run ./cmd/benchjson -durability -out BENCH_PR8.json
+
 # The docs job: broken intra-repo markdown links fail, sources stay
 # vetted and formatted.
 docs:
@@ -86,10 +96,12 @@ integration-race:
 	UNISTORE_INTEGRATION=1 UNISTORE_RACE=1 \
 		$(GO) test -race -v -timeout 10m -count=1 ./integration/
 
-# Bounded fuzzing of the wire payload codec and the TCP frame reader:
-# neither may panic on arbitrary bytes.
+# Bounded fuzzing of the wire payload codec, the TCP frame reader and
+# WAL crash recovery: none may panic on arbitrary bytes, and whatever
+# log prefix recovery accepts must round-trip a clean close.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzDecodePayload -fuzztime 30s ./internal/pgrid/
 	$(GO) test -run '^$$' -fuzz FuzzReadFrame -fuzztime 30s ./internal/netx/
+	$(GO) test -run '^$$' -fuzz FuzzWALReplay -fuzztime 30s ./internal/store/wal/
 
 ci: fmt-check build vet test race bench docs integration integration-race fuzz-smoke

@@ -156,6 +156,75 @@ func scanBench() benchResult {
 	return r
 }
 
+// durabilityReport is the BENCH_PR8.json shape: one measured
+// restart-rejoin run — WAL recovery exactness and the delta-vs-full
+// catch-up comparison — plus the gate verdict.
+type durabilityReport struct {
+	GeneratedBy string                     `json:"generated_by"`
+	Peers       int                        `json:"peers"`
+	Result      benchscen.DurabilityResult `json:"durability"`
+	GatesOK     bool                       `json:"gates_ok"`
+}
+
+// runDurability executes the restart-rejoin scenario and writes
+// BENCH_PR8.json, exiting non-zero when recovery loses an acked write,
+// either rejoin variant fails to converge, or the delta catch-up stops
+// being cheaper than the empty-disk full sync on messages or bytes.
+func runDurability(out string) {
+	res, err := benchscen.DurabilityRun()
+	if err != nil {
+		die(err)
+	}
+	fmt.Printf("  recovery:  %d/%d acked facts, %d log records replayed, %.2fms\n",
+		res.Recovered, res.AckedAtKill, res.Replayed, res.RecoveryMS)
+	fmt.Printf("  catch-up:  %d msgs / %dB delta vs %d msgs / %dB full sync\n",
+		res.DeltaMsgs, res.DeltaBytes, res.FullMsgs, res.FullBytes)
+
+	failed := false
+	if res.Recovered != res.AckedAtKill {
+		fmt.Fprintf(os.Stderr, "FAIL: WAL recovery rebuilt %d facts, victim acked %d\n",
+			res.Recovered, res.AckedAtKill)
+		failed = true
+	}
+	if !res.DeltaExact {
+		fmt.Fprintln(os.Stderr, "FAIL: restart-rejoin replica did not converge to its sibling")
+		failed = true
+	}
+	if !res.FullExact {
+		fmt.Fprintln(os.Stderr, "FAIL: empty-disk full-sync replica did not converge to its sibling")
+		failed = true
+	}
+	if res.DeltaMsgs >= res.FullMsgs {
+		fmt.Fprintf(os.Stderr, "FAIL: delta catch-up (%d msgs) did not beat full sync (%d msgs)\n",
+			res.DeltaMsgs, res.FullMsgs)
+		failed = true
+	}
+	if res.DeltaBytes >= res.FullBytes {
+		fmt.Fprintf(os.Stderr, "FAIL: delta catch-up (%dB) did not beat full sync (%dB)\n",
+			res.DeltaBytes, res.FullBytes)
+		failed = true
+	}
+
+	rep := durabilityReport{
+		GeneratedBy: "cmd/benchjson -durability",
+		Peers:       benchscen.DurabilityPeers,
+		Result:      res,
+		GatesOK:     !failed,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		die(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		die(err)
+	}
+	fmt.Printf("wrote %s\n", out)
+	if failed {
+		os.Exit(1)
+	}
+}
+
 // scaleReport is the BENCH_SCALE.json shape: the routed-lookup cost
 // curve over peer counts with its log-linear fit and gate verdict, the
 // hot-shard load distributions with replica spreading on and off, the
@@ -282,8 +351,9 @@ func runScale(out string, sizes []int, cpuprofile string) {
 }
 
 func main() {
-	out := flag.String("out", "", "output path (default BENCH_PR5.json, or BENCH_SCALE.json with -scale)")
+	out := flag.String("out", "", "output path (default BENCH_PR5.json; BENCH_SCALE.json with -scale; BENCH_PR8.json with -durability)")
 	scale := flag.Bool("scale", false, "run the scale sweep (routing curve, hot shard, latency topology, live churn) instead of the PR5 benches")
+	durability := flag.Bool("durability", false, "run the restart-rejoin durability scenario (WAL recovery + delta-vs-full catch-up) instead of the PR5 benches")
 	sizes := flag.String("sizes", "128,256,512,1024", "comma-separated peer counts for -scale")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the -scale sweep to this file")
 	flag.Parse()
@@ -293,6 +363,13 @@ func main() {
 			*out = "BENCH_SCALE.json"
 		}
 		runScale(*out, parseSizes(*sizes), *cpuprofile)
+		return
+	}
+	if *durability {
+		if *out == "" {
+			*out = "BENCH_PR8.json"
+		}
+		runDurability(*out)
 		return
 	}
 	if *out == "" {

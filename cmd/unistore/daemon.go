@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"unistore/internal/core"
+	"unistore/internal/store/wal"
 	"unistore/internal/triple"
 )
 
@@ -26,6 +27,8 @@ type daemonOptions struct {
 	proc       int
 	seed       int64
 	pageSize   int
+	dataDir    string
+	fsync      string
 }
 
 // runDaemon runs one node process of a multi-process cluster. It
@@ -50,6 +53,11 @@ func runDaemon(o daemonOptions) {
 			seeds = append(seeds, s)
 		}
 	}
+	policy, err := wal.ParseSyncPolicy(o.fsync)
+	if err != nil {
+		logger.Printf("start: %v", err)
+		os.Exit(1)
+	}
 	n, err := core.NewNode(core.NodeConfig{
 		Listen:     o.listen,
 		Seeds:      seeds,
@@ -59,6 +67,8 @@ func runDaemon(o daemonOptions) {
 		ProcIndex:  o.proc,
 		Seed:       o.seed,
 		PageSize:   o.pageSize,
+		DataDir:    o.dataDir,
+		Fsync:      policy,
 		Logf:       logger.Printf,
 	})
 	if err != nil {
@@ -66,6 +76,14 @@ func runDaemon(o daemonOptions) {
 		os.Exit(1)
 	}
 	logger.Printf("listening on %s, hosting %d/%d peers", n.Addr(), len(n.Peers()), n.ClusterSize())
+	rejoin := false
+	for i, ri := range n.Recovery() {
+		logger.Printf("peer %d: recovered snapshot(gen=%d,%d entries) + %d log records, clean=%v torn=%dB",
+			i, ri.SnapshotGen, ri.SnapshotEntries, ri.Replayed, ri.Clean, ri.TornBytes)
+		if ri.HadState {
+			rejoin = true
+		}
+	}
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
@@ -87,6 +105,13 @@ func runDaemon(o daemonOptions) {
 	if !n.WaitReady(60 * time.Second) {
 		logger.Printf("bootstrap timeout: routes=%v", n.Transport().Routes())
 		os.Exit(1)
+	}
+	if rejoin {
+		// This is a restart: re-register with the replica groups and
+		// pull the writes missed while down (digest delta — the recovered
+		// state makes a full-state stream unnecessary).
+		logger.Printf("recovered prior state: rejoining replica groups")
+		n.Rejoin()
 	}
 	fmt.Fprintf(out, "READY %s\n", n.Addr())
 	out.Flush()

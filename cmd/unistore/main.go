@@ -53,6 +53,8 @@ func main() {
 	procs := flag.Int("procs", 1, "daemon mode: total process count")
 	proc := flag.Int("proc", 0, "daemon mode: this process's index (0-based)")
 	page := flag.Int("page", 0, "daemon mode: range-scan page size (0 = no paging)")
+	data := flag.String("data", "", "daemon mode: durable data directory (WAL + snapshots; empty = memory only)")
+	fsync := flag.String("fsync", "always", "daemon mode: WAL fsync policy: always|interval|off")
 	flag.Parse()
 
 	if *listen != "" {
@@ -65,6 +67,8 @@ func main() {
 			proc:       *proc,
 			seed:       *seed,
 			pageSize:   *page,
+			dataDir:    *data,
+			fsync:      *fsync,
 		})
 		return
 	}

@@ -169,6 +169,36 @@ func (d *daemon) kill9(t *testing.T) {
 type clusterOpts struct {
 	procs, partitions, replicas, page int
 	seed                              int64
+	// dataRoot, when set, gives every process a durable -data directory
+	// (dataRoot/proc<N>) with the given -fsync policy, so a killed
+	// process can be restarted onto its WAL.
+	dataRoot string
+	fsync    string
+}
+
+// daemonArgs builds the command line for one process. listen is the
+// concrete address on a restart (the peers still hold routes to it);
+// "127.0.0.1:0" on first launch.
+func daemonArgs(o clusterOpts, pi int, listen, seedAddr string) []string {
+	args := []string{
+		"-listen", listen,
+		"-peers", fmt.Sprint(o.partitions),
+		"-replicas", fmt.Sprint(o.replicas),
+		"-procs", fmt.Sprint(o.procs),
+		"-proc", fmt.Sprint(pi),
+		"-seed", fmt.Sprint(o.seed),
+		"-page", fmt.Sprint(o.page),
+	}
+	if o.dataRoot != "" {
+		args = append(args, "-data", filepath.Join(o.dataRoot, fmt.Sprintf("proc%d", pi)))
+		if o.fsync != "" {
+			args = append(args, "-fsync", o.fsync)
+		}
+	}
+	if seedAddr != "" {
+		args = append(args, "-seeds", seedAddr)
+	}
+	return args
 }
 
 // startCluster launches the daemons and waits for every READY. All
@@ -203,48 +233,14 @@ func startCluster(t *testing.T, o clusterOpts) []*daemon {
 	})
 	var seedAddr string
 	for pi := 0; pi < o.procs; pi++ {
-		args := []string{
-			"-listen", "127.0.0.1:0",
-			"-peers", fmt.Sprint(o.partitions),
-			"-replicas", fmt.Sprint(o.replicas),
-			"-procs", fmt.Sprint(o.procs),
-			"-proc", fmt.Sprint(pi),
-			"-seed", fmt.Sprint(o.seed),
-			"-page", fmt.Sprint(o.page),
-		}
+		var seeds string
 		if pi > 0 {
-			args = append(args, "-seeds", seedAddr)
+			seeds = seedAddr
 		}
-		cmd := exec.Command(bin, args...)
-		logf, err := os.Create(filepath.Join(logs, fmt.Sprintf("%s-node%d.log", t.Name(), pi)))
-		if err != nil {
-			t.Fatal(err)
-		}
-		cmd.Stderr = logf
-		stdin, err := cmd.StdinPipe()
-		if err != nil {
-			t.Fatal(err)
-		}
-		stdout, err := cmd.StdoutPipe()
-		if err != nil {
-			t.Fatal(err)
-		}
-		if err := cmd.Start(); err != nil {
-			t.Fatal(err)
-		}
-		d := &daemon{
-			proc: pi, cmd: cmd,
-			in:  bufio.NewWriter(stdin),
-			out: bufio.NewReader(stdout),
-			log: logf,
-		}
+		d := launchDaemon(t, bin, logs, pi,
+			daemonArgs(o, pi, "127.0.0.1:0", seeds),
+			fmt.Sprintf("%s-node%d.log", t.Name(), pi))
 		daemons = append(daemons, d)
-
-		// The daemon prints its resolved address immediately; READY
-		// follows only once the whole cluster has bootstrapped, so
-		// collect the READYs after every process is up.
-		line := d.expectLine(t, "ADDR ", 30*time.Second)
-		d.addr = strings.TrimPrefix(line, "ADDR ")
 		if pi == 0 {
 			seedAddr = d.addr
 		}
@@ -253,6 +249,59 @@ func startCluster(t *testing.T, o clusterOpts) []*daemon {
 		d.expectLine(t, "READY ", 90*time.Second)
 	}
 	return daemons
+}
+
+// launchDaemon starts one node process and reads its ADDR line.
+func launchDaemon(t *testing.T, bin, logs string, pi int, args []string, logName string) *daemon {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	logf, err := os.Create(filepath.Join(logs, logName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = logf
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	d := &daemon{
+		proc: pi, cmd: cmd,
+		in:  bufio.NewWriter(stdin),
+		out: bufio.NewReader(stdout),
+		log: logf,
+	}
+	// The daemon prints its resolved address immediately; READY
+	// follows only once the whole cluster has bootstrapped.
+	line := d.expectLine(t, "ADDR ", 30*time.Second)
+	d.addr = strings.TrimPrefix(line, "ADDR ")
+	return d
+}
+
+// restart relaunches a killed daemon on its ORIGINAL address (the
+// survivors' routing tables still point there) with the same flags —
+// including the same -data directory, so it recovers its WAL and
+// rejoins. The daemon struct is updated in place: the cluster cleanup
+// and any later commands address the new process.
+func (d *daemon) restart(t *testing.T, o clusterOpts, seedAddr string) {
+	t.Helper()
+	if !d.dead {
+		t.Fatal("restart of a live daemon")
+	}
+	bin := daemonBinary(t)
+	logs := logDir(t)
+	nd := launchDaemon(t, bin, logs, d.proc,
+		daemonArgs(o, d.proc, d.addr, seedAddr),
+		fmt.Sprintf("%s-node%d-restart.log", t.Name(), d.proc))
+	nd.expectLine(t, "READY ", 90*time.Second)
+	d.log.Close()
+	d.cmd, d.in, d.out, d.log, d.addr, d.dead = nd.cmd, nd.in, nd.out, nd.log, nd.addr, false
 }
 
 // expectLine reads one stdout line with the given prefix, failing the
@@ -383,6 +432,66 @@ func TestClusterSurvivesProcessKill(t *testing.T) {
 			got := d.query(t, q)
 			if strings.Join(got, "\n") != strings.Join(want[q], "\n") {
 				t.Errorf("proc %d after kill: %s\nwant %d rows:\n%s\ngot %d rows:\n%s",
+					d.proc, q, len(want[q]), strings.Join(want[q], "\n"),
+					len(got), strings.Join(got, "\n"))
+			}
+		}
+	}
+}
+
+// TestClusterRestartRecovery is the crash-recovery case end to end: a
+// WAL-backed process dies by SIGKILL mid-bulk-insert, more writes land
+// while it is down, and it restarts onto the SAME -data directory and
+// -listen address. The restarted process must recover every write it
+// acked from its WAL (the unclean death leaves no CLEAN marker, so
+// this walks the torn-tail scan), rejoin its replica groups, catch up
+// on the missed writes by digest delta, and then every process —
+// including the restarted one — must answer every equivalence query
+// exactly.
+func TestClusterRestartRecovery(t *testing.T) {
+	requireIntegration(t)
+	// The WAL dirs live under the log dir: with UNISTORE_LOG_DIR set
+	// (the CI job), a failing run uploads the daemon logs AND the WAL
+	// state that produced the failure.
+	dataRoot := filepath.Join(logDir(t), t.Name()+"-data")
+	t.Cleanup(func() {
+		if !t.Failed() && os.Getenv("UNISTORE_LOG_DIR") != "" {
+			os.RemoveAll(dataRoot)
+		}
+	})
+	o := clusterOpts{
+		procs: 3, partitions: 8, replicas: 2, page: 8, seed: 5,
+		dataRoot: dataRoot, fsync: "always",
+	}
+	ds := workload.Generate(workload.Options{Seed: 42, Persons: 30})
+	want := referenceRows(t, o, ds, equivalenceQueries)
+
+	daemons := startCluster(t, o)
+	half := len(ds.Triples) / 2
+	for _, tr := range ds.Triples[:half] {
+		daemons[0].insert(t, tr.OID, tr.Attr, tr.Val.String())
+	}
+	barrierAll(t, daemons)
+
+	// SIGKILL: the victim's acked writes exist only in its WAL now.
+	daemons[2].kill9(t)
+
+	// The cluster keeps taking writes the dead process will have
+	// missed. No barrier here: BARRIER spans all processes and cannot
+	// complete with one dead — the acked inserts plus the post-restart
+	// barrier cover convergence.
+	for _, tr := range ds.Triples[half:] {
+		daemons[0].insert(t, tr.OID, tr.Attr, tr.Val.String())
+	}
+
+	daemons[2].restart(t, o, daemons[0].addr)
+	barrierAll(t, daemons)
+
+	for _, q := range equivalenceQueries {
+		for _, d := range daemons {
+			got := d.query(t, q)
+			if strings.Join(got, "\n") != strings.Join(want[q], "\n") {
+				t.Errorf("proc %d after restart: %s\nwant %d rows:\n%s\ngot %d rows:\n%s",
 					d.proc, q, len(want[q]), strings.Join(want[q], "\n"),
 					len(got), strings.Join(got, "\n"))
 			}

@@ -811,6 +811,31 @@ func (c *Cluster) JoinPeer(targetIdx int) int {
 	return len(c.peers) - 1
 }
 
+// RejoinPeer boots a replacement peer into the running cluster via the
+// restart-rejoin protocol: prepare (when non-nil) runs before any
+// message flows — it is where the caller recovers the peer's store from
+// its WAL directory — and the peer then re-registers with the target's
+// replica group. With recovered state the catch-up is digest-delta
+// anti-entropy (cost ∝ missed writes); with an empty store it degrades
+// to the full-state join sync. Returns the new peer's index.
+func (c *Cluster) RejoinPeer(targetIdx int, prepare func(*pgrid.Peer) error) (int, error) {
+	target := c.peers[targetIdx%len(c.peers)]
+	p := pgrid.NewPeer(c.net, c.pcfg)
+	if prepare != nil {
+		if err := prepare(p); err != nil {
+			return -1, err
+		}
+	}
+	p.Rejoin(target.ID())
+	c.settle()
+	eng := physical.NewEngine(p, lockedReopt{c})
+	eng.SetParallelism(c.cfg.ProbeParallelism)
+	eng.SetRangeShards(c.cfg.RangeShards)
+	c.peers = append(c.peers, p)
+	c.engines = append(c.engines, eng)
+	return len(c.peers) - 1, nil
+}
+
 // SplitGroup performs a live P-Grid split of peers[peerIdx]'s replica
 // group: the group divides into the path+0 and path+1 halves, each half
 // retains only its partition's entries and hands the rest to the other

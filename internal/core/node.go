@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -12,6 +13,8 @@ import (
 	"unistore/internal/optimizer"
 	"unistore/internal/pgrid"
 	"unistore/internal/physical"
+	"unistore/internal/store"
+	"unistore/internal/store/wal"
 	"unistore/internal/triple"
 	"unistore/internal/vql"
 )
@@ -42,6 +45,12 @@ type NodeConfig struct {
 	Seed int64
 	// PageSize bounds range-scan response pages (0 disables paging).
 	PageSize int
+	// DataDir, when set, makes every hosted peer durable: each gets a
+	// write-ahead log + snapshots under DataDir/peer-NNNN, recovered on
+	// startup. Empty keeps the seed behavior (memory only).
+	DataDir string
+	// Fsync is the WAL fsync policy (wal.SyncAlways default).
+	Fsync wal.SyncPolicy
 	// Logf receives transport diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -88,6 +97,7 @@ type Node struct {
 	stats   *cost.Stats
 	statsMu sync.RWMutex
 	seq     atomic.Uint64
+	dbs     []*wal.DB
 }
 
 // nodeReopt adapts hosted-plan re-optimization to the node's stats
@@ -135,17 +145,81 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		tr.Close()
 		return nil, err
 	}
+	var dbs []*wal.DB
+	if cfg.DataDir != "" {
+		// Recovery runs before the transport starts: each peer's store
+		// is rebuilt from its snapshot + log while no message can race
+		// it, and only then does the WAL attach for log-before-apply.
+		for i, p := range peers {
+			dir := filepath.Join(cfg.DataDir, fmt.Sprintf("peer-%04d", hosted[i].ID))
+			db, err := wal.Open(dir, p.Store(), wal.Options{Sync: cfg.Fsync})
+			if err != nil {
+				for _, d := range dbs {
+					d.Close()
+				}
+				tr.Close()
+				return nil, fmt.Errorf("core: recover %s: %w", dir, err)
+			}
+			dbs = append(dbs, db)
+		}
+	}
 	stats := cost.DefaultStats(cfg.Partitions)
 	stats.Replicas = cfg.Replicas
 	stats.TotalTriples = 0
 	stats.PageSize = cfg.PageSize
-	n := &Node{cfg: cfg, tr: tr, specs: specs, peers: peers, stats: stats}
+	n := &Node{cfg: cfg, tr: tr, specs: specs, peers: peers, stats: stats, dbs: dbs}
+	n.recoverSeq()
 	n.opt = optimizer.New(stats, optimizer.DefaultOptions())
 	for _, p := range peers {
 		n.engines = append(n.engines, physical.NewEngine(p, nodeReopt{n}))
 	}
 	tr.Start()
 	return n, nil
+}
+
+// recoverSeq resumes the process-local version sequence past every
+// version this process issued before the restart (identified by the
+// proc-index bits), so recovered writes are never reissued with stale —
+// hence losing — versions.
+func (n *Node) recoverSeq() {
+	mask := uint64(1)<<versionProcBits - 1
+	var top uint64
+	for _, p := range n.peers {
+		p.Store().FactsEach(func(e store.Entry) {
+			if e.Version&mask == uint64(n.cfg.ProcIndex) && e.Version>>versionProcBits > top {
+				top = e.Version >> versionProcBits
+			}
+		})
+	}
+	if top > 0 {
+		n.seq.Store(top)
+	}
+}
+
+// Recovery reports what each hosted peer's WAL recovery found, in
+// Peers() order (nil when the node runs without a DataDir).
+func (n *Node) Recovery() []wal.RecoveryInfo {
+	var out []wal.RecoveryInfo
+	for _, db := range n.dbs {
+		out = append(out, db.Info())
+	}
+	return out
+}
+
+// Rejoin re-registers every hosted peer with its replica group after a
+// restart: a peer that recovered state asks for digest-delta catch-up
+// (cost ∝ missed writes); an empty one falls back to full-state sync.
+// Fire-and-forget — convergence is observable via Barrier plus the
+// stores themselves. Single-process clusters have nowhere to rejoin to.
+func (n *Node) Rejoin() {
+	for _, p := range n.peers {
+		for _, r := range p.Replicas() {
+			if int(r.ID)%n.cfg.Procs != n.cfg.ProcIndex {
+				p.Rejoin(r.ID)
+				break
+			}
+		}
+	}
 }
 
 // Addr returns the transport's resolved listen address — what other
@@ -242,9 +316,17 @@ func (n *Node) Barrier(timeout time.Duration) bool {
 }
 
 // Close shuts the node down gracefully: drains pending operations (up
-// to the timeout), then closes the transport — which flushes queued
-// frames, cancels timers, and joins every goroutine.
+// to the timeout), closes the transport — which flushes queued frames,
+// cancels timers, and joins every goroutine — and only then closes the
+// WALs, fsyncing the tail and writing each clean-shutdown marker (no
+// mutation can arrive once the transport is down).
 func (n *Node) Close(timeout time.Duration) error {
 	n.Barrier(timeout)
-	return n.tr.Close()
+	err := n.tr.Close()
+	for _, db := range n.dbs {
+		if cerr := db.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
 }

@@ -134,20 +134,30 @@ func (p *Peer) scheduleAntiEntropy() {
 	})
 }
 
-// digestPrefixBits is how many key bits past nothing (i.e. from the
-// root) bucket the digest: 16 buckets per index kind — coarse enough
-// that a digest stays tiny, fine enough that a single divergent fact
-// pulls a sliver of the store instead of all of it.
+// digestPrefixBits is how many key bits PAST THE PEER'S PARTITION PATH
+// bucket the digest: 16 buckets per index kind within the partition.
+// Bucketing relative to the path matters — a replica group only ever
+// holds keys inside its own partition, so absolute root-level prefixes
+// would collapse the whole store into one bucket per kind. Buckets
+// bound how much state one divergent fact drags into a pull request
+// (the request's Have set is per differing bucket); the response is
+// exact regardless of bucket shape, so clustered keys (the
+// order-preserving value index concentrates a partition's keys on a
+// shared long prefix) degrade the request size, never the response.
+// Replicas share their path by construction, so bucket names agree
+// within a group.
 const digestPrefixBits = 4
 
+// bucketDepth is the key-prefix length this peer's digest buckets use.
+func (p *Peer) bucketDepth() int { return p.Path().Len() + digestPrefixBits }
+
 // bucketID names the digest bucket of an entry: its index kind plus
-// the leading bits of its placement key.
-func bucketID(e store.Entry) string {
-	d := digestPrefixBits
-	if e.Key.Len() < d {
-		d = e.Key.Len()
+// the leading depth bits of its placement key.
+func bucketID(e store.Entry, depth int) string {
+	if e.Key.Len() < depth {
+		depth = e.Key.Len()
 	}
-	return strconv.Itoa(int(e.Kind)) + ":" + e.Key.Prefix(d).String()
+	return strconv.Itoa(int(e.Kind)) + ":" + e.Key.Prefix(depth).String()
 }
 
 // digest summarizes the peer's whole versioned store per bucket. The
@@ -155,8 +165,9 @@ func bucketID(e store.Entry) string {
 // unordered FactsEach walk suffices — no per-round copy or sort.
 func (p *Peer) digest() map[string]bucketSum {
 	out := make(map[string]bucketSum)
+	depth := p.bucketDepth()
 	p.store.FactsEach(func(e store.Entry) {
-		b := bucketID(e)
+		b := bucketID(e, depth)
 		s := out[b]
 		s.Count++
 		if e.Version > s.MaxVersion {
@@ -206,9 +217,28 @@ func (p *Peer) runAntiEntropy() {
 	p.net.Send(p.id, r.ID, KindDigest, digestMsg{Buckets: p.digest(), Reply: true})
 }
 
+// shouldPull decides whether a bucket whose summaries differ is worth
+// pulling from the sender. Pulling is skipped when the sender is
+// provably BEHIND on that bucket (lower max version AND no more
+// entries): whatever it holds, this side's copy supersedes or equals,
+// and the sender will pull the other way off this side's digest. The
+// one case the rule defers — the sender holds an old unique fact
+// behind a bucket it otherwise trails in — resolves on the following
+// round, after the sender has caught up and its count pulls ahead.
+func shouldPull(mine, theirs bucketSum) bool {
+	if mine == theirs {
+		return false
+	}
+	return theirs.MaxVersion > mine.MaxVersion || theirs.Count > mine.Count ||
+		(theirs.MaxVersion == mine.MaxVersion && theirs.Count == mine.Count)
+}
+
 // handleDigest compares the sender's summaries with local state and
-// pulls the differing buckets; on the opening message of a round it
-// answers with its own digest so the exchange reconciles both ways.
+// pulls the differing buckets the sender is ahead on; on the opening
+// message of a round it answers with its own digest so the exchange
+// reconciles both ways. Each pull carries this side's own bucket
+// summaries so the responder can ship only the entries this side
+// provably lacks.
 func (p *Peer) handleDigest(msg digestMsg, from simnet.NodeID) {
 	if msg.Reply {
 		// The responder's participation in the round; the opener
@@ -217,33 +247,57 @@ func (p *Peer) handleDigest(msg digestMsg, from simnet.NodeID) {
 		p.stats.digestRounds.Add(1)
 	}
 	mine := p.digest()
-	var want []string
+	want := make(map[string]bool)
 	for b, theirs := range msg.Buckets {
-		if mine[b] != theirs {
-			want = append(want, b)
+		if shouldPull(mine[b], theirs) {
+			want[b] = true
 		}
 	}
 	// Buckets only this side holds are not pulled — the other side will
 	// request them off OUR digest (reply) or already did (we are the
 	// reply); entries flow toward whoever lacks them either way.
-	sort.Strings(want) // deterministic pull order
 	if len(want) > 0 {
-		p.net.Send(p.id, from, KindDigestPull, digestPullMsg{Buckets: want})
+		names := make([]string, 0, len(want))
+		for b := range want {
+			names = append(names, b)
+		}
+		sort.Strings(names) // deterministic pull order
+		have := make(map[string][]uint64, len(want))
+		depth := p.bucketDepth()
+		p.store.FactsEach(func(e store.Entry) {
+			if b := bucketID(e, depth); want[b] {
+				have[b] = append(have[b], factHash(e))
+			}
+		})
+		p.net.Send(p.id, from, KindDigestPull, digestPullMsg{Buckets: names, Have: have})
 	}
 	if msg.Reply {
 		p.net.Send(p.id, from, KindDigest, digestMsg{Buckets: mine, Reply: false})
 	}
 }
 
-// handleDigestPull answers a bucket pull with the requested entries in
-// pages of at most Config.PageSize (0: one message), reusing the
-// paging machinery's bound on response sizes — replica reconciliation
-// is batched the way probes batch by owner.
+// handleDigestPull answers a bucket pull with the entries the puller
+// LACKS, in pages of at most Config.PageSize (0: one message), reusing
+// the paging machinery's bound on response sizes — replica
+// reconciliation is batched the way probes batch by owner. The pull's
+// Have sets name what the puller already holds, so the response is the
+// exact per-bucket set difference: a restarted replica catching up on
+// a bucket pays for the entries it missed (inserts AND overwrites, the
+// superseding version travels and Apply retires the stale copy), never
+// for the bucket's size. A 64-bit identity-hash collision could
+// withhold an entry — vanishingly unlikely, and the next periodic
+// round retries with fresh divergent sums.
 func (p *Peer) handleDigestPull(msg digestPullMsg, from simnet.NodeID) {
 	p.stats.digestPulls.Add(1)
 	want := make(map[string]bool, len(msg.Buckets))
 	for _, b := range msg.Buckets {
 		want[b] = true
+	}
+	have := make(map[uint64]bool)
+	for _, hs := range msg.Have {
+		for _, h := range hs {
+			have[h] = true
+		}
 	}
 	var batch []store.Entry
 	flush := func() {
@@ -252,8 +306,9 @@ func (p *Peer) handleDigestPull(msg digestPullMsg, from simnet.NodeID) {
 			batch = nil
 		}
 	}
+	depth := p.bucketDepth()
 	for _, e := range p.store.Facts() {
-		if !want[bucketID(e)] {
+		if !want[bucketID(e, depth)] || have[factHash(e)] {
 			continue
 		}
 		batch = append(batch, e)

@@ -43,10 +43,20 @@ func (p *Peer) Join(target simnet.NodeID) {
 	p.net.Send(p.id, target, KindJoin, joinReq{})
 }
 
+// Rejoin is Join for a peer that recovered its store from disk: it
+// re-registers with target's replica group but asks it to skip the
+// full-state stream when local state survived — the existing digest
+// anti-entropy then pulls only the buckets that drifted while the peer
+// was down (delta pages). An empty disk degrades to a plain Join, so
+// full-state sync remains the fallback.
+func (p *Peer) Rejoin(target simnet.NodeID) {
+	p.net.Send(p.id, target, KindJoin, joinReq{NoState: p.store.FactCount() > 0})
+}
+
 // handleJoinReq adopts a joining peer: reply with position and
 // membership, tell the existing replicas about the newcomer, and
 // stream the full local state over as anti-entropy pages.
-func (p *Peer) handleJoinReq(from simnet.NodeID) {
+func (p *Peer) handleJoinReq(req joinReq, from simnet.NodeID) {
 	p.mu.RLock()
 	path := p.path
 	refs := make([][]Ref, len(p.refs))
@@ -56,13 +66,20 @@ func (p *Peer) handleJoinReq(from simnet.NodeID) {
 	reps := append([]Ref(nil), p.replicas...)
 	p.mu.RUnlock()
 	ack := joinAck{Path: path, Refs: refs,
-		Replicas: append(append([]Ref(nil), reps...), Ref{ID: p.id, Path: path})}
+		Replicas: append(append([]Ref(nil), reps...), Ref{ID: p.id, Path: path}),
+		Catchup:  req.NoState}
 	p.net.Send(p.id, from, KindJoin, ack)
 	jref := Ref{ID: from, Path: path}
 	for _, r := range reps {
 		p.net.Send(p.id, r.ID, KindJoin, memberMsg{Member: jref})
 	}
 	p.addReplica(jref)
+	if req.NoState {
+		// The joiner recovered its store from disk; the digest round it
+		// runs on our ack pulls just the delta, so the full stream would
+		// be waste.
+		return
+	}
 	p.sendStateChunks(from, KindAntiEnt, p.store.Facts())
 }
 
@@ -76,6 +93,11 @@ func (p *Peer) handleJoinAck(ack joinAck) {
 	}
 	for _, r := range ack.Replicas {
 		p.addReplica(r)
+	}
+	if ack.Catchup {
+		// Recovered-state rejoin: reconcile with the group by digest —
+		// only drifted buckets travel.
+		p.runAntiEntropy()
 	}
 }
 

@@ -341,18 +341,27 @@ func (d digestMsg) WireSize() int {
 	return s
 }
 
-// digestPullMsg requests the full entries of the named buckets — the
-// ones whose summaries differed. The receiver answers with
-// antiEntropyMsg pages of at most Config.PageSize entries each,
-// reusing the paging machinery's bound on response sizes.
+// digestPullMsg requests the entries of the named buckets — the ones
+// whose summaries differed. Have carries, per requested bucket, the
+// identity hashes (factHash: kind, fact, version, deleted) of every
+// entry the PULLER already holds there: eight bytes per entry against
+// the ~hundred shipping one costs. The responder answers with only the
+// entries whose hash the puller lacks — the exact set difference — so
+// a restart catch-up pays for the writes it missed, not for the bucket
+// size. Responses arrive as antiEntropyMsg pages of at most
+// Config.PageSize entries, reusing the paging machinery's bound.
 type digestPullMsg struct {
 	Buckets []string
+	Have    map[string][]uint64
 }
 
 func (d digestPullMsg) WireSize() int {
 	s := 8
 	for _, b := range d.Buckets {
 		s += len(b) + 2
+	}
+	for _, hs := range d.Have {
+		s += 8 * len(hs)
 	}
 	return s
 }
@@ -401,19 +410,27 @@ func (x xferMsg) WireSize() int {
 // joinReq asks an existing peer to adopt the sender into its replica
 // group — the first half of live membership growth (membership.go).
 // The target answers with a joinAck (trie position and membership),
-// notifies its existing replicas with memberMsg, and streams its full
-// state to the joiner as chunked anti-entropy pages.
-type joinReq struct{}
+// notifies its existing replicas with memberMsg, and — unless NoState
+// says the joiner recovered local state from disk — streams its full
+// state to the joiner as chunked anti-entropy pages. A NoState joiner
+// instead catches up via digest anti-entropy (delta pages), so rejoin
+// cost scales with the writes it missed, not with the partition size.
+type joinReq struct {
+	NoState bool
+}
 
 func (joinReq) WireSize() int { return 4 }
 
 // joinAck carries the target's trie position to a joining peer: path,
 // routing references and the replica group (target included). The
 // joiner adopts all three and becomes a live replica of the partition.
+// Catchup echoes joinReq.NoState: no full-state sync is coming, run a
+// digest round instead.
 type joinAck struct {
 	Path     keys.Key
 	Refs     [][]Ref
 	Replicas []Ref
+	Catchup  bool
 }
 
 func (a joinAck) WireSize() int {

@@ -508,7 +508,7 @@ func (p *Peer) HandleMessage(m simnet.Message) {
 	case KindJoin:
 		switch jm := m.Payload.(type) {
 		case joinReq:
-			p.handleJoinReq(m.From)
+			p.handleJoinReq(jm, m.From)
 		case joinAck:
 			p.handleJoinAck(jm)
 		case memberMsg:

@@ -48,15 +48,31 @@ type factID struct {
 	attr string
 }
 
+// Durability is the persistence boundary behind the store. When one is
+// attached, every accepted mutation is logged BEFORE it is applied, so
+// an acknowledged write is one the log holds; a logging failure rejects
+// the write (and sticks — see DurabilityErr). WantCompact/Compact let
+// the implementation fold the log into a snapshot at a moment the store
+// guarantees is quiescent: both are called with the store's exclusive
+// lock held, so the fact slice Compact receives is a consistent image.
+type Durability interface {
+	LogApply(e Entry) error
+	LogDrop(kind triple.IndexKind, r keys.Range, retain bool) error
+	WantCompact() bool
+	Compact(facts []Entry) error
+}
+
 // Store is the local storage service of one peer: three ordered triple
 // indexes plus versioned fact bookkeeping. It is safe for concurrent
 // use: in the simulator's concurrent mode a peer's worker goroutine,
 // protocol timers, and query drivers all touch the store in parallel.
 // Mutators take the exclusive lock; readers share it.
 type Store struct {
-	mu    sync.RWMutex
-	idx   [3]*btree // one ordered index per triple.IndexKind
-	facts map[factID]Entry
+	mu     sync.RWMutex
+	idx    [3]*btree // one ordered index per triple.IndexKind
+	facts  map[factID]Entry
+	dur    Durability
+	durErr error
 }
 
 // New creates an empty store.
@@ -107,17 +123,72 @@ func (s *Store) apply(e Entry) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	id := factID{e.Kind, e.Triple.OID, e.Triple.Attr}
-	if old, ok := s.facts[id]; ok {
-		if !supersedes(e, old) {
+	old, had := s.facts[id]
+	if had && !supersedes(e, old) {
+		return false
+	}
+	// Log-before-apply: the write is only acknowledged once the log has
+	// it. Superseded (no-op) writes are decided above and never logged.
+	if s.dur != nil {
+		if s.durErr != nil {
 			return false
 		}
+		if err := s.dur.LogApply(e); err != nil {
+			s.durErr = err
+			return false
+		}
+	}
+	if had {
 		s.removeFromIndex(old)
 	}
 	s.facts[id] = e
 	if !e.Deleted {
 		s.addToIndex(e)
 	}
+	s.maybeCompactLocked()
 	return true
+}
+
+// SetDurability attaches the persistence layer. It must be called
+// before the store serves traffic (recovery replays into a bare store,
+// THEN attaches, so replay does not re-log itself).
+func (s *Store) SetDurability(d Durability) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.dur = d
+}
+
+// DurabilityErr returns the first logging failure, if any. Once set,
+// every subsequent mutation is rejected: the store refuses to advance
+// past what the log can replay.
+func (s *Store) DurabilityErr() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.durErr
+}
+
+// FactCount returns the number of versioned facts held, tombstones
+// included — the "do I have recovered state" probe for restart-rejoin.
+func (s *Store) FactCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.facts)
+}
+
+// maybeCompactLocked folds the log into a snapshot when the durability
+// layer asks for it. Caller holds the exclusive lock, so the fact image
+// handed over is consistent and no mutation can interleave.
+func (s *Store) maybeCompactLocked() {
+	if s.dur == nil || s.durErr != nil || !s.dur.WantCompact() {
+		return
+	}
+	facts := make([]Entry, 0, len(s.facts))
+	for _, e := range s.facts {
+		facts = append(facts, e)
+	}
+	if err := s.dur.Compact(facts); err != nil {
+		s.durErr = err
+	}
 }
 
 func (s *Store) addToIndex(e Entry) {
@@ -338,6 +409,12 @@ func (s *Store) DropRange(kind triple.IndexKind, r keys.Range) []Entry {
 			doomed = append(doomed, e)
 		}
 	}
+	if len(doomed) > 0 && s.dur != nil {
+		if err := s.dur.LogDrop(kind, r, false); err != nil {
+			s.durErr = err
+			return nil
+		}
+	}
 	s.purge(doomed)
 	return doomed
 }
@@ -352,6 +429,12 @@ func (s *Store) RetainRange(kind triple.IndexKind, r keys.Range) []Entry {
 	for id, e := range s.facts {
 		if id.kind == kind && !r.Contains(e.Key) {
 			doomed = append(doomed, e)
+		}
+	}
+	if len(doomed) > 0 && s.dur != nil {
+		if err := s.dur.LogDrop(kind, r, true); err != nil {
+			s.durErr = err
+			return nil
 		}
 	}
 	s.purge(doomed)

@@ -1,0 +1,284 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"unistore/internal/keys"
+	"unistore/internal/store"
+	"unistore/internal/triple"
+)
+
+// The log is a sequence of length-prefixed, CRC-checksummed records:
+//
+//	u32 LE payload length | u32 LE CRC-32C(payload) | payload
+//
+// and a payload starts with a one-byte op:
+//
+//	opEntry    one store mutation (PutEntry/DeleteEntry/Apply — the
+//	           full versioned Entry, tombstone flag included)
+//	opDrop     a range purge (DropRange, or RetainRange when the
+//	           retain flag is set) — membership shedding is logged as
+//	           the one logical operation, not per doomed entry
+//	opSnapHead snapshot header: the entry count that must follow
+//	opSnapFoot snapshot footer: the same count again — a snapshot
+//	           missing its footer (or short of its count) is invalid
+//
+// Replaying a log is applying its records in order. A record that does
+// not parse — short frame, oversized length, CRC mismatch, malformed
+// payload — ends the valid prefix; everything before it replays,
+// everything after it is the torn tail.
+
+const (
+	opEntry    = 1
+	opDrop     = 2
+	opSnapHead = 3
+	opSnapFoot = 4
+)
+
+// maxRecord bounds one record's payload: far above any entry, far
+// below anything a corrupted length prefix could use to allocate.
+const maxRecord = 1 << 26
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// errTorn marks the end of a log's valid prefix. It is internal:
+// recovery converts it into a truncation, never an error.
+var errTorn = errors.New("wal: torn record")
+
+// appendRecord frames payload onto buf.
+func appendRecord(buf, payload []byte) []byte {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(payload, crcTable))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+// nextRecord reads one record at data[off:], returning the payload and
+// the next offset. errTorn means the bytes at off do not form a whole
+// valid record — the valid prefix ends at off.
+func nextRecord(data []byte, off int) ([]byte, int, error) {
+	rem := len(data) - off
+	if rem < 8 {
+		return nil, off, errTorn
+	}
+	n := int(binary.LittleEndian.Uint32(data[off:]))
+	crc := binary.LittleEndian.Uint32(data[off+4:])
+	if n > maxRecord || rem < 8+n {
+		return nil, off, errTorn
+	}
+	payload := data[off+8 : off+8+n]
+	if crc32.Checksum(payload, crcTable) != crc {
+		return nil, off, errTorn
+	}
+	return payload, off + 8 + n, nil
+}
+
+// --- payload encoding -----------------------------------------------------
+
+func appendUvarint(buf []byte, v uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	return append(buf, tmp[:binary.PutUvarint(tmp[:], v)]...)
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = appendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func appendKey(buf []byte, k keys.Key) []byte {
+	kb, _ := k.MarshalBinary() // cannot fail
+	buf = appendUvarint(buf, uint64(len(kb)))
+	return append(buf, kb...)
+}
+
+// encodeEntry serializes one store mutation.
+func encodeEntry(buf []byte, e store.Entry) []byte {
+	buf = append(buf, opEntry, byte(e.Kind))
+	if e.Deleted {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, e.Version)
+	buf = appendKey(buf, e.Key)
+	buf = appendString(buf, e.Triple.OID)
+	buf = appendString(buf, e.Triple.Attr)
+	buf = append(buf, byte(e.Triple.Val.Kind))
+	buf = appendString(buf, e.Triple.Val.Str)
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.Triple.Val.Num))
+	return buf
+}
+
+// encodeDrop serializes one range purge. retain inverts the predicate
+// (RetainRange keeps the range and drops the rest).
+func encodeDrop(buf []byte, kind triple.IndexKind, r keys.Range, retain bool) []byte {
+	buf = append(buf, opDrop, byte(kind))
+	if retain {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = appendKey(buf, r.Lo)
+	buf = appendKey(buf, r.Hi)
+	if r.HiOpen {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	return buf
+}
+
+func encodeCount(op byte, count uint64) []byte {
+	buf := make([]byte, 0, 9)
+	buf = append(buf, op)
+	return binary.LittleEndian.AppendUint64(buf, count)
+}
+
+// --- payload decoding (untrusted bytes: errors, never panics) -------------
+
+type decoder struct {
+	data []byte
+	off  int
+}
+
+func (d *decoder) byte() (byte, error) {
+	if d.off >= len(d.data) {
+		return 0, fmt.Errorf("wal: record truncated at byte %d", d.off)
+	}
+	b := d.data[d.off]
+	d.off++
+	return b, nil
+}
+
+func (d *decoder) u64() (uint64, error) {
+	if d.off+8 > len(d.data) {
+		return 0, fmt.Errorf("wal: record truncated at byte %d", d.off)
+	}
+	v := binary.LittleEndian.Uint64(d.data[d.off:])
+	d.off += 8
+	return v, nil
+}
+
+func (d *decoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.data[d.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("wal: bad varint at byte %d", d.off)
+	}
+	d.off += n
+	return v, nil
+}
+
+func (d *decoder) bytes() ([]byte, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(d.data)-d.off) {
+		return nil, fmt.Errorf("wal: %d-byte field overruns record", n)
+	}
+	b := d.data[d.off : d.off+int(n)]
+	d.off += int(n)
+	return b, nil
+}
+
+func (d *decoder) string() (string, error) {
+	b, err := d.bytes()
+	return string(b), err
+}
+
+func (d *decoder) key() (keys.Key, error) {
+	b, err := d.bytes()
+	if err != nil {
+		return keys.Key{}, err
+	}
+	var k keys.Key
+	if err := k.UnmarshalBinary(b); err != nil {
+		return keys.Key{}, err
+	}
+	return k, nil
+}
+
+// decodeEntry parses an opEntry payload (op byte already consumed by
+// the caller's dispatch — d sits just past it).
+func decodeEntry(d *decoder) (store.Entry, error) {
+	var e store.Entry
+	kind, err := d.byte()
+	if err != nil {
+		return e, err
+	}
+	if int(kind) >= len(triple.AllIndexKinds) {
+		return e, fmt.Errorf("wal: bad index kind %d", kind)
+	}
+	e.Kind = triple.IndexKind(kind)
+	del, err := d.byte()
+	if err != nil {
+		return e, err
+	}
+	e.Deleted = del != 0
+	if e.Version, err = d.u64(); err != nil {
+		return e, err
+	}
+	if e.Key, err = d.key(); err != nil {
+		return e, err
+	}
+	if e.Triple.OID, err = d.string(); err != nil {
+		return e, err
+	}
+	if e.Triple.Attr, err = d.string(); err != nil {
+		return e, err
+	}
+	vk, err := d.byte()
+	if err != nil {
+		return e, err
+	}
+	e.Triple.Val.Kind = triple.ValueKind(vk)
+	if e.Triple.Val.Str, err = d.string(); err != nil {
+		return e, err
+	}
+	bits, err := d.u64()
+	if err != nil {
+		return e, err
+	}
+	e.Triple.Val.Num = math.Float64frombits(bits)
+	return e, nil
+}
+
+type dropRec struct {
+	kind   triple.IndexKind
+	r      keys.Range
+	retain bool
+}
+
+func decodeDrop(d *decoder) (dropRec, error) {
+	var dr dropRec
+	kind, err := d.byte()
+	if err != nil {
+		return dr, err
+	}
+	if int(kind) >= len(triple.AllIndexKinds) {
+		return dr, fmt.Errorf("wal: bad index kind %d", kind)
+	}
+	dr.kind = triple.IndexKind(kind)
+	ret, err := d.byte()
+	if err != nil {
+		return dr, err
+	}
+	dr.retain = ret != 0
+	if dr.r.Lo, err = d.key(); err != nil {
+		return dr, err
+	}
+	if dr.r.Hi, err = d.key(); err != nil {
+		return dr, err
+	}
+	open, err := d.byte()
+	if err != nil {
+		return dr, err
+	}
+	dr.r.HiOpen = open != 0
+	return dr, nil
+}

@@ -1,0 +1,489 @@
+// Package wal puts a persistence boundary behind store.Store: an
+// append-only, CRC-checksummed, length-prefixed write-ahead log with
+// snapshot + log-truncation compaction. Every mutation the store
+// accepts is logged BEFORE it is applied in memory, so a process that
+// dies at any instant recovers to a state containing every
+// acknowledged write: recovery loads the latest valid snapshot,
+// replays the log over it, and truncates a torn tail (a partial final
+// record is the expected shape of a crash, never an error for the
+// records before it, never a panic).
+//
+// The disk surface is the small FS/File interface below rather than
+// the os package directly, so the crash-recovery test matrix can
+// inject real faults — short writes, sync failures, rename failures,
+// a crash that discards unsynced bytes — without touching a disk.
+package wal
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// FS is the filesystem slice the log needs. Paths are forward-slash
+// relative or absolute strings; implementations may interpret them as
+// they wish as long as they are consistent.
+type FS interface {
+	MkdirAll(dir string) error
+	// Create truncates/creates a file for writing.
+	Create(name string) (File, error)
+	// Append opens name for appending, creating it if absent.
+	Append(name string) (File, error)
+	ReadFile(name string) ([]byte, error)
+	Rename(oldName, newName string) error
+	Remove(name string) error
+	// ReadDir lists the file names (not paths) in dir, sorted.
+	ReadDir(dir string) ([]string, error)
+	// Truncate cuts name to size bytes — recovery's torn-tail cut.
+	Truncate(name string, size int64) error
+	// SyncDir makes directory-level operations (create, rename, remove)
+	// durable.
+	SyncDir(dir string) error
+}
+
+// File is an open log or snapshot file.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// --- OS implementation ----------------------------------------------------
+
+// OSFS is the real-disk FS.
+type OSFS struct{}
+
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (OSFS) Create(name string) (File, error) {
+	return os.OpenFile(name, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+}
+
+func (OSFS) Append(name string) (File, error) {
+	return os.OpenFile(name, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+}
+
+func (OSFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+func (OSFS) Rename(o, n string) error             { return os.Rename(o, n) }
+func (OSFS) Remove(name string) error             { return os.Remove(name) }
+
+func (OSFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (OSFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+func (OSFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// --- In-memory crash-and-fault implementation -----------------------------
+
+// MemFS is an in-memory FS with an explicit durability model for crash
+// tests: every file has LIVE content (what the process sees) and
+// DURABLE content (what survives a crash). Writes extend only the live
+// content; File.Sync promotes a file's live content to durable;
+// directory-level operations (create, rename, remove) become durable
+// at the next SyncDir. Crash() resets the live view to the durable
+// one — exactly what kill -9 plus a lost page cache does — with an
+// optional per-file count of unsynced bytes that happened to reach the
+// disk anyway (the torn-tail case).
+//
+// Faults are injected by operation name: "write", "sync", "create",
+// "append", "rename", "remove", "truncate", "syncdir". An injected
+// fault fires once per FailAfter countdown and then clears.
+type MemFS struct {
+	mu      sync.Mutex
+	live    map[string][]byte
+	durable map[string][]byte
+	dirs    map[string]bool
+	// pendDir tracks files whose existence/name is not yet durable:
+	// created, renamed or removed since the last SyncDir. A crash
+	// reverts these to their durable state.
+	pendCreate map[string]bool
+	pendRemove map[string][]byte // removed name -> its durable content
+
+	faults map[string]*fault
+
+	// shortWrite, when set for a path, makes the next write to it write
+	// only that many bytes and fail — the short-write injection.
+	shortWrite map[string]int
+}
+
+type fault struct {
+	after int // fire when the countdown reaches zero
+	err   error
+}
+
+// NewMemFS returns an empty in-memory filesystem.
+func NewMemFS() *MemFS {
+	return &MemFS{
+		live:       make(map[string][]byte),
+		durable:    make(map[string][]byte),
+		dirs:       make(map[string]bool),
+		pendCreate: make(map[string]bool),
+		pendRemove: make(map[string][]byte),
+		faults:     make(map[string]*fault),
+		shortWrite: make(map[string]int),
+	}
+}
+
+// FailOp arms a fault: the (after+1)-th matching operation fails with
+// err and the fault clears. op is one of the operation names above;
+// pathSuffix selects the file ("" matches any).
+func (m *MemFS) FailOp(op, pathSuffix string, after int, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.faults[op+"|"+pathSuffix] = &fault{after: after, err: err}
+}
+
+// ShortWrite makes the next write to a path with the given suffix
+// write only n bytes before failing.
+func (m *MemFS) ShortWrite(pathSuffix string, n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.shortWrite[pathSuffix] = n
+}
+
+// checkFault consumes one matching armed fault, if any. Callers hold mu.
+func (m *MemFS) checkFault(op, path string) error {
+	for key, f := range m.faults {
+		o, suffix, _ := strings.Cut(key, "|")
+		if o != op || !strings.HasSuffix(path, suffix) {
+			continue
+		}
+		if f.after > 0 {
+			f.after--
+			continue
+		}
+		delete(m.faults, key)
+		return f.err
+	}
+	return nil
+}
+
+// Crash discards everything that was not durable: unsynced file bytes,
+// unsynced creates, renames and removes. extra optionally names files
+// (by suffix) whose first n unsynced bytes survive anyway — the torn
+// record a crash mid-write leaves behind.
+func (m *MemFS) Crash(extra map[string]int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	keep := func(path string) int {
+		for suffix, n := range extra {
+			if strings.HasSuffix(path, suffix) {
+				return n
+			}
+		}
+		return 0
+	}
+	live := make(map[string][]byte, len(m.durable))
+	for name, data := range m.durable {
+		if m.pendCreate[name] {
+			continue // synced content, but the NAME never became durable
+		}
+		live[name] = append([]byte(nil), data...)
+	}
+	for name, data := range m.live {
+		if m.pendCreate[name] {
+			// Created or renamed here since the last SyncDir: the file
+			// vanishes, except bytes the crash happened to leave behind.
+			if n := keep(name); n > 0 {
+				if n > len(data) {
+					n = len(data)
+				}
+				live[name] = append([]byte(nil), data[:n]...)
+			}
+			continue
+		}
+		if _, durable := m.durable[name]; !durable {
+			if n := keep(name); n > 0 {
+				if n > len(data) {
+					n = len(data)
+				}
+				live[name] = append([]byte(nil), data[:n]...)
+			}
+			continue
+		}
+		if n := keep(name); n > 0 {
+			d := len(m.durable[name])
+			if d > len(data) {
+				d = len(data)
+			}
+			tail := data[d:]
+			if n > len(tail) {
+				n = len(tail)
+			}
+			live[name] = append(live[name], tail[:n]...)
+		}
+	}
+	// Un-synced removes come back, in both views.
+	for name, data := range m.pendRemove {
+		live[name] = append([]byte(nil), data...)
+		m.durable[name] = append([]byte(nil), data...)
+	}
+	// Synced-but-unlinked inodes are garbage after the crash.
+	for name := range m.pendCreate {
+		delete(m.durable, name)
+	}
+	m.live = live
+	m.pendCreate = make(map[string]bool)
+	m.pendRemove = make(map[string][]byte)
+}
+
+// DurableLen returns the durable byte count of the file with the given
+// suffix (testing hook).
+func (m *MemFS) DurableLen(pathSuffix string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for name, data := range m.durable {
+		if strings.HasSuffix(name, pathSuffix) {
+			return len(data)
+		}
+	}
+	return 0
+}
+
+// Corrupt XORs the live and durable byte at off of the file with the
+// given suffix (bit-flip injection).
+func (m *MemFS) Corrupt(pathSuffix string, off int, mask byte) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for name := range m.live {
+		if strings.HasSuffix(name, pathSuffix) && off < len(m.live[name]) {
+			m.live[name][off] ^= mask
+			if d, ok := m.durable[name]; ok && off < len(d) {
+				d[off] ^= mask
+			}
+		}
+	}
+}
+
+func (m *MemFS) MkdirAll(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.checkFault("mkdir", dir); err != nil {
+		return err
+	}
+	m.dirs[dir] = true
+	return nil
+}
+
+func (m *MemFS) open(name string, truncate bool, op string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.checkFault(op, name); err != nil {
+		return nil, err
+	}
+	if _, ok := m.live[name]; !ok || truncate {
+		m.live[name] = nil
+		if _, durable := m.durable[name]; !durable {
+			m.pendCreate[name] = true
+		}
+	}
+	return &memFile{fs: m, name: name}, nil
+}
+
+func (m *MemFS) Create(name string) (File, error) { return m.open(name, true, "create") }
+func (m *MemFS) Append(name string) (File, error) { return m.open(name, false, "append") }
+
+func (m *MemFS) ReadFile(name string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data, ok := m.live[name]
+	if !ok {
+		return nil, fmt.Errorf("memfs: %s: %w", name, os.ErrNotExist)
+	}
+	return append([]byte(nil), data...), nil
+}
+
+func (m *MemFS) Rename(oldName, newName string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.checkFault("rename", oldName); err != nil {
+		return err
+	}
+	data, ok := m.live[oldName]
+	if !ok {
+		return fmt.Errorf("memfs: rename %s: %w", oldName, os.ErrNotExist)
+	}
+	delete(m.live, oldName)
+	m.live[newName] = data
+	if d, durable := m.durable[oldName]; durable {
+		// Synced content follows the inode to its new name; the OLD name
+		// still resolves after a crash until SyncDir retires it.
+		if !m.pendCreate[oldName] {
+			m.pendRemove[oldName] = d
+		}
+		m.durable[newName] = d
+		delete(m.durable, oldName)
+	}
+	if m.pendCreate[oldName] || !wasDurableName(m, newName) {
+		m.pendCreate[newName] = true
+	}
+	delete(m.pendCreate, oldName)
+	return nil
+}
+
+// wasDurableName reports whether name's directory entry is durable:
+// either it has durable content under a non-pending name, or a prior
+// SyncDir recorded its (possibly empty) existence.
+func wasDurableName(m *MemFS, name string) bool {
+	_, ok := m.durable[name]
+	return ok && !m.pendCreate[name]
+}
+
+func (m *MemFS) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.checkFault("remove", name); err != nil {
+		return err
+	}
+	if _, ok := m.live[name]; !ok {
+		return fmt.Errorf("memfs: remove %s: %w", name, os.ErrNotExist)
+	}
+	delete(m.live, name)
+	if m.pendCreate[name] {
+		// Never durably linked: gone entirely.
+		delete(m.pendCreate, name)
+		delete(m.durable, name)
+		return nil
+	}
+	if d, durable := m.durable[name]; durable {
+		m.pendRemove[name] = d
+		delete(m.durable, name)
+	}
+	return nil
+}
+
+func (m *MemFS) ReadDir(dir string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	prefix := strings.TrimSuffix(dir, "/") + "/"
+	var names []string
+	for name := range m.live {
+		if strings.HasPrefix(name, prefix) && !strings.Contains(name[len(prefix):], "/") {
+			names = append(names, name[len(prefix):])
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (m *MemFS) Truncate(name string, size int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.checkFault("truncate", name); err != nil {
+		return err
+	}
+	data, ok := m.live[name]
+	if !ok {
+		return fmt.Errorf("memfs: truncate %s: %w", name, os.ErrNotExist)
+	}
+	if int64(len(data)) > size {
+		m.live[name] = data[:size]
+		if d, durable := m.durable[name]; durable && int64(len(d)) > size {
+			m.durable[name] = d[:size]
+		}
+	}
+	return nil
+}
+
+func (m *MemFS) SyncDir(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.checkFault("syncdir", dir); err != nil {
+		return err
+	}
+	prefix := strings.TrimSuffix(dir, "/") + "/"
+	for name := range m.pendCreate {
+		if strings.HasPrefix(name, prefix) {
+			// Existence becomes durable; content stays at its synced
+			// length (zero bytes until the file itself is synced).
+			if _, ok := m.durable[name]; !ok {
+				m.durable[name] = nil
+			}
+			delete(m.pendCreate, name)
+		}
+	}
+	for name := range m.pendRemove {
+		if strings.HasPrefix(name, prefix) {
+			delete(m.durable, name)
+			delete(m.pendRemove, name)
+		}
+	}
+	return nil
+}
+
+// memFile is one open MemFS file handle.
+type memFile struct {
+	fs     *MemFS
+	name   string
+	closed bool
+}
+
+func (f *memFile) Write(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.closed {
+		return 0, fmt.Errorf("memfs: write to closed file %s", f.name)
+	}
+	for suffix, n := range f.fs.shortWrite {
+		if strings.HasSuffix(f.name, suffix) {
+			delete(f.fs.shortWrite, suffix)
+			if n > len(p) {
+				n = len(p)
+			}
+			f.fs.live[f.name] = append(f.fs.live[f.name], p[:n]...)
+			return n, fmt.Errorf("memfs: short write on %s (%d of %d bytes)", f.name, n, len(p))
+		}
+	}
+	if err := f.fs.checkFault("write", f.name); err != nil {
+		return 0, err
+	}
+	f.fs.live[f.name] = append(f.fs.live[f.name], p...)
+	return len(p), nil
+}
+
+func (f *memFile) Sync() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if err := f.fs.checkFault("sync", f.name); err != nil {
+		return err
+	}
+	// fsync makes the CONTENT durable (it travels with the inode, so a
+	// later rename keeps it); whether the NAME survives a crash is the
+	// directory's business — Crash drops still-pendCreate names even
+	// when their content was synced.
+	f.fs.durable[f.name] = append([]byte(nil), f.fs.live[f.name]...)
+	return nil
+}
+
+func (f *memFile) Close() error {
+	f.closed = true
+	return nil
+}
+
+// join builds FS paths with forward slashes on every platform — MemFS
+// keys match regardless of os.PathSeparator.
+func join(dir, name string) string { return filepath.ToSlash(filepath.Join(dir, name)) }

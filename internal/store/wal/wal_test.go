@@ -1,0 +1,424 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"unistore/internal/keys"
+	"unistore/internal/store"
+	"unistore/internal/triple"
+)
+
+func testTriple(i int) triple.Triple {
+	return triple.Triple{
+		OID:  fmt.Sprintf("oid%03d", i),
+		Attr: "name",
+		Val:  triple.S(fmt.Sprintf("value-%03d", i)),
+	}
+}
+
+// mustOpen opens dir into a fresh store and fails the test on error.
+func mustOpen(t *testing.T, fs FS, dir string, opts Options) (*store.Store, *DB) {
+	t.Helper()
+	opts.FS = fs
+	st := store.New()
+	db, err := Open(dir, st, opts)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return st, db
+}
+
+// sameFacts asserts two stores hold the identical versioned fact sets
+// (tombstones included) — the recovery correctness check.
+func sameFacts(t *testing.T, want, got *store.Store) {
+	t.Helper()
+	wf, gf := want.Facts(), got.Facts()
+	if len(wf) != len(gf) {
+		t.Fatalf("fact count: want %d, got %d", len(wf), len(gf))
+	}
+	for i := range wf {
+		if !reflect.DeepEqual(wf[i], gf[i]) {
+			t.Fatalf("fact %d differs:\nwant %+v\ngot  %+v", i, wf[i], gf[i])
+		}
+	}
+}
+
+func TestRoundTripCleanShutdown(t *testing.T) {
+	fs := NewMemFS()
+	st, db := mustOpen(t, fs, "d", Options{Sync: SyncAlways})
+	for i := 0; i < 40; i++ {
+		if !st.PutAll(testTriple(i), uint64(i+1)) {
+			t.Fatalf("put %d rejected", i)
+		}
+	}
+	// Tombstone a few facts so recovery proves deletions persist too.
+	for i := 0; i < 5; i++ {
+		tr := testTriple(i)
+		for _, kind := range triple.AllIndexKinds {
+			st.DeleteEntry(kind, tr.OID, tr.Attr, 1000+uint64(i))
+		}
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	st2, db2 := mustOpen(t, fs, "d", Options{Sync: SyncAlways})
+	defer db2.Close()
+	info := db2.Info()
+	if !info.Clean {
+		t.Errorf("clean shutdown not detected: %+v", info)
+	}
+	if info.TornBytes != 0 {
+		t.Errorf("torn bytes after clean shutdown: %+v", info)
+	}
+	if !info.HadState {
+		t.Errorf("HadState false on a populated dir")
+	}
+	sameFacts(t, st, st2)
+}
+
+func TestFreshDirHasNoState(t *testing.T) {
+	fs := NewMemFS()
+	_, db := mustOpen(t, fs, "d", Options{Sync: SyncAlways})
+	defer db.Close()
+	if db.Info().HadState {
+		t.Errorf("fresh dir reported prior state")
+	}
+}
+
+// TestCrashMidRecord is matrix point 1: the process dies while a record
+// frame is half-written. The acked prefix survives; the torn tail is
+// truncated; the half-written write was never acked.
+func TestCrashMidRecord(t *testing.T) {
+	fs := NewMemFS()
+	st, _ := mustOpen(t, fs, "d", Options{Sync: SyncAlways})
+	for i := 0; i < 10; i++ {
+		if !st.PutEntry(triple.ByOID, testTriple(i), uint64(i+1)) {
+			t.Fatalf("put %d rejected", i)
+		}
+	}
+	acked := st.Facts()
+
+	fs.ShortWrite("wal-000001", 7) // next frame stops after 7 bytes
+	if st.PutEntry(triple.ByOID, testTriple(10), 11) {
+		t.Fatalf("write after short write was acked")
+	}
+	if st.DurabilityErr() == nil {
+		t.Fatalf("short write did not stick")
+	}
+	// kill -9: unsynced bytes gone, except the 7 torn ones that reached
+	// the platter.
+	fs.Crash(map[string]int{"wal-000001": 7})
+
+	st2, db2 := mustOpen(t, fs, "d", Options{Sync: SyncAlways})
+	defer db2.Close()
+	info := db2.Info()
+	if info.Clean {
+		t.Errorf("crash reported as clean")
+	}
+	if info.TornBytes != 7 {
+		t.Errorf("torn bytes = %d, want 7", info.TornBytes)
+	}
+	if info.Replayed != 10 {
+		t.Errorf("replayed %d records, want 10", info.Replayed)
+	}
+	if got := st2.Facts(); !reflect.DeepEqual(acked, got) {
+		t.Fatalf("recovered facts differ from acked prefix")
+	}
+}
+
+// TestCrashPostRecordPreFsync is matrix point 2: records fully written
+// but not yet fsynced (interval/off policy) are lost on crash — and
+// that loss is a clean truncation, not an error. Under SyncAlways the
+// same crash loses nothing.
+func TestCrashPostRecordPreFsync(t *testing.T) {
+	t.Run("always", func(t *testing.T) {
+		fs := NewMemFS()
+		st, _ := mustOpen(t, fs, "d", Options{Sync: SyncAlways})
+		for i := 0; i < 8; i++ {
+			st.PutEntry(triple.ByOID, testTriple(i), uint64(i+1))
+		}
+		fs.Crash(nil)
+		st2, db2 := mustOpen(t, fs, "d", Options{Sync: SyncAlways})
+		defer db2.Close()
+		sameFacts(t, st, st2)
+	})
+	t.Run("off", func(t *testing.T) {
+		fs := NewMemFS()
+		st, db := mustOpen(t, fs, "d", Options{Sync: SyncOff})
+		for i := 0; i < 4; i++ {
+			st.PutEntry(triple.ByOID, testTriple(i), uint64(i+1))
+		}
+		if err := db.Sync(); err != nil { // explicit checkpoint
+			t.Fatalf("Sync: %v", err)
+		}
+		synced := st.Facts()
+		for i := 4; i < 8; i++ {
+			st.PutEntry(triple.ByOID, testTriple(i), uint64(i+1))
+		}
+		fs.Crash(nil)
+		st2, db2 := mustOpen(t, fs, "d", Options{Sync: SyncOff})
+		defer db2.Close()
+		if got := st2.Facts(); !reflect.DeepEqual(synced, got) {
+			t.Fatalf("recovered %d facts, want the %d synced ones", len(got), len(synced))
+		}
+		if db2.Info().Clean {
+			t.Errorf("crash reported as clean")
+		}
+	})
+}
+
+// compactNow drives the store until the tiny threshold forces a
+// compaction, then asserts the generation advanced.
+func TestCompactionRoundTrip(t *testing.T) {
+	fs := NewMemFS()
+	st, db := mustOpen(t, fs, "d", Options{Sync: SyncAlways, CompactAfter: 512})
+	for i := 0; i < 50; i++ {
+		st.PutEntry(triple.ByOID, testTriple(i), uint64(i+1))
+	}
+	if db.Gen() < 2 {
+		t.Fatalf("no compaction happened (gen=%d)", db.Gen())
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	st2, db2 := mustOpen(t, fs, "d", Options{Sync: SyncAlways, CompactAfter: 512})
+	defer db2.Close()
+	if db2.Info().SnapshotGen == 0 {
+		t.Errorf("recovery used no snapshot: %+v", db2.Info())
+	}
+	sameFacts(t, st, st2)
+}
+
+// TestCrashMidSnapshot is matrix point 3: the snapshot write itself
+// fails (or the process dies mid-write, leaving only a .tmp). The old
+// generation is untouched, so every acked write recovers.
+func TestCrashMidSnapshot(t *testing.T) {
+	fs := NewMemFS()
+	st, _ := mustOpen(t, fs, "d", Options{Sync: SyncAlways, CompactAfter: 512})
+	boom := errors.New("disk full")
+	fs.FailOp("sync", ".tmp", 0, boom)
+	for i := 0; i < 50; i++ {
+		st.PutEntry(triple.ByOID, testTriple(i), uint64(i+1))
+	}
+	// The failed compaction is a durability error: writes stop rather
+	// than outrun the log.
+	if st.DurabilityErr() == nil {
+		t.Fatalf("failed compaction did not surface")
+	}
+	acked := st.Facts()
+	fs.Crash(nil)
+	st2, db2 := mustOpen(t, fs, "d", Options{Sync: SyncAlways})
+	defer db2.Close()
+	if got := st2.Facts(); !reflect.DeepEqual(acked, got) {
+		t.Fatalf("recovered facts differ from acked set after snapshot fault")
+	}
+}
+
+// TestCrashMidCompactionSwap is matrix point 4: the crash lands between
+// the snapshot rename and the generation switch becoming durable. Both
+// halves must recover every acked write — from the old generation when
+// the rename never became durable, from the new snapshot when it did.
+func TestCrashMidCompactionSwap(t *testing.T) {
+	t.Run("before-dirsync", func(t *testing.T) {
+		fs := NewMemFS()
+		st, _ := mustOpen(t, fs, "d", Options{Sync: SyncAlways, CompactAfter: 512})
+		boom := errors.New("kernel went away")
+		fs.FailOp("syncdir", "", 0, boom) // first dir sync after the rename
+		for i := 0; i < 50; i++ {
+			st.PutEntry(triple.ByOID, testTriple(i), uint64(i+1))
+		}
+		if st.DurabilityErr() == nil {
+			t.Fatalf("failed swap did not surface")
+		}
+		acked := st.Facts()
+		fs.Crash(nil) // rename was never durable: snap-2 vanishes
+		st2, db2 := mustOpen(t, fs, "d", Options{Sync: SyncAlways})
+		defer db2.Close()
+		if db2.Info().SnapshotGen != 0 {
+			t.Errorf("expected recovery from the old generation, got %+v", db2.Info())
+		}
+		if got := st2.Facts(); !reflect.DeepEqual(acked, got) {
+			t.Fatalf("recovered facts differ from acked set")
+		}
+	})
+	t.Run("after-snapshot-before-newlog", func(t *testing.T) {
+		fs := NewMemFS()
+		st, _ := mustOpen(t, fs, "d", Options{Sync: SyncAlways, CompactAfter: 512})
+		boom := errors.New("too many open files")
+		fs.FailOp("create", "wal-000002", 0, boom)
+		for i := 0; i < 50; i++ {
+			st.PutEntry(triple.ByOID, testTriple(i), uint64(i+1))
+		}
+		if st.DurabilityErr() == nil {
+			t.Fatalf("failed swap did not surface")
+		}
+		acked := st.Facts()
+		fs.Crash(nil) // snap-2 is durable; wal-2 never existed
+		st2, db2 := mustOpen(t, fs, "d", Options{Sync: SyncAlways})
+		defer db2.Close()
+		if db2.Info().SnapshotGen != 2 {
+			t.Errorf("expected recovery from the new snapshot, got %+v", db2.Info())
+		}
+		if got := st2.Facts(); !reflect.DeepEqual(acked, got) {
+			t.Fatalf("recovered facts differ from acked set")
+		}
+	})
+}
+
+// TestCorruptMiddleRecord: a bit flip in a synced record's payload ends
+// the valid prefix there — recovery keeps what precedes it, truncates
+// the rest, and reports no error (no clean marker claimed otherwise).
+func TestCorruptMiddleRecord(t *testing.T) {
+	fs := NewMemFS()
+	st, _ := mustOpen(t, fs, "d", Options{Sync: SyncAlways})
+	for i := 0; i < 10; i++ {
+		st.PutEntry(triple.ByOID, testTriple(i), uint64(i+1))
+	}
+	_ = st
+	size := fs.DurableLen("wal-000001")
+	fs.Crash(nil)
+	fs.Corrupt("wal-000001", size/2, 0x40)
+	st2, db2 := mustOpen(t, fs, "d", Options{Sync: SyncAlways})
+	defer db2.Close()
+	info := db2.Info()
+	if info.Replayed == 0 || info.Replayed >= 10 {
+		t.Errorf("replayed %d of 10 records around a mid-file flip", info.Replayed)
+	}
+	if info.TornBytes == 0 {
+		t.Errorf("no truncation after corruption: %+v", info)
+	}
+	if got, want := st2.FactCount(), info.Replayed; got != want {
+		t.Errorf("recovered %d facts from %d replayed records", got, want)
+	}
+}
+
+// A clean-shutdown marker makes corruption an error instead: the
+// previous process vouched for the log, so a mismatch is real damage.
+func TestCorruptAfterCleanShutdownIsError(t *testing.T) {
+	fs := NewMemFS()
+	st, db := mustOpen(t, fs, "d", Options{Sync: SyncAlways})
+	for i := 0; i < 10; i++ {
+		st.PutEntry(triple.ByOID, testTriple(i), uint64(i+1))
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	fs.Corrupt("wal-000001", fs.DurableLen("wal-000001")/2, 0x08)
+	if _, err := Open("d", store.New(), Options{FS: fs, Sync: SyncAlways}); err == nil {
+		t.Fatalf("corrupt log accepted after clean shutdown")
+	}
+}
+
+func TestDropAndRetainRangeLogged(t *testing.T) {
+	fs := NewMemFS()
+	st, db := mustOpen(t, fs, "d", Options{Sync: SyncAlways})
+	for i := 0; i < 32; i++ {
+		st.PutEntry(triple.ByOID, testTriple(i), uint64(i+1))
+	}
+	r := keys.PrefixRange(keys.FromBits("0"))
+	if dropped := st.DropRange(triple.ByOID, r); len(dropped) == 0 {
+		t.Fatalf("DropRange dropped nothing")
+	}
+	half := keys.PrefixRange(keys.FromBits("1"))
+	st.RetainRange(triple.ByOID, half)
+	if err := db.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	st2, db2 := mustOpen(t, fs, "d", Options{Sync: SyncAlways})
+	defer db2.Close()
+	sameFacts(t, st, st2)
+}
+
+func TestStickyWriteFailureRejectsWrites(t *testing.T) {
+	fs := NewMemFS()
+	st, db := mustOpen(t, fs, "d", Options{Sync: SyncAlways})
+	st.PutEntry(triple.ByOID, testTriple(0), 1)
+	fs.FailOp("write", "wal-000001", 0, errors.New("io error"))
+	if st.PutEntry(triple.ByOID, testTriple(1), 2) {
+		t.Fatalf("write acked despite log failure")
+	}
+	if st.DurabilityErr() == nil || db.Err() == nil {
+		t.Fatalf("failure did not stick")
+	}
+	// The fault has cleared, but the DB stays poisoned.
+	if st.PutEntry(triple.ByOID, testTriple(2), 3) {
+		t.Fatalf("write acked on a poisoned log")
+	}
+	if st.FactCount() != 1 {
+		t.Fatalf("store advanced past the log: %d facts", st.FactCount())
+	}
+}
+
+// TestConcurrentWriters exercises the store↔DB locking under the race
+// detector: parallel writers, with a compaction threshold low enough
+// that snapshots interleave with appends.
+func TestConcurrentWriters(t *testing.T) {
+	fs := NewMemFS()
+	st, db := mustOpen(t, fs, "d", Options{Sync: SyncInterval, SyncEvery: time.Millisecond, CompactAfter: 2048})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				st.PutEntry(triple.ByOID, testTriple(g*1000+i), uint64(g*1000+i+1))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := db.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	st2, db2 := mustOpen(t, fs, "d", Options{Sync: SyncAlways})
+	defer db2.Close()
+	sameFacts(t, st, st2)
+}
+
+// TestOSFSRoundTrip runs the same story against the real filesystem —
+// the code path the daemon uses.
+func TestOSFSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st := store.New()
+	db, err := Open(dir, st, Options{Sync: SyncAlways, CompactAfter: 1024})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 0; i < 60; i++ {
+		st.PutAll(testTriple(i), uint64(i+1))
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	st2 := store.New()
+	db2, err := Open(dir, st2, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer db2.Close()
+	if !db2.Info().Clean {
+		t.Errorf("clean shutdown not detected on OS fs")
+	}
+	sameFacts(t, st, st2)
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for in, want := range map[string]SyncPolicy{
+		"always": SyncAlways, "": SyncAlways,
+		"interval": SyncInterval,
+		"off":      SyncOff, "none": SyncOff,
+	} {
+		got, err := ParseSyncPolicy(in)
+		if err != nil || got != want {
+			t.Errorf("ParseSyncPolicy(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseSyncPolicy("sometimes"); err == nil {
+		t.Errorf("bad policy accepted")
+	}
+}

@@ -22,12 +22,15 @@ import (
 // 106. Measured at PR 4: churn top-k with 10% dead peers and failover
 // retries 35. Measured at PR 5: pushed-down GROUP BY over ~600
 // publication rows 44 (the centralized fallback moves 226).
+// Measured at PR 8: restart-rejoin catch-up on the 16-peer durability
+// scenario 40 (the empty-disk full sync moves 314).
 const (
 	budgetTopK          = 40
 	budgetIndexJoinWarm = 16
 	budgetPagedScan     = 135
 	budgetChurnTopK     = 50
 	budgetGroupByAgg    = 60
+	budgetRejoinCatchup = 60
 )
 
 // measure runs one query and returns its settled message count.
@@ -117,4 +120,29 @@ func TestMessageBudgetChurnTopK(t *testing.T) {
 		t.Errorf("churn top-5 sent %d messages, budget %d", cr.Msgs, budgetChurnTopK)
 	}
 	t.Logf("churn top-5: %d messages with %d dead peers (budget %d)", cr.Msgs, cr.Dead, budgetChurnTopK)
+}
+
+// TestMessageBudgetRejoinCatchup is the restart-recovery budget: a
+// WAL-recovered replica rejoining its group must catch up through the
+// digest delta — a join handshake, two digests, one pull with identity
+// hashes, and pages carrying only the writes it missed. Losing the
+// delta path (falling back to full-state sync, shipping whole buckets,
+// or re-pulling buckets the rejoiner is ahead on) costs hundreds of
+// messages on this scenario and trips the budget.
+func TestMessageBudgetRejoinCatchup(t *testing.T) {
+	r, err := benchscen.DurabilityRun()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.DeltaExact {
+		t.Fatal("rejoined replica did not converge to its sibling")
+	}
+	if r.Recovered != r.AckedAtKill {
+		t.Fatalf("WAL recovery rebuilt %d facts, victim acked %d", r.Recovered, r.AckedAtKill)
+	}
+	if r.DeltaMsgs > budgetRejoinCatchup {
+		t.Errorf("rejoin catch-up sent %d messages, budget %d", r.DeltaMsgs, budgetRejoinCatchup)
+	}
+	t.Logf("rejoin catch-up: %d messages (budget %d; full sync moves %d)",
+		r.DeltaMsgs, budgetRejoinCatchup, r.FullMsgs)
 }

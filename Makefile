@@ -5,7 +5,7 @@ GO ?= go
 
 .PHONY: all build vet fmt fmt-check test race bench docs ci \
 	lint integration integration-race fuzz-smoke \
-	bench-scale bench-scale-smoke bench-durability
+	bench-scale bench-scale-smoke bench-durability bench-flow
 
 all: build test
 
@@ -68,6 +68,14 @@ bench-scale-smoke:
 # a real-disk property the simulated network cannot price.
 bench-durability:
 	$(GO) run ./cmd/benchjson -durability -out BENCH_PR8.json
+
+# The flow-control record: the slow-replica mixed workload with credit
+# windows on and off, plus the fsync-always group-commit comparison.
+# Fails if flow control stops lowering the per-peer in-flight byte
+# peak, worsens the throttled replica's tail stall, dents exactness in
+# either variant, or group commit stops beating one fsync per write.
+bench-flow:
+	$(GO) run ./cmd/benchjson -flow -out BENCH_PR9.json
 
 # The docs job: broken intra-repo markdown links fail, sources stay
 # vetted and formatted.

@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"os"
 	"runtime/pprof"
+	"slices"
 	"strconv"
 	"strings"
 
@@ -225,6 +226,97 @@ func runDurability(out string) {
 	}
 }
 
+// flowReport is the BENCH_PR9.json shape: the slow-replica mixed
+// workload measured with flow control on and off, the fsync-always
+// group-commit comparison, and the gate verdict.
+type flowReport struct {
+	GeneratedBy string                      `json:"generated_by"`
+	Peers       int                         `json:"peers"`
+	FlowOn      benchscen.FlowVariant       `json:"flow_on"`
+	FlowOff     benchscen.FlowVariant       `json:"flow_off"`
+	GroupCommit benchscen.GroupCommitResult `json:"group_commit"`
+	GatesOK     bool                        `json:"gates_ok"`
+}
+
+// runFlow executes the slow-replica flow-control scenario with credits
+// on and off plus the WAL group-commit bench, and writes
+// BENCH_PR9.json. It exits non-zero when flow control stops beating
+// the uncontrolled baseline on peak in-flight bytes or tail stall,
+// when either variant loses exactness (rows differ between variants,
+// or the throttled rejoiner fails to converge), or when group commit
+// stops being faster than one fsync per write.
+func runFlow(out string) {
+	on, err := benchscen.FlowRun(true)
+	if err != nil {
+		die(err)
+	}
+	off, err := benchscen.FlowRun(false)
+	if err != nil {
+		die(err)
+	}
+	gc, err := benchscen.GroupCommitRun()
+	if err != nil {
+		die(err)
+	}
+	fmt.Printf("  flow on:   %7dB peak in-flight, %7.2fms tail stall, %d rows (%d bulk sends, %d stalls)\n",
+		on.MaxInflightBytes, on.SlowStallMS, on.RowCount, on.FlowBulkSends, on.FlowStalls)
+	fmt.Printf("  flow off:  %7dB peak in-flight, %7.2fms tail stall, %d rows\n",
+		off.MaxInflightBytes, off.SlowStallMS, off.RowCount)
+	fmt.Printf("  group commit: %.0f wps vs %.0f wps baseline (%.2fx, %d vs %d fsyncs)\n",
+		gc.GroupWPS, gc.BaselineWPS, gc.Speedup, gc.GroupSyncs, gc.BaselineSyncs)
+
+	failed := false
+	if on.MaxInflightBytes >= off.MaxInflightBytes {
+		fmt.Fprintf(os.Stderr, "FAIL: flow control did not lower peak in-flight bytes (%d vs %d uncontrolled)\n",
+			on.MaxInflightBytes, off.MaxInflightBytes)
+		failed = true
+	}
+	if on.SlowStallMS > off.SlowStallMS {
+		fmt.Fprintf(os.Stderr, "FAIL: flow control worsened the slow replica's tail stall (%.2fms vs %.2fms)\n",
+			on.SlowStallMS, off.SlowStallMS)
+		failed = true
+	}
+	if !on.CatchupExact {
+		fmt.Fprintln(os.Stderr, "FAIL: throttled rejoiner did not converge with flow control on")
+		failed = true
+	}
+	if !off.CatchupExact {
+		fmt.Fprintln(os.Stderr, "FAIL: throttled rejoiner did not converge with flow control off")
+		failed = true
+	}
+	if on.RowCount != off.RowCount || !slices.Equal(on.Rows, off.Rows) {
+		fmt.Fprintf(os.Stderr, "FAIL: flow control changed query results (%d rows vs %d uncontrolled)\n",
+			on.RowCount, off.RowCount)
+		failed = true
+	}
+	if gc.Speedup <= 1.0 {
+		fmt.Fprintf(os.Stderr, "FAIL: group commit (%.0f wps) did not beat per-write fsync (%.0f wps)\n",
+			gc.GroupWPS, gc.BaselineWPS)
+		failed = true
+	}
+
+	rep := flowReport{
+		GeneratedBy: "cmd/benchjson -flow",
+		Peers:       benchscen.FlowPeers,
+		FlowOn:      on,
+		FlowOff:     off,
+		GroupCommit: gc,
+		GatesOK:     !failed,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		die(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		die(err)
+	}
+	fmt.Printf("wrote %s\n", out)
+	if failed {
+		os.Exit(1)
+	}
+}
+
 // scaleReport is the BENCH_SCALE.json shape: the routed-lookup cost
 // curve over peer counts with its log-linear fit and gate verdict, the
 // hot-shard load distributions with replica spreading on and off, the
@@ -351,9 +443,10 @@ func runScale(out string, sizes []int, cpuprofile string) {
 }
 
 func main() {
-	out := flag.String("out", "", "output path (default BENCH_PR5.json; BENCH_SCALE.json with -scale; BENCH_PR8.json with -durability)")
+	out := flag.String("out", "", "output path (default BENCH_PR5.json; BENCH_SCALE.json with -scale; BENCH_PR8.json with -durability; BENCH_PR9.json with -flow)")
 	scale := flag.Bool("scale", false, "run the scale sweep (routing curve, hot shard, latency topology, live churn) instead of the PR5 benches")
 	durability := flag.Bool("durability", false, "run the restart-rejoin durability scenario (WAL recovery + delta-vs-full catch-up) instead of the PR5 benches")
+	flowFlag := flag.Bool("flow", false, "run the flow-control scenario (slow-replica credit windows + WAL group commit) instead of the PR5 benches")
 	sizes := flag.String("sizes", "128,256,512,1024", "comma-separated peer counts for -scale")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the -scale sweep to this file")
 	flag.Parse()
@@ -370,6 +463,13 @@ func main() {
 			*out = "BENCH_PR8.json"
 		}
 		runDurability(*out)
+		return
+	}
+	if *flowFlag {
+		if *out == "" {
+			*out = "BENCH_PR9.json"
+		}
+		runFlow(*out)
 		return
 	}
 	if *out == "" {

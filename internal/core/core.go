@@ -127,6 +127,19 @@ type Config struct {
 	// the full O(log n) routed path. Benchmarks use it as the baseline
 	// for the fast-path comparison.
 	DisableRouteCache bool
+	// FlowWindowBytes is each peer's receive window in payload bytes for
+	// credit-gated bulk streams (paged scans, anti-entropy pages,
+	// replicated insert fan-out): receivers advertise at most this much
+	// un-acked in-flight data per sender, shrunk while their inbound
+	// backlog grows. 0 selects pgrid's default (64 KiB).
+	FlowWindowBytes int
+	// FlowWindowMsgs is the companion message-count window (0 selects
+	// pgrid's default of 32).
+	FlowWindowMsgs int
+	// DisableFlowControl turns off receiver-driven credit gating
+	// entirely: windows advertise as unlimited and senders never park
+	// bulk sends. Benchmarks use it as the uncontrolled baseline.
+	DisableFlowControl bool
 }
 
 func (c Config) withDefaults() Config {
@@ -175,6 +188,7 @@ type Cluster struct {
 	hitRate   float64
 	retryRate float64
 	probeRTT  time.Duration
+	pressure  float64
 }
 
 // lockedReopt adapts the optimizer's Rechoose to the cluster's stats
@@ -204,6 +218,9 @@ func NewCluster(cfg Config) *Cluster {
 	pcfg.DisableRouteCache = cfg.DisableRouteCache
 	pcfg.ReadReplicas = cfg.ReadReplicas
 	pcfg.HedgeAfter = int64(cfg.HedgeAfter)
+	pcfg.FlowWindowBytes = cfg.FlowWindowBytes
+	pcfg.FlowWindowMsgs = cfg.FlowWindowMsgs
+	pcfg.DisableFlowControl = cfg.DisableFlowControl
 	var peers []*pgrid.Peer
 	if cfg.AdaptiveSamples != nil {
 		peers = pgrid.BuildAdaptive(net, cfg.Peers, cfg.Replicas, cfg.AdaptiveSamples, pcfg)
@@ -340,6 +357,39 @@ func (c *Cluster) BulkInsert(ts ...triple.Triple) {
 	}
 	wg.Wait()
 	c.net.Quiesce()
+}
+
+// BulkInsertAcked loads triples through the acked, replica-aware write
+// path: every entry is tracked to its ack (dead or slow owners retried
+// to siblings), and sends toward a known partition owner are
+// credit-gated against that receiver's advertised flow window — the
+// write path benchmarks exercise when measuring backpressure. Origins
+// rotate round-robin like BulkInsert but skip dead peers (a dead
+// origin would apply locally and never replicate); one quiescence at
+// the end covers the acks.
+func (c *Cluster) BulkInsertAcked(ts ...triple.Triple) {
+	if len(ts) == 0 {
+		return
+	}
+	var live []*pgrid.Peer
+	for _, p := range c.peers {
+		if c.net.Alive(p.ID()) {
+			live = append(live, p)
+		}
+	}
+	if len(live) == 0 {
+		return
+	}
+	v := c.nextVersion()
+	c.noteInserted(ts)
+	for i, tr := range ts {
+		p := live[i%len(live)]
+		p.InsertTripleAcked(tr, v, nil)
+		if c.cfg.EnableQGram {
+			physical.InsertGrams(p, tr, v)
+		}
+	}
+	c.settle()
 }
 
 // BulkInsertTuples decomposes and bulk-loads logical tuples.
@@ -500,7 +550,7 @@ func (c *Cluster) compile(q *vql.Query) (*physical.Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	rate, retries, rtt := c.routeCacheRates()
+	rate, retries, rtt, pressure := c.routeCacheRates()
 	// Store the refreshed rates under the brief write lock, then
 	// optimize under the read lock so concurrent compilations still
 	// run in parallel.
@@ -508,6 +558,7 @@ func (c *Cluster) compile(q *vql.Query) (*physical.Plan, error) {
 	c.stats.CacheHitRate = rate
 	c.stats.RetryRate = retries
 	c.stats.ProbeRTT = rtt
+	c.stats.Pressure = pressure
 	c.statsMu.Unlock()
 	c.statsMu.RLock()
 	c.opt.Optimize(plan)
@@ -529,26 +580,27 @@ func (c *Cluster) compile(q *vql.Query) (*physical.Plan, error) {
 // 1024 peers pay the full-peer scan once.
 const rateWindow = 5 * time.Millisecond
 
-func (c *Cluster) routeCacheRates() (hitRate, retryRate float64, probeRTT time.Duration) {
+func (c *Cluster) routeCacheRates() (hitRate, retryRate float64, probeRTT time.Duration, pressure float64) {
 	now := c.net.Now()
 	c.ratesMu.Lock()
 	if c.ratesOK && now >= c.ratesAt && now-c.ratesAt < rateWindow {
-		hitRate, retryRate, probeRTT = c.hitRate, c.retryRate, c.probeRTT
+		hitRate, retryRate, probeRTT, pressure = c.hitRate, c.retryRate, c.probeRTT, c.pressure
 		c.ratesMu.Unlock()
 		return
 	}
 	c.ratesMu.Unlock()
-	hitRate, retryRate, probeRTT = c.scanCacheRates()
+	hitRate, retryRate, probeRTT, pressure = c.scanCacheRates()
 	c.ratesMu.Lock()
 	c.ratesOK, c.ratesAt = true, now
-	c.hitRate, c.retryRate, c.probeRTT = hitRate, retryRate, probeRTT
+	c.hitRate, c.retryRate, c.probeRTT, c.pressure = hitRate, retryRate, probeRTT, pressure
 	c.ratesMu.Unlock()
 	return
 }
 
 // scanCacheRates does the actual O(peers) counter aggregation.
-func (c *Cluster) scanCacheRates() (hitRate, retryRate float64, probeRTT time.Duration) {
+func (c *Cluster) scanCacheRates() (hitRate, retryRate float64, probeRTT time.Duration, pressure float64) {
 	hits, misses, groups, retries := 0, 0, 0, 0
+	bulkSends, stalls := 0, 0
 	var rttSum time.Duration
 	rttN := 0
 	for _, p := range c.peers {
@@ -557,6 +609,8 @@ func (c *Cluster) scanCacheRates() (hitRate, retryRate float64, probeRTT time.Du
 		misses += st.RouteCacheMisses
 		groups += st.ProbeGroups
 		retries += st.ProbeRetries
+		bulkSends += st.FlowBulkSends
+		stalls += st.FlowStalls
 		sum, n := p.RouteCacheLatency()
 		rttSum += sum
 		rttN += n
@@ -573,7 +627,13 @@ func (c *Cluster) scanCacheRates() (hitRate, retryRate float64, probeRTT time.Du
 	if rttN > 0 {
 		probeRTT = rttSum / time.Duration(rttN)
 	}
-	return hitRate, retryRate, probeRTT
+	if bulkSends > 0 {
+		pressure = float64(stalls) / float64(bulkSends)
+		if pressure > 1 {
+			pressure = 1
+		}
+	}
+	return hitRate, retryRate, probeRTT, pressure
 }
 
 // Stream is an open streaming query: rows arrive through Next as the

@@ -60,6 +60,16 @@ type Stats struct {
 	// exhaustive results for bounded response sizes — and for a
 	// per-tuple remainder a LIMIT/top-k early-out can skip.
 	PageSize int
+	// Pressure is the observed flow-control stall rate: the fraction
+	// of credit-gated bulk sends that had to wait for receiver credit
+	// (aggregate FlowStalls / FlowBulkSends over the peers). A
+	// congested replica set serves slower in exactly the way a slow
+	// one does, so the serving term of range latencies inflates by
+	// (1 + Pressure) — the optimizer prices a backed-up partition like
+	// a distant one and steers toward plans that touch it less. The
+	// harness refreshes it from aggregate peer counters; 0 prices an
+	// uncongested network.
+	Pressure float64
 }
 
 // DefaultStats returns a conservative snapshot for a network with the
@@ -127,6 +137,13 @@ func (s *Stats) retryMsgs(groups float64) float64 {
 // replica answers.
 func (s *Stats) retryLatency() time.Duration {
 	return time.Duration(s.retryRate() * 2 * float64(s.AvgLatency))
+}
+
+// pressureFactor is the serving-rate inflation of observed
+// backpressure, clamped so a transiently saturated window (Pressure
+// near 1) at most doubles the serving term.
+func (s *Stats) pressureFactor() float64 {
+	return 1 + math.Min(math.Max(s.Pressure, 0), 1)
 }
 
 // cachedRTT is the expected round trip of a cache-hit probe: the
@@ -308,7 +325,7 @@ func (s *Stats) Range(fraction float64, expectedResults float64) Estimate {
 	h := s.LookupHops()
 	p := s.PartitionsForFraction(fraction)
 	pulls := s.pagePulls(p, expectedResults)
-	serve := (1 + 2*pulls/math.Max(p, 1)) / s.replicaSpread()
+	serve := (1 + 2*pulls/math.Max(p, 1)) * s.pressureFactor() / s.replicaSpread()
 	return Estimate{
 		Messages:        h + (p - 1) + p + 2*pulls + s.retryMsgs(p), // descent + fan-out + responses + pulls + re-showers
 		StartupMessages: h + 1,
@@ -341,7 +358,7 @@ func (s *Stats) AggRange(fraction, expectedRows, expectedGroups float64) Estimat
 	perPart := expectedRows / math.Max(p, 1)
 	shipped := p * math.Min(expectedGroups, math.Max(perPart, 1))
 	pulls := s.pagePulls(p, shipped)
-	serve := (1 + 2*pulls/math.Max(p, 1)) / s.replicaSpread()
+	serve := (1 + 2*pulls/math.Max(p, 1)) * s.pressureFactor() / s.replicaSpread()
 	msgs := h + (p - 1) + p + 2*pulls + s.retryMsgs(p)
 	lat := s.lat(h + math.Log2(p+1) + serve)
 	return Estimate{
@@ -358,7 +375,7 @@ func (s *Stats) AggRange(fraction, expectedRows, expectedGroups float64) Estimat
 func (s *Stats) Broadcast(expectedResults float64) Estimate {
 	p := float64(s.Partitions)
 	pulls := s.pagePulls(p, expectedResults)
-	serve := (1 + 2*pulls/math.Max(p, 1)) / s.replicaSpread()
+	serve := (1 + 2*pulls/math.Max(p, 1)) * s.pressureFactor() / s.replicaSpread()
 	return Estimate{
 		Messages:        2*p - 1 + 2*pulls + s.retryMsgs(p),
 		StartupMessages: math.Log2(p+1) + 1,

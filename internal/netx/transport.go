@@ -47,14 +47,23 @@ type Config struct {
 	Logf func(format string, args ...any)
 }
 
-// Stats counts transport activity; all fields are monotone.
+// Stats counts transport activity; all fields are monotone. Queue
+// overflow drops split by frame class — losing a small control frame
+// (acks, routing, digests) starves the protocol in a different way
+// than losing a bulk data page, and the split tells which of the two
+// a congested link is actually shedding.
 type Stats struct {
-	FramesOut, FramesIn   int64
-	BytesOut, BytesIn     int64
-	Dials, DialErrs       int64
-	DropsQueue, DropsDead int64
-	DropsInbox, BadFrames int64
+	FramesOut, FramesIn              int64
+	BytesOut, BytesIn                int64
+	Dials, DialErrs                  int64
+	DropsQueueCtrl, DropsQueueBulk   int64
+	DropsDead, DropsInbox, BadFrames int64
 }
+
+// bulkFrameBytes classifies an outbound frame: at or above this many
+// encoded bytes it counts as bulk (data pages, state transfer), below
+// as control (acks, probes, digests, routing gossip).
+const bulkFrameBytes = 1024
 
 // node is one locally hosted overlay node: its handler plus the FIFO
 // inbox worker that serializes message handling, mirroring simnet's
@@ -73,6 +82,10 @@ type node struct {
 type peerConn struct {
 	addr string
 	q    chan []byte
+	// qBytes tracks the queued payload in bytes (atomic): frames add on
+	// enqueue and subtract when the writer dequeues, so Load can weigh a
+	// backlog of big pages heavier than the same count of tiny acks.
+	qBytes int64
 }
 
 // Transport carries overlay messages over TCP. It implements
@@ -341,10 +354,15 @@ func (t *Transport) sendFrame(addr string, f Frame) {
 	}
 	select {
 	case pc.q <- buf:
+		atomic.AddInt64(&pc.qBytes, int64(len(buf)))
 		atomic.AddInt64(&t.stats.FramesOut, 1)
 		atomic.AddInt64(&t.stats.BytesOut, int64(len(buf)))
 	default:
-		atomic.AddInt64(&t.stats.DropsQueue, 1)
+		if len(buf) >= bulkFrameBytes {
+			atomic.AddInt64(&t.stats.DropsQueueBulk, 1)
+		} else {
+			atomic.AddInt64(&t.stats.DropsQueueCtrl, 1)
+		}
 	}
 }
 
@@ -383,6 +401,7 @@ func (t *Transport) writeLoop(pc *peerConn) {
 			for {
 				select {
 				case buf = <-pc.q:
+					atomic.AddInt64(&pc.qBytes, -int64(len(buf)))
 					if c == nil {
 						var err error
 						c, err = net.DialTimeout("tcp", pc.addr, t.cfg.DialTimeout)
@@ -399,6 +418,7 @@ func (t *Transport) writeLoop(pc *peerConn) {
 				}
 			}
 		case buf = <-pc.q:
+			atomic.AddInt64(&pc.qBytes, -int64(len(buf)))
 		}
 		// Write with bounded redial: a frame survives reconnects but is
 		// dropped after repeated dial failures — reliability belongs to
@@ -500,7 +520,10 @@ func (t *Transport) Alive(id simnet.NodeID) bool {
 }
 
 // Load is the advisory backlog: a local node's inbox depth, or the
-// outbound queue depth toward a remote node's address.
+// outbound queue depth toward a remote node's address weighted by the
+// queued payload (one extra unit per KiB parked), so ten queued bulk
+// pages read as more pressure than ten queued acks and replica
+// selection steers around payload congestion, not just frame counts.
 func (t *Transport) Load(id simnet.NodeID) int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -509,7 +532,7 @@ func (t *Transport) Load(id simnet.NodeID) int {
 	}
 	if addr, ok := t.routes[id]; ok {
 		if pc, ok := t.conns[addr]; ok {
-			return len(pc.q)
+			return len(pc.q) + int(atomic.LoadInt64(&pc.qBytes)/1024)
 		}
 	}
 	return 0
@@ -544,16 +567,17 @@ func (t *Transport) Perm(k int) []int {
 // Stats returns a snapshot of the activity counters.
 func (t *Transport) Stats() Stats {
 	return Stats{
-		FramesOut:  atomic.LoadInt64(&t.stats.FramesOut),
-		FramesIn:   atomic.LoadInt64(&t.stats.FramesIn),
-		BytesOut:   atomic.LoadInt64(&t.stats.BytesOut),
-		BytesIn:    atomic.LoadInt64(&t.stats.BytesIn),
-		Dials:      atomic.LoadInt64(&t.stats.Dials),
-		DialErrs:   atomic.LoadInt64(&t.stats.DialErrs),
-		DropsQueue: atomic.LoadInt64(&t.stats.DropsQueue),
-		DropsDead:  atomic.LoadInt64(&t.stats.DropsDead),
-		DropsInbox: atomic.LoadInt64(&t.stats.DropsInbox),
-		BadFrames:  atomic.LoadInt64(&t.stats.BadFrames),
+		FramesOut:      atomic.LoadInt64(&t.stats.FramesOut),
+		FramesIn:       atomic.LoadInt64(&t.stats.FramesIn),
+		BytesOut:       atomic.LoadInt64(&t.stats.BytesOut),
+		BytesIn:        atomic.LoadInt64(&t.stats.BytesIn),
+		Dials:          atomic.LoadInt64(&t.stats.Dials),
+		DialErrs:       atomic.LoadInt64(&t.stats.DialErrs),
+		DropsQueueCtrl: atomic.LoadInt64(&t.stats.DropsQueueCtrl),
+		DropsQueueBulk: atomic.LoadInt64(&t.stats.DropsQueueBulk),
+		DropsDead:      atomic.LoadInt64(&t.stats.DropsDead),
+		DropsInbox:     atomic.LoadInt64(&t.stats.DropsInbox),
+		BadFrames:      atomic.LoadInt64(&t.stats.BadFrames),
 	}
 }
 

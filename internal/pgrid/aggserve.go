@@ -36,7 +36,13 @@ func (p *Peer) aggStates(kind triple.IndexKind, r keys.Range, spec *agg.Spec) []
 // cont.AggAfter group-key cursor. The table is recomputed per pull —
 // the server keeps no per-scan state, so any replica of the partition
 // can serve a resumed continuation, exactly like row pages.
-func (p *Peer) serveAggPage(qid uint64, origin simnet.NodeID, cont pageCont) {
+//
+// winBytes is the origin's advertised byte window: the page halves its
+// group count until the encoded state blob fits (one group always
+// ships — a window smaller than a single state degrades to
+// group-at-a-time paging, never to silence). Shrinking is exact: the
+// dropped groups reappear behind the tightened AggAfter cursor.
+func (p *Peer) serveAggPage(qid uint64, origin simnet.NodeID, cont pageCont, winBytes int) {
 	if cont.PageSize > 0 {
 		p.stats.pagesServed.Add(1)
 	}
@@ -56,7 +62,13 @@ func (p *Peer) serveAggPage(qid uint64, origin simnet.NodeID, cont pageCont) {
 		page = states[:cont.PageSize]
 		more = true
 	}
-	resp.AggData = agg.EncodeStates(page)
+	blob := agg.EncodeStates(page)
+	for winBytes > 0 && len(blob) > winBytes && len(page) > 1 {
+		page = page[:(len(page)+1)/2]
+		more = true
+		blob = agg.EncodeStates(page)
+	}
+	resp.AggData = blob
 	resp.AggGroups = len(page)
 	resp.Count = len(page)
 	if more {
@@ -99,8 +111,10 @@ func (p *Peer) RangeQueryAgg(kind triple.IndexKind, r keys.Range, spec *agg.Spec
 	op.onAgg = onGroups
 	op.scan = &scanState{kind: uint8(kind), r: r, pageSize: p.cfg.PageSize, agg: spec}
 	p.mu.Unlock()
+	wb, wm := p.advertiseWindow()
 	msg := rangeMsg{QID: qid, Origin: p.id, Kind: uint8(kind), R: r,
-		Level: 0, Share: TotalShare, PageSize: p.cfg.PageSize, Agg: spec}
+		Level: 0, Share: TotalShare, PageSize: p.cfg.PageSize, Agg: spec,
+		WinBytes: wb, WinMsgs: wm}
 	p.armScanRetry(qid)
 	p.handleRange(msg)
 	return &Handle{peer: p, op: op, qid: qid}

@@ -169,14 +169,14 @@ func TestAckedInsertDuplicateAcksDoNotOvercount(t *testing.T) {
 	p.mu.Lock()
 	op.insertPend = map[uint8]store.Entry{0: {}, 1: {}, 2: {}}
 	p.mu.Unlock()
-	p.handleAck(ackMsg{QID: qid, Seq: 0})
-	p.handleAck(ackMsg{QID: qid, Seq: 0}) // duplicate
-	p.handleAck(ackMsg{QID: qid, Seq: 1})
+	p.handleAck(ackMsg{QID: qid, Seq: 0}, p.id)
+	p.handleAck(ackMsg{QID: qid, Seq: 0}, p.id) // duplicate
+	p.handleAck(ackMsg{QID: qid, Seq: 1}, p.id)
 	h := &Handle{peer: p, op: op, qid: qid}
 	if h.Done() {
 		t.Fatal("duplicate ack completed the operation early")
 	}
-	p.handleAck(ackMsg{QID: qid, Seq: 2})
+	p.handleAck(ackMsg{QID: qid, Seq: 2}, p.id)
 	if !h.Done() {
 		t.Fatal("distinct acks did not complete the operation")
 	}

@@ -54,7 +54,136 @@ func (p *Peer) pushToReplicas(entries []store.Entry, from simnet.NodeID) {
 			continue
 		}
 		seen[r.ID] = true
-		p.net.Send(p.id, r.ID, KindGossip, gossipMsg{Entries: batch})
+		p.gossipTo(r.ID, batch)
+	}
+}
+
+// gossipTo issues one eager push, credit-gated like every bulk stream.
+// With flow control on, the batch charges the replica's advertised
+// window under a fresh qid and the replica's gossipAckMsg releases the
+// credit (piggybacking a fresh window). With the window full — or
+// older entries already waiting — the batch folds into the replica's
+// pending buffer instead: one entry per fact, latest version wins, so
+// a slow replica costs at most its partition's worth of buffered state
+// and never an unbounded queue. Freed credit flushes the buffer in
+// window-sized batches (flushGossip).
+func (p *Peer) gossipTo(to simnet.NodeID, batch []store.Entry) {
+	if p.cfg.DisableFlowControl {
+		p.net.Send(p.id, to, KindGossip, gossipMsg{Entries: batch})
+		return
+	}
+	p.gossipMu.Lock()
+	if len(p.gossipPend[to]) > 0 {
+		// Entries are already parked toward this replica; join them
+		// rather than overtake them.
+		p.mergeGossipLocked(to, batch)
+		p.gossipMu.Unlock()
+		p.stats.flowStalls.Add(1)
+		p.flushGossip(to)
+		return
+	}
+	p.gossipMu.Unlock()
+	if !p.tryGossipSend(to, batch) {
+		p.gossipMu.Lock()
+		p.mergeGossipLocked(to, batch)
+		p.gossipMu.Unlock()
+		p.stats.flowStalls.Add(1)
+	}
+}
+
+// tryGossipSend charges and sends one gossip batch if the replica's
+// window admits it now.
+func (p *Peer) tryGossipSend(to simnet.NodeID, batch []store.Entry) bool {
+	qid := p.nextQID()
+	msg := gossipMsg{Entries: batch, AckID: qid}
+	p.stats.flowBulkSends.Add(1)
+	return p.flow.trySubmit(to, flowKey{qid: qid}, msg.WireSize(),
+		func() { p.net.Send(p.id, to, KindGossip, msg) })
+}
+
+// mergeGossipLocked folds a batch into the pending buffer toward one
+// replica, keeping only the winning entry per fact under the store's
+// own LWW rule. Using store.Entry.Supersedes (not just the version)
+// matters: multi-valued attributes can collide on (kind, OID, attr) at
+// equal versions, and the buffer must drop the same loser every store
+// would. Superseded entries are counted as suppressed.
+func (p *Peer) mergeGossipLocked(to simnet.NodeID, batch []store.Entry) {
+	pend := p.gossipPend[to]
+	if pend == nil {
+		pend = make(map[factKey]store.Entry)
+		p.gossipPend[to] = pend
+	}
+	for _, e := range batch {
+		fk := factKeyOf(e)
+		if old, ok := pend[fk]; ok {
+			p.stats.gossipSuppressed.Add(1)
+			if !e.Supersedes(old) {
+				continue
+			}
+		}
+		pend[fk] = e
+	}
+}
+
+// flushGossip drains the pending buffer toward one replica for as long
+// as its window keeps admitting batches. Each batch is bounded by the
+// replica's advertised byte window — the "effective page" of the
+// gossip stream — so a shrunken window trickles small messages instead
+// of one huge flush.
+func (p *Peer) flushGossip(to simnet.NodeID) {
+	for {
+		budget := p.flow.windowBytesOf(to)
+		if budget <= 0 {
+			budget = DefaultFlowWindowBytes
+		}
+		p.gossipMu.Lock()
+		pend := p.gossipPend[to]
+		if len(pend) == 0 {
+			p.gossipMu.Unlock()
+			return
+		}
+		batch := make([]store.Entry, 0, len(pend))
+		used := 16 // gossipMsg framing
+		for fk, e := range pend {
+			sz := e.WireSize()
+			if len(batch) > 0 && used+sz > budget {
+				continue
+			}
+			batch = append(batch, e)
+			used += sz
+			delete(pend, fk)
+		}
+		if len(pend) == 0 {
+			delete(p.gossipPend, to)
+		}
+		p.gossipMu.Unlock()
+		if !p.tryGossipSend(to, batch) {
+			// Credit ran out again; put the batch back (latest versions
+			// still win if fresher entries merged meanwhile).
+			p.gossipMu.Lock()
+			p.mergeGossipLocked(to, batch)
+			p.gossipMu.Unlock()
+			return
+		}
+	}
+}
+
+// flushGossipPending gives every replica with parked gossip a flush
+// chance — called wherever credit may have freed, so a pending buffer
+// can never outlive the pressure that parked it.
+func (p *Peer) flushGossipPending() {
+	p.gossipMu.Lock()
+	if len(p.gossipPend) == 0 {
+		p.gossipMu.Unlock()
+		return
+	}
+	ids := make([]simnet.NodeID, 0, len(p.gossipPend))
+	for id := range p.gossipPend {
+		ids = append(ids, id)
+	}
+	p.gossipMu.Unlock()
+	for _, id := range ids {
+		p.flushGossip(id)
 	}
 }
 
@@ -115,11 +244,17 @@ func dedupeEntries(entries []store.Entry, counters *peerCounters) []store.Entry 
 	return out
 }
 
-func (p *Peer) handleGossip(g gossipMsg) {
+func (p *Peer) handleGossip(g gossipMsg, from simnet.NodeID) {
 	for _, e := range g.Entries {
 		if p.store.Apply(e) {
 			p.stats.gossipApplied.Add(1)
 		}
+	}
+	if g.AckID != 0 {
+		wb, wm := p.advertiseWindow()
+		p.net.Send(p.id, from, KindGossipAck, gossipAckMsg{
+			ID: g.AckID, WinBytes: wb, WinMsgs: wm,
+		})
 	}
 }
 
@@ -262,18 +397,29 @@ func (p *Peer) handleDigest(msg digestMsg, from simnet.NodeID) {
 			names = append(names, b)
 		}
 		sort.Strings(names) // deterministic pull order
-		have := make(map[string][]uint64, len(want))
-		depth := p.bucketDepth()
-		p.store.FactsEach(func(e store.Entry) {
-			if b := bucketID(e, depth); want[b] {
-				have[b] = append(have[b], factHash(e))
-			}
+		wb, wm := p.advertiseWindow()
+		p.net.Send(p.id, from, KindDigestPull, digestPullMsg{
+			Buckets: names, Have: p.haveHashes(want),
+			WinBytes: wb, WinMsgs: wm,
 		})
-		p.net.Send(p.id, from, KindDigestPull, digestPullMsg{Buckets: names, Have: have})
 	}
 	if msg.Reply {
 		p.net.Send(p.id, from, KindDigest, digestMsg{Buckets: mine, Reply: false})
 	}
+}
+
+// haveHashes builds the per-bucket identity-hash sets of this peer's
+// entries within the wanted buckets — the Have sets a digest pull
+// carries so the responder ships the exact set difference.
+func (p *Peer) haveHashes(want map[string]bool) map[string][]uint64 {
+	have := make(map[string][]uint64, len(want))
+	depth := p.bucketDepth()
+	p.store.FactsEach(func(e store.Entry) {
+		if b := bucketID(e, depth); want[b] {
+			have[b] = append(have[b], factHash(e))
+		}
+	})
+	return have
 }
 
 // handleDigestPull answers a bucket pull with the entries the puller
@@ -287,8 +433,20 @@ func (p *Peer) handleDigest(msg digestMsg, from simnet.NodeID) {
 // for the bucket's size. A 64-bit identity-hash collision could
 // withhold an entry — vanishingly unlikely, and the next periodic
 // round retries with fresh divergent sums.
+//
+// The transfer is PULLER-paced: the pull's WinBytes/WinMsgs advertise
+// the puller's receive window, and the responder stops once the next
+// entry would overflow it (the first entry always ships), naming the
+// unfinished buckets in the final message's More list. The puller
+// re-pulls exactly those buckets with a refreshed Have set and a fresh
+// window (handleAntiEntropy), so a restart catch-up streams at the
+// restarted replica's pace instead of burying it.
 func (p *Peer) handleDigestPull(msg digestPullMsg, from simnet.NodeID) {
 	p.stats.digestPulls.Add(1)
+	// Every advertised window is a credit sighting: fold the puller's
+	// into the sender-side table so bulk sends TOWARD it (eager gossip
+	// above all) are gated before its first ack ever arrives.
+	p.runFlow(p.flow.window(from, msg.WinBytes, msg.WinMsgs))
 	want := make(map[string]bool, len(msg.Buckets))
 	for _, b := range msg.Buckets {
 		want[b] = true
@@ -299,24 +457,80 @@ func (p *Peer) handleDigestPull(msg digestPullMsg, from simnet.NodeID) {
 			have[h] = true
 		}
 	}
-	var batch []store.Entry
+	// Group the puller's missing entries per bucket, in the pull's
+	// (sorted, deterministic) bucket order, so an exhausted window can
+	// name the unfinished buckets exactly.
+	depth := p.bucketDepth()
+	missing := make(map[string][]store.Entry, len(msg.Buckets))
+	for _, e := range p.store.Facts() {
+		b := bucketID(e, depth)
+		if !want[b] || have[factHash(e)] {
+			continue
+		}
+		missing[b] = append(missing[b], e)
+	}
+	var (
+		pages     [][]store.Entry
+		batch     []store.Entry
+		more      []string
+		sentBytes int
+		stop      bool
+	)
 	flush := func() {
 		if len(batch) > 0 {
-			p.net.Send(p.id, from, KindAntiEnt, antiEntropyMsg{Entries: batch})
+			pages = append(pages, batch)
 			batch = nil
 		}
 	}
-	depth := p.bucketDepth()
-	for _, e := range p.store.Facts() {
-		if !want[bucketID(e, depth)] || have[factHash(e)] {
+	for bi, b := range msg.Buckets {
+		if stop {
+			if len(missing[b]) > 0 {
+				more = append(more, msg.Buckets[bi])
+			}
 			continue
 		}
-		batch = append(batch, e)
-		if p.cfg.PageSize > 0 && len(batch) >= p.cfg.PageSize {
-			flush()
+		for _, e := range missing[b] {
+			sz := e.WireSize()
+			if (len(pages) > 0 || len(batch) > 0) &&
+				((msg.WinMsgs > 0 && len(pages) >= msg.WinMsgs) ||
+					(msg.WinBytes > 0 && sentBytes+sz > msg.WinBytes)) {
+				stop = true
+				more = append(more, b)
+				break
+			}
+			batch = append(batch, e)
+			sentBytes += sz
+			if p.cfg.PageSize > 0 && len(batch) >= p.cfg.PageSize {
+				flush()
+			}
 		}
 	}
 	flush()
+	for i, pg := range pages {
+		m := antiEntropyMsg{Entries: pg}
+		if i == len(pages)-1 {
+			m.More = more
+		}
+		p.net.Send(p.id, from, KindAntiEnt, m)
+	}
+	if len(pages) == 0 && len(more) > 0 {
+		p.net.Send(p.id, from, KindAntiEnt, antiEntropyMsg{More: more})
+	}
+}
+
+// maxAePullRounds bounds one windowed anti-entropy catch-up's re-pull
+// loop. The received-hash memo guarantees per-round progress, so the
+// bound is a backstop; past it the next periodic digest round resumes
+// the catch-up from fresh divergent sums.
+const maxAePullRounds = 64
+
+// aePullState is the puller-side memo of one windowed catch-up: the
+// identity hashes of entries received so far — whether or not Apply
+// kept them, which is what makes each re-pull round strictly smaller —
+// and the round count.
+type aePullState struct {
+	extra  map[string][]uint64
+	rounds int
 }
 
 // handleAntiEntropy applies pushed replica state. For the full-state
@@ -324,11 +538,21 @@ func (p *Peer) handleDigestPull(msg digestPullMsg, from simnet.NodeID) {
 // answers with its own facts, SUPPRESSING the ones the incoming
 // message just proved the sender to hold at an equal or newer version:
 // entries are never echoed straight back to the peer they came from.
+// A More list marks a window-paced transfer the responder had to cut
+// short: the named buckets are re-pulled with a refreshed Have set and
+// a fresh window — the pull loop of puller-paced anti-entropy.
 func (p *Peer) handleAntiEntropy(msg antiEntropyMsg, from simnet.NodeID) {
 	for _, e := range msg.Entries {
 		if p.store.Apply(e) {
 			p.stats.gossipApplied.Add(1)
 		}
+	}
+	if len(msg.More) > 0 {
+		p.repullBuckets(msg.More, msg.Entries, from)
+	} else {
+		p.mu.Lock()
+		delete(p.aePulls, from)
+		p.mu.Unlock()
 	}
 	if !msg.Reply {
 		return
@@ -347,6 +571,56 @@ func (p *Peer) handleAntiEntropy(msg antiEntropyMsg, from simnet.NodeID) {
 		p.stats.gossipSuppressed.Add(int64(suppressed))
 	}
 	p.net.Send(p.id, from, KindAntiEnt, antiEntropyMsg{Entries: reply})
+}
+
+// repullBuckets continues a window-paced anti-entropy transfer: the
+// responder cut the previous batch short at this peer's advertised
+// window, naming the unfinished buckets. The re-pull carries a Have
+// set refreshed from the store PLUS the memo of every hash received so
+// far — entries Apply rejected as stale would otherwise be re-shipped
+// each round and a tiny window could loop forever; with the memo, each
+// round's candidate set strictly shrinks, so the loop terminates.
+func (p *Peer) repullBuckets(buckets []string, received []store.Entry, from simnet.NodeID) {
+	want := make(map[string]bool, len(buckets))
+	for _, b := range buckets {
+		want[b] = true
+	}
+	depth := p.bucketDepth()
+	p.mu.Lock()
+	if p.aePulls == nil {
+		p.aePulls = make(map[simnet.NodeID]*aePullState)
+	}
+	st := p.aePulls[from]
+	if st == nil {
+		st = &aePullState{extra: make(map[string][]uint64)}
+		p.aePulls[from] = st
+	}
+	st.rounds++
+	if st.rounds > maxAePullRounds {
+		delete(p.aePulls, from)
+		p.mu.Unlock()
+		return
+	}
+	for _, e := range received {
+		if b := bucketID(e, depth); want[b] {
+			st.extra[b] = append(st.extra[b], factHash(e))
+		}
+	}
+	extra := make(map[string][]uint64, len(st.extra))
+	for b, hs := range st.extra {
+		if want[b] {
+			extra[b] = append([]uint64(nil), hs...)
+		}
+	}
+	p.mu.Unlock()
+	have := p.haveHashes(want)
+	for b, hs := range extra {
+		have[b] = append(have[b], hs...)
+	}
+	wb, wm := p.advertiseWindow()
+	p.net.Send(p.id, from, KindDigestPull, digestPullMsg{
+		Buckets: buckets, Have: have, WinBytes: wb, WinMsgs: wm,
+	})
 }
 
 // UpdateTriple writes a new value for fact (oid, attr) with a version

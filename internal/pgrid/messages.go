@@ -24,6 +24,7 @@ const (
 	KindResponse    = "pgrid.resp"
 	KindAck         = "pgrid.ack"
 	KindGossip      = "pgrid.gossip"
+	KindGossipAck   = "pgrid.gossipack"
 	KindAntiEnt     = "pgrid.antientropy"
 	KindExchange    = "pgrid.exchange"
 	KindXferData    = "pgrid.xfer"
@@ -141,10 +142,16 @@ type rangeMsg struct {
 	// answers with those (paged by groups when PageSize is set) instead
 	// of shipping rows.
 	Agg *agg.Spec
+	// WinBytes/WinMsgs advertise the ORIGIN's receive window for this
+	// stream (flow.go): a serving peer shrinks its effective page so one
+	// response fits WinBytes, making PageSize a cap rather than a
+	// constant. 0 = no window (uncontrolled).
+	WinBytes int
+	WinMsgs  int
 }
 
 func (r rangeMsg) WireSize() int {
-	return r.R.Lo.Len()/8 + r.R.Hi.Len()/8 + 36 + aggWireSize(r.Agg)
+	return r.R.Lo.Len()/8 + r.R.Hi.Len()/8 + 44 + aggWireSize(r.Agg)
 }
 
 // pageCont is the continuation token of a paged range scan: everything
@@ -202,9 +209,14 @@ type pageReq struct {
 	QID    uint64
 	Origin simnet.NodeID
 	Cont   pageCont
+	// WinBytes/WinMsgs refresh the origin's advertised receive window
+	// on every pull, so the server sizes the next page to what the
+	// receiver can absorb NOW. 0 = no window.
+	WinBytes int
+	WinMsgs  int
 }
 
-func (r pageReq) WireSize() int { return r.Cont.WireSize() + 12 }
+func (r pageReq) WireSize() int { return r.Cont.WireSize() + 20 }
 
 // queryResp returns entries (or a count, for probes) to the origin.
 // For range queries Share carries the branch mass; for lookups Share
@@ -255,10 +267,17 @@ type queryResp struct {
 	// cursors and coverage must key on the stream's partition. Empty
 	// means Path.
 	ScanPath keys.Key
+	// WinBytes/WinMsgs piggyback the RESPONDER's receive window: the
+	// origin's flow table records it per node, so later bulk sends
+	// toward this peer (insert fan-out, state shipping) are credit-
+	// gated against what the peer said it can absorb, and the window
+	// EWMA feeds the replica chooser's pressure signal. 0 = no window.
+	WinBytes int
+	WinMsgs  int
 }
 
 func (r queryResp) WireSize() int {
-	s := 41 + len(r.Replicas)*10 + len(r.AggData) + r.ScanPath.Len()/8
+	s := 49 + len(r.Replicas)*10 + len(r.AggData) + r.ScanPath.Len()/8
 	for _, k := range r.ProbeKeys {
 		s += k.Len()/8 + 2
 	}
@@ -272,26 +291,47 @@ func (r queryResp) WireSize() int {
 }
 
 // ackMsg confirms an insert reached its responsible peer; Seq echoes
-// the entry it acknowledges.
+// the entry it acknowledges. WinBytes/WinMsgs piggyback the acking
+// peer's receive window (flow.go): the origin releases the entry's
+// credit AND learns how much more this replica is willing to absorb —
+// the sliding-window ack of the write path. 0 = no window.
 type ackMsg struct {
-	QID  uint64
-	Hops int
-	Seq  uint8
+	QID      uint64
+	Hops     int
+	Seq      uint8
+	WinBytes int
+	WinMsgs  int
 }
 
+func (ackMsg) WireSize() int { return 21 }
+
 // gossipMsg pushes freshly written entries to replicas of the same
-// partition.
+// partition. AckID, when nonzero, asks the replica for a gossipAckMsg
+// echoing it — the credit release of a flow-controlled push; zero
+// (flow control off) keeps the push fire-and-forget.
 type gossipMsg struct {
 	Entries []store.Entry
+	AckID   uint64
 }
 
 func (g gossipMsg) WireSize() int {
-	s := 8
+	s := 16
 	for _, e := range g.Entries {
 		s += e.WireSize()
 	}
 	return s
 }
+
+// gossipAckMsg settles one flow-controlled gossip push: ID echoes the
+// gossipMsg's AckID (releasing the sender's charge) and the replica's
+// fresh receive window rides along like on every other ack.
+type gossipAckMsg struct {
+	ID       uint64
+	WinBytes int
+	WinMsgs  int
+}
+
+func (gossipAckMsg) WireSize() int { return 20 }
 
 // antiEntropyMsg carries versioned replica state (facts and
 // tombstones) for reconciliation; Reply requests the receiver's state
@@ -302,12 +342,22 @@ func (g gossipMsg) WireSize() int {
 type antiEntropyMsg struct {
 	Entries []store.Entry
 	Reply   bool
+	// More names the pulled buckets the responder did NOT finish
+	// flushing because the puller's advertised window filled up. The
+	// puller re-pulls exactly these buckets with a refreshed Have set
+	// (entries just received are in it, so they do not ship twice) and
+	// a fresh window — the pull loop of the windowed anti-entropy
+	// transfer. Set only on the last page of a window's batch.
+	More []string
 }
 
 func (a antiEntropyMsg) WireSize() int {
 	s := 8
 	for _, e := range a.Entries {
 		s += e.WireSize()
+	}
+	for _, b := range a.More {
+		s += len(b) + 2
 	}
 	return s
 }
@@ -353,10 +403,17 @@ func (d digestMsg) WireSize() int {
 type digestPullMsg struct {
 	Buckets []string
 	Have    map[string][]uint64
+	// WinBytes/WinMsgs advertise the puller's receive window: the
+	// responder flushes at most WinMsgs anti-entropy pages totalling at
+	// most WinBytes entry bytes, then stops and names the unfinished
+	// buckets in antiEntropyMsg.More for the puller to re-pull — the
+	// puller paces the transfer, not the sender. 0 = no window.
+	WinBytes int
+	WinMsgs  int
 }
 
 func (d digestPullMsg) WireSize() int {
-	s := 8
+	s := 16
 	for _, b := range d.Buckets {
 		s += len(b) + 2
 	}

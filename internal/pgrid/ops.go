@@ -103,6 +103,7 @@ func (h *Handle) Cancel() {
 	delete(p.pending, h.qid)
 	close(h.op.fin)
 	p.mu.Unlock()
+	p.runFlow(p.flow.releaseOp(h.qid))
 }
 
 // PendingOps reports how many operations this peer originated that are
@@ -142,20 +143,37 @@ func (p *Peer) newOp(needShares int64, needResponses int, cb func(OpResult)) (ui
 	return qid, op
 }
 
+// nextQID allocates a bare request id from the operation sequence —
+// for charges that settle by their own ack rather than a pendingOp
+// (flow-controlled gossip). Sharing the sequence keeps flowKeys
+// collision-free across both uses.
+func (p *Peer) nextQID() uint64 {
+	p.mu.Lock()
+	p.reqSeq++
+	qid := p.reqSeq
+	p.mu.Unlock()
+	return qid
+}
+
 // finishOpLocked marks the op done, removes it from the pending table
 // and returns the completion callback to run after unlocking (the
 // callback may start new operations on this peer, so it must not run
-// under the lock). Callers hold p.mu and then invoke the result.
+// under the lock). The returned closure also settles the operation's
+// remaining flow-control charges — a completed or expired op must
+// never keep credit pinned against a receiver. Callers hold p.mu and
+// then invoke the result.
 func (p *Peer) finishOpLocked(qid uint64, op *pendingOp, complete bool) func() {
 	op.done = true
 	op.complete = complete
 	delete(p.pending, qid)
 	close(op.fin)
 	onDone := op.onDone
-	if onDone == nil {
-		return func() {}
+	return func() {
+		p.runFlow(p.flow.releaseOp(qid))
+		if onDone != nil {
+			onDone(op)
+		}
 	}
-	return func() { onDone(op) }
 }
 
 // expireOp force-completes an operation whose responses went missing.
@@ -172,6 +190,9 @@ func (p *Peer) expireOp(qid uint64) {
 }
 
 func (p *Peer) handleResponse(r queryResp) {
+	// Fold the responder's piggybacked receive window in first: the
+	// fresh credit may flush deferred bulk sends toward it.
+	p.runFlow(p.flow.window(r.From, r.WinBytes, r.WinMsgs))
 	p.mu.Lock()
 	p.learnRouteLocked(r.Path, r.From, r.Replicas)
 	op, ok := p.pending[r.QID]
@@ -371,7 +392,11 @@ func (p *Peer) handleResponse(r queryResp) {
 					p.mu.Unlock()
 				}
 			}
-			p.net.Send(p.id, target, KindPage, pageReq{QID: r.QID, Origin: p.id, Cont: *r.Cont})
+			wb, wm := p.advertiseWindow()
+			p.net.Send(p.id, target, KindPage, pageReq{
+				QID: r.QID, Origin: p.id, Cont: *r.Cont,
+				WinBytes: wb, WinMsgs: wm,
+			})
 			// Hedge the pull itself: if the server dies (or the pull or
 			// its answer is swallowed) with the request already sent,
 			// the stalled cursor re-sends to a live sibling after the
@@ -383,7 +408,10 @@ func (p *Peer) handleResponse(r queryResp) {
 	}
 }
 
-func (p *Peer) handleAck(a ackMsg) {
+func (p *Peer) handleAck(a ackMsg, from simnet.NodeID) {
+	// Settle the entry's flow-control charge and fold the acking
+	// peer's advertised window in; both may flush deferred sends.
+	p.runFlow(p.flow.release(flowKey{qid: a.QID, seq: a.Seq}, from, a.WinBytes, a.WinMsgs))
 	p.mu.Lock()
 	op, ok := p.pending[a.QID]
 	if !ok || op.done {
@@ -473,14 +501,35 @@ func (p *Peer) InsertTripleAcked(tr triple.Triple, version uint64, cb func(OpRes
 	}
 	p.mu.Unlock()
 	for i, kind := range triple.AllIndexKinds {
-		p.route(triple.IndexKey(tr, kind), insertReq{
-			Entry: store.Entry{Kind: kind, Key: triple.IndexKey(tr, kind),
-				Triple: tr, Version: version},
-			QID: qid, Origin: p.id, Seq: uint8(i),
-		})
+		p.sendInsert(qid, uint8(i), store.Entry{Kind: kind, Key: triple.IndexKey(tr, kind),
+			Triple: tr, Version: version})
 	}
 	p.armInsertRetry(qid, 0)
 	return &Handle{peer: p, op: op, qid: qid}
+}
+
+// sendInsert issues one acked-insert entry, credit-gated against the
+// partition's cached owner when one is known: the send charges that
+// receiver's advertised window and, with the window full, parks FIFO
+// until an ack or window update returns credit. With no cached owner
+// the receiver is unknowable until routing resolves it, so the send
+// goes uncontrolled — the ack still releases nothing (no charge), and
+// the first response from the partition seeds the window for next
+// time. The deferred closure re-routes at flush time, so credit
+// returning after a split or failover still lands the entry on a live
+// owner.
+func (p *Peer) sendInsert(qid uint64, seq uint8, e store.Entry) {
+	req := insertReq{Entry: e, QID: qid, Origin: p.id, Seq: seq}
+	target, ok := p.cachedOwner(e.Key)
+	if !ok || target.ID == p.id {
+		p.route(e.Key, req)
+		return
+	}
+	p.stats.flowBulkSends.Add(1)
+	if !p.flow.submit(target.ID, flowKey{qid: qid, seq: seq}, req.WireSize(),
+		func() { p.route(e.Key, req) }) {
+		p.stats.flowStalls.Add(1)
+	}
 }
 
 // InsertTuple decomposes a logical tuple and inserts all its triples.
@@ -553,8 +602,10 @@ func (p *Peer) RangeQuery(kind triple.IndexKind, r keys.Range, probe bool, cb fu
 	p.mu.Lock()
 	op.scan = &scanState{kind: uint8(kind), r: r, pageSize: p.cfg.PageSize, probe: probe}
 	p.mu.Unlock()
+	wb, wm := p.advertiseWindow()
 	msg := rangeMsg{QID: qid, Origin: p.id, Kind: uint8(kind), R: r,
-		Level: 0, Share: TotalShare, Probe: probe, PageSize: p.cfg.PageSize}
+		Level: 0, Share: TotalShare, Probe: probe, PageSize: p.cfg.PageSize,
+		WinBytes: wb, WinMsgs: wm}
 	p.armScanRetry(qid)
 	// The origin participates in the shower like any other peer.
 	p.handleRange(msg)
@@ -582,8 +633,10 @@ func (p *Peer) RangeQueryPagesOrdered(kind triple.IndexKind, r keys.Range, desc 
 	op.onPartial = onPage
 	op.scan = &scanState{kind: uint8(kind), r: r, pageSize: p.cfg.PageSize, desc: desc}
 	p.mu.Unlock()
+	wb, wm := p.advertiseWindow()
 	msg := rangeMsg{QID: qid, Origin: p.id, Kind: uint8(kind), R: r,
-		Level: 0, Share: TotalShare, PageSize: p.cfg.PageSize, Desc: desc}
+		Level: 0, Share: TotalShare, PageSize: p.cfg.PageSize, Desc: desc,
+		WinBytes: wb, WinMsgs: wm}
 	p.armScanRetry(qid)
 	p.handleRange(msg)
 	return &Handle{peer: p, op: op, qid: qid}

@@ -68,6 +68,18 @@ type Config struct {
 	// retries entirely (the fail-slow baseline that waits out the
 	// operation deadline).
 	HedgeAfter int64 // nanoseconds of simulated time
+	// FlowWindowBytes / FlowWindowMsgs size the receive window this
+	// peer advertises to bulk senders (flow.go): the most unacked
+	// bytes / messages a well-behaved sender keeps in flight toward
+	// it, shrunk further while the peer's own inbox backs up. 0
+	// selects the defaults; the knobs exist so the equivalence-matrix
+	// tests can pin pathological windows.
+	FlowWindowBytes int
+	FlowWindowMsgs  int
+	// DisableFlowControl turns the credit machinery off entirely:
+	// windows advertise as 0 (no window) and sends are never gated —
+	// the uncontrolled baseline the flow benchmark compares against.
+	DisableFlowControl bool
 }
 
 // DefaultHedgeAfter is the probe-hedging deadline used when
@@ -130,6 +142,17 @@ type Peer struct {
 	// cache is the learned partition→node routing cache (cache.go),
 	// guarded by mu like the routing table it shortcuts.
 	cache *routeCache
+	// flow is the sliding-window credit state (flow.go): sender-side
+	// per-receiver windows and this peer's own advertised-window
+	// inputs. It carries its own innermost mutex — safe to consult
+	// with or without mu held.
+	flow *flowTable
+	// gossipPend coalesces eager pushes a replica's window would not
+	// admit: one latest-version entry per fact per replica, flushed in
+	// window-sized batches as credit frees (gossip.go). Guarded by
+	// gossipMu (innermost, never held across sends).
+	gossipMu   sync.Mutex
+	gossipPend map[simnet.NodeID]map[factKey]store.Entry
 
 	store *store.Store
 	cfg   Config
@@ -138,6 +161,12 @@ type Peer struct {
 	// (guarded by mu).
 	reqSeq  uint64
 	pending map[uint64]*pendingOp
+
+	// aePulls tracks in-progress windowed anti-entropy catch-ups, one
+	// per source peer (guarded by mu): the identity hashes received so
+	// far — applied or not — and the re-pull round count, so a
+	// window-paced transfer resumes statelessly and always terminates.
+	aePulls map[simnet.NodeID]*aePullState
 
 	// Monotonic version source for locally issued updates.
 	clock atomic.Uint64
@@ -170,6 +199,8 @@ type peerCounters struct {
 	writeRetries       atomic.Int64
 	digestRounds       atomic.Int64
 	digestPulls        atomic.Int64
+	flowBulkSends      atomic.Int64
+	flowStalls         atomic.Int64
 }
 
 // PeerStats is a snapshot of per-peer protocol counters.
@@ -220,6 +251,11 @@ type PeerStats struct {
 	// answered with entry pages.
 	DigestRounds int
 	DigestPulls  int
+	// Flow control: credit-gated bulk sends issued, and the subset
+	// that stalled waiting for receiver credit. Their ratio is the
+	// cost model's Pressure input.
+	FlowBulkSends int
+	FlowStalls    int
 }
 
 // pendingOp tracks one outstanding operation issued by this peer.
@@ -359,12 +395,20 @@ func NewPeer(net Transport, cfg Config) *Peer {
 	if cfg.MaxReplicas <= 0 {
 		cfg.MaxReplicas = 4
 	}
+	if cfg.FlowWindowBytes == 0 {
+		cfg.FlowWindowBytes = DefaultFlowWindowBytes
+	}
+	if cfg.FlowWindowMsgs == 0 {
+		cfg.FlowWindowMsgs = DefaultFlowWindowMsgs
+	}
 	p := &Peer{
-		net:     net,
-		store:   store.New(),
-		cfg:     cfg,
-		cache:   newRouteCache(),
-		pending: make(map[uint64]*pendingOp),
+		net:        net,
+		store:      store.New(),
+		cfg:        cfg,
+		cache:      newRouteCache(),
+		flow:       newFlowTable(cfg.DisableFlowControl),
+		gossipPend: make(map[simnet.NodeID]map[factKey]store.Entry),
+		pending:    make(map[uint64]*pendingOp),
 	}
 	p.id = net.AddNode(p)
 	if cfg.AntiEntropyEvery > 0 {
@@ -412,6 +456,8 @@ func (p *Peer) Stats() PeerStats {
 		WriteRetries:            int(p.stats.writeRetries.Load()),
 		DigestRounds:            int(p.stats.digestRounds.Load()),
 		DigestPulls:             int(p.stats.digestPulls.Load()),
+		FlowBulkSends:           int(p.stats.flowBulkSends.Load()),
+		FlowStalls:              int(p.stats.flowStalls.Load()),
 	}
 }
 
@@ -467,8 +513,20 @@ func (p *Peer) Responsible(k keys.Key) bool {
 // tie-break.
 func (p *Peer) NextClock() uint64 { return p.clock.Add(1) }
 
+// runFlow performs the sends a flow-table release returned (outside
+// any peer lock), then gives every replica with parked gossip a flush
+// chance: wherever credit frees, a pending push must get its shot, or
+// a buffer could outlive the pressure that parked it.
+func (p *Peer) runFlow(sends []func()) {
+	for _, send := range sends {
+		send()
+	}
+	p.flushGossipPending()
+}
+
 // HandleMessage implements simnet.Handler: the protocol dispatcher.
 func (p *Peer) HandleMessage(m simnet.Message) {
+	p.flow.observeIn(m.Size)
 	switch m.Kind {
 	case KindRoute:
 		p.handleRoute(m.Payload.(routeEnvelope), m.From)
@@ -477,9 +535,12 @@ func (p *Peer) HandleMessage(m simnet.Message) {
 	case KindResponse:
 		p.handleResponse(m.Payload.(queryResp))
 	case KindAck:
-		p.handleAck(m.Payload.(ackMsg))
+		p.handleAck(m.Payload.(ackMsg), m.From)
 	case KindGossip:
-		p.handleGossip(m.Payload.(gossipMsg))
+		p.handleGossip(m.Payload.(gossipMsg), m.From)
+	case KindGossipAck:
+		ga := m.Payload.(gossipAckMsg)
+		p.runFlow(p.flow.release(flowKey{qid: ga.ID}, m.From, ga.WinBytes, ga.WinMsgs))
 	case KindAntiEnt:
 		p.handleAntiEntropy(m.Payload.(antiEntropyMsg), m.From)
 	case KindDigest:
@@ -550,7 +611,7 @@ func (p *Peer) deliver(env routeEnvelope, from simnet.NodeID) {
 		// A routed page pull: the churn re-shower resumes a dead
 		// server's paged stream at its cursor through whichever replica
 		// of the partition routing reaches.
-		p.servePage(inner.QID, inner.Origin, inner.Cont)
+		p.servePage(inner.QID, inner.Origin, inner.Cont, inner.WinBytes)
 	case appMsg:
 		if h := p.appHandler(); h != nil {
 			h(p, inner.Payload, from, env.Hops)
@@ -566,14 +627,43 @@ func (p *Peer) applyInsert(req insertReq, hops int, from simnet.NodeID) {
 		p.pushToReplicas([]store.Entry{req.Entry}, from)
 	}
 	if req.QID != 0 {
-		p.net.Send(p.id, req.Origin, KindAck, ackMsg{QID: req.QID, Hops: hops, Seq: req.Seq})
+		wb, wm := p.advertiseWindow()
+		p.net.Send(p.id, req.Origin, KindAck, ackMsg{
+			QID: req.QID, Hops: hops, Seq: req.Seq,
+			WinBytes: wb, WinMsgs: wm,
+		})
 	}
+}
+
+// advertiseWindow computes the receive window this peer piggybacks on
+// acks and responses: the configured window, shrunk by what the
+// transport says is already queued toward the peer (messages directly;
+// bytes through the incoming-size EWMA), floored so a drowning
+// receiver degrades senders to stop-and-wait rather than starving
+// them. Returns (0, 0) — no window — with flow control disabled.
+func (p *Peer) advertiseWindow() (winBytes, winMsgs int) {
+	if p.cfg.DisableFlowControl {
+		return 0, 0
+	}
+	backlog := p.net.Load(p.id)
+	winMsgs = p.cfg.FlowWindowMsgs - backlog
+	if winMsgs < 1 {
+		winMsgs = 1
+	}
+	winBytes = p.cfg.FlowWindowBytes - int(float64(backlog)*p.flow.avgInSize())
+	if winBytes < minAdvertiseBytes {
+		winBytes = minAdvertiseBytes
+	}
+	return winBytes, winMsgs
 }
 
 // stampResp fills the responder-identity fields every query response
 // carries: who answered, for which partition, and with which replica
-// siblings — the raw material of the origin's owner-set cache.
+// siblings — the raw material of the origin's owner-set cache. The
+// responder's receive window rides along, so origins keep a fresh
+// credit picture of every peer they hear from.
 func (p *Peer) stampResp(r *queryResp) {
+	r.WinBytes, r.WinMsgs = p.advertiseWindow()
 	p.mu.RLock()
 	r.From = p.id
 	r.Path = p.path

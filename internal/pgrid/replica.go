@@ -184,9 +184,13 @@ func (p *Peer) sendProbeGroup(qid uint64, op *pendingOp, kind uint8, ks []keys.K
 
 // pickReplicaLocked chooses a live replica from an owner set by
 // power-of-two-choices: sample two candidates, keep the one with the
-// smaller network backlog, breaking ties by latency EWMA. Config's
-// ReadReplicas bounds the candidates considered (1 pins reads to the
-// primary — the single-owner baseline). Callers hold p.mu.
+// smaller network backlog PLUS flow-control pressure (deferred bulk
+// sends stalled on the candidate's credit window — the backpressure
+// signal feeding back into replica selection), breaking ties by
+// latency EWMA. Config's ReadReplicas bounds the candidates considered
+// (1 pins reads to the primary — the single-owner baseline). Callers
+// hold p.mu; the flow table's own innermost lock makes the penalty
+// reads safe here.
 func (p *Peer) pickReplicaLocked(set *ownerSet, tried map[simnet.NodeID]bool) (Ref, bool) {
 	cands := set.live(p.net, p.cfg.ReadReplicas, tried)
 	switch len(cands) {
@@ -200,7 +204,8 @@ func (p *Peer) pickReplicaLocked(set *ownerSet, tried map[simnet.NodeID]bool) (R
 	for j == i {
 		j = cands[p.net.Intn(len(cands))]
 	}
-	li, lj := p.net.Load(set.owners[i].ID), p.net.Load(set.owners[j].ID)
+	li := p.net.Load(set.owners[i].ID) + p.flow.penalty(set.owners[i].ID)
+	lj := p.net.Load(set.owners[j].ID) + p.flow.penalty(set.owners[j].ID)
 	if lj < li || (lj == li && set.owners[j].ewma < set.owners[i].ewma) {
 		i = j
 	}
@@ -356,7 +361,12 @@ func (p *Peer) hedgePagePull(qid uint64, path keys.Key, cont pageCont, server si
 	}
 	p.mu.Unlock()
 	p.stats.pageHedges.Add(1)
-	req := pageReq{QID: qid, Origin: p.id, Cont: cont}
+	// The hedge abandons the stalled server: release any credit still
+	// charged against it so its silence cannot strand unrelated bulk
+	// sends (the zero-credit-deadlock rule).
+	p.runFlow(p.flow.releaseNode(server))
+	wb, wm := p.advertiseWindow()
+	req := pageReq{QID: qid, Origin: p.id, Cont: cont, WinBytes: wb, WinMsgs: wm}
 	if direct {
 		p.net.Send(p.id, target, KindPage, req)
 		p.armPagePull(qid, path, cont, target)
@@ -402,6 +412,12 @@ func (p *Peer) retryInserts(qid uint64, attempt int) {
 	p.mu.Unlock()
 	p.stats.writeRetries.Add(int64(len(missing)))
 	for _, m := range missing {
+		// Refund the entry's flow-control charge first: the original
+		// send (possibly still parked in a dead receiver's deferred
+		// queue) is superseded by this retry, which goes UNGATED — the
+		// failover path must never wait on credit a dead receiver can
+		// no longer return.
+		p.runFlow(p.flow.releaseKey(flowKey{qid: qid, seq: m.seq}))
 		p.route(m.e.Key, insertReq{Entry: m.e, QID: qid, Origin: p.id, Seq: m.seq})
 	}
 	p.armInsertRetry(qid, attempt+1)
@@ -507,8 +523,9 @@ func (p *Peer) retryScan(qid uint64) {
 	r := sc.r
 	p.mu.Unlock()
 	p.stats.scanRetries.Add(1)
+	wb, wm := p.advertiseWindow()
 	for _, cu := range resumes {
-		p.route(cu.path, pageReq{QID: qid, Origin: p.id, Cont: cu.cont})
+		p.route(cu.path, pageReq{QID: qid, Origin: p.id, Cont: cu.cont, WinBytes: wb, WinMsgs: wm})
 	}
 	for _, g := range gaps {
 		p.handleRange(rangeMsg{

@@ -201,6 +201,8 @@ func (p *Peer) setPath(path keys.Key) {
 // partition overlaps the range receives the query exactly once, after
 // at most depth hops.
 func (p *Peer) handleRange(msg rangeMsg) {
+	// The shower's advertised origin window is a credit sighting too.
+	p.runFlow(p.flow.window(msg.Origin, msg.WinBytes, msg.WinMsgs))
 	// Collect the levels whose sibling subtrees overlap the range.
 	type branch struct {
 		level   int
@@ -273,7 +275,7 @@ func (p *Peer) serveRange(msg rangeMsg, share int64) {
 			Kind: msg.Kind, R: r, Share: share,
 			PageSize: msg.PageSize, Hops: msg.Hops, Agg: msg.Agg,
 			StreamPath: path,
-		})
+		}, msg.WinBytes)
 		return
 	}
 	if msg.PageSize > 0 && !msg.Probe {
@@ -281,7 +283,7 @@ func (p *Peer) serveRange(msg rangeMsg, share int64) {
 			Kind: msg.Kind, R: r, Share: share,
 			PageSize: msg.PageSize, Hops: msg.Hops, Desc: msg.Desc,
 			StreamPath: path,
-		})
+		}, msg.WinBytes)
 		return
 	}
 	resp := queryResp{QID: msg.QID, Share: share, Hops: msg.Hops, Final: true}
@@ -312,7 +314,13 @@ func (p *Peer) serveRange(msg rangeMsg, share int64) {
 // pageReq — and the key-aligned cursor means entries applied or
 // removed between pulls outside the cursor's bucket never duplicate or
 // drop rows of the scan.
-func (p *Peer) servePage(qid uint64, origin simnet.NodeID, cont pageCont) {
+//
+// winBytes is the origin's advertised byte window (refreshed on every
+// pull): the page closes early once its entry payload would exceed it,
+// so PageSize is a CAP and the receiver's window sets the effective
+// page. A window smaller than one entry still ships one — progress
+// over precision, the receiver asked for data after all.
+func (p *Peer) servePage(qid uint64, origin simnet.NodeID, cont pageCont, winBytes int) {
 	// Reconcile the stream with the server's current partition first: a
 	// split deepens and clips it, a merge keeps it, an unrelated move
 	// drops the pull (the origin's hedge finds a live replica).
@@ -320,11 +328,11 @@ func (p *Peer) servePage(qid uint64, origin simnet.NodeID, cont pageCont) {
 		return
 	}
 	if cont.Agg != nil {
-		p.serveAggPage(qid, origin, cont)
+		p.serveAggPage(qid, origin, cont, winBytes)
 		return
 	}
 	if cont.Desc {
-		p.servePageDesc(qid, origin, cont)
+		p.servePageDesc(qid, origin, cont, winBytes)
 		return
 	}
 	p.stats.pagesServed.Add(1)
@@ -332,6 +340,7 @@ func (p *Peer) servePage(qid uint64, origin simnet.NodeID, cont pageCont) {
 	p.stampResp(&resp)
 	resp.ScanPath = cont.StreamPath
 	skipLeft := cont.SkipAtLo
+	pageBytes := 0
 	var last keys.Key
 	lastCount := 0 // entries sent at key `last` this page
 	more := false
@@ -340,10 +349,12 @@ func (p *Peer) servePage(qid uint64, origin simnet.NodeID, cont pageCont) {
 			skipLeft--
 			return true
 		}
-		if len(resp.Entries) >= cont.PageSize {
+		if len(resp.Entries) >= cont.PageSize ||
+			(winBytes > 0 && len(resp.Entries) > 0 && pageBytes+e.WireSize() > winBytes) {
 			more = true
 			return false
 		}
+		pageBytes += e.WireSize()
 		if last.Equal(e.Key) {
 			lastCount++
 		} else {
@@ -378,14 +389,15 @@ func (p *Peer) servePage(qid uint64, origin simnet.NodeID, cont pageCont) {
 // resumes without rescanning, and — like the ascending form — the
 // token stays stateless and key-aligned, so any replica of the
 // partition can serve the next page without duplicating or dropping
-// rows.
-func (p *Peer) servePageDesc(qid uint64, origin simnet.NodeID, cont pageCont) {
+// rows. winBytes caps the page payload exactly as in servePage.
+func (p *Peer) servePageDesc(qid uint64, origin simnet.NodeID, cont pageCont, winBytes int) {
 	p.stats.pagesServed.Add(1)
 	resp := queryResp{QID: qid, Hops: cont.Hops}
 	p.stampResp(&resp)
 	resp.ScanPath = cont.StreamPath
 	skipLeft := cont.SkipAtLo
 	cursor := cont.Cursor
+	pageBytes := 0
 	var last keys.Key
 	lastCount := 0
 	more := false
@@ -400,10 +412,12 @@ func (p *Peer) servePageDesc(qid uint64, origin simnet.NodeID, cont pageCont) {
 				return true
 			}
 		}
-		if len(resp.Entries) >= cont.PageSize {
+		if len(resp.Entries) >= cont.PageSize ||
+			(winBytes > 0 && len(resp.Entries) > 0 && pageBytes+e.WireSize() > winBytes) {
 			more = true
 			return false
 		}
+		pageBytes += e.WireSize()
 		if last.Equal(e.Key) {
 			lastCount++
 		} else {
@@ -433,9 +447,12 @@ func (p *Peer) servePageDesc(qid uint64, origin simnet.NodeID, cont pageCont) {
 	p.net.Send(p.id, origin, KindResponse, resp)
 }
 
-// handlePage serves a continuation pulled by a paged scan's origin.
+// handlePage serves a continuation pulled by a paged scan's origin,
+// honoring the pull's freshly advertised receive window (which also
+// counts as a credit sighting for bulk sends toward the origin).
 func (p *Peer) handlePage(req pageReq) {
-	p.servePage(req.QID, req.Origin, req.Cont)
+	p.runFlow(p.flow.window(req.Origin, req.WinBytes, req.WinMsgs))
+	p.servePage(req.QID, req.Origin, req.Cont, req.WinBytes)
 }
 
 // handleMultiLookup answers a batch of exact-key probes in one

@@ -36,6 +36,7 @@ func init() {
 	gob.Register(queryResp{})
 	gob.Register(ackMsg{})
 	gob.Register(gossipMsg{})
+	gob.Register(gossipAckMsg{})
 	gob.Register(antiEntropyMsg{})
 	gob.Register(digestMsg{})
 	gob.Register(digestPullMsg{})

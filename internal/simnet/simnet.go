@@ -96,10 +96,24 @@ type Stats struct {
 	// including the header estimate) sent per kind — how page-size
 	// bounds on responses are verified.
 	MaxSizePerKind map[string]int
+	// MaxInflightBytes records, per node, the peak number of bytes that
+	// were simultaneously sent-but-unhandled toward it — the signal the
+	// flow-control benchmarks budget: receiver-driven windows exist to
+	// keep this bounded at a slow or hot replica.
+	MaxInflightBytes map[NodeID]int
+	// MaxStall records, per service-throttled node, the longest a
+	// message waited beyond its network latency (service queueing plus
+	// the service time itself). Zero for nodes with no service delay.
+	MaxStall map[NodeID]time.Duration
 }
 
 func newStats() Stats {
-	return Stats{PerKind: make(map[string]int), MaxSizePerKind: make(map[string]int)}
+	return Stats{
+		PerKind:          make(map[string]int),
+		MaxSizePerKind:   make(map[string]int),
+		MaxInflightBytes: make(map[NodeID]int),
+		MaxStall:         make(map[NodeID]time.Duration),
+	}
 }
 
 // Config parameterizes a Network.
@@ -179,8 +193,18 @@ type Network struct {
 	// load tracks the per-node backlog: messages sent to a node but not
 	// yet fully handled (scheduled deliveries plus, in concurrent mode,
 	// the node's inbox). Replica choosers read it through Load as the
-	// "least loaded of two" signal.
-	load map[NodeID]int
+	// "least loaded of two" signal. loadBytes is the same backlog in
+	// wire bytes, so payload pressure is visible, not just frame count.
+	load      map[NodeID]int
+	loadBytes map[NodeID]int
+
+	// svcDelay models a per-node service rate: each message addressed to
+	// the node occupies its (single-threaded) service for svcDelay after
+	// arriving, and messages queue behind each other — svcFree is the
+	// instant the node's service next becomes idle. A deterministic
+	// slow-replica throttle that composes with any LatencyModel.
+	svcDelay map[NodeID]time.Duration
+	svcFree  map[NodeID]time.Duration
 
 	// Concurrent-mode state.
 	concurrent bool
@@ -203,12 +227,15 @@ func New(cfg Config) *Network {
 		cfg.Latency = ConstantLatency(time.Millisecond)
 	}
 	n := &Network{
-		cfg:   cfg,
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
-		nodes: make(map[NodeID]Handler),
-		alive: make(map[NodeID]bool),
-		load:  make(map[NodeID]int),
-		stats: newStats(),
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		nodes:     make(map[NodeID]Handler),
+		alive:     make(map[NodeID]bool),
+		load:      make(map[NodeID]int),
+		loadBytes: make(map[NodeID]int),
+		svcDelay:  make(map[NodeID]time.Duration),
+		svcFree:   make(map[NodeID]time.Duration),
+		stats:     newStats(),
 	}
 	n.quiet = sync.NewCond(&n.mu)
 	return n
@@ -354,12 +381,30 @@ func (n *Network) Send(from, to NodeID, kind string, payload any) {
 		}
 		n.linkLast[link] = deliver
 	}
+	if d := n.svcDelay[to]; d > 0 {
+		// Serialized service: the message starts service when it arrives
+		// AND the node's service is idle, and occupies it for d. The
+		// extra wait beyond network latency is the node's stall.
+		arrival := deliver
+		start := arrival
+		if free := n.svcFree[to]; free > start {
+			start = free
+		}
+		deliver = start + d
+		n.svcFree[to] = deliver
+		if stall := deliver - arrival; stall > n.stats.MaxStall[to] {
+			n.stats.MaxStall[to] = stall
+		}
+	}
 	m := &Message{From: from, To: to, Kind: kind, Payload: payload,
 		Sent: n.now, Deliver: deliver, Size: size}
 	n.seq++
 	heap.Push(&n.queue, &event{at: m.Deliver, seq: n.seq, msg: m})
 	n.inflight++
 	n.load[to]++
+	if n.loadBytes[to] += size; n.loadBytes[to] > n.stats.MaxInflightBytes[to] {
+		n.stats.MaxInflightBytes[to] = n.loadBytes[to]
+	}
 	// Kick the scheduler only when it is parked waiting for something
 	// later than (or other than) this event; if it is mid-dispatch it
 	// re-peeks the queue on its own.
@@ -404,7 +449,7 @@ func (n *Network) Step() bool {
 	}
 	n.dropInflightLocked()
 	m := e.msg
-	n.dropLoadLocked(m.To, 1)
+	n.dropLoadLocked(m.To, m.Size)
 	if !n.alive[m.To] || n.nodes[m.To] == nil {
 		n.stats.MessagesDropped++
 		n.mu.Unlock()
@@ -426,11 +471,14 @@ func (n *Network) dropInflightLocked() {
 	}
 }
 
-// dropLoadLocked releases k units of a node's tracked backlog. Callers
-// hold n.mu.
-func (n *Network) dropLoadLocked(id NodeID, k int) {
-	if n.load[id] -= k; n.load[id] <= 0 {
+// dropLoadLocked releases one message of `bytes` wire bytes from a
+// node's tracked backlog. Callers hold n.mu.
+func (n *Network) dropLoadLocked(id NodeID, bytes int) {
+	if n.load[id]--; n.load[id] <= 0 {
 		delete(n.load, id)
+	}
+	if n.loadBytes[id] -= bytes; n.loadBytes[id] <= 0 {
+		delete(n.loadBytes, id)
 	}
 }
 
@@ -442,6 +490,32 @@ func (n *Network) Load(id NodeID) int {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.load[id]
+}
+
+// LoadBytes reports the same backlog in wire bytes — the payload
+// pressure toward a node, which frame counts alone understate.
+func (n *Network) LoadBytes(id NodeID) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.loadBytes[id]
+}
+
+// SetServiceDelay throttles a node to a fixed per-message service time:
+// every message addressed to it is handled d after both its network
+// arrival and the completion of the previous message's service —
+// a single-threaded server draining a queue at rate 1/d. Zero removes
+// the throttle. Deterministic, and composes with any LatencyModel
+// (including ClusteredLatency): the network part of the delay is still
+// drawn from the model; the service part queues on top of it.
+func (n *Network) SetServiceDelay(id NodeID, d time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if d <= 0 {
+		delete(n.svcDelay, id)
+		delete(n.svcFree, id)
+		return
+	}
+	n.svcDelay[id] = d
 }
 
 // Run processes events until the queue drains and returns the number of
@@ -531,16 +605,28 @@ func (n *Network) Stats() Stats {
 	for k, v := range n.stats.MaxSizePerKind {
 		s.MaxSizePerKind[k] = v
 	}
+	s.MaxInflightBytes = make(map[NodeID]int, len(n.stats.MaxInflightBytes))
+	for k, v := range n.stats.MaxInflightBytes {
+		s.MaxInflightBytes[k] = v
+	}
+	s.MaxStall = make(map[NodeID]time.Duration, len(n.stats.MaxStall))
+	for k, v := range n.stats.MaxStall {
+		s.MaxStall[k] = v
+	}
 	return s
 }
 
 // ResetStats zeroes the counters (the clock keeps running). Use between
 // experiment phases so setup traffic is not billed to the measured
-// query.
+// query. Peak in-flight bytes restart at the CURRENT backlog — bytes
+// already in the air keep counting against the new window.
 func (n *Network) ResetStats() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.stats = newStats()
+	for id, b := range n.loadBytes {
+		n.stats.MaxInflightBytes[id] = b
+	}
 }
 
 // Pending returns the number of queued events (messages + timers).
@@ -771,7 +857,7 @@ func (n *Network) schedule() {
 			if !n.alive[m.To] || ib == nil {
 				n.stats.MessagesDropped++
 				n.dropInflightLocked()
-				n.dropLoadLocked(m.To, 1)
+				n.dropLoadLocked(m.To, m.Size)
 				continue
 			}
 			n.stats.MessagesDelivered++
@@ -805,7 +891,7 @@ func (n *Network) worker(h Handler, ib *inbox) {
 		n.mu.Lock()
 		n.inflight -= len(ms)
 		for _, m := range ms {
-			n.dropLoadLocked(m.To, 1)
+			n.dropLoadLocked(m.To, m.Size)
 		}
 		if n.inflight == 0 {
 			n.quiet.Broadcast()

@@ -218,3 +218,54 @@ func BenchmarkSendDeliver(b *testing.B) {
 		n.Step()
 	}
 }
+
+// TestServiceDelaySerializes: a throttled node is a single-threaded
+// server — a burst of B messages drains one per service interval, the
+// last delivery lands at roughly link + B×delay, and MaxStall records
+// the queueing tail. An unthrottled node in the same run is unaffected.
+func TestServiceDelaySerializes(t *testing.T) {
+	const (
+		link  = time.Millisecond
+		delay = 5 * time.Millisecond
+		burst = 4
+	)
+	n := New(Config{Latency: ConstantLatency(link)})
+	src, slow, fast := newEcho(n), newEcho(n), newEcho(n)
+	n.SetServiceDelay(slow.id, delay)
+	for i := 0; i < burst; i++ {
+		n.Send(src.id, slow.id, "work", i)
+		n.Send(src.id, fast.id, "work", i)
+	}
+	n.Run()
+	if len(slow.received) != burst || len(fast.received) != burst {
+		t.Fatalf("delivered %d slow / %d fast, want %d each", len(slow.received), len(fast.received), burst)
+	}
+	// All arrive at t=link; the i-th finishes service at link + (i+1)×delay.
+	for i, m := range slow.received {
+		want := link + time.Duration(i+1)*delay
+		if m.Deliver != want {
+			t.Errorf("slow message %d delivered at %v, want %v", i, m.Deliver, want)
+		}
+	}
+	for _, m := range fast.received {
+		if m.Deliver != link {
+			t.Errorf("unthrottled node delayed: delivered at %v, want %v", m.Deliver, link)
+		}
+	}
+	st := n.Stats()
+	if got, want := st.MaxStall[slow.id], time.Duration(burst)*delay; got != want {
+		t.Errorf("MaxStall[slow] = %v, want %v", got, want)
+	}
+	if st.MaxStall[fast.id] != 0 {
+		t.Errorf("MaxStall[fast] = %v, want 0", st.MaxStall[fast.id])
+	}
+
+	// Clearing the throttle restores immediate delivery.
+	n.SetServiceDelay(slow.id, 0)
+	before := len(slow.received)
+	n.Send(src.id, slow.id, "work", 99)
+	n.Run()
+	if m := slow.received[before]; m.Deliver-n.Now() != 0 && m.Deliver != n.Now() {
+		t.Errorf("throttle not cleared: delivered at %v, now %v", m.Deliver, n.Now())
+	}
+}

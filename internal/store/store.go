@@ -39,6 +39,12 @@ func supersedes(candidate, old Entry) bool {
 	return candidate.Triple.Val.Compare(old.Triple.Val) > 0
 }
 
+// Supersedes exposes the LWW tie-break so replication layers that
+// coalesce in-flight entries drop exactly the entry the store would
+// discard anyway — anything else risks two replicas keeping different
+// winners of a version tie.
+func (e Entry) Supersedes(old Entry) bool { return supersedes(e, old) }
+
 // factID identifies a logical fact within one index: (kind, OID, Attr).
 // A peer may hold, say, only the A#v entry of a fact — the other two
 // entries live on the peers owning their placement keys.

@@ -55,6 +55,16 @@ type Options struct {
 	// triggers snapshot + log-truncation compaction. 0 means 4 MiB;
 	// negative disables compaction.
 	CompactAfter int64
+	// NoGroupCommit disables group commit under SyncAlways: every
+	// append fsyncs inline, serialized under the DB lock — the
+	// pre-batching baseline benchmarks compare against. With group
+	// commit (the default), concurrent appends share fsyncs: the first
+	// writer becomes the sync leader while later writers queue behind
+	// it, and one disk flush then covers every record appended before
+	// it started. Durability is identical — no append is acknowledged
+	// before a completed fsync covers it. The other policies ignore
+	// this knob.
+	NoGroupCommit bool
 }
 
 // RecoveryInfo reports what Open found.
@@ -96,6 +106,18 @@ type DB struct {
 	err     error
 	closed  bool
 
+	// Group-commit state (all under mu). writeSeq tickets appends,
+	// syncedSeq is the highest ticket a completed fsync covers, and
+	// syncing marks a leader holding the file handle outside the lock
+	// (Compact and Close must wait it out before swapping or closing
+	// the file). syncDone signals both leader completion and syncedSeq
+	// advances.
+	writeSeq  uint64
+	syncedSeq uint64
+	syncing   bool
+	syncDone  *sync.Cond
+	syncs     int64 // completed fsyncs (bench/testing hook)
+
 	stopCh chan struct{}
 	wg     sync.WaitGroup
 }
@@ -121,6 +143,7 @@ func Open(dir string, st *store.Store, opts Options) (*DB, error) {
 		opts.CompactAfter = 4 << 20
 	}
 	d := &DB{fs: opts.FS, dir: dir, st: st, opts: opts, stopCh: make(chan struct{})}
+	d.syncDone = sync.NewCond(&d.mu)
 	if err := d.fs.MkdirAll(dir); err != nil {
 		return nil, fmt.Errorf("wal: mkdir %s: %w", dir, err)
 	}
@@ -399,14 +422,83 @@ func (d *DB) append(payload []byte) error {
 	}
 	d.walSize += int64(len(buf))
 	d.dirty = true
-	if d.opts.Sync == SyncAlways {
+	if d.opts.Sync != SyncAlways {
+		return nil
+	}
+	if d.opts.NoGroupCommit {
 		if err := d.w.Sync(); err != nil {
 			d.err = fmt.Errorf("wal: fsync: %w", err)
 			return d.err
 		}
+		d.syncs++
 		d.dirty = false
+		return nil
 	}
-	return nil
+	return d.groupCommitLocked()
+}
+
+// groupCommitLocked makes the caller's freshly written record durable
+// while letting concurrent appends share the fsync. The caller takes a
+// ticket; whoever finds no sync in flight becomes the leader, captures
+// the current ticket high-water mark, releases the lock for the
+// duration of the disk flush (appends keep flowing in behind it), and
+// on return credits every ticket the flush covered. Followers wait on
+// the condition until a completed flush covers their ticket — which is
+// exactly the SyncAlways guarantee, paid once per batch instead of
+// once per record.
+func (d *DB) groupCommitLocked() error {
+	d.writeSeq++
+	seq := d.writeSeq
+	for {
+		if d.err != nil {
+			return d.err
+		}
+		if d.syncedSeq >= seq {
+			return nil
+		}
+		if d.syncing {
+			d.syncDone.Wait()
+			continue
+		}
+		d.syncing = true
+		target := d.writeSeq
+		w := d.w
+		d.mu.Unlock()
+		err := w.Sync()
+		d.mu.Lock()
+		d.syncing = false
+		if err != nil {
+			if d.err == nil {
+				d.err = fmt.Errorf("wal: fsync: %w", err)
+			}
+		} else {
+			d.syncs++
+			if target > d.syncedSeq {
+				d.syncedSeq = target
+			}
+			if d.syncedSeq >= d.writeSeq {
+				d.dirty = false
+			}
+		}
+		d.syncDone.Broadcast()
+	}
+}
+
+// waitSyncIdleLocked blocks until no group-commit leader holds the
+// file handle outside the lock; Compact (which swaps the file) and
+// Close/Sync (which flush or close it) must not race a leader's fsync.
+func (d *DB) waitSyncIdleLocked() {
+	for d.syncing {
+		d.syncDone.Wait()
+	}
+}
+
+// Syncs returns the number of completed fsyncs (bench/testing hook:
+// group commit's batching factor is appends over syncs).
+func (d *DB) Syncs() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.syncs
 }
 
 // WantCompact reports whether the log has outgrown the compaction
@@ -428,6 +520,7 @@ func (d *DB) WantCompact() bool {
 func (d *DB) Compact(facts []store.Entry) (err error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.waitSyncIdleLocked()
 	if d.err != nil {
 		return d.err
 	}
@@ -511,6 +604,7 @@ func (d *DB) Sync() error {
 }
 
 func (d *DB) syncLocked() error {
+	d.waitSyncIdleLocked()
 	if d.err != nil {
 		return d.err
 	}
@@ -521,7 +615,10 @@ func (d *DB) syncLocked() error {
 		d.err = fmt.Errorf("wal: fsync: %w", err)
 		return d.err
 	}
+	d.syncs++
 	d.dirty = false
+	d.syncedSeq = d.writeSeq
+	d.syncDone.Broadcast()
 	return nil
 }
 
@@ -556,12 +653,15 @@ func (d *DB) Close() error {
 
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.waitSyncIdleLocked()
 	var first error
 	if d.dirty && d.w != nil {
 		if err := d.w.Sync(); err != nil && first == nil {
 			first = err
 		}
 		d.dirty = false
+		d.syncedSeq = d.writeSeq
+		d.syncDone.Broadcast()
 	}
 	if d.err == nil {
 		// A clean marker is only truthful if every append succeeded.

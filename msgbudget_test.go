@@ -31,6 +31,11 @@ const (
 	budgetChurnTopK     = 50
 	budgetGroupByAgg    = 60
 	budgetRejoinCatchup = 60
+	// budgetFlowInflightBytes bounds the worst per-peer peak of queued
+	// bytes on the slow-replica flow scenario with credit windows on.
+	// Measured at PR 9: 32.8KB controlled (371KB uncontrolled) — a
+	// sender that stops honoring receiver windows blows through this.
+	budgetFlowInflightBytes = 48 << 10
 )
 
 // measure runs one query and returns its settled message count.
@@ -145,4 +150,32 @@ func TestMessageBudgetRejoinCatchup(t *testing.T) {
 	}
 	t.Logf("rejoin catch-up: %d messages (budget %d; full sync moves %d)",
 		r.DeltaMsgs, budgetRejoinCatchup, r.FullMsgs)
+}
+
+// TestMessageBudgetFlowInflightBytes is the backpressure budget: under
+// the mixed read/write workload with one 10x-throttled replica, no
+// peer's inbound queue may peak above the checked-in byte budget while
+// flow control is on, and the throttled rejoiner must still converge
+// exactly. Losing credit gating on any bulk stream (gossip fan-out,
+// digest catch-up, paged scans) multiplies the peak several-fold and
+// trips this before it ships.
+func TestMessageBudgetFlowInflightBytes(t *testing.T) {
+	res, err := benchscen.FlowRun(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CatchupExact {
+		t.Fatal("throttled rejoiner did not converge to its sibling")
+	}
+	if res.RowCount == 0 {
+		t.Fatal("flow scenario returned no rows")
+	}
+	if res.MaxInflightBytes > budgetFlowInflightBytes {
+		t.Errorf("peak in-flight %dB per peer, budget %dB", res.MaxInflightBytes, budgetFlowInflightBytes)
+	}
+	if res.FlowBulkSends == 0 {
+		t.Error("no credit-gated bulk sends fired; flow control is vacuous")
+	}
+	t.Logf("flow: peak in-flight %dB (budget %dB), tail stall %.0fms, %d bulk sends / %d stalls",
+		res.MaxInflightBytes, budgetFlowInflightBytes, res.SlowStallMS, res.FlowBulkSends, res.FlowStalls)
 }

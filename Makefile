@@ -4,7 +4,7 @@
 GO ?= go
 
 .PHONY: all build vet fmt fmt-check test race bench docs ci \
-	lint integration integration-race fuzz-smoke \
+	lint integration integration-race fuzz-smoke obs-smoke \
 	bench-scale bench-scale-smoke bench-durability bench-flow
 
 all: build test
@@ -104,6 +104,13 @@ integration-race:
 	UNISTORE_INTEGRATION=1 UNISTORE_RACE=1 \
 		$(GO) test -race -v -timeout 10m -count=1 ./integration/
 
+# Observability smoke: boots a traced 3-process cluster with -debug
+# endpoints and curls /metrics, /healthz, /trace/recent and pprof the
+# way a monitoring stack would — core series must be non-zero and the
+# ranked query's trace tree assembled. CI's integration job runs it.
+obs-smoke:
+	./scripts/obs-smoke.sh
+
 # Bounded fuzzing of the wire payload codec, the TCP frame reader and
 # WAL crash recovery: none may panic on arbitrary bytes, and whatever
 # log prefix recovery accepts must round-trip a clean close.
@@ -112,4 +119,4 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzReadFrame -fuzztime 30s ./internal/netx/
 	$(GO) test -run '^$$' -fuzz FuzzWALReplay -fuzztime 30s ./internal/store/wal/
 
-ci: fmt-check build vet test race bench docs integration integration-race fuzz-smoke
+ci: fmt-check build vet test race bench docs integration integration-race obs-smoke fuzz-smoke

@@ -38,6 +38,7 @@ import (
 	"unistore/internal/benchscen"
 	"unistore/internal/core"
 	"unistore/internal/pgrid"
+	"unistore/internal/trace"
 )
 
 type benchResult struct {
@@ -65,6 +66,11 @@ type report struct {
 	GeneratedBy string        `json:"generated_by"`
 	Peers       int           `json:"peers"`
 	Benches     []benchResult `json:"benches"`
+	// Metrics is the unified registry snapshot of the ranked top-k
+	// scenario's cluster (with -metrics): every pgrid/net counter under
+	// its stable dotted name, embedded so a bench artifact carries the
+	// full observability surface alongside the headline numbers.
+	Metrics *trace.Snapshot `json:"metrics,omitempty"`
 }
 
 func die(err error) {
@@ -90,10 +96,15 @@ func run(c *core.Cluster, src string) benchResult {
 	}
 }
 
-func topKBench() benchResult {
-	r := run(benchscen.TopK(), benchscen.TopKQuery)
+func topKBench(withMetrics bool) (benchResult, *trace.Snapshot) {
+	c := benchscen.TopK()
+	r := run(c, benchscen.TopKQuery)
 	r.Name = "topk-streaming"
-	return r
+	if !withMetrics {
+		return r, nil
+	}
+	snap := c.Registry().Snapshot()
+	return r, &snap
 }
 
 func indexJoinBench(disableCache, warm bool) benchResult {
@@ -449,6 +460,7 @@ func main() {
 	flowFlag := flag.Bool("flow", false, "run the flow-control scenario (slow-replica credit windows + WAL group commit) instead of the PR5 benches")
 	sizes := flag.String("sizes", "128,256,512,1024", "comma-separated peer counts for -scale")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the -scale sweep to this file")
+	metrics := flag.Bool("metrics", false, "embed a unified-registry metrics snapshot in the output JSON")
 	flag.Parse()
 
 	if *scale {
@@ -476,7 +488,7 @@ func main() {
 		*out = "BENCH_PR5.json"
 	}
 
-	topk := topKBench()
+	topk, metricsSnap := topKBench(*metrics)
 	base := indexJoinBench(true, false)
 	base.Name = "index-join-baseline"
 	warmed := indexJoinBench(false, true)
@@ -502,6 +514,7 @@ func main() {
 		GeneratedBy: "cmd/benchjson",
 		Peers:       benchscen.Peers,
 		Benches:     []benchResult{topk, base, warmed, scan, churnSingle, churnReplica, aggCentral, aggPush},
+		Metrics:     metricsSnap,
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

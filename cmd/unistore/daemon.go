@@ -29,6 +29,9 @@ type daemonOptions struct {
 	pageSize   int
 	dataDir    string
 	fsync      string
+	debug      string
+	tracing    bool
+	slowQuery  time.Duration
 }
 
 // runDaemon runs one node process of a multi-process cluster. It
@@ -70,6 +73,8 @@ func runDaemon(o daemonOptions) {
 		DataDir:    o.dataDir,
 		Fsync:      policy,
 		Logf:       logger.Printf,
+		Tracing:    o.tracing,
+		SlowQuery:  o.slowQuery,
 	})
 	if err != nil {
 		logger.Printf("start: %v", err)
@@ -101,6 +106,15 @@ func runDaemon(o daemonOptions) {
 	// chicken-and-egg of gating the address on full convergence.
 	out := bufio.NewWriter(os.Stdout)
 	fmt.Fprintf(out, "ADDR %s\n", n.Addr())
+	if o.debug != "" {
+		dbgAddr, err := startDebug(n, o.debug)
+		if err != nil {
+			logger.Printf("debug listener: %v", err)
+			os.Exit(1)
+		}
+		logger.Printf("debug endpoints on http://%s (/metrics /healthz /trace/recent /debug/pprof/)", dbgAddr)
+		fmt.Fprintf(out, "DEBUG %s\n", dbgAddr)
+	}
 	out.Flush()
 	if !n.WaitReady(60 * time.Second) {
 		logger.Printf("bootstrap timeout: routes=%v", n.Transport().Routes())

@@ -55,6 +55,9 @@ func main() {
 	page := flag.Int("page", 0, "daemon mode: range-scan page size (0 = no paging)")
 	data := flag.String("data", "", "daemon mode: durable data directory (WAL + snapshots; empty = memory only)")
 	fsync := flag.String("fsync", "always", "daemon mode: WAL fsync policy: always|interval|off")
+	debug := flag.String("debug", "", "daemon mode: HTTP debug listen address serving /metrics, /healthz, /trace/recent and /debug/pprof/ (e.g. 127.0.0.1:0)")
+	traceOn := flag.Bool("trace", false, "daemon mode: record end-to-end query traces (served at /trace/recent)")
+	slowQuery := flag.Duration("slowquery", 0, "daemon mode: log the trace tree of queries slower than this (0 = off; implies -trace to be useful)")
 	flag.Parse()
 
 	if *listen != "" {
@@ -69,6 +72,9 @@ func main() {
 			pageSize:   *page,
 			dataDir:    *data,
 			fsync:      *fsync,
+			debug:      *debug,
+			tracing:    *traceOn,
+			slowQuery:  *slowQuery,
 		})
 		return
 	}

@@ -90,8 +90,11 @@ type daemon struct {
 	in   *bufio.Writer
 	out  *bufio.Reader
 	addr string
-	log  *os.File
-	dead bool
+	// debugAddr is the resolved -debug HTTP address ("" unless the
+	// cluster was started with debug endpoints).
+	debugAddr string
+	log       *os.File
+	dead      bool
 }
 
 // command sends one protocol line and returns the status line.
@@ -174,6 +177,10 @@ type clusterOpts struct {
 	// process can be restarted onto its WAL.
 	dataRoot string
 	fsync    string
+	// trace turns on distributed query tracing; debug gives every
+	// process a -debug HTTP listener (resolved into daemon.debugAddr).
+	trace bool
+	debug bool
 }
 
 // daemonArgs builds the command line for one process. listen is the
@@ -194,6 +201,12 @@ func daemonArgs(o clusterOpts, pi int, listen, seedAddr string) []string {
 		if o.fsync != "" {
 			args = append(args, "-fsync", o.fsync)
 		}
+	}
+	if o.trace {
+		args = append(args, "-trace")
+	}
+	if o.debug {
+		args = append(args, "-debug", "127.0.0.1:0")
 	}
 	if seedAddr != "" {
 		args = append(args, "-seeds", seedAddr)
@@ -278,9 +291,16 @@ func launchDaemon(t *testing.T, bin, logs string, pi int, args []string, logName
 		log: logf,
 	}
 	// The daemon prints its resolved address immediately; READY
-	// follows only once the whole cluster has bootstrapped.
+	// follows only once the whole cluster has bootstrapped. With -debug
+	// the resolved debug address comes between the two.
 	line := d.expectLine(t, "ADDR ", 30*time.Second)
 	d.addr = strings.TrimPrefix(line, "ADDR ")
+	for _, a := range args {
+		if a == "-debug" {
+			line := d.expectLine(t, "DEBUG ", 30*time.Second)
+			d.debugAddr = strings.TrimPrefix(line, "DEBUG ")
+		}
+	}
 	return d
 }
 

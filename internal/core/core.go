@@ -24,6 +24,7 @@ import (
 	"unistore/internal/physical"
 	"unistore/internal/schema"
 	"unistore/internal/simnet"
+	"unistore/internal/trace"
 	"unistore/internal/triple"
 	"unistore/internal/vql"
 )
@@ -140,6 +141,11 @@ type Config struct {
 	// entirely: windows advertise as unlimited and senders never park
 	// bulk sends. Benchmarks use it as the uncontrolled baseline.
 	DisableFlowControl bool
+	// Tracing enables end-to-end query tracing: peers record serving
+	// spans for traced operations and piggyback them home on responses,
+	// and every query Result carries the assembled QueryTrace. Off by
+	// default — traced runs pay extra bytes (never extra messages).
+	Tracing bool
 }
 
 func (c Config) withDefaults() Config {
@@ -189,6 +195,9 @@ type Cluster struct {
 	retryRate float64
 	probeRTT  time.Duration
 	pressure  float64
+	// reg is the cluster's unified metrics registry: peer and network
+	// counters surface there under stable dotted names at snapshot time.
+	reg *trace.Registry
 }
 
 // lockedReopt adapts the optimizer's Rechoose to the cluster's stats
@@ -221,11 +230,24 @@ func NewCluster(cfg Config) *Cluster {
 	pcfg.FlowWindowBytes = cfg.FlowWindowBytes
 	pcfg.FlowWindowMsgs = cfg.FlowWindowMsgs
 	pcfg.DisableFlowControl = cfg.DisableFlowControl
+	pcfg.Tracing = cfg.Tracing
 	var peers []*pgrid.Peer
 	if cfg.AdaptiveSamples != nil {
 		peers = pgrid.BuildAdaptive(net, cfg.Peers, cfg.Replicas, cfg.AdaptiveSamples, pcfg)
 	} else {
-		peers = pgrid.BuildBalanced(net, cfg.Peers, cfg.Replicas, pcfg)
+		// Build from the same seeded spec plan NewNode uses: the ref
+		// tables become a pure function of (peers, replicas, seed), so a
+		// simnet cluster and a multi-process TCP cluster of the same
+		// scenario share routing structure — a traced query assembles a
+		// structurally identical tree on either transport.
+		specs := pgrid.BalancedSpecs(cfg.Peers, cfg.Replicas, pcfg, cfg.Seed)
+		var err error
+		peers, err = pgrid.BuildFromSpecs(net, specs, specs, pcfg)
+		if err != nil {
+			// Unreachable: a fresh simulator hosting every spec assigns
+			// IDs sequentially, exactly as the specs name them.
+			panic(err)
+		}
 	}
 	stats := cost.DefaultStats(cfg.Peers)
 	stats.Replicas = cfg.Replicas
@@ -234,6 +256,15 @@ func NewCluster(cfg Config) *Cluster {
 	stats.ReadReplicas = effectiveReadReplicas(cfg)
 	opt := optimizer.New(stats, cfg.Optimizer)
 	c := &Cluster{cfg: cfg, pcfg: pcfg, net: net, peers: peers, opt: opt, stats: stats}
+	c.reg = trace.NewRegistry()
+	registerPeerMetrics(c.reg, func() []*pgrid.Peer { return c.peers })
+	c.reg.OnCollect(func(r *trace.Registry) {
+		st := c.net.Stats()
+		setCounter(r, "net.messages_sent", int64(st.MessagesSent))
+		setCounter(r, "net.messages_delivered", int64(st.MessagesDelivered))
+		setCounter(r, "net.messages_dropped", int64(st.MessagesDropped))
+		setCounter(r, "net.bytes_sent", int64(st.BytesSent))
+	})
 	for _, p := range peers {
 		eng := physical.NewEngine(p, lockedReopt{c})
 		eng.SetParallelism(cfg.ProbeParallelism)
@@ -264,6 +295,11 @@ func (c *Cluster) Peers() []*pgrid.Peer { return c.peers }
 
 // Stats returns the optimizer's statistics snapshot.
 func (c *Cluster) Stats() *cost.Stats { return c.stats }
+
+// Registry returns the cluster's unified metrics registry. Snapshot it
+// for point-in-time values, or take before/after Snapshot.Sub deltas
+// around a query for per-query attribution.
+func (c *Cluster) Registry() *trace.Registry { return c.reg }
 
 // Size returns the number of peers.
 func (c *Cluster) Size() int { return len(c.peers) }
@@ -452,6 +488,12 @@ type Result struct {
 	Messages int
 	Hops     int
 	Plan     string
+	// Trace is the assembled end-to-end trace of this query — the
+	// synthetic query root, one span per pipeline stage, and every
+	// overlay span the traced operations produced (including spans
+	// shipped home by migrated plan remainders). Nil unless the cluster
+	// was built with Config.Tracing.
+	Trace *trace.QueryTrace
 }
 
 // Rows renders the bindings as string rows following Vars order — the
@@ -520,6 +562,7 @@ func (c *Cluster) execQueryCtx(ctx context.Context, peerIdx int, q *vql.Query) (
 		TimeToFirst: ex.TimeToFirst(),
 		Hops:        ex.MaxHops(),
 		Plan:        plan.String(),
+		Trace:       ex.Trace(),
 	}
 	if !concurrent {
 		res.Messages = c.net.Stats().MessagesSent - before

@@ -15,6 +15,7 @@ import (
 	"unistore/internal/physical"
 	"unistore/internal/store"
 	"unistore/internal/store/wal"
+	"unistore/internal/trace"
 	"unistore/internal/triple"
 	"unistore/internal/vql"
 )
@@ -53,6 +54,15 @@ type NodeConfig struct {
 	Fsync wal.SyncPolicy
 	// Logf receives transport diagnostics.
 	Logf func(format string, args ...any)
+	// Tracing enables end-to-end query tracing on every hosted peer:
+	// each Query result carries the assembled trace tree, and recent
+	// trees are retained for the daemon's /trace/recent endpoint.
+	Tracing bool
+	// SlowQuery, when positive, logs (via Logf) the full trace tree of
+	// any traced query slower than this wall-clock threshold, with the
+	// optimizer's cost estimate printed next to the observed messages,
+	// bytes and latency.
+	SlowQuery time.Duration
 }
 
 func (c NodeConfig) withDefaults() (NodeConfig, error) {
@@ -98,6 +108,10 @@ type Node struct {
 	statsMu sync.RWMutex
 	seq     atomic.Uint64
 	dbs     []*wal.DB
+	// reg mirrors peer/transport/WAL counters under stable dotted
+	// names; tlog retains recent query traces for introspection.
+	reg  *trace.Registry
+	tlog *trace.TraceLog
 }
 
 // nodeReopt adapts hosted-plan re-optimization to the node's stats
@@ -121,6 +135,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	}
 	pcfg := pgrid.DefaultConfig()
 	pcfg.PageSize = cfg.PageSize
+	pcfg.Tracing = cfg.Tracing
 	specs := pgrid.BalancedSpecs(cfg.Partitions, cfg.Replicas, pcfg, cfg.Seed)
 	var hosted []pgrid.NodeSpec
 	for _, s := range specs {
@@ -173,6 +188,30 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	for _, p := range peers {
 		n.engines = append(n.engines, physical.NewEngine(p, nodeReopt{n}))
 	}
+	n.reg = trace.NewRegistry()
+	n.tlog = trace.NewTraceLog(0)
+	registerPeerMetrics(n.reg, func() []*pgrid.Peer { return n.peers })
+	n.reg.OnCollect(func(r *trace.Registry) {
+		st := n.tr.Stats()
+		setCounter(r, "net.frames_out", st.FramesOut)
+		setCounter(r, "net.frames_in", st.FramesIn)
+		setCounter(r, "net.bytes_out", st.BytesOut)
+		setCounter(r, "net.bytes_in", st.BytesIn)
+		setCounter(r, "net.dials", st.Dials)
+		setCounter(r, "net.dial_errors", st.DialErrs)
+		setCounter(r, "net.drops.queue_ctrl", st.DropsQueueCtrl)
+		setCounter(r, "net.drops.queue_bulk", st.DropsQueueBulk)
+		setCounter(r, "net.drops.dead", st.DropsDead)
+		setCounter(r, "net.drops.inbox", st.DropsInbox)
+		setCounter(r, "net.bad_frames", st.BadFrames)
+		var syncs, logBytes int64
+		for _, db := range n.dbs {
+			syncs += db.Syncs()
+			logBytes += db.LogSize()
+		}
+		setCounter(r, "wal.syncs", syncs)
+		r.Gauge("wal.log_bytes").Set(float64(logBytes))
+	})
 	tr.Start()
 	return n, nil
 }
@@ -264,7 +303,10 @@ func (n *Node) Insert(tr triple.Triple, timeout time.Duration) error {
 	return nil
 }
 
-// Query parses and executes VQL from a local peer.
+// Query parses and executes VQL from a local peer. Traced queries
+// land in the node's trace log, and — past the SlowQuery threshold —
+// in the slow-query log with the optimizer's estimate alongside what
+// the query actually cost.
 func (n *Node) Query(src string) (*Result, error) {
 	q, err := vql.ParseQuery(src)
 	if err != nil {
@@ -276,17 +318,73 @@ func (n *Node) Query(src string) (*Result, error) {
 	}
 	n.statsMu.RLock()
 	n.opt.Optimize(plan)
+	est := n.opt.EstimatePlan(plan)
 	n.statsMu.RUnlock()
 	eng := n.engines[0]
+	start := time.Now()
 	bs, ex := eng.RunPlanCtx(context.Background(), plan)
-	return &Result{
+	wall := time.Since(start)
+	res := &Result{
 		Bindings:    bs,
 		Vars:        resultVars(q),
 		Elapsed:     ex.Elapsed(),
 		TimeToFirst: ex.TimeToFirst(),
 		Hops:        ex.MaxHops(),
 		Plan:        plan.String(),
-	}, nil
+		Trace:       ex.Trace(),
+	}
+	if res.Trace != nil {
+		msgs, bytes := res.Trace.Totals()
+		res.Messages = msgs
+		n.tlog.Add(res.Trace)
+		if n.cfg.SlowQuery > 0 && wall >= n.cfg.SlowQuery && n.cfg.Logf != nil {
+			n.cfg.Logf("slow query (%v wall, %v simulated): estimate %.0f msgs / %v latency, observed %d msgs / %d bytes\nplan: %s\n%s",
+				wall, res.Elapsed, est.Messages, est.Latency, msgs, bytes, res.Plan, res.Trace.String())
+		}
+	}
+	return res, nil
+}
+
+// Registry returns the node's unified metrics registry (peer overlay
+// counters, transport counters, WAL counters — collected at snapshot).
+func (n *Node) Registry() *trace.Registry { return n.reg }
+
+// TraceLog returns the bounded buffer of recently completed query
+// traces (always non-nil; empty unless NodeConfig.Tracing).
+func (n *Node) TraceLog() *trace.TraceLog { return n.tlog }
+
+// NodeHealth is the liveness summary served by /healthz.
+type NodeHealth struct {
+	OK bool `json:"ok"`
+	// Addr is the transport's resolved listen address.
+	Addr string `json:"addr"`
+	// Peers is the hosted peer count; ClusterSize the cluster-wide one;
+	// RoutesKnown how many cluster peers this process can route to.
+	Peers       int `json:"peers"`
+	ClusterSize int `json:"clusterSize"`
+	RoutesKnown int `json:"routesKnown"`
+	// WALErrors lists the failure message of every hosted WAL whose log
+	// is wedged (fsync or append failure); empty when durable and
+	// healthy, or when running memory-only.
+	WALErrors []string `json:"walErrors,omitempty"`
+}
+
+// Health reports process liveness: the transport must know a route to
+// the whole cluster and every hosted WAL must be writable.
+func (n *Node) Health() NodeHealth {
+	h := NodeHealth{
+		Addr:        n.tr.Addr(),
+		Peers:       len(n.peers),
+		ClusterSize: len(n.specs),
+		RoutesKnown: len(n.tr.Routes()),
+	}
+	for i, db := range n.dbs {
+		if err := db.Err(); err != nil {
+			h.WALErrors = append(h.WALErrors, fmt.Sprintf("peer-%04d: %v", n.peers[i].ID(), err))
+		}
+	}
+	h.OK = h.RoutesKnown >= h.ClusterSize && len(h.WALErrors) == 0
+	return h
 }
 
 // Barrier waits until this process is quiescent: no queued transport

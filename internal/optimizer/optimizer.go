@@ -106,6 +106,32 @@ func (o *Optimizer) Optimize(p *physical.Plan) *physical.Plan {
 	return p
 }
 
+// EstimatePlan prices an already-optimized plan without reordering it:
+// the sequential composition of each step's estimate, with the final
+// step repriced for early termination on the tail's streamable limit.
+// It is the observability-side readout of the same model Optimize
+// chooses by — slow-query logs print it next to a query's observed
+// messages and latency, so model drift is visible where it matters.
+func (o *Optimizer) EstimatePlan(p *physical.Plan) cost.Estimate {
+	limit := streamableLimit(p.Tail)
+	var total cost.Estimate
+	card := 1.0
+	for i, st := range p.Steps {
+		stepLimit := 0
+		if i == len(p.Steps)-1 {
+			stepLimit = limit
+		}
+		est := o.estimate(st.Strat, st, card, len(st.JoinOn) > 0).ScaledToLimit(stepLimit)
+		if i == 0 {
+			total = est
+		} else {
+			total = total.Plus(est)
+		}
+		card = math.Max(est.Results, 1)
+	}
+	return total
+}
+
 // chooseAggStrategy decides pushdown vs centralized for an aggregating
 // tail by pricing groups-shipped against rows-shipped. Pushdown ships
 // at most min(groups, partition rows) states per partition; the

@@ -8,6 +8,7 @@ import (
 	"unistore/internal/agg"
 	"unistore/internal/keys"
 	"unistore/internal/simnet"
+	"unistore/internal/trace"
 	"unistore/internal/triple"
 )
 
@@ -143,7 +144,7 @@ func TestAggProbePartialOverlapDropsWhole(t *testing.T) {
 	spec := countSpec()
 	k1 := triple.AVKey("group", triple.S("db"))
 	k2 := triple.AVKey("group", triple.S("os"))
-	qid, op := p.newOp(0, 2, nil)
+	qid, op := p.newOp(0, 2, trace.OpMultiLookup, nil)
 	p.mu.Lock()
 	op.probeWant = map[string]bool{k1.String(): true, k2.String(): true}
 	op.aggSpec = spec
@@ -160,9 +161,9 @@ func TestAggProbePartialOverlapDropsWhole(t *testing.T) {
 	// k1 answered alone first; then a late batch re-answers k1 along
 	// with k2 — its states fold k1's rows again, so it must be dropped.
 	p.handleResponse(queryResp{QID: qid, ProbeKeys: []keys.Key{k1},
-		AggData: agg.EncodeStates(one.States()), AggGroups: 1, From: 99, Path: keys.FromBits("0")})
+		AggData: agg.EncodeStates(one.States()), AggGroups: 1, From: 99, Path: keys.FromBits("0")}, 0)
 	p.handleResponse(queryResp{QID: qid, ProbeKeys: []keys.Key{k1, k2},
-		AggData: agg.EncodeStates(both.States()), AggGroups: 2, From: 98, Path: keys.FromBits("0")})
+		AggData: agg.EncodeStates(both.States()), AggGroups: 2, From: 98, Path: keys.FromBits("0")}, 0)
 	h := &Handle{peer: p, op: op, qid: qid}
 	if h.Done() {
 		t.Fatal("partially overlapping batch completed the operation")
@@ -171,7 +172,7 @@ func TestAggProbePartialOverlapDropsWhole(t *testing.T) {
 	two := agg.NewTable(spec)
 	two.AddTriple(triple.T("p2", "group", "os"))
 	p.handleResponse(queryResp{QID: qid, ProbeKeys: []keys.Key{k2},
-		AggData: agg.EncodeStates(two.States()), AggGroups: 1, From: 97, Path: keys.FromBits("0")})
+		AggData: agg.EncodeStates(two.States()), AggGroups: 1, From: 97, Path: keys.FromBits("0")}, 0)
 	if !h.Done() {
 		t.Fatal("clean remainder did not complete the operation")
 	}

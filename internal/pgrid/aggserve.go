@@ -7,6 +7,7 @@ import (
 	"unistore/internal/keys"
 	"unistore/internal/simnet"
 	"unistore/internal/store"
+	"unistore/internal/trace"
 	"unistore/internal/triple"
 )
 
@@ -42,7 +43,7 @@ func (p *Peer) aggStates(kind triple.IndexKind, r keys.Range, spec *agg.Spec) []
 // ships — a window smaller than a single state degrades to
 // group-at-a-time paging, never to silence). Shrinking is exact: the
 // dropped groups reappear behind the tightened AggAfter cursor.
-func (p *Peer) serveAggPage(qid uint64, origin simnet.NodeID, cont pageCont, winBytes int) {
+func (p *Peer) serveAggPage(qid uint64, origin simnet.NodeID, cont pageCont, winBytes int, ws *trace.WireSpan, traceID uint64) {
 	if cont.PageSize > 0 {
 		p.stats.pagesServed.Add(1)
 	}
@@ -79,6 +80,7 @@ func (p *Peer) serveAggPage(qid uint64, origin simnet.NodeID, cont pageCont, win
 		resp.Share = cont.Share
 		resp.Final = true
 	}
+	resp.TS = p.finishSpan(ws, traceID, resp.Count)
 	p.net.Send(p.id, origin, KindResponse, resp)
 }
 
@@ -104,8 +106,8 @@ func aggProbeResp(resp *queryResp, spec *agg.Spec, entries []store.Entry) {
 // mergeable in any order, and the scan's claim/coverage failover keeps
 // each partition's contribution exactly-once, so the merge is exact
 // even under churn. The final OpResult carries counts only.
-func (p *Peer) RangeQueryAgg(kind triple.IndexKind, r keys.Range, spec *agg.Spec, onGroups func([]agg.State), cb func(OpResult)) *Handle {
-	qid, op := p.newOp(TotalShare, 0, cb)
+func (p *Peer) RangeQueryAgg(kind triple.IndexKind, r keys.Range, spec *agg.Spec, onGroups func([]agg.State), cb func(OpResult), opts ...OpOption) *Handle {
+	qid, op := p.newOp(TotalShare, 0, trace.OpRange, cb, opts...)
 	p.mu.Lock()
 	op.aggSpec = spec
 	op.onAgg = onGroups
@@ -114,9 +116,9 @@ func (p *Peer) RangeQueryAgg(kind triple.IndexKind, r keys.Range, spec *agg.Spec
 	wb, wm := p.advertiseWindow()
 	msg := rangeMsg{QID: qid, Origin: p.id, Kind: uint8(kind), R: r,
 		Level: 0, Share: TotalShare, PageSize: p.cfg.PageSize, Agg: spec,
-		WinBytes: wb, WinMsgs: wm}
+		WinBytes: wb, WinMsgs: wm, TC: op.tc}
 	p.armScanRetry(qid)
-	p.handleRange(msg)
+	p.handleRange(msg, 0)
 	return &Handle{peer: p, op: op, qid: qid}
 }
 
@@ -126,8 +128,8 @@ func (p *Peer) RangeQueryAgg(kind triple.IndexKind, r keys.Range, spec *agg.Spec
 // Lookup — cached owner sets, load-balanced replica choice, hedged
 // failover — so a dead or slow owner degrades to a sibling or the
 // routed path, never to a wrong answer.
-func (p *Peer) LookupAgg(kind triple.IndexKind, k keys.Key, spec *agg.Spec, onGroups func([]agg.State), cb func(OpResult)) *Handle {
-	qid, op := p.newOp(0, 1, cb)
+func (p *Peer) LookupAgg(kind triple.IndexKind, k keys.Key, spec *agg.Spec, onGroups func([]agg.State), cb func(OpResult), opts ...OpOption) *Handle {
+	qid, op := p.newOp(0, 1, trace.OpLookup, cb, opts...)
 	p.mu.Lock()
 	op.probeWant = map[string]bool{k.String(): true}
 	op.probeKind = uint8(kind)

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"unistore/internal/store"
+	"unistore/internal/trace"
 	"unistore/internal/triple"
 )
 
@@ -165,18 +166,18 @@ func TestAckedInsertDuplicateAcksDoNotOvercount(t *testing.T) {
 	net, peers := loadReplicated(87, 4, 1, 8, DefaultConfig())
 	_ = net
 	p := peers[0]
-	qid, op := p.newOp(0, 3, nil)
+	qid, op := p.newOp(0, 3, trace.OpInsert, nil)
 	p.mu.Lock()
 	op.insertPend = map[uint8]store.Entry{0: {}, 1: {}, 2: {}}
 	p.mu.Unlock()
-	p.handleAck(ackMsg{QID: qid, Seq: 0}, p.id)
-	p.handleAck(ackMsg{QID: qid, Seq: 0}, p.id) // duplicate
-	p.handleAck(ackMsg{QID: qid, Seq: 1}, p.id)
+	p.handleAck(ackMsg{QID: qid, Seq: 0}, p.id, 0)
+	p.handleAck(ackMsg{QID: qid, Seq: 0}, p.id, 0) // duplicate
+	p.handleAck(ackMsg{QID: qid, Seq: 1}, p.id, 0)
 	h := &Handle{peer: p, op: op, qid: qid}
 	if h.Done() {
 		t.Fatal("duplicate ack completed the operation early")
 	}
-	p.handleAck(ackMsg{QID: qid, Seq: 2}, p.id)
+	p.handleAck(ackMsg{QID: qid, Seq: 2}, p.id, 0)
 	if !h.Done() {
 		t.Fatal("distinct acks did not complete the operation")
 	}

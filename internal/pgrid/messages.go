@@ -5,6 +5,7 @@ import (
 	"unistore/internal/keys"
 	"unistore/internal/simnet"
 	"unistore/internal/store"
+	"unistore/internal/trace"
 )
 
 // aggWireSize sizes an optional aggregation spec rider.
@@ -44,10 +45,15 @@ const TotalShare = 1 << 30
 
 // routeEnvelope carries a payload toward the peer responsible for
 // Target. Hops counts forwarding steps for the logarithmic-routing
-// experiments.
+// experiments. Spent carries legs the payload's journey already paid
+// before this envelope existed (a mis-addressed probe being re-routed
+// by its stale recipient): they extend the reported end-to-end hop
+// count but are NOT charged to the serving span — the probe message
+// itself is accounted by the span of the peer that re-routed it.
 type routeEnvelope struct {
 	Target keys.Key
 	Hops   int
+	Spent  int
 	Inner  any
 }
 
@@ -67,9 +73,12 @@ type insertReq struct {
 	QID    uint64 // 0 for fire-and-forget
 	Origin simnet.NodeID
 	Seq    uint8
+	// TC is the trace context (zero when tracing is off): the serving
+	// peer records a span under TC.Parent and rides it home on the ack.
+	TC trace.Ctx
 }
 
-func (r insertReq) WireSize() int { return r.Entry.WireSize() + 13 }
+func (r insertReq) WireSize() int { return r.Entry.WireSize() + 13 + r.TC.WireSize() }
 
 // lookupReq asks the responsible peer for the entries at exactly Key.
 // With Agg set the peer aggregates the matching entries and answers
@@ -81,9 +90,11 @@ type lookupReq struct {
 	Kind   uint8 // triple.IndexKind
 	Key    keys.Key
 	Agg    *agg.Spec
+	// TC is the trace context (zero when tracing is off).
+	TC trace.Ctx
 }
 
-func (r lookupReq) WireSize() int { return r.Key.Len()/8 + 16 + aggWireSize(r.Agg) }
+func (r lookupReq) WireSize() int { return r.Key.Len()/8 + 16 + aggWireSize(r.Agg) + r.TC.WireSize() }
 
 // multiLookupReq batches several exact-key probes of one query into a
 // single message, sent directly to the peer the sender's routing cache
@@ -101,10 +112,13 @@ type multiLookupReq struct {
 	// instead of rows); mis-attributed keys re-route with the spec
 	// attached, so a stale cache degrades to routed aggregation.
 	Agg *agg.Spec
+	// TC is the trace context (zero when tracing is off). Re-routed
+	// keys carry a child context parented on the probed peer's span.
+	TC trace.Ctx
 }
 
 func (r multiLookupReq) WireSize() int {
-	s := 16 + aggWireSize(r.Agg)
+	s := 16 + aggWireSize(r.Agg) + r.TC.WireSize()
 	for _, k := range r.Keys {
 		s += k.Len()/8 + 2
 	}
@@ -148,10 +162,14 @@ type rangeMsg struct {
 	// constant. 0 = no window (uncontrolled).
 	WinBytes int
 	WinMsgs  int
+	// TC is the trace context (zero when tracing is off). Each shower
+	// branch forwards a child context parented on the forwarder's span,
+	// so the assembled trace mirrors the trie fan-out.
+	TC trace.Ctx
 }
 
 func (r rangeMsg) WireSize() int {
-	return r.R.Lo.Len()/8 + r.R.Hi.Len()/8 + 44 + aggWireSize(r.Agg)
+	return r.R.Lo.Len()/8 + r.R.Hi.Len()/8 + 44 + aggWireSize(r.Agg) + r.TC.WireSize()
 }
 
 // pageCont is the continuation token of a paged range scan: everything
@@ -214,9 +232,12 @@ type pageReq struct {
 	// receiver can absorb NOW. 0 = no window.
 	WinBytes int
 	WinMsgs  int
+	// TC is the trace context (zero when tracing is off), parented on
+	// the span that produced the continuation — pages chain in the tree.
+	TC trace.Ctx
 }
 
-func (r pageReq) WireSize() int { return r.Cont.WireSize() + 20 }
+func (r pageReq) WireSize() int { return r.Cont.WireSize() + 20 + r.TC.WireSize() }
 
 // queryResp returns entries (or a count, for probes) to the origin.
 // For range queries Share carries the branch mass; for lookups Share
@@ -274,10 +295,13 @@ type queryResp struct {
 	// EWMA feeds the replica chooser's pressure signal. 0 = no window.
 	WinBytes int
 	WinMsgs  int
+	// TS piggybacks the serving peer's completed span home (nil when
+	// tracing is off) — tracing adds bytes to responses, never messages.
+	TS *trace.WireSpan
 }
 
 func (r queryResp) WireSize() int {
-	s := 49 + len(r.Replicas)*10 + len(r.AggData) + r.ScanPath.Len()/8
+	s := 49 + len(r.Replicas)*10 + len(r.AggData) + r.ScanPath.Len()/8 + r.TS.WireSize()
 	for _, k := range r.ProbeKeys {
 		s += k.Len()/8 + 2
 	}
@@ -301,9 +325,12 @@ type ackMsg struct {
 	Seq      uint8
 	WinBytes int
 	WinMsgs  int
+	// TS piggybacks the applying peer's insert span home (nil when
+	// tracing is off).
+	TS *trace.WireSpan
 }
 
-func (ackMsg) WireSize() int { return 21 }
+func (a ackMsg) WireSize() int { return 21 + a.TS.WireSize() }
 
 // gossipMsg pushes freshly written entries to replicas of the same
 // partition. AckID, when nonzero, asks the replica for a gossipAckMsg

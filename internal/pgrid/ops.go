@@ -7,6 +7,7 @@ import (
 	"unistore/internal/keys"
 	"unistore/internal/simnet"
 	"unistore/internal/store"
+	"unistore/internal/trace"
 	"unistore/internal/triple"
 )
 
@@ -17,6 +18,25 @@ type OpResult struct {
 	Hops      int  // maximum routing hops over all branches
 	Responses int  // responding partitions
 	Complete  bool // all expected responses (or shares) arrived
+	// Spans is a snapshot of the operation's trace at completion (nil
+	// untraced). Late riders keep accumulating afterwards; TakeTrace
+	// drains the final set.
+	Spans []trace.Span
+}
+
+// OpOption customizes an issued operation.
+type OpOption func(*opSettings)
+
+type opSettings struct {
+	tc trace.Ctx
+}
+
+// WithTrace runs the operation under a trace context (tracing must be
+// enabled in Config): the origin records a root span, every request
+// carries a child context, and serving peers' spans ride home into the
+// origin's accumulator — drained with Peer.TakeTrace(handle.QID()).
+func WithTrace(tc trace.Ctx) OpOption {
+	return func(s *opSettings) { s.tc = tc }
 }
 
 // Handle tracks an asynchronous overlay operation.
@@ -25,6 +45,10 @@ type Handle struct {
 	op   *pendingOp
 	qid  uint64
 }
+
+// QID returns the operation's request id — the key Peer.TakeTrace
+// drains origin-side spans under.
+func (h *Handle) QID() uint64 { return h.qid }
 
 // Done reports whether the operation completed.
 func (h *Handle) Done() bool {
@@ -122,23 +146,37 @@ const opDeadline = 2 * time.Minute
 
 // newOp registers a pending operation. needShares/needResponses define
 // the completion rule (whichever is positive). A deadline timer expires
-// the operation with partial results if responses are lost.
-func (p *Peer) newOp(needShares int64, needResponses int, cb func(OpResult)) (uint64, *pendingOp) {
+// the operation with partial results if responses are lost. opKind
+// names the operation in its trace root span, recorded when an option
+// supplies an active trace context (and Config.Tracing is on).
+func (p *Peer) newOp(needShares int64, needResponses int, opKind uint8, cb func(OpResult), opts ...OpOption) (uint64, *pendingOp) {
+	var st opSettings
+	for _, o := range opts {
+		o(&st)
+	}
 	op := &pendingOp{
 		needShares:    needShares,
 		needResponses: needResponses,
 		fin:           make(chan struct{}),
 	}
-	op.onDone = func(o *pendingOp) {
-		if cb != nil {
-			cb(o.result())
-		}
-	}
 	p.mu.Lock()
 	p.reqSeq++
 	qid := p.reqSeq
 	p.pending[qid] = op
+	op.onDone = func(o *pendingOp) {
+		if cb != nil {
+			res := o.result()
+			res.Spans = p.peekTrace(qid)
+			cb(res)
+		}
+	}
 	p.mu.Unlock()
+	if st.tc.Active() && p.cfg.Tracing {
+		tc := p.beginOpTrace(qid, st.tc, opKind)
+		p.mu.Lock()
+		op.tc = tc
+		p.mu.Unlock()
+	}
 	p.net.After(opDeadline, func() { p.expireOp(qid) })
 	return qid, op
 }
@@ -189,10 +227,14 @@ func (p *Peer) expireOp(qid uint64) {
 	fire()
 }
 
-func (p *Peer) handleResponse(r queryResp) {
+func (p *Peer) handleResponse(r queryResp, size int) {
 	// Fold the responder's piggybacked receive window in first: the
 	// fresh credit may flush deferred bulk sends toward it.
 	p.runFlow(p.flow.window(r.From, r.WinBytes, r.WinMsgs))
+	// Absorb the piggybacked span before ANY drop decision: a late or
+	// duplicate-suppressed response still cost a real message, and the
+	// trace's accounting must reconcile with the transport's.
+	p.absorbRider(r.QID, r.TS, size)
 	p.mu.Lock()
 	p.learnRouteLocked(r.Path, r.From, r.Replicas)
 	op, ok := p.pending[r.QID]
@@ -252,6 +294,10 @@ func (p *Peer) handleResponse(r queryResp) {
 		}
 		op.responses += newly
 		p.settleGroupsLocked(op, r.From)
+	} else if r.Probes < 0 {
+		// A trace-only response (a probe batch that covered none of its
+		// keys): the rider was absorbed above; it carries no rows and no
+		// completion signal.
 	} else if r.Probes > 1 {
 		// A batched response resolves Probes lookup keys at once; plain
 		// responses (Probes 0) count as one.
@@ -347,6 +393,12 @@ func (p *Peer) handleResponse(r queryResp) {
 		op.hops = r.Hops
 	}
 	pull := r.Cont != nil
+	// A page pull chains on the span that produced the continuation, so
+	// each partition's pages form a chain in the trace tree.
+	pullTC := op.tc
+	if r.TS != nil && pullTC.Active() {
+		pullTC = trace.Ctx{TraceID: pullTC.TraceID, Parent: r.TS.ID, Depth: r.TS.Depth + 1}
+	}
 	// Completion must fire after the partial delivery, so the check is
 	// made under the lock but both callbacks run after unlocking.
 	var fire func()
@@ -395,7 +447,7 @@ func (p *Peer) handleResponse(r queryResp) {
 			wb, wm := p.advertiseWindow()
 			p.net.Send(p.id, target, KindPage, pageReq{
 				QID: r.QID, Origin: p.id, Cont: *r.Cont,
-				WinBytes: wb, WinMsgs: wm,
+				WinBytes: wb, WinMsgs: wm, TC: pullTC,
 			})
 			// Hedge the pull itself: if the server dies (or the pull or
 			// its answer is swallowed) with the request already sent,
@@ -408,10 +460,14 @@ func (p *Peer) handleResponse(r queryResp) {
 	}
 }
 
-func (p *Peer) handleAck(a ackMsg, from simnet.NodeID) {
+func (p *Peer) handleAck(a ackMsg, from simnet.NodeID, size int) {
 	// Settle the entry's flow-control charge and fold the acking
 	// peer's advertised window in; both may flush deferred sends.
 	p.runFlow(p.flow.release(flowKey{qid: a.QID, seq: a.Seq}, from, a.WinBytes, a.WinMsgs))
+	// The rider is absorbed before the duplicate-ack guard: a retried
+	// insert's second ack is dropped for completion but its span (and
+	// message cost) still belongs in the trace.
+	p.absorbRider(a.QID, a.TS, size)
 	p.mu.Lock()
 	op, ok := p.pending[a.QID]
 	if !ok || op.done {
@@ -491,8 +547,8 @@ func (p *Peer) InsertTriple(tr triple.Triple, version uint64) {
 // time), and entries whose ack is still missing when the hedge
 // deadline passes are re-routed — safely, because the store resolves
 // duplicate entries by version, so a retried insert is idempotent.
-func (p *Peer) InsertTripleAcked(tr triple.Triple, version uint64, cb func(OpResult)) *Handle {
-	qid, op := p.newOp(0, len(triple.AllIndexKinds), cb)
+func (p *Peer) InsertTripleAcked(tr triple.Triple, version uint64, cb func(OpResult), opts ...OpOption) *Handle {
+	qid, op := p.newOp(0, len(triple.AllIndexKinds), trace.OpInsert, cb, opts...)
 	p.mu.Lock()
 	op.insertPend = make(map[uint8]store.Entry, len(triple.AllIndexKinds))
 	for i, kind := range triple.AllIndexKinds {
@@ -502,7 +558,7 @@ func (p *Peer) InsertTripleAcked(tr triple.Triple, version uint64, cb func(OpRes
 	p.mu.Unlock()
 	for i, kind := range triple.AllIndexKinds {
 		p.sendInsert(qid, uint8(i), store.Entry{Kind: kind, Key: triple.IndexKey(tr, kind),
-			Triple: tr, Version: version})
+			Triple: tr, Version: version}, op.tc)
 	}
 	p.armInsertRetry(qid, 0)
 	return &Handle{peer: p, op: op, qid: qid}
@@ -518,8 +574,8 @@ func (p *Peer) InsertTripleAcked(tr triple.Triple, version uint64, cb func(OpRes
 // time. The deferred closure re-routes at flush time, so credit
 // returning after a split or failover still lands the entry on a live
 // owner.
-func (p *Peer) sendInsert(qid uint64, seq uint8, e store.Entry) {
-	req := insertReq{Entry: e, QID: qid, Origin: p.id, Seq: seq}
+func (p *Peer) sendInsert(qid uint64, seq uint8, e store.Entry, tc trace.Ctx) {
+	req := insertReq{Entry: e, QID: qid, Origin: p.id, Seq: seq, TC: tc}
 	target, ok := p.cachedOwner(e.Key)
 	if !ok || target.ID == p.id {
 		p.route(e.Key, req)
@@ -529,6 +585,7 @@ func (p *Peer) sendInsert(qid uint64, seq uint8, e store.Entry) {
 	if !p.flow.submit(target.ID, flowKey{qid: qid, seq: seq}, req.WireSize(),
 		func() { p.route(e.Key, req) }) {
 		p.stats.flowStalls.Add(1)
+		p.noteTraceStall(qid)
 	}
 }
 
@@ -557,8 +614,8 @@ func (p *Peer) DeleteTriple(oid, attr string, version uint64) {
 // the given index. The probe is key-tracked: a cached owner set sends
 // it direct to a load-chosen replica with hedged failover; otherwise
 // it takes the routed path.
-func (p *Peer) Lookup(kind triple.IndexKind, k keys.Key, cb func(OpResult)) *Handle {
-	qid, op := p.newOp(0, 1, cb)
+func (p *Peer) Lookup(kind triple.IndexKind, k keys.Key, cb func(OpResult), opts ...OpOption) *Handle {
+	qid, op := p.newOp(0, 1, trace.OpLookup, cb, opts...)
 	p.mu.Lock()
 	op.probeWant = map[string]bool{k.String(): true}
 	op.probeKind = uint8(kind)
@@ -576,7 +633,7 @@ func (p *Peer) Lookup(kind triple.IndexKind, k keys.Key, cb func(OpResult)) *Han
 // lookups. Answers are tracked per key, so the operation completes
 // exactly when every distinct key has been answered — no matter how
 // responses, hedged duplicates, or failover retries interleave.
-func (p *Peer) MultiLookup(kind triple.IndexKind, ks []keys.Key, cb func(OpResult)) *Handle {
+func (p *Peer) MultiLookup(kind triple.IndexKind, ks []keys.Key, cb func(OpResult), opts ...OpOption) *Handle {
 	distinct := make([]keys.Key, 0, len(ks))
 	want := make(map[string]bool, len(ks))
 	for _, k := range ks {
@@ -586,7 +643,7 @@ func (p *Peer) MultiLookup(kind triple.IndexKind, ks []keys.Key, cb func(OpResul
 			distinct = append(distinct, k)
 		}
 	}
-	qid, op := p.newOp(0, len(distinct), cb)
+	qid, op := p.newOp(0, len(distinct), trace.OpMultiLookup, cb, opts...)
 	p.mu.Lock()
 	op.probeWant = want
 	op.probeKind = uint8(kind)
@@ -597,18 +654,18 @@ func (p *Peer) MultiLookup(kind triple.IndexKind, ks []keys.Key, cb func(OpResul
 
 // RangeQuery asynchronously collects all entries of `kind` with keys in
 // r, using the shower algorithm. probe=true returns counts only.
-func (p *Peer) RangeQuery(kind triple.IndexKind, r keys.Range, probe bool, cb func(OpResult)) *Handle {
-	qid, op := p.newOp(TotalShare, 0, cb)
+func (p *Peer) RangeQuery(kind triple.IndexKind, r keys.Range, probe bool, cb func(OpResult), opts ...OpOption) *Handle {
+	qid, op := p.newOp(TotalShare, 0, trace.OpRange, cb, opts...)
 	p.mu.Lock()
 	op.scan = &scanState{kind: uint8(kind), r: r, pageSize: p.cfg.PageSize, probe: probe}
 	p.mu.Unlock()
 	wb, wm := p.advertiseWindow()
 	msg := rangeMsg{QID: qid, Origin: p.id, Kind: uint8(kind), R: r,
 		Level: 0, Share: TotalShare, Probe: probe, PageSize: p.cfg.PageSize,
-		WinBytes: wb, WinMsgs: wm}
+		WinBytes: wb, WinMsgs: wm, TC: op.tc}
 	p.armScanRetry(qid)
 	// The origin participates in the shower like any other peer.
-	p.handleRange(msg)
+	p.handleRange(msg, 0)
 	return &Handle{peer: p, op: op, qid: qid}
 }
 
@@ -619,16 +676,16 @@ func (p *Peer) RangeQuery(kind triple.IndexKind, r keys.Range, probe bool, cb fu
 // Canceling the handle between pages stops the pull loop — remaining
 // pages are never requested. onPage runs outside the peer lock but
 // always before the completion callback.
-func (p *Peer) RangeQueryPages(kind triple.IndexKind, r keys.Range, onPage func([]store.Entry), cb func(OpResult)) *Handle {
-	return p.RangeQueryPagesOrdered(kind, r, false, onPage, cb)
+func (p *Peer) RangeQueryPages(kind triple.IndexKind, r keys.Range, onPage func([]store.Entry), cb func(OpResult), opts ...OpOption) *Handle {
+	return p.RangeQueryPagesOrdered(kind, r, false, onPage, cb, opts...)
 }
 
 // RangeQueryPagesOrdered is RangeQueryPages with a direction: desc
 // serves (and pages) every partition's overlap from the top of the key
 // range down, so descending ranked scans stream pages in ranking order
 // instead of buffering whole shards for reversal.
-func (p *Peer) RangeQueryPagesOrdered(kind triple.IndexKind, r keys.Range, desc bool, onPage func([]store.Entry), cb func(OpResult)) *Handle {
-	qid, op := p.newOp(TotalShare, 0, cb)
+func (p *Peer) RangeQueryPagesOrdered(kind triple.IndexKind, r keys.Range, desc bool, onPage func([]store.Entry), cb func(OpResult), opts ...OpOption) *Handle {
+	qid, op := p.newOp(TotalShare, 0, trace.OpRange, cb, opts...)
 	p.mu.Lock()
 	op.onPartial = onPage
 	op.scan = &scanState{kind: uint8(kind), r: r, pageSize: p.cfg.PageSize, desc: desc}
@@ -636,16 +693,16 @@ func (p *Peer) RangeQueryPagesOrdered(kind triple.IndexKind, r keys.Range, desc 
 	wb, wm := p.advertiseWindow()
 	msg := rangeMsg{QID: qid, Origin: p.id, Kind: uint8(kind), R: r,
 		Level: 0, Share: TotalShare, PageSize: p.cfg.PageSize, Desc: desc,
-		WinBytes: wb, WinMsgs: wm}
+		WinBytes: wb, WinMsgs: wm, TC: op.tc}
 	p.armScanRetry(qid)
-	p.handleRange(msg)
+	p.handleRange(msg, 0)
 	return &Handle{peer: p, op: op, qid: qid}
 }
 
 // Broadcast asynchronously reaches every peer and collects all entries
 // of one index kind (the naive full-scan access path).
-func (p *Peer) Broadcast(kind triple.IndexKind, probe bool, cb func(OpResult)) *Handle {
-	return p.RangeQuery(kind, keys.Range{}, probe, cb)
+func (p *Peer) Broadcast(kind triple.IndexKind, probe bool, cb func(OpResult), opts ...OpOption) *Handle {
+	return p.RangeQuery(kind, keys.Range{}, probe, cb, opts...)
 }
 
 // --- Application payload routing -----------------------------------------

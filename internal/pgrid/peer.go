@@ -26,6 +26,7 @@ import (
 	"unistore/internal/keys"
 	"unistore/internal/simnet"
 	"unistore/internal/store"
+	"unistore/internal/trace"
 	"unistore/internal/triple"
 )
 
@@ -80,6 +81,12 @@ type Config struct {
 	// windows advertise as 0 (no window) and sends are never gated —
 	// the uncontrolled baseline the flow benchmark compares against.
 	DisableFlowControl bool
+	// Tracing enables distributed query tracing (tracing.go): operations
+	// issued WithTrace carry a trace context on every request, serving
+	// peers record spans and piggyback them home on responses, and the
+	// origin accumulates the full trace per operation. Off by default —
+	// untraced runs send identical messages and pay zero extra bytes.
+	Tracing bool
 }
 
 // DefaultHedgeAfter is the probe-hedging deadline used when
@@ -176,6 +183,16 @@ type Peer struct {
 	// Counters for experiments (atomic: bumped from worker goroutines,
 	// snapshotted by experiment drivers).
 	stats peerCounters
+
+	// Tracing state (tracing.go), allocated only with cfg.Tracing set:
+	// tring buffers spans this peer served, traces accumulates the spans
+	// of operations this peer originated (keyed by qid, independent of
+	// the pendingOp lifetime so late riders still reconcile), spanSeq
+	// sources span ids. traceMu is innermost — never held across sends.
+	tring   *trace.SpanRing
+	traceMu sync.Mutex
+	traces  map[uint64][]trace.Span
+	spanSeq atomic.Uint64
 }
 
 // peerCounters holds the atomic protocol counters behind PeerStats.
@@ -309,6 +326,11 @@ type pendingOp struct {
 	// ones (idempotent — the store resolves duplicates by version), and
 	// a duplicate ack from a retried entry cannot double-count.
 	insertPend map[uint8]store.Entry
+
+	// tc is the trace context this operation's requests carry (parented
+	// on the origin's root span); zero when the op is untraced. Retries
+	// and hedges re-send with the matching flag set.
+	tc trace.Ctx
 }
 
 // probeGroup is one direct send of probe keys to a chosen replica,
@@ -409,6 +431,10 @@ func NewPeer(net Transport, cfg Config) *Peer {
 		flow:       newFlowTable(cfg.DisableFlowControl),
 		gossipPend: make(map[simnet.NodeID]map[factKey]store.Entry),
 		pending:    make(map[uint64]*pendingOp),
+	}
+	if cfg.Tracing {
+		p.tring = trace.NewSpanRing(0)
+		p.traces = make(map[uint64][]trace.Span)
 	}
 	p.id = net.AddNode(p)
 	if cfg.AntiEntropyEvery > 0 {
@@ -529,13 +555,13 @@ func (p *Peer) HandleMessage(m simnet.Message) {
 	p.flow.observeIn(m.Size)
 	switch m.Kind {
 	case KindRoute:
-		p.handleRoute(m.Payload.(routeEnvelope), m.From)
+		p.handleRoute(m.Payload.(routeEnvelope), m.From, m.Size)
 	case KindRange:
-		p.handleRange(m.Payload.(rangeMsg))
+		p.handleRange(m.Payload.(rangeMsg), m.Size)
 	case KindResponse:
-		p.handleResponse(m.Payload.(queryResp))
+		p.handleResponse(m.Payload.(queryResp), m.Size)
 	case KindAck:
-		p.handleAck(m.Payload.(ackMsg), m.From)
+		p.handleAck(m.Payload.(ackMsg), m.From, m.Size)
 	case KindGossip:
 		p.handleGossip(m.Payload.(gossipMsg), m.From)
 	case KindGossipAck:
@@ -550,9 +576,9 @@ func (p *Peer) HandleMessage(m simnet.Message) {
 	case KindExchange:
 		p.handleExchange(m.Payload.(exchangeMsg), m.From)
 	case KindMultiLookup:
-		p.handleMultiLookup(m.Payload.(multiLookupReq))
+		p.handleMultiLookup(m.Payload.(multiLookupReq), m.Size)
 	case KindPage:
-		p.handlePage(m.Payload.(pageReq))
+		p.handlePage(m.Payload.(pageReq), m.Size)
 	case KindXferData:
 		// Split/re-home data: apply, then push the batch on to the
 		// replica group (deduplicated, one gossipMsg per replica) so
@@ -587,16 +613,19 @@ func (p *Peer) HandleMessage(m simnet.Message) {
 	}
 }
 
-// deliver processes an envelope this peer is responsible for.
-func (p *Peer) deliver(env routeEnvelope, from simnet.NodeID) {
+// deliver processes an envelope this peer is responsible for. size is
+// the delivering message's wire size (0 for a local delivery); the
+// request's trace span is charged env.Hops messages of that size.
+func (p *Peer) deliver(env routeEnvelope, from simnet.NodeID, size int) {
 	p.stats.delivered.Add(1)
 	switch inner := env.Inner.(type) {
 	case insertReq:
-		p.applyInsert(inner, env.Hops, from)
+		p.applyInsert(inner, env.Hops, from, size)
 	case lookupReq:
+		ws := p.beginSpan(inner.TC, trace.OpLookup, env.Hops, env.Hops*size)
 		entries := p.store.Lookup(triple.IndexKind(inner.Kind), inner.Key)
 		resp := queryResp{
-			QID: inner.QID, Share: TotalShare, Hops: env.Hops,
+			QID: inner.QID, Share: TotalShare, Hops: env.Hops + env.Spent,
 			ProbeKeys: []keys.Key{inner.Key},
 		}
 		if inner.Agg != nil {
@@ -606,12 +635,14 @@ func (p *Peer) deliver(env routeEnvelope, from simnet.NodeID) {
 			resp.Count = len(entries)
 		}
 		p.stampResp(&resp)
+		resp.TS = p.finishSpan(ws, inner.TC.TraceID, resp.Count)
 		p.net.Send(p.id, inner.Origin, KindResponse, resp)
 	case pageReq:
 		// A routed page pull: the churn re-shower resumes a dead
 		// server's paged stream at its cursor through whichever replica
 		// of the partition routing reaches.
-		p.servePage(inner.QID, inner.Origin, inner.Cont, inner.WinBytes)
+		ws := p.beginSpan(inner.TC, trace.OpPage, env.Hops, env.Hops*size)
+		p.servePage(inner.QID, inner.Origin, inner.Cont, inner.WinBytes, ws, inner.TC.TraceID)
 	case appMsg:
 		if h := p.appHandler(); h != nil {
 			h(p, inner.Payload, from, env.Hops)
@@ -621,16 +652,22 @@ func (p *Peer) deliver(env routeEnvelope, from simnet.NodeID) {
 	}
 }
 
-func (p *Peer) applyInsert(req insertReq, hops int, from simnet.NodeID) {
+func (p *Peer) applyInsert(req insertReq, hops int, from simnet.NodeID, size int) {
+	ws := p.beginSpan(req.TC, trace.OpInsert, hops, hops*size)
 	won := p.store.Apply(req.Entry)
 	if won {
 		p.pushToReplicas([]store.Entry{req.Entry}, from)
 	}
 	if req.QID != 0 {
+		rows := 0
+		if won {
+			rows = 1
+		}
 		wb, wm := p.advertiseWindow()
 		p.net.Send(p.id, req.Origin, KindAck, ackMsg{
 			QID: req.QID, Hops: hops, Seq: req.Seq,
 			WinBytes: wb, WinMsgs: wm,
+			TS: p.finishSpan(ws, req.TC.TraceID, rows),
 		})
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"unistore/internal/keys"
 	"unistore/internal/simnet"
 	"unistore/internal/store"
+	"unistore/internal/trace"
 	"unistore/internal/triple"
 )
 
@@ -33,9 +34,10 @@ func (p *Peer) dispatchProbes(qid uint64, op *pendingOp, kind uint8, ks []keys.K
 	if len(ks) == 1 {
 		k := ks[0]
 		p.mu.RLock()
+		tc := op.tc
 		if k.HasPrefix(p.path) {
 			p.mu.RUnlock()
-			p.serveLocalProbes(qid, op, kind, ks)
+			p.serveLocalProbes(qid, op, kind, ks, tc)
 			return
 		}
 		set, ok := p.cachedSetLocked(k)
@@ -46,11 +48,11 @@ func (p *Peer) dispatchProbes(qid uint64, op *pendingOp, kind uint8, ks []keys.K
 		p.mu.RUnlock()
 		if ok {
 			p.stats.cacheHits.Add(1)
-			p.sendProbeGroup(qid, op, kind, ks, spath, nil, 0)
+			p.sendProbeGroup(qid, op, kind, ks, spath, nil, 0, tc)
 			return
 		}
 		p.stats.cacheMisses.Add(1)
-		p.routeProbe(qid, kind, k, op.aggSpec)
+		p.routeProbe(qid, kind, k, op.aggSpec, tc)
 		return
 	}
 	var local []keys.Key
@@ -62,6 +64,7 @@ func (p *Peer) dispatchProbes(qid uint64, op *pendingOp, kind uint8, ks []keys.K
 	idx := make(map[string]*group)
 	var routed []keys.Key
 	p.mu.RLock()
+	tc := op.tc
 	for _, k := range ks {
 		if k.HasPrefix(p.path) {
 			local = append(local, k)
@@ -85,20 +88,24 @@ func (p *Peer) dispatchProbes(qid uint64, op *pendingOp, kind uint8, ks []keys.K
 	}
 	p.mu.RUnlock()
 	if len(local) > 0 {
-		p.serveLocalProbes(qid, op, kind, local)
+		p.serveLocalProbes(qid, op, kind, local, tc)
 	}
 	for _, g := range groups {
-		p.sendProbeGroup(qid, op, kind, g.ks, g.path, nil, 0)
+		p.sendProbeGroup(qid, op, kind, g.ks, g.path, nil, 0, tc)
 	}
 	for _, k := range routed {
-		p.routeProbe(qid, kind, k, op.aggSpec)
+		p.routeProbe(qid, kind, k, op.aggSpec, tc)
 	}
 }
 
 // serveLocalProbes answers probe keys owned by this peer as one batch.
 // The response travels through the network like any other so completion
 // callbacks never fire inside the issuing call.
-func (p *Peer) serveLocalProbes(qid uint64, op *pendingOp, kind uint8, local []keys.Key) {
+func (p *Peer) serveLocalProbes(qid uint64, op *pendingOp, kind uint8, local []keys.Key, tc trace.Ctx) {
+	// The request leg is a function call (zero messages); the loopback
+	// response below is a real self-send, so the span's outbound side is
+	// charged when the origin absorbs its rider.
+	ws := p.beginSpan(tc, trace.OpMultiLookup, 0, 0)
 	resp := queryResp{QID: qid, Probes: len(local), ProbeKeys: local}
 	p.stampResp(&resp)
 	var collected []store.Entry
@@ -115,15 +122,16 @@ func (p *Peer) serveLocalProbes(qid uint64, op *pendingOp, kind uint8, local []k
 	if op.aggSpec != nil {
 		aggProbeResp(&resp, op.aggSpec, collected)
 	}
+	resp.TS = p.finishSpan(ws, tc.TraceID, resp.Count)
 	p.net.Send(p.id, p.id, KindResponse, resp)
 }
 
 // routeProbe sends one probe down the ordinary prefix-routed path (the
 // cache statistics for it were already taken by the caller). A non-nil
 // spec pushes the aggregation along with it.
-func (p *Peer) routeProbe(qid uint64, kind uint8, k keys.Key, spec *agg.Spec) {
+func (p *Peer) routeProbe(qid uint64, kind uint8, k keys.Key, spec *agg.Spec, tc trace.Ctx) {
 	p.forward(routeEnvelope{Target: k, Inner: lookupReq{
-		QID: qid, Origin: p.id, Kind: kind, Key: k, Agg: spec,
+		QID: qid, Origin: p.id, Kind: kind, Key: k, Agg: spec, TC: tc,
 	}})
 }
 
@@ -131,7 +139,7 @@ func (p *Peer) routeProbe(qid uint64, kind uint8, k keys.Key, spec *agg.Spec) {
 // replica of its cached owner set, registering the group for the hedge
 // timer. With no live untried replica left it invalidates the set and
 // falls back to routed lookups (reporting false).
-func (p *Peer) sendProbeGroup(qid uint64, op *pendingOp, kind uint8, ks []keys.Key, path keys.Key, tried map[simnet.NodeID]bool, attempt int) bool {
+func (p *Peer) sendProbeGroup(qid uint64, op *pendingOp, kind uint8, ks []keys.Key, path keys.Key, tried map[simnet.NodeID]bool, attempt int, tc trace.Ctx) bool {
 	p.mu.Lock()
 	set, ok := p.cache.entries[path.String()]
 	var target Ref
@@ -149,7 +157,7 @@ func (p *Peer) sendProbeGroup(qid uint64, op *pendingOp, kind uint8, ks []keys.K
 		spec := op.aggSpec
 		p.mu.Unlock()
 		for _, k := range ks {
-			p.routeProbe(qid, kind, k, spec)
+			p.routeProbe(qid, kind, k, spec, tc)
 		}
 		return false
 	}
@@ -174,7 +182,7 @@ func (p *Peer) sendProbeGroup(qid uint64, op *pendingOp, kind uint8, ks []keys.K
 	p.mu.Unlock()
 	p.stats.probeGroups.Add(1)
 	p.net.Send(p.id, target.ID, KindMultiLookup, multiLookupReq{
-		QID: qid, Origin: p.id, Kind: kind, Keys: ks, Agg: spec,
+		QID: qid, Origin: p.id, Kind: kind, Keys: ks, Agg: spec, TC: tc,
 	})
 	if hedge := p.cfg.hedgeAfter(); hedge > 0 {
 		p.net.After(hedge, func() { p.hedgeProbeGroup(qid, gid) })
@@ -244,14 +252,16 @@ func (p *Peer) hedgeProbeGroup(qid, gid uint64) {
 	}
 	kind, attempt, tried, path := g.kind, g.attempt+1, g.tried, g.path
 	spec := op.aggSpec
+	tc := op.tc
+	tc.Flags |= trace.FlagHedge
 	p.mu.Unlock()
 	p.stats.probeRetries.Add(1)
-	if attempt < maxProbeAttempts && p.sendProbeGroup(qid, op, kind, unanswered, path, tried, attempt) {
+	if attempt < maxProbeAttempts && p.sendProbeGroup(qid, op, kind, unanswered, path, tried, attempt, tc) {
 		return
 	}
 	if attempt >= maxProbeAttempts {
 		for _, k := range unanswered {
-			p.routeProbe(qid, kind, k, spec)
+			p.routeProbe(qid, kind, k, spec, tc)
 		}
 	}
 }
@@ -348,6 +358,8 @@ func (p *Peer) hedgePagePull(qid uint64, path keys.Key, cont pageCont, server si
 		return
 	}
 	cu.hedges++
+	tc := op.tc
+	tc.Flags |= trace.FlagRetry
 	target, direct := p.siblingReplicaLocked(path, server)
 	if cl, claimed := sc.claims[key]; claimed {
 		if direct {
@@ -366,7 +378,7 @@ func (p *Peer) hedgePagePull(qid uint64, path keys.Key, cont pageCont, server si
 	// sends (the zero-credit-deadlock rule).
 	p.runFlow(p.flow.releaseNode(server))
 	wb, wm := p.advertiseWindow()
-	req := pageReq{QID: qid, Origin: p.id, Cont: cont, WinBytes: wb, WinMsgs: wm}
+	req := pageReq{QID: qid, Origin: p.id, Cont: cont, WinBytes: wb, WinMsgs: wm, TC: tc}
 	if direct {
 		p.net.Send(p.id, target, KindPage, req)
 		p.armPagePull(qid, path, cont, target)
@@ -409,6 +421,8 @@ func (p *Peer) retryInserts(qid uint64, attempt int) {
 	for seq, e := range op.insertPend {
 		missing = append(missing, pend{seq, e})
 	}
+	tc := op.tc
+	tc.Flags |= trace.FlagRetry
 	p.mu.Unlock()
 	p.stats.writeRetries.Add(int64(len(missing)))
 	for _, m := range missing {
@@ -418,7 +432,7 @@ func (p *Peer) retryInserts(qid uint64, attempt int) {
 		// failover path must never wait on credit a dead receiver can
 		// no longer return.
 		p.runFlow(p.flow.releaseKey(flowKey{qid: qid, seq: m.seq}))
-		p.route(m.e.Key, insertReq{Entry: m.e, QID: qid, Origin: p.id, Seq: m.seq})
+		p.route(m.e.Key, insertReq{Entry: m.e, QID: qid, Origin: p.id, Seq: m.seq, TC: tc})
 	}
 	p.armInsertRetry(qid, attempt+1)
 }
@@ -521,18 +535,21 @@ func (p *Peer) retryScan(qid uint64) {
 	}
 	sc.retries++ // only rounds that re-send spend the retry budget
 	r := sc.r
+	tc := op.tc
+	tc.Flags |= trace.FlagRetry
 	p.mu.Unlock()
 	p.stats.scanRetries.Add(1)
 	wb, wm := p.advertiseWindow()
 	for _, cu := range resumes {
-		p.route(cu.path, pageReq{QID: qid, Origin: p.id, Cont: cu.cont, WinBytes: wb, WinMsgs: wm})
+		p.route(cu.path, pageReq{QID: qid, Origin: p.id, Cont: cu.cont, WinBytes: wb, WinMsgs: wm, TC: tc})
 	}
 	for _, g := range gaps {
 		p.handleRange(rangeMsg{
 			QID: qid, Origin: p.id, Kind: kind,
 			R: clipRangeToPrefix(r, g), Level: 0, Share: 0,
 			Probe: probe, PageSize: pageSize, Desc: desc, Agg: aggSpec,
-		})
+			TC: tc,
+		}, 0)
 	}
 	p.armScanRetry(qid)
 }

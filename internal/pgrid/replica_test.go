@@ -8,6 +8,7 @@ import (
 	"unistore/internal/keys"
 	"unistore/internal/simnet"
 	"unistore/internal/store"
+	"unistore/internal/trace"
 	"unistore/internal/triple"
 )
 
@@ -180,7 +181,7 @@ func TestScanStreamClaimDropsDuplicateStream(t *testing.T) {
 	peers := BuildBalanced(net, 4, 1, DefaultConfig())
 	q := peers[0]
 	r := triple.AVPrefixRange("age")
-	qid, op := q.newOp(TotalShare, 0, nil)
+	qid, op := q.newOp(TotalShare, 0, trace.OpRange, nil)
 	q.mu.Lock()
 	op.scan = &scanState{kind: uint8(triple.ByAV), r: r}
 	q.mu.Unlock()
@@ -190,19 +191,19 @@ func TestScanStreamClaimDropsDuplicateStream(t *testing.T) {
 
 	// Claimant streams a partial page, then a duplicate stream from a
 	// sibling replica delivers the same rows — and must be ignored.
-	q.handleResponse(queryResp{QID: qid, Entries: []store.Entry{e}, Count: 1, From: 5, Path: path})
-	q.handleResponse(queryResp{QID: qid, Entries: []store.Entry{e}, Count: 1, From: 6, Path: path})
+	q.handleResponse(queryResp{QID: qid, Entries: []store.Entry{e}, Count: 1, From: 5, Path: path}, 0)
+	q.handleResponse(queryResp{QID: qid, Entries: []store.Entry{e}, Count: 1, From: 6, Path: path}, 0)
 	h := &Handle{peer: q, op: op, qid: qid}
 	if res := h.Result(); res.Count != 1 || len(res.Entries) != 1 {
 		t.Fatalf("duplicate stream leaked rows: %+v", res)
 	}
 	// The duplicate's final must be ignored too; the claimant's final
 	// completes the branch.
-	q.handleResponse(queryResp{QID: qid, Count: 0, Share: TotalShare, Final: true, From: 6, Path: path})
+	q.handleResponse(queryResp{QID: qid, Count: 0, Share: TotalShare, Final: true, From: 6, Path: path}, 0)
 	if h.Done() {
 		t.Fatal("duplicate stream's final completed the operation")
 	}
-	q.handleResponse(queryResp{QID: qid, Count: 0, Share: TotalShare, Final: true, From: 5, Path: path})
+	q.handleResponse(queryResp{QID: qid, Count: 0, Share: TotalShare, Final: true, From: 5, Path: path}, 0)
 	if !h.Done() {
 		t.Fatal("claimant's final did not complete the operation")
 	}

@@ -4,6 +4,7 @@ import (
 	"unistore/internal/keys"
 	"unistore/internal/simnet"
 	"unistore/internal/store"
+	"unistore/internal/trace"
 	"unistore/internal/triple"
 )
 
@@ -11,9 +12,9 @@ import (
 // envelope to a reference whose path agrees with the target on at least
 // one more bit, so an envelope reaches the responsible peer in at most
 // len(path) hops — O(log n) for a balanced trie.
-func (p *Peer) handleRoute(env routeEnvelope, from simnet.NodeID) {
+func (p *Peer) handleRoute(env routeEnvelope, from simnet.NodeID, size int) {
 	if p.Responsible(env.Target) {
-		p.deliver(env, from)
+		p.deliver(env, from, size)
 		return
 	}
 	p.forward(env)
@@ -72,8 +73,12 @@ func (p *Peer) forward(env routeEnvelope) {
 	p.stats.routeFailures.Add(1)
 }
 
-// pickRef chooses a live reference at the given level, randomizing for
-// load spreading.
+// pickRef chooses a live reference at the given level: the first live
+// entry in table order. Load spreads across the cluster because every
+// peer samples its OWN random references at wiring time; keeping the
+// per-call choice deterministic makes routing — and therefore a traced
+// query's span tree — a pure function of the overlay, identical on
+// simnet and real transports for the same seeded layout.
 func (p *Peer) pickRef(level int) (Ref, bool) {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
@@ -81,22 +86,25 @@ func (p *Peer) pickRef(level int) (Ref, bool) {
 }
 
 // pickRefLocked is pickRef with p.mu already held (read or write).
+// Among the live references it prefers the shortest path (a peer
+// higher in the sibling subtree resolves more of any target in one
+// leg), breaking ties by path order then table order.
 func (p *Peer) pickRefLocked(level int) (Ref, bool) {
 	if level < 0 || level >= len(p.refs) {
 		return Ref{}, false
 	}
-	ls := p.refs[level]
-	if len(ls) == 0 {
-		return Ref{}, false
-	}
-	start := p.net.Intn(len(ls))
-	for i := 0; i < len(ls); i++ {
-		ref := ls[(start+i)%len(ls)]
-		if p.net.Alive(ref.ID) {
-			return ref, true
+	var best Ref
+	found := false
+	for _, ref := range p.refs[level] {
+		if !p.net.Alive(ref.ID) {
+			continue
+		}
+		if !found || ref.Path.Len() < best.Path.Len() ||
+			(ref.Path.Len() == best.Path.Len() && ref.Path.Compare(best.Path) < 0) {
+			best, found = ref, true
 		}
 	}
-	return Ref{}, false
+	return best, found
 }
 
 // route starts an envelope toward target from this peer, delivering
@@ -106,9 +114,16 @@ func (p *Peer) pickRefLocked(level int) (Ref, bool) {
 // simply forwards the envelope onward — the fast path can add a leg,
 // never lose a message — and the eventual response repairs the cache.
 func (p *Peer) route(target keys.Key, inner any) {
-	env := routeEnvelope{Target: target, Inner: inner}
+	p.routeSpent(target, inner, 0)
+}
+
+// routeSpent is route for a payload whose journey already cost `spent`
+// legs the sender accounted (a mis-addressed probe being re-routed):
+// the spent legs ride along so end-to-end hop reporting stays truthful.
+func (p *Peer) routeSpent(target keys.Key, inner any, spent int) {
+	env := routeEnvelope{Target: target, Spent: spent, Inner: inner}
 	if p.Responsible(target) {
-		p.deliver(env, p.id)
+		p.deliver(env, p.id, 0)
 		return
 	}
 	// Hit/miss counters track probe traffic only: they feed the cost
@@ -199,10 +214,20 @@ func (p *Peer) setPath(path keys.Key) {
 // trie not yet resolved, forward the query into the sibling subtree if
 // it overlaps the range, then serve the local overlap. Every peer whose
 // partition overlaps the range receives the query exactly once, after
-// at most depth hops.
-func (p *Peer) handleRange(msg rangeMsg) {
+// at most depth hops. size is the delivering message's wire size (0
+// when the origin enters its own shower locally).
+func (p *Peer) handleRange(msg rangeMsg, size int) {
 	// The shower's advertised origin window is a credit sighting too.
 	p.runFlow(p.flow.window(msg.Origin, msg.WinBytes, msg.WinMsgs))
+	// One range span per shower participant: it owns the message that
+	// delivered this branch (none for the origin's local entry) and the
+	// branch's first response; forwarded branches parent under it, so
+	// the assembled trace mirrors the trie fan-out.
+	msgsIn := 0
+	if size > 0 {
+		msgsIn = 1
+	}
+	ws := p.beginSpan(msg.TC, trace.OpRange, msgsIn, size)
 	// Collect the levels whose sibling subtrees overlap the range.
 	type branch struct {
 		level   int
@@ -244,9 +269,12 @@ func (p *Peer) handleRange(msg rangeMsg) {
 		// re-branching inside the region this branch is accountable
 		// for — no region is ever served under two branches' shares.
 		fwd.R = clipRangeToPrefix(msg.R, b.sibling)
+		if ws != nil {
+			fwd.TC = msg.TC.Child(ws.ID)
+		}
 		p.net.Send(p.id, b.ref.ID, KindRange, fwd)
 	}
-	p.serveRange(msg, local)
+	p.serveRange(msg, local, ws)
 }
 
 // serveRange answers the part of the range this peer stores. With a
@@ -254,7 +282,7 @@ func (p *Peer) handleRange(msg rangeMsg) {
 // the first page plus a continuation token; count-only probes are
 // never paged — a count is one integer regardless of cardinality.
 // Desc serves the overlap top-down so descending ranked scans stream.
-func (p *Peer) serveRange(msg rangeMsg, share int64) {
+func (p *Peer) serveRange(msg rangeMsg, share int64, ws *trace.WireSpan) {
 	p.stats.rangeServed.Add(1)
 	// Serve only the intersection of the queried range with this peer's
 	// own partition, and bake the partition into paged continuations as
@@ -275,7 +303,7 @@ func (p *Peer) serveRange(msg rangeMsg, share int64) {
 			Kind: msg.Kind, R: r, Share: share,
 			PageSize: msg.PageSize, Hops: msg.Hops, Agg: msg.Agg,
 			StreamPath: path,
-		}, msg.WinBytes)
+		}, msg.WinBytes, ws, msg.TC.TraceID)
 		return
 	}
 	if msg.PageSize > 0 && !msg.Probe {
@@ -283,7 +311,7 @@ func (p *Peer) serveRange(msg rangeMsg, share int64) {
 			Kind: msg.Kind, R: r, Share: share,
 			PageSize: msg.PageSize, Hops: msg.Hops, Desc: msg.Desc,
 			StreamPath: path,
-		}, msg.WinBytes)
+		}, msg.WinBytes, ws, msg.TC.TraceID)
 		return
 	}
 	resp := queryResp{QID: msg.QID, Share: share, Hops: msg.Hops, Final: true}
@@ -301,6 +329,7 @@ func (p *Peer) serveRange(msg rangeMsg, share int64) {
 		}
 		return true
 	})
+	resp.TS = p.finishSpan(ws, msg.TC.TraceID, resp.Count)
 	p.net.Send(p.id, msg.Origin, KindResponse, resp)
 }
 
@@ -320,7 +349,7 @@ func (p *Peer) serveRange(msg rangeMsg, share int64) {
 // so PageSize is a CAP and the receiver's window sets the effective
 // page. A window smaller than one entry still ships one — progress
 // over precision, the receiver asked for data after all.
-func (p *Peer) servePage(qid uint64, origin simnet.NodeID, cont pageCont, winBytes int) {
+func (p *Peer) servePage(qid uint64, origin simnet.NodeID, cont pageCont, winBytes int, ws *trace.WireSpan, traceID uint64) {
 	// Reconcile the stream with the server's current partition first: a
 	// split deepens and clips it, a merge keeps it, an unrelated move
 	// drops the pull (the origin's hedge finds a live replica).
@@ -328,11 +357,11 @@ func (p *Peer) servePage(qid uint64, origin simnet.NodeID, cont pageCont, winByt
 		return
 	}
 	if cont.Agg != nil {
-		p.serveAggPage(qid, origin, cont, winBytes)
+		p.serveAggPage(qid, origin, cont, winBytes, ws, traceID)
 		return
 	}
 	if cont.Desc {
-		p.servePageDesc(qid, origin, cont, winBytes)
+		p.servePageDesc(qid, origin, cont, winBytes, ws, traceID)
 		return
 	}
 	p.stats.pagesServed.Add(1)
@@ -379,6 +408,7 @@ func (p *Peer) servePage(qid uint64, origin simnet.NodeID, cont pageCont, winByt
 		resp.Share = cont.Share
 		resp.Final = true
 	}
+	resp.TS = p.finishSpan(ws, traceID, resp.Count)
 	p.net.Send(p.id, origin, KindResponse, resp)
 }
 
@@ -390,7 +420,7 @@ func (p *Peer) servePage(qid uint64, origin simnet.NodeID, cont pageCont, winByt
 // token stays stateless and key-aligned, so any replica of the
 // partition can serve the next page without duplicating or dropping
 // rows. winBytes caps the page payload exactly as in servePage.
-func (p *Peer) servePageDesc(qid uint64, origin simnet.NodeID, cont pageCont, winBytes int) {
+func (p *Peer) servePageDesc(qid uint64, origin simnet.NodeID, cont pageCont, winBytes int, ws *trace.WireSpan, traceID uint64) {
 	p.stats.pagesServed.Add(1)
 	resp := queryResp{QID: qid, Hops: cont.Hops}
 	p.stampResp(&resp)
@@ -444,15 +474,17 @@ func (p *Peer) servePageDesc(qid uint64, origin simnet.NodeID, cont pageCont, wi
 		resp.Share = cont.Share
 		resp.Final = true
 	}
+	resp.TS = p.finishSpan(ws, traceID, resp.Count)
 	p.net.Send(p.id, origin, KindResponse, resp)
 }
 
 // handlePage serves a continuation pulled by a paged scan's origin,
 // honoring the pull's freshly advertised receive window (which also
 // counts as a credit sighting for bulk sends toward the origin).
-func (p *Peer) handlePage(req pageReq) {
+func (p *Peer) handlePage(req pageReq, size int) {
 	p.runFlow(p.flow.window(req.Origin, req.WinBytes, req.WinMsgs))
-	p.servePage(req.QID, req.Origin, req.Cont, req.WinBytes)
+	ws := p.beginSpan(req.TC, trace.OpPage, 1, size)
+	p.servePage(req.QID, req.Origin, req.Cont, req.WinBytes, ws, req.TC.TraceID)
 }
 
 // handleMultiLookup answers a batch of exact-key probes in one
@@ -460,13 +492,20 @@ func (p *Peer) handlePage(req pageReq) {
 // (Probes counts them, so the origin's completion accounting stays
 // per-key exact); keys a stale sender cache mis-attributed are
 // re-routed as ordinary lookups toward their real owners.
-func (p *Peer) handleMultiLookup(req multiLookupReq) {
+func (p *Peer) handleMultiLookup(req multiLookupReq, size int) {
+	ws := p.beginSpan(req.TC, trace.OpMultiLookup, 1, size)
+	childTC := req.TC
+	if ws != nil {
+		childTC = req.TC.Child(ws.ID)
+	}
 	resp := queryResp{QID: req.QID, Hops: 1}
 	p.stampResp(&resp)
 	var covered []store.Entry
 	for _, k := range req.Keys {
 		if !p.Responsible(k) {
-			p.route(k, lookupReq{QID: req.QID, Origin: req.Origin, Kind: req.Kind, Key: k, Agg: req.Agg})
+			// The probe leg that landed here is already spent; the
+			// re-route continues the journey's hop count from 1.
+			p.routeSpent(k, lookupReq{QID: req.QID, Origin: req.Origin, Kind: req.Kind, Key: k, Agg: req.Agg, TC: childTC}, 1)
 			continue
 		}
 		p.stats.delivered.Add(1)
@@ -481,12 +520,21 @@ func (p *Peer) handleMultiLookup(req multiLookupReq) {
 		resp.Count += len(entries)
 	}
 	if resp.Probes == 0 {
-		return
+		if ws == nil {
+			return
+		}
+		// Traced batch that covered none of its keys (every probe
+		// re-routed): the span must still reach home or the re-routed
+		// lookups' spans would orphan. Probes -1 marks the response as
+		// trace-only — it carries no completion signal.
+		resp.Probes = -1
+		resp.ProbeKeys = nil
 	}
-	if req.Agg != nil {
+	if req.Agg != nil && resp.Probes > 0 {
 		// Aggregated probe batch: one set of group states covers every
 		// key this peer answered.
 		aggProbeResp(&resp, req.Agg, covered)
 	}
+	resp.TS = p.finishSpan(ws, req.TC.TraceID, resp.Count)
 	p.net.Send(p.id, req.Origin, KindResponse, resp)
 }

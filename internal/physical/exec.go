@@ -12,6 +12,7 @@ import (
 	"unistore/internal/pgrid"
 	"unistore/internal/qgram"
 	"unistore/internal/simnet"
+	"unistore/internal/trace"
 	"unistore/internal/triple"
 	"unistore/internal/vql"
 )
@@ -76,7 +77,10 @@ type Engine struct {
 	materializeTail bool
 }
 
-// planMsg carries a mutant plan to its next host.
+// planMsg carries a mutant plan to its next host. TC is the trace
+// context the hosted remainder continues under (zero when the query is
+// untraced); Spans accumulates the spans of hosts earlier in the
+// migration chain, so the final host ships the complete set home.
 type planMsg struct {
 	Steps    []Step
 	Tail     Tail
@@ -84,6 +88,8 @@ type planMsg struct {
 	Origin   simnet.NodeID
 	RootQID  uint64
 	Hops     int
+	TC       trace.Ctx
+	Spans    []trace.Span
 }
 
 func (m planMsg) WireSize() int {
@@ -91,14 +97,27 @@ func (m planMsg) WireSize() int {
 	for _, b := range m.Bindings {
 		s += 24 * len(b)
 	}
+	s += m.TC.WireSize()
+	for _, sp := range m.Spans {
+		s += spanWireSize(sp)
+	}
 	return s
 }
 
-// resultMsg returns final bindings to the query origin.
+// spanWireSize estimates one full span's encoded size in an app
+// payload (ids, counters and timestamps at varint-ish cost, plus the
+// packed path and the stage label).
+func spanWireSize(sp trace.Span) int {
+	return 56 + len(sp.Path)/8 + len(sp.Stage) + len(sp.Kind)
+}
+
+// resultMsg returns final bindings to the query origin, carrying the
+// hosted remainder's spans home when the query is traced.
 type resultMsg struct {
 	RootQID  uint64
 	Bindings []algebra.Binding
 	Hops     int
+	Spans    []trace.Span
 }
 
 func (m resultMsg) WireSize() int {
@@ -106,19 +125,23 @@ func (m resultMsg) WireSize() int {
 	for _, b := range m.Bindings {
 		s += 24 * len(b)
 	}
+	for _, sp := range m.Spans {
+		s += spanWireSize(sp)
+	}
 	return s
 }
 
 // cancelMsg chases a migrated plan: the origin (or an intermediate
 // host forwarding along the migration chain) tells the current host to
 // stop executing the remainder and release its pending overlay
-// operations.
+// operations. TC ties the cancellation to the query's trace.
 type cancelMsg struct {
 	Origin  simnet.NodeID
 	RootQID uint64
+	TC      trace.Ctx
 }
 
-func (m cancelMsg) WireSize() int { return 16 }
+func (m cancelMsg) WireSize() int { return 16 + m.TC.WireSize() }
 
 func init() {
 	// Register the application payloads (and the interface-typed AST
@@ -222,6 +245,22 @@ func (e *Engine) handleApp(_ *pgrid.Peer, payload any, from simnet.NodeID, hops 
 			started: e.peer.Net().Now(),
 			doneCh:  make(chan struct{}),
 		}
+		if m.TC.Active() && e.peer.TracingEnabled() {
+			// The hosted remainder continues the origin's trace: a
+			// "plan" span roots this host's work, charged the plan
+			// message's own delivery cost.
+			now := int64(e.peer.Net().Now())
+			id := e.peer.NewTraceID()
+			ex.rootSpan = trace.Span{
+				ID: id, Parent: m.TC.Parent, TraceID: m.TC.TraceID,
+				Kind: "plan", Peer: int64(e.peer.ID()), Path: e.peer.Path().String(),
+				Flags: m.TC.Flags, Depth: m.TC.Depth,
+				MsgsIn: hops, BytesIn: hops * m.WireSize(),
+				Enq: now, Srv: now,
+			}
+			ex.tc = m.TC.Child(id)
+			ex.remote = m.Spans
+		}
 		e.mu.Lock()
 		if _, canceled := e.canceledHosts[key]; canceled {
 			// The cancel overtook the plan: never start it.
@@ -241,6 +280,21 @@ func (e *Engine) handleApp(_ *pgrid.Peer, payload any, from simnet.NodeID, hops 
 		e.mu.Unlock()
 		if !ok || ex.Done() {
 			return
+		}
+		if len(m.Spans) > 0 {
+			// The first span is the hosting chain's root; charge the
+			// result message's own delivery to it so the assembled
+			// trace keeps reconciling with the transport counters.
+			sp := append([]trace.Span(nil), m.Spans...)
+			mh := hops
+			if mh < 1 {
+				mh = 1
+			}
+			sp[0].MsgsOut += mh
+			sp[0].BytesOut += mh * m.WireSize()
+			ex.mu.Lock()
+			ex.remote = append(ex.remote, sp...)
+			ex.mu.Unlock()
 		}
 		ex.finishWith(m.Bindings)
 	case cancelMsg:
@@ -390,6 +444,16 @@ type Exec struct {
 	// Stats (guarded by mu while running; stable once Done).
 	opsIssued int
 	maxHops   int
+
+	// Tracing. tc and rootSpan are set at creation and immutable; the
+	// zero tc means the query is untraced and every tracing path is a
+	// no-op. tqids and remote are guarded by mu; drained only mutates
+	// under pmu (span collection).
+	tc       trace.Ctx
+	rootSpan trace.Span
+	tqids    []uint64
+	remote   []trace.Span
+	drained  []trace.Span
 }
 
 // Start begins executing a compiled plan at the engine's peer,
@@ -444,6 +508,15 @@ func (e *Engine) newExec(ctx context.Context, p *Plan, onDone func(*Exec)) *Exec
 	e.queries[ex.rootQID] = ex
 	e.mu.Unlock()
 	ex.started = e.peer.Net().Now()
+	if e.peer.TracingEnabled() {
+		now := int64(ex.started)
+		ex.rootSpan = trace.Span{
+			ID: e.peer.NewTraceID(), TraceID: e.peer.NewTraceID(),
+			Kind: "query", Peer: int64(e.peer.ID()), Path: e.peer.Path().String(),
+			Enq: now, Srv: now,
+		}
+		ex.tc = trace.Ctx{TraceID: ex.rootSpan.TraceID, Parent: ex.rootSpan.ID, Depth: 1}
+	}
 	return ex
 }
 
@@ -680,6 +753,13 @@ func (ex *Exec) migrateFrom(idx int) {
 		Origin:   ex.origin,
 		RootQID:  ex.rootQID,
 	}
+	if ex.tc.Active() {
+		// The remainder's host roots its work under the migrating
+		// stage's span; spans produced here travel along so the final
+		// host can ship the whole chain home.
+		m.TC = trace.Ctx{TraceID: ex.tc.TraceID, Parent: s.spanID, Depth: ex.tc.Depth + 1}
+		m.Spans = ex.collectSpansLocked()
+	}
 	ex.migrated = true
 	ex.migratedTo = target
 	ex.win.close()
@@ -735,7 +815,7 @@ func (ex *Exec) Cancel() {
 	if ex.migrated {
 		// The plan is executing elsewhere: tell the host to stop, then
 		// release the local waiter.
-		ex.eng.peer.SendApp(ex.migratedTo, cancelMsg{Origin: ex.origin, RootQID: ex.rootQID})
+		ex.eng.peer.SendApp(ex.migratedTo, cancelMsg{Origin: ex.origin, RootQID: ex.rootQID, TC: ex.tc})
 		ex.finishWith(nil)
 		return
 	}
@@ -825,8 +905,14 @@ func (ex *Exec) markDone() bool {
 
 func (ex *Exec) finishWith(bs []algebra.Binding) {
 	if ex.origin != ex.eng.peer.ID() {
-		// Hosted plan: tail already applied here; ship the result home.
-		ex.eng.peer.SendAppDirect(ex.origin, resultMsg{RootQID: ex.rootQID, Bindings: bs})
+		// Hosted plan: tail already applied here; ship the result home
+		// with the migration chain's spans (every caller reaching this
+		// branch holds pmu, which span collection requires).
+		msg := resultMsg{RootQID: ex.rootQID, Bindings: bs}
+		if ex.tc.Active() {
+			msg.Spans = ex.collectSpansLocked()
+		}
+		ex.eng.peer.SendAppDirect(ex.origin, msg)
 		ex.markDone()
 		ex.eng.dropHosted(hostKey{ex.origin, ex.rootQID}, ex)
 		return

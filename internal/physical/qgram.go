@@ -84,7 +84,7 @@ func (s *stage) openQGram() {
 	for i, g := range s.gramList {
 		slot, gram := i, g
 		s.submitOp(func(cb func(pgrid.OpResult)) *pgrid.Handle {
-			return s.ex.eng.peer.RangeQuery(triple.ByVal, triple.GramRange(attr, gram), false, cb)
+			return s.ex.eng.peer.RangeQuery(triple.ByVal, triple.GramRange(attr, gram), false, cb, s.topts()...)
 		}, func(res pgrid.OpResult) { s.onGram(slot, res.Entries) })
 	}
 }
@@ -139,7 +139,7 @@ func (s *stage) qgramVerify(counts map[string]int) {
 	for _, val := range candidates {
 		k := triple.AVKey(attr, triple.S(val))
 		s.submitOp(func(cb func(pgrid.OpResult)) *pgrid.Handle {
-			return s.ex.eng.peer.Lookup(triple.ByAV, k, cb)
+			return s.ex.eng.peer.Lookup(triple.ByAV, k, cb, s.topts()...)
 		}, func(res pgrid.OpResult) { s.onEntries(res.Entries) })
 	}
 }

@@ -70,6 +70,9 @@ func (w *opWindow) fire(op *windowOp) {
 	w.ex.noteOp()
 	h := op.issue(func(res pgrid.OpResult) { w.ex.opDone(op, res) })
 	w.handles[op] = h
+	if h != nil && w.ex.tc.Active() {
+		w.ex.recordTraceQID(h.QID())
+	}
 }
 
 // pump tops the window up after a completion.
@@ -201,6 +204,14 @@ type stage struct {
 	opsOut  int
 	seen    map[string]bool // fact-level dedup of replica copies
 	eosDown bool
+
+	// Tracing (zero spanID = untraced): the stage's synthetic span id,
+	// its operator row counts, and the first-row / EOS instants.
+	spanID   uint64
+	rowsIn   int
+	rowsOut  int
+	firstOut int64
+	eosAt    int64
 }
 
 func newStage(ex *Exec, idx int, st Step) *stage {
@@ -209,6 +220,9 @@ func newStage(ex *Exec, idx int, st Step) *stage {
 		hasUp:  idx > 0 || ex.seeded,
 		probed: make(map[string]bool),
 		seen:   make(map[string]bool),
+	}
+	if ex.tc.Active() {
+		s.spanID = ex.eng.peer.NewTraceID()
 	}
 	if s.hasUp {
 		s.join = algebra.NewJoinState(st.JoinOn)
@@ -333,12 +347,12 @@ func (s *stage) open() {
 				spec := s.ex.agg.spec
 				s.submitOp(func(cb func(pgrid.OpResult)) *pgrid.Handle {
 					return s.ex.eng.peer.LookupAgg(s.fixedKind, k, spec,
-						func(states []agg.State) { s.ex.opAggStates(states) }, cb)
+						func(states []agg.State) { s.ex.opAggStates(states) }, cb, s.topts()...)
 				}, func(pgrid.OpResult) {})
 				continue
 			}
 			s.submitOp(func(cb func(pgrid.OpResult)) *pgrid.Handle {
-				return s.ex.eng.peer.Lookup(s.fixedKind, k, cb)
+				return s.ex.eng.peer.Lookup(s.fixedKind, k, cb, s.topts()...)
 			}, func(res pgrid.OpResult) { s.onEntries(res.Entries) })
 		}
 	case modeQGram:
@@ -364,7 +378,7 @@ func (s *stage) openAggScan() {
 		r := r
 		s.submitOp(func(cb func(pgrid.OpResult)) *pgrid.Handle {
 			return s.ex.eng.peer.RangeQueryAgg(s.scanKind, r, spec,
-				func(states []agg.State) { s.ex.opAggStates(states) }, cb)
+				func(states []agg.State) { s.ex.opAggStates(states) }, cb, s.topts()...)
 		}, func(pgrid.OpResult) {})
 	}
 }
@@ -387,6 +401,7 @@ func (s *stage) addLeft(rows []algebra.Binding) {
 	if s.ex.stopped || s.ex.migrated {
 		return
 	}
+	s.rowsIn += len(rows)
 	var out []algebra.Binding
 	for _, b := range rows {
 		if s.opened {
@@ -450,12 +465,12 @@ func (s *stage) flushProbes() {
 	if len(ks) == 1 {
 		k := ks[0]
 		s.submitOp(func(cb func(pgrid.OpResult)) *pgrid.Handle {
-			return s.ex.eng.peer.Lookup(s.probeKind, k, cb)
+			return s.ex.eng.peer.Lookup(s.probeKind, k, cb, s.topts()...)
 		}, func(res pgrid.OpResult) { s.onEntries(res.Entries) })
 		return
 	}
 	s.submitOp(func(cb func(pgrid.OpResult)) *pgrid.Handle {
-		return s.ex.eng.peer.MultiLookup(s.probeKind, ks, cb)
+		return s.ex.eng.peer.MultiLookup(s.probeKind, ks, cb, s.topts()...)
 	}, func(res pgrid.OpResult) { s.onEntries(res.Entries) })
 }
 
@@ -495,7 +510,7 @@ func (s *stage) openScan() {
 		r := r
 		s.submitOp(func(cb func(pgrid.OpResult)) *pgrid.Handle {
 			return s.ex.eng.peer.RangeQueryPages(s.scanKind, r,
-				func(es []store.Entry) { s.ex.opPage(s, -1, es) }, cb)
+				func(es []store.Entry) { s.ex.opPage(s, -1, es) }, cb, s.topts()...)
 		}, func(res pgrid.OpResult) { s.onEntries(res.Entries) })
 	}
 }
@@ -512,7 +527,7 @@ func (s *stage) issueRank() {
 		r := s.shards[slot]
 		s.submitOp(func(cb func(pgrid.OpResult)) *pgrid.Handle {
 			return s.ex.eng.peer.RangeQueryPagesOrdered(s.scanKind, r, s.rankDesc,
-				func(es []store.Entry) { s.ex.opPage(s, slot, es) }, cb)
+				func(es []store.Entry) { s.ex.opPage(s, slot, es) }, cb, s.topts()...)
 		}, func(pgrid.OpResult) { s.onRankShard(slot) })
 	}
 }
@@ -620,6 +635,10 @@ func (s *stage) emit(rows []algebra.Binding) {
 	if len(rows) == 0 {
 		return
 	}
+	s.rowsOut += len(rows)
+	if s.spanID != 0 && s.firstOut == 0 {
+		s.firstOut = int64(s.ex.eng.peer.Net().Now())
+	}
 	if s.idx == len(s.ex.stages)-1 {
 		if a := s.ex.agg; a != nil && !a.pushdown {
 			// Centralized aggregation: rows fold into the group table
@@ -684,6 +703,9 @@ func (s *stage) checkDone() {
 		return
 	}
 	s.eosDown = true
+	if s.spanID != 0 {
+		s.eosAt = int64(s.ex.eng.peer.Net().Now())
+	}
 	if s.idx == len(s.ex.stages)-1 {
 		s.ex.sink.eos()
 		return

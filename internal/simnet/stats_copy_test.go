@@ -1,0 +1,44 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+type statsNop struct{}
+
+func (statsNop) HandleMessage(Message) {}
+
+// TestStatsSnapshotIsDefensiveCopy pins the Stats contract observers
+// rely on for before/after deltas (trace.Capture, the metrics
+// registry's collectors): the returned maps are copies, so a caller
+// mutating its snapshot can never corrupt the network's counters or a
+// concurrently taken snapshot.
+func TestStatsSnapshotIsDefensiveCopy(t *testing.T) {
+	net := New(Config{Latency: ConstantLatency(time.Millisecond)})
+	a := net.AddNode(statsNop{})
+	b := net.AddNode(statsNop{})
+	net.Send(a, b, "probe", nil)
+	net.Run()
+
+	s1 := net.Stats()
+	s1.PerKind["probe"] = 999
+	s1.PerKind["forged"] = 1
+	s1.MaxSizePerKind["probe"] = -5
+	s1.MaxInflightBytes[b] = -5
+	s1.MaxStall[b] = time.Hour
+
+	s2 := net.Stats()
+	if s2.PerKind["probe"] != 1 || s2.PerKind["forged"] != 0 {
+		t.Errorf("PerKind leaked caller mutations: %v", s2.PerKind)
+	}
+	if s2.MaxSizePerKind["probe"] < 0 {
+		t.Errorf("MaxSizePerKind leaked caller mutations: %v", s2.MaxSizePerKind)
+	}
+	if s2.MaxInflightBytes[b] < 0 {
+		t.Errorf("MaxInflightBytes leaked caller mutations: %v", s2.MaxInflightBytes)
+	}
+	if s2.MaxStall[b] == time.Hour {
+		t.Errorf("MaxStall leaked caller mutations: %v", s2.MaxStall)
+	}
+}

@@ -1,0 +1,303 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is the process-wide metrics surface: atomic counters,
+// gauges and fixed-bucket histograms under stable dotted names. The
+// hot path is lock-free — instruments are looked up once and cached by
+// their owners; Observe/Add/Set are single atomic operations. The
+// registry lock guards only name→instrument maps and is taken on
+// creation and snapshot.
+//
+// Components that already keep their own counters (peerCounters,
+// netx.Stats, the WAL) register a collector instead: a callback run at
+// snapshot time that copies current values into gauges, so the
+// registry never duplicates their bookkeeping.
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	hists      map[string]*Histogram
+	collectors []func(*Registry)
+	// collectMu serializes collector execution across concurrent
+	// snapshots: collectors mirror external counters with a
+	// read-modify-write, which two scrapes must not interleave.
+	collectMu sync.Mutex
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value reads the counter.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomically settable float value.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value reads the gauge.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket latency/size histogram: counts per
+// upper-bound bucket plus a +Inf overflow, a sum and a count.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is +Inf
+	sum    atomic.Uint64  // float64 bits, CAS-accumulated
+	count  atomic.Int64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram.
+type HistogramSnapshot struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"` // per bucket; last is +Inf
+	Sum    float64   `json:"sum"`
+	Count  int64     `json:"count"`
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]int64, len(h.counts)),
+		Sum:    math.Float64frombits(h.sum.Load()),
+		Count:  h.count.Load(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// DefaultLatencyBuckets are millisecond upper bounds spanning sub-ms
+// simulated queries to multi-second stragglers.
+var DefaultLatencyBuckets = []float64{
+	0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000,
+}
+
+// Counter returns (creating if needed) the counter under name.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the gauge under name.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the histogram under name.
+// Bounds are fixed at creation; later calls ignore the argument.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		if len(bounds) == 0 {
+			bounds = DefaultLatencyBuckets
+		}
+		b := make([]float64, len(bounds))
+		copy(b, bounds)
+		sort.Float64s(b)
+		h = &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// OnCollect registers a callback run before every snapshot — the hook
+// components use to mirror their native counters into gauges.
+func (r *Registry) OnCollect(fn func(*Registry)) {
+	r.mu.Lock()
+	r.collectors = append(r.collectors, fn)
+	r.mu.Unlock()
+}
+
+// Snapshot runs the collectors and copies every instrument.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot runs collectors, then returns a copy of all instruments.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	collectors := append([]func(*Registry){}, r.collectors...)
+	r.mu.RUnlock()
+	r.collectMu.Lock()
+	for _, fn := range collectors {
+		fn(r)
+	}
+	r.collectMu.Unlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]float64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.snapshot()
+	}
+	return s
+}
+
+// Sub returns the per-window delta against an earlier snapshot:
+// counters and histogram counts subtract, gauges keep their current
+// value. This is how per-query deltas are taken without resetting
+// anything shared.
+func (s Snapshot) Sub(prev Snapshot) Snapshot {
+	out := Snapshot{
+		Counters:   make(map[string]int64, len(s.Counters)),
+		Gauges:     s.Gauges,
+		Histograms: make(map[string]HistogramSnapshot, len(s.Histograms)),
+	}
+	for name, v := range s.Counters {
+		out.Counters[name] = v - prev.Counters[name]
+	}
+	for name, h := range s.Histograms {
+		d := HistogramSnapshot{Bounds: h.Bounds, Counts: append([]int64{}, h.Counts...), Sum: h.Sum, Count: h.Count}
+		if p, ok := prev.Histograms[name]; ok && len(p.Counts) == len(d.Counts) {
+			for i := range d.Counts {
+				d.Counts[i] -= p.Counts[i]
+			}
+			d.Sum -= p.Sum
+			d.Count -= p.Count
+		}
+		out.Histograms[name] = d
+	}
+	return out
+}
+
+// promName maps a dotted metric name to a Prometheus-legal series
+// name, prefixed with the subsystem namespace.
+func promName(name string) string {
+	var sb strings.Builder
+	sb.WriteString("unistore_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			sb.WriteRune(r)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+// WritePrometheus renders a fresh snapshot in Prometheus text
+// exposition format, series sorted by name.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	s := r.Snapshot()
+	var names []string
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		p := promName(n)
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", p, p, s.Counters[n])
+	}
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		p := promName(n)
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %v\n", p, p, s.Gauges[n])
+	}
+	names = names[:0]
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		p := promName(n)
+		h := s.Histograms[n]
+		fmt.Fprintf(w, "# TYPE %s histogram\n", p)
+		cum := int64(0)
+		for i, b := range h.Bounds {
+			cum += h.Counts[i]
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", p, fmt.Sprintf("%g", b), cum)
+		}
+		cum += h.Counts[len(h.Counts)-1]
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", p, cum)
+		fmt.Fprintf(w, "%s_sum %g\n", p, h.Sum)
+		fmt.Fprintf(w, "%s_count %d\n", p, h.Count)
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryInstrumentsAndSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("pgrid.delivered").Add(5)
+	r.Counter("pgrid.delivered").Inc()
+	r.Gauge("pgrid.route_cache.hit_rate").Set(0.75)
+	h := r.Histogram("query.latency_ms", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(100)
+
+	s := r.Snapshot()
+	if s.Counters["pgrid.delivered"] != 6 {
+		t.Errorf("counter = %d", s.Counters["pgrid.delivered"])
+	}
+	if s.Gauges["pgrid.route_cache.hit_rate"] != 0.75 {
+		t.Errorf("gauge = %v", s.Gauges["pgrid.route_cache.hit_rate"])
+	}
+	hs := s.Histograms["query.latency_ms"]
+	if hs.Count != 3 || hs.Sum != 105.5 {
+		t.Errorf("hist count=%d sum=%v", hs.Count, hs.Sum)
+	}
+	if hs.Counts[0] != 1 || hs.Counts[1] != 1 || hs.Counts[2] != 1 {
+		t.Errorf("bucket counts = %v", hs.Counts)
+	}
+	// Same name returns the same instrument.
+	if r.Counter("pgrid.delivered").Value() != 6 {
+		t.Error("get-or-create must return the existing counter")
+	}
+}
+
+func TestSnapshotSubDeltas(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("net.messages_sent").Add(100)
+	h := r.Histogram("lat", []float64{1})
+	h.Observe(0.5)
+	before := r.Snapshot()
+	r.Counter("net.messages_sent").Add(42)
+	h.Observe(2)
+	d := r.Snapshot().Sub(before)
+	if d.Counters["net.messages_sent"] != 42 {
+		t.Errorf("counter delta = %d", d.Counters["net.messages_sent"])
+	}
+	hd := d.Histograms["lat"]
+	if hd.Count != 1 || hd.Counts[0] != 0 || hd.Counts[1] != 1 {
+		t.Errorf("hist delta = %+v", hd)
+	}
+}
+
+func TestCollectorsRunAtSnapshot(t *testing.T) {
+	r := NewRegistry()
+	native := int64(0)
+	r.OnCollect(func(reg *Registry) {
+		c := reg.Counter("external.mirrored")
+		if d := native - c.Value(); d != 0 {
+			c.Add(d)
+		}
+	})
+	native = 7
+	if got := r.Snapshot().Counters["external.mirrored"]; got != 7 {
+		t.Errorf("first snapshot = %d", got)
+	}
+	native = 9
+	if got := r.Snapshot().Counters["external.mirrored"]; got != 9 {
+		t.Errorf("second snapshot = %d", got)
+	}
+}
+
+func TestPrometheusRendering(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("pgrid.probe.groups").Add(3)
+	r.Gauge("pgrid.flow.pressure").Set(0.25)
+	r.Histogram("query.latency_ms", []float64{1, 10}).Observe(5)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, frag := range []string{
+		"# TYPE unistore_pgrid_probe_groups counter",
+		"unistore_pgrid_probe_groups 3",
+		"# TYPE unistore_pgrid_flow_pressure gauge",
+		"unistore_pgrid_flow_pressure 0.25",
+		"# TYPE unistore_query_latency_ms histogram",
+		`unistore_query_latency_ms_bucket{le="10"} 1`,
+		`unistore_query_latency_ms_bucket{le="+Inf"} 1`,
+		"unistore_query_latency_ms_count 1",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("prometheus output missing %q:\n%s", frag, out)
+		}
+	}
+}

@@ -1,9 +1,21 @@
-// Package trace implements the measurement plumbing behind the paper's
+// Package trace implements the observability layer behind the paper's
 // "logging capabilities: results are traceable, analyzable and (in
-// limits) repeatable" — here made fully repeatable by the deterministic
-// simulator. A Span captures the network-level cost of one operation
-// window (messages, bytes, per-kind counts, simulated latency); the
-// experiment harness prints spans as table rows.
+// limits) repeatable" — transport-independent, so the same machinery
+// measures the deterministic simulator and the real TCP cluster.
+//
+// Three pieces:
+//
+//   - Distributed query tracing (span.go): a Ctx rides every overlay
+//     request that carries a query id, each serving peer records a
+//     Span, and a compact WireSpan piggybacks home on the response so
+//     the coordinator assembles a full QueryTrace tree. No extra
+//     messages are ever sent for tracing.
+//   - A unified metrics Registry (registry.go): lock-cheap atomic
+//     counters, gauges and fixed-bucket histograms under stable dotted
+//     names, snapshotable and renderable as Prometheus text.
+//   - Harness helpers (this file): Capture diffs the simulator's
+//     cumulative counters around a closure, and Series renders
+//     experiment tables.
 package trace
 
 import (
@@ -15,8 +27,9 @@ import (
 	"unistore/internal/simnet"
 )
 
-// Span is the measured cost of one operation window.
-type Span struct {
+// NetDelta is the network-level cost of one operation window: the
+// difference of the simulator's cumulative counters across it.
+type NetDelta struct {
 	Label    string
 	Elapsed  time.Duration // simulated time
 	Messages int
@@ -25,27 +38,34 @@ type Span struct {
 	PerKind  map[string]int
 }
 
-// Capture measures fn against the network: it resets the network's
-// counters, runs fn, and returns the delta. Setup traffic before the
-// call is therefore excluded — the per-query isolation the experiments
-// need.
-func Capture(net *simnet.Network, label string, fn func()) Span {
-	net.ResetStats()
+// Capture measures fn as a before/after delta of the network's
+// cumulative counters. Unlike the old reset-run-diff pattern it never
+// resets shared state, so concurrent traffic outside the window can
+// inflate the delta but can no longer corrupt other observers — and
+// two Captures may nest or overlap safely.
+func Capture(net *simnet.Network, label string, fn func()) NetDelta {
+	before := net.Stats()
 	start := net.Now()
 	fn()
-	s := net.Stats()
-	return Span{
+	after := net.Stats()
+	perKind := make(map[string]int)
+	for k, v := range after.PerKind {
+		if d := v - before.PerKind[k]; d != 0 {
+			perKind[k] = d
+		}
+	}
+	return NetDelta{
 		Label:    label,
 		Elapsed:  net.Now() - start,
-		Messages: s.MessagesSent,
-		Bytes:    s.BytesSent,
-		Dropped:  s.MessagesDropped,
-		PerKind:  s.PerKind,
+		Messages: after.MessagesSent - before.MessagesSent,
+		Bytes:    after.BytesSent - before.BytesSent,
+		Dropped:  after.MessagesDropped - before.MessagesDropped,
+		PerKind:  perKind,
 	}
 }
 
-// String renders the span as a log line.
-func (s Span) String() string {
+// String renders the delta as a log line.
+func (s NetDelta) String() string {
 	var kinds []string
 	for k, v := range s.PerKind {
 		kinds = append(kinds, fmt.Sprintf("%s=%d", k, v))
@@ -55,7 +75,7 @@ func (s Span) String() string {
 		s.Label, s.Messages, s.Bytes, s.Dropped, s.Elapsed, strings.Join(kinds, " "))
 }
 
-// Series accumulates spans for one experiment and renders them as an
+// Series accumulates rows for one experiment and renders them as an
 // aligned table — the harness's table-row printer.
 type Series struct {
 	Name    string
